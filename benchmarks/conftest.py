@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Experiment results are cached per process (several tests assert different
+properties of one experiment) and dumped to ``results/`` next to the repo
+root so EXPERIMENTS.md can reference them.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+os.environ.setdefault("REPRO_RESULTS_DIR", str(RESULTS_DIR))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

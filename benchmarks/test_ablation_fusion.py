@@ -1,0 +1,29 @@
+"""Ablation: kernel fusion (the paper's future-work item #2)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fusion_ablation import run_fusion_ablation
+
+
+def test_fusion_rescues_degradation_layers(benchmark):
+    """The Fig. 9 losers become clear winners once launches are fused."""
+    result = run_once(benchmark, run_fusion_ablation)
+    print("\n" + result.render())
+    for row in result.rows:
+        layer, _, _, glp, fused = row
+        if "conv1" in layer:
+            assert glp < 1.0 < fused
+            assert fused > 2.0
+
+
+def test_fusion_neutral_on_compute_heavy_layer(benchmark):
+    result = run_once(benchmark, run_fusion_ablation)
+    row = next(r for r in result.rows if "CaffeNet" in r[0])
+    assert row[1] == row[2]                  # nothing fused
+    assert abs(row[3] - row[4]) < 0.05       # same speedup
+
+
+def test_fusion_reduces_launch_counts(benchmark):
+    result = run_once(benchmark, run_fusion_ablation)
+    for row in result.rows:
+        if "conv1" in row[0]:
+            assert row[2] <= row[1] // 3 + 1

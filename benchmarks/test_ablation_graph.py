@@ -1,0 +1,17 @@
+"""Ablation: DAG dispatch vs layer barriers (future-work item #1)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.graph_ablation import run_graph_ablation
+
+
+def test_graph_dispatch_beats_layer_barriers(benchmark):
+    result = run_once(benchmark, run_graph_ablation)
+    print("\n" + result.render())
+    dag = next(r for r in result.rows if "DAG" in r[0])
+    assert dag[2] > 1.0
+
+
+def test_graph_covers_all_branch_kernels(benchmark):
+    result = run_once(benchmark, run_graph_ablation)
+    # 1x1 branch: 32x2 kernels; 3x3: 32x(2+3); 5x5: 32x(2+3)
+    assert result.extra["kernels"] == 32 * (2 + 5 + 5)

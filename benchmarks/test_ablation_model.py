@@ -1,0 +1,30 @@
+"""Ablations of GLP4NN's design choices."""
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import run_ablations
+
+
+def test_ablation_launch_bound_protects_tiny_layers(benchmark):
+    """Dropping Eq. 7's launch-pipeline bound over-parallelizes the tiny
+    Siamese conv1 (many more streams for no gain or a loss)."""
+    result = run_once(benchmark, run_ablations)
+    print("\n" + result.render())
+    tiny = next(r for r in result.rows if "Siamese" in r[0])
+    with_bound_streams, without_bound_streams = tiny[2], tiny[4]
+    assert without_bound_streams > with_bound_streams
+    assert tiny[3] <= tiny[1] + 0.02   # no-bound never beats the bound here
+
+
+def test_ablation_model_at_least_matches_greedy(benchmark):
+    result = run_once(benchmark, run_ablations)
+    for row in result.rows:
+        model_speedup, greedy_speedup = row[1], row[5]
+        assert model_speedup >= greedy_speedup - 0.05
+
+
+def test_ablation_model_close_to_max_streams_without_the_cost(benchmark):
+    """The model's small pools achieve most of what max streams does."""
+    result = run_once(benchmark, run_ablations)
+    for row in result.rows:
+        model_speedup, max_streams_speedup = row[1], row[7]
+        assert model_speedup >= 0.9 * max_streams_speedup

@@ -1,0 +1,39 @@
+"""Fig. 10: memory consumption of GLP4NN's tracker."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig10 import run_fig10
+from repro.cupti import CONFIG_RECORD_BYTES, TIMESTAMP_BYTES
+
+
+def test_fig10_cupti_dominates(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print("\n" + result.render())
+    for row in result.rows:
+        _, _, kernels, mem_tt, mem_k, mem_cupti, total = row
+        assert mem_cupti > 10 * (mem_tt + mem_k)
+        assert total == mem_tt + mem_k + mem_cupti
+
+
+def test_fig10_per_kernel_memory_is_device_independent(benchmark):
+    """The paper: mem_tt and mem_K depend only on the kernel count."""
+    result = run_once(benchmark, run_fig10)
+    by_net = {}
+    for row in result.rows:
+        by_net.setdefault(row[0], set()).add((row[2], row[3], row[4]))
+    for net, configs in by_net.items():
+        assert len(configs) == 1, f"{net} memory varied across devices"
+
+
+def test_fig10_bytes_match_record_sizes(benchmark):
+    result = run_once(benchmark, run_fig10)
+    for row in result.rows:
+        kernels, mem_tt, mem_k = row[2], row[3], row[4]
+        assert mem_tt == kernels * TIMESTAMP_BYTES
+        assert mem_k == kernels * CONFIG_RECORD_BYTES
+
+
+def test_fig10_caffenet_records_most_kernels(benchmark):
+    """N=256 and five conv layers make CaffeNet the biggest profile."""
+    result = run_once(benchmark, run_fig10)
+    kernels = {row[0]: row[2] for row in result.rows}
+    assert kernels["CaffeNet"] == max(kernels.values())

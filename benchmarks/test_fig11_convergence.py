@@ -1,0 +1,36 @@
+"""Fig. 11: convergence invariance under GLP4NN."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench.fig11 import run_fig11
+
+
+def test_fig11_same_shuffle_is_bit_identical(benchmark):
+    """Scheduling never touches the math: with the same shuffle seed the
+    loss curves coincide exactly, which is stronger than the paper's
+    visual overlap."""
+    result = run_once(benchmark, run_fig11)
+    print("\n" + result.render())
+    assert result.extra["max_same_shuffle_gap"] == 0.0
+
+
+def test_fig11_training_converges(benchmark):
+    result = run_once(benchmark, run_fig11)
+    caffe = result.extra["caffe"]
+    assert caffe[-1] < 0.6 * caffe[0]
+
+
+def test_fig11_different_shuffle_differs_but_converges_alike(benchmark):
+    """The paper attributes the residual curve difference to shuffling."""
+    result = run_once(benchmark, run_fig11)
+    caffe = np.array(result.extra["caffe"])
+    other = np.array(result.extra["glp4nn_other_shuffle"])
+    assert np.abs(caffe - other).max() > 0.0       # curves differ...
+    assert abs(caffe[-1] - other[-1]) < 0.35       # ...ends agree
+
+
+def test_fig11_losses_are_finite(benchmark):
+    result = run_once(benchmark, run_fig11)
+    for key in ("caffe", "glp4nn_same_shuffle", "glp4nn_other_shuffle"):
+        assert np.isfinite(result.extra[key]).all()

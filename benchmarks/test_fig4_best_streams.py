@@ -1,0 +1,27 @@
+"""Fig. 4: best observed stream count per CaffeNet layer per GPU."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig4 import run_fig4
+
+
+def test_fig4_optimum_exceeds_one_somewhere(benchmark):
+    result = run_once(benchmark, run_fig4)
+    print("\n" + result.render())
+    for device, bests in result.extra["best_by_device"].items():
+        assert max(bests) > 1, f"no layer benefits from streams on {device}"
+
+
+def test_fig4_optimum_varies_across_devices(benchmark):
+    """Observation 2: no single stream count is optimal on every GPU."""
+    result = run_once(benchmark, run_fig4)
+    per_device = result.extra["best_by_device"]
+    profiles = {tuple(v) for v in per_device.values()}
+    assert len(profiles) >= 2
+
+
+def test_fig4_optimum_varies_across_layers(benchmark):
+    result = run_once(benchmark, run_fig4)
+    for device, bests in result.extra["best_by_device"].items():
+        if len(set(bests)) > 1:
+            return
+    raise AssertionError("optimal stream count never varied across layers")

@@ -1,0 +1,34 @@
+"""Fig. 7: per-iteration speedup of GLP4NN-Caffe over naive Caffe."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig7 import run_fig7
+from repro.gpusim.device import PAPER_DEVICES
+
+
+def test_fig7_glp4nn_never_slower_per_iteration(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print("\n" + result.render())
+    for row in result.rows:
+        for s in row[1:]:
+            assert s >= 0.97, f"{row[0]} regressed: {s}"
+
+
+def test_fig7_clear_wins_exist(benchmark):
+    result = run_once(benchmark, run_fig7)
+    best = max(max(row[1:]) for row in result.rows)
+    assert best >= 1.4
+
+
+def test_fig7_every_network_improves_somewhere(benchmark):
+    result = run_once(benchmark, run_fig7)
+    for row in result.rows:
+        assert max(row[1:]) > 1.0, f"{row[0]} never improved"
+
+
+def test_fig7_details_consistent(benchmark):
+    result = run_once(benchmark, run_fig7)
+    details = result.extra["details"]
+    assert len(details) == 4 * len(PAPER_DEVICES)
+    for key, d in details.items():
+        assert d["naive_us"] > 0 and d["glp4nn_us"] > 0
+        assert d["speedup"] == d["naive_us"] / d["glp4nn_us"]

@@ -1,0 +1,31 @@
+"""Fig. 8: stream-pool sizes chosen by the analytical model."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig8 import run_fig8
+from repro.gpusim.device import PAPER_DEVICES, get_device
+
+
+def test_fig8_pool_sizes_within_device_limits(benchmark):
+    result = run_once(benchmark, run_fig8)
+    print("\n" + result.render())
+    for row in result.rows:
+        for device, c_out in zip(PAPER_DEVICES, row[2:]):
+            assert 1 <= c_out <= get_device(device).max_concurrent_kernels
+
+
+def test_fig8_configuration_is_device_dependent(benchmark):
+    result = run_once(benchmark, run_fig8)
+    varied = sum(1 for row in result.rows if len(set(row[2:])) > 1)
+    assert varied >= len(result.rows) // 3
+
+
+def test_fig8_configuration_is_layer_dependent(benchmark):
+    result = run_once(benchmark, run_fig8)
+    for i, device in enumerate(PAPER_DEVICES):
+        col = [row[2 + i] for row in result.rows]
+        assert len(set(col)) > 1, f"constant configuration on {device}"
+
+
+def test_fig8_covers_all_table5_layers(benchmark):
+    result = run_once(benchmark, run_fig8)
+    assert len(result.rows) == 3 + 4 + 5 + 6

@@ -1,0 +1,37 @@
+"""Fig. 9: per-layer elapsed time and the degradation cases."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig9 import run_fig9
+
+
+def _rows(result):
+    return {row[0]: row for row in result.rows}
+
+
+def test_fig9_tiny_conv1_layers_degrade(benchmark):
+    """The paper's finding: ~2 ms layers are slower under GLP4NN."""
+    result = run_once(benchmark, run_fig9)
+    print("\n" + result.render())
+    rows = _rows(result)
+    for name in ("C-conv1", "S-conv1", "S-conv1_p"):
+        assert rows[name][4] < 1.0, f"{name} unexpectedly accelerated"
+        assert rows[name][4] > 0.9, f"{name} degraded too much"
+
+
+def test_fig9_deeper_layers_accelerate(benchmark):
+    rows = _rows(run_once(benchmark, run_fig9))
+    for name in ("C-conv2", "C-conv3", "S-conv2", "S-conv2_p"):
+        assert rows[name][4] > 1.2, f"{name} did not accelerate"
+
+
+def test_fig9_network_totals_improve(benchmark):
+    rows = _rows(run_once(benchmark, run_fig9))
+    assert rows["C-total"][4] > 1.0
+    assert rows["S-total"][4] > 1.0
+
+
+def test_fig9_degrading_layers_are_the_2ms_ones(benchmark):
+    """The paper ties the losses to layers finishing within ~2 ms."""
+    rows = _rows(run_once(benchmark, run_fig9))
+    for name in ("C-conv1", "S-conv1", "S-conv1_p"):
+        assert rows[name][2] < 3.0   # naive time in ms

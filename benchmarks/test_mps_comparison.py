@@ -1,0 +1,30 @@
+"""GLP4NN vs multi-threaded dispatch (the CPU-thread trade-off)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.mps_comparison import THREAD_COUNTS, run_mps_comparison
+
+
+def test_glp4nn_uses_one_host_thread(benchmark):
+    result = run_once(benchmark, run_mps_comparison)
+    print("\n" + result.render())
+    for row in result.rows:
+        assert row[2] == 1
+
+
+def test_thread_dispatch_pays_contention(benchmark):
+    """Per-launch driver contention means k threads never scale ideally."""
+    result = run_once(benchmark, run_mps_comparison)
+    for row in result.rows:
+        glp = row[1]
+        eight_thread = row[3 + 2 * THREAD_COUNTS.index(8)]
+        # 8 threads never buy 8x over GLP4NN
+        assert eight_thread < 8 * max(glp, 0.9)
+
+
+def test_glp4nn_competitive_on_compute_bound_layers(benchmark):
+    """Where kernels are long enough to overlap from one pipeline, the
+    stream pool matches low thread counts without the CPU cost."""
+    result = run_once(benchmark, run_mps_comparison)
+    heavy = next(r for r in result.rows if "CaffeNet" in r[0])
+    two_thread = heavy[3 + 2 * THREAD_COUNTS.index(2)]
+    assert heavy[1] >= two_thread

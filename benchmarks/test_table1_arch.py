@@ -1,0 +1,13 @@
+"""Table 1: architecture feature table."""
+
+from benchmarks.conftest import run_once
+from repro.bench.table1 import run_table1
+
+
+def test_table1_architecture_features(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n" + result.render())
+    # exact reproduction of the paper's concurrency column
+    assert result.column("Max Concurrent Kernels") == [1, 16, 32, 16, 128, 128]
+    streams = result.column("CUDA Streams")
+    assert streams[0] == "no" and all(s == "yes" for s in streams[1:])

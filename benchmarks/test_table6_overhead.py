@@ -1,0 +1,33 @@
+"""Table 6: one-time overhead of GLP4NN."""
+
+from benchmarks.conftest import run_once
+from repro.bench.table6 import run_table6
+
+
+def test_table6_ratio_below_paper_bound(benchmark):
+    """The paper's bound: T_total / training < 0.1% everywhere."""
+    result = run_once(benchmark, run_table6)
+    print("\n" + result.render())
+    assert result.extra["worst_ratio"] < 1e-3
+
+
+def test_table6_tp_tracks_kernel_count(benchmark):
+    """T_p is proportional to kernels collected: CaffeNet (N=256, five
+    conv layers) pays the most, as in the paper."""
+    result = run_once(benchmark, run_table6)
+    t_p = {}
+    for row in result.rows:
+        t_p.setdefault(row[0], row[2])
+    assert t_p["CaffeNet"] == max(t_p.values())
+
+
+def test_table6_covers_all_networks_and_devices(benchmark):
+    result = run_once(benchmark, run_table6)
+    assert len(result.rows) == 4 * 3
+
+
+def test_table6_components_positive(benchmark):
+    result = run_once(benchmark, run_table6)
+    for row in result.rows:
+        assert row[2] > 0 and row[3] > 0
+        assert abs(row[4] - (row[2] + row[3])) < 0.01

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Production-style workflow: Trainer loop + persisted decision cache.
+
+Two framework features a long-running training job needs:
+
+1. the Caffe-style :class:`~repro.nn.trainer.Trainer` loop — test phases on
+   an interval, periodic solver snapshots;
+2. GLP4NN's **persisted concurrency decisions** — the one-time profiling/
+   analysis cost (Table 6) is saved to JSON after the first run, so a
+   restarted job (e.g. resuming from a snapshot) dispatches concurrently
+   from its very first iteration.
+
+Usage::
+
+    python examples/production_workflow.py [workdir]
+"""
+
+import pathlib
+import sys
+
+from repro.core import GLP4NN
+from repro.data import BatchLoader, make_dataset
+from repro.data.synthetic import Dataset
+from repro.gpusim import GPU, get_device
+from repro.nn import Solver, SolverConfig, Trainer
+from repro.nn.zoo import build_cifar10
+from repro.runtime import GLP4NNExecutor, TrainingSession, lower_net
+
+BATCH = 50
+
+
+def make_loaders():
+    full = make_dataset("cifar10", 600, seed=3)
+    train = Dataset("cifar10", full.images[:500], full.labels[:500])
+    test = Dataset("cifar10", full.images[500:], full.labels[500:])
+    return (BatchLoader(train, BATCH, seed=5),
+            BatchLoader(test, BATCH, seed=6))
+
+
+def main(workdir: str = ".") -> None:
+    cache = pathlib.Path(workdir) / "glp4nn_decisions.json"
+
+    # ---- first run: profile, analyze, train, persist -----------------
+    print("=== run 1: fresh framework (pays profiling + analysis once) ===")
+    gpu = GPU(get_device("P100"), record_timeline=False)
+    glp = GLP4NN([gpu])
+    net = build_cifar10(batch=BATCH, seed=42)
+    train_loader, test_loader = make_loaders()
+    trainer = Trainer(
+        Solver(net, SolverConfig(base_lr=0.01, momentum=0.9,
+                                 weight_decay=0.004)),
+        train_loader, test_loader,
+        test_interval=20, test_iter=2, snapshot_interval=40,
+        display=lambda e: print(
+            f"  iter {e.iteration:>3}  loss {e.train_loss:.4f}"
+            + (f"  test acc {e.test_accuracy:.2%}"
+               if e.test_accuracy is not None else "")
+        ),
+    )
+    # meter the GPU side of each iteration through GLP4NN
+    session = TrainingSession(net, GLP4NNExecutor(gpu, framework=glp),
+                              compute_numeric=False)
+    for _ in range(3):
+        session.run_iteration()      # warm the profiles/decisions
+    trainer.run(80)
+    saved = glp.save_decisions(gpu, cache)
+    print(f"saved {saved} concurrency decisions -> {cache}")
+    print(f"snapshots taken: {len(trainer.snapshots)}; "
+          f"best test accuracy {trainer.best_accuracy:.2%}\n")
+
+    # ---- second run: restart, load cache, no profiling ---------------
+    print("=== run 2: restarted process (loads the decision cache) ===")
+    gpu2 = GPU(get_device("P100"), record_timeline=False)
+    glp2 = GLP4NN([gpu2])
+    loaded = glp2.load_decisions(gpu2, cache)
+    net2 = build_cifar10(batch=BATCH, seed=42)
+    session2 = TrainingSession(net2, GLP4NNExecutor(gpu2, framework=glp2),
+                               compute_numeric=False)
+    first = session2.run_iteration()
+    profiled = any(r.profiled for r in session2.executor.runs)
+    print(f"loaded {loaded} decisions; first iteration ran in "
+          f"{first.sim_time_us / 1000:.2f} ms with profiling passes: "
+          f"{profiled}")
+    assert not profiled, "decision cache should have skipped profiling"
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: accelerate one convolution layer with GLP4NN.
+
+Runs the forward pass of CIFAR10's conv3 layer (batch 100, Table 5 of the
+paper) on a simulated Tesla P100 three ways:
+
+1. naive Caffe — every kernel on the default stream;
+2. a manual 4-stream configuration;
+3. GLP4NN — profile once, let the analytical model size the stream pool,
+   dispatch round-robin.
+
+Usage::
+
+    python examples/quickstart.py [device]
+"""
+
+import sys
+
+from repro.gpusim import GPU, get_device, ascii_timeline
+from repro.nn.zoo.table5 import CIFAR10_CONVS
+from repro.runtime.executor import (
+    FixedStreamExecutor,
+    GLP4NNExecutor,
+    NaiveExecutor,
+)
+from repro.runtime.lowering import lower_conv_forward
+
+
+def main(device_name: str = "P100") -> None:
+    device = get_device(device_name)
+    cfg = CIFAR10_CONVS[2]
+    work = lower_conv_forward(cfg)
+    print(f"device : {device.describe()}")
+    print(f"layer  : {cfg.describe()}")
+    print(f"work   : {len(work.parallel_chains)} per-sample chains, "
+          f"{work.num_kernels} kernels total\n")
+
+    # 1. naive Caffe
+    naive = NaiveExecutor(GPU(device, record_timeline=False))
+    naive.run(work)                       # warm-up for symmetry
+    t_naive = naive.run(work).elapsed_us
+    print(f"naive Caffe (1 stream)     : {t_naive / 1000:8.3f} ms")
+
+    # 2. manual stream count
+    fixed = FixedStreamExecutor(GPU(device, record_timeline=False), 4)
+    fixed.run(work)
+    t_fixed = fixed.run(work).elapsed_us
+    print(f"manual 4 streams           : {t_fixed / 1000:8.3f} ms "
+          f"({t_naive / t_fixed:.2f}x)")
+
+    # 3. GLP4NN
+    gpu = GPU(device, record_timeline=True)
+    glp = GLP4NNExecutor(gpu)
+    first = glp.run(work)                 # profiling + analysis pass
+    run = glp.run(work)
+    decision = run.decision
+    assert decision is not None
+    print(f"GLP4NN ({decision.c_out} streams)         : "
+          f"{run.elapsed_us / 1000:8.3f} ms ({t_naive / run.elapsed_us:.2f}x)")
+    print(f"\nanalytical model decision : {decision.counts}")
+    print(f"one-time profiling pass    : {first.elapsed_us / 1000:.3f} ms "
+          "(paid once, Table 6)")
+
+    print("\nsteady-state timeline (one lane per stream):")
+    # keep only the records of the final run
+    recs = gpu.timeline.records
+    last_run = [r for r in recs if r.enqueue_us >= recs[-1].enqueue_us
+                - run.elapsed_us]
+    gpu.timeline.records = last_run
+    print(ascii_timeline(gpu.timeline, width=76))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "P100")

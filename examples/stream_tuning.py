@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Stream tuning: why the number of concurrent kernels must be chosen per
+device and per layer (the paper's Observations 1 and 2).
+
+Sweeps manual stream counts for a few Table 5 layers on every paper GPU and
+compares the empirically best count to what GLP4NN's analytical model picks
+without any sweeping.
+
+Usage::
+
+    python examples/stream_tuning.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.gpusim import GPU, get_device
+from repro.gpusim.device import PAPER_DEVICES
+from repro.nn.zoo.table5 import CAFFENET_CONVS, CIFAR10_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import (
+    FixedStreamExecutor,
+    GLP4NNExecutor,
+    NaiveExecutor,
+)
+from repro.runtime.lowering import lower_conv_forward
+
+SWEEP = (1, 2, 4, 8, 16, 32)
+LAYERS = (SIAMESE_CONVS[1], CIFAR10_CONVS[2], CAFFENET_CONVS[0])
+
+
+def steady(ex, work):
+    ex.run(work)
+    return ex.run(work).elapsed_us
+
+
+def main() -> None:
+    rows = []
+    for cfg in LAYERS:
+        work = lower_conv_forward(cfg)
+        for device in PAPER_DEVICES:
+            times = {}
+            for s in SWEEP:
+                if s == 1:
+                    ex = NaiveExecutor(GPU(get_device(device),
+                                           record_timeline=False))
+                else:
+                    ex = FixedStreamExecutor(
+                        GPU(get_device(device), record_timeline=False), s)
+                times[s] = steady(ex, work)
+            best = min(times, key=times.get)
+
+            glp = GLP4NNExecutor(GPU(get_device(device),
+                                     record_timeline=False))
+            t_glp = steady(glp, work)
+            decision = glp.runs[-1].decision
+            rows.append([
+                f"{cfg.net}/{cfg.name}",
+                device,
+                best,
+                round(times[1] / times[best], 2),
+                decision.c_out,
+                round(times[1] / t_glp, 2),
+            ])
+    print(format_table(
+        ["layer", "device", "best #streams (swept)", "best speedup",
+         "model C_out", "GLP4NN speedup"],
+        rows,
+        title="Manual sweep vs analytical model "
+              "(speedups over single stream)",
+    ))
+    print("\nThe model lands near the swept optimum with zero tuning runs —")
+    print("and the optimum indeed differs across devices and layers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Export a GLP4NN execution timeline as a Chrome/Perfetto trace.
+
+Runs CaffeNet's conv5 layer under naive Caffe and under GLP4NN on a
+simulated P100 and writes both traces to JSON files loadable in
+``chrome://tracing`` or https://ui.perfetto.dev — the reproduction of the
+NVIDIA-Visual-Profiler views the paper's figures are screenshots of.
+
+Usage::
+
+    python examples/timeline_export.py [outdir]
+"""
+
+import pathlib
+import sys
+
+from repro.gpusim import GPU, get_device, ascii_timeline, to_chrome_trace
+from repro.nn.zoo.table5 import CAFFENET_CONVS
+from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
+from repro.runtime.lowering import lower_conv_forward
+
+
+def trace(executor_cls, path: pathlib.Path) -> float:
+    gpu = GPU(get_device("P100"), record_timeline=True)
+    ex = executor_cls(gpu)
+    work = lower_conv_forward(CAFFENET_CONVS[4])
+    ex.run(work)                       # warm-up / profiling pass
+    gpu.timeline.clear()
+    run = ex.run(work)
+    path.write_text(to_chrome_trace(gpu.timeline), encoding="utf-8")
+    print(f"{executor_cls.__name__:18s} {run.elapsed_us / 1000:8.2f} ms  "
+          f"peak concurrency {gpu.timeline.max_concurrency():2d}  -> {path}")
+    print(ascii_timeline(gpu.timeline, width=74))
+    print()
+    return run.elapsed_us
+
+
+def main(outdir: str = ".") -> None:
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    t_naive = trace(NaiveExecutor, out / "trace_naive.json")
+    t_glp = trace(GLP4NNExecutor, out / "trace_glp4nn.json")
+    print(f"speedup: {t_naive / t_glp:.2f}x — open the JSON files in "
+          "chrome://tracing to inspect the lanes")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

@@ -1,0 +1,25 @@
+"""Run every experiment fresh and dump results/ (used to build EXPERIMENTS.md)."""
+import os, time
+os.environ["REPRO_RESULTS_DIR"] = "/root/repo/results"
+t0 = time.time()
+
+from repro.bench.table1 import run_table1
+from repro.bench.fig2 import run_fig2
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig7 import run_fig7
+from repro.bench.fig8 import run_fig8
+from repro.bench.fig9 import run_fig9
+from repro.bench.fig10 import run_fig10
+from repro.bench.fig11 import run_fig11
+from repro.bench.table6 import run_table6
+from repro.bench.ablations import run_ablations
+from repro.bench.fusion_ablation import run_fusion_ablation
+from repro.bench.graph_ablation import run_graph_ablation
+
+for fn in (run_table1, run_fig3, run_fig9, run_fig8, run_fig10, run_table6,
+           run_ablations, run_fusion_ablation, run_graph_ablation,
+           run_fig2, run_fig4, run_fig11, run_fig7):
+    r = fn()
+    print(r.render())
+    print(f"[{r.experiment} done at {time.time()-t0:.0f}s]\n", flush=True)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks PEP 660 wheel support (the
+legacy ``setup.py develop`` code path needs this file).
+"""
+
+from setuptools import setup
+
+setup()

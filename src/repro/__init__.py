@@ -1,0 +1,38 @@
+"""GLP4NN reproduction package.
+
+A full reproduction of *GLP4NN: A Convergence-invariant and Network-agnostic
+Light-Weight Parallelization Framework for Deep Neural Networks on Modern
+GPUs* (Fu, Tang, He, Yu, Sun — ICPP 2018), built on a discrete-event GPU
+simulator instead of real CUDA hardware.
+
+Subpackages
+-----------
+``repro.gpusim``
+    Discrete-event simulator of an NVIDIA-style GPU: SMs, streams, events,
+    occupancy accounting, concurrent-kernel work queues and launch latency.
+``repro.kernels``
+    Kernel IR, launch-configuration heuristics and the roofline cost model
+    that assigns durations to simulated kernels.
+``repro.cupti``
+    A CUPTI-like activity/callback profiling interface over the simulator.
+``repro.milp``
+    From-scratch MILP solver (two-phase simplex + branch and bound), standing
+    in for GLPK which the paper uses to solve its analytical model.
+``repro.nn``
+    Caffe-like neural-network framework (blobs, layers, nets, SGD solver)
+    with the paper's four networks in ``repro.nn.zoo``.
+``repro.data``
+    Synthetic stand-ins for MNIST / CIFAR-10 / ImageNet.
+``repro.core``
+    The paper's contribution: resource tracker, kernel analyzer (analytical
+    model, Eqs. 1-9), stream manager and runtime scheduler.
+``repro.runtime``
+    Integration layer ("GLP4NN-Caffe"): lowering of layers to kernels, the
+    naive and GLP4NN executors and the training session.
+``repro.bench``
+    Experiment harness regenerating every table and figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

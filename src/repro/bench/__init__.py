@@ -1,0 +1,36 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``figN``/``tableN`` module exposes a ``run_*`` function returning an
+:class:`~repro.bench.harness.ExperimentResult` — the rows/series the paper
+reports, plus our measured values.  ``benchmarks/`` wraps these in
+pytest-benchmark entries and asserts the *shape* of each result (who wins,
+where the crossovers are), not absolute numbers, since the substrate is a
+simulator rather than the authors' testbed.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+Table 1   GPU architecture features           ``repro.bench.table1``
+Fig. 2    CaffeNet conv speedups vs streams   ``repro.bench.fig2``
+Fig. 3    conv1 multi-stream kernel timeline  ``repro.bench.fig3``
+Fig. 4    best stream count per layer/GPU     ``repro.bench.fig4``
+Fig. 7    GLP4NN-Caffe vs Caffe per iteration ``repro.bench.fig7``
+Fig. 8    analyzer stream configurations      ``repro.bench.fig8``
+Fig. 9    layer time incl. degradation cases  ``repro.bench.fig9``
+Fig. 10   GLP4NN memory consumption           ``repro.bench.fig10``
+Fig. 11   convergence invariance              ``repro.bench.fig11``
+Table 6   one-time overhead T_p/T_a/ratio     ``repro.bench.table6``
+ablation  launch bound / greedy / policies    ``repro.bench.ablations``
+========  ==========================================================
+"""
+
+from repro.bench.harness import ExperimentResult, cached, clear_cache
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "ExperimentResult",
+    "cached",
+    "clear_cache",
+    "format_table",
+    "format_series",
+]

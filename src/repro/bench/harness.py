@@ -1,0 +1,138 @@
+"""Shared experiment plumbing: results, caching, and common runners."""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.gpusim.device import get_device
+from repro.gpusim.engine import GPU
+from repro.kernels.ir import LayerWork
+from repro.nn.config import ConvConfig
+from repro.runtime.executor import (
+    FixedStreamExecutor,
+    GLP4NNExecutor,
+    NaiveExecutor,
+)
+from repro.runtime.lowering import lower_conv_forward
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: rows + provenance + paper expectation."""
+
+    experiment: str                   # "fig2", "table6", ...
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows,
+                            title=f"[{self.experiment}] {self.title}")
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+            "extra": {k: v for k, v in self.extra.items()
+                      if isinstance(v, (int, float, str, list, dict))},
+        }, indent=1, default=str)
+
+    def column(self, header: str) -> list[Any]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Result cache: several benchmark tests assert different properties of the
+# same (expensive) experiment; run each experiment once per process.
+# ----------------------------------------------------------------------
+_CACHE: dict[str, ExperimentResult] = {}
+
+
+def cached(key: str) -> Callable:
+    """Decorator caching a zero-argument experiment runner by key."""
+
+    def deco(fn: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        @functools.wraps(fn)
+        def wrapper() -> ExperimentResult:
+            if key not in _CACHE:
+                result = fn()
+                _CACHE[key] = result
+                _maybe_dump(result)
+            return _CACHE[key]
+
+        return wrapper
+
+    return deco
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def _maybe_dump(result: ExperimentResult) -> None:
+    """Persist results under ``results/`` when the directory exists."""
+    out_dir = os.environ.get("REPRO_RESULTS_DIR", "results")
+    if os.path.isdir(out_dir):
+        path = os.path.join(out_dir, f"{result.experiment}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        with open(os.path.join(out_dir, f"{result.experiment}.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(result.render() + "\n")
+
+
+# ----------------------------------------------------------------------
+# Common measurement helpers
+# ----------------------------------------------------------------------
+
+def fresh_gpu(device: str) -> GPU:
+    """A new device instance without timeline recording (cheapest)."""
+    return GPU(get_device(device), record_timeline=False)
+
+
+def time_naive(device: str, work: LayerWork, repeats: int = 1) -> float:
+    """Steady-state single-stream time of one layer work, µs."""
+    gpu = fresh_gpu(device)
+    ex = NaiveExecutor(gpu)
+    ex.run(work)  # warm-up (no profiling in naive mode, but be symmetric)
+    times = [ex.run(work).elapsed_us for _ in range(repeats)]
+    return sum(times) / len(times)
+
+
+def time_fixed(device: str, work: LayerWork, streams: int,
+               repeats: int = 1) -> float:
+    """Steady-state time with a fixed stream count, µs."""
+    gpu = fresh_gpu(device)
+    ex = FixedStreamExecutor(gpu, streams)
+    ex.run(work)
+    times = [ex.run(work).elapsed_us for _ in range(repeats)]
+    return sum(times) / len(times)
+
+
+def time_glp4nn(device: str, work: LayerWork, repeats: int = 1
+                ) -> tuple[float, "object"]:
+    """Steady-state GLP4NN time of one layer work + its decision, µs."""
+    gpu = fresh_gpu(device)
+    ex = GLP4NNExecutor(gpu)
+    ex.run(work)  # profiling + analysis pass
+    runs = [ex.run(work) for _ in range(repeats)]
+    mean = sum(r.elapsed_us for r in runs) / len(runs)
+    return mean, runs[-1].decision
+
+
+def conv_forward_work(cfg: ConvConfig) -> LayerWork:
+    return lower_conv_forward(cfg)

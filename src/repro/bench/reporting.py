@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[float],
+                  y_label: str = "", width: int = 40) -> str:
+    """Render one (x, y) series with proportional bars (a text 'figure')."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    peak = max((abs(y) for y in ys), default=1.0) or 1.0
+    lines = [f"{name}" + (f"  [{y_label}]" if y_label else "")]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(abs(y) / peak * width))) if y else ""
+        lines.append(f"  {str(x):>10} | {_fmt(y):>10} {bar}")
+    return "\n".join(lines)

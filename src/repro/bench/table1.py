@@ -1,0 +1,31 @@
+"""Table 1: overview of GPU architecture features."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, cached
+from repro.gpusim.arch import ARCH_FEATURES, Architecture
+
+
+@cached("table1")
+def run_table1() -> ExperimentResult:
+    """Regenerate the architecture feature table from the simulator catalog."""
+    rows = []
+    for arch in Architecture:
+        f = ARCH_FEATURES[arch]
+        rows.append([
+            arch.value.capitalize(),
+            "yes" if f.streams else "no",
+            "yes" if f.dynamic_parallelism else "no",
+            f.max_concurrent_kernels,
+            "yes" if f.uvm else "no",
+            "yes" if f.tensor_cores else "no",
+        ])
+    return ExperimentResult(
+        experiment="table1",
+        title="GPU architecture features (paper Table 1)",
+        headers=["Architecture", "CUDA Streams", "Dynamic Parallelism",
+                 "Max Concurrent Kernels", "UVM", "Tensor Cores"],
+        rows=rows,
+        notes="paper reference: Tesla 1, Fermi 16, Kepler 32, Maxwell 16, "
+              "Pascal 128, Volta 128 concurrent kernels",
+    )

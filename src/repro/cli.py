@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``devices``
+    Print the simulated GPU catalog (paper Table 3 + extras).
+``networks``
+    Print the evaluation networks and their Table 5 convolution layers.
+``experiments``
+    List every reproducible table/figure experiment.
+``run <experiment> [...]``
+    Run experiments by id (e.g. ``run fig9 table6``) and print their
+    result tables.  ``run all`` runs everything (slow: tens of minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro._version import __version__
+
+
+def _experiment_registry() -> dict[str, Callable]:
+    # imported lazily: most bench modules pull the full stack
+    from repro.bench.table1 import run_table1
+    from repro.bench.fig2 import run_fig2
+    from repro.bench.fig3 import run_fig3
+    from repro.bench.fig4 import run_fig4
+    from repro.bench.fig7 import run_fig7
+    from repro.bench.fig8 import run_fig8
+    from repro.bench.fig9 import run_fig9
+    from repro.bench.fig10 import run_fig10
+    from repro.bench.fig11 import run_fig11
+    from repro.bench.table6 import run_table6
+    from repro.bench.ablations import run_ablations
+    from repro.bench.fusion_ablation import run_fusion_ablation
+    from repro.bench.graph_ablation import run_graph_ablation
+    from repro.bench.analyzer_comparison import run_analyzer_comparison
+    from repro.bench.mps_comparison import run_mps_comparison
+
+    return {
+        "table1": run_table1,
+        "fig2": run_fig2,
+        "fig3": run_fig3,
+        "fig4": run_fig4,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "fig11": run_fig11,
+        "table6": run_table6,
+        "ablations": run_ablations,
+        "fusion": run_fusion_ablation,
+        "graph": run_graph_ablation,
+        "analyzers": run_analyzer_comparison,
+        "mps": run_mps_comparison,
+    }
+
+
+def cmd_devices(_args) -> int:
+    from repro.gpusim.device import DEVICE_CATALOG, PAPER_DEVICES
+    for name, props in DEVICE_CATALOG.items():
+        marker = "*" if name in PAPER_DEVICES else " "
+        print(f" {marker} {props.describe()}")
+    print(" (* = used in the paper's evaluation)")
+    return 0
+
+
+def cmd_networks(_args) -> int:
+    from repro.nn.zoo import NETWORKS, NETWORK_ORDER
+    for name in NETWORK_ORDER:
+        entry = NETWORKS[name]
+        print(f"{name} (batch {entry.batch}, dataset {entry.dataset}):")
+        for cfg in entry.convs:
+            print(f"    {cfg.describe()}")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    from repro.gpusim.device import DEVICE_CATALOG, get_device
+    from repro.gpusim.selftest import run_selftest
+    names = args.device or list(DEVICE_CATALOG)
+    for name in names:
+        print(run_selftest(get_device(name)).render())
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    for key, fn in _experiment_registry().items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {key:10s} {summary}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    registry = _experiment_registry()
+    targets = list(args.experiment)
+    if targets == ["all"]:
+        targets = list(registry)
+    unknown = [t for t in targets if t not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for target in targets:
+        t0 = time.perf_counter()
+        result = registry[target]()
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"  [{target} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GLP4NN reproduction (ICPP 2018) — simulated-GPU "
+                    "experiment runner",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("devices", help="list the simulated GPU catalog"
+                   ).set_defaults(fn=cmd_devices)
+    sub.add_parser("networks", help="list evaluation networks (Table 5)"
+                   ).set_defaults(fn=cmd_networks)
+    sub.add_parser("experiments", help="list reproducible experiments"
+                   ).set_defaults(fn=cmd_experiments)
+    run = sub.add_parser("run", help="run experiments by id")
+    run.add_argument("experiment", nargs="+",
+                     help="experiment ids (or 'all')")
+    run.set_defaults(fn=cmd_run)
+    selftest = sub.add_parser(
+        "selftest", help="micro-benchmark a simulated device"
+    )
+    selftest.add_argument("device", nargs="*",
+                          help="device names (default: whole catalog)")
+    selftest.set_defaults(fn=cmd_selftest)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Inter-GPU communication substrate (for the distributed future-work item).
+
+The paper's third future-work direction is "a distributed implementation of
+the proposed framework".  This package provides the cost models needed to
+explore that on the simulator:
+
+* :mod:`repro.comm.interconnect` — link models (PCIe 3.0, NVLink) with
+  bandwidth + latency;
+* :mod:`repro.comm.allreduce` — gradient-synchronization algorithms (ring
+  all-reduce as in NCCL, and a parameter-server reduce+broadcast baseline).
+
+:mod:`repro.runtime.data_parallel` builds data-parallel training on top.
+"""
+
+from repro.comm.interconnect import Interconnect, PCIE3, NVLINK1, NVLINK2
+from repro.comm.allreduce import (
+    ring_allreduce_time_us,
+    parameter_server_time_us,
+    AllReduceModel,
+)
+
+__all__ = [
+    "Interconnect",
+    "PCIE3",
+    "NVLINK1",
+    "NVLINK2",
+    "ring_allreduce_time_us",
+    "parameter_server_time_us",
+    "AllReduceModel",
+]

@@ -1,0 +1,57 @@
+"""Gradient-synchronization cost models.
+
+Ring all-reduce (NCCL's algorithm): each of ``n`` workers sends and receives
+``2 (n-1) / n`` of the payload in ``2 (n-1)`` pipelined steps::
+
+    T = 2 (n-1) * latency + 2 (n-1)/n * bytes / bandwidth
+
+Parameter-server baseline: workers push gradients to one root and pull the
+averaged parameters back; the root's link is the bottleneck::
+
+    T = 2 * (n-1) * (latency + bytes / bandwidth)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.interconnect import Interconnect
+from repro.errors import ReproError
+
+
+def ring_allreduce_time_us(nbytes: float, workers: int,
+                           link: Interconnect) -> float:
+    """Time for one ring all-reduce of ``nbytes`` over ``workers`` GPUs."""
+    if workers < 1:
+        raise ReproError("workers must be >= 1")
+    if workers == 1:
+        return 0.0
+    steps = 2 * (workers - 1)
+    payload = 2.0 * (workers - 1) / workers * nbytes
+    return steps * link.latency_us + payload / (link.bandwidth_gbps * 1e3)
+
+
+def parameter_server_time_us(nbytes: float, workers: int,
+                             link: Interconnect) -> float:
+    """Time for a central reduce + broadcast of ``nbytes``."""
+    if workers < 1:
+        raise ReproError("workers must be >= 1")
+    if workers == 1:
+        return 0.0
+    one_way = link.transfer_time_us(nbytes)
+    return 2.0 * (workers - 1) * one_way
+
+
+@dataclass(frozen=True)
+class AllReduceModel:
+    """A chosen algorithm + link, queried per gradient exchange."""
+
+    link: Interconnect
+    algorithm: str = "ring"    # "ring" or "ps"
+
+    def time_us(self, nbytes: float, workers: int) -> float:
+        if self.algorithm == "ring":
+            return ring_allreduce_time_us(nbytes, workers, self.link)
+        if self.algorithm == "ps":
+            return parameter_server_time_us(nbytes, workers, self.link)
+        raise ReproError(f"unknown all-reduce algorithm {self.algorithm!r}")

@@ -1,0 +1,38 @@
+"""Inter-GPU link models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point GPU link.
+
+    ``bandwidth_gbps`` is the effective unidirectional payload bandwidth in
+    GB/s; ``latency_us`` the per-message setup cost.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0 or self.latency_us < 0:
+            raise ReproError(f"invalid interconnect {self}")
+
+    def transfer_time_us(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across the link once."""
+        if nbytes < 0:
+            raise ReproError("cannot transfer a negative number of bytes")
+        return self.latency_us + nbytes / (self.bandwidth_gbps * 1e3)
+
+
+#: PCIe 3.0 x16: ~16 GB/s theoretical, ~12 GB/s effective.
+PCIE3 = Interconnect("PCIe3 x16", bandwidth_gbps=12.0, latency_us=5.0)
+#: NVLink 1.0 (P100): 4 bricks, ~20 GB/s effective per direction per pair.
+NVLINK1 = Interconnect("NVLink 1.0", bandwidth_gbps=18.0, latency_us=2.0)
+#: NVLink 2.0 (V100): ~24 GB/s effective per brick, commonly 2 bricks/pair.
+NVLINK2 = Interconnect("NVLink 2.0", bandwidth_gbps=45.0, latency_us=2.0)

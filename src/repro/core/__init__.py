@@ -1,0 +1,76 @@
+"""GLP4NN — the paper's contribution.
+
+The framework's four modules (paper Fig. 5), with the sharing structure the
+paper prescribes — every GPU gets a private kernel analyzer and runtime
+scheduler, while one resource tracker and one stream manager are shared by
+all GPUs in the machine:
+
+* :mod:`repro.core.resource_tracker` — the compact CUPTI-based *kernel
+  profiler* plus the *kernel parser* that aggregates activity records into
+  per-kernel profiles (grid, block, registers, shared memory, ``T_Ki``).
+* :mod:`repro.core.analytical_model` — Eqs. 1-9: the occupancy-maximizing
+  MILP that yields the per-kernel concurrency ``#K_i`` and the stream-pool
+  size ``C_out``.
+* :mod:`repro.core.kernel_analyzer` — *concurrency analyzer* (model +
+  solver) and *concurrency maintainer* (per-layer decision cache).
+* :mod:`repro.core.stream_manager` — the pool of persistent CUDA streams
+  plus the default stream used for synchronization.
+* :mod:`repro.core.runtime_scheduler` — profiling workflow + round-robin
+  dispatch of per-sample kernel chains over the pool.
+* :mod:`repro.core.framework` — the :class:`GLP4NN` facade wiring it all.
+* :mod:`repro.core.cost` — the space/time overhead model of Section 3.3.2
+  (Eqs. 10-12), which feeds Fig. 10 and Table 6.
+
+Typical use::
+
+    from repro.core import GLP4NN
+    from repro.gpusim import GPU, get_device
+
+    gpu = GPU(get_device("P100"))
+    glp = GLP4NN([gpu])
+    glp.run_layer(gpu, layer_work)   # profiles on first call, then
+                                     # dispatches concurrently
+"""
+
+from repro.core.resource_tracker import (
+    KernelProfile,
+    LayerProfile,
+    KernelParser,
+    ResourceTracker,
+)
+from repro.core.analytical_model import (
+    AnalyticalModel,
+    ConcurrencyDecision,
+    KernelBound,
+)
+from repro.core.kernel_analyzer import ConcurrencyAnalyzer, ConcurrencyMaintainer, KernelAnalyzer
+from repro.core.predictive_model import PredictiveModel, predictive_analyze_fn
+from repro.core.stream_manager import StreamPool, StreamManager
+from repro.core.runtime_scheduler import RuntimeScheduler, DispatchPolicy
+from repro.core.framework import GLP4NN
+from repro.core.cost import OverheadModel, OverheadReport
+from repro.core.persistence import save_decisions, load_decisions
+
+__all__ = [
+    "KernelProfile",
+    "LayerProfile",
+    "KernelParser",
+    "ResourceTracker",
+    "AnalyticalModel",
+    "ConcurrencyDecision",
+    "KernelBound",
+    "ConcurrencyAnalyzer",
+    "ConcurrencyMaintainer",
+    "KernelAnalyzer",
+    "PredictiveModel",
+    "predictive_analyze_fn",
+    "StreamPool",
+    "StreamManager",
+    "RuntimeScheduler",
+    "DispatchPolicy",
+    "GLP4NN",
+    "OverheadModel",
+    "OverheadReport",
+    "save_decisions",
+    "load_decisions",
+]

@@ -1,0 +1,237 @@
+"""The analytical model of Section 3.2 (Eqs. 1-9).
+
+Given the profiled kernel set ``K = {K_1 .. K_N}`` of a layer and the
+device properties, choose the number of concurrent instances ``#K_i`` of
+each kernel so as to maximize SM occupancy:
+
+    maximize    sum_i  tau_Ki * beta_Ki * #K_i                      (Eqs. 1-3)
+    subject to  sum_i  sm_Ki  * beta_Ki * #K_i <= sm_max            (Eq. 4)
+                sum_i  tau_Ki * beta_Ki * #K_i <= tau_max           (Eq. 5)
+                sum_i           beta_Ki * #K_i <= rho_max           (block slots)
+                1 <= sum_i #K_i <= C                                (Eq. 6)
+                1 <= #K_i <= ub_i                                   (Eq. 7)
+
+with ``beta_Ki = floor(#beta_Ki / #SM)`` clamped below at 1 (Eq. 8 — the
+clamp handles grids smaller than the SM count, where the paper's floor
+would degenerate to zero) and the per-kernel bound
+
+    ub_i = min( ceil(T_Ki / T_launch),
+                (tau_max * #SM) / (tau_Ki * #beta_Ki),
+                (sm_max  * #SM) / (sm_Ki  * #beta_Ki) )             (Eq. 7)
+
+The launch-pipeline term ``ceil(T_Ki / T_launch)`` is the reason GLP4NN
+does *not* over-parallelize sub-millisecond layers: a single host thread
+cannot put a second copy of a 4 µs kernel in flight before the first
+finishes.  Registers are deliberately absent — the paper treats them as a
+*soft* constraint (spills go to local memory).
+
+The resulting MILP is solved with :mod:`repro.milp` (the paper uses GLPK);
+``C_out = sum_i #K_i`` (Eq. 9) sizes the stream pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.gpusim.device import DeviceProperties
+from repro.milp import Model, SolveStatus
+from repro.core.resource_tracker import KernelProfile
+
+
+@dataclass(frozen=True)
+class KernelBound:
+    """Per-kernel quantities entering the model (for reporting/tests)."""
+
+    name: str
+    beta: int              # blocks per SM contributed per instance (Eq. 8)
+    tau: int               # threads per block
+    smem: int              # shared memory per block
+    launch_bound: int      # ceil(T_Ki / T_launch)
+    thread_bound: int
+    smem_bound: int
+
+    @property
+    def upper(self) -> int:
+        """``ub_i`` of Eq. 7."""
+        return max(1, min(self.launch_bound, self.thread_bound,
+                          self.smem_bound))
+
+
+@dataclass
+class ConcurrencyDecision:
+    """Output of the analyzer for one layer on one device."""
+
+    layer_key: str
+    device: str
+    counts: dict[str, int]          # kernel name -> #K_i
+    c_out: int                      # Eq. 9: stream-pool size
+    occupancy_ratio: float          # achieved OR_SM of Eq. 1
+    bounds: list[KernelBound] = field(default_factory=list)
+    analysis_time_us: float = 0.0   # measured T_a (wall clock)
+    solver_nodes: int = 0
+    solver_iterations: int = 0
+
+    def count_for(self, kernel_name: str) -> int:
+        return self.counts.get(kernel_name, 1)
+
+
+class AnalyticalModel:
+    """Builds and solves the Eq. 1-9 MILP for one device.
+
+    Parameters
+    ----------
+    device:
+        Target GPU properties (``#SM``, ``tau_max``, ``sm_max``,
+        ``rho_max``, ``C``, ``T_launch``).
+    use_launch_bound:
+        Ablation switch: drop the ``ceil(T_Ki/T_launch)`` term of Eq. 7
+        (the over-parallelization failure mode the bound exists to prevent).
+    """
+
+    def __init__(self, device: DeviceProperties,
+                 use_launch_bound: bool = True,
+                 hard_registers: bool = False) -> None:
+        self.device = device
+        self.use_launch_bound = use_launch_bound
+        #: The paper treats registers as a *soft* constraint (spills go to
+        #: local memory).  Setting ``hard_registers`` adds the register
+        #: file as a fourth Eq. 4/5-style budget — an ablation of that
+        #: modelling choice.
+        self.hard_registers = hard_registers
+
+    # ------------------------------------------------------------------
+    def kernel_bound(self, prof: KernelProfile) -> KernelBound:
+        dev = self.device
+        beta = max(1, prof.num_blocks // dev.sm_count)   # Eq. 8, clamped
+        # A kernel cannot place more blocks per SM than the occupancy limit
+        # allows, however large its grid is (it just runs in waves): cap
+        # beta at the residency fit so saturating kernels are costed at one
+        # SM's worth, not their whole grid.
+        fit = dev.max_blocks_per_sm
+        fit = min(fit, dev.max_threads_per_sm // prof.threads_per_block)
+        if prof.shared_mem_per_block > 0:
+            fit = min(fit, dev.shared_mem_per_sm // prof.shared_mem_per_block)
+        beta = min(beta, max(1, fit))
+        if self.use_launch_bound:
+            launch_bound = max(
+                1, math.ceil(prof.duration_us / dev.launch_latency_us)
+            )
+        else:
+            launch_bound = dev.max_concurrent_kernels
+        thread_bound = max(1, (dev.max_threads_per_sm * dev.sm_count)
+                           // (prof.threads_per_block * prof.num_blocks))
+        if prof.shared_mem_per_block > 0:
+            smem_bound = max(1, (dev.shared_mem_per_sm * dev.sm_count)
+                             // (prof.shared_mem_per_block * prof.num_blocks))
+        else:
+            smem_bound = dev.max_concurrent_kernels
+        return KernelBound(
+            name=prof.name,
+            beta=beta,
+            tau=prof.threads_per_block,
+            smem=prof.shared_mem_per_block,
+            launch_bound=launch_bound,
+            thread_bound=thread_bound,
+            smem_bound=smem_bound,
+        )
+
+    def solve(self, layer_key: str,
+              profiles: Sequence[KernelProfile]) -> ConcurrencyDecision:
+        """Run the MILP; returns the concurrency decision for the layer."""
+        if not profiles:
+            raise SchedulingError(f"no kernel profiles for {layer_key!r}")
+        dev = self.device
+        bounds = [self.kernel_bound(p) for p in profiles]
+
+        model = Model(f"glp4nn[{layer_key}@{dev.name}]")
+        xs = []
+        for i, b in enumerate(bounds):
+            # Eq. 6 bounds only the *sum* below by 1; an individual #K_i
+            # may be 0, meaning that kernel gets no dedicated concurrency
+            # (it still executes — serialized within its chain's stream).
+            xs.append(model.int_var(f"k{i}_{b.name}", lo=0, hi=b.upper))
+
+        # Eq. 4: shared memory per SM
+        model.add_constr(
+            sum(b.smem * b.beta * x for b, x in zip(bounds, xs))
+            <= dev.shared_mem_per_sm,
+            name="smem_per_sm",
+        )
+        # Eq. 5: threads per SM
+        model.add_constr(
+            sum(b.tau * b.beta * x for b, x in zip(bounds, xs))
+            <= dev.max_threads_per_sm,
+            name="threads_per_sm",
+        )
+        # resident block slots per SM (rho_max of Table 2)
+        model.add_constr(
+            sum(b.beta * x for b, x in zip(bounds, xs))
+            <= dev.max_blocks_per_sm,
+            name="blocks_per_sm",
+        )
+        # Eq. 6: 1 <= sum #K_i <= C (device concurrency degree)
+        model.add_constr(sum(xs) <= dev.max_concurrent_kernels, name="degree")
+        model.add_constr(sum(xs) >= 1, name="degree_lo")
+        if self.hard_registers:
+            model.add_constr(
+                sum(p.registers_per_thread * b.tau * b.beta * x
+                    for p, b, x in zip(profiles, bounds, xs))
+                <= dev.registers_per_sm,
+                name="registers_per_sm",
+            )
+
+        # Objective (Eqs. 1-3): maximize active threads per SM.  The tiny
+        # per-instance bonus breaks the frequent ties between "one fat
+        # kernel" and "several lean kernels" solutions toward the latter —
+        # more streams means more cross-kernel pipeline overlap at equal
+        # nominal occupancy.
+        model.maximize(
+            sum(b.tau * b.beta * x for b, x in zip(bounds, xs))
+            + 1e-3 * sum(xs)
+        )
+
+        import time
+        t0 = time.perf_counter()
+        sol = model.solve()
+        t_a = (time.perf_counter() - t0) * 1e6
+
+        if not sol.status.ok:
+            if sol.status is SolveStatus.INFEASIBLE:
+                # Even one instance of every kernel overflows an SM — fall
+                # back to fully serial execution (one stream).
+                counts = {b.name: 1 for b in bounds}
+                return ConcurrencyDecision(
+                    layer_key=layer_key,
+                    device=dev.name,
+                    counts=counts,
+                    c_out=1,
+                    occupancy_ratio=0.0,
+                    bounds=bounds,
+                    analysis_time_us=t_a,
+                )
+            raise SchedulingError(
+                f"analytical model for {layer_key!r}: solver status {sol.status}"
+            )
+
+        counts: dict[str, int] = {}
+        active_threads = 0.0
+        for b, x in zip(bounds, xs):
+            n = int(sol[x])
+            counts[b.name] = counts.get(b.name, 0) + n
+            active_threads += b.tau * b.beta * n
+        c_out = max(1, sum(int(sol[x]) for x in xs))   # Eq. 9
+        occupancy = min(1.0, active_threads / dev.max_threads_per_sm)
+        return ConcurrencyDecision(
+            layer_key=layer_key,
+            device=dev.name,
+            counts=counts,
+            c_out=c_out,
+            occupancy_ratio=occupancy,
+            bounds=bounds,
+            analysis_time_us=t_a,
+            solver_nodes=sol.nodes_explored,
+            solver_iterations=sol.simplex_iterations,
+        )

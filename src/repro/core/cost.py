@@ -1,0 +1,91 @@
+"""GLP4NN overhead accounting (Section 3.3.2, Eqs. 10-12).
+
+Space (Eq. 10-11)::
+
+    mem_total = mem_tt + mem_K + mem_cupti
+
+all in host memory, released after analysis — training's device memory is
+untouched.  Time (Eq. 12)::
+
+    T_total = T_p + T_a + T_s
+
+with ``T_s ~ 0`` for the static round-robin policy.  The paper's Table 6
+reports these one-time costs per network/device and shows
+``T_total / training_time < 0.1%``; :class:`OverheadModel` aggregates the
+same quantities from a live framework instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import GLP4NN
+from repro.gpusim.engine import GPU
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """One network/device row of the paper's Table 6 + Fig. 10."""
+
+    network: str
+    device: str
+    t_p_us: float            # profiling time (resource tracker)
+    t_a_us: float            # analysis time (kernel analyzer / MILP)
+    t_s_us: float            # scheduling time (static policy: ~0)
+    mem_tt: int              # timestamp bytes (Eq. 11)
+    mem_k: int               # kernel-config bytes (Eq. 11)
+    mem_cupti: int           # CUPTI runtime bytes
+    kernels_profiled: int
+
+    @property
+    def t_total_us(self) -> float:
+        """Eq. 12."""
+        return self.t_p_us + self.t_a_us + self.t_s_us
+
+    @property
+    def mem_total(self) -> int:
+        """Eq. 10."""
+        return self.mem_tt + self.mem_k + self.mem_cupti
+
+    def ratio_of(self, training_time_us: float) -> float:
+        """``T_total`` as a fraction of a full training run."""
+        if training_time_us <= 0:
+            raise ValueError("training time must be positive")
+        return self.t_total_us / training_time_us
+
+
+class OverheadModel:
+    """Builds :class:`OverheadReport` s from a live framework instance."""
+
+    def __init__(self, framework: GLP4NN) -> None:
+        self.framework = framework
+
+    def report(self, gpu: GPU, network: str = "") -> OverheadReport:
+        """Aggregate one device's profiling + analysis overheads."""
+        profiles = self.framework.tracker.profiles_for_device(gpu.props.name)
+        t_p = sum(p.profiling_time_us for p in profiles)
+        kernels = sum(
+            p.report.num_kernels if p.report else sum(
+                k.instances for k in p.kernels
+            )
+            for p in profiles
+        )
+        mem_tt = sum(p.report.mem_tt for p in profiles if p.report)
+        mem_k = sum(p.report.mem_k for p in profiles if p.report)
+        # The CUPTI runtime is attached once, not per layer: its footprint
+        # is the maximum over sessions, not the sum.
+        mem_cupti = max(
+            (p.report.mem_cupti for p in profiles if p.report), default=0
+        )
+        maintainer = self.framework.analyzer_for(gpu).maintainer
+        return OverheadReport(
+            network=network,
+            device=gpu.props.name,
+            t_p_us=t_p,
+            t_a_us=maintainer.total_analysis_time_us,
+            t_s_us=0.0,
+            mem_tt=mem_tt,
+            mem_k=mem_k,
+            mem_cupti=mem_cupti,
+            kernels_profiled=kernels,
+        )

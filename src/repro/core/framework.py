@@ -1,0 +1,125 @@
+"""The GLP4NN facade: module wiring per the paper's Fig. 5.
+
+Sharing structure: *"Each GPU device is assigned with a private kernel
+analyzer and runtime scheduler, and all GPUs in the same machine share a
+public resource tracker and stream manager."*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.kernel_analyzer import AnalyzerFn, KernelAnalyzer
+from repro.core.resource_tracker import ResourceTracker
+from repro.core.runtime_scheduler import DispatchPolicy, LayerRun, RuntimeScheduler
+from repro.core.stream_manager import StreamManager
+from repro.errors import DeviceError
+from repro.gpusim.engine import GPU
+from repro.kernels.ir import LayerWork
+
+
+class GLP4NN:
+    """The light-weight parallelization framework.
+
+    Parameters
+    ----------
+    gpus:
+        Devices to manage (the paper supports multiple GPUs per machine).
+    policy:
+        Dispatch policy; :attr:`DispatchPolicy.MODEL` is GLP4NN proper.
+    analyze_fn:
+        Optional custom analytical model (the analyzer is user-customizable
+        by design).
+    use_launch_bound:
+        Ablation switch for the Eq. 7 launch-pipeline term.
+
+    Example
+    -------
+    >>> from repro.gpusim import GPU, get_device
+    >>> from repro.runtime.lowering import lower_conv_forward
+    >>> from repro.nn.zoo.table5 import CIFAR10_CONVS
+    >>> gpu = GPU(get_device("P100"))
+    >>> glp = GLP4NN([gpu])
+    >>> work = lower_conv_forward(CIFAR10_CONVS[2])
+    >>> first = glp.run_layer(gpu, work)   # profiling pass
+    >>> first.profiled
+    True
+    >>> second = glp.run_layer(gpu, work)  # concurrent dispatch
+    >>> second.streams_used >= 1
+    True
+    """
+
+    def __init__(
+        self,
+        gpus: Sequence[GPU],
+        policy: DispatchPolicy = DispatchPolicy.MODEL,
+        analyze_fn: Optional[AnalyzerFn] = None,
+        use_launch_bound: bool = True,
+        fixed_streams: int = 1,
+        work_transform=None,
+    ) -> None:
+        if not gpus:
+            raise DeviceError("GLP4NN needs at least one GPU")
+        # Shared modules (one per machine).
+        self.tracker = ResourceTracker()
+        self.streams = StreamManager()
+        # Private modules (one per device).
+        self._analyzers: dict[int, KernelAnalyzer] = {}
+        self._schedulers: dict[int, RuntimeScheduler] = {}
+        for gpu in gpus:
+            analyzer = KernelAnalyzer(
+                gpu.props, analyze_fn=analyze_fn,
+                use_launch_bound=use_launch_bound,
+            )
+            self._analyzers[id(gpu)] = analyzer
+            self._schedulers[id(gpu)] = RuntimeScheduler(
+                gpu, self.tracker, analyzer, self.streams,
+                policy=policy, fixed_streams=fixed_streams,
+                work_transform=work_transform,
+            )
+        self.gpus = list(gpus)
+
+    # ------------------------------------------------------------------
+    def scheduler_for(self, gpu: GPU) -> RuntimeScheduler:
+        try:
+            return self._schedulers[id(gpu)]
+        except KeyError:
+            raise DeviceError(
+                f"GPU {gpu.props.name} is not managed by this GLP4NN instance"
+            ) from None
+
+    def analyzer_for(self, gpu: GPU) -> KernelAnalyzer:
+        try:
+            return self._analyzers[id(gpu)]
+        except KeyError:
+            raise DeviceError(
+                f"GPU {gpu.props.name} is not managed by this GLP4NN instance"
+            ) from None
+
+    def run_layer(self, gpu: GPU, work: LayerWork) -> LayerRun:
+        """Execute one layer-phase on ``gpu`` under the framework."""
+        return self.scheduler_for(gpu).run_layer(work)
+
+    def warm_up(self, gpu: GPU, works: Iterable[LayerWork]) -> None:
+        """Profile + analyze a whole network ahead of time (one pass)."""
+        for work in works:
+            self.run_layer(gpu, work)
+
+    # ------------------------------------------------------------------
+    def decisions(self, gpu: GPU) -> dict[str, "object"]:
+        """All cached concurrency decisions for ``gpu`` (Fig. 8's data)."""
+        return self.analyzer_for(gpu).maintainer.decisions()
+
+    def save_decisions(self, gpu: GPU, path) -> int:
+        """Persist ``gpu``'s concurrency decisions to a JSON file.
+
+        A later process can :meth:`load_decisions` and skip both the
+        profiling pass and the analysis for every cached layer.
+        """
+        from repro.core.persistence import save_decisions
+        return save_decisions(self, gpu, path)
+
+    def load_decisions(self, gpu: GPU, path) -> int:
+        """Seed ``gpu``'s analyzer from a persisted decision cache."""
+        from repro.core.persistence import load_decisions
+        return load_decisions(self, gpu, path)

@@ -1,0 +1,84 @@
+"""Kernel analyzer module: concurrency analyzer + concurrency maintainer.
+
+Per the paper (Fig. 5/6), each GPU owns a private kernel analyzer.  The
+*concurrency analyzer* turns a layer's kernel profiles into a
+:class:`~repro.core.analytical_model.ConcurrencyDecision` by solving the
+analytical model; the *concurrency maintainer* caches decisions per layer so
+the (host-side) analysis happens exactly once per layer per device — the
+one-time cost ``T_a`` of Table 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.analytical_model import AnalyticalModel, ConcurrencyDecision
+from repro.core.resource_tracker import KernelProfile, LayerProfile
+from repro.gpusim.device import DeviceProperties
+
+AnalyzerFn = Callable[[str, Sequence[KernelProfile]], ConcurrencyDecision]
+
+
+class ConcurrencyAnalyzer:
+    """Wraps the analytical model for one device.
+
+    The model implementation is pluggable (the paper notes the module "can
+    be customized by developers"); pass ``analyze_fn`` to substitute e.g.
+    the greedy ablation analyzer.
+    """
+
+    def __init__(self, device: DeviceProperties,
+                 analyze_fn: Optional[AnalyzerFn] = None,
+                 use_launch_bound: bool = True) -> None:
+        self.device = device
+        self._model = AnalyticalModel(device, use_launch_bound=use_launch_bound)
+        self._analyze_fn = analyze_fn or self._model.solve
+
+    def analyze(self, profile: LayerProfile) -> ConcurrencyDecision:
+        return self._analyze_fn(profile.key, profile.kernels)
+
+
+class ConcurrencyMaintainer:
+    """Per-device cache of concurrency decisions, keyed by layer-phase."""
+
+    def __init__(self, device_name: str) -> None:
+        self.device_name = device_name
+        self._decisions: dict[str, ConcurrencyDecision] = {}
+        self.total_analysis_time_us = 0.0
+
+    def get(self, key: str) -> Optional[ConcurrencyDecision]:
+        return self._decisions.get(key)
+
+    def put(self, decision: ConcurrencyDecision) -> None:
+        self._decisions[decision.layer_key] = decision
+        self.total_analysis_time_us += decision.analysis_time_us
+
+    def invalidate(self, key: str) -> None:
+        self._decisions.pop(key, None)
+
+    def decisions(self) -> dict[str, ConcurrencyDecision]:
+        return dict(self._decisions)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+
+class KernelAnalyzer:
+    """The full kernel-analyzer module of Fig. 5 for one device."""
+
+    def __init__(self, device: DeviceProperties,
+                 analyze_fn: Optional[AnalyzerFn] = None,
+                 use_launch_bound: bool = True) -> None:
+        self.analyzer = ConcurrencyAnalyzer(
+            device, analyze_fn=analyze_fn, use_launch_bound=use_launch_bound
+        )
+        self.maintainer = ConcurrencyMaintainer(device.name)
+
+    def decision_for(self, profile: LayerProfile) -> ConcurrencyDecision:
+        """Cached analysis: solve the model on first sight of a layer."""
+        cached = self.maintainer.get(profile.key)
+        if cached is not None:
+            return cached
+        decision = self.analyzer.analyze(profile)
+        self.maintainer.put(decision)
+        return decision

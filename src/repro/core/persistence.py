@@ -1,0 +1,95 @@
+"""Persistence of concurrency decisions across process runs.
+
+GLP4NN's profiling/analysis cost is one-time *per process*; a production
+training job restarted from a checkpoint would pay it again.  This module
+serializes a device's concurrency decisions (the maintainer cache) to JSON
+so a later run can seed its analyzer and skip both the serial profiling
+pass and the MILP solve.
+
+Decisions are only portable between *identical* configurations, so each
+entry is guarded by the device name and a fingerprint of the kernel bounds
+it was derived from; stale entries are ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.analytical_model import ConcurrencyDecision, KernelBound
+from repro.core.framework import GLP4NN
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+
+FORMAT_VERSION = 1
+
+
+def _bound_to_dict(b: KernelBound) -> dict:
+    return {
+        "name": b.name, "beta": b.beta, "tau": b.tau, "smem": b.smem,
+        "launch_bound": b.launch_bound, "thread_bound": b.thread_bound,
+        "smem_bound": b.smem_bound,
+    }
+
+
+def _bound_from_dict(d: dict) -> KernelBound:
+    return KernelBound(**d)
+
+
+def save_decisions(framework: GLP4NN, gpu: GPU,
+                   path: Union[str, Path]) -> int:
+    """Write ``gpu``'s cached decisions to ``path``; returns entry count."""
+    maintainer = framework.analyzer_for(gpu).maintainer
+    entries = []
+    for key, d in maintainer.decisions().items():
+        entries.append({
+            "layer_key": key,
+            "device": d.device,
+            "counts": d.counts,
+            "c_out": d.c_out,
+            "occupancy_ratio": d.occupancy_ratio,
+            "bounds": [_bound_to_dict(b) for b in d.bounds],
+        })
+    doc = {
+        "format": FORMAT_VERSION,
+        "device": gpu.props.name,
+        "decisions": entries,
+    }
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return len(entries)
+
+
+def load_decisions(framework: GLP4NN, gpu: GPU,
+                   path: Union[str, Path]) -> int:
+    """Seed ``gpu``'s maintainer from ``path``; returns entries loaded.
+
+    Entries recorded for a different device are rejected outright; the
+    kernel-bound fingerprints travel along so a future profile mismatch can
+    be detected by callers comparing against fresh profiles.
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != FORMAT_VERSION:
+        raise SchedulingError(
+            f"decision cache {path}: unsupported format {doc.get('format')}"
+        )
+    if doc.get("device") != gpu.props.name:
+        raise SchedulingError(
+            f"decision cache {path} was recorded on {doc.get('device')!r}, "
+            f"not {gpu.props.name!r}"
+        )
+    maintainer = framework.analyzer_for(gpu).maintainer
+    loaded = 0
+    for entry in doc["decisions"]:
+        decision = ConcurrencyDecision(
+            layer_key=entry["layer_key"],
+            device=entry["device"],
+            counts={k: int(v) for k, v in entry["counts"].items()},
+            c_out=int(entry["c_out"]),
+            occupancy_ratio=float(entry["occupancy_ratio"]),
+            bounds=[_bound_from_dict(b) for b in entry["bounds"]],
+            analysis_time_us=0.0,     # already paid in the recording run
+        )
+        maintainer.put(decision)
+        loaded += 1
+    return loaded

@@ -1,0 +1,180 @@
+"""Resource tracker: compact kernel profiler + kernel parser.
+
+The tracker answers the paper's first challenge — collecting kernel
+execution configurations *on the fly*, attributed to the right network
+layer, with low memory and time overhead.  It runs a layer's kernels once,
+serially, under the simulated CUPTI; the :class:`KernelParser` then merges
+the activity records by kernel signature into :class:`KernelProfile` s,
+which are exactly the *profiling input* column of the paper's Table 2
+(``#beta_Ki``, ``tau_Ki``, ``sm_Ki``, registers, and the measured ``T_Ki``).
+
+One tracker serves every GPU in the machine (Fig. 5); profiles are cached
+per ``(device, layer-phase)``.
+
+.. note::
+   Cache keys are the layer names produced by the lowering.  When one
+   framework instance serves several *networks* whose layers share names
+   (every net has a ``conv1``), either give the layers distinct names or
+   use one framework instance per network, as the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cupti import ActivityRecord, CuptiProfiler, ProfilingReport
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.gpusim.kernel import Dim3, dim3_size
+from repro.kernels.ir import LayerWork
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Aggregated runtime configuration of one kernel ``K_i``.
+
+    ``duration_us`` is the mean measured ``T_Ki`` over all instances seen
+    during profiling (e.g. the per-sample replicas of ``im2col``).
+    """
+
+    name: str
+    grid: Dim3
+    block: Dim3
+    registers_per_thread: int
+    shared_mem_per_block: int
+    duration_us: float
+    instances: int
+
+    @property
+    def num_blocks(self) -> int:
+        """``#beta_Ki`` — thread blocks per launch."""
+        return dim3_size(self.grid)
+
+    @property
+    def threads_per_block(self) -> int:
+        """``tau_Ki``."""
+        return dim3_size(self.block)
+
+    @property
+    def signature(self) -> tuple:
+        return (self.name, self.grid, self.block, self.shared_mem_per_block,
+                self.registers_per_thread)
+
+
+@dataclass
+class LayerProfile:
+    """All kernel profiles of one layer-phase on one device."""
+
+    key: str
+    device: str
+    kernels: list[KernelProfile]
+    profiling_time_us: float
+    report: Optional[ProfilingReport] = None
+
+    @property
+    def total_kernel_time_us(self) -> float:
+        """Serial execution time of one full pass over the profiled work."""
+        return sum(k.duration_us * k.instances for k in self.kernels)
+
+
+class KernelParser:
+    """Merges raw CUPTI activity records into per-kernel profiles."""
+
+    @staticmethod
+    def parse(records: list[ActivityRecord]) -> list[KernelProfile]:
+        groups: dict[tuple, list[ActivityRecord]] = {}
+        order: list[tuple] = []
+        for r in records:
+            key = (r.name, r.grid, r.block, r.shared_memory,
+                   r.registers_per_thread)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(r)
+        profiles = []
+        for key in order:
+            recs = groups[key]
+            mean_us = sum(r.duration_us for r in recs) / len(recs)
+            r0 = recs[0]
+            profiles.append(KernelProfile(
+                name=r0.name,
+                grid=r0.grid,
+                block=r0.block,
+                registers_per_thread=r0.registers_per_thread,
+                shared_mem_per_block=r0.shared_memory,
+                duration_us=mean_us,
+                instances=len(recs),
+            ))
+        return profiles
+
+
+class ResourceTracker:
+    """Shared profiling front-end: run-once-serially, parse, cache.
+
+    The profiling run itself executes the layer's real kernels (the results
+    are used — profiling does not waste an iteration), only serially on the
+    default stream and with CUPTI's per-kernel host overhead charged, which
+    is what makes ``T_p`` proportional to the kernel count.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: dict[tuple[str, str], LayerProfile] = {}
+        self.total_profiling_time_us = 0.0
+        self.peak_mem_total = 0
+        self.layers_profiled = 0
+
+    # ------------------------------------------------------------------
+    def get(self, gpu: GPU, key: str) -> Optional[LayerProfile]:
+        return self._profiles.get((gpu.props.name, key))
+
+    def has(self, gpu: GPU, key: str) -> bool:
+        return (gpu.props.name, key) in self._profiles
+
+    def profile_layer(self, gpu: GPU, work: LayerWork) -> LayerProfile:
+        """Execute ``work`` serially under CUPTI and cache the profile."""
+        cache_key = (gpu.props.name, work.key)
+        if cache_key in self._profiles:
+            return self._profiles[cache_key]
+        profiler = CuptiProfiler(gpu)
+        profiler.start()
+        try:
+            for chain in work.parallel_chains:
+                for spec in chain:
+                    gpu.launch(spec)          # default stream, in order
+            for spec in work.serial_kernels:
+                gpu.launch(spec)
+            gpu.synchronize()
+        finally:
+            report = profiler.stop()
+        kernels = KernelParser.parse(report.records)
+        if not kernels:
+            raise SchedulingError(
+                f"profiling {work.key!r} produced no kernel records"
+            )
+        profile = LayerProfile(
+            key=work.key,
+            device=gpu.props.name,
+            kernels=kernels,
+            profiling_time_us=report.profiling_time_us,
+            report=report,
+        )
+        self._profiles[cache_key] = profile
+        self.total_profiling_time_us += report.profiling_time_us
+        self.peak_mem_total = max(self.peak_mem_total, report.mem_total)
+        self.layers_profiled += 1
+        return profile
+
+    # ------------------------------------------------------------------
+    def profiles_for_device(self, device: str) -> list[LayerProfile]:
+        return [p for (d, _), p in self._profiles.items() if d == device]
+
+    def invalidate(self, gpu: GPU, key: str) -> None:
+        """Drop a cached profile (e.g. after a batch-size change)."""
+        self._profiles.pop((gpu.props.name, key), None)
+
+    def clear(self) -> None:
+        self._profiles.clear()
+        self.total_profiling_time_us = 0.0
+        self.peak_mem_total = 0
+        self.layers_profiled = 0

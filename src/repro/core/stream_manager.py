@@ -1,0 +1,84 @@
+"""Stream manager: the concurrent stream pool + default stream.
+
+The paper's third design point: launch kernels concurrently *without*
+consuming host threads or processes (its critique of the Hyper-Q/MPS and
+OpenMP-based alternatives).  A pool of persistent CUDA streams per device is
+created once, grown on demand, and handed out round-robin; the legacy
+default stream provides layer-boundary synchronization for free because of
+its barrier semantics.
+
+One stream manager is shared by all GPUs in the machine (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import Stream
+
+
+class StreamPool:
+    """A lazily-grown pool of persistent streams on one device."""
+
+    def __init__(self, gpu: GPU) -> None:
+        self.gpu = gpu
+        self._streams: list[Stream] = []
+        self.high_water = 0
+
+    def ensure(self, size: int) -> list[Stream]:
+        """Return the first ``size`` pool streams, creating as needed.
+
+        Streams are never destroyed — creation is a one-time cost, and the
+        paper's pool design exists precisely to amortize it.
+        """
+        if size < 1:
+            raise SchedulingError(f"stream pool size must be >= 1, got {size}")
+        cap = self.gpu.props.max_concurrent_kernels
+        if size > cap:
+            raise SchedulingError(
+                f"pool of {size} exceeds device concurrency degree {cap}"
+            )
+        while len(self._streams) < size:
+            self._streams.append(
+                self.gpu.create_stream(name=f"pool{len(self._streams)}")
+            )
+        self.high_water = max(self.high_water, size)
+        return self._streams[:size]
+
+    @property
+    def size(self) -> int:
+        return len(self._streams)
+
+    @property
+    def default(self) -> Stream:
+        """The synchronization stream (CUDA legacy default stream)."""
+        return self.gpu.default_stream
+
+    def round_robin(self, size: int) -> Iterator[Stream]:
+        """Endless round-robin iterator over a pool of ``size`` streams."""
+        streams = self.ensure(size)
+        i = 0
+        while True:
+            yield streams[i % size]
+            i += 1
+
+
+class StreamManager:
+    """Machine-wide registry of per-device stream pools."""
+
+    def __init__(self) -> None:
+        self._pools: dict[str, StreamPool] = {}
+
+    def pool(self, gpu: GPU) -> StreamPool:
+        key = gpu.props.name
+        existing = self._pools.get(key)
+        if existing is None or existing.gpu is not gpu:
+            # A fresh GPU object (e.g. after reset) invalidates old handles.
+            existing = StreamPool(gpu)
+            self._pools[key] = existing
+        return existing
+
+    def __len__(self) -> int:
+        return len(self._pools)

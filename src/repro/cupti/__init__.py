@@ -1,0 +1,40 @@
+"""A CUPTI-like profiling interface over the GPU simulator.
+
+The paper's resource tracker embeds a *compact profiler* built on the NVIDIA
+CUDA Profiling Tools Interface rather than using offline tools (Visual
+Profiler, Vampir), for three reasons it lists explicitly: online operation,
+low memory/time overhead, and the ability to attribute kernels to network
+layers.  This package reproduces the CUPTI surface that profiler needs:
+
+* :mod:`repro.cupti.activity` — kernel activity records (name, stream,
+  grid/block geometry, registers, shared memory, nanosecond timestamps) with
+  the byte-accurate record sizes used for the paper's space analysis;
+* :mod:`repro.cupti.subscriber` — subscription handles that hook the
+  simulated driver's launch/completion callbacks and charge the documented
+  per-kernel host overhead (this is what makes profiling cost ``T_p``);
+* :mod:`repro.cupti.profiler` — buffer management: a CUPTI-style activity
+  buffer pool plus flush, reporting ``mem_cupti`` / per-record memory and
+  the accumulated profiling time.
+"""
+
+from repro.cupti.activity import (
+    ActivityKind,
+    ActivityRecord,
+    KERNEL_RECORD_BYTES,
+    TIMESTAMP_BYTES,
+    CONFIG_RECORD_BYTES,
+)
+from repro.cupti.subscriber import CuptiSubscriber
+from repro.cupti.profiler import CuptiProfiler, ProfilingReport, ACTIVITY_BUFFER_BYTES
+
+__all__ = [
+    "ActivityKind",
+    "ActivityRecord",
+    "KERNEL_RECORD_BYTES",
+    "TIMESTAMP_BYTES",
+    "CONFIG_RECORD_BYTES",
+    "CuptiSubscriber",
+    "CuptiProfiler",
+    "ProfilingReport",
+    "ACTIVITY_BUFFER_BYTES",
+]

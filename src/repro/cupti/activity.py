@@ -1,0 +1,74 @@
+"""CUPTI activity records.
+
+Field layout and sizes follow ``CUpti_ActivityKernel4`` closely enough that
+the space analysis (Eq. 10-11 of the paper) is byte-meaningful:
+
+* a full kernel activity record is :data:`KERNEL_RECORD_BYTES`;
+* of that, the two device timestamps account for :data:`TIMESTAMP_BYTES`
+  (``mem_tt`` counts these);
+* the launch-configuration portion the kernel parser keeps — grid, block,
+  registers, static/dynamic shared memory, stream and correlation ids —
+  accounts for :data:`CONFIG_RECORD_BYTES` (``mem_K`` counts these).
+
+Timestamps are integer nanoseconds, as in CUPTI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import Dim3
+
+#: sizeof(CUpti_ActivityKernel4) — one full kernel record.
+KERNEL_RECORD_BYTES = 144
+#: Two uint64 device timestamps (start, end).
+TIMESTAMP_BYTES = 16
+#: Grid (3x int32) + block (3x int32) + registers (int32) + static smem
+#: (int32) + dynamic smem (int32) + stream id (int32) + correlation id
+#: (int32) + device id (int32) = 48 bytes.
+CONFIG_RECORD_BYTES = 48
+
+
+class ActivityKind(enum.Enum):
+    """Subset of ``CUpti_ActivityKind`` the tracker subscribes to."""
+
+    KERNEL = "kernel"
+    RUNTIME = "runtime"
+    OVERHEAD = "overhead"
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One kernel execution as reported by the (simulated) CUPTI."""
+
+    kind: ActivityKind
+    name: str
+    tag: str
+    device: str
+    stream_id: int
+    correlation_id: int
+    grid: Dim3
+    block: Dim3
+    registers_per_thread: int
+    static_shared_memory: int
+    dynamic_shared_memory: int
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / 1e3
+
+    @property
+    def shared_memory(self) -> int:
+        return self.static_shared_memory + self.dynamic_shared_memory
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of this record in a CUPTI activity buffer."""
+        return KERNEL_RECORD_BYTES

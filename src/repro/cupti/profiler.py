@@ -1,0 +1,166 @@
+"""CUPTI activity-buffer management and profiling reports.
+
+Mirrors the ``cuptiActivityEnable`` / buffer-requested / buffer-completed
+flow: the profiler owns a pool of fixed-size activity buffers; each
+completed kernel appends one :class:`~repro.cupti.activity.ActivityRecord`;
+``flush`` drains the buffers and charges the flush latency to the host.
+
+The memory accounting feeds the paper's space analysis (Fig. 10):
+
+* ``mem_cupti`` — the activity buffers themselves plus CUPTI's fixed
+  runtime state (megabytes; by far the largest part, as the paper finds);
+* ``mem_tt``   — timestamp bytes per recorded kernel;
+* ``mem_K``    — launch-configuration bytes per recorded kernel.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ProfilerError
+from repro.cupti.activity import (
+    ActivityKind,
+    ActivityRecord,
+    CONFIG_RECORD_BYTES,
+    KERNEL_RECORD_BYTES,
+    TIMESTAMP_BYTES,
+)
+from repro.cupti.subscriber import CuptiSubscriber, PER_KERNEL_OVERHEAD_US
+from repro.gpusim.engine import GPU, KernelExecution
+
+#: Size of one CUPTI activity buffer (CUPTI default is 3.2 MB; we use 3 MiB).
+ACTIVITY_BUFFER_BYTES = 3 * 1024 * 1024
+#: Fixed CUPTI runtime state allocated at subscription time.
+CUPTI_RUNTIME_BYTES = 512 * 1024
+#: Host latency of one buffer flush, microseconds.
+FLUSH_LATENCY_US = 120.0
+
+_correlation = itertools.count(1)
+
+
+@dataclass
+class ProfilingReport:
+    """Everything one profiling session produced.
+
+    ``mem_tt`` / ``mem_k`` / ``mem_cupti`` are Eq. 10-11's terms;
+    ``profiling_time_us`` is ``T_p`` of Eq. 12.
+    """
+
+    device: str
+    records: list[ActivityRecord] = field(default_factory=list)
+    profiling_time_us: float = 0.0
+    buffers_used: int = 0
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.records)
+
+    @property
+    def mem_tt(self) -> int:
+        """Bytes of kernel timestamps held (Eq. 11, first line)."""
+        return self.num_kernels * TIMESTAMP_BYTES
+
+    @property
+    def mem_k(self) -> int:
+        """Bytes of kernel execution configurations held (Eq. 11)."""
+        return self.num_kernels * CONFIG_RECORD_BYTES
+
+    @property
+    def mem_cupti(self) -> int:
+        """Bytes owned by the CUPTI runtime (buffers + fixed state)."""
+        return self.buffers_used * ACTIVITY_BUFFER_BYTES + CUPTI_RUNTIME_BYTES
+
+    @property
+    def mem_total(self) -> int:
+        """Eq. 10: total host memory attributable to profiling."""
+        return self.mem_tt + self.mem_k + self.mem_cupti
+
+
+class CuptiProfiler:
+    """Collects kernel activity on one device between ``start`` and ``stop``.
+
+    Usage::
+
+        prof = CuptiProfiler(gpu)
+        prof.start()
+        ...   # launch + synchronize work
+        report = prof.stop()
+
+    All collected memory is host memory and is released at ``stop`` — the
+    paper's argument for why profiling does not disturb device-side
+    training.
+    """
+
+    def __init__(self, gpu: GPU) -> None:
+        self.gpu = gpu
+        self._subscriber: CuptiSubscriber | None = None
+        self._records: list[ActivityRecord] = []
+        self._bytes_in_buffer = 0
+        self._buffers = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._subscriber is not None:
+            raise ProfilerError("profiler already started")
+        self._records = []
+        self._bytes_in_buffer = 0
+        self._buffers = 1  # first buffer handed to CUPTI up front
+        self._subscriber = CuptiSubscriber(self.gpu, self._on_kernel)
+
+    def _on_kernel(self, ke: KernelExecution) -> None:
+        spec = ke.spec
+        assert ke.start_time is not None and ke.end_time is not None
+        rec = ActivityRecord(
+            kind=ActivityKind.KERNEL,
+            name=spec.name,
+            tag=spec.tag,
+            device=self.gpu.props.name,
+            stream_id=ke.stream_id,
+            correlation_id=next(_correlation),
+            grid=spec.launch.grid,
+            block=spec.launch.block,
+            registers_per_thread=spec.launch.registers_per_thread,
+            static_shared_memory=spec.launch.shared_mem_static,
+            dynamic_shared_memory=spec.launch.shared_mem_dynamic,
+            start_ns=int(round(ke.start_time * 1e3)),
+            end_ns=int(round(ke.end_time * 1e3)),
+        )
+        self._records.append(rec)
+        self._bytes_in_buffer += KERNEL_RECORD_BYTES
+        if self._bytes_in_buffer > ACTIVITY_BUFFER_BYTES:
+            self._buffers += 1
+            self._bytes_in_buffer = KERNEL_RECORD_BYTES
+
+    def stop(self) -> ProfilingReport:
+        """Flush, detach, and return the report (releases all buffers)."""
+        if self._subscriber is None:
+            raise ProfilerError("profiler not started")
+        # Final buffer flush costs host time, as cuptiActivityFlushAll does.
+        self.gpu.host_time += FLUSH_LATENCY_US
+        t_p = self._subscriber.overhead_us + FLUSH_LATENCY_US
+        sub = self._subscriber
+        self._subscriber = None
+        sub.unsubscribe()
+        report = ProfilingReport(
+            device=self.gpu.props.name,
+            records=list(self._records),
+            profiling_time_us=t_p,
+            buffers_used=self._buffers,
+        )
+        self._records = []
+        self._buffers = 0
+        return report
+
+    @property
+    def is_running(self) -> bool:
+        return self._subscriber is not None
+
+    def __enter__(self) -> "CuptiProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.is_running:
+            self.stop()

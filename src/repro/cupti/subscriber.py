@@ -1,0 +1,99 @@
+"""CUPTI-style subscription to driver launch/completion callbacks.
+
+``cuptiSubscribe`` allows exactly one subscriber per process; we keep the
+same restriction per simulated GPU, which catches the classic bug of two
+profilers fighting over the device.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import ProfilerError
+from repro.gpusim.engine import GPU, KernelExecution
+
+#: Host-side cost charged per instrumented kernel launch, microseconds.
+#: CUPTI's kernel-activity collection adds a few microseconds of driver
+#: work per launch; this constant is what makes profiling cost ``T_p``
+#: proportional to the number of kernels collected (paper Section 4.2.2).
+PER_KERNEL_OVERHEAD_US = 2.5
+
+_subscriber_ids = itertools.count(1)
+
+
+class CuptiSubscriber:
+    """Hooks one GPU's driver callbacks and forwards kernel completions.
+
+    Parameters
+    ----------
+    gpu:
+        The simulated device to instrument.
+    on_complete:
+        Called with the :class:`~repro.gpusim.engine.KernelExecution` when a
+        kernel's last block retires.
+    charge_overhead:
+        When true (the default, matching real CUPTI), each instrumented
+        launch advances the host clock by :data:`PER_KERNEL_OVERHEAD_US`.
+    """
+
+    def __init__(
+        self,
+        gpu: GPU,
+        on_complete: Callable[[KernelExecution], None],
+        charge_overhead: bool = True,
+    ) -> None:
+        if any(isinstance(h, _HookToken) for h in gpu.launch_hooks):
+            raise ProfilerError(
+                f"device {gpu.props.name} already has a CUPTI subscriber"
+            )
+        self.subscriber_id = next(_subscriber_ids)
+        self.gpu = gpu
+        self._on_complete = on_complete
+        self._charge = charge_overhead
+        self.kernels_instrumented = 0
+        self.overhead_us = 0.0
+        self._launch_token = _HookToken(self._launch_cb)
+        self._complete_token = _HookToken(self._complete_cb)
+        gpu.launch_hooks.append(self._launch_token)
+        gpu.completion_hooks.append(self._complete_token)
+        self._active = True
+
+    def _launch_cb(self, gpu: GPU, ke: KernelExecution) -> None:
+        self.kernels_instrumented += 1
+        if self._charge:
+            gpu.host_time += PER_KERNEL_OVERHEAD_US
+            self.overhead_us += PER_KERNEL_OVERHEAD_US
+
+    def _complete_cb(self, gpu: GPU, ke: KernelExecution) -> None:
+        self._on_complete(ke)
+
+    def unsubscribe(self) -> None:
+        """Detach from the device (idempotent)."""
+        if not self._active:
+            return
+        self.gpu.launch_hooks.remove(self._launch_token)
+        self.gpu.completion_hooks.remove(self._complete_token)
+        self._active = False
+
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    def __enter__(self) -> "CuptiSubscriber":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unsubscribe()
+
+
+class _HookToken:
+    """Callable wrapper marking a hook as CUPTI-owned."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, gpu: GPU, ke: KernelExecution) -> None:
+        self.fn(gpu, ke)

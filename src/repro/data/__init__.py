@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's datasets (Table 4).
+
+Real MNIST / CIFAR-10 / ImageNet are unavailable offline, so
+:mod:`repro.data.synthetic` generates class-conditional Gaussian image
+datasets with exactly the paper's tensor shapes.  Timing experiments only
+consume shapes; the convergence experiment (Fig. 11) needs a *learnable*
+task, which class-structured synthetic data provides.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    DatasetSpec,
+    DATASET_SPECS,
+    make_dataset,
+    make_pair_dataset,
+)
+from repro.data.loader import BatchLoader, PairBatchLoader
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "make_dataset",
+    "make_pair_dataset",
+    "BatchLoader",
+    "PairBatchLoader",
+]

@@ -1,0 +1,82 @@
+"""Batch iteration with epoch shuffling.
+
+The shuffle order is the *only* source of divergence between a Caffe run
+and a GLP4NN-Caffe run in the paper's Fig. 11 ("the difference ... is
+caused by the shuffle process while fetching training batch samples"); the
+loader therefore takes an explicit seed so experiments can either align the
+two runs exactly or reproduce the paper's slight divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.data.synthetic import Dataset
+
+
+class BatchLoader:
+    """Cyclic shuffled batches of ``(data, label)`` dictionaries."""
+
+    def __init__(self, dataset: Dataset, batch: int, seed: int = 0,
+                 shuffle: bool = True) -> None:
+        if batch < 1 or batch > len(dataset):
+            raise ReproError(
+                f"batch size {batch} invalid for dataset of {len(dataset)}"
+            )
+        self.dataset = dataset
+        self.batch = batch
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._order = np.arange(len(dataset))
+        self._cursor = len(dataset)  # force reshuffle on first batch
+        self.epoch = -1
+
+    def next_batch(self) -> dict[str, np.ndarray]:
+        if self._cursor + self.batch > len(self.dataset):
+            if self.shuffle:
+                self._rng.shuffle(self._order)
+            self._cursor = 0
+            self.epoch += 1
+        sel = self._order[self._cursor:self._cursor + self.batch]
+        self._cursor += self.batch
+        return {
+            "data": self.dataset.images[sel],
+            "label": self.dataset.labels[sel].astype(np.float32),
+        }
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        while True:
+            yield self.next_batch()
+
+
+class PairBatchLoader:
+    """Shuffled batches of precomputed Siamese pairs."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, sim: np.ndarray,
+                 batch: int, seed: int = 0, shuffle: bool = True) -> None:
+        if not (len(a) == len(b) == len(sim)):
+            raise ReproError("pair arrays must have equal length")
+        if batch < 1 or batch > len(a):
+            raise ReproError(f"batch size {batch} invalid for {len(a)} pairs")
+        self.a, self.b, self.sim = a, b, sim
+        self.batch = batch
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._order = np.arange(len(a))
+        self._cursor = len(a)
+
+    def next_batch(self) -> dict[str, np.ndarray]:
+        if self._cursor + self.batch > len(self.a):
+            if self.shuffle:
+                self._rng.shuffle(self._order)
+            self._cursor = 0
+        sel = self._order[self._cursor:self._cursor + self.batch]
+        self._cursor += self.batch
+        return {
+            "data": self.a[sel],
+            "data_p": self.b[sel],
+            "sim": self.sim[sel],
+        }

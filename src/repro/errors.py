@@ -1,0 +1,48 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the GPU simulator."""
+
+
+class LaunchError(SimulationError):
+    """A kernel launch was rejected (invalid or over-limit configuration).
+
+    The simulated analogue of ``cudaErrorInvalidConfiguration``.
+    """
+
+
+class DeviceError(SimulationError):
+    """Unknown device, or an operation targeted the wrong device."""
+
+
+class OutOfMemoryError(SimulationError):
+    """Simulated device memory exhausted (``cudaErrorMemoryAllocation``)."""
+
+
+class ProfilerError(ReproError):
+    """Misuse of the simulated CUPTI interface."""
+
+
+class SolverError(ReproError):
+    """The MILP solver could not produce a solution."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem has no feasible point."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class NetworkError(ReproError):
+    """Ill-formed neural-network definition or shape mismatch."""
+
+
+class SchedulingError(ReproError):
+    """The GLP4NN runtime scheduler was driven through an invalid state."""

@@ -1,0 +1,79 @@
+"""Discrete-event simulator of an NVIDIA-style GPU.
+
+The simulator models the pieces of a modern GPU that GLP4NN's behaviour
+depends on:
+
+* **Architecture generations** and their feature sets (paper Table 1) in
+  :mod:`repro.gpusim.arch`.
+* **Devices** (paper Table 3: K40C, P100, Titan XP, and a few extras) with
+  per-SM resource limits in :mod:`repro.gpusim.device`.
+* **Kernels and launch configurations** (grid/block dimensions, registers,
+  static + dynamic shared memory) in :mod:`repro.gpusim.kernel`.
+* A CUDA-style **occupancy calculator** in :mod:`repro.gpusim.occupancy`.
+* **Streams and events** with in-order-per-stream / concurrent-across-stream
+  semantics and legacy default-stream synchronization in
+  :mod:`repro.gpusim.stream`.
+* The **discrete-event engine** — host-side serialized launch latency,
+  hardware work queues bounded by the architecture's concurrent-kernel
+  degree, a block dispatcher, and per-SM processor-sharing execution — in
+  :mod:`repro.gpusim.engine` and :mod:`repro.gpusim.sm`.
+* A device **memory allocator** in :mod:`repro.gpusim.memory` and
+  **timeline tracing** (Chrome-trace export, ASCII lanes) in
+  :mod:`repro.gpusim.timeline`.
+
+Quickstart
+----------
+>>> from repro.gpusim import get_device, GPU
+>>> gpu = GPU(get_device("P100"))
+>>> s = gpu.create_stream()
+>>> from repro.gpusim import KernelSpec, LaunchConfig
+>>> k = KernelSpec(name="axpy", launch=LaunchConfig(grid=(56, 1, 1),
+...                block=(256, 1, 1)), flops_per_thread=2.0,
+...                bytes_per_thread=12.0)
+>>> gpu.launch(k, stream=s)  # doctest: +ELLIPSIS
+<repro.gpusim.engine.KernelExecution ...>
+>>> gpu.synchronize()
+>>> gpu.now > 0
+True
+"""
+
+from repro.gpusim.arch import Architecture, ArchFeatures, ARCH_FEATURES
+from repro.gpusim.kernel import Dim3, LaunchConfig, KernelSpec, dim3_size
+from repro.gpusim.device import DeviceProperties, get_device, list_devices, DEVICE_CATALOG
+from repro.gpusim.occupancy import OccupancyResult, occupancy, max_active_blocks_per_sm
+from repro.gpusim.stream import Stream, Event, DEFAULT_STREAM_ID
+from repro.gpusim.engine import GPU, KernelExecution
+from repro.gpusim.memory import DeviceAllocator, Allocation
+from repro.gpusim.timeline import Timeline, TraceRecord, ascii_timeline, to_chrome_trace
+from repro.gpusim.traceanalysis import TraceStats, analyze as analyze_trace, per_stream_busy
+
+__all__ = [
+    "Architecture",
+    "ArchFeatures",
+    "ARCH_FEATURES",
+    "Dim3",
+    "LaunchConfig",
+    "KernelSpec",
+    "dim3_size",
+    "DeviceProperties",
+    "get_device",
+    "list_devices",
+    "DEVICE_CATALOG",
+    "OccupancyResult",
+    "occupancy",
+    "max_active_blocks_per_sm",
+    "Stream",
+    "Event",
+    "DEFAULT_STREAM_ID",
+    "GPU",
+    "KernelExecution",
+    "DeviceAllocator",
+    "Allocation",
+    "Timeline",
+    "TraceRecord",
+    "ascii_timeline",
+    "to_chrome_trace",
+    "TraceStats",
+    "analyze_trace",
+    "per_stream_busy",
+]

@@ -1,0 +1,100 @@
+"""GPU architecture generations and their feature sets.
+
+This module encodes the paper's Table 1 ("Overview of GPU architecture
+features"): which generations support CUDA streams and dynamic parallelism,
+how many kernels each can execute concurrently, and whether unified virtual
+memory (UVM) and tensor cores are present.
+
+The *maximum concurrent kernels* column is the hardware work-queue depth that
+bounds Eq. 6 of the analytical model (``sum #K_i <= C``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Architecture(enum.Enum):
+    """NVIDIA GPU microarchitecture generations covered by the paper."""
+
+    TESLA = "tesla"
+    FERMI = "fermi"
+    KEPLER = "kepler"
+    MAXWELL = "maxwell"
+    PASCAL = "pascal"
+    VOLTA = "volta"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArchFeatures:
+    """Feature set of one architecture generation (paper Table 1).
+
+    Attributes
+    ----------
+    streams:
+        Whether multiple CUDA streams may make independent forward progress.
+        Pre-Fermi hardware executes one kernel at a time regardless of the
+        number of streams created.
+    dynamic_parallelism:
+        Device-side kernel launch support (Kepler and later).
+    max_concurrent_kernels:
+        The concurrency degree ``C`` of Eq. 6 — the number of kernels the
+        hardware can have resident at once (Hyper-Q queue depth).
+    uvm:
+        Unified virtual memory (Pascal and later).
+    tensor_cores:
+        Mixed-precision matrix units (Volta and later).
+    """
+
+    streams: bool
+    dynamic_parallelism: bool
+    max_concurrent_kernels: int
+    uvm: bool
+    tensor_cores: bool
+
+
+#: Paper Table 1, verbatim.
+ARCH_FEATURES: dict[Architecture, ArchFeatures] = {
+    Architecture.TESLA: ArchFeatures(
+        streams=False, dynamic_parallelism=False, max_concurrent_kernels=1,
+        uvm=False, tensor_cores=False,
+    ),
+    Architecture.FERMI: ArchFeatures(
+        streams=True, dynamic_parallelism=False, max_concurrent_kernels=16,
+        uvm=False, tensor_cores=False,
+    ),
+    Architecture.KEPLER: ArchFeatures(
+        streams=True, dynamic_parallelism=True, max_concurrent_kernels=32,
+        uvm=False, tensor_cores=False,
+    ),
+    Architecture.MAXWELL: ArchFeatures(
+        streams=True, dynamic_parallelism=True, max_concurrent_kernels=16,
+        uvm=False, tensor_cores=False,
+    ),
+    Architecture.PASCAL: ArchFeatures(
+        streams=True, dynamic_parallelism=True, max_concurrent_kernels=128,
+        uvm=True, tensor_cores=False,
+    ),
+    Architecture.VOLTA: ArchFeatures(
+        streams=True, dynamic_parallelism=True, max_concurrent_kernels=128,
+        uvm=True, tensor_cores=True,
+    ),
+}
+
+
+def features_of(arch: Architecture) -> ArchFeatures:
+    """Return the feature set of ``arch``.
+
+    >>> features_of(Architecture.KEPLER).max_concurrent_kernels
+    32
+    """
+    return ARCH_FEATURES[arch]
+
+
+def concurrency_degree(arch: Architecture) -> int:
+    """The maximum number of concurrently resident kernels, ``C`` in Eq. 6."""
+    return ARCH_FEATURES[arch].max_concurrent_kernels

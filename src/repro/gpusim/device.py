@@ -1,0 +1,298 @@
+"""Device properties and the device catalog (paper Table 3).
+
+A :class:`DeviceProperties` instance is the *device property* column of the
+paper's Table 2: SM count, per-SM shared memory ``sm_max``, resident-thread
+limit ``tau_max``, resident-block limit ``rho_max`` and the architecture's
+concurrency degree ``C``.  It additionally carries the throughput numbers
+(clock, core count, memory bandwidth) the roofline cost model needs, and two
+host-side latencies (kernel launch overhead and stream-switch overhead) that
+drive the launch-pipeline term of Eq. 7.
+
+The catalog contains the paper's three evaluation GPUs — Tesla K40C, Tesla
+P100 and Titan XP — plus a few extra devices used in tests to exercise other
+architecture generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+from repro.gpusim.arch import Architecture, ARCH_FEATURES
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static description of one GPU device.
+
+    Resource limits
+    ---------------
+    sm_count:
+        ``#SM`` of Table 2.
+    max_threads_per_sm:
+        ``tau_max`` — resident threads per SM (2048 on Kepler..Pascal).
+    max_blocks_per_sm:
+        ``rho_max`` — resident thread blocks per SM.
+    shared_mem_per_sm:
+        ``sm_max`` in bytes (paper Table 3's "L1 Cache / Shared Memory per
+        SM" row).
+    registers_per_sm:
+        Register file size per SM, in 32-bit registers.
+
+    Throughput
+    ----------
+    cores_per_sm, clock_ghz, mem_bandwidth_gbps:
+        Used to derive the per-SM compute rate (FMA counted as 2 flops) and
+        the per-SM share of DRAM bandwidth.
+    saturation_warps:
+        Number of resident warps needed to saturate one SM's issue pipeline;
+        fewer warps leave the SM latency-bound, which is exactly the slack
+        concurrent kernels exploit.
+
+    Host-side latencies (microseconds)
+    ----------------------------------
+    launch_latency_us:
+        ``T_launch`` of Eq. 7 — serialized host-side cost of one kernel
+        launch.
+    stream_switch_us:
+        Extra driver cost when consecutive launches target different
+        streams (work-queue switch).  This is why multi-stream execution of
+        kernels too short to overlap is *slower* than the default stream —
+        the effect behind the paper's CIFAR10-conv1 / Siamese-conv1
+        degradations (Fig. 9).
+    sync_base_us / sync_per_stream_us:
+        Host cost of a device synchronization and its per-active-stream
+        component.
+    block_overhead_us:
+        Fixed per-thread-block scheduling cost added to the roofline time.
+    """
+
+    name: str
+    arch: Architecture
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    memory_bytes: int
+    mem_bandwidth_gbps: float
+    memory_type: str
+    shared_mem_per_sm: int
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    registers_per_sm: int = 65536
+    max_threads_per_block: int = 1024
+    max_shared_mem_per_block: int = 48 * KIB
+    saturation_warps: int = 16
+    launch_latency_us: float = 5.0
+    stream_switch_us: float = 0.4
+    sync_base_us: float = 1.5
+    sync_per_stream_us: float = 0.5
+    block_overhead_us: float = 0.2
+    #: Host<->device transfer path (PCIe 3.0 x16 effective) and the DMA
+    #: setup latency per copy.  All three evaluation GPUs are PCIe cards.
+    pcie_bandwidth_gbps: float = 12.0
+    copy_latency_us: float = 3.0
+    cpu: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1:
+            raise DeviceError(f"{self.name}: sm_count must be >= 1")
+        if self.max_threads_per_sm % 32:
+            raise DeviceError(f"{self.name}: tau_max must be warp-aligned")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_concurrent_kernels(self) -> int:
+        """``C`` of Eq. 6 — from the architecture feature table."""
+        return ARCH_FEATURES[self.arch].max_concurrent_kernels
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """``omega_SM`` of Eq. 1: maximum active warps per SM."""
+        return self.max_threads_per_sm // 32
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def sm_flops_per_us(self) -> float:
+        """Peak FP32 rate of one SM in flops per microsecond (FMA = 2)."""
+        return self.cores_per_sm * self.clock_ghz * 2.0 * 1e3
+
+    @property
+    def sm_bytes_per_us(self) -> float:
+        """One SM's fair share of DRAM bandwidth, bytes per microsecond."""
+        return self.mem_bandwidth_gbps * 1e3 / self.sm_count
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.total_cores * self.clock_ghz * 2.0
+
+    def describe(self) -> str:
+        """One-line human summary used by examples and bench reports."""
+        return (
+            f"{self.name} ({self.arch.value}): {self.sm_count}x"
+            f"{self.cores_per_sm} cores @ {self.clock_ghz:.3f} GHz, "
+            f"{self.memory_bytes // GIB} GB {self.memory_type} @ "
+            f"{self.mem_bandwidth_gbps:g} GB/s, C={self.max_concurrent_kernels}"
+        )
+
+
+#: Paper Table 3 plus auxiliary devices.  Shared-memory sizes follow the
+#: table's "L1 Cache / Shared Memory per SM" row; Kepler exposes 16 resident
+#: blocks per SM, Pascal 32.
+DEVICE_CATALOG: dict[str, DeviceProperties] = {
+    "K40C": DeviceProperties(
+        name="K40C",
+        arch=Architecture.KEPLER,
+        sm_count=15,
+        cores_per_sm=192,
+        clock_ghz=0.745,
+        memory_bytes=12 * GIB,
+        mem_bandwidth_gbps=288.0,
+        memory_type="GDDR5",
+        shared_mem_per_sm=48 * KIB,
+        max_blocks_per_sm=16,
+        saturation_warps=24,
+        launch_latency_us=8.0,
+        stream_switch_us=0.6,
+        cpu="Xeon E5-2620",
+    ),
+    "P100": DeviceProperties(
+        name="P100",
+        arch=Architecture.PASCAL,
+        sm_count=56,
+        cores_per_sm=64,
+        clock_ghz=1.189,
+        memory_bytes=12 * GIB,
+        mem_bandwidth_gbps=549.0,
+        memory_type="HBM2.0",
+        shared_mem_per_sm=64 * KIB,
+        max_blocks_per_sm=32,
+        saturation_warps=8,
+        launch_latency_us=5.5,
+        stream_switch_us=0.4,
+        cpu="Xeon E5-2640",
+    ),
+    "TitanXP": DeviceProperties(
+        name="TitanXP",
+        arch=Architecture.PASCAL,
+        sm_count=30,
+        cores_per_sm=128,
+        clock_ghz=1.455,
+        memory_bytes=12 * GIB,
+        mem_bandwidth_gbps=547.7,
+        memory_type="GDDR5X",
+        shared_mem_per_sm=48 * KIB,
+        max_blocks_per_sm=32,
+        saturation_warps=16,
+        launch_latency_us=5.0,
+        stream_switch_us=0.4,
+        cpu="Xeon E5-2650",
+    ),
+    # Auxiliary devices (not in the paper's Table 3) for architecture
+    # coverage in tests and ablations.
+    "GTX980": DeviceProperties(
+        name="GTX980",
+        arch=Architecture.MAXWELL,
+        sm_count=16,
+        cores_per_sm=128,
+        clock_ghz=1.126,
+        memory_bytes=4 * GIB,
+        mem_bandwidth_gbps=224.0,
+        memory_type="GDDR5",
+        shared_mem_per_sm=96 * KIB,
+        max_blocks_per_sm=32,
+        saturation_warps=16,
+        launch_latency_us=6.0,
+    ),
+    "V100": DeviceProperties(
+        name="V100",
+        arch=Architecture.VOLTA,
+        sm_count=80,
+        cores_per_sm=64,
+        clock_ghz=1.53,
+        memory_bytes=16 * GIB,
+        mem_bandwidth_gbps=900.0,
+        memory_type="HBM2.0",
+        shared_mem_per_sm=96 * KIB,
+        max_blocks_per_sm=32,
+        saturation_warps=8,
+        launch_latency_us=4.5,
+    ),
+    "K80": DeviceProperties(
+        # one GK210 die of the dual-die board
+        name="K80",
+        arch=Architecture.KEPLER,
+        sm_count=13,
+        cores_per_sm=192,
+        clock_ghz=0.875,
+        memory_bytes=12 * GIB,
+        mem_bandwidth_gbps=240.0,
+        memory_type="GDDR5",
+        shared_mem_per_sm=48 * KIB,
+        max_blocks_per_sm=16,
+        registers_per_sm=131072,      # GK210 doubled the register file
+        saturation_warps=24,
+        launch_latency_us=8.0,
+        stream_switch_us=0.6,
+    ),
+    "GTX1080": DeviceProperties(
+        name="GTX1080",
+        arch=Architecture.PASCAL,
+        sm_count=20,
+        cores_per_sm=128,
+        clock_ghz=1.607,
+        memory_bytes=8 * GIB,
+        mem_bandwidth_gbps=320.0,
+        memory_type="GDDR5X",
+        shared_mem_per_sm=48 * KIB,
+        max_blocks_per_sm=32,
+        saturation_warps=16,
+        launch_latency_us=5.0,
+    ),
+    "C2050": DeviceProperties(
+        name="C2050",
+        arch=Architecture.FERMI,
+        sm_count=14,
+        cores_per_sm=32,
+        clock_ghz=1.15,
+        memory_bytes=3 * GIB,
+        mem_bandwidth_gbps=144.0,
+        memory_type="GDDR5",
+        shared_mem_per_sm=48 * KIB,
+        max_threads_per_sm=1536,
+        max_blocks_per_sm=8,
+        registers_per_sm=32768,
+        saturation_warps=12,
+        launch_latency_us=10.0,
+    ),
+}
+
+#: GPUs used in the paper's evaluation, in presentation order.
+PAPER_DEVICES = ("K40C", "P100", "TitanXP")
+
+
+def get_device(name: str) -> DeviceProperties:
+    """Look up a device by (case-insensitive) catalog name.
+
+    >>> get_device("p100").sm_count
+    56
+    """
+    for key, props in DEVICE_CATALOG.items():
+        if key.lower() == name.lower():
+            return props
+    raise DeviceError(
+        f"unknown device {name!r}; available: {', '.join(DEVICE_CATALOG)}"
+    )
+
+
+def list_devices() -> list[str]:
+    """Names of all devices in the catalog."""
+    return list(DEVICE_CATALOG)

@@ -1,0 +1,684 @@
+"""The discrete-event GPU engine.
+
+This module ties the pieces together into a runnable device:
+
+* a **host timeline** — kernel launches are serialized on the calling
+  (single) host thread, each costing ``launch_latency_us`` plus a
+  work-queue-switch penalty when consecutive launches target different
+  streams.  This is the ``T_launch`` pipeline that bounds Eq. 7;
+* **stream ordering** — per-stream FIFO dependencies plus legacy
+  default-stream barrier semantics;
+* **hardware work queues** — at most ``C`` kernels (the architecture's
+  concurrent-kernel degree, Table 1) may be resident at once; further ready
+  kernels wait for a slot in FIFO order;
+* a **grid/block dispatcher** with the *leftover policy* real GPUs use:
+  blocks of the oldest resident kernel are dispatched first, and a younger
+  kernel's blocks only start flowing once the older kernel has no more
+  blocks waiting (or none of them fit anywhere);
+* per-SM **processor-sharing execution** (see :mod:`repro.gpusim.sm`).
+
+Everything is deterministic: same launches, same timings, every run.
+
+The engine purposely executes lazily — launches enqueue work, and the event
+loop only runs when the host observes the device (synchronize / event
+queries), mirroring the asynchrony of the CUDA runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import DeviceError, SimulationError
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.gpusim.memory import DeviceAllocator
+from repro.gpusim.occupancy import validate_launch
+from repro.gpusim.sm import SM, block_demand
+from repro.gpusim.stream import DEFAULT_STREAM_ID, Event, Stream
+from repro.gpusim.timeline import Timeline, TraceRecord
+
+#: Safety valve for the event loop.
+MAX_EVENTS = 50_000_000
+
+# Operation lifecycle states.
+_PENDING = "pending"      # created, waiting for host issue time and/or deps
+_WAITING = "waiting"      # issued, waiting for a hardware kernel slot
+_ACTIVE = "active"        # holds a slot; blocks being dispatched / running
+_DONE = "done"
+
+
+def default_block_work(spec: KernelSpec, device: DeviceProperties) -> float:
+    """Roofline work of one thread block, in µs at full SM throughput.
+
+    ``max(compute_time, memory_time)`` for the block's share of the kernel's
+    flops and DRAM bytes, plus the fixed per-block scheduling overhead.  If
+    the spec carries an explicit ``duration_us``, that is interpreted as the
+    block's *solo* residence time and converted back to work units.
+    """
+    launch = spec.launch
+    if spec.duration_us is not None:
+        return spec.duration_us * block_demand(device, launch)
+    threads = launch.threads_per_block
+    compute = spec.flops_per_thread * threads / device.sm_flops_per_us
+    memory = spec.bytes_per_thread * threads / device.sm_bytes_per_us
+    return max(compute, memory) + device.block_overhead_us
+
+
+class _Op:
+    """Base class for device operations (kernels, event records)."""
+
+    __slots__ = (
+        "stream_id", "ready_time", "unresolved", "dependents", "state",
+        "arrived", "complete_time", "seq",
+    )
+
+    _seq_counter = itertools.count()
+
+    def __init__(self, stream_id: int, ready_time: float) -> None:
+        self.stream_id = stream_id
+        self.ready_time = ready_time
+        self.unresolved = 0
+        self.dependents: list[_Op] = []
+        self.state = _PENDING
+        self.arrived = False
+        self.complete_time: Optional[float] = None
+        self.seq = next(_Op._seq_counter)
+
+    def depends_on(self, other: Optional["_Op"]) -> None:
+        if other is None or other.state == _DONE or other is self:
+            return
+        other.dependents.append(self)
+        self.unresolved += 1
+
+    @property
+    def is_complete(self) -> bool:
+        return self.state == _DONE
+
+
+class KernelExecution(_Op):
+    """Runtime state of one launched kernel.
+
+    Exposes the timestamps the resource tracker records: ``enqueue_time``
+    (host-side launch), ``start_time`` (first block on an SM) and
+    ``end_time`` (last block retired).
+    """
+
+    __slots__ = (
+        "spec", "enqueue_time", "start_time", "end_time",
+        "blocks_unscheduled", "blocks_inflight", "work_per_block",
+        "block_req", "served_per_sm",
+    )
+
+    def __init__(self, spec: KernelSpec, stream_id: int, enqueue_time: float,
+                 work_per_block: float) -> None:
+        super().__init__(stream_id, enqueue_time)
+        self.spec = spec
+        self.enqueue_time = enqueue_time
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.blocks_unscheduled = spec.launch.num_blocks
+        self.blocks_inflight = 0
+        self.work_per_block = work_per_block
+        # Precomputed per-block resource footprint for the hot dispatch path.
+        self.block_req = (
+            spec.launch.threads_per_block,
+            spec.launch.shared_mem_per_block,
+            spec.launch.registers_per_block,
+        )
+        # Cumulative blocks dispatched per SM (fair-share dispatch).
+        self.served_per_sm: dict[int, int] = {}
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock device time from first block start to last block end."""
+        if self.start_time is None or self.end_time is None:
+            raise SimulationError(f"kernel {self.spec.name} has not completed")
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<KernelExecution {self.spec.name} stream={self.stream_id} "
+            f"state={self.state}>"
+        )
+
+
+class _EventRecord(_Op):
+    """A ``cudaEventRecord`` marker inside a stream."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event, stream_id: int, ready_time: float) -> None:
+        super().__init__(stream_id, ready_time)
+        self.event = event
+
+
+class _EventWait(_Op):
+    """A ``cudaStreamWaitEvent``: later ops in the stream wait for the event.
+
+    Completes as soon as its dependencies (the previous op in the stream
+    *and* the awaited event's record) are done — it performs no work.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event, stream_id: int, ready_time: float) -> None:
+        super().__init__(stream_id, ready_time)
+        self.event = event
+
+
+class MemcpyOp(_Op):
+    """An async memcpy executing on one of the device's DMA engines.
+
+    ``kind`` is ``"h2d"``, ``"d2h"`` (each direction has its own copy
+    engine, as on real GPUs — transfers in opposite directions overlap) or
+    ``"d2d"`` (runs at device-memory bandwidth, no PCIe involved).
+    """
+
+    __slots__ = ("kind", "nbytes", "start_time", "end_time")
+
+    def __init__(self, kind: str, nbytes: int, stream_id: int,
+                 ready_time: float) -> None:
+        super().__init__(stream_id, ready_time)
+        self.kind = kind
+        self.nbytes = nbytes
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    @property
+    def duration_us(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            raise SimulationError("memcpy has not completed")
+        return self.end_time - self.start_time
+
+
+class GPU:
+    """One simulated GPU device.
+
+    Parameters
+    ----------
+    props:
+        Static device description from the catalog.
+    block_work_fn:
+        Optional override of the per-block cost model (used by ablations).
+    timeline:
+        Set ``record_timeline=False`` to skip trace records on very large
+        runs.
+    """
+
+    def __init__(
+        self,
+        props: DeviceProperties,
+        block_work_fn: Callable[[KernelSpec, DeviceProperties], float] | None = None,
+        record_timeline: bool = True,
+    ) -> None:
+        self.props = props
+        self._block_work_fn = block_work_fn or default_block_work
+        self.sms = [SM(props, i) for i in range(props.sm_count)]
+        self.allocator = DeviceAllocator(props.memory_bytes)
+        self.timeline = Timeline(device=props.name, enabled=record_timeline)
+
+        self.host_time = 0.0      # host thread clock (µs)
+        self.now = 0.0            # device clock: time of last processed event
+        self._events: list = []   # heap of (time, seq, kind, payload)
+        self._event_seq = itertools.count()
+
+        self._stream_tails: dict[int, _Op] = {}
+        self._last_barrier: Optional[_Op] = None
+        self._pending_ops: int = 0
+        self._pending_per_stream: dict[int, int] = {}
+
+        self._slot_waiters: list[KernelExecution] = []
+        self._active_kernels = 0
+        self._dispatch_fifo: list[KernelExecution] = []
+        self._event_records: dict[int, _EventRecord] = {}
+        # Per-direction DMA engines: time each becomes free.
+        self._copy_engine_free = {"h2d": 0.0, "d2h": 0.0, "d2d": 0.0}
+        self.bytes_copied = {"h2d": 0, "d2h": 0, "d2d": 0}
+
+        self._last_launch_stream: Optional[int] = None
+        self._streams_touched: set[int] = set()
+        self._streams: dict[int, Stream] = {}
+        self.default_stream = Stream(DEFAULT_STREAM_ID, device_name=props.name)
+        self._streams[DEFAULT_STREAM_ID] = self.default_stream
+
+        # counters exposed to tests / metrics
+        self.kernels_launched = 0
+        self.kernels_completed = 0
+        self.launch_overhead_total = 0.0
+        self.sync_overhead_total = 0.0
+
+        # Driver hooks (used by the simulated CUPTI).  Launch hooks run on
+        # the host thread at launch time and may charge host overhead by
+        # advancing ``host_time``; completion hooks fire when the kernel's
+        # last block retires on the device.
+        self.launch_hooks: list[Callable[["GPU", KernelExecution], None]] = []
+        self.completion_hooks: list[Callable[["GPU", KernelExecution], None]] = []
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+    def create_stream(self, name: str = "", priority: int = 0) -> Stream:
+        """Create a new non-default stream on this device.
+
+        ``priority`` follows CUDA: lower value = higher priority; it breaks
+        ties when kernels compete for hardware work-queue slots.
+        """
+        s = Stream.new(name=name, device_name=self.props.name,
+                       priority=priority)
+        self._streams[s.stream_id] = s
+        return s
+
+    def streams(self) -> list[Stream]:
+        return list(self._streams.values())
+
+    def _check_stream(self, stream: Optional[Stream]) -> Stream:
+        if stream is None:
+            return self.default_stream
+        if stream.device_name and stream.device_name != self.props.name:
+            raise DeviceError(
+                f"stream {stream.name} belongs to device {stream.device_name}, "
+                f"not {self.props.name}"
+            )
+        if stream.stream_id not in self._streams:
+            self._streams[stream.stream_id] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Launch & record
+    # ------------------------------------------------------------------
+    def launch(self, spec: KernelSpec, stream: Optional[Stream] = None,
+               enqueue_at: Optional[float] = None) -> KernelExecution:
+        """Launch a kernel asynchronously onto ``stream``.
+
+        Advances the host clock by the launch overhead and enqueues the
+        kernel; no device work happens until the event loop runs.
+
+        ``enqueue_at`` models *multi-threaded* host dispatch (the
+        OpenMP-style alternative the paper argues against): the launch is
+        stamped with an explicitly scheduled host time computed by the
+        caller's per-thread clock instead of the single host thread's
+        serialized pipeline.  It must not lie in the device's past.
+        """
+        stream = self._check_stream(stream)
+        validate_launch(self.props, spec.launch)
+
+        if enqueue_at is None:
+            overhead = self.props.launch_latency_us
+            if (
+                self._last_launch_stream is not None
+                and self._last_launch_stream != stream.stream_id
+            ):
+                overhead += self.props.stream_switch_us
+            self._last_launch_stream = stream.stream_id
+            self.host_time += overhead
+            self.launch_overhead_total += overhead
+        else:
+            if enqueue_at < self.now - 1e-9:
+                raise SimulationError(
+                    f"enqueue_at {enqueue_at} lies in the device's past "
+                    f"({self.now})"
+                )
+            self.host_time = max(self.host_time, enqueue_at)
+            self._last_launch_stream = stream.stream_id
+
+        work = self._block_work_fn(spec, self.props)
+        ke = KernelExecution(spec, stream.stream_id, self.host_time, work)
+        for hook in self.launch_hooks:
+            hook(self, ke)
+        ke.ready_time = ke.enqueue_time = (
+            self.host_time if enqueue_at is None else enqueue_at
+        )
+        self._wire_dependencies(ke, stream)
+        self._register_op(ke, stream)
+        self.kernels_launched += 1
+        return ke
+
+    def record_event(self, event: Event, stream: Optional[Stream] = None
+                     ) -> Event:
+        """Record ``event`` into ``stream`` (completes after prior work)."""
+        stream = self._check_stream(stream)
+        # Event records are cheap but not free on the host.
+        self.host_time += 0.2
+        op = _EventRecord(event, stream.stream_id, self.host_time)
+        self._wire_dependencies(op, stream)
+        self._register_op(op, stream)
+        self._event_records[event.event_id] = op
+        return event
+
+    def wait_event(self, event: Event, stream: Optional[Stream] = None
+                   ) -> None:
+        """``cudaStreamWaitEvent``: gate later ops in ``stream`` on ``event``.
+
+        The cross-stream dependency primitive used by the DAG dispatcher
+        (the paper's "complex kernel dependencies" future-work item).  An
+        event that was never recorded gates nothing, as in CUDA.
+        """
+        stream = self._check_stream(stream)
+        self.host_time += 0.2
+        op = _EventWait(event, stream.stream_id, self.host_time)
+        self._wire_dependencies(op, stream)
+        record = self._event_records.get(event.event_id)
+        if record is not None:
+            op.depends_on(record)
+        self._register_op(op, stream)
+
+    def memcpy(self, nbytes: int, kind: str = "h2d",
+               stream: Optional[Stream] = None) -> MemcpyOp:
+        """Enqueue an async memcpy onto ``stream`` (cudaMemcpyAsync).
+
+        Copies obey stream order like kernels but execute on the DMA
+        engines, so a transfer on one stream overlaps compute on another —
+        the copy/compute overlap pattern CUDA streams were introduced for.
+        """
+        if kind not in self._copy_engine_free:
+            raise DeviceError(f"unknown memcpy kind {kind!r}")
+        if nbytes <= 0:
+            raise DeviceError("memcpy size must be positive")
+        stream = self._check_stream(stream)
+        self.host_time += 1.0     # cudaMemcpyAsync driver overhead
+        op = MemcpyOp(kind, int(nbytes), stream.stream_id, self.host_time)
+        self._wire_dependencies(op, stream)
+        self._register_op(op, stream)
+        return op
+
+    def _memcpy_duration(self, op: MemcpyOp) -> float:
+        if op.kind == "d2d":
+            # device-to-device runs at memory bandwidth (read + write)
+            rate = self.props.mem_bandwidth_gbps * 1e3 / 2.0
+        else:
+            rate = self.props.pcie_bandwidth_gbps * 1e3
+        return self.props.copy_latency_us + op.nbytes / rate
+
+    def _wire_dependencies(self, op: _Op, stream: Stream) -> None:
+        op.depends_on(self._stream_tails.get(stream.stream_id))
+        if stream.is_default:
+            # Legacy default stream: barrier against every other stream.
+            for sid, tail in self._stream_tails.items():
+                if sid != DEFAULT_STREAM_ID:
+                    op.depends_on(tail)
+            self._last_barrier = op
+        else:
+            op.depends_on(self._last_barrier)
+
+    def _register_op(self, op: _Op, stream: Stream) -> None:
+        self._stream_tails[stream.stream_id] = op
+        self._pending_ops += 1
+        self._pending_per_stream[stream.stream_id] = (
+            self._pending_per_stream.get(stream.stream_id, 0) + 1
+        )
+        self._streams_touched.add(stream.stream_id)
+        self._push_event(op.ready_time, "arrive", op)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _push_event(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, next(self._event_seq), kind, payload))
+
+    def _push_sm_completion(self, sm: SM) -> None:
+        t = sm.next_completion(self.now)
+        if t is not None:
+            self._push_event(t, "sm", (sm, sm.version))
+
+    def _process_next_event(self) -> None:
+        """Pop and handle the single earliest event on the heap."""
+        time, _, kind, payload = heapq.heappop(self._events)
+        if time < self.now - 1e-9:
+            raise SimulationError("event heap produced out-of-order time")
+        self.now = max(self.now, time)
+        if kind == "arrive":
+            op: _Op = payload
+            op.arrived = True
+            self._maybe_issue(op)
+        elif kind == "sm":
+            sm, version = payload
+            if version != sm.version:
+                return  # stale prediction; resident set changed since push
+            finished = sm.pop_finished(self.now)
+            for cohort in finished:
+                ke: KernelExecution = cohort.kernel_handle
+                ke.blocks_inflight -= cohort.n_blocks
+                if ke.blocks_inflight == 0 and ke.blocks_unscheduled == 0:
+                    self._complete_kernel(ke)
+            self._push_sm_completion(sm)
+            self._try_dispatch()
+        elif kind == "copy":
+            op: MemcpyOp = payload
+            op.end_time = self.now
+            self.timeline.add(TraceRecord(
+                name=f"memcpy{op.kind.upper()}",
+                tag="",
+                stream_id=op.stream_id,
+                enqueue_us=op.ready_time,
+                start_us=op.start_time if op.start_time is not None
+                else self.now,
+                end_us=self.now,
+                grid=(1, 1, 1),
+                block=(1, 1, 1),
+                registers=0,
+                shared_mem=0,
+            ))
+            self._complete_op(op, self.now)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _run_until(self, predicate: Callable[[], bool]) -> None:
+        """Process events in time order until ``predicate`` holds."""
+        guard = 0
+        while not predicate():
+            if not self._events:
+                raise SimulationError(
+                    "device deadlock: pending work but no events "
+                    f"({self._pending_ops} ops outstanding)"
+                )
+            self._process_next_event()
+            guard += 1
+            if guard > MAX_EVENTS:  # pragma: no cover - defensive
+                raise SimulationError("event budget exhausted (runaway loop?)")
+
+    def _maybe_issue(self, op: _Op) -> None:
+        if op.state != _PENDING or not op.arrived or op.unresolved > 0:
+            return
+        if isinstance(op, KernelExecution):
+            op.state = _WAITING
+            self._slot_waiters.append(op)
+            self._try_grant()
+        elif isinstance(op, _EventRecord):
+            t = max(self.now, op.ready_time)
+            op.event.timestamp_us = t
+            self._complete_op(op, t)
+        elif isinstance(op, _EventWait):
+            self._complete_op(op, max(self.now, op.ready_time))
+        elif isinstance(op, MemcpyOp):
+            start = max(self.now, op.ready_time,
+                        self._copy_engine_free[op.kind])
+            end = start + self._memcpy_duration(op)
+            op.start_time = start
+            self._copy_engine_free[op.kind] = end
+            self.bytes_copied[op.kind] += op.nbytes
+            self._push_event(end, "copy", op)
+
+    def _stream_priority(self, stream_id: int) -> int:
+        stream = self._streams.get(stream_id)
+        return stream.priority if stream is not None else 0
+
+    def _try_grant(self) -> None:
+        limit = self.props.max_concurrent_kernels
+        while self._slot_waiters and self._active_kernels < limit:
+            # CUDA priority semantics: the highest-priority (lowest value)
+            # waiting kernel takes the freed slot; FIFO within a priority.
+            best = min(
+                range(len(self._slot_waiters)),
+                key=lambda i: (
+                    self._stream_priority(self._slot_waiters[i].stream_id),
+                    i,
+                ),
+            )
+            ke = self._slot_waiters.pop(best)
+            ke.state = _ACTIVE
+            self._active_kernels += 1
+            self._dispatch_fifo.append(ke)
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        """Leftover-policy block dispatcher: fill SMs from the oldest kernel."""
+        while self._dispatch_fifo:
+            head = self._dispatch_fifo[0]
+            if head.blocks_unscheduled == 0:
+                self._dispatch_fifo.pop(0)
+                continue
+            placed = self._place_blocks(head)
+            if not placed:
+                return  # head stalls; younger kernels wait (leftover policy)
+
+    def _place_blocks(self, ke: KernelExecution) -> bool:
+        """Spread as many of ``ke``'s waiting blocks as fit across the SMs.
+
+        Fair-share dispatch: over the kernel's lifetime, each SM serves at
+        most ``ceil(grid / #SM)`` of its blocks.  This models the real
+        hardware scheduler's fine-grained balancing — without it, the tail
+        of a grid would pile onto whichever SM happens to free first, which
+        never happens on silicon where blocks retire one at a time.
+        """
+        launch = ke.spec.launch
+        tpb, smem_pb, regs_pb = ke.block_req
+        ideal = -(-launch.num_blocks // self.props.sm_count)  # ceil
+        served = ke.served_per_sm
+        candidates: list[tuple[SM, int]] = []
+        for sm in self.sms:
+            allowance = ideal - served.get(sm.index, 0)
+            if allowance <= 0:
+                continue
+            fit = sm.fit_count_fast(tpb, smem_pb, regs_pb)
+            if fit > 0:
+                candidates.append((sm, min(fit, allowance)))
+        if not candidates:
+            return False
+        remaining = ke.blocks_unscheduled
+        # Even spread (the model's Eq. 8 assumption): split the batch across
+        # all SMs with space, biggest-free first.
+        candidates.sort(key=lambda c: c[0].free_threads, reverse=True)
+        share = max(1, math.ceil(remaining / len(candidates)))
+        placed_any = False
+        for sm, fit in candidates:
+            if ke.blocks_unscheduled == 0:
+                break
+            n = min(fit, share, ke.blocks_unscheduled)
+            if n <= 0:
+                continue
+            sm.place(self.now, ke, launch, n, ke.work_per_block)
+            served[sm.index] = served.get(sm.index, 0) + n
+            ke.blocks_unscheduled -= n
+            ke.blocks_inflight += n
+            if ke.start_time is None:
+                ke.start_time = self.now
+            self._push_sm_completion(sm)
+            placed_any = True
+        return placed_any
+
+    def _complete_kernel(self, ke: KernelExecution) -> None:
+        ke.end_time = self.now
+        self._active_kernels -= 1
+        self.kernels_completed += 1
+        self.timeline.add(TraceRecord(
+            name=ke.spec.name,
+            tag=ke.spec.tag,
+            stream_id=ke.stream_id,
+            enqueue_us=ke.enqueue_time,
+            start_us=ke.start_time if ke.start_time is not None else ke.end_time,
+            end_us=ke.end_time,
+            grid=ke.spec.launch.grid,
+            block=ke.spec.launch.block,
+            registers=ke.spec.launch.registers_per_thread,
+            shared_mem=ke.spec.launch.shared_mem_per_block,
+        ))
+        for hook in self.completion_hooks:
+            hook(self, ke)
+        self._complete_op(ke, self.now)
+        self._try_grant()
+
+    def _complete_op(self, op: _Op, time: float) -> None:
+        op.state = _DONE
+        op.complete_time = time
+        self._pending_ops -= 1
+        self._pending_per_stream[op.stream_id] -= 1
+        for dep in op.dependents:
+            dep.unresolved -= 1
+            self._maybe_issue(dep)
+        op.dependents = []
+
+    # ------------------------------------------------------------------
+    # Host-side synchronization
+    # ------------------------------------------------------------------
+    def synchronize(self) -> float:
+        """Block the host until all device work completes; return device time.
+
+        Adds the host-side synchronization overhead (grows with the number
+        of distinct streams touched since the previous synchronization).
+        """
+        self._run_until(lambda: self._pending_ops == 0)
+        cost = (
+            self.props.sync_base_us
+            + self.props.sync_per_stream_us * max(0, len(self._streams_touched) - 1)
+        )
+        self.sync_overhead_total += cost
+        self._streams_touched.clear()
+        self.host_time = max(self.host_time, self.now) + cost
+        return self.now
+
+    def stream_synchronize(self, stream: Stream) -> float:
+        """Block until all work previously issued to ``stream`` completes."""
+        stream = self._check_stream(stream)
+        sid = stream.stream_id
+        self._run_until(lambda: self._pending_per_stream.get(sid, 0) == 0)
+        self.host_time = max(self.host_time, self.now) + self.props.sync_base_us
+        self.sync_overhead_total += self.props.sync_base_us
+        return self.now
+
+    def event_synchronize(self, event: Event) -> float:
+        """Block until ``event`` completes; return its timestamp."""
+        self._run_until(lambda: event.is_complete)
+        assert event.timestamp_us is not None
+        self.host_time = max(self.host_time, event.timestamp_us)
+        return event.timestamp_us
+
+    def query_complete(self, ke: KernelExecution) -> bool:
+        """Non-blocking completion test (processes due events first)."""
+        self._drain_due()
+        return ke.is_complete
+
+    def _drain_due(self) -> None:
+        """Process all events at or before the host clock."""
+        while self._events and self._events[0][0] <= self.host_time:
+            self._process_next_event()
+
+    # ------------------------------------------------------------------
+    # Metrics & lifecycle
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Current host wall-clock, µs (device included up to last sync)."""
+        return self.host_time
+
+    def utilization(self) -> float:
+        """Time-averaged warp occupancy across all SMs since reset."""
+        if self.now <= 0:
+            return 0.0
+        total = sum(sm.warp_integral for sm in self.sms)
+        return total / (self.now * self.props.sm_count * self.props.max_warps_per_sm)
+
+    def reset(self) -> None:
+        """Clear all device state and rewind clocks (new measurement run)."""
+        if self._pending_ops:
+            raise SimulationError("cannot reset a device with pending work")
+        self.__init__(
+            self.props,
+            block_work_fn=self._block_work_fn,
+            record_timeline=self.timeline.enabled,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GPU({self.props.name}, t={self.now:.1f}us)"

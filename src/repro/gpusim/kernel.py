@@ -1,0 +1,201 @@
+"""Kernel and launch-configuration primitives.
+
+A :class:`KernelSpec` is the simulator's unit of GPU work: a named kernel
+with a CUDA-style launch configuration (grid and block dimensions, registers
+per thread, static + dynamic shared memory per block) and a per-thread work
+description (floating-point operations and DRAM bytes) that the cost model in
+:mod:`repro.kernels.costmodel` turns into execution time.
+
+These are exactly the quantities GLP4NN's resource tracker collects through
+CUPTI on real hardware: grid/block geometry, register count and shared-memory
+footprint (profiling input of Table 2), plus the measured duration ``T_Ki``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import LaunchError
+
+Dim3 = Tuple[int, int, int]
+
+#: CUDA warp size on every generation covered by the paper.
+WARP_SIZE = 32
+
+_kernel_ids = itertools.count()
+
+
+def dim3_size(d: Dim3) -> int:
+    """Total element count of a ``dim3`` (product of its components)."""
+    return d[0] * d[1] * d[2]
+
+
+def as_dim3(value: int | Tuple[int, ...] ) -> Dim3:
+    """Normalize an ``int`` or short tuple to a full ``(x, y, z)`` triple.
+
+    >>> as_dim3(8)
+    (8, 1, 1)
+    >>> as_dim3((4, 2))
+    (4, 2, 1)
+    """
+    if isinstance(value, int):
+        return (value, 1, 1)
+    t = tuple(int(v) for v in value)
+    if len(t) > 3 or len(t) == 0:
+        raise LaunchError(f"dim3 must have 1-3 components, got {value!r}")
+    return (t + (1, 1, 1))[:3]  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """CUDA ``<<<grid, block, smem>>>`` launch configuration plus registers.
+
+    Attributes
+    ----------
+    grid:
+        Grid dimensions; ``dim3_size(grid)`` is ``#beta_Ki`` of Table 2 (the
+        total number of thread blocks of the kernel).
+    block:
+        Block dimensions; ``dim3_size(block)`` is ``tau_Ki`` (threads per
+        block).
+    shared_mem_static / shared_mem_dynamic:
+        Shared-memory bytes per block.  Their sum is ``sm_Ki`` — the paper
+        defines the per-block footprint as static plus dynamic allocation.
+    registers_per_thread:
+        Register footprint; the paper treats this as a *soft* constraint
+        (spills go to local memory) but the simulator enforces the hardware
+        register file when placing blocks.
+    """
+
+    grid: Dim3
+    block: Dim3
+    shared_mem_static: int = 0
+    shared_mem_dynamic: int = 0
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", as_dim3(self.grid))
+        object.__setattr__(self, "block", as_dim3(self.block))
+        if min(self.grid) < 1 or min(self.block) < 1:
+            raise LaunchError(f"grid/block dimensions must be >= 1: {self}")
+        if self.shared_mem_static < 0 or self.shared_mem_dynamic < 0:
+            raise LaunchError("shared memory sizes must be non-negative")
+        if self.registers_per_thread < 1:
+            raise LaunchError("registers_per_thread must be >= 1")
+
+    @property
+    def num_blocks(self) -> int:
+        """``#beta_Ki``: total thread blocks in the grid."""
+        return dim3_size(self.grid)
+
+    @property
+    def threads_per_block(self) -> int:
+        """``tau_Ki``: threads per block."""
+        return dim3_size(self.block)
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block (threads rounded up to the warp size)."""
+        return math.ceil(self.threads_per_block / WARP_SIZE)
+
+    @property
+    def shared_mem_per_block(self) -> int:
+        """``sm_Ki``: static + dynamic shared memory per block, in bytes."""
+        return self.shared_mem_static + self.shared_mem_dynamic
+
+    @property
+    def registers_per_block(self) -> int:
+        """Register file footprint of one block."""
+        return self.registers_per_thread * self.threads_per_block
+
+    @property
+    def total_threads(self) -> int:
+        """Threads launched by the whole grid."""
+        return self.num_blocks * self.threads_per_block
+
+    def with_grid(self, grid: int | Dim3) -> "LaunchConfig":
+        """Return a copy with a different grid (used when splitting work)."""
+        return replace(self, grid=as_dim3(grid))
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A runnable kernel: launch configuration plus per-thread work.
+
+    The duration model lives in :mod:`repro.kernels.costmodel`; this class
+    only carries the inputs.  ``tag`` identifies the logical operation the
+    kernel implements (e.g. ``"conv1/fwd/sample12/im2col"``) so the resource
+    tracker can aggregate instances of the same kernel, mirroring how GLP4NN
+    distinguishes kernels belonging to different layers — something the paper
+    notes offline profilers cannot do.
+
+    Attributes
+    ----------
+    name:
+        Kernel symbol name (``im2col``, ``sgemm``, ``gemmk``, ...).  Kernels
+        with the same name and launch configuration are treated as instances
+        of the same kernel ``K_i`` by the analyzer.
+    launch:
+        The launch configuration.
+    flops_per_thread / bytes_per_thread:
+        Average arithmetic and DRAM traffic per thread, consumed by the
+        roofline cost model.
+    tag:
+        Free-form provenance label (layer / phase / sample).
+    duration_us:
+        Optional override: if set, the cost model is bypassed and the kernel
+        takes exactly this long when running alone at full occupancy.
+    """
+
+    name: str
+    launch: LaunchConfig
+    flops_per_thread: float = 1.0
+    bytes_per_thread: float = 4.0
+    tag: str = ""
+    duration_us: Optional[float] = None
+    uid: int = field(default_factory=lambda: next(_kernel_ids))
+
+    def __post_init__(self) -> None:
+        if self.flops_per_thread < 0 or self.bytes_per_thread < 0:
+            raise LaunchError("per-thread work must be non-negative")
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise LaunchError("duration override must be positive")
+
+    @property
+    def signature(self) -> tuple:
+        """Grouping key used by the kernel parser to merge instances.
+
+        Two launches with the same signature are the same ``K_i`` for the
+        analytical model: same code, same geometry, same footprint.
+        """
+        lc = self.launch
+        return (
+            self.name,
+            lc.grid,
+            lc.block,
+            lc.shared_mem_per_block,
+            lc.registers_per_thread,
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops_per_thread * self.launch.total_threads
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_per_thread * self.launch.total_threads
+
+    def retagged(self, tag: str) -> "KernelSpec":
+        """Copy of the spec with a new provenance tag (fresh uid)."""
+        return replace(self, tag=tag, uid=next(_kernel_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lc = self.launch
+        return (
+            f"KernelSpec({self.name!r}, grid={lc.grid}, block={lc.block}, "
+            f"smem={lc.shared_mem_per_block}, regs={lc.registers_per_thread}, "
+            f"tag={self.tag!r})"
+        )

@@ -1,0 +1,124 @@
+"""Simulated device memory allocator.
+
+A first-fit free-list allocator with coalescing, standing in for
+``cudaMalloc`` / ``cudaFree``.  GLP4NN itself allocates only *host* memory
+(the paper's space analysis, Eq. 10-11), but the lowered networks allocate
+device blobs, and reproducing the paper's claim that the framework adds no
+device memory requires accounting for device memory at all.
+
+Allocations are 256-byte aligned like the CUDA allocator, so footprints
+match what a real device would report to within alignment slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import OutOfMemoryError, SimulationError
+
+#: cudaMalloc alignment guarantee.
+ALIGNMENT = 256
+
+
+def _align(n: int) -> int:
+    return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle to one device allocation (offset is the simulated address)."""
+
+    offset: int
+    size: int
+    requested: int
+    label: str = ""
+
+
+class DeviceAllocator:
+    """First-fit free-list allocator over a flat address space."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("device memory capacity must be positive")
+        self.capacity = capacity
+        # Sorted, disjoint, coalesced list of (offset, size) holes.
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self._live: dict[int, Allocation] = {}
+        self.bytes_in_use = 0
+        self.peak_bytes = 0
+        self.alloc_count = 0
+
+    def malloc(self, size: int, label: str = "") -> Allocation:
+        """Allocate ``size`` bytes (rounded up to the 256 B alignment)."""
+        if size <= 0:
+            raise SimulationError(f"allocation size must be positive, got {size}")
+        need = _align(size)
+        for i, (off, hole) in enumerate(self._free):
+            if hole >= need:
+                if hole == need:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (off + need, hole - need)
+                alloc = Allocation(offset=off, size=need, requested=size,
+                                   label=label)
+                self._live[off] = alloc
+                self.bytes_in_use += need
+                self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
+                self.alloc_count += 1
+                return alloc
+        raise OutOfMemoryError(
+            f"device OOM: need {need} B, {self.bytes_free} B free "
+            f"(fragmented into {len(self._free)} holes)"
+        )
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation, coalescing adjacent holes."""
+        live = self._live.pop(alloc.offset, None)
+        if live is None or live.size != alloc.size:
+            raise SimulationError(f"double free or foreign allocation: {alloc}")
+        self.bytes_in_use -= alloc.size
+        self._insert_hole(alloc.offset, alloc.size)
+
+    def _insert_hole(self, off: int, size: int) -> None:
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (off, size))
+        # Coalesce with right neighbour, then left.
+        if lo + 1 < len(self._free):
+            o2, s2 = self._free[lo + 1]
+            if off + size == o2:
+                self._free[lo] = (off, size + s2)
+                self._free.pop(lo + 1)
+        if lo > 0:
+            o0, s0 = self._free[lo - 1]
+            off1, size1 = self._free[lo]
+            if o0 + s0 == off1:
+                self._free[lo - 1] = (o0, s0 + size1)
+                self._free.pop(lo)
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_in_use
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property-based tests)."""
+        covered = self.bytes_in_use + sum(s for _, s in self._free)
+        if covered != self.capacity:
+            raise SimulationError(
+                f"allocator accounting broken: {covered} != {self.capacity}"
+            )
+        prev_end = -1
+        for off, size in self._free:
+            if size <= 0 or off <= prev_end:
+                raise SimulationError("free list unsorted or zero-sized hole")
+            prev_end = off + size - 1

@@ -1,0 +1,134 @@
+"""CUDA-style occupancy calculator.
+
+Computes, for one launch configuration on one device, the number of thread
+blocks that can be simultaneously *resident* on a streaming multiprocessor
+and the resulting occupancy ratio ``OR_SM`` of Eq. 1:
+
+    OR_SM = active_warps_per_sm / max_warps_per_sm
+
+The limiting resources are the ones the analytical model treats as *hard*
+constraints — resident-thread slots (Eq. 5), shared memory (Eq. 4) and the
+block-slot limit — plus registers, which the paper treats as *soft* (spills
+go to local memory) but which real hardware enforces and the simulator
+therefore honours.  :func:`max_active_blocks_per_sm` mirrors
+``cudaOccupancyMaxActiveBlocksPerMultiprocessor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import LaunchConfig
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Breakdown of the occupancy computation for one kernel.
+
+    ``limiter`` names the resource that bounds residency ("threads",
+    "shared_mem", "registers" or "blocks").
+    """
+
+    blocks_per_sm: int
+    active_warps: int
+    max_warps: int
+    limiter: str
+
+    @property
+    def ratio(self) -> float:
+        """``OR_SM`` — fraction of warp slots occupied (Eq. 1)."""
+        return self.active_warps / self.max_warps
+
+    @property
+    def active_threads(self) -> int:
+        return self.active_warps * 32
+
+
+def validate_launch(device: DeviceProperties, launch: LaunchConfig) -> None:
+    """Raise :class:`~repro.errors.LaunchError` if the config cannot run at all.
+
+    The simulated analogue of ``cudaErrorInvalidConfiguration``: a block
+    needing more threads, shared memory or registers than one SM owns can
+    never be scheduled.
+    """
+    if launch.threads_per_block > device.max_threads_per_block:
+        raise LaunchError(
+            f"block of {launch.threads_per_block} threads exceeds device "
+            f"limit {device.max_threads_per_block}"
+        )
+    if launch.shared_mem_per_block > device.max_shared_mem_per_block:
+        raise LaunchError(
+            f"block needs {launch.shared_mem_per_block} B shared memory, "
+            f"device allows {device.max_shared_mem_per_block} B per block"
+        )
+    if launch.shared_mem_per_block > device.shared_mem_per_sm:
+        raise LaunchError("block shared memory exceeds SM capacity")
+    if launch.registers_per_block > device.registers_per_sm:
+        raise LaunchError("block register footprint exceeds SM register file")
+
+
+def max_active_blocks_per_sm(
+    device: DeviceProperties, launch: LaunchConfig
+) -> OccupancyResult:
+    """Resident blocks of this kernel per SM, and what limits them.
+
+    >>> from repro.gpusim.device import get_device
+    >>> from repro.gpusim.kernel import LaunchConfig
+    >>> res = max_active_blocks_per_sm(get_device("P100"),
+    ...     LaunchConfig(grid=(100, 1, 1), block=(256, 1, 1)))
+    >>> res.blocks_per_sm
+    8
+    >>> res.limiter
+    'threads'
+    """
+    validate_launch(device, launch)
+    by_threads = device.max_threads_per_sm // launch.threads_per_block
+    by_blocks = device.max_blocks_per_sm
+    if launch.shared_mem_per_block > 0:
+        by_smem = device.shared_mem_per_sm // launch.shared_mem_per_block
+    else:
+        by_smem = by_blocks
+    by_regs = device.registers_per_sm // launch.registers_per_block
+
+    limits = {
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "shared_mem": by_smem,
+        "registers": by_regs,
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    warps = blocks * launch.warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps=min(warps, device.max_warps_per_sm),
+        max_warps=device.max_warps_per_sm,
+        limiter=limiter,
+    )
+
+
+def occupancy(device: DeviceProperties, launch: LaunchConfig) -> float:
+    """Theoretical occupancy ratio ``OR_SM`` of one kernel run alone.
+
+    Accounts for the grid possibly being too small to fill every SM: a
+    18-block grid on a 56-SM device leaves most warp slots empty no matter
+    what the per-block footprint is — the under-utilization GLP4NN exists to
+    recover.
+    """
+    res = max_active_blocks_per_sm(device, launch)
+    per_sm = res.blocks_per_sm
+    if launch.num_blocks < per_sm * device.sm_count:
+        # Grid-limited: blocks spread evenly, Eq. 8 (beta = floor(#beta/#SM))
+        # rounded up so a 1-block grid still counts as occupying one slot.
+        per_sm_effective = min(
+            per_sm, max(1, launch.num_blocks // device.sm_count)
+        )
+        if launch.num_blocks < device.sm_count:
+            # fewer blocks than SMs: average residency below one block/SM
+            warps = launch.num_blocks * launch.warps_per_block / device.sm_count
+            return min(1.0, warps / device.max_warps_per_sm)
+        per_sm = per_sm_effective
+    warps = min(per_sm * launch.warps_per_block, device.max_warps_per_sm)
+    return warps / device.max_warps_per_sm

@@ -1,0 +1,121 @@
+"""Device self-test: micro-benchmarks over a simulated GPU.
+
+The simulator analogue of running ``bandwidthTest`` + a GEMM burn-in on new
+hardware: measures the device's *effective* launch latency, H2D bandwidth
+and SGEMM throughput by experiment (not by reading the spec sheet), and
+checks them against the catalog values.  Useful when adding devices to the
+catalog, when modifying the engine, and as an executable sanity check that
+the simulation's emergent behaviour matches its configuration.
+
+Run from the CLI::
+
+    python -m repro selftest P100
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.engine import GPU
+from repro.kernels.ops import sgemm_spec
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Measured device characteristics vs their configured values."""
+
+    device: str
+    launch_latency_us: float
+    configured_launch_latency_us: float
+    h2d_bandwidth_gbps: float
+    configured_pcie_gbps: float
+    gemm_tflops: float
+    peak_tflops: float
+    concurrency_observed: int
+    concurrency_configured: int
+
+    @property
+    def gemm_efficiency(self) -> float:
+        """Fraction of peak FP32 the big-GEMM benchmark achieves."""
+        return self.gemm_tflops / self.peak_tflops
+
+    def render(self) -> str:
+        rows = [
+            f"self-test: {self.device}",
+            f"  launch latency : {self.launch_latency_us:8.2f} us   "
+            f"(configured {self.configured_launch_latency_us:g})",
+            f"  H2D bandwidth  : {self.h2d_bandwidth_gbps:8.2f} GB/s "
+            f"(configured {self.configured_pcie_gbps:g})",
+            f"  SGEMM          : {self.gemm_tflops:8.2f} TFLOP/s "
+            f"({self.gemm_efficiency:.0%} of {self.peak_tflops:.1f} peak)",
+            f"  concurrency    : {self.concurrency_observed:8d} kernels "
+            f"(degree {self.concurrency_configured})",
+        ]
+        return "\n".join(rows)
+
+
+def measure_launch_latency(gpu: GPU, launches: int = 64) -> float:
+    """Mean host-side cost of one same-stream kernel launch."""
+    spec = sgemm_spec(16, 16, 16)
+    t0 = gpu.host_time
+    for _ in range(launches):
+        gpu.launch(spec)
+    cost = (gpu.host_time - t0) / launches
+    gpu.synchronize()
+    return cost
+
+
+def measure_h2d_bandwidth(gpu: GPU, nbytes: int = 256 * _MB) -> float:
+    """Effective H2D bandwidth of one large transfer, GB/s."""
+    op = gpu.memcpy(nbytes, "h2d")
+    gpu.synchronize()
+    return nbytes / op.duration_us / 1e3
+
+
+def measure_gemm_tflops(gpu: GPU, n: int = 2048) -> float:
+    """Achieved throughput of one large square SGEMM, TFLOP/s."""
+    spec = sgemm_spec(n, n, n)
+    gpu.launch(spec)
+    gpu.synchronize()
+    duration = gpu.timeline.records[-1].duration_us if gpu.timeline.enabled \
+        else None
+    if duration is None:
+        raise RuntimeError("selftest needs timeline recording enabled")
+    return spec.total_flops / duration / 1e6
+
+
+def measure_concurrency(gpu: GPU, kernels: int = 256) -> int:
+    """Peak concurrent kernels observed under a many-stream flood.
+
+    Kernels must be long relative to the launch pipeline or the host
+    serializes them (Eq. 7); a skinny long-K GEMM keeps each resident for
+    hundreds of launches' worth of time.
+    """
+    spec = sgemm_spec(16, 16, 300_000)
+    streams = [gpu.create_stream() for _ in range(kernels)]
+    for i, s in enumerate(streams):
+        gpu.launch(spec.retagged(f"flood{i}"), stream=s)
+    gpu.synchronize()
+    return gpu.timeline.max_concurrency()
+
+
+def run_selftest(props: DeviceProperties) -> SelfTestReport:
+    """Run all micro-benchmarks on a fresh device instance."""
+    latency = measure_launch_latency(GPU(props, record_timeline=False))
+    bandwidth = measure_h2d_bandwidth(GPU(props, record_timeline=False))
+    tflops = measure_gemm_tflops(GPU(props))
+    concurrency = measure_concurrency(GPU(props))
+    return SelfTestReport(
+        device=props.name,
+        launch_latency_us=latency,
+        configured_launch_latency_us=props.launch_latency_us,
+        h2d_bandwidth_gbps=bandwidth,
+        configured_pcie_gbps=props.pcie_bandwidth_gbps,
+        gemm_tflops=tflops,
+        peak_tflops=props.peak_gflops / 1e3,
+        concurrency_observed=concurrency,
+        concurrency_configured=props.max_concurrent_kernels,
+    )

@@ -1,0 +1,107 @@
+"""CUDA streams and events (host-visible handles).
+
+A :class:`Stream` is a lightweight handle; ordering and execution state live
+in the engine.  Semantics follow the CUDA programming model the paper relies
+on:
+
+* operations within one stream execute in issue order;
+* operations in different non-default streams may overlap;
+* the **legacy default stream** is a global synchronization point — a kernel
+  launched there waits for all previously issued work on every stream, and
+  work issued afterwards on any stream waits for it.  GLP4NN's stream
+  manager exploits exactly this to implement layer barriers without host
+  threads.
+
+:class:`Event` mirrors ``cudaEvent_t``: it is recorded into a stream and
+completes when all prior work in that stream has completed; the elapsed time
+between two events is the usual GPU timing primitive (and is what our
+simulated CUPTI uses for kernel timestamps).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+#: Stream id of the legacy default stream (CUDA's stream 0).
+DEFAULT_STREAM_ID = 0
+
+_stream_ids = itertools.count(1)
+_event_ids = itertools.count(1)
+
+
+class Stream:
+    """Handle to one simulated CUDA stream.
+
+    Created through :meth:`repro.gpusim.engine.GPU.create_stream`; user code
+    should not instantiate streams directly except for tests.
+
+    ``priority`` follows CUDA's convention: *lower* numeric values are
+    higher priority (``cudaStreamCreateWithPriority``); it biases which
+    waiting kernel receives a hardware work-queue slot first when the
+    device's concurrency degree is exhausted.
+    """
+
+    __slots__ = ("stream_id", "name", "device_name", "priority")
+
+    def __init__(self, stream_id: Optional[int] = None, name: str = "",
+                 device_name: str = "", priority: int = 0) -> None:
+        self.stream_id = DEFAULT_STREAM_ID if stream_id is None else stream_id
+        self.name = name or (
+            "default" if self.stream_id == DEFAULT_STREAM_ID
+            else f"stream{self.stream_id}"
+        )
+        self.device_name = device_name
+        self.priority = priority
+
+    @classmethod
+    def new(cls, name: str = "", device_name: str = "",
+            priority: int = 0) -> "Stream":
+        """Allocate a fresh non-default stream handle."""
+        return cls(next(_stream_ids), name=name, device_name=device_name,
+                   priority=priority)
+
+    @property
+    def is_default(self) -> bool:
+        return self.stream_id == DEFAULT_STREAM_ID
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream({self.name!r}, id={self.stream_id})"
+
+    def __hash__(self) -> int:
+        return hash((self.device_name, self.stream_id))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Stream)
+            and other.stream_id == self.stream_id
+            and other.device_name == self.device_name
+        )
+
+
+class Event:
+    """Handle to one simulated CUDA event.
+
+    ``timestamp_us`` is ``None`` until the event completes on the device.
+    """
+
+    __slots__ = ("event_id", "name", "timestamp_us")
+
+    def __init__(self, name: str = "") -> None:
+        self.event_id = next(_event_ids)
+        self.name = name or f"event{self.event_id}"
+        self.timestamp_us: Optional[float] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.timestamp_us is not None
+
+    def elapsed_us(self, later: "Event") -> float:
+        """Microseconds between this event and ``later`` (both complete)."""
+        if self.timestamp_us is None or later.timestamp_us is None:
+            raise ValueError("both events must be complete to take elapsed time")
+        return later.timestamp_us - self.timestamp_us
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"t={self.timestamp_us:.3f}us" if self.is_complete else "pending"
+        return f"Event({self.name!r}, {state})"

@@ -1,0 +1,157 @@
+"""Kernel execution traces: collection, ASCII rendering, Chrome export.
+
+The timeline is the simulator's replacement for the NVIDIA Visual Profiler
+views the paper uses in its motivation section (Fig. 3 shows a multi-stream
+kernel timeline).  Records carry everything the paper's resource tracker
+extracts through CUPTI: name, stream, enqueue/start/end timestamps, grid and
+block geometry, registers and shared memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Iterable, Optional
+
+from repro.gpusim.kernel import Dim3
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed kernel execution."""
+
+    name: str
+    tag: str
+    stream_id: int
+    enqueue_us: float
+    start_us: float
+    end_us: float
+    grid: Dim3
+    block: Dim3
+    registers: int
+    shared_mem: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def queue_delay_us(self) -> float:
+        """Time between host enqueue and first block starting."""
+        return self.start_us - self.enqueue_us
+
+
+class Timeline:
+    """Append-only store of :class:`TraceRecord` with simple queries."""
+
+    def __init__(self, device: str = "", enabled: bool = True) -> None:
+        self.device = device
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def add(self, record: TraceRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_stream(self) -> dict[int, list[TraceRecord]]:
+        """Records grouped by stream id, each group in start order."""
+        groups: dict[int, list[TraceRecord]] = {}
+        for r in self.records:
+            groups.setdefault(r.stream_id, []).append(r)
+        for g in groups.values():
+            g.sort(key=lambda r: r.start_us)
+        return groups
+
+    def by_name(self, name: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def span_us(self) -> float:
+        """Wall time from the first kernel start to the last kernel end."""
+        if not self.records:
+            return 0.0
+        return (max(r.end_us for r in self.records)
+                - min(r.start_us for r in self.records))
+
+    def max_concurrency(self) -> int:
+        """Peak number of simultaneously running kernels in the trace.
+
+        The quantity Fig. 3 visualizes: how many lanes are busy at once.
+        """
+        points: list[tuple[float, int]] = []
+        for r in self.records:
+            points.append((r.start_us, 1))
+            points.append((r.end_us, -1))
+        points.sort(key=lambda p: (p[0], p[1]))
+        level = peak = 0
+        for _, delta in points:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+
+def ascii_timeline(
+    timeline: Timeline,
+    width: int = 78,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """Render the trace as one ASCII lane per stream (the paper's Fig. 3).
+
+    Each kernel is drawn as a run of its name's first letter; overlap across
+    lanes is concurrency.
+    """
+    recs = timeline.records
+    if not recs:
+        return "(empty timeline)"
+    lo = min(r.start_us for r in recs) if t0 is None else t0
+    hi = max(r.end_us for r in recs) if t1 is None else t1
+    span = max(hi - lo, 1e-9)
+    scale = width / span
+    lines = [
+        f"device={timeline.device}  window=[{lo:.1f}, {hi:.1f}] us  "
+        f"({span:.1f} us across {width} cols)"
+    ]
+    for sid, group in sorted(timeline.by_stream().items()):
+        lane = [" "] * width
+        for r in group:
+            a = int((max(r.start_us, lo) - lo) * scale)
+            b = int((min(r.end_us, hi) - lo) * scale)
+            b = max(b, a + 1)
+            ch = (r.name[0] if r.name else "?")
+            for i in range(a, min(b, width)):
+                lane[i] = ch
+        label = "default" if sid == 0 else f"s{sid}"
+        lines.append(f"{label:>8} |{''.join(lane)}|")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(timeline: Timeline) -> str:
+    """Export as a Chrome ``chrome://tracing`` / Perfetto JSON string."""
+    events = []
+    for r in timeline.records:
+        events.append({
+            "name": r.name,
+            "cat": r.tag or "kernel",
+            "ph": "X",
+            "ts": r.start_us,
+            "dur": r.duration_us,
+            "pid": timeline.device or "gpu",
+            "tid": f"stream {r.stream_id}",
+            "args": {
+                "grid": list(r.grid),
+                "block": list(r.block),
+                "registers": r.registers,
+                "shared_mem": r.shared_mem,
+                "enqueue_us": r.enqueue_us,
+            },
+        })
+    return json.dumps({"traceEvents": events}, indent=1)

@@ -1,0 +1,82 @@
+"""Timeline analysis utilities.
+
+Post-mortem metrics over a :class:`~repro.gpusim.timeline.Timeline`:
+per-stream busy fractions, the cross-stream overlap ratio (how much of the
+wall time had >= 2 kernels in flight — the quantity Fig. 3 visualizes), and
+launch-gap statistics that expose the host launch pipeline of Eq. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate metrics of one execution trace."""
+
+    span_us: float
+    busy_us: float                 # union of kernel intervals
+    overlap_us: float              # time with >= 2 kernels in flight
+    max_concurrency: int
+    kernels: int
+    mean_launch_gap_us: float      # spacing of host enqueue times
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_us / self.span_us if self.span_us > 0 else 0.0
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of busy time spent with kernels overlapping."""
+        return self.overlap_us / self.busy_us if self.busy_us > 0 else 0.0
+
+
+def analyze(timeline: Timeline) -> TraceStats:
+    """Compute :class:`TraceStats` by sweeping the trace's interval events."""
+    recs = timeline.records
+    if not recs:
+        return TraceStats(0.0, 0.0, 0.0, 0, 0, 0.0)
+    points: list[tuple[float, int]] = []
+    for r in recs:
+        points.append((r.start_us, 1))
+        points.append((r.end_us, -1))
+    points.sort(key=lambda p: (p[0], p[1]))
+
+    busy = overlap = 0.0
+    level = peak = 0
+    prev_t = points[0][0]
+    for t, delta in points:
+        dt = t - prev_t
+        if level >= 1:
+            busy += dt
+        if level >= 2:
+            overlap += dt
+        level += delta
+        peak = max(peak, level)
+        prev_t = t
+
+    enqueues = sorted(r.enqueue_us for r in recs)
+    if len(enqueues) > 1:
+        gaps = [b - a for a, b in zip(enqueues, enqueues[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+    else:
+        mean_gap = 0.0
+    return TraceStats(
+        span_us=timeline.span_us(),
+        busy_us=busy,
+        overlap_us=overlap,
+        max_concurrency=peak,
+        kernels=len(recs),
+        mean_launch_gap_us=mean_gap,
+    )
+
+
+def per_stream_busy(timeline: Timeline) -> dict[int, float]:
+    """Busy microseconds per stream lane (kernel durations summed)."""
+    out: dict[int, float] = {}
+    for r in timeline.records:
+        out[r.stream_id] = out.get(r.stream_id, 0.0) + r.duration_us
+    return out

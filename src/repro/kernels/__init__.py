@@ -1,0 +1,53 @@
+"""Kernel IR, launch-configuration heuristics and the roofline cost model.
+
+This package plays the role of cuDNN/cuBLAS in the reproduction: it decides
+what GPU kernels a layer's math turns into (``im2col`` + ``sgemm`` + the
+small ``gemmk`` bias kernel for convolutions, elementwise kernels for
+activations, ...), with realistic launch geometry (grids, blocks, registers,
+shared memory) and per-thread work estimates that the simulator's roofline
+model converts into execution time.
+
+* :mod:`repro.kernels.ir` — :class:`KernelChain` (in-order dependent
+  kernels) and :class:`LayerWork` (batch-parallel chains + serial work),
+  the unit GLP4NN's runtime scheduler dispatches.
+* :mod:`repro.kernels.ops` — builders for each primitive operation.
+* :mod:`repro.kernels.costmodel` — analytic solo-duration estimation, used
+  in tests and as a profiling-free input source for the analyzer.
+"""
+
+from repro.kernels.ir import KernelChain, LayerWork
+from repro.kernels.ops import (
+    im2col_spec,
+    col2im_spec,
+    sgemm_spec,
+    gemmk_bias_spec,
+    pooling_spec,
+    relu_spec,
+    lrn_spec,
+    axpy_spec,
+    eltwise_spec,
+    softmax_spec,
+)
+from repro.kernels.costmodel import (
+    kernel_solo_time_us,
+    chain_solo_time_us,
+    block_work_us,
+)
+
+__all__ = [
+    "KernelChain",
+    "LayerWork",
+    "im2col_spec",
+    "col2im_spec",
+    "sgemm_spec",
+    "gemmk_bias_spec",
+    "pooling_spec",
+    "relu_spec",
+    "lrn_spec",
+    "axpy_spec",
+    "eltwise_spec",
+    "softmax_spec",
+    "kernel_solo_time_us",
+    "chain_solo_time_us",
+    "block_work_us",
+]

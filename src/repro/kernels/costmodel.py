@@ -1,0 +1,72 @@
+"""Analytic kernel-duration estimation (profiling-free).
+
+The resource tracker normally *measures* ``T_Ki`` by running the kernels
+once under the simulated CUPTI (Section 3.1 of the paper).  This module
+provides the closed-form estimate used
+
+* by tests as an independent check on the discrete-event engine, and
+* by the analyzer's optional "static" input source (ablation: model-only,
+  no profiling run).
+
+The estimate mirrors the engine's execution model: a block's *work* is its
+roofline time at full SM throughput; a block whose warp count is below the
+SM's saturation point only achieves a fraction ``c`` of that throughput
+(latency-bound); ``r`` co-resident blocks share the SM once their combined
+demand exceeds 1.  A kernel's grid drains in waves across the SMs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.engine import default_block_work
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.occupancy import max_active_blocks_per_sm
+from repro.gpusim.sm import MIN_BLOCK_WORK_US, block_demand
+from repro.kernels.ir import KernelChain
+
+
+def block_work_us(spec: KernelSpec, device: DeviceProperties) -> float:
+    """Roofline work of one block (µs at full SM throughput).
+
+    Delegates to the engine's default cost function so the analytic
+    estimates and the simulation share one source of truth.
+    """
+    return default_block_work(spec, device)
+
+
+def kernel_solo_time_us(spec: KernelSpec, device: DeviceProperties) -> float:
+    """Estimated duration of the kernel running alone on the device.
+
+    Blocks spread evenly over the SMs (the model's Eq. 8 assumption).  With
+    ``r`` same-kernel blocks resident per SM, each block of demand ``c``
+    finishes in ``w * max(1/c, r)``; the grid drains in
+    ``ceil(#blocks / (r * #SM))`` waves.
+    """
+    launch = spec.launch
+    w = max(block_work_us(spec, device), MIN_BLOCK_WORK_US)
+    c = block_demand(device, launch)
+    fit = max_active_blocks_per_sm(device, launch).blocks_per_sm
+    blocks = launch.num_blocks
+    capacity = fit * device.sm_count
+    if blocks <= capacity:
+        # single wave; residency per SM is the even spread
+        r = max(1, math.ceil(blocks / device.sm_count))
+        r = min(r, fit)
+        return w * max(1.0 / c, r)
+    waves = blocks / capacity
+    return w * max(1.0 / c, fit) * waves
+
+
+def chain_solo_time_us(chain: KernelChain, device: DeviceProperties) -> float:
+    """Serial duration of a dependent kernel chain (no launch gaps)."""
+    return sum(kernel_solo_time_us(k, device) for k in chain)
+
+
+def kernel_flop_rate(spec: KernelSpec, device: DeviceProperties) -> float:
+    """Achieved GFLOP/s of the kernel under the solo-time estimate."""
+    t = kernel_solo_time_us(spec, device)
+    if t <= 0:
+        return 0.0
+    return spec.total_flops / t / 1e3  # flops/µs -> GFLOP/s

@@ -1,0 +1,104 @@
+"""Kernel chains and layer work units.
+
+GLP4NN's batch-level parallelism decomposes a layer's computation into
+independent per-sample *chains* of kernels (the loop over ``n`` in the
+paper's Algorithms 1 and 2).  Kernels inside one chain are data-dependent
+(``im2col`` feeds ``sgemm`` feeds the bias kernel) and must run in order on
+one stream; different chains are independent and may run concurrently on
+different streams.  Work that reduces across the batch (e.g. weight-gradient
+accumulation in the backward pass) is *serial* and runs on the default
+stream after the chains complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.gpusim.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class KernelChain:
+    """An ordered, data-dependent sequence of kernels (one stream's worth)."""
+
+    kernels: tuple[KernelSpec, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+
+    def __iter__(self) -> Iterator[KernelSpec]:
+        return iter(self.kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def retagged(self, prefix: str) -> "KernelChain":
+        """Copy with every kernel's tag prefixed (per-sample provenance)."""
+        return KernelChain(
+            tuple(k.retagged(f"{prefix}/{k.tag}" if k.tag else prefix)
+                  for k in self.kernels),
+            label=self.label,
+        )
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """All GPU work of one layer in one phase (forward or backward).
+
+    Attributes
+    ----------
+    layer:
+        Layer name (``conv1``...), the key under which the resource tracker
+        caches profiles and the analyzer caches concurrency decisions.
+    phase:
+        ``"forward"`` or ``"backward"``.
+    parallel_chains:
+        Independent chains — one per batch sample for convolution layers.
+        GLP4NN distributes these round-robin over the stream pool; the naive
+        executor runs them back-to-back on the default stream, which is
+        exactly what unmodified Caffe does.
+    serial_kernels:
+        Whole-batch kernels that must run after the chains (reductions,
+        fused batch implementations of non-conv layers).
+    """
+
+    layer: str
+    phase: str
+    parallel_chains: tuple[KernelChain, ...] = ()
+    serial_kernels: tuple[KernelSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parallel_chains", tuple(self.parallel_chains))
+        object.__setattr__(self, "serial_kernels", tuple(self.serial_kernels))
+        if self.phase not in ("forward", "backward"):
+            raise ValueError(f"phase must be forward/backward, got {self.phase!r}")
+
+    @property
+    def key(self) -> str:
+        """Cache key used by the tracker and the concurrency maintainer."""
+        return f"{self.layer}/{self.phase}"
+
+    def all_kernels(self) -> list[KernelSpec]:
+        out: list[KernelSpec] = []
+        for chain in self.parallel_chains:
+            out.extend(chain.kernels)
+        out.extend(self.serial_kernels)
+        return out
+
+    def unique_signatures(self) -> list[KernelSpec]:
+        """One representative per distinct kernel signature, chain order.
+
+        This is the kernel set ``K = {K_1 .. K_N}`` the analytical model
+        reasons about for this layer.
+        """
+        seen: dict[tuple, KernelSpec] = {}
+        for k in self.all_kernels():
+            seen.setdefault(k.signature, k)
+        return list(seen.values())
+
+    @property
+    def num_kernels(self) -> int:
+        return (sum(len(c) for c in self.parallel_chains)
+                + len(self.serial_kernels))

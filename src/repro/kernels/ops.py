@@ -1,0 +1,235 @@
+"""Builders for the primitive GPU kernels a Caffe-style network uses.
+
+Launch geometry follows Caffe's CUDA conventions (elementwise kernels use
+``CAFFE_CUDA_NUM_THREADS``-sized blocks over a flat index space) and a
+cuBLAS-style tiled SGEMM.  Register counts and shared-memory footprints are
+fixed per kernel family at values representative of ``nvcc`` output for
+these kernels (e.g. the paper's workflow example reports 33 registers for
+``im2col``); the analytical model consumes them as profiling input, so what
+matters is that they are *realistic and consistent*, not cycle-exact.
+
+All builders return a single :class:`~repro.gpusim.kernel.KernelSpec` for
+**one sample** unless stated otherwise; batch-level parallelism replicates
+them across the batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+
+#: Caffe's default block size for elementwise kernels.
+CAFFE_CUDA_NUM_THREADS = 512
+
+#: SGEMM tiling alternatives (tile edge, threads/block, regs, smem bytes).
+_SGEMM_TILES = (
+    # (tile, threads, registers, shared_mem) — large tile for big GEMMs,
+    # small tile for skinny ones, mirroring cuBLAS kernel selection.
+    (64, 256, 122, 8192),
+    (32, 128, 63, 4352),
+    (16, 64, 40, 2176),
+)
+
+
+def _flat_grid(n: int, threads: int = CAFFE_CUDA_NUM_THREADS) -> LaunchConfig:
+    blocks = max(1, math.ceil(n / threads))
+    return LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1))
+
+
+def im2col_spec(ci: int, out_h: int, out_w: int, fh: int, fw: int,
+                tag: str = "") -> KernelSpec:
+    """Caffe's ``im2col_gpu_kernel``: one thread per (channel, output pixel).
+
+    Each thread copies an ``fh x fw`` patch row into the column buffer.
+    """
+    n = ci * out_h * out_w
+    lc = _flat_grid(n)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=33)
+    return KernelSpec(
+        name="im2col",
+        launch=lc,
+        flops_per_thread=3.0 * fh * fw,      # index arithmetic per element
+        bytes_per_thread=8.0 * fh * fw,      # read + write one float each
+        tag=tag,
+    )
+
+
+def col2im_spec(ci: int, h: int, w: int, fh: int, fw: int,
+                tag: str = "") -> KernelSpec:
+    """Caffe's ``col2im_gpu_kernel`` (backward of im2col): one thread/pixel."""
+    n = ci * h * w
+    lc = _flat_grid(n)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=38)
+    return KernelSpec(
+        name="col2im",
+        launch=lc,
+        flops_per_thread=4.0 * fh * fw,
+        bytes_per_thread=4.0 * fh * fw + 8.0,
+        tag=tag,
+    )
+
+
+def sgemm_spec(m: int, n: int, k: int, tag: str = "",
+               accumulate: bool = False) -> KernelSpec:
+    """Tiled SGEMM ``C[m,n] (+)= A[m,k] @ B[k,n]``, cuBLAS-style.
+
+    Tile size adapts to the output shape the way cuBLAS picks kernels: big
+    square outputs get 64x64 tiles, skinny ones 32 or 16.  Shared-memory
+    staging means each A/B element is read from DRAM once per tile row /
+    column rather than once per use.
+    """
+    if m < 1 or n < 1 or k < 1:
+        raise ValueError(f"sgemm dims must be positive: {(m, n, k)}")
+    for tile, threads, regs, smem in _SGEMM_TILES:
+        if min(m, n) >= tile or (tile, threads, regs, smem) == _SGEMM_TILES[-1]:
+            break
+    gm, gn = math.ceil(m / tile), math.ceil(n / tile)
+    blocks = gm * gn
+    lc = LaunchConfig(
+        grid=(gm, gn, 1),
+        block=(threads, 1, 1),
+        shared_mem_dynamic=smem,
+        registers_per_thread=regs,
+    )
+    total_threads = blocks * threads
+    total_flops = 2.0 * m * n * k
+    # tile loads through shared memory + one store (plus a load if beta!=0)
+    total_bytes = 4.0 * (k * (gm + gn) * tile + (2 if accumulate else 1) * m * n)
+    return KernelSpec(
+        name="sgemm",
+        launch=lc,
+        flops_per_thread=total_flops / total_threads,
+        bytes_per_thread=total_bytes / total_threads,
+        tag=tag,
+    )
+
+
+def gemmk_bias_spec(co: int, out_hw: int, tag: str = "") -> KernelSpec:
+    """The small ``gemmk`` bias-broadcast kernel of the paper's example.
+
+    Caffe realizes bias addition as a rank-1 GEMM with a ones vector; the
+    resulting kernel is tiny (the third kernel in the paper's conv1
+    workflow).
+    """
+    n = co * out_hw
+    lc = _flat_grid(n, threads=256)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=40)
+    return KernelSpec(
+        name="gemmk",
+        launch=lc,
+        flops_per_thread=2.0,
+        bytes_per_thread=12.0,
+        tag=tag,
+    )
+
+
+def pooling_spec(co: int, pooled_h: int, pooled_w: int, fh: int, fw: int,
+                 op: str = "max", tag: str = "") -> KernelSpec:
+    """Caffe's ``MaxPoolForward`` / ``AvePoolForward``: one thread/output."""
+    n = co * pooled_h * pooled_w
+    lc = _flat_grid(n)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=28)
+    return KernelSpec(
+        name=f"{op}pool",
+        launch=lc,
+        flops_per_thread=float(fh * fw),
+        bytes_per_thread=4.0 * fh * fw + 8.0,
+        tag=tag,
+    )
+
+
+def relu_spec(count: int, tag: str = "") -> KernelSpec:
+    """Elementwise ReLU over ``count`` values."""
+    lc = _flat_grid(count)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=10)
+    return KernelSpec(
+        name="relu",
+        launch=lc,
+        flops_per_thread=1.0,
+        bytes_per_thread=8.0,
+        tag=tag,
+    )
+
+
+def lrn_spec(channels: int, h: int, w: int, size: int, stage: str = "scale",
+             tag: str = "") -> KernelSpec:
+    """Local response normalization (two-stage, Caffe's cross-channel LRN).
+
+    ``stage="scale"`` is ``LRNFillScale`` (one thread per spatial position,
+    sliding a window over channels); ``stage="output"`` is the elementwise
+    ``LRNComputeOutput``.
+    """
+    if stage == "scale":
+        n = h * w
+        lc = _flat_grid(n)
+        lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=36)
+        return KernelSpec(
+            name="lrn_scale",
+            launch=lc,
+            flops_per_thread=4.0 * size + 2.0 * channels,
+            bytes_per_thread=8.0 * channels,
+            tag=tag,
+        )
+    if stage == "output":
+        n = channels * h * w
+        lc = _flat_grid(n)
+        lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=18)
+        return KernelSpec(
+            name="lrn_output",
+            launch=lc,
+            flops_per_thread=8.0,   # pow()
+            bytes_per_thread=12.0,
+            tag=tag,
+        )
+    raise ValueError(f"unknown LRN stage {stage!r}")
+
+
+def axpy_spec(count: int, tag: str = "") -> KernelSpec:
+    """``y += alpha * x`` over ``count`` values (SGD parameter updates)."""
+    lc = _flat_grid(count)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=12)
+    return KernelSpec(
+        name="axpy",
+        launch=lc,
+        flops_per_thread=2.0,
+        bytes_per_thread=12.0,
+        tag=tag,
+    )
+
+
+def eltwise_spec(name: str, count: int, flops: float = 1.0,
+                 bytes_per_elem: float = 8.0, registers: int = 14,
+                 tag: str = "") -> KernelSpec:
+    """Generic elementwise kernel over ``count`` values.
+
+    Used for ops whose GPU form is a flat map (dropout masking, concat
+    copies, scale), which all launch Caffe-style flat grids.
+    """
+    lc = _flat_grid(count)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block,
+                      registers_per_thread=registers)
+    return KernelSpec(
+        name=name,
+        launch=lc,
+        flops_per_thread=flops,
+        bytes_per_thread=bytes_per_elem,
+        tag=tag,
+    )
+
+
+def softmax_spec(classes: int, count: int = 1, tag: str = "") -> KernelSpec:
+    """Fused softmax (max/exp/sum/div) over ``count`` rows of ``classes``.
+
+    Whole-batch kernel: loss layers are not batch-parallelized by GLP4NN.
+    """
+    n = classes * count
+    lc = _flat_grid(n)
+    lc = LaunchConfig(grid=lc.grid, block=lc.block, registers_per_thread=24)
+    return KernelSpec(
+        name="softmax",
+        launch=lc,
+        flops_per_thread=6.0,
+        bytes_per_thread=16.0,
+        tag=tag,
+    )

@@ -1,0 +1,47 @@
+"""A small, self-contained mixed-integer linear programming solver.
+
+The paper solves its analytical model (Section 3.2) with the GNU Linear
+Programming Kit.  GLPK is not available here, so this package implements the
+needed subset from scratch:
+
+* :mod:`repro.milp.model` — a modelling layer (variables, linear
+  expressions, constraints, min/max objectives);
+* :mod:`repro.milp.simplex` — a dense two-phase primal simplex solver with
+  Bland's anti-cycling rule;
+* :mod:`repro.milp.branch_and_bound` — best-first branch and bound over the
+  LP relaxation for integer variables.
+
+The solver is exact for the problem sizes GLP4NN produces (a handful of
+integer variables per layer) and is validated in the test suite against
+``scipy.optimize.linprog`` / ``scipy.optimize.milp`` as oracles.
+
+>>> from repro.milp import Model
+>>> m = Model("toy")
+>>> x = m.int_var("x", lo=0, hi=10)
+>>> y = m.int_var("y", lo=0, hi=10)
+>>> _ = m.add_constr(3 * x + 4 * y <= 24)
+>>> m.maximize(2 * x + 3 * y)
+>>> sol = m.solve()
+>>> sol.objective
+18.0
+>>> sol[y]
+6.0
+"""
+
+from repro.milp.model import Model, Var, LinExpr, Constraint
+from repro.milp.simplex import LinearProgram, SimplexResult, solve_lp
+from repro.milp.branch_and_bound import solve_milp
+from repro.milp.solution import Solution, SolveStatus
+
+__all__ = [
+    "Model",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "LinearProgram",
+    "SimplexResult",
+    "solve_lp",
+    "solve_milp",
+    "Solution",
+    "SolveStatus",
+]

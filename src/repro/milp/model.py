@@ -1,0 +1,276 @@
+"""Algebraic modelling layer over the LP/MILP solvers.
+
+Provides GLPK-style model building with operator overloading:
+
+>>> m = Model("occupancy")
+>>> k1 = m.int_var("k_im2col", lo=1, hi=8)
+>>> k2 = m.int_var("k_sgemm", lo=1, hi=8)
+>>> m.add_constr(256 * k1 + 512 * k2 <= 2048, name="threads")
+>>> m.maximize(256 * k1 + 512 * k2)
+>>> sol = m.solve()
+>>> sol.status.ok
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.milp.branch_and_bound import solve_milp
+from repro.milp.simplex import LinearProgram, solve_lp
+from repro.milp.solution import Solution, SolveStatus
+
+Number = Union[int, float]
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff * var) + const``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[dict["Var", float]] = None,
+                 const: float = 0.0) -> None:
+        self.coeffs: dict[Var, float] = dict(coeffs or {})
+        self.const = float(const)
+
+    # -- arithmetic ----------------------------------------------------
+    @staticmethod
+    def _as_expr(other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Var):
+            return LinExpr({other: 1.0})
+        if isinstance(other, (int, float)):
+            return LinExpr(const=float(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other) -> "LinExpr":
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        out = LinExpr(self.coeffs, self.const + o.const)
+        for v, c in o.coeffs.items():
+            out.coeffs[v] = out.coeffs.get(v, 0.0) + c
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "LinExpr":
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._as_expr(other) - self
+
+    def __mul__(self, k) -> "LinExpr":
+        if not isinstance(k, (int, float)):
+            return NotImplemented
+        return LinExpr({v: c * k for v, c in self.coeffs.items()},
+                       self.const * k)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k) -> "LinExpr":
+        return self * (1.0 / k)
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._as_expr(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self._as_expr(other) - self, "<=")
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - self._as_expr(other), "==")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def value(self, values: dict[str, float]) -> float:
+        """Evaluate under a name->value assignment."""
+        return self.const + sum(c * values[v.name] for v, c in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = [f"{c:+g}*{v.name}" for v, c in self.coeffs.items()]
+        if self.const or not terms:
+            terms.append(f"{self.const:+g}")
+        return " ".join(terms)
+
+
+class Var:
+    """A decision variable. Create through :meth:`Model.var` / ``int_var``."""
+
+    __slots__ = ("name", "lo", "hi", "is_integer", "index")
+
+    def __init__(self, name: str, lo: float, hi: float, is_integer: bool,
+                 index: int) -> None:
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.is_integer = is_integer
+        self.index = index
+
+    def _expr(self) -> LinExpr:
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr._as_expr(other) - self._expr()
+
+    def __neg__(self):
+        return -self._expr()
+
+    def __mul__(self, k):
+        return self._expr() * k
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k):
+        return self._expr() / k
+
+    def __le__(self, other) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Var) and other is self:
+            return True
+        return self._expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "int" if self.is_integer else "cont"
+        return f"Var({self.name}, {kind}, [{self.lo}, {self.hi}])"
+
+
+@dataclass
+class Constraint:
+    """``expr <= 0`` or ``expr == 0`` (normalized form)."""
+
+    expr: LinExpr
+    sense: str  # "<=" or "=="
+    name: str = ""
+
+
+class Model:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.vars: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self._objective: Optional[LinExpr] = None
+        self._sense = 1.0  # +1 minimize, -1 maximize
+
+    # -- building --------------------------------------------------------
+    def var(self, name: str, lo: float = 0.0, hi: float = math.inf) -> Var:
+        """Add a continuous variable."""
+        return self._add_var(name, lo, hi, is_integer=False)
+
+    def int_var(self, name: str, lo: float = 0.0, hi: float = math.inf) -> Var:
+        """Add an integer variable."""
+        return self._add_var(name, lo, hi, is_integer=True)
+
+    def _add_var(self, name: str, lo: float, hi: float, is_integer: bool) -> Var:
+        if any(v.name == name for v in self.vars):
+            raise SolverError(f"duplicate variable name {name!r}")
+        if lo > hi:
+            raise SolverError(f"variable {name!r}: lo {lo} > hi {hi}")
+        v = Var(name, float(lo), float(hi), is_integer, len(self.vars))
+        self.vars.append(v)
+        return v
+
+    def add_constr(self, constr: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constr, Constraint):
+            raise SolverError(
+                "add_constr expects a Constraint (did the comparison "
+                "evaluate to a bool?)"
+            )
+        if name:
+            constr.name = name
+        self.constraints.append(constr)
+        return constr
+
+    def minimize(self, expr: Union[LinExpr, Var, Number]) -> None:
+        self._objective = LinExpr._as_expr(expr)
+        self._sense = 1.0
+
+    def maximize(self, expr: Union[LinExpr, Var, Number]) -> None:
+        self._objective = LinExpr._as_expr(expr)
+        self._sense = -1.0
+
+    # -- solving ----------------------------------------------------------
+    def _build_lp(self) -> LinearProgram:
+        if self._objective is None:
+            raise SolverError("no objective set")
+        n = len(self.vars)
+        c = np.zeros(n)
+        for v, coeff in self._objective.coeffs.items():
+            c[v.index] = coeff * self._sense
+        rows_ub, rhs_ub, rows_eq, rhs_eq = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for v, coeff in con.expr.coeffs.items():
+                row[v.index] = coeff
+            rhs = -con.expr.const
+            if con.sense == "<=":
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+        lo = np.array([v.lo for v in self.vars])
+        hi = np.array([v.hi for v in self.vars])
+        return LinearProgram(
+            c,
+            np.array(rows_ub) if rows_ub else None,
+            np.array(rhs_ub) if rhs_ub else None,
+            np.array(rows_eq) if rows_eq else None,
+            np.array(rhs_eq) if rhs_eq else None,
+            lo, hi,
+        )
+
+    def solve(self, max_nodes: int = 100_000) -> Solution:
+        """Solve and return a :class:`~repro.milp.solution.Solution`.
+
+        The reported ``objective`` is in the user's orientation (the value of
+        the expression passed to ``minimize``/``maximize``).
+        """
+        lp = self._build_lp()
+        integers = [v.index for v in self.vars if v.is_integer]
+        if integers:
+            res = solve_milp(lp, integers, max_nodes=max_nodes)
+            nodes, iters = res.nodes, res.iterations
+            status, x, obj = res.status, res.x, res.objective
+        else:
+            r = solve_lp(lp)
+            nodes, iters = 0, r.iterations
+            status, x, obj = r.status, r.x, r.objective
+        if status is not SolveStatus.OPTIMAL or x is None:
+            return Solution(status, math.nan, {}, nodes, iters)
+        values = {}
+        for v in self.vars:
+            val = float(x[v.index])
+            values[v.name] = float(round(val)) if v.is_integer else val
+        user_obj = self._objective.value(values) + 0.0  # type: ignore[union-attr]
+        return Solution(SolveStatus.OPTIMAL, user_obj, values, nodes, iters)

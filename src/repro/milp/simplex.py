@@ -1,0 +1,301 @@
+"""Dense two-phase primal simplex.
+
+Solves
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lo <= x <= hi   (elementwise; +-inf allowed)
+
+by reduction to standard form (``min c y, G y = g, y >= 0``):
+
+* finite lower bounds are shifted out (``x = lo + y``);
+* finite upper bounds become explicit ``<=`` rows;
+* free variables are split into positive and negative parts;
+* inequality rows receive slack variables;
+* phase 1 minimizes the sum of artificial variables to find a basic
+  feasible point, phase 2 optimizes the real objective.
+
+Bland's rule guarantees termination on degenerate problems.  The
+implementation is dense NumPy and intended for the small programs GLP4NN's
+analytical model emits (tens of variables/rows); the test suite checks it
+against ``scipy.optimize.linprog`` on random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.milp.solution import SolveStatus
+
+_EPS = 1e-9
+
+
+@dataclass
+class LinearProgram:
+    """A bounded-variable LP in ``scipy.optimize.linprog``-like form."""
+
+    c: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    lo: Optional[np.ndarray] = None
+    hi: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float).ravel()
+        n = self.c.size
+        if self.a_ub is not None:
+            self.a_ub = np.atleast_2d(np.asarray(self.a_ub, dtype=float))
+            self.b_ub = np.asarray(self.b_ub, dtype=float).ravel()
+            if self.a_ub.shape != (self.b_ub.size, n):
+                raise SolverError("a_ub/b_ub shape mismatch")
+        if self.a_eq is not None:
+            self.a_eq = np.atleast_2d(np.asarray(self.a_eq, dtype=float))
+            self.b_eq = np.asarray(self.b_eq, dtype=float).ravel()
+            if self.a_eq.shape != (self.b_eq.size, n):
+                raise SolverError("a_eq/b_eq shape mismatch")
+        self.lo = (np.zeros(n) if self.lo is None
+                   else np.asarray(self.lo, dtype=float).ravel().copy())
+        self.hi = (np.full(n, np.inf) if self.hi is None
+                   else np.asarray(self.hi, dtype=float).ravel().copy())
+        if self.lo.size != n or self.hi.size != n:
+            raise SolverError("bounds length mismatch")
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.size
+
+    def with_bounds(self, index: int, lo: float, hi: float) -> "LinearProgram":
+        """Copy with variable ``index`` re-bounded (used by branch & bound)."""
+        new_lo = self.lo.copy()
+        new_hi = self.hi.copy()
+        new_lo[index] = lo
+        new_hi[index] = hi
+        return LinearProgram(self.c, self.a_ub, self.b_ub,
+                             self.a_eq, self.b_eq, new_lo, new_hi)
+
+
+@dataclass
+class SimplexResult:
+    status: SolveStatus
+    x: Optional[np.ndarray] = None
+    objective: float = np.nan
+    iterations: int = 0
+
+
+def _pivot(tab: np.ndarray, row: int, col: int) -> None:
+    """In-place Gauss-Jordan pivot of the tableau on (row, col)."""
+    tab[row] /= tab[row, col]
+    colvals = tab[:, col].copy()
+    colvals[row] = 0.0
+    tab -= np.outer(colvals, tab[row])
+    # Re-assert exact basis column to fight round-off drift.
+    tab[:, col] = 0.0
+    tab[row, col] = 1.0
+
+
+def _simplex_phase(
+    tab: np.ndarray, basis: np.ndarray, ncols: int, max_iter: int
+) -> tuple[SolveStatus, int]:
+    """Run primal simplex on a tableau whose last row is the objective.
+
+    ``tab`` layout: rows 0..m-1 are constraints (last column = RHS), row m is
+    the reduced-cost row.  Bland's rule: entering variable = lowest index
+    with negative reduced cost; leaving = lowest-index tied minimum ratio.
+    """
+    m = tab.shape[0] - 1
+    it = 0
+    while True:
+        costs = tab[-1, :ncols]
+        entering = -1
+        for j in range(ncols):
+            if costs[j] < -_EPS:
+                entering = j
+                break
+        if entering < 0:
+            return SolveStatus.OPTIMAL, it
+        col = tab[:m, entering]
+        rhs = tab[:m, -1]
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            if col[i] > _EPS:
+                ratio = rhs[i] / col[i]
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return SolveStatus.UNBOUNDED, it
+        _pivot(tab, leaving, entering)
+        basis[leaving] = entering
+        it += 1
+        if it >= max_iter:
+            return SolveStatus.ITERATION_LIMIT, it
+
+
+def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> SimplexResult:
+    """Solve a bounded-variable LP with two-phase primal simplex.
+
+    Returns the optimum in the *original* variable space (bound shifts and
+    free-variable splits undone).
+    """
+    n = lp.num_vars
+    lo, hi = lp.lo, lp.hi
+    if np.any(lo > hi + _EPS):
+        return SimplexResult(SolveStatus.INFEASIBLE)
+
+    # --- build the shifted/split variable map -------------------------
+    # y-columns: for each original variable either one shifted column
+    # (finite lo) or a +/- pair (free below).
+    col_of_var: list[tuple[int, int]] = []  # (pos_col, neg_col or -1)
+    ncols = 0
+    for j in range(n):
+        if np.isfinite(lo[j]):
+            col_of_var.append((ncols, -1))
+            ncols += 1
+        else:
+            col_of_var.append((ncols, ncols + 1))
+            ncols += 2
+
+    def expand_matrix(a: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if a is None:
+            return None
+        out = np.zeros((a.shape[0], ncols))
+        for j in range(n):
+            pos, neg = col_of_var[j]
+            out[:, pos] = a[:, j]
+            if neg >= 0:
+                out[:, neg] = -a[:, j]
+        return out
+
+    shift = np.where(np.isfinite(lo), lo, 0.0)
+
+    rows_ub = []
+    rhs_ub = []
+    if lp.a_ub is not None:
+        ub_shifted = lp.b_ub - lp.a_ub @ shift
+        a = expand_matrix(lp.a_ub)
+        for i in range(a.shape[0]):
+            rows_ub.append(a[i])
+            rhs_ub.append(ub_shifted[i])
+    # finite upper bounds -> y_pos <= hi - lo rows
+    for j in range(n):
+        if np.isfinite(hi[j]):
+            pos, _ = col_of_var[j]
+            row = np.zeros(ncols)
+            row[pos] = 1.0
+            rows_ub.append(row)
+            rhs_ub.append(hi[j] - shift[j])
+
+    rows_eq = []
+    rhs_eq = []
+    if lp.a_eq is not None:
+        eq_shifted = lp.b_eq - lp.a_eq @ shift
+        a = expand_matrix(lp.a_eq)
+        for i in range(a.shape[0]):
+            rows_eq.append(a[i])
+            rhs_eq.append(eq_shifted[i])
+
+    m_ub, m_eq = len(rows_ub), len(rows_eq)
+    m = m_ub + m_eq
+    c_y = expand_matrix(lp.c.reshape(1, -1))[0]
+    const_term = float(lp.c @ shift)
+
+    if m == 0:
+        # No rows at all (so no finite upper bounds either): every y column
+        # with a negative cost runs off to +inf, otherwise the optimum is
+        # y = 0, i.e. x = lo.
+        if np.any(c_y < -_EPS):
+            return SimplexResult(SolveStatus.UNBOUNDED)
+        y = np.zeros(ncols)
+        return SimplexResult(SolveStatus.OPTIMAL,
+                             _recover(y, col_of_var, shift, n),
+                             const_term, 0)
+
+    # --- standard form: G y + slacks = g, all >= 0 --------------------
+    total_cols = ncols + m_ub + m  # y cols + slacks + artificials
+    g_mat = np.zeros((m, total_cols))
+    g_rhs = np.zeros(m)
+    for i in range(m_ub):
+        g_mat[i, :ncols] = rows_ub[i]
+        g_rhs[i] = rhs_ub[i]
+        g_mat[i, ncols + i] = 1.0
+    for k in range(m_eq):
+        i = m_ub + k
+        g_mat[i, :ncols] = rows_eq[k]
+        g_rhs[i] = rhs_eq[k]
+    # normalize negative RHS so artificials give a valid identity basis
+    for i in range(m):
+        if g_rhs[i] < 0:
+            g_mat[i, : ncols + m_ub] *= -1.0
+            g_rhs[i] *= -1.0
+    art0 = ncols + m_ub
+    for i in range(m):
+        g_mat[i, art0 + i] = 1.0
+
+    # --- phase 1 -------------------------------------------------------
+    tab = np.zeros((m + 1, total_cols + 1))
+    tab[:m, :total_cols] = g_mat
+    tab[:m, -1] = g_rhs
+    tab[-1, art0:art0 + m] = 1.0
+    # price out the artificial basis
+    tab[-1] -= tab[:m].sum(axis=0)
+    basis = np.arange(art0, art0 + m)
+    status, it1 = _simplex_phase(tab, basis, total_cols, max_iter)
+    if status is SolveStatus.ITERATION_LIMIT:
+        return SimplexResult(status, iterations=it1)
+    if tab[-1, -1] < -1e-7:
+        return SimplexResult(SolveStatus.INFEASIBLE, iterations=it1)
+
+    # drive any artificial variable still basic (at zero) out of the basis
+    for i in range(m):
+        if basis[i] >= art0:
+            pivot_col = -1
+            for j in range(art0):
+                if abs(tab[i, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tab, i, pivot_col)
+                basis[i] = pivot_col
+            # else: redundant row; leave the zero artificial basic.
+
+    # --- phase 2 -------------------------------------------------------
+    tab2 = np.zeros((m + 1, art0 + 1))
+    tab2[:m, :art0] = tab[:m, :art0]
+    tab2[:m, -1] = tab[:m, -1]
+    tab2[-1, :ncols] = c_y
+    for i in range(m):
+        if basis[i] < art0 and abs(tab2[-1, basis[i]]) > 0:
+            tab2[-1] -= tab2[-1, basis[i]] * tab2[i]
+    # forbid re-entering artificial rows: columns >= art0 no longer exist.
+    status, it2 = _simplex_phase(tab2, basis, art0, max_iter)
+    if status is not SolveStatus.OPTIMAL:
+        return SimplexResult(status, iterations=it1 + it2)
+
+    y = np.zeros(art0)
+    for i in range(m):
+        if basis[i] < art0:
+            y[basis[i]] = tab2[i, -1]
+    x = _recover(y[:ncols], col_of_var, shift, n)
+    return SimplexResult(SolveStatus.OPTIMAL, x, float(lp.c @ x), it1 + it2)
+
+
+def _recover(
+    y: np.ndarray, col_of_var: list[tuple[int, int]], shift: np.ndarray, n: int
+) -> np.ndarray:
+    x = np.empty(n)
+    for j in range(n):
+        pos, neg = col_of_var[j]
+        val = y[pos] - (y[neg] if neg >= 0 else 0.0)
+        x[j] = val + shift[j]
+    return x

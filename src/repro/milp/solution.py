@@ -1,0 +1,44 @@
+"""Solution and status types shared by the LP and MILP layers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an optimization run."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+    @property
+    def ok(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of a :class:`~repro.milp.model.Model` solve.
+
+    ``values`` maps variable *names* to their optimal values; integer
+    variables are rounded to exact integers.  ``objective`` is reported in
+    the user's sense (maximization objectives are not negated back).
+    """
+
+    status: SolveStatus
+    objective: float
+    values: dict[str, float] = field(default_factory=dict)
+    nodes_explored: int = 0
+    simplex_iterations: int = 0
+
+    def __getitem__(self, var) -> float:
+        name = getattr(var, "name", var)
+        return self.values[name]
+
+    def as_array(self, order: list[str]) -> np.ndarray:
+        return np.array([self.values[n] for n in order], dtype=float)

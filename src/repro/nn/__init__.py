@@ -1,0 +1,52 @@
+"""A Caffe-like neural-network framework in NumPy.
+
+This is the substrate GLP4NN integrates with (the paper modifies Caffe into
+"GLP4NN-Caffe").  It follows Caffe's architecture: named :class:`Blob` s
+flow between :class:`Layer` s arranged in a :class:`Net`, trained by an SGD
+:class:`Solver` with Caffe's learning-rate policies.  The numerical results
+are completely independent of how the lowered kernels are scheduled on the
+simulated GPU — that separation is what makes GLP4NN convergence-invariant,
+and the Fig. 11 experiment demonstrates it with real training runs.
+
+Layer coverage matches what the paper's four networks need: convolution
+(im2col + GEMM, per-sample like Caffe's GPU path), max/average pooling,
+ReLU, LRN, inner product, dropout, concat, softmax-with-loss, contrastive
+loss (for the Siamese network), and accuracy.
+
+>>> from repro.nn import Net, LayerDef
+>>> from repro.nn.layers import ConvolutionLayer, ReLULayer
+"""
+
+from repro.nn.blob import Blob
+from repro.nn.config import ConvConfig, PoolConfig, conv_out_dim
+from repro.nn.filler import (
+    constant_filler,
+    gaussian_filler,
+    xavier_filler,
+    make_filler,
+)
+from repro.nn.im2col import im2col, col2im
+from repro.nn.layer import Layer, LayerDef
+from repro.nn.net import Net
+from repro.nn.solver import Solver, SolverConfig
+from repro.nn.trainer import Trainer, TrainEvent
+
+__all__ = [
+    "Blob",
+    "ConvConfig",
+    "PoolConfig",
+    "conv_out_dim",
+    "constant_filler",
+    "gaussian_filler",
+    "xavier_filler",
+    "make_filler",
+    "im2col",
+    "col2im",
+    "Layer",
+    "LayerDef",
+    "Net",
+    "Solver",
+    "SolverConfig",
+    "Trainer",
+    "TrainEvent",
+]

@@ -1,0 +1,66 @@
+"""Blobs: named tensors with paired gradient storage, as in Caffe."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+
+class Blob:
+    """A tensor (``data``) plus its gradient (``diff``), float32.
+
+    Caffe's central data structure: layer inputs/outputs and parameters are
+    all blobs.  ``diff`` is lazily allocated, zeroed by ``zero_diff`` at the
+    start of each backward pass.
+    """
+
+    __slots__ = ("name", "data", "_diff")
+
+    def __init__(self, shape: Sequence[int] | np.ndarray, name: str = "") -> None:
+        if isinstance(shape, np.ndarray):
+            self.data = np.ascontiguousarray(shape, dtype=np.float32)
+        else:
+            if any(int(d) <= 0 for d in shape):
+                raise NetworkError(f"blob {name!r}: non-positive shape {shape}")
+            self.data = np.zeros(tuple(int(d) for d in shape), dtype=np.float32)
+        self.name = name
+        self._diff: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def count(self) -> int:
+        return self.data.size
+
+    @property
+    def diff(self) -> np.ndarray:
+        if self._diff is None:
+            self._diff = np.zeros_like(self.data)
+        return self._diff
+
+    @diff.setter
+    def diff(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=np.float32)
+        if value.shape != self.data.shape:
+            raise NetworkError(
+                f"blob {self.name!r}: diff shape {value.shape} != data "
+                f"shape {self.data.shape}"
+            )
+        self._diff = value
+
+    def zero_diff(self) -> None:
+        if self._diff is not None:
+            self._diff.fill(0.0)
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes the blob (data + diff) would occupy."""
+        return 2 * self.data.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Blob({self.name!r}, shape={self.shape})"

@@ -1,0 +1,112 @@
+"""Layer configuration records.
+
+:class:`ConvConfig` carries exactly the columns of the paper's Table 5
+("Layers of DNNs used in this paper"): batch size ``N``, input depth
+``C_i``, spatial size ``H``/``W``, output depth ``C_o``, filter size
+``F_h``/``F_w``, stride ``S`` and padding ``P``.  Both the numeric layers
+and the shape-driven lowering in :mod:`repro.runtime.lowering` consume these
+records, so timing experiments can run without allocating any tensor data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+def conv_out_dim(size: int, filt: int, stride: int, pad: int) -> int:
+    """Caffe's convolution output-dimension formula."""
+    out = (size + 2 * pad - filt) // stride + 1
+    if out < 1:
+        raise NetworkError(
+            f"convolution output collapsed: size={size} filt={filt} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def pool_out_dim(size: int, filt: int, stride: int, pad: int = 0) -> int:
+    """Caffe's pooling output-dimension formula (ceil mode)."""
+    out = -(-(size + 2 * pad - filt) // stride) + 1
+    return max(out, 1)
+
+
+@dataclass(frozen=True)
+class ConvConfig:
+    """One convolution layer exactly as a row of the paper's Table 5.
+
+    ``g`` is Caffe's ``group`` parameter (the dual-GPU AlexNet artifact);
+    Table 5 describes all layers ungrouped (``g = 1``), but the library
+    supports grouping for fidelity with the original prototxts.
+    """
+
+    name: str
+    n: int           # batch size N
+    ci: int          # input channels C_i
+    hw: int          # input height = width (the paper's nets are square)
+    co: int          # output channels C_o
+    f: int           # filter height = width F_h = F_w
+    s: int = 1       # stride S
+    p: int = 0       # padding P
+    net: str = ""    # owning network name
+    g: int = 1       # channel groups
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.ci, self.hw, self.co, self.f, self.s, self.g) < 1 \
+                or self.p < 0:
+            raise NetworkError(f"invalid conv config: {self}")
+        if self.ci % self.g or self.co % self.g:
+            raise NetworkError(
+                f"{self.name}: channels ({self.ci}->{self.co}) not divisible "
+                f"by group {self.g}"
+            )
+
+    @property
+    def out_hw(self) -> int:
+        return conv_out_dim(self.hw, self.f, self.s, self.p)
+
+    @property
+    def out_spatial(self) -> int:
+        """Output pixels per channel (``H' * W'``)."""
+        return self.out_hw * self.out_hw
+
+    @property
+    def k_gemm(self) -> int:
+        """GEMM reduction dimension: ``(C_i / g) * F_h * F_w``."""
+        return (self.ci // self.g) * self.f * self.f
+
+    @property
+    def co_gemm(self) -> int:
+        """GEMM output rows per group: ``C_o / g``."""
+        return self.co // self.g
+
+    @property
+    def flops_per_sample(self) -> float:
+        """Multiply-add flops of one sample's forward convolution."""
+        return 2.0 * self.g * self.co_gemm * self.out_spatial * self.k_gemm
+
+    def describe(self) -> str:
+        return (
+            f"{self.net or '?'}/{self.name}: N={self.n} {self.ci}x{self.hw}x"
+            f"{self.hw} -> {self.co}x{self.out_hw}x{self.out_hw} "
+            f"(f={self.f}, s={self.s}, p={self.p})"
+        )
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """A pooling layer: channels, input spatial size, window, stride."""
+
+    name: str
+    n: int
+    c: int
+    hw: int
+    f: int
+    s: int
+    op: str = "max"          # "max" or "ave"
+    net: str = ""
+
+    @property
+    def out_hw(self) -> int:
+        return pool_out_dim(self.hw, self.f, self.s)

@@ -1,0 +1,60 @@
+"""Weight initializers ("fillers" in Caffe terminology).
+
+All fillers are deterministic given a ``numpy.random.Generator``; the solver
+owns the generator, so a fixed seed reproduces the exact parameter
+trajectory — the property the Fig. 11 convergence experiment relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+Filler = Callable[[np.ndarray, np.random.Generator], None]
+
+
+def constant_filler(value: float = 0.0) -> Filler:
+    """Fill with a constant (Caffe's default bias filler)."""
+
+    def fill(arr: np.ndarray, rng: np.random.Generator) -> None:
+        arr.fill(value)
+
+    return fill
+
+
+def gaussian_filler(std: float = 0.01, mean: float = 0.0) -> Filler:
+    """Gaussian initialization (CaffeNet / GoogLeNet style)."""
+
+    def fill(arr: np.ndarray, rng: np.random.Generator) -> None:
+        arr[...] = rng.normal(mean, std, size=arr.shape).astype(arr.dtype)
+
+    return fill
+
+
+def xavier_filler() -> Filler:
+    """Caffe's 'xavier': uniform in ``[-s, s]`` with ``s = sqrt(3/fan_in)``.
+
+    ``fan_in`` is ``count / shape[0]`` exactly as in Caffe's implementation.
+    """
+
+    def fill(arr: np.ndarray, rng: np.random.Generator) -> None:
+        fan_in = arr.size / arr.shape[0]
+        scale = math.sqrt(3.0 / fan_in)
+        arr[...] = rng.uniform(-scale, scale, size=arr.shape).astype(arr.dtype)
+
+    return fill
+
+
+def make_filler(kind: str, **kwargs) -> Filler:
+    """Factory by Caffe prototxt name: constant / gaussian / xavier."""
+    if kind == "constant":
+        return constant_filler(**kwargs)
+    if kind == "gaussian":
+        return gaussian_filler(**kwargs)
+    if kind == "xavier":
+        return xavier_filler(**kwargs)
+    raise NetworkError(f"unknown filler type {kind!r}")

@@ -1,0 +1,71 @@
+"""Vectorized im2col / col2im.
+
+The GPU path of Caffe's convolution lowers each sample to an ``im2col``
+(patch extraction into a matrix) followed by an SGEMM; the NumPy framework
+does the same math with stride tricks so that the numeric layers and the
+lowered kernel chains compute literally the same operation.
+
+``im2col`` output layout matches Caffe: ``(C*F_h*F_w, out_h*out_w)`` per
+sample, channel-major.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.config import conv_out_dim
+
+
+def im2col(x: np.ndarray, f: int, stride: int, pad: int) -> np.ndarray:
+    """Patch matrix of a batch: ``(N, C*f*f, out_h*out_w)``.
+
+    Parameters
+    ----------
+    x:
+        Input batch, shape ``(N, C, H, W)``.
+    f, stride, pad:
+        Square filter size, stride and zero padding.
+    """
+    if x.ndim != 4:
+        raise NetworkError(f"im2col expects NCHW, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_out_dim(h, f, stride, pad)
+    out_w = conv_out_dim(w, f, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    s = x.strides
+    # windows: (N, C, out_h, out_w, f, f)
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, f, f),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    # -> (N, C, f, f, out_h, out_w) -> (N, C*f*f, out_h*out_w)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * f * f, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray, shape: tuple[int, int, int, int], f: int, stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to image space.
+
+    ``cols`` has shape ``(N, C*f*f, out_h*out_w)``; returns ``(N, C, H, W)``.
+    """
+    n, c, h, w = shape
+    out_h = conv_out_dim(h, f, stride, pad)
+    out_w = conv_out_dim(w, f, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    img = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, f, f, out_h, out_w)
+    for ky in range(f):
+        y_end = ky + stride * out_h
+        for kx in range(f):
+            x_end = kx + stride * out_w
+            img[:, :, ky:y_end:stride, kx:x_end:stride] += cols6[:, :, ky, kx]
+    if pad:
+        img = img[:, :, pad:pad + h, pad:pad + w]
+    return img

@@ -1,0 +1,110 @@
+"""Base layer interface and net-level layer definitions.
+
+The API follows Caffe: a layer is configured once against the shapes of its
+bottom blobs (``setup``), then repeatedly runs ``forward`` and ``backward``.
+Parameters are :class:`~repro.nn.blob.Blob` s owned by the layer; gradient
+accumulation into ``param.diff`` happens inside ``backward``.
+
+Layers may expose a *lowering* (:meth:`Layer.lower`) that describes the GPU
+kernels their computation turns into; the integration layer uses it to meter
+the simulated device.  Layers without a lowering are executed as a single
+opaque batch kernel by the fallback in :mod:`repro.runtime.lowering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.blob import Blob
+
+
+class Layer:
+    """Abstract layer. Subclasses implement setup/forward/backward."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: list[Blob] = []
+        #: Per-parameter learning-rate multipliers (Caffe's ``lr_mult``);
+        #: conventionally ``[1, 2]`` for weight/bias.
+        self.lr_mult: list[float] = []
+        #: Per-parameter weight-decay multipliers (Caffe's ``decay_mult``).
+        self.decay_mult: list[float] = []
+        self._setup_done = False
+
+    # -- shape negotiation ------------------------------------------------
+    def setup(self, bottom_shapes: Sequence[tuple[int, ...]],
+              rng: np.random.Generator) -> list[tuple[int, ...]]:
+        """Validate bottoms, create parameters, return top shapes."""
+        if self._setup_done:
+            raise NetworkError(f"layer {self.name!r} set up twice")
+        tops = self._setup(list(bottom_shapes), rng)
+        if len(self.lr_mult) != len(self.params):
+            self.lr_mult = [1.0] * len(self.params)
+        if len(self.decay_mult) != len(self.params):
+            self.decay_mult = [1.0] * len(self.params)
+        self._setup_done = True
+        return tops
+
+    def _setup(self, bottom_shapes: list[tuple[int, ...]],
+               rng: np.random.Generator) -> list[tuple[int, ...]]:
+        raise NotImplementedError
+
+    # -- compute -----------------------------------------------------------
+    def forward(self, bottoms: list[np.ndarray]) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def backward(
+        self,
+        top_diffs: list[np.ndarray],
+        bottoms: list[np.ndarray],
+        tops: list[np.ndarray],
+    ) -> list[Optional[np.ndarray]]:
+        """Return bottom gradients; accumulate parameter grads into diffs.
+
+        A ``None`` entry means the layer does not propagate to that bottom
+        (e.g. the label input of a loss layer).
+        """
+        raise NotImplementedError
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def has_params(self) -> bool:
+        return bool(self.params)
+
+    @property
+    def is_loss(self) -> bool:
+        """Loss layers terminate the backward pass with a seed gradient."""
+        return False
+
+    @property
+    def phase_train_only(self) -> bool:
+        """Layers skipped at test time (dropout)."""
+        return False
+
+    def zero_param_diffs(self) -> None:
+        for p in self.params:
+            p.zero_diff()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class LayerDef:
+    """Wiring of one layer into a net (Caffe prototxt's layer stanza)."""
+
+    layer: Layer
+    bottoms: list[str] = field(default_factory=list)
+    tops: list[str] = field(default_factory=list)
+    #: Optional parameter-sharing key: layers with the same non-empty
+    #: ``param_key`` share parameter blobs (Caffe's named params — how the
+    #: Siamese network ties its twin branches together).
+    param_key: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.layer.name

@@ -1,0 +1,29 @@
+"""Layer catalog: the layer types needed by the paper's four networks."""
+
+from repro.nn.layers.convolution import ConvolutionLayer
+from repro.nn.layers.pooling import PoolingLayer
+from repro.nn.layers.activation import ReLULayer, SigmoidLayer, TanHLayer
+from repro.nn.layers.inner_product import InnerProductLayer
+from repro.nn.layers.lrn import LRNLayer
+from repro.nn.layers.dropout import DropoutLayer
+from repro.nn.layers.concat import ConcatLayer
+from repro.nn.layers.eltwise import EltwiseLayer, FlattenLayer
+from repro.nn.layers.losses import SoftmaxWithLossLayer, ContrastiveLossLayer
+from repro.nn.layers.accuracy import AccuracyLayer
+
+__all__ = [
+    "ConvolutionLayer",
+    "PoolingLayer",
+    "ReLULayer",
+    "SigmoidLayer",
+    "TanHLayer",
+    "InnerProductLayer",
+    "LRNLayer",
+    "DropoutLayer",
+    "ConcatLayer",
+    "EltwiseLayer",
+    "FlattenLayer",
+    "SoftmaxWithLossLayer",
+    "ContrastiveLossLayer",
+    "AccuracyLayer",
+]

@@ -1,0 +1,35 @@
+"""Top-k classification accuracy (evaluation-only layer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class AccuracyLayer(Layer):
+    """Fraction of samples whose label is in the top-``k`` predictions."""
+
+    def __init__(self, name: str, top_k: int = 1) -> None:
+        super().__init__(name)
+        self.top_k = int(top_k)
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 2:
+            raise NetworkError(f"{self.name}: needs (scores, labels) bottoms")
+        return [(1,)]
+
+    def forward(self, bottoms):
+        scores, labels = bottoms
+        flat = scores.reshape(scores.shape[0], -1)
+        idx = labels.astype(np.int64).ravel()
+        if self.top_k == 1:
+            correct = flat.argmax(axis=1) == idx
+        else:
+            top = np.argpartition(-flat, self.top_k - 1, axis=1)[:, :self.top_k]
+            correct = (top == idx[:, None]).any(axis=1)
+        return [np.array([correct.mean()], dtype=np.float32)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        return [None, None]

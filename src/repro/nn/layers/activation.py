@@ -1,0 +1,69 @@
+"""Elementwise activation layers (in-place-safe, like Caffe's)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class _Elementwise(Layer):
+    """Shared plumbing for one-bottom/one-top elementwise layers."""
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: takes exactly one bottom")
+        return [tuple(bottom_shapes[0])]
+
+
+class ReLULayer(_Elementwise):
+    """Rectified linear unit, with Caffe's optional leaky ``negative_slope``."""
+
+    def __init__(self, name: str, negative_slope: float = 0.0) -> None:
+        super().__init__(name)
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        if self.negative_slope:
+            return [np.where(x > 0, x, self.negative_slope * x).astype(np.float32)]
+        return [np.maximum(x, 0.0)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        grad = np.where(x > 0, 1.0, self.negative_slope).astype(np.float32)
+        return [dout * grad]
+
+
+class SigmoidLayer(_Elementwise):
+    """Logistic sigmoid."""
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        # numerically stable split by sign
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return [out]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (y,) = tops
+        return [dout * y * (1.0 - y)]
+
+
+class TanHLayer(_Elementwise):
+    """Hyperbolic tangent."""
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        return [np.tanh(x)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (y,) = tops
+        return [dout * (1.0 - y * y)]

@@ -1,0 +1,52 @@
+"""Channel-axis concatenation (GoogLeNet inception outputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class ConcatLayer(Layer):
+    """Concatenate bottoms along ``axis`` (default: channels)."""
+
+    def __init__(self, name: str, axis: int = 1) -> None:
+        super().__init__(name)
+        self.axis = int(axis)
+        self._splits: list[int] = []
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) < 1:
+            raise NetworkError(f"{self.name}: concat needs at least one bottom")
+        ref = list(bottom_shapes[0])
+        total = 0
+        self._splits = []
+        for shape in bottom_shapes:
+            s = list(shape)
+            if len(s) != len(ref):
+                raise NetworkError(f"{self.name}: rank mismatch in concat")
+            for d in range(len(ref)):
+                if d != self.axis and s[d] != ref[d]:
+                    raise NetworkError(
+                        f"{self.name}: non-concat dim {d} differs "
+                        f"({s[d]} vs {ref[d]})"
+                    )
+            total += s[self.axis]
+            self._splits.append(s[self.axis])
+        ref[self.axis] = total
+        return [tuple(ref)]
+
+    def forward(self, bottoms):
+        return [np.concatenate(bottoms, axis=self.axis)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        outs = []
+        offset = 0
+        for width in self._splits:
+            idx = [slice(None)] * dout.ndim
+            idx[self.axis] = slice(offset, offset + width)
+            outs.append(np.ascontiguousarray(dout[tuple(idx)]))
+            offset += width
+        return outs

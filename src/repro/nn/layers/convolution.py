@@ -1,0 +1,131 @@
+"""Convolution layer: Caffe's im2col + GEMM formulation.
+
+The forward path is (per sample) exactly the three kernels of the paper's
+workflow example: ``im2col`` builds the ``(C_i*F*F, H'*W')`` patch matrix,
+``sgemm`` multiplies it with the ``(C_o, C_i*F*F)`` weights, and the small
+``gemmk`` kernel broadcasts the bias.  The NumPy implementation batches the
+same math; the lowering (:mod:`repro.runtime.lowering`) emits the per-sample
+kernel chains that GLP4NN parallelizes at batch level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.blob import Blob
+from repro.nn.config import ConvConfig, conv_out_dim
+from repro.nn.filler import Filler, constant_filler, xavier_filler
+from repro.nn.im2col import col2im, im2col
+from repro.nn.layer import Layer
+
+
+class ConvolutionLayer(Layer):
+    """2-D convolution with square filters (all of Table 5 is square)."""
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        group: int = 1,
+        weight_filler: Optional[Filler] = None,
+        bias_filler: Optional[Filler] = None,
+    ) -> None:
+        super().__init__(name)
+        self.co = int(num_output)
+        self.f = int(kernel_size)
+        self.s = int(stride)
+        self.p = int(pad)
+        self.group = int(group)
+        if self.group < 1 or self.co % self.group:
+            raise NetworkError(
+                f"{name}: num_output {num_output} not divisible by "
+                f"group {group}"
+            )
+        self._weight_filler = weight_filler or xavier_filler()
+        self._bias_filler = bias_filler or constant_filler(0.0)
+        self._cols: Optional[np.ndarray] = None
+        self.config: Optional[ConvConfig] = None
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: convolution takes one bottom")
+        n, ci, h, w = bottom_shapes[0]
+        if h != w:
+            raise NetworkError(f"{self.name}: only square inputs supported")
+        if ci % self.group:
+            raise NetworkError(
+                f"{self.name}: input channels {ci} not divisible by "
+                f"group {self.group}"
+            )
+        out_hw = conv_out_dim(h, self.f, self.s, self.p)
+        k = (ci // self.group) * self.f * self.f
+        weight = Blob((self.co, k), name=f"{self.name}/weight")
+        bias = Blob((self.co,), name=f"{self.name}/bias")
+        self._weight_filler(weight.data, rng)
+        self._bias_filler(bias.data, rng)
+        self.params = [weight, bias]
+        self.lr_mult = [1.0, 2.0]
+        self.decay_mult = [1.0, 0.0]
+        self.config = ConvConfig(
+            name=self.name, n=n, ci=ci, hw=h, co=self.co, f=self.f,
+            s=self.s, p=self.p, g=self.group,
+        )
+        return [(n, self.co, out_hw, out_hw)]
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        cfg = self.config
+        assert cfg is not None
+        cols = im2col(x, self.f, self.s, self.p)     # (N, ci*f*f, P)
+        self._cols = cols
+        weight, bias = self.params
+        n = x.shape[0]
+        if self.group == 1:
+            out = np.matmul(weight.data, cols)       # (N, co, P)
+        else:
+            g = self.group
+            k = cfg.k_gemm
+            co_g = cfg.co_gemm
+            parts = []
+            for gi in range(g):
+                w_g = weight.data[gi * co_g:(gi + 1) * co_g]
+                c_g = cols[:, gi * k:(gi + 1) * k]
+                parts.append(np.matmul(w_g, c_g))
+            out = np.concatenate(parts, axis=1)
+        out += bias.data[None, :, None]
+        return [out.reshape(n, self.co, cfg.out_hw, cfg.out_hw)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        cfg = self.config
+        assert cfg is not None and self._cols is not None
+        n = x.shape[0]
+        dout2 = dout.reshape(n, self.co, -1)               # (N, co, P)
+        weight, bias = self.params
+        bias.diff += dout2.sum(axis=(0, 2))
+        if self.group == 1:
+            # dW = sum_n dout_n @ cols_n^T
+            weight.diff += np.einsum("ncp,nkp->ck", dout2, self._cols,
+                                     optimize=True)
+            dcols = np.matmul(weight.data.T, dout2)        # (N, K, P)
+        else:
+            g = self.group
+            k = cfg.k_gemm
+            co_g = cfg.co_gemm
+            dcols = np.empty_like(self._cols)
+            for gi in range(g):
+                d_g = dout2[:, gi * co_g:(gi + 1) * co_g]
+                c_g = self._cols[:, gi * k:(gi + 1) * k]
+                weight.diff[gi * co_g:(gi + 1) * co_g] += np.einsum(
+                    "ncp,nkp->ck", d_g, c_g, optimize=True)
+                w_g = weight.data[gi * co_g:(gi + 1) * co_g]
+                dcols[:, gi * k:(gi + 1) * k] = np.matmul(w_g.T, d_g)
+        dx = col2im(dcols, x.shape, self.f, self.s, self.p)
+        return [dx.astype(np.float32)]

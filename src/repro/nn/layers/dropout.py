@@ -1,0 +1,54 @@
+"""Dropout (inverted scaling, as in Caffe)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class DropoutLayer(Layer):
+    """Zeroes activations with probability ``ratio`` during training.
+
+    The mask generator is owned by the layer and seeded at setup from the
+    net's generator, so training runs are reproducible.
+    """
+
+    def __init__(self, name: str, ratio: float = 0.5) -> None:
+        super().__init__(name)
+        if not 0.0 <= ratio < 1.0:
+            raise NetworkError(f"{self.name}: dropout ratio must be in [0, 1)")
+        self.ratio = float(ratio)
+        self.train_mode = True
+        self._mask: Optional[np.ndarray] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def phase_train_only(self) -> bool:
+        return True
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: dropout takes one bottom")
+        self._rng = np.random.default_rng(rng.integers(2**63))
+        return [tuple(bottom_shapes[0])]
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        if not self.train_mode or self.ratio == 0.0:
+            self._mask = None
+            return [x.copy()]
+        assert self._rng is not None
+        keep = 1.0 - self.ratio
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        self._mask = mask
+        return [x * mask]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        if self._mask is None:
+            return [dout.copy()]
+        return [dout * self._mask]

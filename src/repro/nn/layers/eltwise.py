@@ -1,0 +1,108 @@
+"""Elementwise combination and reshape layers (Caffe's Eltwise / Flatten).
+
+Not needed by the paper's four networks, but part of Caffe's standard layer
+catalogue (residual architectures are Eltwise-SUM joins), so the framework
+ships them — and they exercise the net's multi-bottom gradient plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class EltwiseLayer(Layer):
+    """Combine equal-shaped bottoms elementwise: ``sum``, ``prod`` or ``max``.
+
+    ``coeffs`` scales each bottom in SUM mode (Caffe's ``coeff`` repeated
+    field); defaults to all ones.
+    """
+
+    def __init__(self, name: str, operation: str = "sum",
+                 coeffs: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name)
+        if operation not in ("sum", "prod", "max"):
+            raise NetworkError(f"{name}: unknown eltwise op {operation!r}")
+        if coeffs is not None and operation != "sum":
+            raise NetworkError(f"{name}: coeffs only apply to SUM")
+        self.operation = operation
+        self.coeffs = list(coeffs) if coeffs is not None else None
+        self._argmax: Optional[np.ndarray] = None
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) < 2:
+            raise NetworkError(f"{self.name}: eltwise needs >= 2 bottoms")
+        ref = tuple(bottom_shapes[0])
+        for s in bottom_shapes[1:]:
+            if tuple(s) != ref:
+                raise NetworkError(
+                    f"{self.name}: bottom shapes differ ({s} vs {ref})"
+                )
+        if self.coeffs is not None and len(self.coeffs) != len(bottom_shapes):
+            raise NetworkError(f"{self.name}: need one coeff per bottom")
+        if self.coeffs is None and self.operation == "sum":
+            self.coeffs = [1.0] * len(bottom_shapes)
+        return [ref]
+
+    def forward(self, bottoms):
+        if self.operation == "sum":
+            out = np.zeros_like(bottoms[0])
+            for c, b in zip(self.coeffs, bottoms):
+                out += np.float32(c) * b
+            return [out]
+        if self.operation == "prod":
+            out = bottoms[0].copy()
+            for b in bottoms[1:]:
+                out *= b
+            return [out]
+        stacked = np.stack(bottoms)
+        self._argmax = stacked.argmax(axis=0)
+        return [stacked.max(axis=0)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        if self.operation == "sum":
+            return [np.float32(c) * dout for c in self.coeffs]
+        if self.operation == "prod":
+            (y,) = tops
+            grads = []
+            for i, b in enumerate(bottoms):
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    others = np.where(b != 0, y / b, 0.0)
+                # recompute exactly when the shortcut divides by zero
+                if np.any(b == 0):
+                    others = np.ones_like(b)
+                    for j, o in enumerate(bottoms):
+                        if j != i:
+                            others *= o
+                grads.append((dout * others).astype(np.float32))
+            return grads
+        assert self._argmax is not None
+        return [
+            np.where(self._argmax == i, dout, 0.0).astype(np.float32)
+            for i in range(len(bottoms))
+        ]
+
+
+class FlattenLayer(Layer):
+    """Flatten trailing dimensions into one (Caffe's Flatten)."""
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: flatten takes one bottom")
+        shape = bottom_shapes[0]
+        return [(shape[0], int(math.prod(shape[1:])))]
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        return [np.ascontiguousarray(x.reshape(x.shape[0], -1))]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        return [dout.reshape(x.shape)]

@@ -1,0 +1,61 @@
+"""Fully-connected (inner product) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.blob import Blob
+from repro.nn.filler import Filler, constant_filler, xavier_filler
+from repro.nn.layer import Layer
+
+
+class InnerProductLayer(Layer):
+    """``y = x @ W^T + b`` over the flattened trailing dimensions."""
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        weight_filler: Optional[Filler] = None,
+        bias_filler: Optional[Filler] = None,
+    ) -> None:
+        super().__init__(name)
+        self.num_output = int(num_output)
+        self._weight_filler = weight_filler or xavier_filler()
+        self._bias_filler = bias_filler or constant_filler(0.0)
+        self._in_features = 0
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: inner product takes one bottom")
+        shape = bottom_shapes[0]
+        n = shape[0]
+        self._in_features = int(np.prod(shape[1:]))
+        weight = Blob((self.num_output, self._in_features),
+                      name=f"{self.name}/weight")
+        bias = Blob((self.num_output,), name=f"{self.name}/bias")
+        self._weight_filler(weight.data, rng)
+        self._bias_filler(bias.data, rng)
+        self.params = [weight, bias]
+        self.lr_mult = [1.0, 2.0]
+        self.decay_mult = [1.0, 0.0]
+        return [(n, self.num_output)]
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        flat = x.reshape(x.shape[0], -1)
+        weight, bias = self.params
+        return [flat @ weight.data.T + bias.data[None, :]]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        flat = x.reshape(x.shape[0], -1)
+        weight, bias = self.params
+        weight.diff += dout.T @ flat
+        bias.diff += dout.sum(axis=0)
+        dx = dout @ weight.data
+        return [dx.reshape(x.shape).astype(np.float32)]

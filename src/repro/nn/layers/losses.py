@@ -1,0 +1,121 @@
+"""Loss layers: softmax-with-loss and contrastive loss.
+
+Loss layers return a scalar (shape ``(1,)``) top and seed the backward pass.
+Bottom 1 is always the label/similarity input, which receives no gradient
+(``None``), matching Caffe's ``propagate_down`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxWithLossLayer(Layer):
+    """Multinomial logistic loss over softmax probabilities."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._prob: Optional[np.ndarray] = None
+
+    @property
+    def is_loss(self) -> bool:
+        return True
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 2:
+            raise NetworkError(f"{self.name}: needs (logits, labels) bottoms")
+        n = bottom_shapes[0][0]
+        if bottom_shapes[1][0] != n:
+            raise NetworkError(f"{self.name}: batch size mismatch with labels")
+        return [(1,)]
+
+    def forward(self, bottoms):
+        logits, labels = bottoms
+        flat = logits.reshape(logits.shape[0], -1)
+        prob = softmax(flat)
+        self._prob = prob
+        idx = labels.astype(np.int64).ravel()
+        picked = prob[np.arange(flat.shape[0]), idx]
+        loss = -np.mean(np.log(np.maximum(picked, 1e-30)))
+        return [np.array([loss], dtype=np.float32)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dloss,) = top_diffs
+        logits, labels = bottoms
+        assert self._prob is not None
+        n = logits.shape[0]
+        grad = self._prob.copy()
+        idx = labels.astype(np.int64).ravel()
+        grad[np.arange(n), idx] -= 1.0
+        grad *= float(dloss[0]) / n
+        return [grad.reshape(logits.shape).astype(np.float32), None]
+
+
+class ContrastiveLossLayer(Layer):
+    """Hadsell-Chopra-LeCun contrastive loss (Caffe's Siamese example).
+
+    Bottoms: two feature batches and a similarity label ``y`` (1 = similar).
+
+        L = 1/(2N) * sum_n [ y_n d_n^2 + (1-y_n) max(margin - d_n, 0)^2 ]
+    """
+
+    def __init__(self, name: str, margin: float = 1.0) -> None:
+        super().__init__(name)
+        self.margin = float(margin)
+        self._diff: Optional[np.ndarray] = None
+        self._dist: Optional[np.ndarray] = None
+
+    @property
+    def is_loss(self) -> bool:
+        return True
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 3:
+            raise NetworkError(
+                f"{self.name}: needs (feat_a, feat_b, similarity) bottoms"
+            )
+        if bottom_shapes[0] != bottom_shapes[1]:
+            raise NetworkError(f"{self.name}: feature shape mismatch")
+        return [(1,)]
+
+    def forward(self, bottoms):
+        a, b, y = bottoms
+        diff = (a - b).reshape(a.shape[0], -1)
+        dist = np.sqrt(np.maximum((diff * diff).sum(axis=1), 1e-12))
+        self._diff, self._dist = diff, dist
+        y = y.ravel().astype(np.float32)
+        sim_term = y * dist * dist
+        gap = np.maximum(self.margin - dist, 0.0)
+        dis_term = (1.0 - y) * gap * gap
+        loss = (sim_term + dis_term).mean() / 2.0
+        return [np.array([loss], dtype=np.float32)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dloss,) = top_diffs
+        a, b, y = bottoms
+        assert self._diff is not None and self._dist is not None
+        n = a.shape[0]
+        y = y.ravel().astype(np.float32)
+        dist = self._dist
+        # d/d(diff): similar pairs pull together, dissimilar push apart
+        # inside the margin.
+        sim_grad = y[:, None] * self._diff
+        gap = np.maximum(self.margin - dist, 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            unit = np.where(dist[:, None] > 0, self._diff / dist[:, None], 0.0)
+        dis_grad = -((1.0 - y) * gap)[:, None] * unit
+        grad = (sim_grad + dis_grad) * (float(dloss[0]) / n)
+        da = grad.reshape(a.shape).astype(np.float32)
+        return [da, -da, None]

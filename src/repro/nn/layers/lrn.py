@@ -1,0 +1,68 @@
+"""Cross-channel local response normalization (CaffeNet / GoogLeNet).
+
+Caffe's ACROSS_CHANNELS mode:
+
+    scale_c = k + (alpha / size) * sum_{c' in window(c)} x_{c'}^2
+    y_c     = x_c * scale_c^{-beta}
+
+with a channel window of ``size`` centred on ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer
+
+
+class LRNLayer(Layer):
+    def __init__(self, name: str, local_size: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 1.0) -> None:
+        super().__init__(name)
+        if local_size % 2 == 0:
+            raise NetworkError(f"{self.name}: LRN local_size must be odd")
+        self.size = int(local_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.k = float(k)
+        self._scale: Optional[np.ndarray] = None
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1 or len(bottom_shapes[0]) != 4:
+            raise NetworkError(f"{self.name}: LRN takes one NCHW bottom")
+        return [tuple(bottom_shapes[0])]
+
+    def _window_sum(self, arr: np.ndarray) -> np.ndarray:
+        """Sliding-window sum over the channel axis via a cumulative sum."""
+        c = arr.shape[1]
+        half = self.size // 2
+        cs = np.concatenate(
+            [np.zeros_like(arr[:, :1]), np.cumsum(arr, axis=1)], axis=1
+        )
+        hi = np.minimum(np.arange(c) + half + 1, c)
+        lo = np.maximum(np.arange(c) - half, 0)
+        return cs[:, hi] - cs[:, lo]
+
+    def forward(self, bottoms):
+        (x,) = bottoms
+        sq = x * x
+        scale = self.k + (self.alpha / self.size) * self._window_sum(sq)
+        self._scale = scale
+        return [(x * np.power(scale, -self.beta)).astype(np.float32)]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        (y,) = tops
+        scale = self._scale
+        assert scale is not None
+        # dx_c = dout_c * scale_c^{-beta}
+        #        - (2 alpha beta / size) * x_c * sum_{c' in win} dout_c' y_c' / scale_c'
+        ratio = dout * y / scale
+        acc = self._window_sum(ratio)
+        dx = dout * np.power(scale, -self.beta) \
+            - (2.0 * self.alpha * self.beta / self.size) * x * acc
+        return [dx.astype(np.float32)]

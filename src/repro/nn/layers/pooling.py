@@ -1,0 +1,131 @@
+"""Max / average pooling with Caffe's ceil-mode output size and padding."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.config import PoolConfig, pool_out_dim
+from repro.nn.layer import Layer
+
+_NEG_INF = np.float32(-np.inf)
+
+
+class PoolingLayer(Layer):
+    """Square-window pooling. ``op`` is ``"max"`` or ``"ave"``.
+
+    Caffe sizes the output with a ceiling division, so the last window may
+    hang over the (padded) input edge; max pooling treats out-of-bounds
+    positions as ``-inf`` and average pooling divides by the number of
+    *valid* (in-bounds) elements.
+    """
+
+    def __init__(self, name: str, kernel_size: int, stride: int,
+                 op: str = "max", pad: int = 0) -> None:
+        super().__init__(name)
+        if op not in ("max", "ave"):
+            raise NetworkError(f"{self.name}: unknown pooling op {op!r}")
+        if pad < 0 or pad >= kernel_size:
+            raise NetworkError(f"{self.name}: invalid pooling pad {pad}")
+        self.f = int(kernel_size)
+        self.s = int(stride)
+        self.p = int(pad)
+        self.op = op
+        self._argmax: Optional[np.ndarray] = None
+        self._valid_counts: Optional[np.ndarray] = None
+        self.config: Optional[PoolConfig] = None
+
+    def _setup(self, bottom_shapes, rng):
+        if len(bottom_shapes) != 1:
+            raise NetworkError(f"{self.name}: pooling takes one bottom")
+        n, c, h, w = bottom_shapes[0]
+        if h != w:
+            raise NetworkError(f"{self.name}: only square inputs supported")
+        out = pool_out_dim(h, self.f, self.s, self.p)
+        self.config = PoolConfig(name=self.name, n=n, c=c, hw=h, f=self.f,
+                                 s=self.s, op=self.op)
+        self._out = out
+        return [(n, c, out, out)]
+
+    # ------------------------------------------------------------------
+    def _geometry(self) -> tuple[int, int, int]:
+        """(output size, leading pad, trailing pad incl. ceil overhang)."""
+        cfg = self.config
+        assert cfg is not None
+        oh = self._out
+        need = (oh - 1) * self.s + self.f
+        trail = max(0, need - cfg.hw - self.p)
+        return oh, self.p, trail
+
+    def _pad_input(self, x: np.ndarray, fill: float) -> np.ndarray:
+        _, lead, trail = self._geometry()
+        if lead or trail:
+            return np.pad(x, ((0, 0), (0, 0), (lead, trail), (lead, trail)),
+                          mode="constant", constant_values=fill)
+        return x
+
+    def _offset_validity(self, ky: int, kx: int, oh: int) -> np.ndarray:
+        """Which output positions see an in-bounds input at offset (ky, kx)."""
+        cfg = self.config
+        assert cfg is not None
+        h = cfg.hw
+        ys = ky + self.s * np.arange(oh) - self.p
+        xs = kx + self.s * np.arange(oh) - self.p
+        return ((ys[:, None] >= 0) & (ys[:, None] < h)
+                & (xs[None, :] >= 0) & (xs[None, :] < h))
+
+    # ------------------------------------------------------------------
+    def forward(self, bottoms):
+        (x,) = bottoms
+        oh, _, _ = self._geometry()
+        if self.op == "max":
+            xp = self._pad_input(x, -np.inf)
+            best = np.full(x.shape[:2] + (oh, oh), _NEG_INF, dtype=np.float32)
+            argmax = np.zeros(best.shape, dtype=np.int16)
+            for idx, (ky, kx) in enumerate(product(range(self.f), repeat=2)):
+                win = xp[:, :, ky:ky + self.s * oh:self.s,
+                         kx:kx + self.s * oh:self.s]
+                better = win > best
+                np.copyto(best, win, where=better)
+                argmax[better] = idx
+            self._argmax = argmax
+            return [best]
+        # average
+        xp = self._pad_input(x, 0.0)
+        acc = np.zeros(x.shape[:2] + (oh, oh), dtype=np.float32)
+        counts = np.zeros((oh, oh), dtype=np.float32)
+        for ky, kx in product(range(self.f), repeat=2):
+            acc += xp[:, :, ky:ky + self.s * oh:self.s,
+                      kx:kx + self.s * oh:self.s]
+            counts += self._offset_validity(ky, kx, oh)
+        self._valid_counts = counts
+        return [acc / counts[None, None]]
+
+    def backward(self, top_diffs, bottoms, tops):
+        (dout,) = top_diffs
+        (x,) = bottoms
+        cfg = self.config
+        assert cfg is not None
+        oh, lead, trail = self._geometry()
+        hp = cfg.hw + lead + trail
+        dx_p = np.zeros((x.shape[0], x.shape[1], hp, hp), dtype=np.float32)
+        if self.op == "max":
+            assert self._argmax is not None
+            for idx, (ky, kx) in enumerate(product(range(self.f), repeat=2)):
+                mask = self._argmax == idx
+                view = dx_p[:, :, ky:ky + self.s * oh:self.s,
+                            kx:kx + self.s * oh:self.s]
+                view += np.where(mask, dout, 0.0)
+        else:
+            assert self._valid_counts is not None
+            scaled = dout / self._valid_counts[None, None]
+            for ky, kx in product(range(self.f), repeat=2):
+                valid = self._offset_validity(ky, kx, oh)
+                view = dx_p[:, :, ky:ky + self.s * oh:self.s,
+                            kx:kx + self.s * oh:self.s]
+                view += np.where(valid[None, None], scaled, 0.0)
+        dx = dx_p[:, :, lead:lead + cfg.hw, lead:lead + cfg.hw]
+        return [np.ascontiguousarray(dx)]

@@ -1,0 +1,237 @@
+"""Network container: topological execution of named layers over blobs.
+
+Mirrors Caffe's ``Net``: layers are listed in topological order (each
+layer's bottoms must be net inputs or tops of earlier layers), parameters
+can be shared across layers through ``param_key`` (how the Siamese twins are
+tied), and the backward pass accumulates gradients for blobs consumed by
+multiple layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.blob import Blob
+from repro.nn.layer import Layer, LayerDef
+
+
+class Net:
+    """A feed-forward DAG of layers.
+
+    Parameters
+    ----------
+    name:
+        Network name (``"cifar10"``, ``"caffenet"``, ...).
+    layer_defs:
+        Layers with their blob wiring, in topological order.
+    input_shapes:
+        Shapes of the externally provided blobs (data, labels).
+    seed:
+        Seed of the parameter-initialization generator.  Two nets built with
+        the same definitions and seed have bit-identical parameters — the
+        basis of the convergence-invariance experiment.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layer_defs: Sequence[LayerDef],
+        input_shapes: dict[str, tuple[int, ...]],
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.layer_defs = list(layer_defs)
+        self.input_names = list(input_shapes)
+        self._rng = np.random.default_rng(seed)
+
+        shapes: dict[str, tuple[int, ...]] = {
+            k: tuple(v) for k, v in input_shapes.items()
+        }
+        owners: dict[str, Layer] = {}
+        for ld in self.layer_defs:
+            for b in ld.bottoms:
+                if b not in shapes:
+                    raise NetworkError(
+                        f"layer {ld.name!r}: bottom {b!r} not produced yet "
+                        "(layers must be topologically ordered)"
+                    )
+            for t in ld.tops:
+                if t in ld.bottoms:
+                    raise NetworkError(
+                        f"layer {ld.name!r}: in-place blobs are not supported "
+                        f"(top {t!r} duplicates a bottom)"
+                    )
+                if t in shapes:
+                    raise NetworkError(
+                        f"layer {ld.name!r}: top {t!r} already exists"
+                    )
+            bottom_shapes = [shapes[b] for b in ld.bottoms]
+            top_shapes = ld.layer.setup(bottom_shapes, self._rng)
+            if len(top_shapes) != len(ld.tops):
+                raise NetworkError(
+                    f"layer {ld.name!r}: produced {len(top_shapes)} tops, "
+                    f"definition names {len(ld.tops)}"
+                )
+            for t, s in zip(ld.tops, top_shapes):
+                shapes[t] = tuple(s)
+            if ld.param_key:
+                owner = owners.get(ld.param_key)
+                if owner is None:
+                    owners[ld.param_key] = ld.layer
+                else:
+                    if [p.shape for p in owner.params] != [
+                        p.shape for p in ld.layer.params
+                    ]:
+                        raise NetworkError(
+                            f"param sharing {ld.param_key!r}: shape mismatch"
+                        )
+                    ld.layer.params = owner.params
+        self.blob_shapes = shapes
+        self.blobs: dict[str, np.ndarray] = {}
+        self.blob_diffs: dict[str, np.ndarray] = {}
+        self._train = True
+
+    # ------------------------------------------------------------------
+    @property
+    def layers(self) -> list[Layer]:
+        return [ld.layer for ld in self.layer_defs]
+
+    def layer(self, name: str) -> Layer:
+        for ld in self.layer_defs:
+            if ld.name == name:
+                return ld.layer
+        raise NetworkError(f"no layer named {name!r} in net {self.name!r}")
+
+    def set_mode(self, train: bool) -> None:
+        """Switch between train and test phase (affects dropout)."""
+        self._train = train
+        for lyr in self.layers:
+            if hasattr(lyr, "train_mode"):
+                lyr.train_mode = train
+
+    def unique_params(self) -> list[tuple[Blob, float, float]]:
+        """All parameter blobs with their lr/decay multipliers, deduplicated.
+
+        Shared blobs (Siamese twins) appear once, so the solver applies each
+        update exactly once even though gradients accumulated from both
+        branches.
+        """
+        seen: set[int] = set()
+        out: list[tuple[Blob, float, float]] = []
+        for lyr in self.layers:
+            for p, lm, dm in zip(lyr.params, lyr.lr_mult, lyr.decay_mult):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    out.append((p, lm, dm))
+        return out
+
+    def num_learnable(self) -> int:
+        return sum(p.count for p, _, _ in self.unique_params())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all unique parameter tensors, keyed by blob name."""
+        return {p.name: p.data.copy() for p, _, _ in self.unique_params()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`state_dict` (strict matching)."""
+        params = {p.name: p for p, _, _ in self.unique_params()}
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise NetworkError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, arr in state.items():
+            blob = params[name]
+            if arr.shape != blob.shape:
+                raise NetworkError(
+                    f"param {name!r}: shape {arr.shape} != {blob.shape}"
+                )
+            blob.data[...] = arr
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run the forward pass; returns the full blob dictionary."""
+        missing = [k for k in self.input_names if k not in inputs]
+        if missing:
+            raise NetworkError(f"missing net inputs: {missing}")
+        blobs: dict[str, np.ndarray] = {}
+        for k in self.input_names:
+            arr = np.asarray(inputs[k], dtype=np.float32)
+            if arr.shape != self.blob_shapes[k]:
+                raise NetworkError(
+                    f"input {k!r}: shape {arr.shape} != declared "
+                    f"{self.blob_shapes[k]}"
+                )
+            blobs[k] = arr
+        for ld in self.layer_defs:
+            bottoms = [blobs[b] for b in ld.bottoms]
+            tops = ld.layer.forward(bottoms)
+            for t, arr in zip(ld.tops, tops):
+                blobs[t] = arr
+        self.blobs = blobs
+        return blobs
+
+    def backward(self, loss_weights: Optional[dict[str, float]] = None) -> None:
+        """Run the backward pass from loss layers; fills ``param.diff``.
+
+        ``loss_weights`` maps loss-top blob names to weights (default 1.0
+        for every loss layer's top).
+        """
+        if not self.blobs:
+            raise NetworkError("backward called before forward")
+        for lyr in self.layers:
+            lyr.zero_param_diffs()
+        diffs: dict[str, np.ndarray] = {}
+        for ld in self.layer_defs:
+            if ld.layer.is_loss:
+                w = 1.0
+                if loss_weights and ld.tops[0] in loss_weights:
+                    w = loss_weights[ld.tops[0]]
+                diffs[ld.tops[0]] = np.array([w], dtype=np.float32)
+        if not diffs:
+            raise NetworkError(f"net {self.name!r} has no loss layer")
+
+        for ld in reversed(self.layer_defs):
+            top_diffs = []
+            any_grad = False
+            for t in ld.tops:
+                d = diffs.get(t)
+                if d is None:
+                    d = np.zeros(self.blobs[t].shape, dtype=np.float32)
+                else:
+                    any_grad = True
+                top_diffs.append(d)
+            if not any_grad and not ld.layer.is_loss:
+                continue  # dead branch (e.g. accuracy at train time)
+            bottoms = [self.blobs[b] for b in ld.bottoms]
+            tops = [self.blobs[t] for t in ld.tops]
+            bottom_diffs = ld.layer.backward(top_diffs, bottoms, tops)
+            for b, d in zip(ld.bottoms, bottom_diffs):
+                if d is None:
+                    continue
+                if b in diffs:
+                    diffs[b] = diffs[b] + d
+                else:
+                    diffs[b] = d
+        self.blob_diffs = diffs
+
+    def loss_value(self) -> float:
+        """Sum of all loss tops from the last forward pass."""
+        total = 0.0
+        found = False
+        for ld in self.layer_defs:
+            if ld.layer.is_loss:
+                total += float(self.blobs[ld.tops[0]][0])
+                found = True
+        if not found:
+            raise NetworkError(f"net {self.name!r} has no loss layer")
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Net({self.name!r}, {len(self.layer_defs)} layers)"

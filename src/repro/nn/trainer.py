@@ -1,0 +1,123 @@
+"""Caffe-style training orchestration: test intervals, snapshots, display.
+
+Caffe's solver prototxt drives a loop of train steps punctuated by test
+phases (``test_interval`` / ``test_iter``), periodic snapshots and display
+lines.  :class:`Trainer` reproduces that loop over this package's
+:class:`~repro.nn.solver.Solver` and data loaders, so examples and
+experiments read like Caffe training logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.data.loader import BatchLoader
+from repro.errors import ReproError
+from repro.nn.solver import Solver
+
+
+@dataclass
+class TrainEvent:
+    """One display/test record emitted during training."""
+
+    iteration: int
+    train_loss: float
+    test_accuracy: Optional[float] = None
+    test_loss: Optional[float] = None
+
+
+class Trainer:
+    """Run a solver against train/test loaders, Caffe-style.
+
+    Parameters
+    ----------
+    solver:
+        The SGD driver (owns the net).
+    train_loader / test_loader:
+        Batch sources.  The test loader is optional; without it test
+        phases are skipped.
+    test_interval / test_iter:
+        Every ``test_interval`` training iterations, average the accuracy
+        blob over ``test_iter`` test batches (Caffe's semantics).
+    snapshot_interval:
+        Take a solver snapshot every N iterations (kept in memory;
+        persist with your own serializer if needed).
+    accuracy_blob / loss_blob:
+        Names of the metric blobs in the net.
+    """
+
+    def __init__(
+        self,
+        solver: Solver,
+        train_loader: BatchLoader,
+        test_loader: Optional[BatchLoader] = None,
+        test_interval: int = 0,
+        test_iter: int = 1,
+        snapshot_interval: int = 0,
+        accuracy_blob: str = "accuracy",
+        loss_blob: str = "loss",
+        display: Optional[Callable[[TrainEvent], None]] = None,
+    ) -> None:
+        if test_interval and test_loader is None:
+            raise ReproError("test_interval set but no test loader given")
+        if test_interval < 0 or test_iter < 1 or snapshot_interval < 0:
+            raise ReproError("invalid trainer intervals")
+        self.solver = solver
+        self.train_loader = train_loader
+        self.test_loader = test_loader
+        self.test_interval = test_interval
+        self.test_iter = test_iter
+        self.snapshot_interval = snapshot_interval
+        self.accuracy_blob = accuracy_blob
+        self.loss_blob = loss_blob
+        self.display = display
+        self.events: list[TrainEvent] = []
+        self.snapshots: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def test_phase(self) -> tuple[float, float]:
+        """Average (accuracy, loss) over ``test_iter`` test batches."""
+        assert self.test_loader is not None
+        net = self.solver.net
+        net.set_mode(False)
+        try:
+            acc = loss = 0.0
+            for _ in range(self.test_iter):
+                blobs = net.forward(self.test_loader.next_batch())
+                acc += float(blobs[self.accuracy_blob][0])
+                loss += float(blobs[self.loss_blob][0])
+            return acc / self.test_iter, loss / self.test_iter
+        finally:
+            net.set_mode(True)
+
+    def run(self, iterations: int) -> list[TrainEvent]:
+        """Train for ``iterations`` steps; returns the emitted events."""
+        out: list[TrainEvent] = []
+        for _ in range(iterations):
+            loss = self.solver.step(self.train_loader.next_batch())
+            it = self.solver.iteration
+            event: Optional[TrainEvent] = None
+            if self.test_interval and it % self.test_interval == 0:
+                acc, test_loss = self.test_phase()
+                event = TrainEvent(it, loss, test_accuracy=acc,
+                                   test_loss=test_loss)
+            if self.snapshot_interval and it % self.snapshot_interval == 0:
+                self.snapshots.append(self.solver.snapshot())
+                if event is None:
+                    event = TrainEvent(it, loss)
+            if event is not None:
+                self.events.append(event)
+                out.append(event)
+                if self.display is not None:
+                    self.display(event)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def best_accuracy(self) -> float:
+        accs = [e.test_accuracy for e in self.events
+                if e.test_accuracy is not None]
+        if not accs:
+            raise ReproError("no test phases have run")
+        return max(accs)

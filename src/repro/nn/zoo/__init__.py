@@ -1,0 +1,66 @@
+"""The paper's four evaluation networks and their Table 5 configurations.
+
+``NETWORKS`` maps the paper's network names to builders and metadata so the
+benchmark harness can iterate "for each network x for each GPU" the way the
+evaluation section does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.nn.config import ConvConfig
+from repro.nn.net import Net
+from repro.nn.zoo.cifar10 import build_cifar10
+from repro.nn.zoo.siamese import build_siamese
+from repro.nn.zoo.caffenet import build_caffenet
+from repro.nn.zoo.googlenet import build_googlenet
+from repro.nn.zoo.lenet import build_lenet
+from repro.nn.zoo.table5 import (
+    TABLE5,
+    NETWORK_ORDER,
+    CIFAR10_CONVS,
+    SIAMESE_CONVS,
+    CAFFENET_CONVS,
+    GOOGLENET_CONVS,
+)
+
+
+@dataclass(frozen=True)
+class NetworkEntry:
+    """One evaluation network: builder + Table 5 convs + dataset binding."""
+
+    name: str
+    build: Callable[..., Net]
+    convs: tuple[ConvConfig, ...]
+    batch: int
+    dataset: str
+
+
+NETWORKS: dict[str, NetworkEntry] = {
+    "CIFAR10": NetworkEntry("CIFAR10", build_cifar10, CIFAR10_CONVS,
+                            batch=100, dataset="cifar10"),
+    "Siamese": NetworkEntry("Siamese", build_siamese, SIAMESE_CONVS,
+                            batch=64, dataset="mnist"),
+    "CaffeNet": NetworkEntry("CaffeNet", build_caffenet, CAFFENET_CONVS,
+                             batch=256, dataset="imagenet"),
+    "GoogLeNet": NetworkEntry("GoogLeNet", build_googlenet, GOOGLENET_CONVS,
+                              batch=32, dataset="imagenet"),
+}
+
+__all__ = [
+    "NetworkEntry",
+    "NETWORKS",
+    "NETWORK_ORDER",
+    "TABLE5",
+    "build_cifar10",
+    "build_siamese",
+    "build_caffenet",
+    "build_googlenet",
+    "build_lenet",
+    "CIFAR10_CONVS",
+    "SIAMESE_CONVS",
+    "CAFFENET_CONVS",
+    "GOOGLENET_CONVS",
+]

@@ -1,0 +1,106 @@
+"""CaffeNet (the AlexNet variant shipped with Caffe).
+
+Convolution layers follow Table 5 exactly.  Grouped convolution (the
+reference prototxt's ``group: 2`` on conv2/4/5, a dual-GPU artifact of the
+original AlexNet) is off by default — Table 5 describes the layers
+ungrouped — but can be restored with ``grouped=True``.
+
+    data(3x227x227) -> conv1(96,11,s4) -> relu -> pool(3,2) -> lrn
+                    -> conv2(256,5,p2) -> relu -> pool(3,2) -> lrn
+                    -> conv3(384,3,p1) -> relu
+                    -> conv4(384,3,p1) -> relu
+                    -> conv5(256,3,p1) -> relu -> pool(3,2)
+                    -> fc6 -> relu -> dropout -> fc7 -> relu -> dropout
+                    -> fc8(classes) -> softmax loss
+
+``fc_dim`` scales the fully-connected width (4096 in the original) so tests
+can build a light variant; the convolutional shapes never change.
+"""
+
+from __future__ import annotations
+
+from repro.nn.filler import constant_filler, gaussian_filler
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    AccuracyLayer,
+    ConvolutionLayer,
+    DropoutLayer,
+    InnerProductLayer,
+    LRNLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+
+
+def build_caffenet(batch: int = 256, classes: int = 1000, fc_dim: int = 4096,
+                   seed: int = 0, with_accuracy: bool = False,
+                   grouped: bool = False) -> Net:
+    """Build CaffeNet with the paper's batch size (N=256) by default.
+
+    ``grouped=True`` restores the reference prototxt's ``group: 2`` on
+    conv2/conv4/conv5 (the dual-GPU AlexNet layout); the default matches
+    Table 5, which describes the layers ungrouped.
+
+    .. warning::
+       At the default scale the parameters alone occupy hundreds of
+       megabytes and a numeric forward pass at N=256 is very slow on a CPU;
+       the timing experiments therefore run shape-only through
+       :mod:`repro.runtime.lowering`.  For numeric tests use a small
+       ``batch`` and ``fc_dim``.
+    """
+    g = gaussian_filler
+    one = constant_filler(1.0)
+    grp = 2 if grouped else 1
+    defs = [
+        LayerDef(ConvolutionLayer("conv1", 96, 11, stride=4,
+                                  weight_filler=g(0.01)),
+                 ["data"], ["conv1"]),
+        LayerDef(ReLULayer("relu1"), ["conv1"], ["relu1"]),
+        LayerDef(PoolingLayer("pool1", 3, 2, op="max"), ["relu1"], ["pool1"]),
+        LayerDef(LRNLayer("norm1", local_size=5, alpha=1e-4, beta=0.75),
+                 ["pool1"], ["norm1"]),
+        LayerDef(ConvolutionLayer("conv2", 256, 5, pad=2, group=grp,
+                                  weight_filler=g(0.01), bias_filler=one),
+                 ["norm1"], ["conv2"]),
+        LayerDef(ReLULayer("relu2"), ["conv2"], ["relu2"]),
+        LayerDef(PoolingLayer("pool2", 3, 2, op="max"), ["relu2"], ["pool2"]),
+        LayerDef(LRNLayer("norm2", local_size=5, alpha=1e-4, beta=0.75),
+                 ["pool2"], ["norm2"]),
+        LayerDef(ConvolutionLayer("conv3", 384, 3, pad=1,
+                                  weight_filler=g(0.01)),
+                 ["norm2"], ["conv3"]),
+        LayerDef(ReLULayer("relu3"), ["conv3"], ["relu3"]),
+        LayerDef(ConvolutionLayer("conv4", 384, 3, pad=1, group=grp,
+                                  weight_filler=g(0.01), bias_filler=one),
+                 ["relu3"], ["conv4"]),
+        LayerDef(ReLULayer("relu4"), ["conv4"], ["relu4"]),
+        LayerDef(ConvolutionLayer("conv5", 256, 3, pad=1, group=grp,
+                                  weight_filler=g(0.01), bias_filler=one),
+                 ["relu4"], ["conv5"]),
+        LayerDef(ReLULayer("relu5"), ["conv5"], ["relu5"]),
+        LayerDef(PoolingLayer("pool5", 3, 2, op="max"), ["relu5"], ["pool5"]),
+        LayerDef(InnerProductLayer("fc6", fc_dim, weight_filler=g(0.005),
+                                   bias_filler=one),
+                 ["pool5"], ["fc6"]),
+        LayerDef(ReLULayer("relu6"), ["fc6"], ["relu6"]),
+        LayerDef(DropoutLayer("drop6", 0.5), ["relu6"], ["drop6"]),
+        LayerDef(InnerProductLayer("fc7", fc_dim, weight_filler=g(0.005),
+                                   bias_filler=one),
+                 ["drop6"], ["fc7"]),
+        LayerDef(ReLULayer("relu7"), ["fc7"], ["relu7"]),
+        LayerDef(DropoutLayer("drop7", 0.5), ["relu7"], ["drop7"]),
+        LayerDef(InnerProductLayer("fc8", classes, weight_filler=g(0.01)),
+                 ["drop7"], ["fc8"]),
+        LayerDef(SoftmaxWithLossLayer("loss"), ["fc8", "label"], ["loss"]),
+    ]
+    if with_accuracy:
+        defs.append(LayerDef(AccuracyLayer("accuracy"), ["fc8", "label"],
+                             ["accuracy"]))
+    return Net(
+        "caffenet",
+        defs,
+        input_shapes={"data": (batch, 3, 227, 227), "label": (batch,)},
+        seed=seed,
+    )

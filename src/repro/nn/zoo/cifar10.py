@@ -1,0 +1,60 @@
+"""The CIFAR10-quick network (Caffe's ``cifar10_quick`` example).
+
+Architecture (conv layers exactly as Table 5):
+
+    data(3x32x32) -> conv1(32,5,p2) -> maxpool(3,2) -> relu
+                  -> conv2(32,5,p2) -> relu -> avepool(3,2)
+                  -> conv3(64,5,p2) -> relu -> avepool(3,2)
+                  -> ip1(64) -> ip2(10) -> softmax loss (+ accuracy)
+"""
+
+from __future__ import annotations
+
+from repro.nn.filler import constant_filler, gaussian_filler
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    AccuracyLayer,
+    ConvolutionLayer,
+    InnerProductLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+
+
+def build_cifar10(batch: int = 100, classes: int = 10, seed: int = 0,
+                  with_accuracy: bool = True) -> Net:
+    """Build CIFAR10-quick with the paper's batch size (N=100) by default."""
+    g = gaussian_filler
+    defs = [
+        LayerDef(ConvolutionLayer("conv1", 32, 5, pad=2,
+                                  weight_filler=g(1e-4)),
+                 ["data"], ["conv1"]),
+        LayerDef(PoolingLayer("pool1", 3, 2, op="max"), ["conv1"], ["pool1"]),
+        LayerDef(ReLULayer("relu1"), ["pool1"], ["relu1"]),
+        LayerDef(ConvolutionLayer("conv2", 32, 5, pad=2,
+                                  weight_filler=g(0.01)),
+                 ["relu1"], ["conv2"]),
+        LayerDef(ReLULayer("relu2"), ["conv2"], ["relu2"]),
+        LayerDef(PoolingLayer("pool2", 3, 2, op="ave"), ["relu2"], ["pool2"]),
+        LayerDef(ConvolutionLayer("conv3", 64, 5, pad=2,
+                                  weight_filler=g(0.01)),
+                 ["pool2"], ["conv3"]),
+        LayerDef(ReLULayer("relu3"), ["conv3"], ["relu3"]),
+        LayerDef(PoolingLayer("pool3", 3, 2, op="ave"), ["relu3"], ["pool3"]),
+        LayerDef(InnerProductLayer("ip1", 64, weight_filler=g(0.1)),
+                 ["pool3"], ["ip1"]),
+        LayerDef(InnerProductLayer("ip2", classes, weight_filler=g(0.1)),
+                 ["ip1"], ["ip2"]),
+        LayerDef(SoftmaxWithLossLayer("loss"), ["ip2", "label"], ["loss"]),
+    ]
+    if with_accuracy:
+        defs.append(LayerDef(AccuracyLayer("accuracy"), ["ip2", "label"],
+                             ["accuracy"]))
+    return Net(
+        "cifar10",
+        defs,
+        input_shapes={"data": (batch, 3, 32, 32), "label": (batch,)},
+        seed=seed,
+    )

@@ -1,0 +1,119 @@
+"""GoogLeNet tail: the inception 5a/5b modules containing Table 5's units.
+
+GoogLeNet has 59 convolutional units across 22 layers; the paper selects six
+"for convenience".  Their shapes (832/160/192-channel inputs at 7x7 spatial
+size) identify them as the inception_5a/5b region, so the runnable zoo net
+is that tail: two full inception modules over a 7x7x832 feature map, global
+average pooling, dropout and the classifier — every Table 5 unit appears
+with its exact geometry:
+
+* ``conv_1`` = 5a's 3x3 (160 -> 320),   * ``conv_4`` = 5b's 3x3 (192 -> 384)
+* ``conv_2`` = 5a's pool-proj-sized 1x1 (832 -> 32; 5a's 5x5 reduce)
+* ``conv_3`` = 5b's 1x1 branch (832 -> 384)
+* ``conv_5`` = 5b's 3x3 reduce (832 -> 192)
+* ``conv_6`` = 5b's 5x5 reduce (832 -> 48)
+"""
+
+from __future__ import annotations
+
+from repro.nn.filler import gaussian_filler
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    AccuracyLayer,
+    ConcatLayer,
+    ConvolutionLayer,
+    DropoutLayer,
+    InnerProductLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+
+
+def _inception(name: str, bottom: str, n1x1: int, n3x3r: int, n3x3: int,
+               n5x5r: int, n5x5: int, npool: int,
+               table5_names: dict[str, str]) -> tuple[list[LayerDef], str]:
+    """One inception module; ``table5_names`` renames selected units so the
+    net's layers line up with Table 5's ``conv_1``..``conv_6`` labels."""
+    g = gaussian_filler
+    nm = lambda unit: table5_names.get(unit, f"{name}/{unit}")
+    defs = [
+        # 1x1 branch
+        LayerDef(ConvolutionLayer(nm("1x1"), n1x1, 1, weight_filler=g(0.03)),
+                 [bottom], [f"{name}/b1"]),
+        LayerDef(ReLULayer(f"{name}/relu_1x1"), [f"{name}/b1"], [f"{name}/b1r"]),
+        # 3x3 branch
+        LayerDef(ConvolutionLayer(nm("3x3_reduce"), n3x3r, 1,
+                                  weight_filler=g(0.09)),
+                 [bottom], [f"{name}/b3r"]),
+        LayerDef(ReLULayer(f"{name}/relu_3x3r"), [f"{name}/b3r"],
+                 [f"{name}/b3rr"]),
+        LayerDef(ConvolutionLayer(nm("3x3"), n3x3, 3, pad=1,
+                                  weight_filler=g(0.03)),
+                 [f"{name}/b3rr"], [f"{name}/b3"]),
+        LayerDef(ReLULayer(f"{name}/relu_3x3"), [f"{name}/b3"], [f"{name}/b3out"]),
+        # 5x5 branch
+        LayerDef(ConvolutionLayer(nm("5x5_reduce"), n5x5r, 1,
+                                  weight_filler=g(0.2)),
+                 [bottom], [f"{name}/b5r"]),
+        LayerDef(ReLULayer(f"{name}/relu_5x5r"), [f"{name}/b5r"],
+                 [f"{name}/b5rr"]),
+        LayerDef(ConvolutionLayer(f"{name}/5x5", n5x5, 5, pad=2,
+                                  weight_filler=g(0.03)),
+                 [f"{name}/b5rr"], [f"{name}/b5"]),
+        LayerDef(ReLULayer(f"{name}/relu_5x5"), [f"{name}/b5"], [f"{name}/b5out"]),
+        # pool branch
+        LayerDef(PoolingLayer(f"{name}/pool", 3, 1, op="max", pad=1),
+                 [bottom], [f"{name}/bp"]),
+        LayerDef(ConvolutionLayer(f"{name}/pool_proj", npool, 1,
+                                  weight_filler=g(0.1)),
+                 [f"{name}/bp"], [f"{name}/bpp"]),
+        LayerDef(ReLULayer(f"{name}/relu_pool"), [f"{name}/bpp"],
+                 [f"{name}/bpout"]),
+        LayerDef(ConcatLayer(f"{name}/output"),
+                 [f"{name}/b1r", f"{name}/b3out", f"{name}/b5out",
+                  f"{name}/bpout"],
+                 [f"{name}/out"]),
+    ]
+    return defs, f"{name}/out"
+
+
+def build_googlenet(batch: int = 32, classes: int = 1000, seed: int = 0,
+                    with_accuracy: bool = False) -> Net:
+    """Build the inception-5a/5b tail with the paper's batch size (N=32).
+
+    The input is the 832-channel 7x7 feature map the full GoogLeNet stem
+    produces at this depth.
+    """
+    # note: pooling at stride 1 keeps 7x7; 3x3 maxpool pads via ceil mode.
+    defs_5a, out_5a = _inception(
+        "inception_5a", "data",
+        n1x1=256, n3x3r=160, n3x3=320, n5x5r=32, n5x5=128, npool=128,
+        table5_names={"3x3": "conv_1", "5x5_reduce": "conv_2"},
+    )
+    defs_5b, out_5b = _inception(
+        "inception_5b", out_5a,
+        n1x1=384, n3x3r=192, n3x3=384, n5x5r=48, n5x5=128, npool=128,
+        table5_names={"1x1": "conv_3", "3x3": "conv_4",
+                      "3x3_reduce": "conv_5", "5x5_reduce": "conv_6"},
+    )
+    g = gaussian_filler
+    defs = defs_5a + defs_5b + [
+        LayerDef(PoolingLayer("pool5", 7, 1, op="ave"), [out_5b], ["pool5"]),
+        LayerDef(DropoutLayer("drop", 0.4), ["pool5"], ["drop"]),
+        LayerDef(InnerProductLayer("classifier", classes,
+                                   weight_filler=g(0.01)),
+                 ["drop"], ["classifier"]),
+        LayerDef(SoftmaxWithLossLayer("loss"), ["classifier", "label"],
+                 ["loss"]),
+    ]
+    if with_accuracy:
+        defs.append(LayerDef(AccuracyLayer("accuracy"),
+                             ["classifier", "label"], ["accuracy"]))
+    return Net(
+        "googlenet",
+        defs,
+        input_shapes={"data": (batch, 832, 7, 7), "label": (batch,)},
+        seed=seed,
+    )

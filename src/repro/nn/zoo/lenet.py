@@ -1,0 +1,53 @@
+"""LeNet (Caffe's ``lenet`` MNIST example).
+
+Not part of the paper's Table 5 evaluation set, but it is the single branch
+of the Siamese network and the canonical Caffe MNIST model, so the zoo
+ships it for examples and tests.
+
+    data(1x28x28) -> conv1(20,5) -> maxpool(2,2)
+                  -> conv2(50,5) -> maxpool(2,2)
+                  -> ip1(500) -> relu -> ip2(classes) -> softmax loss
+"""
+
+from __future__ import annotations
+
+from repro.nn.filler import gaussian_filler
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    AccuracyLayer,
+    ConvolutionLayer,
+    InnerProductLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+
+
+def build_lenet(batch: int = 64, classes: int = 10, seed: int = 0,
+                with_accuracy: bool = True) -> Net:
+    """Build LeNet with Caffe's MNIST batch size (64) by default."""
+    g = gaussian_filler
+    defs = [
+        LayerDef(ConvolutionLayer("conv1", 20, 5, weight_filler=g(0.01)),
+                 ["data"], ["conv1"]),
+        LayerDef(PoolingLayer("pool1", 2, 2, op="max"), ["conv1"], ["pool1"]),
+        LayerDef(ConvolutionLayer("conv2", 50, 5, weight_filler=g(0.01)),
+                 ["pool1"], ["conv2"]),
+        LayerDef(PoolingLayer("pool2", 2, 2, op="max"), ["conv2"], ["pool2"]),
+        LayerDef(InnerProductLayer("ip1", 500, weight_filler=g(0.01)),
+                 ["pool2"], ["ip1"]),
+        LayerDef(ReLULayer("relu1"), ["ip1"], ["relu1"]),
+        LayerDef(InnerProductLayer("ip2", classes, weight_filler=g(0.01)),
+                 ["relu1"], ["ip2"]),
+        LayerDef(SoftmaxWithLossLayer("loss"), ["ip2", "label"], ["loss"]),
+    ]
+    if with_accuracy:
+        defs.append(LayerDef(AccuracyLayer("accuracy"), ["ip2", "label"],
+                             ["accuracy"]))
+    return Net(
+        "lenet",
+        defs,
+        input_shapes={"data": (batch, 1, 28, 28), "label": (batch,)},
+        seed=seed,
+    )

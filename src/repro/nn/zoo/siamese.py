@@ -1,0 +1,65 @@
+"""The Siamese network (Caffe's ``mnist_siamese`` example).
+
+Two LeNet-style branches with *shared* parameters process an image pair;
+a contrastive loss pulls features of same-class pairs together.  The twin
+branch layers (``conv1_p`` etc.) are listed in Table 5 as separate layers —
+they run separately on the GPU — but share weight blobs through the net's
+``param_key`` mechanism, exactly like Caffe's named params.
+
+    branch: conv1(20,5) -> maxpool(2,2) -> conv2(50,5) -> maxpool(2,2)
+            -> ip1(500) -> relu -> ip2(10) -> feat(2)
+"""
+
+from __future__ import annotations
+
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    ContrastiveLossLayer,
+    ConvolutionLayer,
+    InnerProductLayer,
+    PoolingLayer,
+    ReLULayer,
+)
+from repro.nn.filler import gaussian_filler
+from repro.nn.net import Net
+
+
+def _branch(suffix: str) -> list[LayerDef]:
+    """One LeNet branch; ``param_key`` ties the twins' weights together."""
+    s = suffix
+    g = gaussian_filler
+    return [
+        LayerDef(ConvolutionLayer(f"conv1{s}", 20, 5, weight_filler=g(0.01)),
+                 [f"data{s}"], [f"conv1{s}"], param_key="conv1_w"),
+        LayerDef(PoolingLayer(f"pool1{s}", 2, 2, op="max"),
+                 [f"conv1{s}"], [f"pool1{s}"]),
+        LayerDef(ConvolutionLayer(f"conv2{s}", 50, 5, weight_filler=g(0.01)),
+                 [f"pool1{s}"], [f"conv2{s}"], param_key="conv2_w"),
+        LayerDef(PoolingLayer(f"pool2{s}", 2, 2, op="max"),
+                 [f"conv2{s}"], [f"pool2{s}"]),
+        LayerDef(InnerProductLayer(f"ip1{s}", 500, weight_filler=g(0.01)),
+                 [f"pool2{s}"], [f"ip1{s}"], param_key="ip1_w"),
+        LayerDef(ReLULayer(f"relu1{s}"), [f"ip1{s}"], [f"relu1{s}"]),
+        LayerDef(InnerProductLayer(f"ip2{s}", 10, weight_filler=g(0.01)),
+                 [f"relu1{s}"], [f"ip2{s}"], param_key="ip2_w"),
+        LayerDef(InnerProductLayer(f"feat{s}", 2, weight_filler=g(0.01)),
+                 [f"ip2{s}"], [f"feat{s}"], param_key="feat_w"),
+    ]
+
+
+def build_siamese(batch: int = 64, seed: int = 0, margin: float = 1.0) -> Net:
+    """Build the Siamese pair network with the paper's batch size (N=64)."""
+    defs = _branch("") + _branch("_p") + [
+        LayerDef(ContrastiveLossLayer("loss", margin=margin),
+                 ["feat", "feat_p", "sim"], ["loss"]),
+    ]
+    return Net(
+        "siamese",
+        defs,
+        input_shapes={
+            "data": (batch, 1, 28, 28),
+            "data_p": (batch, 1, 28, 28),
+            "sim": (batch,),
+        },
+        seed=seed,
+    )

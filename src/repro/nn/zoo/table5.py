@@ -1,0 +1,53 @@
+"""Paper Table 5, verbatim: every convolution layer the evaluation uses.
+
+These records drive the shape-only timing experiments (Figs. 2, 4, 7, 8, 9)
+without allocating tensor data; the numeric zoo nets are built from the same
+numbers, and the test suite cross-checks the two against each other.
+"""
+
+from __future__ import annotations
+
+from repro.nn.config import ConvConfig
+
+CIFAR10_CONVS: tuple[ConvConfig, ...] = (
+    ConvConfig("conv1", n=100, ci=3, hw=32, co=32, f=5, s=1, p=2, net="CIFAR10"),
+    ConvConfig("conv2", n=100, ci=32, hw=16, co=32, f=5, s=1, p=2, net="CIFAR10"),
+    ConvConfig("conv3", n=100, ci=32, hw=8, co=64, f=5, s=1, p=2, net="CIFAR10"),
+)
+
+SIAMESE_CONVS: tuple[ConvConfig, ...] = (
+    ConvConfig("conv1", n=64, ci=1, hw=28, co=20, f=5, s=1, p=0, net="Siamese"),
+    ConvConfig("conv2", n=64, ci=20, hw=12, co=50, f=5, s=1, p=0, net="Siamese"),
+    ConvConfig("conv1_p", n=64, ci=1, hw=28, co=20, f=5, s=1, p=0, net="Siamese"),
+    ConvConfig("conv2_p", n=64, ci=20, hw=12, co=50, f=5, s=1, p=0, net="Siamese"),
+)
+
+CAFFENET_CONVS: tuple[ConvConfig, ...] = (
+    ConvConfig("conv1", n=256, ci=3, hw=227, co=96, f=11, s=4, p=0, net="CaffeNet"),
+    ConvConfig("conv2", n=256, ci=96, hw=27, co=256, f=5, s=1, p=2, net="CaffeNet"),
+    ConvConfig("conv3", n=256, ci=256, hw=13, co=384, f=3, s=1, p=1, net="CaffeNet"),
+    ConvConfig("conv4", n=256, ci=384, hw=13, co=384, f=3, s=1, p=1, net="CaffeNet"),
+    ConvConfig("conv5", n=256, ci=384, hw=13, co=256, f=3, s=1, p=1, net="CaffeNet"),
+)
+
+#: The six GoogLeNet convolution units the paper selects "for convenience"
+#: out of the 59; the shapes identify them as the inception 5a/5b units.
+GOOGLENET_CONVS: tuple[ConvConfig, ...] = (
+    ConvConfig("conv_1", n=32, ci=160, hw=7, co=320, f=3, s=1, p=1, net="GoogLeNet"),
+    ConvConfig("conv_2", n=32, ci=832, hw=7, co=32, f=1, s=1, p=0, net="GoogLeNet"),
+    ConvConfig("conv_3", n=32, ci=832, hw=7, co=384, f=1, s=1, p=0, net="GoogLeNet"),
+    ConvConfig("conv_4", n=32, ci=192, hw=7, co=384, f=3, s=1, p=1, net="GoogLeNet"),
+    ConvConfig("conv_5", n=32, ci=832, hw=7, co=192, f=1, s=1, p=0, net="GoogLeNet"),
+    ConvConfig("conv_6", n=32, ci=832, hw=7, co=48, f=1, s=1, p=0, net="GoogLeNet"),
+)
+
+#: Network name -> conv layer configs (Table 5 grouping).
+TABLE5: dict[str, tuple[ConvConfig, ...]] = {
+    "CIFAR10": CIFAR10_CONVS,
+    "Siamese": SIAMESE_CONVS,
+    "CaffeNet": CAFFENET_CONVS,
+    "GoogLeNet": GOOGLENET_CONVS,
+}
+
+#: Evaluation order used throughout the paper's figures.
+NETWORK_ORDER = ("CIFAR10", "Siamese", "CaffeNet", "GoogLeNet")

@@ -1,0 +1,57 @@
+"""Integration layer: "GLP4NN-Caffe" on the simulated GPU.
+
+* :mod:`repro.runtime.lowering` — turns layers (or bare Table 5 configs)
+  into :class:`~repro.kernels.ir.LayerWork`: per-sample kernel chains for
+  convolutions (the batch-level parallelism GLP4NN exploits) and
+  whole-batch kernels for everything else.
+* :mod:`repro.runtime.executor` — three executors over one scheduler core:
+  ``NaiveExecutor`` (unmodified Caffe: default stream only),
+  ``FixedStreamExecutor`` (manual stream counts, for the motivation
+  experiments), and ``GLP4NNExecutor`` (the framework).
+* :mod:`repro.runtime.session` — training sessions combining the numeric
+  solver with simulated timing (the Fig. 7 / Fig. 11 driver).
+* :mod:`repro.runtime.metrics` — timing summaries and speedup helpers.
+"""
+
+from repro.runtime.lowering import (
+    lower_conv_forward,
+    lower_conv_backward,
+    lower_layer,
+    lower_net,
+    conv_works,
+)
+from repro.runtime.executor import (
+    Executor,
+    NaiveExecutor,
+    FixedStreamExecutor,
+    GLP4NNExecutor,
+)
+from repro.runtime.session import TrainingSession, IterationTiming
+from repro.runtime.metrics import TimingSummary, speedup
+from repro.runtime.graph import KernelGraph, GraphScheduler, dispatch_graph
+from repro.runtime.fusion import fuse_work, fuse_chain, make_fusion_transform
+from repro.runtime.data_parallel import DataParallelSession, DataParallelIteration
+
+__all__ = [
+    "lower_conv_forward",
+    "lower_conv_backward",
+    "lower_layer",
+    "lower_net",
+    "conv_works",
+    "Executor",
+    "NaiveExecutor",
+    "FixedStreamExecutor",
+    "GLP4NNExecutor",
+    "TrainingSession",
+    "IterationTiming",
+    "TimingSummary",
+    "speedup",
+    "KernelGraph",
+    "GraphScheduler",
+    "dispatch_graph",
+    "fuse_work",
+    "fuse_chain",
+    "make_fusion_transform",
+    "DataParallelSession",
+    "DataParallelIteration",
+]

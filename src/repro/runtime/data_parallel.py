@@ -1,0 +1,116 @@
+"""Data-parallel training across multiple simulated GPUs.
+
+The distributed sketch of the paper's future work: the batch is split over
+``k`` replicas, each replica runs its shard's forward/backward under its own
+executor (naive or GLP4NN — the framework composes with data parallelism,
+since it only reschedules kernels *within* a device), and gradients are
+synchronized with a ring all-reduce.
+
+Timing model per iteration::
+
+    T = max_over_replicas(compute time of batch/k) + allreduce(grad bytes)
+
+Replicas run identical shapes, so the max is the slowest device in a
+heterogeneous machine.  Numeric training is not duplicated per replica:
+data parallelism with summed gradients is mathematically identical to
+large-batch SGD, which :mod:`repro.runtime.session` already covers — this
+module answers the *timing/scaling* question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.comm import AllReduceModel, PCIE3
+from repro.errors import ReproError
+from repro.kernels.ir import LayerWork
+from repro.nn.config import ConvConfig
+from repro.nn.net import Net
+from repro.runtime.executor import Executor
+from repro.runtime.lowering import conv_works
+
+
+@dataclass(frozen=True)
+class DataParallelIteration:
+    """Timing breakdown of one data-parallel iteration."""
+
+    compute_us: float          # slowest replica's forward+backward
+    allreduce_us: float
+    per_replica_us: tuple[float, ...]
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.allreduce_us
+
+
+class DataParallelSession:
+    """Simulates synchronous data-parallel training of conv workloads.
+
+    Parameters
+    ----------
+    executors:
+        One executor per replica (each owns its own GPU).
+    convs:
+        The network's convolution layers (Table 5 rows); the global batch
+        of each is split evenly across replicas.
+    grad_bytes:
+        Gradient payload exchanged per iteration (4 bytes per learnable
+        parameter).
+    comm:
+        All-reduce cost model.
+    """
+
+    def __init__(
+        self,
+        executors: Sequence[Executor],
+        convs: Sequence[ConvConfig],
+        grad_bytes: float,
+        comm: AllReduceModel | None = None,
+    ) -> None:
+        if not executors:
+            raise ReproError("need at least one replica")
+        batch = convs[0].n
+        if batch % len(executors):
+            raise ReproError(
+                f"global batch {batch} does not divide over "
+                f"{len(executors)} replicas"
+            )
+        self.executors = list(executors)
+        self.comm = comm or AllReduceModel(PCIE3)
+        self.grad_bytes = float(grad_bytes)
+        shard = batch // len(executors)
+        self._fwd = conv_works(convs, "forward", batch_override=shard)
+        self._bwd = conv_works(convs, "backward", batch_override=shard)
+        self.iterations: list[DataParallelIteration] = []
+
+    @classmethod
+    def grad_bytes_of(cls, net: Net) -> float:
+        """Gradient payload of a built network (float32)."""
+        return 4.0 * net.num_learnable()
+
+    def run_iteration(self) -> DataParallelIteration:
+        per_replica = []
+        for ex in self.executors:
+            t = ex.run_pass(self._fwd) + ex.run_pass(self._bwd)
+            per_replica.append(t)
+        sync = self.comm.time_us(self.grad_bytes, len(self.executors))
+        it = DataParallelIteration(
+            compute_us=max(per_replica),
+            allreduce_us=sync,
+            per_replica_us=tuple(per_replica),
+        )
+        self.iterations.append(it)
+        return it
+
+    def steady_state_time_us(self, skip: int = 1) -> float:
+        usable = self.iterations[skip:]
+        if not usable:
+            raise ReproError("no steady-state iterations recorded")
+        return sum(t.total_us for t in usable) / len(usable)
+
+    def scaling_efficiency(self, single_replica_us: float,
+                           skip: int = 1) -> float:
+        """Speedup over one replica divided by the replica count."""
+        t = self.steady_state_time_us(skip=skip)
+        return (single_replica_us / t) / len(self.executors)

@@ -1,0 +1,111 @@
+"""Executors: naive Caffe, fixed stream counts, and GLP4NN.
+
+All three share the :class:`~repro.core.runtime_scheduler.RuntimeScheduler`
+dispatch core and differ only in policy, so timing comparisons between them
+measure scheduling — not implementation — differences:
+
+* :class:`NaiveExecutor` — unmodified Caffe: every kernel on the default
+  stream, in order.
+* :class:`FixedStreamExecutor` — a user-chosen stream count, round-robin;
+  this is the configuration behind the paper's motivation experiments
+  (Figs. 2-4: sweep stream counts, observe speedup and the per-device
+  optimum).
+* :class:`GLP4NNExecutor` — the framework: profile on first execution,
+  size the pool with the analytical model, dispatch round-robin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.framework import GLP4NN
+from repro.core.runtime_scheduler import DispatchPolicy, LayerRun, RuntimeScheduler
+from repro.gpusim.engine import GPU
+from repro.kernels.ir import LayerWork
+
+
+class Executor:
+    """Base executor: run layer works on one device and record timings."""
+
+    def __init__(self, gpu: GPU) -> None:
+        self.gpu = gpu
+
+    @property
+    def scheduler(self) -> RuntimeScheduler:
+        raise NotImplementedError
+
+    def run(self, work: LayerWork) -> LayerRun:
+        """Execute one layer-phase; returns its timing record."""
+        return self.scheduler.run_layer(work)
+
+    def run_pass(self, works: Iterable[LayerWork]) -> float:
+        """Execute a sequence of layers; returns total elapsed µs."""
+        return sum(self.run(w).elapsed_us for w in works)
+
+    @property
+    def runs(self) -> list[LayerRun]:
+        return self.scheduler.runs
+
+    def layer_times(self) -> dict[str, float]:
+        """Per-layer elapsed time of the most recent run of each layer."""
+        out: dict[str, float] = {}
+        for r in self.scheduler.runs:
+            out[r.key] = r.elapsed_us
+        return out
+
+
+class NaiveExecutor(Executor):
+    """Unmodified Caffe: single (default) stream."""
+
+    def __init__(self, gpu: GPU) -> None:
+        super().__init__(gpu)
+        glp = GLP4NN([gpu], policy=DispatchPolicy.SINGLE)
+        self._scheduler = glp.scheduler_for(gpu)
+        self.framework = glp
+
+    @property
+    def scheduler(self) -> RuntimeScheduler:
+        return self._scheduler
+
+
+class FixedStreamExecutor(Executor):
+    """Manual stream count (the Figs. 2-4 sweep configuration)."""
+
+    def __init__(self, gpu: GPU, num_streams: int) -> None:
+        super().__init__(gpu)
+        glp = GLP4NN([gpu], policy=DispatchPolicy.FIXED,
+                     fixed_streams=num_streams)
+        self._scheduler = glp.scheduler_for(gpu)
+        self.framework = glp
+        self.num_streams = num_streams
+
+    @property
+    def scheduler(self) -> RuntimeScheduler:
+        return self._scheduler
+
+
+class GLP4NNExecutor(Executor):
+    """The framework: model-sized pools, profile-then-dispatch.
+
+    Pass an existing :class:`~repro.core.framework.GLP4NN` to share its
+    tracker/analyzer caches (e.g. across executors in one session); by
+    default a private instance is created.
+    """
+
+    def __init__(self, gpu: GPU, framework: Optional[GLP4NN] = None,
+                 use_launch_bound: bool = True) -> None:
+        super().__init__(gpu)
+        self.framework = framework or GLP4NN(
+            [gpu], policy=DispatchPolicy.MODEL,
+            use_launch_bound=use_launch_bound,
+        )
+        self._scheduler = self.framework.scheduler_for(gpu)
+
+    @property
+    def scheduler(self) -> RuntimeScheduler:
+        return self._scheduler
+
+    def warm_up(self, works: Sequence[LayerWork]) -> None:
+        """Run the profiling pass for all layers up front."""
+        for w in works:
+            self.run(w)

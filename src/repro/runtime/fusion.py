@@ -1,0 +1,128 @@
+"""Kernel fusion for small kernels (the paper's second future-work item).
+
+The paper: "kernel reordering and kernel fusion technologies may be helpful
+to gain better training performance ..., especially for small kernels."
+Small kernels lose to the host launch pipeline — a 4 µs kernel behind a
+5.5 µs launch leaves the GPU idle no matter how many streams exist (the
+mechanism behind the Fig. 9 degradations).  Fusing adjacent dependent
+kernels in a chain removes launches entirely.
+
+The pass is a greedy forward merge over each chain: consecutive kernels
+whose estimated solo time is below ``threshold_us`` are combined into one
+launch.  The fused kernel uses the geometry of its largest member (the
+"carrier"), the summed arithmetic/memory work renormalized per thread, the
+maximum register footprint, and the maximum shared memory (phases execute
+sequentially inside the fused kernel, so footprints do not add).
+
+This is a *model* of fusion cost/benefit, not a code generator — exactly
+what is needed to evaluate the design question the paper raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.kernels.costmodel import kernel_solo_time_us
+from repro.kernels.ir import KernelChain, LayerWork
+
+#: Kernels faster than this (solo) are fusion candidates by default: a few
+#: launch latencies' worth of work.
+DEFAULT_THRESHOLD_US = 25.0
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """What a fusion pass did to one work unit."""
+
+    kernels_before: int
+    kernels_after: int
+
+    @property
+    def launches_saved(self) -> int:
+        return self.kernels_before - self.kernels_after
+
+    @property
+    def fused_anything(self) -> bool:
+        return self.launches_saved > 0
+
+
+def merge_specs(parts: Sequence[KernelSpec]) -> KernelSpec:
+    """Combine dependent kernels into one launch (see module docstring)."""
+    if len(parts) == 1:
+        return parts[0]
+    carrier = max(parts, key=lambda k: k.launch.total_threads)
+    total_flops = sum(k.total_flops for k in parts)
+    total_bytes = sum(k.total_bytes for k in parts)
+    threads = carrier.launch.total_threads
+    launch = LaunchConfig(
+        grid=carrier.launch.grid,
+        block=carrier.launch.block,
+        shared_mem_static=max(k.launch.shared_mem_static for k in parts),
+        shared_mem_dynamic=max(k.launch.shared_mem_dynamic for k in parts),
+        registers_per_thread=max(
+            k.launch.registers_per_thread for k in parts),
+    )
+    name = "fused_" + "_".join(dict.fromkeys(k.name for k in parts))
+    return KernelSpec(
+        name=name,
+        launch=launch,
+        flops_per_thread=total_flops / threads,
+        bytes_per_thread=total_bytes / threads,
+        tag=carrier.tag,
+    )
+
+
+def fuse_chain(chain: KernelChain, device: DeviceProperties,
+               threshold_us: float = DEFAULT_THRESHOLD_US) -> KernelChain:
+    """Greedily merge runs of small consecutive kernels in one chain."""
+    out: list[KernelSpec] = []
+    group: list[KernelSpec] = []
+
+    def flush() -> None:
+        if group:
+            out.append(merge_specs(group))
+            group.clear()
+
+    for spec in chain:
+        if kernel_solo_time_us(spec, device) < threshold_us:
+            group.append(spec)
+        else:
+            flush()
+            out.append(spec)
+    flush()
+    return KernelChain(tuple(out), label=chain.label)
+
+
+def fuse_work(work: LayerWork, device: DeviceProperties,
+              threshold_us: float = DEFAULT_THRESHOLD_US
+              ) -> tuple[LayerWork, FusionReport]:
+    """Apply the fusion pass to every chain of a layer work unit.
+
+    Serial (whole-batch) kernels are left alone: they are launch-count
+    cheap already, and reductions must stay separate for correctness.
+    """
+    before = work.num_kernels
+    chains = tuple(
+        fuse_chain(c, device, threshold_us) for c in work.parallel_chains
+    )
+    fused = LayerWork(
+        layer=work.layer,
+        phase=work.phase,
+        parallel_chains=chains,
+        serial_kernels=work.serial_kernels,
+    )
+    return fused, FusionReport(before, fused.num_kernels)
+
+
+def make_fusion_transform(device: DeviceProperties,
+                          threshold_us: float = DEFAULT_THRESHOLD_US):
+    """A ``work -> work`` transform for the runtime scheduler."""
+
+    def transform(work: LayerWork) -> LayerWork:
+        fused, _ = fuse_work(work, device, threshold_us)
+        return fused
+
+    return transform

@@ -1,0 +1,202 @@
+"""DAG-dependency kernel dispatch (the paper's first future-work item).
+
+GLP4NN's released design handles *chain* dependencies (per-sample pipelines)
+and synchronizes at layer boundaries.  The paper's future work proposes
+supporting "complex kernel dependencies, such as the dataflow-like
+dependency model in Tensorflow".  This module implements that: a
+:class:`KernelGraph` of kernels with arbitrary acyclic dependencies is
+dispatched over a stream pool, with cross-stream edges realized through
+CUDA events (``record_event`` / ``wait_event``) instead of device-wide
+barriers.
+
+The scheduling heuristic is chain-affine list scheduling: a node prefers the
+stream of its first predecessor (keeping pipelines on one stream, where
+ordering is free), and only cross-stream edges pay for event
+synchronization.  GoogLeNet's inception modules — four independent branches
+joining at a concat — are the motivating shape; see
+``benchmarks/test_ablation_graph.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.stream import Event, Stream
+from repro.kernels.ir import KernelChain, LayerWork
+
+
+@dataclass
+class KernelNode:
+    """One kernel in the dependency graph."""
+
+    node_id: int
+    spec: KernelSpec
+    deps: tuple[int, ...] = ()
+
+
+class KernelGraph:
+    """An acyclic graph of kernels with explicit dependencies.
+
+    >>> g = KernelGraph("inception")
+    >>> a = g.add(spec_a)
+    >>> b = g.add(spec_b, deps=[a])
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[int, KernelNode] = {}
+        self._ids = itertools.count()
+
+    def add(self, spec: KernelSpec, deps: Iterable[int] = ()) -> int:
+        """Add a kernel depending on previously added nodes; returns its id."""
+        deps = tuple(deps)
+        for d in deps:
+            if d not in self._nodes:
+                raise SchedulingError(
+                    f"graph {self.name!r}: dependency {d} does not exist "
+                    "(dependencies must be added first, which also "
+                    "guarantees acyclicity)"
+                )
+        node_id = next(self._ids)
+        self._nodes[node_id] = KernelNode(node_id, spec, deps)
+        return node_id
+
+    def add_chain(self, specs: Sequence[KernelSpec],
+                  deps: Iterable[int] = ()) -> list[int]:
+        """Add a linear chain; the first kernel takes the external deps."""
+        ids: list[int] = []
+        prev: Optional[int] = None
+        for spec in specs:
+            node_deps = tuple(deps) if prev is None else (prev,)
+            prev = self.add(spec, node_deps)
+            ids.append(prev)
+        return ids
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[KernelNode]:
+        """Nodes in insertion (= topological) order."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def dependents(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {n.node_id: [] for n in self.nodes}
+        for n in self.nodes:
+            for d in n.deps:
+                out[d].append(n.node_id)
+        return out
+
+    def sinks(self) -> list[int]:
+        """Nodes nothing depends on."""
+        deps_of = self.dependents()
+        return [i for i, ds in deps_of.items() if not ds]
+
+    def as_layer_work(self, layer: str, phase: str = "forward") -> LayerWork:
+        """Flatten to a single serial chain (topological order).
+
+        Used for the profiling pass: running the graph serially respects
+        every dependency and yields exactly the kernel set the analyzer
+        needs.
+        """
+        return LayerWork(
+            layer=layer, phase=phase,
+            parallel_chains=(KernelChain(
+                tuple(n.spec for n in self.nodes), label=self.name),),
+        )
+
+    # ------------------------------------------------------------------
+    def assign_streams(self, num_streams: int) -> dict[int, int]:
+        """Chain-affine list scheduling onto ``num_streams`` stream slots.
+
+        A node inherits the stream of its first predecessor if it is that
+        predecessor's first dependent (pipelines stay put); otherwise it
+        takes the next slot round-robin.
+        """
+        if num_streams < 1:
+            raise SchedulingError("need at least one stream")
+        assignment: dict[int, int] = {}
+        claimed: set[int] = set()   # predecessors whose stream was inherited
+        rr = itertools.cycle(range(num_streams))
+        for node in self.nodes:
+            slot: Optional[int] = None
+            for d in node.deps:
+                if d not in claimed:
+                    slot = assignment[d]
+                    claimed.add(d)
+                    break
+            if slot is None:
+                slot = next(rr)
+            assignment[node.node_id] = slot
+        return assignment
+
+
+def dispatch_graph(
+    gpu: GPU,
+    graph: KernelGraph,
+    streams: Sequence[Stream],
+    synchronize: bool = True,
+) -> float:
+    """Execute ``graph`` on ``gpu`` over the given streams; return elapsed µs.
+
+    Cross-stream dependency edges are realized with event record/wait pairs;
+    same-stream edges ride the stream's FIFO order for free.
+    """
+    if not streams:
+        raise SchedulingError("dispatch_graph needs at least one stream")
+    start = gpu.host_time
+    assignment = graph.assign_streams(len(streams))
+    dependents = graph.dependents()
+    events: dict[int, Event] = {}
+    for node in graph.nodes:
+        stream = streams[assignment[node.node_id]]
+        for d in node.deps:
+            if assignment[d] != assignment[node.node_id]:
+                gpu.wait_event(events[d], stream=stream)
+        gpu.launch(node.spec, stream=stream)
+        # record an event only if some dependent lives on another stream
+        if any(assignment[c] != assignment[node.node_id]
+               for c in dependents[node.node_id]):
+            ev = Event(f"{graph.name}/n{node.node_id}")
+            gpu.record_event(ev, stream=stream)
+            events[node.node_id] = ev
+    if synchronize:
+        gpu.synchronize()
+    return gpu.host_time - start
+
+
+class GraphScheduler:
+    """Profile-and-dispatch workflow for kernel graphs.
+
+    Mirrors :class:`~repro.core.runtime_scheduler.RuntimeScheduler` but for
+    DAGs: the first execution runs the graph serially under the resource
+    tracker, the analytical model sizes the pool from the profiled kernel
+    set, and subsequent executions dispatch with event-based dependencies.
+    """
+
+    def __init__(self, framework, gpu: GPU) -> None:
+        self.framework = framework
+        self.gpu = gpu
+
+    def run(self, graph: KernelGraph, key: Optional[str] = None) -> float:
+        """Execute the graph; returns elapsed host µs."""
+        key = key or graph.name
+        work = graph.as_layer_work(key)
+        tracker = self.framework.tracker
+        profile = tracker.get(self.gpu, work.key)
+        if profile is None:
+            start = self.gpu.host_time
+            profile = tracker.profile_layer(self.gpu, work)
+            decision = self.framework.analyzer_for(self.gpu).decision_for(
+                profile)
+            self.gpu.host_time += decision.analysis_time_us
+            return self.gpu.host_time - start
+        decision = self.framework.analyzer_for(self.gpu).decision_for(profile)
+        pool = self.framework.streams.pool(self.gpu).ensure(decision.c_out)
+        return dispatch_graph(self.gpu, graph, pool)

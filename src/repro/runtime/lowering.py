@@ -1,0 +1,279 @@
+"""Lowering: layers -> GPU kernel work units.
+
+Convolution layers lower to **per-sample chains** — the GPU form of the
+batch loop in the paper's Algorithms 1 and 2 (``for n <- 1 to N``), which is
+how unmodified Caffe actually executes convolutions (a loop of im2col +
+GEMM per sample) and exactly the independence GLP4NN's batch-level
+parallelism exploits.  Every other layer type lowers to whole-batch serial
+kernels, since the paper applies the framework to convolution layers only.
+
+Backward convolutions need one care point: Caffe accumulates every sample's
+weight-gradient GEMM into a single buffer, which is unsafe across streams.
+The lowering therefore gives each *chain* its own weight-gradient partial
+and adds a serial reduction kernel on the default stream — the standard
+privatize-and-reduce transform, preserving convergence invariance.
+
+All of this is *shape-driven*: a bare :class:`~repro.nn.config.ConvConfig`
+(a Table 5 row) suffices, so CaffeNet-sized timing experiments never touch
+tensor data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.kernels.ir import KernelChain, LayerWork
+from repro.kernels.ops import (
+    axpy_spec,
+    col2im_spec,
+    eltwise_spec,
+    gemmk_bias_spec,
+    im2col_spec,
+    lrn_spec,
+    pooling_spec,
+    relu_spec,
+    sgemm_spec,
+    softmax_spec,
+)
+from repro.nn.config import ConvConfig
+from repro.nn.layer import Layer
+from repro.nn.layers import (
+    AccuracyLayer,
+    ConcatLayer,
+    ConvolutionLayer,
+    DropoutLayer,
+    EltwiseLayer,
+    FlattenLayer,
+    InnerProductLayer,
+    LRNLayer,
+    PoolingLayer,
+    ReLULayer,
+    SigmoidLayer,
+    TanHLayer,
+)
+from repro.nn.layers.losses import ContrastiveLossLayer, SoftmaxWithLossLayer
+from repro.nn.net import Net
+
+
+def _is_1x1(cfg: ConvConfig) -> bool:
+    """1x1/stride-1/no-pad convolutions skip im2col (Caffe's fast path)."""
+    return cfg.f == 1 and cfg.s == 1 and cfg.p == 0
+
+
+def lower_conv_forward(cfg: ConvConfig, layer_name: str = "") -> LayerWork:
+    """Per-sample forward chains: [im2col] -> sgemm (x group) -> gemmk."""
+    name = layer_name or cfg.name
+    chains = []
+    for n in range(cfg.n):
+        kernels = []
+        if not _is_1x1(cfg):
+            kernels.append(im2col_spec(cfg.ci, cfg.out_hw, cfg.out_hw,
+                                       cfg.f, cfg.f, tag=f"{name}/s{n}"))
+        for _ in range(cfg.g):
+            kernels.append(sgemm_spec(cfg.co_gemm, cfg.out_spatial,
+                                      cfg.k_gemm, tag=f"{name}/s{n}"))
+        kernels.append(gemmk_bias_spec(cfg.co, cfg.out_spatial,
+                                       tag=f"{name}/s{n}"))
+        chains.append(KernelChain(tuple(kernels), label=f"{name}/s{n}"))
+    return LayerWork(layer=name, phase="forward",
+                     parallel_chains=tuple(chains))
+
+
+def lower_conv_backward(cfg: ConvConfig, layer_name: str = "") -> LayerWork:
+    """Per-sample backward chains + serial gradient reduction.
+
+    Each chain computes the sample's weight-gradient partial
+    (``dW_n = dout_n @ cols_n^T``), the data gradient
+    (``dcols_n = W^T @ dout_n``) and scatters it back with ``col2im``.
+    The serial tail reduces the partials and the bias gradient.
+    """
+    name = layer_name or cfg.name
+    chains = []
+    for n in range(cfg.n):
+        kernels = []
+        for _ in range(cfg.g):
+            kernels.append(
+                # weight-gradient partial for this sample
+                sgemm_spec(cfg.co_gemm, cfg.k_gemm, cfg.out_spatial,
+                           tag=f"{name}/s{n}/dW", accumulate=True))
+            kernels.append(
+                # data gradient in column space
+                sgemm_spec(cfg.k_gemm, cfg.out_spatial, cfg.co_gemm,
+                           tag=f"{name}/s{n}/dX"))
+        if not _is_1x1(cfg):
+            kernels.append(col2im_spec(cfg.ci, cfg.hw, cfg.hw, cfg.f, cfg.f,
+                                       tag=f"{name}/s{n}"))
+        chains.append(KernelChain(tuple(kernels), label=f"{name}/s{n}"))
+    serial = (
+        # reduce per-stream weight-gradient partials
+        axpy_spec(cfg.co * cfg.k_gemm, tag=f"{name}/reduce_dW"),
+        # bias gradient (row-sum of dout)
+        gemmk_bias_spec(cfg.co, cfg.out_spatial, tag=f"{name}/db"),
+    )
+    return LayerWork(layer=name, phase="backward",
+                     parallel_chains=tuple(chains), serial_kernels=serial)
+
+
+# ----------------------------------------------------------------------
+# Whole-batch lowerings for the non-convolution layers.
+# ----------------------------------------------------------------------
+
+def _serial_work(name: str, phase: str, kernels) -> LayerWork:
+    return LayerWork(layer=name, phase=phase, serial_kernels=tuple(kernels))
+
+
+def lower_layer(layer: Layer, phase: str,
+                bottom_shapes: Optional[Sequence[tuple[int, ...]]] = None
+                ) -> Optional[LayerWork]:
+    """Lower one layer instance (after ``setup``) for one phase.
+
+    Returns ``None`` for layers with no GPU work (accuracy is evaluated
+    host-side in this integration).
+    """
+    if isinstance(layer, ConvolutionLayer):
+        if layer.config is None:
+            raise NetworkError(f"{layer.name}: lower before setup")
+        if phase == "forward":
+            return lower_conv_forward(layer.config, layer.name)
+        return lower_conv_backward(layer.config, layer.name)
+
+    if isinstance(layer, PoolingLayer):
+        cfg = layer.config
+        if cfg is None:
+            raise NetworkError(f"{layer.name}: lower before setup")
+        spec = pooling_spec(cfg.n * cfg.c, cfg.out_hw, cfg.out_hw,
+                            cfg.f, cfg.f, op=cfg.op, tag=layer.name)
+        if phase == "backward":
+            spec = eltwise_spec(f"{cfg.op}pool_bwd",
+                                cfg.n * cfg.c * cfg.hw * cfg.hw,
+                                flops=2.0, bytes_per_elem=12.0,
+                                tag=layer.name)
+        return _serial_work(layer.name, phase, [spec])
+
+    if isinstance(layer, (ReLULayer, SigmoidLayer, TanHLayer)):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: elementwise lowering needs shapes")
+        count = math.prod(bottom_shapes[0])
+        kind = type(layer).__name__.replace("Layer", "").lower()
+        if phase == "forward" and isinstance(layer, ReLULayer):
+            spec = relu_spec(count, tag=layer.name)
+        else:
+            spec = eltwise_spec(f"{kind}_{'fwd' if phase == 'forward' else 'bwd'}",
+                                count, tag=layer.name)
+        return _serial_work(layer.name, phase, [spec])
+
+    if isinstance(layer, LRNLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: LRN lowering needs shapes")
+        n, c, h, w = bottom_shapes[0]
+        scale = lrn_spec(c, n * h, w, layer.size, stage="scale", tag=layer.name)
+        out = lrn_spec(c, n * h, w, layer.size, stage="output", tag=layer.name)
+        return _serial_work(layer.name, phase, [scale, out])
+
+    if isinstance(layer, InnerProductLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: inner-product lowering needs shapes")
+        batch = bottom_shapes[0][0]
+        in_features = math.prod(bottom_shapes[0][1:])
+        if phase == "forward":
+            kernels = [
+                sgemm_spec(layer.num_output, batch, in_features, tag=layer.name),
+                gemmk_bias_spec(layer.num_output, batch, tag=layer.name),
+            ]
+        else:
+            kernels = [
+                sgemm_spec(layer.num_output, in_features, batch,
+                           tag=f"{layer.name}/dW", accumulate=True),
+                sgemm_spec(in_features, batch, layer.num_output,
+                           tag=f"{layer.name}/dX"),
+                gemmk_bias_spec(layer.num_output, 1, tag=f"{layer.name}/db"),
+            ]
+        return _serial_work(layer.name, phase, kernels)
+
+    if isinstance(layer, DropoutLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: dropout lowering needs shapes")
+        count = math.prod(bottom_shapes[0])
+        return _serial_work(layer.name, phase,
+                            [eltwise_spec("dropout", count, tag=layer.name)])
+
+    if isinstance(layer, EltwiseLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: eltwise lowering needs shapes")
+        count = math.prod(bottom_shapes[0])
+        return _serial_work(
+            layer.name, phase,
+            [eltwise_spec(f"eltwise_{layer.operation}", count,
+                          flops=float(len(bottom_shapes)),
+                          bytes_per_elem=4.0 * (len(bottom_shapes) + 1),
+                          tag=layer.name)],
+        )
+
+    if isinstance(layer, FlattenLayer):
+        # reshape is metadata-only on the device: no kernels
+        return None
+
+    if isinstance(layer, ConcatLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: concat lowering needs shapes")
+        count = sum(math.prod(s) for s in bottom_shapes)
+        return _serial_work(layer.name, phase,
+                            [eltwise_spec("concat_copy", count, flops=0.0,
+                                          tag=layer.name)])
+
+    if isinstance(layer, SoftmaxWithLossLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: loss lowering needs shapes")
+        batch = bottom_shapes[0][0]
+        classes = math.prod(bottom_shapes[0][1:])
+        return _serial_work(layer.name, phase,
+                            [softmax_spec(classes, batch, tag=layer.name)])
+
+    if isinstance(layer, ContrastiveLossLayer):
+        if bottom_shapes is None:
+            raise NetworkError(f"{layer.name}: loss lowering needs shapes")
+        count = math.prod(bottom_shapes[0])
+        return _serial_work(layer.name, phase,
+                            [eltwise_spec("contrastive", count, flops=4.0,
+                                          tag=layer.name)])
+
+    if isinstance(layer, AccuracyLayer):
+        return None
+
+    raise NetworkError(
+        f"no lowering for layer type {type(layer).__name__} ({layer.name!r})"
+    )
+
+
+def lower_net(net: Net, phase: str) -> list[LayerWork]:
+    """Lower every layer of a set-up net, in execution order for the phase.
+
+    The backward list is returned in reverse layer order, the order the
+    solver executes it.
+    """
+    works: list[LayerWork] = []
+    for ld in net.layer_defs:
+        shapes = [net.blob_shapes[b] for b in ld.bottoms]
+        work = lower_layer(ld.layer, phase, shapes)
+        if work is not None:
+            works.append(work)
+    if phase == "backward":
+        works.reverse()
+    return works
+
+
+def conv_works(convs: Sequence[ConvConfig], phase: str = "forward",
+               batch_override: Optional[int] = None) -> list[LayerWork]:
+    """Shape-driven lowering of bare Table 5 rows (no net required)."""
+    out = []
+    for cfg in convs:
+        if batch_override is not None:
+            cfg = ConvConfig(cfg.name, batch_override, cfg.ci, cfg.hw,
+                             cfg.co, cfg.f, cfg.s, cfg.p, cfg.net)
+        if phase == "forward":
+            out.append(lower_conv_forward(cfg))
+        else:
+            out.append(lower_conv_backward(cfg))
+    return out

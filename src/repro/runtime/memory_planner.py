@@ -1,0 +1,97 @@
+"""Device-memory planning for lowered networks.
+
+Caffe allocates parameters, activations (data + gradients) and the per-layer
+``im2col`` column buffer on the device.  This planner sizes those
+allocations for a built net, places them in the simulated device allocator,
+and reports the footprint — used to check a network actually fits the
+device (CaffeNet at batch 256 is famously close on 12 GB cards) and to
+demonstrate the paper's claim that GLP4NN itself adds *no* device memory
+(its tracker state is host-side, Eq. 10-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.engine import GPU
+from repro.gpusim.memory import Allocation
+from repro.nn.layers import ConvolutionLayer
+from repro.nn.net import Net
+
+_F32 = 4
+
+
+@dataclass
+class MemoryPlan:
+    """Breakdown of a net's device-memory footprint, in bytes."""
+
+    params: int
+    param_grads: int
+    activations: int
+    activation_grads: int
+    col_buffer: int
+    allocations: list[Allocation] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (self.params + self.param_grads + self.activations
+                + self.activation_grads + self.col_buffer)
+
+
+def plan_memory(net: Net) -> MemoryPlan:
+    """Size every device allocation a Caffe-style runtime would make."""
+    params = sum(p.data.nbytes for p, _, _ in net.unique_params())
+    acts = sum(
+        _F32 * _count(shape) for name, shape in net.blob_shapes.items()
+    )
+    # Caffe shares one column buffer sized for the largest conv layer
+    # (per-sample, since the GPU path loops over the batch).
+    col = 0
+    for layer in net.layers:
+        if isinstance(layer, ConvolutionLayer) and layer.config is not None:
+            cfg = layer.config
+            col = max(col, _F32 * cfg.g * cfg.k_gemm * cfg.out_spatial)
+    return MemoryPlan(
+        params=params,
+        param_grads=params,
+        activations=acts,
+        activation_grads=acts,
+        col_buffer=col,
+    )
+
+
+def _count(shape) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n
+
+
+def allocate_net(gpu: GPU, net: Net) -> MemoryPlan:
+    """Reserve the plan on the device allocator (raises on OOM).
+
+    Returns the plan with live allocation handles attached; free them with
+    :func:`release_net`.
+    """
+    plan = plan_memory(net)
+    allocator = gpu.allocator
+    pieces = [
+        ("params", plan.params),
+        ("param_grads", plan.param_grads),
+        ("activations", plan.activations),
+        ("activation_grads", plan.activation_grads),
+    ]
+    if plan.col_buffer:
+        pieces.append(("col_buffer", plan.col_buffer))
+    for label, size in pieces:
+        plan.allocations.append(
+            allocator.malloc(size, label=f"{net.name}/{label}")
+        )
+    return plan
+
+
+def release_net(gpu: GPU, plan: MemoryPlan) -> None:
+    """Free every allocation made by :func:`allocate_net`."""
+    for alloc in plan.allocations:
+        gpu.allocator.free(alloc)
+    plan.allocations.clear()

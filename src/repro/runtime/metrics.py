@@ -1,0 +1,59 @@
+"""Timing summaries and speedup helpers used by benches and examples."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def speedup(baseline_us: float, optimized_us: float) -> float:
+    """``baseline / optimized`` — values > 1 mean the optimization won."""
+    if optimized_us <= 0:
+        raise ValueError("optimized time must be positive")
+    return baseline_us / optimized_us
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Mean/min/max over repeated iteration timings (µs)."""
+
+    samples: tuple[float, ...]
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "TimingSummary":
+        if not samples:
+            raise ValueError("cannot summarize zero samples")
+        return cls(tuple(float(s) for s in samples))
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.mean:.1f}us (min {self.minimum:.1f}, "
+                f"max {self.maximum:.1f}, n={len(self.samples)})")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    if not values:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,101 @@
+"""Multi-threaded host dispatch: the baseline GLP4NN argues against.
+
+The paper's related work covers OpenMP-based coarse-grain parallelization
+(Tallada, PPoPP'16) and node-level parallelization, and criticizes them:
+*"may occupy too many CPU threads, which will eliminate the potential of
+CPU-GPU cooperations"* — plus they "require programmers to determine the
+number of threads".  GLP4NN's stream pool gets concurrency from a *single*
+host thread.
+
+This module models the alternative so the claim can be measured: ``k`` host
+threads each own a serialized launch pipeline (so launches overlap across
+threads), chains are distributed over the threads, and each thread drives
+its own CUDA stream.  Costs modelled:
+
+* per-thread spawn/teardown (one-time per layer, OpenMP fork-join style);
+* a launch-latency inflation factor for driver lock contention — the CUDA
+  driver serializes parts of every launch, so concurrent launchers do not
+  scale perfectly.
+
+The comparison metric is two-dimensional on purpose: layer time *and* CPU
+threads consumed, which is exactly the trade-off the paper's critique is
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.kernels.ir import LayerWork
+
+#: One-time cost of forking/joining a worker thread (OpenMP region entry).
+THREAD_SPAWN_US = 15.0
+#: Driver-lock contention: with k concurrent launchers, each launch costs
+#: ``T_launch * (1 + (k - 1) * CONTENTION)`` — parts of cudaLaunchKernel
+#: hold a global driver lock.
+DRIVER_CONTENTION = 0.15
+
+
+@dataclass
+class MultiThreadRun:
+    """Timing record of one multi-threaded layer execution."""
+
+    key: str
+    elapsed_us: float
+    threads_used: int
+    launches: int
+
+
+class MultiThreadDispatcher:
+    """Dispatch a layer's chains from ``k`` simulated host threads.
+
+    Each thread owns one stream and a private launch clock; kernels are
+    stamped with per-thread enqueue times, so the host launch pipeline —
+    GLP4NN's single-thread bottleneck on short-kernel layers — is
+    parallelized, at the price of ``k`` CPU threads.
+    """
+
+    def __init__(self, gpu: GPU, threads: int) -> None:
+        if threads < 1:
+            raise SchedulingError("need at least one dispatch thread")
+        if threads > gpu.props.max_concurrent_kernels:
+            raise SchedulingError(
+                f"{threads} threads exceed the device concurrency degree"
+            )
+        self.gpu = gpu
+        self.threads = threads
+        self._streams = [gpu.create_stream(name=f"thread{i}")
+                         for i in range(threads)]
+        self.runs: list[MultiThreadRun] = []
+
+    def run(self, work: LayerWork) -> MultiThreadRun:
+        gpu = self.gpu
+        start = gpu.host_time
+        per_launch = gpu.props.launch_latency_us * (
+            1.0 + (self.threads - 1) * DRIVER_CONTENTION
+        )
+        clocks = [start + THREAD_SPAWN_US] * self.threads
+        launches = 0
+        for i, chain in enumerate(work.parallel_chains):
+            t = i % self.threads
+            for spec in chain:
+                clocks[t] += per_launch
+                gpu.launch(spec, stream=self._streams[t],
+                           enqueue_at=clocks[t])
+                launches += 1
+        # join threads, then run whole-batch serial work on the main thread
+        gpu.host_time = max([gpu.host_time] + clocks) + THREAD_SPAWN_US
+        for spec in work.serial_kernels:
+            gpu.launch(spec)
+            launches += 1
+        gpu.synchronize()
+        run = MultiThreadRun(
+            key=work.key,
+            elapsed_us=gpu.host_time - start,
+            threads_used=self.threads,
+            launches=launches,
+        )
+        self.runs.append(run)
+        return run

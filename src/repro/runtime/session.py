@@ -1,0 +1,181 @@
+"""Training sessions: numeric SGD + simulated GPU timing, together.
+
+A :class:`TrainingSession` drives a real (NumPy) training loop through a
+solver while metering the simulated device with the lowered kernel works of
+each layer.  Because lowering is shape-driven and the shapes are fixed, the
+works are lowered once and replayed per iteration — matching how the GPU
+work of a Caffe iteration is identical from iteration to iteration.
+
+This is the driver for the Fig. 7 speedup measurements (timing only) and
+the Fig. 11 convergence experiment (numeric + timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+import math
+
+from repro.errors import ReproError
+from repro.kernels.ir import LayerWork
+
+
+def _prod(shape) -> int:
+    return math.prod(shape)
+from repro.nn.net import Net
+from repro.nn.solver import Solver, SolverConfig
+from repro.runtime.executor import Executor
+from repro.runtime.lowering import lower_net
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """Simulated cost of one training iteration."""
+
+    iteration: int
+    loss: float
+    sim_time_us: float
+    forward_us: float
+    backward_us: float
+
+
+class TrainingSession:
+    """Co-simulation of numeric training and GPU timing.
+
+    Parameters
+    ----------
+    net:
+        A built (set-up) network.
+    executor:
+        Where the lowered kernels run (naive / fixed / GLP4NN).
+    solver_config:
+        SGD hyperparameters.
+    compute_numeric:
+        When false, only the simulated timing runs — used for big networks
+        (CaffeNet at N=256) whose NumPy pass would take minutes while their
+        GPU-side shape stream is what the experiment needs.
+    """
+
+    def __init__(
+        self,
+        net: Net,
+        executor: Executor,
+        solver_config: Optional[SolverConfig] = None,
+        compute_numeric: bool = True,
+        include_h2d: bool = False,
+    ) -> None:
+        self.net = net
+        self.executor = executor
+        self.solver = Solver(net, solver_config) if compute_numeric else None
+        self.compute_numeric = compute_numeric
+        self.forward_works = lower_net(net, "forward")
+        self.backward_works = lower_net(net, "backward")
+        #: When set, each iteration starts with the host->device transfer of
+        #: the input batch (as Caffe's data layer does); the copy runs on
+        #: the default stream in both executors, so comparisons stay fair.
+        self.include_h2d = include_h2d
+        self._input_bytes = sum(
+            4 * _prod(net.blob_shapes[name]) for name in net.input_names
+        )
+        self.timings: list[IterationTiming] = []
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    def run_iteration(self, batch: Optional[dict[str, np.ndarray]] = None
+                      ) -> IterationTiming:
+        """One training iteration: numeric step (optional) + simulated GPU.
+
+        ``batch`` is required when numeric training is on.
+        """
+        if self.compute_numeric:
+            if batch is None:
+                raise ReproError("numeric training needs a batch")
+            assert self.solver is not None
+            loss = self.solver.step(batch)
+        else:
+            loss = float("nan")
+        if self.include_h2d:
+            gpu = self.executor.gpu
+            start = gpu.host_time
+            gpu.memcpy(self._input_bytes, "h2d")
+            gpu.synchronize()
+            h2d = gpu.host_time - start
+        else:
+            h2d = 0.0
+        fwd = h2d + self.executor.run_pass(self.forward_works)
+        bwd = self.executor.run_pass(self.backward_works)
+        timing = IterationTiming(
+            iteration=self._iteration,
+            loss=loss,
+            sim_time_us=fwd + bwd,
+            forward_us=fwd,
+            backward_us=bwd,
+        )
+        self.timings.append(timing)
+        self._iteration += 1
+        return timing
+
+    def run_inference(self, batch: Optional[dict[str, np.ndarray]] = None
+                      ) -> IterationTiming:
+        """Forward-only pass (the paper covers "training or inference").
+
+        Runs the net in test mode (dropout off) numerically when a batch is
+        given, and meters only the forward kernel works on the simulator.
+        """
+        if self.compute_numeric and batch is not None:
+            self.net.set_mode(False)
+            try:
+                self.net.forward(batch)
+                loss = self.net.loss_value()
+            finally:
+                self.net.set_mode(True)
+        else:
+            loss = float("nan")
+        if self.include_h2d:
+            gpu = self.executor.gpu
+            start = gpu.host_time
+            gpu.memcpy(self._input_bytes, "h2d")
+            gpu.synchronize()
+            h2d = gpu.host_time - start
+        else:
+            h2d = 0.0
+        fwd = h2d + self.executor.run_pass(self.forward_works)
+        timing = IterationTiming(
+            iteration=self._iteration,
+            loss=loss,
+            sim_time_us=fwd,
+            forward_us=fwd,
+            backward_us=0.0,
+        )
+        self.timings.append(timing)
+        self._iteration += 1
+        return timing
+
+    def run(self, batches: Iterable[Optional[dict[str, np.ndarray]]],
+            iterations: int) -> list[IterationTiming]:
+        """Run ``iterations`` steps pulling batches from ``batches``."""
+        it = iter(batches)
+        out = []
+        for _ in range(iterations):
+            out.append(self.run_iteration(next(it)))
+        return out
+
+    # ------------------------------------------------------------------
+    def steady_state_time_us(self, skip: int = 1) -> float:
+        """Mean per-iteration simulated time, excluding warm-up iterations.
+
+        The first iteration pays the one-time profiling/analysis cost
+        (``T_p + T_a``); the paper's Fig. 7 reports steady-state iteration
+        speedups with that cost excluded (Table 6 reports it separately).
+        """
+        usable = self.timings[skip:]
+        if not usable:
+            raise ReproError("no steady-state iterations recorded")
+        return sum(t.sim_time_us for t in usable) / len(usable)
+
+    @property
+    def losses(self) -> list[float]:
+        return [t.loss for t in self.timings]

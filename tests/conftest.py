@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, KernelSpec, LaunchConfig, get_device
+
+
+@pytest.fixture
+def p100() -> GPU:
+    return GPU(get_device("P100"))
+
+@pytest.fixture
+def k40c() -> GPU:
+    return GPU(get_device("K40C"))
+
+@pytest.fixture
+def titanxp() -> GPU:
+    return GPU(get_device("TitanXP"))
+
+
+def small_kernel(name: str = "k", blocks: int = 4, threads: int = 256,
+                 flops: float = 5000.0, bytes_: float = 64.0,
+                 smem: int = 0, regs: int = 32, tag: str = "") -> KernelSpec:
+    """A kernel spec builder with convenient defaults for engine tests."""
+    return KernelSpec(
+        name=name,
+        launch=LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                            shared_mem_dynamic=smem,
+                            registers_per_thread=regs),
+        flops_per_thread=flops,
+        bytes_per_thread=bytes_,
+        tag=tag,
+    )
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-2) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``.
+
+    Works on float32 layer parameters: ``eps`` is large enough to dominate
+    single-precision rounding for the smooth layers under test.
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray,
+                      rtol: float = 5e-2, atol: float = 1e-3) -> None:
+    """Compare gradients with float32-friendly tolerances."""
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,83 @@
+"""Unit tests for the ablation helpers (fast, no full experiments)."""
+
+import pytest
+
+from repro.bench.ablations import greedy_analyze
+from repro.bench.graph_ablation import UNITS, inception_graph
+from repro.core.resource_tracker import KernelProfile
+from repro.gpusim.device import get_device
+
+
+def profile(name="k", blocks=4, threads=256, smem=0, duration=100.0,
+            instances=10, regs=32):
+    return KernelProfile(
+        name=name, grid=(blocks, 1, 1), block=(threads, 1, 1),
+        registers_per_thread=regs, shared_mem_per_block=smem,
+        duration_us=duration, instances=instances,
+    )
+
+
+class TestGreedyAnalyzer:
+    def test_respects_thread_budget(self):
+        analyze = greedy_analyze("P100")
+        d = analyze("l", [profile(threads=1024, duration=1e5)])
+        dev = get_device("P100")
+        b = d.bounds[0]
+        assert b.tau * b.beta * d.counts["k"] <= dev.max_threads_per_sm
+
+    def test_respects_smem_budget(self):
+        analyze = greedy_analyze("P100")
+        d = analyze("l", [profile(smem=16 * 1024, duration=1e5)])
+        dev = get_device("P100")
+        b = d.bounds[0]
+        assert b.smem * b.beta * d.counts["k"] <= dev.shared_mem_per_sm
+
+    def test_respects_launch_bound(self):
+        analyze = greedy_analyze("P100")
+        d = analyze("l", [profile(duration=4.0)])   # < T_launch
+        assert d.counts["k"] <= 1
+
+    def test_cout_at_least_one(self):
+        analyze = greedy_analyze("P100")
+        d = analyze("l", [profile(threads=1024, blocks=2000, duration=1e5)])
+        assert d.c_out >= 1
+
+    def test_never_beats_milp_objective(self):
+        """Greedy occupancy can at best tie the exact solve."""
+        from repro.core.analytical_model import AnalyticalModel
+        dev = get_device("P100")
+        profiles = [
+            profile("a", threads=512, duration=200.0),
+            profile("b", threads=192, smem=4096, duration=150.0),
+            profile("c", threads=64, duration=90.0),
+        ]
+        exact = AnalyticalModel(dev).solve("l", profiles)
+        greedy = greedy_analyze("P100")("l", profiles)
+
+        def occupancy(decision):
+            return sum(
+                b.tau * b.beta * decision.counts[b.name]
+                for b in decision.bounds
+            )
+
+        assert occupancy(greedy) <= occupancy(exact) + 1e-9
+
+
+class TestInceptionGraph:
+    def test_branch_structure(self):
+        g = inception_graph()
+        # 32 samples x (1x1: 2 kernels, 3x3: 5, 5x5: 5)
+        assert len(g) == 32 * 12
+
+    def test_units_match_table5_shapes(self):
+        one = UNITS["1x1"][0]
+        assert (one.ci, one.co, one.f) == (832, 384, 1)
+        reduce3, conv3 = UNITS["3x3"]
+        assert reduce3.co == conv3.ci == 192
+
+    def test_branches_are_independent(self):
+        g = inception_graph()
+        deps = g.dependents()
+        roots = [n for n in g.nodes if not n.deps]
+        # every sample of every branch starts a fresh chain
+        assert len(roots) == 32 * 3

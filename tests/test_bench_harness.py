@@ -1,0 +1,92 @@
+"""Tests for the bench harness and reporting (cheap experiments only)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, cached, clear_cache
+from repro.bench.reporting import format_series, format_table
+from repro.bench.table1 import run_table1
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1   # all rows aligned
+
+    def test_series_bars_scale(self):
+        out = format_series("s", ["x1", "x2"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 10       # peak gets full width
+        assert lines[1].count("#") == 5
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="figX", title="demo",
+            headers=["k", "v"], rows=[["a", 1.0], ["b", 2.0]],
+            notes="n",
+        )
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "[figX]" in text and "demo" in text and "note: n" in text
+
+    def test_column(self):
+        assert self._result().column("v") == [1.0, 2.0]
+
+    def test_json_roundtrip(self):
+        doc = json.loads(self._result().to_json())
+        assert doc["experiment"] == "figX"
+        assert doc["rows"][1] == ["b", 2.0]
+
+    def test_cached_decorator_runs_once(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nowhere"))
+        calls = []
+
+        @cached("test_only_key")
+        def runner():
+            calls.append(1)
+            return ExperimentResult("test_only_key", "t", ["a"], [[1]])
+
+        runner()
+        runner()
+        assert len(calls) == 1
+        clear_cache()
+        runner()
+        assert len(calls) == 2
+        clear_cache()
+
+    def test_dump_writes_files(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+        @cached("dump_test_key")
+        def runner():
+            return ExperimentResult("dump_test_key", "t", ["a"], [[1]])
+
+        runner()
+        clear_cache()
+        assert (tmp_path / "dump_test_key.json").exists()
+        assert (tmp_path / "dump_test_key.txt").exists()
+
+
+class TestCheapExperiments:
+    def test_table1_matches_paper(self):
+        result = run_table1()
+        col = result.column("Max Concurrent Kernels")
+        assert col == [1, 16, 32, 16, 128, 128]
+
+    def test_fig3_shows_overlap(self):
+        from repro.bench.fig3 import run_fig3
+        result = run_fig3()
+        assert result.extra["max_concurrency"] >= 2
+        assert len(result.rows) == 4  # one lane per stream

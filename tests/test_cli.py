@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "K40C" in out and "P100" in out and "TitanXP" in out
+        assert "*" in out
+
+    def test_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        for net in ("CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"):
+            assert net in out
+        assert "227" in out   # CaffeNet conv1 geometry
+
+    def test_experiments_listed(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig2", "fig7", "fig11", "table6", "fusion"):
+            assert key in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Max Concurrent Kernels" in out
+        assert "regenerated in" in out

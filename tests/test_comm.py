@@ -1,0 +1,82 @@
+"""Tests for the interconnect and all-reduce cost models."""
+
+import pytest
+
+from repro.comm import (
+    AllReduceModel,
+    Interconnect,
+    NVLINK1,
+    PCIE3,
+    parameter_server_time_us,
+    ring_allreduce_time_us,
+)
+from repro.errors import ReproError
+
+
+class TestInterconnect:
+    def test_transfer_time(self):
+        link = Interconnect("x", bandwidth_gbps=10.0, latency_us=2.0)
+        # 10 GB/s = 10,000 B/us
+        assert link.transfer_time_us(100_000) == pytest.approx(2.0 + 10.0)
+
+    def test_zero_bytes_costs_latency(self):
+        assert PCIE3.transfer_time_us(0) == PCIE3.latency_us
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            PCIE3.transfer_time_us(-1)
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ReproError):
+            Interconnect("bad", bandwidth_gbps=0.0, latency_us=1.0)
+
+    def test_nvlink_faster_than_pcie(self):
+        n = 100 * 1024 * 1024
+        assert NVLINK1.transfer_time_us(n) < PCIE3.transfer_time_us(n)
+
+
+class TestRingAllReduce:
+    def test_single_worker_free(self):
+        assert ring_allreduce_time_us(1e9, 1, PCIE3) == 0.0
+
+    def test_formula(self):
+        link = Interconnect("x", bandwidth_gbps=10.0, latency_us=1.0)
+        t = ring_allreduce_time_us(1e6, 4, link)
+        expected = 6 * 1.0 + (2 * 3 / 4) * 1e6 / 1e4
+        assert t == pytest.approx(expected)
+
+    def test_bandwidth_term_saturates_with_workers(self):
+        """Ring all-reduce's payload term approaches 2x the data size."""
+        big = 1e9
+        t4 = ring_allreduce_time_us(big, 4, NVLINK1)
+        t16 = ring_allreduce_time_us(big, 16, NVLINK1)
+        assert t16 < 1.3 * t4
+
+    def test_ps_scales_linearly(self):
+        big = 1e8
+        t2 = parameter_server_time_us(big, 2, PCIE3)
+        t8 = parameter_server_time_us(big, 8, PCIE3)
+        assert t8 == pytest.approx(7 * t2, rel=1e-6)
+
+    def test_ring_beats_ps_at_scale(self):
+        big = 1e8
+        assert ring_allreduce_time_us(big, 8, PCIE3) \
+            < parameter_server_time_us(big, 8, PCIE3)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ReproError):
+            ring_allreduce_time_us(1.0, 0, PCIE3)
+
+
+class TestAllReduceModel:
+    def test_ring_dispatch(self):
+        m = AllReduceModel(PCIE3, "ring")
+        assert m.time_us(1e6, 4) == ring_allreduce_time_us(1e6, 4, PCIE3)
+
+    def test_ps_dispatch(self):
+        m = AllReduceModel(PCIE3, "ps")
+        assert m.time_us(1e6, 4) == parameter_server_time_us(1e6, 4, PCIE3)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ReproError):
+            AllReduceModel(PCIE3, "butterfly").time_us(1.0, 2)

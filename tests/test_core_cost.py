@@ -1,0 +1,85 @@
+"""Tests for the overhead model (Eqs. 10-12, Table 6 / Fig. 10 inputs)."""
+
+import pytest
+
+from repro.core import GLP4NN
+from repro.core.cost import OverheadModel, OverheadReport
+from repro.cupti import CONFIG_RECORD_BYTES, TIMESTAMP_BYTES
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import CIFAR10_CONVS
+from repro.runtime.lowering import lower_conv_forward
+
+
+@pytest.fixture
+def profiled(p100):
+    glp = GLP4NN([p100])
+    for cfg in CIFAR10_CONVS:
+        glp.run_layer(p100, lower_conv_forward(cfg))
+    return glp, p100
+
+
+class TestOverheadReport:
+    def test_eq12_total(self):
+        r = OverheadReport("n", "d", t_p_us=100.0, t_a_us=50.0, t_s_us=0.0,
+                           mem_tt=16, mem_k=48, mem_cupti=1000,
+                           kernels_profiled=1)
+        assert r.t_total_us == 150.0
+
+    def test_eq10_total(self):
+        r = OverheadReport("n", "d", 0, 0, 0, mem_tt=160, mem_k=480,
+                           mem_cupti=3_000_000, kernels_profiled=10)
+        assert r.mem_total == 160 + 480 + 3_000_000
+
+    def test_ratio(self):
+        r = OverheadReport("n", "d", t_p_us=10.0, t_a_us=0.0, t_s_us=0.0,
+                           mem_tt=0, mem_k=0, mem_cupti=0,
+                           kernels_profiled=1)
+        assert r.ratio_of(10_000.0) == pytest.approx(1e-3)
+
+    def test_ratio_rejects_nonpositive(self):
+        r = OverheadReport("n", "d", 1, 1, 0, 0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            r.ratio_of(0.0)
+
+
+class TestOverheadModel:
+    def test_kernel_count(self, profiled):
+        glp, gpu = profiled
+        report = OverheadModel(glp).report(gpu, network="CIFAR10")
+        # 3 layers x 100 samples x 3 kernels (im2col, sgemm, gemmk)
+        assert report.kernels_profiled == 900
+
+    def test_memory_per_record(self, profiled):
+        glp, gpu = profiled
+        report = OverheadModel(glp).report(gpu)
+        assert report.mem_tt == report.kernels_profiled * TIMESTAMP_BYTES
+        assert report.mem_k == report.kernels_profiled * CONFIG_RECORD_BYTES
+
+    def test_cupti_dominates(self, profiled):
+        glp, gpu = profiled
+        report = OverheadModel(glp).report(gpu)
+        assert report.mem_cupti > 10 * (report.mem_tt + report.mem_k)
+
+    def test_times_positive(self, profiled):
+        glp, gpu = profiled
+        report = OverheadModel(glp).report(gpu)
+        assert report.t_p_us > 0
+        assert report.t_a_us > 0
+        assert report.t_s_us == 0.0
+
+    def test_ratio_below_paper_bound(self, profiled):
+        """Table 6's claim: one-time overhead < 0.1% of training."""
+        glp, gpu = profiled
+        report = OverheadModel(glp).report(gpu)
+        steady = sum(
+            glp.run_layer(gpu, lower_conv_forward(cfg)).elapsed_us
+            for cfg in CIFAR10_CONVS
+        )
+        training_us = steady * 10_000   # a short training run
+        assert report.ratio_of(training_us) < 1e-3
+
+    def test_empty_device_report(self, p100, k40c):
+        glp = GLP4NN([p100, k40c])
+        report = OverheadModel(glp).report(k40c)
+        assert report.kernels_profiled == 0
+        assert report.mem_total == 0

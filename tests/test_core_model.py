@@ -1,0 +1,196 @@
+"""Tests for the analytical model (Eqs. 1-9)."""
+
+import math
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.core.resource_tracker import KernelProfile
+from repro.gpusim.device import get_device
+
+
+def profile(name="k", blocks=18, threads=512, regs=33, smem=0,
+            duration=50.0, instances=10):
+    return KernelProfile(
+        name=name, grid=(blocks, 1, 1), block=(threads, 1, 1),
+        registers_per_thread=regs, shared_mem_per_block=smem,
+        duration_us=duration, instances=instances,
+    )
+
+
+class TestKernelBound:
+    def test_launch_pipeline_bound(self):
+        dev = get_device("K40C")  # T_launch = 8 us
+        model = AnalyticalModel(dev)
+        b = model.kernel_bound(profile(duration=20.0))
+        assert b.launch_bound == math.ceil(20.0 / 8.0)
+
+    def test_launch_bound_disabled(self):
+        dev = get_device("K40C")
+        model = AnalyticalModel(dev, use_launch_bound=False)
+        b = model.kernel_bound(profile(duration=4.0))
+        assert b.launch_bound == dev.max_concurrent_kernels
+
+    def test_short_kernel_gets_bound_one(self):
+        dev = get_device("P100")  # T_launch = 5.5 us
+        b = AnalyticalModel(dev).kernel_bound(profile(duration=3.0))
+        assert b.launch_bound == 1
+        assert b.upper == 1
+
+    def test_beta_eq8_floor(self):
+        dev = get_device("P100")  # 56 SMs
+        b = AnalyticalModel(dev).kernel_bound(profile(blocks=130))
+        assert b.beta == 130 // 56
+
+    def test_beta_clamped_below_at_one(self):
+        dev = get_device("P100")
+        b = AnalyticalModel(dev).kernel_bound(profile(blocks=3))
+        assert b.beta == 1
+
+    def test_beta_capped_at_residency_fit(self):
+        dev = get_device("P100")
+        # 10,000 blocks of 256 threads: floor gives 178, but only 8 fit
+        b = AnalyticalModel(dev).kernel_bound(profile(blocks=10_000,
+                                                      threads=256))
+        assert b.beta == 8
+
+    def test_thread_bound_eq7(self):
+        dev = get_device("P100")
+        b = AnalyticalModel(dev).kernel_bound(
+            profile(blocks=100, threads=512, duration=1e6)
+        )
+        expected = (dev.max_threads_per_sm * dev.sm_count) // (512 * 100)
+        assert b.thread_bound == expected
+
+    def test_smem_bound_eq7(self):
+        dev = get_device("P100")
+        b = AnalyticalModel(dev).kernel_bound(
+            profile(blocks=50, smem=8192, duration=1e6)
+        )
+        expected = (dev.shared_mem_per_sm * dev.sm_count) // (8192 * 50)
+        assert b.smem_bound == expected
+
+    def test_no_smem_means_unbounded_by_smem(self):
+        dev = get_device("P100")
+        b = AnalyticalModel(dev).kernel_bound(profile(smem=0))
+        assert b.smem_bound == dev.max_concurrent_kernels
+
+
+class TestSolve:
+    def test_paper_workflow_example_shape(self):
+        """The paper's Fig. 6 example: conv1's (im2col, sgemm, gemmk) on
+        K40C yields a small pool (the paper reports 3)."""
+        dev = get_device("K40C")
+        profiles = [
+            profile("im2col", blocks=2, threads=512, regs=33, duration=9.0),
+            profile("sgemm", blocks=36, threads=64, smem=2176, regs=40,
+                    duration=12.0),
+            profile("gemmk", blocks=46, threads=256, regs=40, duration=6.0),
+        ]
+        decision = AnalyticalModel(dev).solve("conv1/forward", profiles)
+        assert 2 <= decision.c_out <= 6
+        assert decision.occupancy_ratio > 0
+
+    def test_cout_is_sum_of_counts(self):
+        dev = get_device("P100")
+        profiles = [profile("a", duration=100.0),
+                    profile("b", blocks=30, threads=256, duration=80.0)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert d.c_out == max(1, sum(d.counts.values()))
+
+    def test_respects_concurrency_degree(self):
+        dev = get_device("GTX980")  # Maxwell: C = 16
+        profiles = [profile("tiny", blocks=1, threads=32, duration=1e5)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert d.c_out <= 16
+
+    def test_respects_thread_budget(self):
+        dev = get_device("P100")
+        profiles = [profile("fat", blocks=200, threads=1024, duration=1e5)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        bound = next(b for b in d.bounds if b.name == "fat")
+        assert bound.tau * bound.beta * d.counts["fat"] \
+            <= dev.max_threads_per_sm
+
+    def test_respects_smem_budget(self):
+        dev = get_device("P100")
+        profiles = [profile("smemmy", blocks=300, threads=64,
+                            smem=16 * 1024, duration=1e5)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        b = d.bounds[0]
+        assert b.smem * b.beta * d.counts["smemmy"] <= dev.shared_mem_per_sm
+
+    def test_short_kernels_limited_by_launch_pipeline(self):
+        dev = get_device("P100")
+        profiles = [profile("quick", blocks=2, threads=64, duration=4.0)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert d.c_out == 1
+
+    def test_long_small_kernels_get_high_concurrency(self):
+        dev = get_device("P100")
+        profiles = [profile("slow", blocks=2, threads=64, duration=500.0)]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert d.c_out >= 8
+
+    def test_cout_at_least_one(self):
+        dev = get_device("P100")
+        # kernels so fat even one saturates: still returns c_out >= 1
+        profiles = [
+            profile("huge1", blocks=1000, threads=1024, duration=1e5),
+            profile("huge2", blocks=1000, threads=1024, duration=1e5),
+        ]
+        d = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert d.c_out >= 1
+
+    def test_analysis_time_recorded(self):
+        dev = get_device("P100")
+        d = AnalyticalModel(dev).solve("x/forward", [profile()])
+        assert d.analysis_time_us > 0
+
+    def test_no_profiles_rejected(self):
+        from repro.errors import SchedulingError
+        with pytest.raises(SchedulingError):
+            AnalyticalModel(get_device("P100")).solve("x", [])
+
+    def test_device_dependence(self):
+        """The same kernels get different pools on different GPUs — the
+        paper's Observation 2."""
+        profiles = [
+            profile("im2col", blocks=4, threads=512, regs=33, duration=25.0),
+            profile("sgemm", blocks=8, threads=256, smem=4352, duration=40.0),
+        ]
+        outs = {
+            name: AnalyticalModel(get_device(name)).solve("l", profiles).c_out
+            for name in ("K40C", "P100", "TitanXP")
+        }
+        assert len(set(outs.values())) >= 2
+
+
+class TestRegisterConstraint:
+    """The paper treats registers as soft; hard mode is an ablation."""
+
+    def test_soft_mode_ignores_registers(self):
+        dev = get_device("P100")
+        # 128 regs x 512 threads: one block uses the whole register file
+        profiles = [profile("reggy", blocks=4, threads=512, regs=128,
+                            duration=1e5)]
+        soft = AnalyticalModel(dev).solve("x/forward", profiles)
+        assert soft.counts["reggy"] >= 2   # soft: threads are the only cap
+
+    def test_hard_mode_binds(self):
+        dev = get_device("P100")
+        profiles = [profile("reggy", blocks=4, threads=512, regs=128,
+                            duration=1e5)]
+        hard = AnalyticalModel(dev, hard_registers=True).solve(
+            "x/forward", profiles)
+        # 128 regs * 512 threads = 64Ki = the whole register file
+        assert hard.counts["reggy"] == 1
+
+    def test_hard_mode_no_effect_on_light_kernels(self):
+        dev = get_device("P100")
+        profiles = [profile("light", blocks=4, threads=256, regs=16,
+                            duration=1e5)]
+        soft = AnalyticalModel(dev).solve("x/forward", profiles)
+        hard = AnalyticalModel(dev, hard_registers=True).solve(
+            "x/forward", profiles)
+        assert soft.counts == hard.counts

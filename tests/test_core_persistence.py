@@ -1,0 +1,103 @@
+"""Tests for persisted concurrency decisions (skip re-profiling)."""
+
+import pytest
+
+from repro.core import GLP4NN
+from repro.errors import SchedulingError
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import CIFAR10_CONVS
+from repro.runtime.lowering import lower_conv_forward
+
+
+def fresh(name="P100"):
+    return GPU(get_device(name), record_timeline=False)
+
+
+def warmed_framework():
+    gpu = fresh()
+    glp = GLP4NN([gpu])
+    for cfg in CIFAR10_CONVS:
+        glp.run_layer(gpu, lower_conv_forward(cfg))
+    return glp, gpu
+
+
+class TestRoundTrip:
+    def test_save_and_load_counts(self, tmp_path):
+        glp, gpu = warmed_framework()
+        path = tmp_path / "decisions.json"
+        saved = glp.save_decisions(gpu, path)
+        assert saved == 3
+
+        gpu2 = fresh()
+        glp2 = GLP4NN([gpu2])
+        loaded = glp2.load_decisions(gpu2, path)
+        assert loaded == 3
+
+    def test_loaded_decisions_skip_profiling(self, tmp_path):
+        glp, gpu = warmed_framework()
+        path = tmp_path / "decisions.json"
+        glp.save_decisions(gpu, path)
+
+        gpu2 = fresh()
+        glp2 = GLP4NN([gpu2])
+        glp2.load_decisions(gpu2, path)
+        work = lower_conv_forward(CIFAR10_CONVS[2])
+        run = glp2.run_layer(gpu2, work)
+        assert not run.profiled                       # no profiling pass
+        assert not glp2.tracker.has(gpu2, work.key)   # tracker never ran
+        assert run.streams_used == run.decision.c_out
+
+    def test_loaded_decisions_match_fresh_ones(self, tmp_path):
+        glp, gpu = warmed_framework()
+        fresh_decisions = {k: d.c_out for k, d in glp.decisions(gpu).items()}
+        path = tmp_path / "d.json"
+        glp.save_decisions(gpu, path)
+
+        gpu2 = fresh()
+        glp2 = GLP4NN([gpu2])
+        glp2.load_decisions(gpu2, path)
+        loaded = {k: d.c_out for k, d in glp2.decisions(gpu2).items()}
+        assert loaded == fresh_decisions
+
+    def test_timing_equivalent_to_warm_run(self, tmp_path):
+        glp, gpu = warmed_framework()
+        work = lower_conv_forward(CIFAR10_CONVS[2])
+        t_warm = glp.run_layer(gpu, work).elapsed_us
+
+        path = tmp_path / "d.json"
+        glp.save_decisions(gpu, path)
+        gpu2 = fresh()
+        glp2 = GLP4NN([gpu2])
+        glp2.load_decisions(gpu2, path)
+        t_loaded = glp2.run_layer(gpu2, work).elapsed_us
+        assert t_loaded == pytest.approx(t_warm, rel=0.05)
+
+
+class TestGuards:
+    def test_wrong_device_rejected(self, tmp_path):
+        glp, gpu = warmed_framework()
+        path = tmp_path / "d.json"
+        glp.save_decisions(gpu, path)
+
+        k40 = fresh("K40C")
+        glp2 = GLP4NN([k40])
+        with pytest.raises(SchedulingError, match="recorded on"):
+            glp2.load_decisions(k40, path)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "d.json"
+        path.write_text('{"format": 99, "device": "P100", "decisions": []}')
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        with pytest.raises(SchedulingError, match="format"):
+            glp.load_decisions(gpu, path)
+
+    def test_loaded_analysis_time_is_zero(self, tmp_path):
+        glp, gpu = warmed_framework()
+        path = tmp_path / "d.json"
+        glp.save_decisions(gpu, path)
+        gpu2 = fresh()
+        glp2 = GLP4NN([gpu2])
+        glp2.load_decisions(gpu2, path)
+        for d in glp2.decisions(gpu2).values():
+            assert d.analysis_time_us == 0.0

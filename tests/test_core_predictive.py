@@ -1,0 +1,106 @@
+"""Tests for the time-predictive analyzer."""
+
+import math
+
+import pytest
+
+from repro.core import GLP4NN
+from repro.core.predictive_model import PredictiveModel, predictive_analyze_fn
+from repro.core.resource_tracker import KernelProfile
+from repro.errors import SchedulingError
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import CIFAR10_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
+from repro.runtime.lowering import lower_conv_forward
+
+
+def profile(name="k", blocks=4, threads=256, smem=0, duration=30.0,
+            instances=100):
+    return KernelProfile(
+        name=name, grid=(blocks, 1, 1), block=(threads, 1, 1),
+        registers_per_thread=32, shared_mem_per_block=smem,
+        duration_us=duration, instances=instances,
+    )
+
+
+class TestPrediction:
+    def test_execute_term_shrinks_with_streams(self):
+        m = PredictiveModel(get_device("P100"))
+        profiles = [profile(duration=50.0)]
+        t1 = m.predict(profiles, 1)
+        t4 = m.predict(profiles, 4)
+        assert t4.execute_us < t1.execute_us
+        assert t4.execute_us == pytest.approx(t1.execute_us / 4, rel=0.05)
+
+    def test_launch_term_grows_with_multistream(self):
+        m = PredictiveModel(get_device("P100"))
+        profiles = [profile()]
+        assert m.predict(profiles, 4).launch_us > m.predict(profiles, 1).launch_us
+
+    def test_total_is_max_of_bounds(self):
+        m = PredictiveModel(get_device("P100"))
+        p = m.predict([profile()], 2)
+        assert p.total_us == max(p.launch_us, p.execute_us)
+
+
+class TestSolve:
+    def test_short_kernels_get_lean_pool(self):
+        """Launch-bound layers cannot benefit: the predictor picks 1."""
+        m = PredictiveModel(get_device("P100"))
+        d = m.solve("x/forward", [profile(duration=4.0)])
+        assert d.c_out == 1
+
+    def test_long_kernels_get_wide_pool(self):
+        m = PredictiveModel(get_device("P100"))
+        d = m.solve("x/forward", [profile(duration=500.0)])
+        assert d.c_out >= 4
+
+    def test_respects_residency_cap(self):
+        m = PredictiveModel(get_device("P100"))
+        # 1024-thread blocks: at most 2 chains fit per SM budget
+        d = m.solve("x/forward", [profile(threads=1024, duration=1e4)])
+        assert d.c_out <= 2
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(SchedulingError):
+            PredictiveModel(get_device("P100")).solve("x", [])
+
+    def test_analysis_time_recorded(self):
+        d = PredictiveModel(get_device("P100")).solve("x", [profile()])
+        assert d.analysis_time_us > 0
+
+
+class TestAsAnalyzeFn:
+    def _steady(self, executor, work):
+        executor.run(work)
+        return executor.run(work).elapsed_us
+
+    def test_plugs_into_framework(self):
+        gpu = GPU(get_device("P100"), record_timeline=False)
+        glp = GLP4NN([gpu], analyze_fn=predictive_analyze_fn(gpu.props))
+        work = lower_conv_forward(CIFAR10_CONVS[2])
+        glp.run_layer(gpu, work)
+        run = glp.run_layer(gpu, work)
+        assert run.decision is not None
+        assert math.isnan(run.decision.occupancy_ratio)
+        assert run.streams_used >= 2
+
+    def test_competitive_with_occupancy_model(self):
+        """Both analyzers must land near the naive baseline's optimum."""
+        for cfg in (CIFAR10_CONVS[2], SIAMESE_CONVS[1]):
+            work = lower_conv_forward(cfg)
+            naive = NaiveExecutor(GPU(get_device("P100"),
+                                      record_timeline=False))
+            t_naive = self._steady(naive, work)
+
+            occ = GLP4NNExecutor(GPU(get_device("P100"),
+                                     record_timeline=False))
+            t_occ = self._steady(occ, work)
+
+            gpu = GPU(get_device("P100"), record_timeline=False)
+            glp = GLP4NN([gpu], analyze_fn=predictive_analyze_fn(gpu.props))
+            pred = GLP4NNExecutor(gpu, framework=glp)
+            t_pred = self._steady(pred, work)
+
+            assert t_pred <= t_naive * 1.05
+            assert t_pred <= t_occ * 1.5   # same ballpark as the MILP

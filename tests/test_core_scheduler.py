@@ -1,0 +1,152 @@
+"""Tests for the runtime scheduler (Fig. 6 workflow)."""
+
+import pytest
+
+from repro.core import GLP4NN
+from repro.core.runtime_scheduler import DispatchPolicy
+from repro.errors import DeviceError
+from repro.gpusim import GPU, get_device
+from repro.kernels.ir import KernelChain, LayerWork
+from tests.conftest import small_kernel
+
+
+def work(layer="conv1", samples=6, flops=150_000.0):
+    chains = tuple(
+        KernelChain((
+            small_kernel("im2col", blocks=2, threads=512, regs=33,
+                         flops=flops / 4, tag=f"s{i}"),
+            small_kernel("sgemm", blocks=4, threads=256, smem=4096,
+                         flops=flops, tag=f"s{i}"),
+        ))
+        for i in range(samples)
+    )
+    return LayerWork(layer=layer, phase="forward", parallel_chains=chains)
+
+
+class TestWorkflow:
+    def test_first_run_profiles(self, p100):
+        glp = GLP4NN([p100])
+        run = glp.run_layer(p100, work())
+        assert run.profiled
+        assert run.streams_used == 1
+        assert glp.tracker.has(p100, "conv1/forward")
+
+    def test_second_run_dispatches_concurrently(self, p100):
+        glp = GLP4NN([p100])
+        glp.run_layer(p100, work())
+        run = glp.run_layer(p100, work())
+        assert not run.profiled
+        assert run.decision is not None
+        assert run.streams_used == run.decision.c_out
+
+    def test_kernels_all_executed_both_paths(self, p100):
+        glp = GLP4NN([p100])
+        w = work(samples=5)
+        glp.run_layer(p100, w)
+        glp.run_layer(p100, w)
+        assert p100.kernels_completed == 2 * w.num_kernels
+
+    def test_profiling_pass_slower_than_steady_state(self, p100):
+        glp = GLP4NN([p100])
+        w = work()
+        first = glp.run_layer(p100, w)
+        second = glp.run_layer(p100, w)
+        assert second.elapsed_us < first.elapsed_us
+
+    def test_decision_cached_not_recomputed(self, p100):
+        glp = GLP4NN([p100])
+        w = work()
+        glp.run_layer(p100, w)
+        glp.run_layer(p100, w)
+        d1 = glp.run_layer(p100, w).decision
+        maintainer = glp.analyzer_for(p100).maintainer
+        assert maintainer.get("conv1/forward") is d1
+
+    def test_serial_kernels_run_after_chains(self, p100):
+        chains = (KernelChain((small_kernel("a", flops=300_000.0,
+                                            tag="s0"),)),
+                  KernelChain((small_kernel("a", flops=300_000.0,
+                                            tag="s1"),)))
+        serial = (small_kernel("reduce", tag="r"),)
+        w = LayerWork(layer="l", phase="backward",
+                      parallel_chains=chains, serial_kernels=serial)
+        glp = GLP4NN([p100])
+        glp.run_layer(p100, w)        # profile
+        p100.timeline.clear()
+        glp.run_layer(p100, w)        # concurrent dispatch
+        recs = {r.name: r for r in p100.timeline.records}
+        chain_end = max(r.end_us for r in p100.timeline.records
+                        if r.name == "a")
+        assert recs["reduce"].start_us >= chain_end
+
+    def test_run_records_accumulate(self, p100):
+        glp = GLP4NN([p100])
+        sched = glp.scheduler_for(p100)
+        glp.run_layer(p100, work())
+        glp.run_layer(p100, work())
+        assert len(sched.runs) == 2
+        assert sched.total_time_us() > 0
+        sched.reset_runs()
+        assert sched.runs == []
+
+
+class TestPolicies:
+    def test_single_policy_never_profiles(self, p100):
+        glp = GLP4NN([p100], policy=DispatchPolicy.SINGLE)
+        run = glp.run_layer(p100, work())
+        assert not run.profiled
+        assert run.streams_used == 1
+        assert not glp.tracker.has(p100, "conv1/forward")
+
+    def test_fixed_policy_uses_requested_streams(self, p100):
+        glp = GLP4NN([p100], policy=DispatchPolicy.FIXED, fixed_streams=5)
+        run = glp.run_layer(p100, work())
+        assert run.streams_used == 5
+
+    def test_max_policy(self, p100):
+        glp = GLP4NN([p100], policy=DispatchPolicy.MAX)
+        run = glp.run_layer(p100, work())
+        assert run.streams_used == p100.props.max_concurrent_kernels
+
+    def test_round_robin_assignment(self, p100):
+        glp = GLP4NN([p100], policy=DispatchPolicy.FIXED, fixed_streams=3)
+        p100.timeline.clear()
+        glp.run_layer(p100, work(samples=6))
+        by_stream = p100.timeline.by_stream()
+        # 6 chains over 3 streams -> 2 chains (4 kernels) per stream
+        non_default = {k: v for k, v in by_stream.items() if k != 0}
+        assert len(non_default) == 3
+        assert all(len(v) == 4 for v in non_default.values())
+
+
+class TestFramework:
+    def test_multi_gpu_private_modules(self, p100, k40c):
+        glp = GLP4NN([p100, k40c])
+        assert glp.scheduler_for(p100) is not glp.scheduler_for(k40c)
+        assert glp.analyzer_for(p100) is not glp.analyzer_for(k40c)
+        # shared tracker and stream manager
+        assert glp.scheduler_for(p100).tracker is \
+            glp.scheduler_for(k40c).tracker
+        assert glp.scheduler_for(p100).streams is \
+            glp.scheduler_for(k40c).streams
+
+    def test_unmanaged_gpu_rejected(self, p100, k40c):
+        glp = GLP4NN([p100])
+        with pytest.raises(DeviceError):
+            glp.run_layer(k40c, work())
+
+    def test_no_gpus_rejected(self):
+        with pytest.raises(DeviceError):
+            GLP4NN([])
+
+    def test_warm_up(self, p100):
+        glp = GLP4NN([p100])
+        glp.warm_up(p100, [work("a"), work("b")])
+        assert glp.tracker.has(p100, "a/forward")
+        assert glp.tracker.has(p100, "b/forward")
+
+    def test_decisions_view(self, p100):
+        glp = GLP4NN([p100])
+        glp.run_layer(p100, work())
+        decisions = glp.decisions(p100)
+        assert "conv1/forward" in decisions

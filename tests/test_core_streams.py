@@ -1,0 +1,74 @@
+"""Tests for the stream manager (pool + default stream)."""
+
+import pytest
+
+from repro.core.stream_manager import StreamManager, StreamPool
+from repro.errors import SchedulingError
+from repro.gpusim import GPU, get_device
+
+
+class TestStreamPool:
+    def test_ensure_creates_streams(self, p100):
+        pool = StreamPool(p100)
+        streams = pool.ensure(4)
+        assert len(streams) == 4
+        assert pool.size == 4
+        assert all(not s.is_default for s in streams)
+
+    def test_streams_are_persistent(self, p100):
+        pool = StreamPool(p100)
+        first = pool.ensure(3)
+        again = pool.ensure(3)
+        assert first == again            # same handles, no churn
+
+    def test_grow_only(self, p100):
+        pool = StreamPool(p100)
+        pool.ensure(6)
+        smaller = pool.ensure(2)
+        assert len(smaller) == 2
+        assert pool.size == 6            # never destroyed
+        assert pool.high_water == 6
+
+    def test_size_capped_by_device_degree(self):
+        gpu = GPU(get_device("GTX980"))  # C = 16
+        pool = StreamPool(gpu)
+        with pytest.raises(SchedulingError, match="concurrency degree"):
+            pool.ensure(17)
+
+    def test_zero_size_rejected(self, p100):
+        with pytest.raises(SchedulingError):
+            StreamPool(p100).ensure(0)
+
+    def test_default_stream(self, p100):
+        pool = StreamPool(p100)
+        assert pool.default.is_default
+
+    def test_round_robin_cycles(self, p100):
+        pool = StreamPool(p100)
+        rr = pool.round_robin(3)
+        seq = [next(rr) for _ in range(7)]
+        assert seq[0] == seq[3] == seq[6]
+        assert len({s.stream_id for s in seq}) == 3
+
+
+class TestStreamManager:
+    def test_pool_per_device(self, p100, k40c):
+        mgr = StreamManager()
+        p1 = mgr.pool(p100)
+        p2 = mgr.pool(k40c)
+        assert p1 is not p2
+        assert len(mgr) == 2
+
+    def test_same_device_same_pool(self, p100):
+        mgr = StreamManager()
+        assert mgr.pool(p100) is mgr.pool(p100)
+
+    def test_fresh_gpu_object_gets_fresh_pool(self):
+        mgr = StreamManager()
+        g1 = GPU(get_device("P100"))
+        pool1 = mgr.pool(g1)
+        pool1.ensure(2)
+        g2 = GPU(get_device("P100"))   # e.g. after reset
+        pool2 = mgr.pool(g2)
+        assert pool2 is not pool1
+        assert pool2.size == 0

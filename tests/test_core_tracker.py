@@ -1,0 +1,141 @@
+"""Tests for the resource tracker (kernel profiler + kernel parser)."""
+
+import pytest
+
+from repro.core.resource_tracker import KernelParser, ResourceTracker
+from repro.errors import SchedulingError
+from repro.gpusim import GPU, get_device
+from repro.kernels.ir import KernelChain, LayerWork
+from repro.nn.zoo.table5 import SIAMESE_CONVS
+from repro.runtime.lowering import lower_conv_forward
+from tests.conftest import small_kernel
+
+
+def sample_work(samples=4, layer="conv1"):
+    chains = tuple(
+        KernelChain((
+            small_kernel("im2col", blocks=2, threads=512, regs=33,
+                         tag=f"s{i}"),
+            small_kernel("sgemm", blocks=9, threads=256, smem=4096,
+                         regs=63, tag=f"s{i}"),
+        ))
+        for i in range(samples)
+    )
+    return LayerWork(layer=layer, phase="forward", parallel_chains=chains)
+
+
+class TestKernelParser:
+    def test_merges_instances_by_signature(self, p100):
+        from repro.cupti import CuptiProfiler
+        prof = CuptiProfiler(p100)
+        prof.start()
+        for i in range(5):
+            p100.launch(small_kernel("sgemm", tag=f"s{i}"))
+        p100.synchronize()
+        records = prof.stop().records
+        profiles = KernelParser.parse(records)
+        assert len(profiles) == 1
+        assert profiles[0].instances == 5
+        assert profiles[0].duration_us > 0
+
+    def test_distinguishes_configs(self, p100):
+        from repro.cupti import CuptiProfiler
+        prof = CuptiProfiler(p100)
+        prof.start()
+        p100.launch(small_kernel("sgemm", blocks=2))
+        p100.launch(small_kernel("sgemm", blocks=8))
+        p100.synchronize()
+        profiles = KernelParser.parse(prof.stop().records)
+        assert len(profiles) == 2
+
+    def test_profile_fields(self, p100):
+        from repro.cupti import CuptiProfiler
+        prof = CuptiProfiler(p100)
+        prof.start()
+        p100.launch(small_kernel("k", blocks=7, threads=128, smem=2048,
+                                 regs=40))
+        p100.synchronize()
+        (profile,) = KernelParser.parse(prof.stop().records)
+        assert profile.num_blocks == 7          # #beta_Ki
+        assert profile.threads_per_block == 128  # tau_Ki
+        assert profile.shared_mem_per_block == 2048  # sm_Ki
+        assert profile.registers_per_thread == 40
+
+    def test_order_preserved(self, p100):
+        from repro.cupti import CuptiProfiler
+        prof = CuptiProfiler(p100)
+        prof.start()
+        p100.launch(small_kernel("a", blocks=1))
+        p100.launch(small_kernel("b", blocks=2))
+        p100.synchronize()
+        profiles = KernelParser.parse(prof.stop().records)
+        assert [p.name for p in profiles] == ["a", "b"]
+
+
+class TestResourceTracker:
+    def test_profile_layer_runs_and_caches(self, p100):
+        tracker = ResourceTracker()
+        work = sample_work()
+        assert not tracker.has(p100, work.key)
+        profile = tracker.profile_layer(p100, work)
+        assert tracker.has(p100, work.key)
+        assert tracker.get(p100, work.key) is profile
+        assert [k.name for k in profile.kernels] == ["im2col", "sgemm"]
+        assert all(k.instances == 4 for k in profile.kernels)
+        # the kernels really executed
+        assert p100.kernels_completed == 8
+
+    def test_repeat_profile_is_cached(self, p100):
+        tracker = ResourceTracker()
+        work = sample_work()
+        a = tracker.profile_layer(p100, work)
+        launched = p100.kernels_launched
+        b = tracker.profile_layer(p100, work)
+        assert a is b
+        assert p100.kernels_launched == launched  # no new work
+
+    def test_per_device_caching(self, p100, k40c):
+        tracker = ResourceTracker()
+        work = sample_work()
+        tracker.profile_layer(p100, work)
+        assert not tracker.has(k40c, work.key)
+        tracker.profile_layer(k40c, work)
+        assert tracker.layers_profiled == 2
+
+    def test_durations_differ_across_devices(self, p100, k40c):
+        tracker = ResourceTracker()
+        cfg = SIAMESE_CONVS[1]
+        work = lower_conv_forward(cfg)
+        fast = tracker.profile_layer(p100, work)
+        slow = tracker.profile_layer(k40c, work)
+        t_fast = sum(k.duration_us for k in fast.kernels)
+        t_slow = sum(k.duration_us for k in slow.kernels)
+        assert t_slow > t_fast
+
+    def test_profiling_time_accumulates(self, p100):
+        tracker = ResourceTracker()
+        tracker.profile_layer(p100, sample_work(layer="a"))
+        t1 = tracker.total_profiling_time_us
+        tracker.profile_layer(p100, sample_work(layer="b"))
+        assert tracker.total_profiling_time_us > t1
+
+    def test_empty_work_rejected(self, p100):
+        tracker = ResourceTracker()
+        with pytest.raises(SchedulingError):
+            tracker.profile_layer(
+                p100, LayerWork(layer="empty", phase="forward")
+            )
+
+    def test_invalidate(self, p100):
+        tracker = ResourceTracker()
+        work = sample_work()
+        tracker.profile_layer(p100, work)
+        tracker.invalidate(p100, work.key)
+        assert not tracker.has(p100, work.key)
+
+    def test_clear(self, p100):
+        tracker = ResourceTracker()
+        tracker.profile_layer(p100, sample_work())
+        tracker.clear()
+        assert tracker.layers_profiled == 0
+        assert tracker.total_profiling_time_us == 0.0

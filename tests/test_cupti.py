@@ -1,0 +1,142 @@
+"""Tests for the simulated CUPTI profiling interface."""
+
+import pytest
+
+from repro.cupti import (
+    ACTIVITY_BUFFER_BYTES,
+    CONFIG_RECORD_BYTES,
+    CuptiProfiler,
+    CuptiSubscriber,
+    KERNEL_RECORD_BYTES,
+    TIMESTAMP_BYTES,
+)
+from repro.cupti.subscriber import PER_KERNEL_OVERHEAD_US
+from repro.errors import ProfilerError
+from tests.conftest import small_kernel
+
+
+class TestSubscriber:
+    def test_completion_callback_fires(self, p100):
+        seen = []
+        sub = CuptiSubscriber(p100, lambda ke: seen.append(ke.spec.name))
+        p100.launch(small_kernel("a"))
+        p100.synchronize()
+        assert seen == ["a"]
+        sub.unsubscribe()
+
+    def test_overhead_charged_per_launch(self, p100):
+        sub = CuptiSubscriber(p100, lambda ke: None)
+        t0 = p100.host_time
+        p100.launch(small_kernel())
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us + PER_KERNEL_OVERHEAD_US
+        )
+        assert sub.overhead_us == pytest.approx(PER_KERNEL_OVERHEAD_US)
+        sub.unsubscribe()
+
+    def test_no_overhead_when_disabled(self, p100):
+        sub = CuptiSubscriber(p100, lambda ke: None, charge_overhead=False)
+        t0 = p100.host_time
+        p100.launch(small_kernel())
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us
+        )
+        sub.unsubscribe()
+
+    def test_single_subscriber_per_device(self, p100):
+        sub = CuptiSubscriber(p100, lambda ke: None)
+        with pytest.raises(ProfilerError, match="already has"):
+            CuptiSubscriber(p100, lambda ke: None)
+        sub.unsubscribe()
+        CuptiSubscriber(p100, lambda ke: None).unsubscribe()
+
+    def test_unsubscribe_stops_callbacks(self, p100):
+        seen = []
+        sub = CuptiSubscriber(p100, lambda ke: seen.append(1))
+        sub.unsubscribe()
+        p100.launch(small_kernel())
+        p100.synchronize()
+        assert seen == []
+
+    def test_context_manager(self, p100):
+        with CuptiSubscriber(p100, lambda ke: None) as sub:
+            assert sub.is_active
+        assert not sub.is_active
+
+
+class TestProfiler:
+    def test_records_carry_launch_config(self, p100):
+        prof = CuptiProfiler(p100)
+        prof.start()
+        spec = small_kernel("sgemm", blocks=9, threads=128, smem=4096,
+                            regs=63, tag="conv1/s0")
+        p100.launch(spec)
+        p100.synchronize()
+        rep = prof.stop()
+        (r,) = rep.records
+        assert r.name == "sgemm" and r.tag == "conv1/s0"
+        assert r.grid == (9, 1, 1) and r.block == (128, 1, 1)
+        assert r.registers_per_thread == 63
+        assert r.dynamic_shared_memory == 4096
+        assert r.end_ns > r.start_ns
+        assert r.duration_us > 0
+
+    def test_memory_accounting(self, p100):
+        prof = CuptiProfiler(p100)
+        prof.start()
+        for i in range(7):
+            p100.launch(small_kernel(tag=str(i)))
+        p100.synchronize()
+        rep = prof.stop()
+        assert rep.mem_tt == 7 * TIMESTAMP_BYTES
+        assert rep.mem_k == 7 * CONFIG_RECORD_BYTES
+        assert rep.mem_cupti >= ACTIVITY_BUFFER_BYTES
+        assert rep.mem_total == rep.mem_tt + rep.mem_k + rep.mem_cupti
+
+    def test_profiling_time_scales_with_kernels(self, p100):
+        prof = CuptiProfiler(p100)
+        prof.start()
+        for i in range(10):
+            p100.launch(small_kernel(tag=str(i)))
+        p100.synchronize()
+        t10 = prof.stop().profiling_time_us
+
+        prof.start()
+        for i in range(20):
+            p100.launch(small_kernel(tag=str(i)))
+        p100.synchronize()
+        t20 = prof.stop().profiling_time_us
+        assert t20 > t10
+
+    def test_stop_without_start_raises(self, p100):
+        with pytest.raises(ProfilerError):
+            CuptiProfiler(p100).stop()
+
+    def test_double_start_raises(self, p100):
+        prof = CuptiProfiler(p100)
+        prof.start()
+        with pytest.raises(ProfilerError):
+            prof.start()
+        prof.stop()
+
+    def test_stop_detaches(self, p100):
+        prof = CuptiProfiler(p100)
+        prof.start()
+        prof.stop()
+        p100.launch(small_kernel())
+        p100.synchronize()
+        # a second session starts clean
+        prof.start()
+        rep = prof.stop()
+        assert rep.num_kernels == 0
+
+    def test_context_manager(self, p100):
+        with CuptiProfiler(p100) as prof:
+            p100.launch(small_kernel())
+            p100.synchronize()
+        assert not prof.is_running
+
+    def test_record_size_is_cupti_like(self):
+        assert KERNEL_RECORD_BYTES == 144
+        assert TIMESTAMP_BYTES == 16
+        assert CONFIG_RECORD_BYTES == 48

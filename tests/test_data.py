@@ -1,0 +1,140 @@
+"""Tests for synthetic datasets and batch loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchLoader,
+    DATASET_SPECS,
+    PairBatchLoader,
+    make_dataset,
+    make_pair_dataset,
+)
+from repro.errors import ReproError
+
+
+class TestSpecs:
+    """The spec table records the paper's Table 4 verbatim."""
+
+    def test_mnist(self):
+        s = DATASET_SPECS["mnist"]
+        assert (s.train_images, s.test_images) == (60_000, 10_000)
+        assert (s.channels, s.pixels, s.classes) == (1, 28, 10)
+
+    def test_cifar10(self):
+        s = DATASET_SPECS["cifar10"]
+        assert (s.train_images, s.test_images) == (50_000, 10_000)
+        assert (s.channels, s.pixels, s.classes) == (3, 32, 10)
+
+    def test_imagenet(self):
+        s = DATASET_SPECS["imagenet"]
+        assert s.train_images == 1_200_000
+        assert (s.pixels, s.classes) == (256, 1000)
+
+
+class TestMakeDataset:
+    def test_shapes(self):
+        ds = make_dataset("cifar10", num_samples=50)
+        assert ds.images.shape == (50, 3, 32, 32)
+        assert ds.labels.shape == (50,)
+        assert ds.images.dtype == np.float32
+
+    def test_pixel_override(self):
+        ds = make_dataset("imagenet", num_samples=4, pixels=227, classes=10)
+        assert ds.images.shape == (4, 3, 227, 227)
+        assert ds.num_classes <= 10
+
+    def test_deterministic(self):
+        a = make_dataset("mnist", 20, seed=5)
+        b = make_dataset("mnist", 20, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_class_structure_learnable(self):
+        """Nearest-prototype classification must beat chance by far."""
+        ds = make_dataset("cifar10", 400, noise=0.3, seed=1)
+        flat = ds.images.reshape(len(ds), -1)
+        centroids = np.stack([
+            flat[ds.labels == c].mean(axis=0) for c in range(10)
+        ])
+        pred = np.argmin(
+            ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (pred == ds.labels).mean() > 0.8
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError, match="unknown dataset"):
+            make_dataset("svhn")
+
+
+class TestPairs:
+    def test_balanced_similarity(self):
+        base = make_dataset("mnist", 300, seed=2)
+        a, b, sim = make_pair_dataset(base, 400, seed=3)
+        assert a.shape == b.shape == (400, 1, 28, 28)
+        assert 0.35 < sim.mean() < 0.65
+
+    def test_similar_pairs_share_class(self):
+        base = make_dataset("mnist", 300, seed=2)
+        # reconstruct labels by matching images back to the dataset
+        a, b, sim = make_pair_dataset(base, 100, seed=4)
+        # spot check: similar pairs are closer on average than dissimilar
+        d = ((a - b).reshape(100, -1) ** 2).sum(axis=1)
+        assert d[sim == 1].mean() < d[sim == 0].mean()
+
+
+class TestBatchLoader:
+    def test_batch_shapes(self):
+        ds = make_dataset("cifar10", 100, seed=0)
+        loader = BatchLoader(ds, 32, seed=1)
+        batch = loader.next_batch()
+        assert batch["data"].shape == (32, 3, 32, 32)
+        assert batch["label"].dtype == np.float32
+
+    def test_epoch_counting(self):
+        ds = make_dataset("cifar10", 100, seed=0)
+        loader = BatchLoader(ds, 50, seed=1)
+        loader.next_batch()
+        assert loader.epoch == 0
+        loader.next_batch()
+        loader.next_batch()
+        assert loader.epoch == 1
+
+    def test_shuffle_seed_reproducible(self):
+        ds = make_dataset("cifar10", 100, seed=0)
+        l1 = BatchLoader(ds, 10, seed=9)
+        l2 = BatchLoader(ds, 10, seed=9)
+        for _ in range(5):
+            np.testing.assert_array_equal(l1.next_batch()["label"],
+                                          l2.next_batch()["label"])
+
+    def test_different_seed_differs(self):
+        ds = make_dataset("cifar10", 200, seed=0)
+        l1 = BatchLoader(ds, 100, seed=1)
+        l2 = BatchLoader(ds, 100, seed=2)
+        assert not np.array_equal(l1.next_batch()["label"],
+                                  l2.next_batch()["label"])
+
+    def test_no_shuffle_is_sequential(self):
+        ds = make_dataset("cifar10", 30, seed=0)
+        loader = BatchLoader(ds, 10, shuffle=False)
+        batch = loader.next_batch()
+        np.testing.assert_array_equal(batch["data"], ds.images[:10])
+
+    def test_oversized_batch_rejected(self):
+        ds = make_dataset("cifar10", 10, seed=0)
+        with pytest.raises(ReproError):
+            BatchLoader(ds, 11)
+
+    def test_pair_loader(self):
+        base = make_dataset("mnist", 100, seed=2)
+        a, b, sim = make_pair_dataset(base, 80, seed=3)
+        loader = PairBatchLoader(a, b, sim, 16, seed=4)
+        batch = loader.next_batch()
+        assert set(batch) == {"data", "data_p", "sim"}
+        assert batch["sim"].shape == (16,)
+
+    def test_pair_loader_length_mismatch(self):
+        with pytest.raises(ReproError):
+            PairBatchLoader(np.zeros((3, 1)), np.zeros((2, 1)),
+                            np.zeros(3), 1)

@@ -1,0 +1,107 @@
+"""Tests for data-parallel training simulation."""
+
+import pytest
+
+from repro.comm import AllReduceModel, NVLINK1, PCIE3
+from repro.errors import ReproError
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo import build_cifar10
+from repro.nn.zoo.table5 import CIFAR10_CONVS
+from repro.runtime.data_parallel import DataParallelSession
+from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
+from repro.runtime.lowering import conv_works
+
+GRAD_BYTES = 4.0 * 150_000
+
+
+def replicas(k, cls=GLP4NNExecutor, device="P100"):
+    return [cls(GPU(get_device(device), record_timeline=False))
+            for _ in range(k)]
+
+
+def single_replica_time(cls=GLP4NNExecutor):
+    ex = cls(GPU(get_device("P100"), record_timeline=False))
+    fwd = conv_works(CIFAR10_CONVS, "forward")
+    bwd = conv_works(CIFAR10_CONVS, "backward")
+    ex.run_pass(fwd)
+    ex.run_pass(bwd)
+    return ex.run_pass(fwd) + ex.run_pass(bwd)
+
+
+class TestConstruction:
+    def test_batch_must_divide(self):
+        with pytest.raises(ReproError, match="divide"):
+            DataParallelSession(replicas(3), CIFAR10_CONVS, GRAD_BYTES)
+
+    def test_needs_replicas(self):
+        with pytest.raises(ReproError):
+            DataParallelSession([], CIFAR10_CONVS, GRAD_BYTES)
+
+    def test_grad_bytes_of(self):
+        net = build_cifar10(batch=4)
+        assert DataParallelSession.grad_bytes_of(net) == \
+            4.0 * net.num_learnable()
+
+
+class TestScaling:
+    def test_iteration_breakdown(self):
+        dp = DataParallelSession(replicas(2), CIFAR10_CONVS, GRAD_BYTES,
+                                 comm=AllReduceModel(NVLINK1))
+        it = dp.run_iteration()
+        assert it.total_us == it.compute_us + it.allreduce_us
+        assert len(it.per_replica_us) == 2
+        assert it.compute_us == max(it.per_replica_us)
+
+    def test_two_replicas_faster_than_one(self):
+        t1 = single_replica_time()
+        dp = DataParallelSession(replicas(2), CIFAR10_CONVS, GRAD_BYTES,
+                                 comm=AllReduceModel(NVLINK1))
+        dp.run_iteration()
+        dp.run_iteration()
+        assert dp.steady_state_time_us() < t1
+
+    def test_scaling_efficiency_reasonable(self):
+        t1 = single_replica_time()
+        dp = DataParallelSession(replicas(4), CIFAR10_CONVS, GRAD_BYTES,
+                                 comm=AllReduceModel(NVLINK1))
+        dp.run_iteration()
+        dp.run_iteration()
+        eff = dp.scaling_efficiency(t1)
+        assert 0.5 < eff <= 1.1
+
+    def test_slow_interconnect_hurts(self):
+        heavy_grad = 4.0 * 60_000_000   # CaffeNet-scale payload
+        fast = DataParallelSession(replicas(2), CIFAR10_CONVS, heavy_grad,
+                                   comm=AllReduceModel(NVLINK1))
+        slow = DataParallelSession(replicas(2), CIFAR10_CONVS, heavy_grad,
+                                   comm=AllReduceModel(PCIE3))
+        fast.run_iteration(); fast.run_iteration()
+        slow.run_iteration(); slow.run_iteration()
+        assert fast.steady_state_time_us() < slow.steady_state_time_us()
+
+    def test_heterogeneous_replicas_bound_by_slowest(self):
+        reps = [
+            GLP4NNExecutor(GPU(get_device("P100"), record_timeline=False)),
+            GLP4NNExecutor(GPU(get_device("K40C"), record_timeline=False)),
+        ]
+        dp = DataParallelSession(reps, CIFAR10_CONVS, GRAD_BYTES)
+        dp.run_iteration()
+        it = dp.run_iteration()
+        assert it.compute_us == max(it.per_replica_us)
+        assert it.per_replica_us[1] > it.per_replica_us[0]  # K40C slower
+
+    def test_steady_state_requires_iterations(self):
+        dp = DataParallelSession(replicas(2), CIFAR10_CONVS, GRAD_BYTES)
+        with pytest.raises(ReproError):
+            dp.steady_state_time_us()
+
+    def test_glp4nn_composes_with_data_parallelism(self):
+        """Per-device GLP4NN + cross-device data parallelism stack."""
+        t_naive = single_replica_time(NaiveExecutor)
+        dp = DataParallelSession(replicas(2, GLP4NNExecutor),
+                                 CIFAR10_CONVS, GRAD_BYTES,
+                                 comm=AllReduceModel(NVLINK1))
+        dp.run_iteration()
+        dp.run_iteration()
+        # two GLP4NN replicas beat one naive device by a wide margin
+        assert dp.steady_state_time_us() < 0.5 * t_naive

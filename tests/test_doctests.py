@@ -1,0 +1,25 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.gpusim.arch",
+    "repro.gpusim.device",
+    "repro.gpusim.kernel",
+    "repro.gpusim.occupancy",
+    "repro.milp",
+    "repro.nn.config",
+    "repro.core.framework",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    # importlib avoids package-attribute shadowing (e.g. the ``occupancy``
+    # function re-exported over the ``occupancy`` module).
+    module = importlib.import_module(name)
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {name}"

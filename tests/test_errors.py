@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.SimulationError,
+        errors.LaunchError,
+        errors.DeviceError,
+        errors.OutOfMemoryError,
+        errors.ProfilerError,
+        errors.SolverError,
+        errors.InfeasibleError,
+        errors.UnboundedError,
+        errors.NetworkError,
+        errors.SchedulingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_launch_is_simulation_error(self):
+        assert issubclass(errors.LaunchError, errors.SimulationError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+        assert issubclass(errors.UnboundedError, errors.SolverError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SchedulingError("x")
+
+
+class TestUsageSurfaces:
+    """Every package raises its own domain error, never bare Exception."""
+
+    def test_device_lookup(self):
+        from repro.gpusim import get_device
+        with pytest.raises(errors.DeviceError):
+            get_device("doesnotexist")
+
+    def test_milp(self):
+        from repro.milp import Model
+        with pytest.raises(errors.SolverError):
+            Model().solve()
+
+    def test_network(self):
+        from repro.nn import Net
+        from repro.nn.layer import LayerDef
+        from repro.nn.layers import ReLULayer
+        with pytest.raises(errors.NetworkError):
+            Net("bad", [LayerDef(ReLULayer("r"), ["missing"], ["out"])],
+                input_shapes={"data": (1, 4)})
+
+    def test_data(self):
+        from repro.data import make_dataset
+        with pytest.raises(errors.ReproError):
+            make_dataset("unknown")

@@ -1,0 +1,33 @@
+"""Smoke tests for the example scripts."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "GLP4NN" in result.stdout
+    assert "analytical model decision" in result.stdout

@@ -1,0 +1,54 @@
+"""Tests for the architecture feature table (paper Table 1)."""
+
+import pytest
+
+from repro.gpusim.arch import (
+    ARCH_FEATURES,
+    Architecture,
+    concurrency_degree,
+    features_of,
+)
+
+
+class TestTable1Contents:
+    """The feature table must match the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize("arch,expected", [
+        (Architecture.TESLA, 1),
+        (Architecture.FERMI, 16),
+        (Architecture.KEPLER, 32),
+        (Architecture.MAXWELL, 16),
+        (Architecture.PASCAL, 128),
+        (Architecture.VOLTA, 128),
+    ])
+    def test_max_concurrent_kernels(self, arch, expected):
+        assert concurrency_degree(arch) == expected
+
+    def test_tesla_has_no_streams(self):
+        assert not features_of(Architecture.TESLA).streams
+
+    def test_streams_from_fermi_on(self):
+        for arch in (Architecture.FERMI, Architecture.KEPLER,
+                     Architecture.MAXWELL, Architecture.PASCAL,
+                     Architecture.VOLTA):
+            assert features_of(arch).streams
+
+    def test_dynamic_parallelism_starts_at_kepler(self):
+        assert not features_of(Architecture.FERMI).dynamic_parallelism
+        assert features_of(Architecture.KEPLER).dynamic_parallelism
+
+    def test_uvm_starts_at_pascal(self):
+        assert not features_of(Architecture.MAXWELL).uvm
+        assert features_of(Architecture.PASCAL).uvm
+        assert features_of(Architecture.VOLTA).uvm
+
+    def test_tensor_cores_only_volta(self):
+        only = [a for a in Architecture if features_of(a).tensor_cores]
+        assert only == [Architecture.VOLTA]
+
+    def test_every_architecture_has_features(self):
+        assert set(ARCH_FEATURES) == set(Architecture)
+
+    def test_concurrency_degree_positive(self):
+        for arch in Architecture:
+            assert concurrency_degree(arch) >= 1

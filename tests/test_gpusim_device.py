@@ -1,0 +1,163 @@
+"""Tests for the device catalog (paper Table 3)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.arch import Architecture
+from repro.gpusim.device import (
+    DEVICE_CATALOG,
+    PAPER_DEVICES,
+    DeviceProperties,
+    GIB,
+    KIB,
+    get_device,
+    list_devices,
+)
+
+
+class TestTable3Catalog:
+    """Hardware profile rows from the paper's Table 3."""
+
+    def test_k40c_profile(self):
+        d = get_device("K40C")
+        assert d.arch is Architecture.KEPLER
+        assert d.sm_count == 15 and d.cores_per_sm == 192
+        assert d.clock_ghz == pytest.approx(0.745)
+        assert d.memory_bytes == 12 * GIB
+        assert d.mem_bandwidth_gbps == pytest.approx(288.0)
+        assert d.memory_type == "GDDR5"
+        assert d.shared_mem_per_sm == 48 * KIB
+
+    def test_p100_profile(self):
+        d = get_device("P100")
+        assert d.arch is Architecture.PASCAL
+        assert d.sm_count == 56 and d.cores_per_sm == 64
+        assert d.memory_type == "HBM2.0"
+        assert d.shared_mem_per_sm == 64 * KIB
+
+    def test_titanxp_profile(self):
+        d = get_device("TitanXP")
+        assert d.arch is Architecture.PASCAL
+        assert d.sm_count == 30 and d.cores_per_sm == 128
+        assert d.clock_ghz == pytest.approx(1.455)
+        assert d.memory_type == "GDDR5X"
+
+    def test_paper_devices_all_present(self):
+        for name in PAPER_DEVICES:
+            assert name in DEVICE_CATALOG
+
+    def test_core_counts_match_products(self):
+        # paper Table 3 lists core count as SMs x cores/SM
+        assert get_device("K40C").total_cores == 15 * 192
+        assert get_device("P100").total_cores == 56 * 64
+        assert get_device("TitanXP").total_cores == 30 * 128
+
+
+class TestDerivedQuantities:
+    def test_concurrency_degree_follows_architecture(self):
+        assert get_device("K40C").max_concurrent_kernels == 32
+        assert get_device("P100").max_concurrent_kernels == 128
+        assert get_device("GTX980").max_concurrent_kernels == 16
+
+    def test_max_warps(self):
+        assert get_device("P100").max_warps_per_sm == 64
+
+    def test_peak_gflops_ballpark(self):
+        # P100 FP32 peak is ~9-10 TFLOP/s at boost clocks
+        assert 7000 < get_device("P100").peak_gflops < 11000
+
+    def test_sm_rates_positive(self):
+        for name in list_devices():
+            d = get_device(name)
+            assert d.sm_flops_per_us > 0
+            assert d.sm_bytes_per_us > 0
+
+    def test_describe_mentions_name_and_arch(self):
+        text = get_device("K40C").describe()
+        assert "K40C" in text and "kepler" in text
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_device("p100") is get_device("P100")
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("H100")
+
+    def test_list_devices_nonempty(self):
+        names = list_devices()
+        assert len(names) >= 6
+        assert "K40C" in names
+
+    def test_invalid_sm_count_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceProperties(
+                name="bad", arch=Architecture.PASCAL, sm_count=0,
+                cores_per_sm=64, clock_ghz=1.0, memory_bytes=GIB,
+                mem_bandwidth_gbps=100.0, memory_type="X",
+                shared_mem_per_sm=48 * KIB,
+            )
+
+    def test_unaligned_threads_rejected(self):
+        with pytest.raises(DeviceError, match="warp-aligned"):
+            DeviceProperties(
+                name="bad", arch=Architecture.PASCAL, sm_count=1,
+                cores_per_sm=64, clock_ghz=1.0, memory_bytes=GIB,
+                mem_bandwidth_gbps=100.0, memory_type="X",
+                shared_mem_per_sm=48 * KIB, max_threads_per_sm=2000,
+            )
+
+
+class TestAuxiliaryDevices:
+    def test_k80_has_doubled_register_file(self):
+        d = get_device("K80")
+        assert d.registers_per_sm == 131072
+        assert d.arch is Architecture.KEPLER
+        assert d.max_concurrent_kernels == 32
+
+    def test_gtx1080_profile(self):
+        d = get_device("GTX1080")
+        assert d.arch is Architecture.PASCAL
+        assert d.total_cores == 2560
+        assert d.max_concurrent_kernels == 128
+
+    def test_catalog_names_unique_case_insensitively(self):
+        names = [n.lower() for n in DEVICE_CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_all_devices_runnable(self):
+        """Every catalog device executes a kernel end to end."""
+        from repro.gpusim import GPU
+        from tests.conftest import small_kernel
+        for name in DEVICE_CATALOG:
+            gpu = GPU(get_device(name))
+            gpu.launch(small_kernel())
+            gpu.synchronize()
+            assert gpu.kernels_completed == 1, name
+
+
+class TestSelfTest:
+    def test_report_matches_configuration(self):
+        from repro.gpusim.selftest import run_selftest
+        report = run_selftest(get_device("P100"))
+        import pytest as _pytest
+        assert report.launch_latency_us == _pytest.approx(
+            report.configured_launch_latency_us, rel=0.01)
+        assert report.h2d_bandwidth_gbps == _pytest.approx(
+            report.configured_pcie_gbps, rel=0.05)
+        assert 0.5 < report.gemm_efficiency <= 1.0
+        assert "self-test: P100" in report.render()
+
+    def test_concurrency_flood_observes_device_degree(self):
+        from repro.gpusim.selftest import measure_concurrency
+        from repro.gpusim import GPU
+        for name, degree in (("K40C", 32), ("GTX980", 16)):
+            gpu = GPU(get_device(name))
+            assert measure_concurrency(gpu) == degree
+
+    def test_cli_selftest(self, capsys):
+        from repro.cli import main
+        assert main(["selftest", "K40C"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test: K40C" in out and "SGEMM" in out

@@ -1,0 +1,231 @@
+"""Tests for the discrete-event GPU engine: streams, concurrency, ordering."""
+
+import pytest
+
+from repro.errors import DeviceError, LaunchError
+from repro.gpusim import GPU, Event, KernelSpec, LaunchConfig, get_device
+from tests.conftest import small_kernel
+
+
+class TestLaunchBasics:
+    def test_launch_advances_host_clock(self, p100):
+        t0 = p100.host_time
+        p100.launch(small_kernel())
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us
+        )
+
+    def test_stream_switch_costs_extra(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        p100.launch(small_kernel(), stream=s1)
+        t0 = p100.host_time
+        p100.launch(small_kernel(), stream=s2)
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us + p100.props.stream_switch_us
+        )
+
+    def test_same_stream_no_switch_cost(self, p100):
+        s1 = p100.create_stream()
+        p100.launch(small_kernel(), stream=s1)
+        t0 = p100.host_time
+        p100.launch(small_kernel(), stream=s1)
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us
+        )
+
+    def test_invalid_launch_rejected(self, p100):
+        bad = small_kernel(threads=2048)
+        with pytest.raises(LaunchError):
+            p100.launch(bad)
+
+    def test_foreign_stream_rejected(self, p100, k40c):
+        s = k40c.create_stream()
+        with pytest.raises(DeviceError, match="belongs to device"):
+            p100.launch(small_kernel(), stream=s)
+
+    def test_counters(self, p100):
+        for _ in range(3):
+            p100.launch(small_kernel())
+        p100.synchronize()
+        assert p100.kernels_launched == 3
+        assert p100.kernels_completed == 3
+
+
+class TestExecutionSemantics:
+    def test_kernel_completes_with_timestamps(self, p100):
+        ke = p100.launch(small_kernel())
+        p100.synchronize()
+        assert ke.is_complete
+        assert ke.start_time >= ke.enqueue_time
+        assert ke.end_time > ke.start_time
+        assert ke.duration_us > 0
+
+    def test_same_stream_serializes(self, p100):
+        s = p100.create_stream()
+        a = p100.launch(small_kernel("a"), stream=s)
+        b = p100.launch(small_kernel("b"), stream=s)
+        p100.synchronize()
+        assert b.start_time >= a.end_time
+
+    def test_different_streams_overlap(self, p100):
+        k = small_kernel(flops=200_000.0)  # long enough to outlive a launch
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.launch(k, stream=s1)
+        b = p100.launch(k.retagged("b"), stream=s2)
+        p100.synchronize()
+        assert b.start_time < a.end_time  # overlap happened
+
+    def test_default_stream_is_barrier(self, p100):
+        k = small_kernel(flops=200_000.0)
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.launch(k, stream=s1)
+        barrier = p100.launch(k.retagged("bar"))            # default stream
+        c = p100.launch(k.retagged("c"), stream=s2)
+        p100.synchronize()
+        assert barrier.start_time >= a.end_time
+        assert c.start_time >= barrier.end_time
+
+    def test_concurrency_respects_device_degree(self):
+        gpu = GPU(get_device("GTX980"))   # Maxwell: C = 16
+        k = small_kernel(blocks=1, threads=32, flops=500_000.0)
+        streams = [gpu.create_stream() for _ in range(32)]
+        for s in streams:
+            gpu.launch(k.retagged(s.name), stream=s)
+        gpu.synchronize()
+        assert gpu.timeline.max_concurrency() <= 16
+
+    def test_fermi_limits_to_16(self):
+        gpu = GPU(get_device("C2050"))
+        k = small_kernel(blocks=1, threads=32, flops=500_000.0)
+        for i in range(24):
+            gpu.launch(k.retagged(str(i)), stream=gpu.create_stream())
+        gpu.synchronize()
+        assert gpu.timeline.max_concurrency() <= 16
+
+    def test_determinism(self):
+        def run() -> float:
+            gpu = GPU(get_device("P100"))
+            streams = [gpu.create_stream() for _ in range(4)]
+            for i in range(12):
+                gpu.launch(small_kernel(tag=str(i)), stream=streams[i % 4])
+            return gpu.synchronize()
+
+        assert run() == run()
+
+    def test_multi_wave_grid(self, p100):
+        # More blocks than the device can hold at once: waves take longer.
+        small = small_kernel(blocks=56 * 8)          # one full wave
+        big = small_kernel(blocks=56 * 8 * 3)        # three waves
+        p100.launch(small)
+        p100.synchronize()
+        t_small = p100.timeline.records[-1].duration_us
+        p100.launch(big)
+        p100.synchronize()
+        t_big = p100.timeline.records[-1].duration_us
+        assert t_big > 2.2 * t_small
+
+    def test_duration_override(self, p100):
+        spec = KernelSpec(
+            name="fixed",
+            launch=LaunchConfig(grid=(1, 1, 1), block=(256, 1, 1)),
+            duration_us=123.0,
+        )
+        p100.launch(spec)
+        p100.synchronize()
+        assert p100.timeline.records[-1].duration_us == pytest.approx(123.0)
+
+
+class TestSynchronization:
+    def test_synchronize_empty_device(self, p100):
+        assert p100.synchronize() == 0.0
+
+    def test_sync_cost_grows_with_streams(self):
+        g1 = GPU(get_device("P100"))
+        g1.launch(small_kernel())
+        g1.synchronize()
+        cost_single = g1.sync_overhead_total
+
+        g2 = GPU(get_device("P100"))
+        for i in range(8):
+            g2.launch(small_kernel(tag=str(i)), stream=g2.create_stream())
+        g2.synchronize()
+        assert g2.sync_overhead_total > cost_single
+
+    def test_stream_synchronize_only_waits_for_stream(self, p100):
+        long = small_kernel("long", flops=5_000_000.0)
+        quick = small_kernel("quick", flops=1000.0)
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        p100.launch(long, stream=s1)
+        q = p100.launch(quick, stream=s2)
+        t = p100.stream_synchronize(s2)
+        assert q.is_complete
+        # the long kernel may still be in flight at the time we returned
+        p100.synchronize()
+        assert p100.now >= t
+
+    def test_event_record_and_elapsed(self, p100):
+        s = p100.create_stream()
+        e0, e1 = Event("before"), Event("after")
+        p100.record_event(e0, stream=s)
+        p100.launch(small_kernel(flops=100_000.0), stream=s)
+        p100.record_event(e1, stream=s)
+        p100.event_synchronize(e1)
+        assert e0.is_complete and e1.is_complete
+        assert e0.elapsed_us(e1) > 0
+
+    def test_query_complete(self, p100):
+        ke = p100.launch(small_kernel())
+        # not yet processed: depends on host clock vs completion time
+        p100.synchronize()
+        assert p100.query_complete(ke)
+
+    def test_utilization_bounded(self, p100):
+        for i in range(4):
+            p100.launch(small_kernel(tag=str(i)))
+        p100.synchronize()
+        assert 0.0 < p100.utilization() <= 1.0
+
+    def test_reset_clears_state(self, p100):
+        p100.launch(small_kernel())
+        p100.synchronize()
+        p100.reset()
+        assert p100.now == 0.0 and p100.host_time == 0.0
+        assert p100.kernels_launched == 0
+        assert len(p100.timeline) == 0
+
+
+class TestHooks:
+    def test_launch_hook_called(self, p100):
+        seen = []
+        p100.launch_hooks.append(lambda gpu, ke: seen.append(ke.spec.name))
+        p100.launch(small_kernel("hooked"))
+        assert seen == ["hooked"]
+
+    def test_completion_hook_called_with_times(self, p100):
+        seen = []
+        p100.completion_hooks.append(lambda gpu, ke: seen.append(ke.end_time))
+        p100.launch(small_kernel())
+        p100.synchronize()
+        assert len(seen) == 1 and seen[0] > 0
+
+
+class TestLifecycleErrors:
+    def test_reset_with_pending_work_rejected(self, p100):
+        from repro.errors import SimulationError
+        p100.launch(small_kernel())
+        with pytest.raises(SimulationError, match="pending"):
+            p100.reset()
+        p100.synchronize()
+        p100.reset()   # fine once drained
+
+    def test_streams_listing_includes_default(self, p100):
+        s = p100.create_stream()
+        ids = {st.stream_id for st in p100.streams()}
+        assert 0 in ids and s.stream_id in ids
+
+    def test_launch_overhead_accumulates(self, p100):
+        p100.launch(small_kernel())
+        p100.launch(small_kernel())
+        assert p100.launch_overhead_total == pytest.approx(
+            2 * p100.props.launch_latency_us
+        )

@@ -1,0 +1,106 @@
+"""Tests for cross-stream event dependencies (wait_event)."""
+
+import pytest
+
+from repro.gpusim import Event
+from tests.conftest import small_kernel
+
+
+class TestWaitEvent:
+    def test_cross_stream_ordering(self, p100):
+        """b on stream2 must wait for a on stream1 via the event."""
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.launch(small_kernel("a", flops=300_000.0), stream=s1)
+        ev = Event()
+        p100.record_event(ev, stream=s1)
+        p100.wait_event(ev, stream=s2)
+        b = p100.launch(small_kernel("b"), stream=s2)
+        p100.synchronize()
+        assert b.start_time >= a.end_time
+
+    def test_unrelated_work_still_overlaps(self, p100):
+        """wait_event gates one stream only, not the whole device."""
+        s1, s2, s3 = (p100.create_stream() for _ in range(3))
+        long = small_kernel("long", flops=2_000_000.0)
+        a = p100.launch(long, stream=s1)
+        ev = Event()
+        p100.record_event(ev, stream=s1)
+        p100.wait_event(ev, stream=s2)
+        gated = p100.launch(small_kernel("gated"), stream=s2)
+        free = p100.launch(small_kernel("free", flops=500_000.0), stream=s3)
+        p100.synchronize()
+        assert gated.start_time >= a.end_time
+        assert free.start_time < a.end_time
+
+    def test_wait_on_unrecorded_event_is_noop(self, p100):
+        s = p100.create_stream()
+        ev = Event()
+        p100.wait_event(ev, stream=s)   # never recorded: gates nothing
+        k = p100.launch(small_kernel(), stream=s)
+        p100.synchronize()
+        assert k.is_complete
+
+    def test_diamond_dependency(self, p100):
+        """a -> (b, c) -> d across three streams."""
+        s1, s2, s3 = (p100.create_stream() for _ in range(3))
+        k = lambda n: small_kernel(n, flops=200_000.0)
+        a = p100.launch(k("a"), stream=s1)
+        ev_a = Event()
+        p100.record_event(ev_a, stream=s1)
+
+        b = p100.launch(k("b"), stream=s1)     # same stream: FIFO order
+        p100.wait_event(ev_a, stream=s2)
+        c = p100.launch(k("c"), stream=s2)
+        ev_b, ev_c = Event(), Event()
+        p100.record_event(ev_b, stream=s1)
+        p100.record_event(ev_c, stream=s2)
+
+        p100.wait_event(ev_b, stream=s3)
+        p100.wait_event(ev_c, stream=s3)
+        d = p100.launch(k("d"), stream=s3)
+        p100.synchronize()
+        assert b.start_time >= a.end_time
+        assert c.start_time >= a.end_time
+        assert d.start_time >= max(b.end_time, c.end_time)
+
+    def test_wait_event_costs_host_time(self, p100):
+        t0 = p100.host_time
+        p100.wait_event(Event(), stream=p100.create_stream())
+        assert p100.host_time > t0
+
+
+class TestStreamPriorities:
+    def _flood(self, gpu, n, priority_stream):
+        """Fill every hardware slot, then race a low and a high priority
+        kernel for the next free slot."""
+        from tests.conftest import small_kernel
+        filler = small_kernel("filler", blocks=1, threads=32,
+                              flops=400_000.0)
+        for i in range(n):
+            gpu.launch(filler.retagged(f"f{i}"), stream=gpu.create_stream())
+        low = gpu.create_stream(priority=0)
+        high = priority_stream
+        a = gpu.launch(small_kernel("low", blocks=1, threads=32), stream=low)
+        b = gpu.launch(small_kernel("high", blocks=1, threads=32),
+                       stream=high)
+        gpu.synchronize()
+        return a, b
+
+    def test_high_priority_granted_first(self):
+        from repro.gpusim import GPU, get_device
+        gpu = GPU(get_device("GTX980"))      # C = 16, easy to saturate
+        high = gpu.create_stream(priority=-1)
+        low_ke, high_ke = self._flood(gpu, 16, high)
+        # the high-priority kernel (launched later!) starts no later
+        assert high_ke.start_time <= low_ke.start_time + 1e-6
+
+    def test_equal_priority_is_fifo(self):
+        from repro.gpusim import GPU, get_device
+        gpu = GPU(get_device("GTX980"))
+        same = gpu.create_stream(priority=0)
+        low_ke, second_ke = self._flood(gpu, 16, same)
+        assert low_ke.start_time <= second_ke.start_time + 1e-6
+
+    def test_priority_defaults_to_zero(self, p100):
+        assert p100.create_stream().priority == 0
+        assert p100.create_stream(priority=-2).priority == -2

@@ -1,0 +1,112 @@
+"""Tests for kernel/launch-configuration primitives."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.kernel import (
+    KernelSpec,
+    LaunchConfig,
+    WARP_SIZE,
+    as_dim3,
+    dim3_size,
+)
+
+
+class TestDim3:
+    def test_scalar_normalization(self):
+        assert as_dim3(8) == (8, 1, 1)
+
+    def test_pair_normalization(self):
+        assert as_dim3((4, 2)) == (4, 2, 1)
+
+    def test_triple_passthrough(self):
+        assert as_dim3((2, 3, 4)) == (2, 3, 4)
+
+    def test_size(self):
+        assert dim3_size((2, 3, 4)) == 24
+
+    def test_too_many_components(self):
+        with pytest.raises(LaunchError):
+            as_dim3((1, 2, 3, 4))
+
+
+class TestLaunchConfig:
+    def test_basic_properties(self):
+        lc = LaunchConfig(grid=(10, 2, 1), block=(128, 2, 1),
+                          shared_mem_static=100, shared_mem_dynamic=28,
+                          registers_per_thread=40)
+        assert lc.num_blocks == 20
+        assert lc.threads_per_block == 256
+        assert lc.warps_per_block == 8
+        assert lc.shared_mem_per_block == 128
+        assert lc.registers_per_block == 40 * 256
+
+    def test_warp_rounding(self):
+        lc = LaunchConfig(grid=(1, 1, 1), block=(33, 1, 1))
+        assert lc.warps_per_block == 2
+
+    def test_warp_size_constant(self):
+        assert WARP_SIZE == 32
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=(0, 1, 1), block=(32, 1, 1))
+
+    def test_negative_smem_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1),
+                         shared_mem_dynamic=-1)
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1),
+                         registers_per_thread=0)
+
+    def test_with_grid(self):
+        lc = LaunchConfig(grid=(4, 1, 1), block=(64, 1, 1))
+        lc2 = lc.with_grid(9)
+        assert lc2.num_blocks == 9
+        assert lc2.block == lc.block
+        assert lc.num_blocks == 4  # original untouched
+
+    def test_int_grid_accepted(self):
+        lc = LaunchConfig(grid=7, block=32)
+        assert lc.num_blocks == 7 and lc.threads_per_block == 32
+
+
+class TestKernelSpec:
+    def _spec(self, **kw):
+        base = dict(name="k", launch=LaunchConfig(grid=(4, 1, 1),
+                                                  block=(128, 1, 1)))
+        base.update(kw)
+        return KernelSpec(**base)
+
+    def test_totals(self):
+        spec = self._spec(flops_per_thread=10.0, bytes_per_thread=4.0)
+        assert spec.total_flops == 10.0 * 4 * 128
+        assert spec.total_bytes == 4.0 * 4 * 128
+
+    def test_signature_groups_same_config(self):
+        a = self._spec(tag="sample0")
+        b = self._spec(tag="sample1")
+        assert a.signature == b.signature
+        assert a.uid != b.uid
+
+    def test_signature_distinguishes_geometry(self):
+        a = self._spec()
+        b = self._spec(launch=LaunchConfig(grid=(8, 1, 1), block=(128, 1, 1)))
+        assert a.signature != b.signature
+
+    def test_retagged_fresh_uid(self):
+        a = self._spec(tag="x")
+        b = a.retagged("y")
+        assert b.tag == "y" and b.uid != a.uid
+        assert b.signature == a.signature
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(LaunchError):
+            self._spec(flops_per_thread=-1.0)
+
+    def test_nonpositive_duration_override_rejected(self):
+        with pytest.raises(LaunchError):
+            self._spec(duration_us=0.0)

@@ -1,0 +1,87 @@
+"""Tests for async memcpy on the DMA copy engines."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import GPU, get_device
+from tests.conftest import small_kernel
+
+MB = 1024 * 1024
+
+
+class TestMemcpyBasics:
+    def test_completes_with_duration(self, p100):
+        op = p100.memcpy(12 * MB, "h2d")
+        p100.synchronize()
+        # 12 MiB over ~12 GB/s ~ 1 ms + latency
+        assert op.duration_us == pytest.approx(
+            p100.props.copy_latency_us
+            + 12 * MB / (p100.props.pcie_bandwidth_gbps * 1e3),
+            rel=1e-6,
+        )
+
+    def test_d2d_uses_device_bandwidth(self, p100):
+        h2d = p100.memcpy(64 * MB, "h2d")
+        d2d = p100.memcpy(64 * MB, "d2d")
+        p100.synchronize()
+        assert d2d.duration_us < h2d.duration_us
+
+    def test_bytes_accounted(self, p100):
+        p100.memcpy(1000, "h2d")
+        p100.memcpy(500, "d2h")
+        p100.synchronize()
+        assert p100.bytes_copied["h2d"] == 1000
+        assert p100.bytes_copied["d2h"] == 500
+
+    def test_invalid_kind(self, p100):
+        with pytest.raises(DeviceError):
+            p100.memcpy(10, "sideways")
+
+    def test_invalid_size(self, p100):
+        with pytest.raises(DeviceError):
+            p100.memcpy(0)
+
+    def test_timeline_record(self, p100):
+        p100.memcpy(MB, "h2d")
+        p100.synchronize()
+        (rec,) = p100.timeline.records
+        assert rec.name == "memcpyH2D"
+
+
+class TestCopyEngineSemantics:
+    def test_same_direction_serializes(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.memcpy(32 * MB, "h2d", stream=s1)
+        b = p100.memcpy(32 * MB, "h2d", stream=s2)
+        p100.synchronize()
+        # one engine per direction: no overlap even across streams
+        assert b.start_time >= a.end_time - 1e-6
+
+    def test_opposite_directions_overlap(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.memcpy(32 * MB, "h2d", stream=s1)
+        b = p100.memcpy(32 * MB, "d2h", stream=s2)
+        p100.synchronize()
+        assert b.start_time < a.end_time
+
+    def test_copy_overlaps_compute_on_other_stream(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        copy = p100.memcpy(64 * MB, "h2d", stream=s1)
+        k = p100.launch(small_kernel(flops=3_000_000.0), stream=s2)
+        p100.synchronize()
+        assert k.start_time < copy.end_time   # genuine overlap
+
+    def test_stream_order_with_kernels(self, p100):
+        """Copy then kernel on one stream: the kernel waits for the data."""
+        s = p100.create_stream()
+        copy = p100.memcpy(32 * MB, "h2d", stream=s)
+        k = p100.launch(small_kernel(), stream=s)
+        p100.synchronize()
+        assert k.start_time >= copy.end_time - 1e-6
+
+    def test_default_stream_barrier_applies(self, p100):
+        s = p100.create_stream()
+        k = p100.launch(small_kernel(flops=2_000_000.0), stream=s)
+        copy = p100.memcpy(MB, "h2d")   # default stream: waits for all
+        p100.synchronize()
+        assert copy.start_time >= k.end_time - 1e-6

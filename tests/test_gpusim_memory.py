@@ -1,0 +1,106 @@
+"""Tests (including property-based) for the device memory allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.gpusim.memory import ALIGNMENT, DeviceAllocator
+
+
+class TestBasics:
+    def test_alignment(self):
+        a = DeviceAllocator(1 << 20)
+        alloc = a.malloc(100)
+        assert alloc.size == ALIGNMENT
+        assert alloc.requested == 100
+        assert alloc.offset % ALIGNMENT == 0
+
+    def test_accounting(self):
+        a = DeviceAllocator(1 << 20)
+        x = a.malloc(1000)
+        assert a.bytes_in_use == x.size
+        a.free(x)
+        assert a.bytes_in_use == 0
+        assert a.bytes_free == 1 << 20
+
+    def test_peak_tracking(self):
+        a = DeviceAllocator(1 << 20)
+        x = a.malloc(1024)
+        y = a.malloc(2048)
+        a.free(x)
+        a.free(y)
+        assert a.peak_bytes == 3072
+
+    def test_oom(self):
+        a = DeviceAllocator(1024)
+        with pytest.raises(OutOfMemoryError):
+            a.malloc(2048)
+
+    def test_zero_size_rejected(self):
+        a = DeviceAllocator(1024)
+        with pytest.raises(SimulationError):
+            a.malloc(0)
+
+    def test_double_free_rejected(self):
+        a = DeviceAllocator(1 << 20)
+        x = a.malloc(128)
+        a.free(x)
+        with pytest.raises(SimulationError, match="double free"):
+            a.free(x)
+
+    def test_coalescing_allows_reuse(self):
+        a = DeviceAllocator(3 * ALIGNMENT)
+        x = a.malloc(ALIGNMENT)
+        y = a.malloc(ALIGNMENT)
+        z = a.malloc(ALIGNMENT)
+        a.free(x)
+        a.free(z)
+        a.free(y)  # middle free must merge all three holes
+        big = a.malloc(3 * ALIGNMENT)
+        assert big.size == 3 * ALIGNMENT
+
+    def test_fragmentation_blocks_large_alloc(self):
+        a = DeviceAllocator(4 * ALIGNMENT)
+        chunks = [a.malloc(ALIGNMENT) for _ in range(4)]
+        a.free(chunks[0])
+        a.free(chunks[2])
+        # 2 holes of 1 unit each: a 2-unit request must fail
+        with pytest.raises(OutOfMemoryError, match="fragmented"):
+            a.malloc(2 * ALIGNMENT)
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 8 * ALIGNMENT)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=60,
+    ))
+    def test_invariants_under_random_workload(self, ops):
+        """The free list stays sorted, coalesced, and byte-exact."""
+        a = DeviceAllocator(64 * ALIGNMENT)
+        live = []
+        for op, arg in ops:
+            if op == "alloc":
+                try:
+                    live.append(a.malloc(arg))
+                except OutOfMemoryError:
+                    pass
+            elif live:
+                a.free(live.pop(arg % len(live)))
+            a.check_invariants()
+        for alloc in live:
+            a.free(alloc)
+        a.check_invariants()
+        assert a.bytes_in_use == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 4 * ALIGNMENT), min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        a = DeviceAllocator(1 << 20)
+        allocs = [a.malloc(s) for s in sizes]
+        spans = sorted((x.offset, x.offset + x.size) for x in allocs)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2

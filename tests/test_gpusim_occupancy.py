@@ -1,0 +1,86 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.occupancy import (
+    max_active_blocks_per_sm,
+    occupancy,
+    validate_launch,
+)
+
+
+def lc(blocks=100, threads=256, smem=0, regs=32):
+    return LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                        shared_mem_dynamic=smem, registers_per_thread=regs)
+
+
+class TestResidencyLimits:
+    def test_thread_limited(self):
+        res = max_active_blocks_per_sm(get_device("P100"), lc(threads=256))
+        assert res.blocks_per_sm == 2048 // 256
+        assert res.limiter == "threads"
+
+    def test_smem_limited(self):
+        # 20 KiB blocks on a 64 KiB SM -> 3 resident
+        res = max_active_blocks_per_sm(get_device("P100"),
+                                       lc(threads=64, smem=20 * 1024))
+        assert res.blocks_per_sm == 3
+        assert res.limiter == "shared_mem"
+
+    def test_register_limited(self):
+        # 128 regs x 512 threads = 64Ki regs per block on a 64Ki file
+        res = max_active_blocks_per_sm(get_device("P100"),
+                                       lc(threads=512, regs=128))
+        assert res.blocks_per_sm == 1
+        assert res.limiter == "registers"
+
+    def test_block_slot_limited(self):
+        res = max_active_blocks_per_sm(get_device("K40C"),
+                                       lc(threads=32, regs=8))
+        assert res.blocks_per_sm == 16          # Kepler rho_max
+        assert res.limiter == "blocks"
+
+    def test_active_warps_capped_at_device_max(self):
+        res = max_active_blocks_per_sm(get_device("P100"), lc(threads=1024))
+        assert res.active_warps <= res.max_warps
+
+
+class TestOccupancyRatio:
+    def test_full_occupancy(self):
+        # 8 x 256-thread blocks per SM saturate 2048 thread slots
+        assert occupancy(get_device("P100"), lc(blocks=10_000)) == 1.0
+
+    def test_tiny_grid_low_occupancy(self):
+        # 2 blocks on 56 SMs: the paper's underutilization scenario
+        ratio = occupancy(get_device("P100"), lc(blocks=2, threads=512))
+        assert ratio < 0.05
+
+    def test_ratio_monotone_in_grid(self):
+        dev = get_device("P100")
+        r = [occupancy(dev, lc(blocks=b)) for b in (1, 28, 56, 112, 448)]
+        assert all(r[i] <= r[i + 1] + 1e-12 for i in range(len(r) - 1))
+
+    def test_ratio_in_unit_interval(self):
+        dev = get_device("K40C")
+        for blocks in (1, 7, 15, 16, 100, 10_000):
+            assert 0.0 < occupancy(dev, lc(blocks=blocks)) <= 1.0
+
+
+class TestValidation:
+    def test_oversized_block_rejected(self):
+        with pytest.raises(LaunchError, match="exceeds device"):
+            validate_launch(get_device("P100"), lc(threads=2048))
+
+    def test_oversized_smem_rejected(self):
+        with pytest.raises(LaunchError):
+            validate_launch(get_device("P100"), lc(smem=49 * 1024))
+
+    def test_oversized_registers_rejected(self):
+        with pytest.raises(LaunchError):
+            validate_launch(get_device("P100"), lc(threads=1024, regs=128))
+
+    def test_valid_launch_passes(self):
+        validate_launch(get_device("P100"), lc())

@@ -1,0 +1,129 @@
+"""Property-based tests of the discrete-event engine's invariants.
+
+Random workloads (kernel shapes, stream assignments, interleavings) must
+always satisfy:
+
+* every launched kernel completes, with ``enqueue <= start < end``;
+* kernels on one stream never overlap and retire in issue order;
+* the device-wide concurrency never exceeds the architecture degree;
+* simulation is deterministic;
+* time-averaged utilization stays in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import GPU, KernelSpec, LaunchConfig, get_device
+
+_kernel = st.tuples(
+    st.integers(1, 40),            # blocks
+    st.sampled_from([32, 64, 128, 256, 512]),   # threads
+    st.floats(10.0, 5e5),          # flops per thread
+    st.sampled_from([0, 2048, 8192]),           # smem
+    st.integers(0, 7),             # stream slot
+)
+
+_workload = st.lists(_kernel, min_size=1, max_size=25)
+
+
+def _run(workload, device="P100", num_streams=4):
+    gpu = GPU(get_device(device))
+    streams = [gpu.create_stream() for _ in range(num_streams)]
+    kes = []
+    for i, (blocks, threads, flops, smem, slot) in enumerate(workload):
+        spec = KernelSpec(
+            name=f"k{i % 5}",
+            launch=LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                                shared_mem_dynamic=smem),
+            flops_per_thread=flops,
+            bytes_per_thread=16.0,
+            tag=str(i),
+        )
+        stream = None if slot == 0 else streams[slot % num_streams]
+        kes.append((gpu.launch(spec, stream=stream), stream))
+    gpu.synchronize()
+    return gpu, kes
+
+
+@settings(max_examples=40, deadline=None)
+@given(_workload)
+def test_all_kernels_complete_with_sane_timestamps(workload):
+    gpu, kes = _run(workload)
+    assert gpu.kernels_completed == len(workload)
+    for ke, _ in kes:
+        assert ke.is_complete
+        assert ke.enqueue_time <= ke.start_time < ke.end_time
+
+
+@settings(max_examples=40, deadline=None)
+@given(_workload)
+def test_streams_are_fifo_and_non_overlapping(workload):
+    gpu, kes = _run(workload)
+    by_stream: dict[int, list] = {}
+    for ke, _ in kes:
+        by_stream.setdefault(ke.stream_id, []).append(ke)
+    for stream_kes in by_stream.values():
+        for a, b in zip(stream_kes, stream_kes[1:]):
+            assert b.start_time >= a.end_time - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(_workload)
+def test_concurrency_within_device_degree(workload):
+    gpu, _ = _run(workload, device="GTX980")   # C = 16, easiest to violate
+    assert gpu.timeline.max_concurrency() <= 16
+
+
+@settings(max_examples=20, deadline=None)
+@given(_workload)
+def test_determinism(workload):
+    g1, _ = _run(workload)
+    g2, _ = _run(workload)
+    assert g1.now == g2.now
+    t1 = [(r.name, r.start_us, r.end_us) for r in g1.timeline.records]
+    t2 = [(r.name, r.start_us, r.end_us) for r in g2.timeline.records]
+    assert t1 == t2
+
+
+@settings(max_examples=25, deadline=None)
+@given(_workload)
+def test_utilization_bounded(workload):
+    gpu, _ = _run(workload)
+    assert 0.0 <= gpu.utilization() <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(_workload)
+def test_default_stream_barrier_semantics(workload):
+    """Inject a default-stream kernel mid-workload: everything launched
+    before it must finish first; everything after starts after it."""
+    gpu = GPU(get_device("P100"))
+    streams = [gpu.create_stream() for _ in range(3)]
+    first, second = [], []
+    half = len(workload) // 2
+    bar = None
+    for i, (blocks, threads, flops, smem, slot) in enumerate(workload):
+        if i == half:
+            bar = gpu.launch(KernelSpec(
+                name="barrier",
+                launch=LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1)),
+            ))
+        spec = KernelSpec(
+            name="w",
+            launch=LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                                shared_mem_dynamic=smem),
+            flops_per_thread=flops, tag=str(i),
+        )
+        (first if i < half else second).append(
+            gpu.launch(spec, stream=streams[slot % 3]))
+    if bar is None:
+        bar = gpu.launch(KernelSpec(
+            name="barrier",
+            launch=LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1)),
+        ))
+    gpu.synchronize()
+    for ke in first:
+        assert ke.end_time <= bar.start_time + 1e-6
+    for ke in second:
+        assert ke.start_time >= bar.end_time - 1e-6

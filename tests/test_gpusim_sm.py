@@ -1,0 +1,132 @@
+"""Tests for the SM residency + processor-sharing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.sm import SM, block_demand
+
+
+def lc(threads=256, smem=0, regs=32):
+    return LaunchConfig(grid=(1, 1, 1), block=(threads, 1, 1),
+                        shared_mem_dynamic=smem, registers_per_thread=regs)
+
+
+@pytest.fixture
+def sm():
+    return SM(get_device("P100"), 0)
+
+
+class TestBlockDemand:
+    def test_saturating_block(self):
+        dev = get_device("P100")  # saturation_warps = 8
+        assert block_demand(dev, lc(threads=256)) == 1.0
+
+    def test_small_block(self):
+        dev = get_device("P100")
+        assert block_demand(dev, lc(threads=64)) == pytest.approx(2 / 8)
+
+    def test_demand_capped_at_one(self):
+        dev = get_device("P100")
+        assert block_demand(dev, lc(threads=1024)) == 1.0
+
+
+class TestResidency:
+    def test_fit_by_threads(self, sm):
+        assert sm.fit_count(lc(threads=512)) == 4
+
+    def test_fit_by_smem(self, sm):
+        assert sm.fit_count(lc(threads=64, smem=16 * 1024)) == 4
+
+    def test_fit_by_registers(self, sm):
+        assert sm.fit_count(lc(threads=256, regs=64)) == 4
+
+    def test_fit_by_block_slots(self, sm):
+        assert sm.fit_count(lc(threads=32, regs=4)) == 32
+
+    def test_place_consumes_resources(self, sm):
+        sm.place(0.0, "k", lc(threads=512), 2, 10.0)
+        assert sm.free_threads == 2048 - 1024
+        assert sm.fit_count(lc(threads=512)) == 2
+
+    def test_place_too_many_raises(self, sm):
+        with pytest.raises(SimulationError, match="does not fit"):
+            sm.place(0.0, "k", lc(threads=512), 5, 10.0)
+
+    def test_empty_cohort_rejected(self, sm):
+        with pytest.raises(SimulationError):
+            sm.place(0.0, "k", lc(), 0, 10.0)
+
+    def test_release_on_completion(self, sm):
+        sm.place(0.0, "k", lc(threads=512), 2, 10.0)
+        done = sm.pop_finished(100.0)
+        assert len(done) == 1
+        assert sm.free_threads == 2048
+
+    def test_version_bumps_on_change(self, sm):
+        v0 = sm.version
+        sm.place(0.0, "k", lc(), 1, 5.0)
+        assert sm.version == v0 + 1
+        sm.pop_finished(100.0)
+        assert sm.version == v0 + 2
+
+
+class TestProcessorSharing:
+    def test_solo_saturating_block_runs_at_work_rate(self, sm):
+        sm.place(0.0, "k", lc(threads=256), 1, 10.0)
+        assert sm.next_completion(0.0) == pytest.approx(10.0)
+
+    def test_solo_small_block_is_latency_bound(self, sm):
+        # 2 warps of 8 needed to saturate: runs at 1/4 throughput
+        sm.place(0.0, "k", lc(threads=64), 1, 10.0)
+        assert sm.next_completion(0.0) == pytest.approx(40.0)
+
+    def test_undersaturated_blocks_overlap_perfectly(self, sm):
+        # two quarter-demand blocks: both finish at their solo time
+        sm.place(0.0, "a", lc(threads=64), 1, 10.0)
+        sm.place(0.0, "b", lc(threads=64), 1, 10.0)
+        assert sm.next_completion(0.0) == pytest.approx(40.0)
+
+    def test_oversaturated_blocks_slow_down(self, sm):
+        # four full-demand blocks share the SM: 4x slower each
+        sm.place(0.0, "k", lc(threads=256), 4, 10.0)
+        assert sm.next_completion(0.0) == pytest.approx(40.0)
+
+    def test_progress_accounting_across_events(self, sm):
+        sm.place(0.0, "a", lc(threads=256), 1, 10.0)
+        sm.advance(5.0)  # half done
+        sm.place(5.0, "b", lc(threads=256), 1, 10.0)
+        # now sharing: each at rate 1/2; a needs 5 more work -> 10 more us
+        assert sm.next_completion(5.0) == pytest.approx(15.0)
+
+    def test_pop_finished_returns_only_done(self, sm):
+        sm.place(0.0, "a", lc(threads=256), 1, 10.0)
+        sm.place(0.0, "b", lc(threads=256), 1, 30.0)
+        done = sm.pop_finished(20.0)  # shared rate 1/2: a done at t=20
+        assert [c.kernel_handle for c in done] == ["a"]
+        assert len(sm.resident) == 1
+
+    def test_time_cannot_go_backwards(self, sm):
+        sm.advance(10.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            sm.advance(5.0)
+
+    def test_zero_work_clamped(self, sm):
+        sm.place(0.0, "k", lc(), 1, 0.0)
+        t = sm.next_completion(0.0)
+        assert t is not None and t > 0.0
+
+    def test_empty_sm_has_no_completion(self, sm):
+        assert sm.next_completion(0.0) is None
+
+    def test_occupancy_now(self, sm):
+        assert sm.occupancy_now == 0.0
+        sm.place(0.0, "k", lc(threads=1024), 2, 10.0)
+        assert sm.occupancy_now == pytest.approx(64 / 64)
+
+    def test_utilization_integrals_accumulate(self, sm):
+        sm.place(0.0, "k", lc(threads=256), 1, 10.0)
+        sm.pop_finished(10.0)
+        assert sm.busy_integral_us == pytest.approx(10.0)
+        assert sm.warp_integral == pytest.approx(80.0)  # 8 warps x 10 us

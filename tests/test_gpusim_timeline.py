@@ -1,0 +1,98 @@
+"""Tests for timeline recording and rendering."""
+
+import json
+
+import pytest
+
+from repro.gpusim.timeline import (
+    Timeline,
+    TraceRecord,
+    ascii_timeline,
+    to_chrome_trace,
+)
+
+
+def rec(name="k", stream=1, start=0.0, end=10.0, tag=""):
+    return TraceRecord(
+        name=name, tag=tag, stream_id=stream,
+        enqueue_us=start - 1.0, start_us=start, end_us=end,
+        grid=(4, 1, 1), block=(256, 1, 1), registers=32, shared_mem=0,
+    )
+
+
+class TestTimeline:
+    def test_add_and_len(self):
+        t = Timeline("P100")
+        t.add(rec())
+        assert len(t) == 1
+
+    def test_disabled_timeline_drops_records(self):
+        t = Timeline("P100", enabled=False)
+        t.add(rec())
+        assert len(t) == 0
+
+    def test_record_properties(self):
+        r = rec(start=5.0, end=12.0)
+        assert r.duration_us == pytest.approx(7.0)
+        assert r.queue_delay_us == pytest.approx(1.0)
+
+    def test_by_stream_sorted(self):
+        t = Timeline()
+        t.add(rec(stream=1, start=10, end=20))
+        t.add(rec(stream=1, start=0, end=5))
+        t.add(rec(stream=2, start=3, end=4))
+        groups = t.by_stream()
+        assert [r.start_us for r in groups[1]] == [0, 10]
+        assert set(groups) == {1, 2}
+
+    def test_by_name(self):
+        t = Timeline()
+        t.add(rec(name="a"))
+        t.add(rec(name="b"))
+        t.add(rec(name="a"))
+        assert len(t.by_name("a")) == 2
+
+    def test_span(self):
+        t = Timeline()
+        t.add(rec(start=2, end=9))
+        t.add(rec(start=5, end=30))
+        assert t.span_us() == pytest.approx(28.0)
+
+    def test_span_empty(self):
+        assert Timeline().span_us() == 0.0
+
+    def test_max_concurrency(self):
+        t = Timeline()
+        t.add(rec(stream=1, start=0, end=10))
+        t.add(rec(stream=2, start=5, end=15))
+        t.add(rec(stream=3, start=20, end=25))
+        assert t.max_concurrency() == 2
+
+    def test_max_concurrency_touching_intervals_do_not_overlap(self):
+        t = Timeline()
+        t.add(rec(stream=1, start=0, end=10))
+        t.add(rec(stream=2, start=10, end=20))
+        assert t.max_concurrency() == 1
+
+
+class TestRendering:
+    def test_ascii_empty(self):
+        assert "empty" in ascii_timeline(Timeline())
+
+    def test_ascii_has_lane_per_stream(self):
+        t = Timeline("P100")
+        t.add(rec(stream=0, name="x"))
+        t.add(rec(stream=3, name="y"))
+        out = ascii_timeline(t, width=40)
+        assert "default" in out and "s3" in out
+        assert "x" in out and "y" in out
+
+    def test_chrome_trace_valid_json(self):
+        t = Timeline("P100")
+        t.add(rec(name="sgemm", tag="conv1/s0"))
+        doc = json.loads(to_chrome_trace(t))
+        ev = doc["traceEvents"][0]
+        assert ev["name"] == "sgemm"
+        assert ev["ph"] == "X"
+        assert ev["args"]["grid"] == [4, 1, 1]
+        assert ev["tid"] == "stream 1"

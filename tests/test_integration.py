@@ -1,0 +1,119 @@
+"""End-to-end integration tests reproducing the paper's headline claims."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import (
+    CAFFENET_CONVS,
+    CIFAR10_CONVS,
+    GOOGLENET_CONVS,
+    SIAMESE_CONVS,
+)
+from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
+from repro.runtime.lowering import conv_works, lower_conv_forward
+
+
+def fresh(name):
+    return GPU(get_device(name), record_timeline=False)
+
+
+def steady(executor, work):
+    executor.run(work)
+    return executor.run(work).elapsed_us
+
+
+class TestPaperClaims:
+    """Shape assertions against the evaluation section."""
+
+    def test_glp4nn_wins_on_most_layers_p100(self):
+        """Fig. 7/9: most conv layers accelerate under GLP4NN."""
+        layers = (CIFAR10_CONVS[1:] + SIAMESE_CONVS[1:2]
+                  + GOOGLENET_CONVS[:3])
+        wins = 0
+        for cfg in layers:
+            work = lower_conv_forward(cfg)
+            t_naive = steady(NaiveExecutor(fresh("P100")), work)
+            t_glp = steady(GLP4NNExecutor(fresh("P100")), work)
+            if t_glp < t_naive:
+                wins += 1
+        assert wins == len(layers)
+
+    def test_speedup_reaches_multiples(self):
+        """Abstract: 'a speedup of up to 4X' — our best layer exceeds 3x."""
+        work = lower_conv_forward(CAFFENET_CONVS[4])
+        t_naive = steady(NaiveExecutor(fresh("P100")), work)
+        t_glp = steady(GLP4NNExecutor(fresh("P100")), work)
+        assert t_naive / t_glp > 2.5
+
+    def test_tiny_layers_degrade_slightly_not_catastrophically(self):
+        """Fig. 9: ~2 ms layers lose a little under GLP4NN."""
+        for cfg, device in ((CIFAR10_CONVS[0], "TitanXP"),
+                            (SIAMESE_CONVS[0], "P100")):
+            work = lower_conv_forward(cfg)
+            t_naive = steady(NaiveExecutor(fresh(device)), work)
+            t_glp = steady(GLP4NNExecutor(fresh(device)), work)
+            assert 0.85 < t_naive / t_glp < 1.05
+
+    def test_network_totals_still_improve(self):
+        """Fig. 9: 'the overall performance of these two networks has
+        still been improved'."""
+        for convs, device in ((CIFAR10_CONVS, "TitanXP"),
+                              (SIAMESE_CONVS, "P100")):
+            t_naive = t_glp = 0.0
+            for cfg in convs:
+                work = lower_conv_forward(cfg)
+                t_naive += steady(NaiveExecutor(fresh(device)), work)
+                t_glp += steady(GLP4NNExecutor(fresh(device)), work)
+            assert t_glp < t_naive
+
+    def test_optimal_streams_vary_by_device(self):
+        """Observation 2: the best stream count is device-dependent."""
+        from repro.runtime.executor import FixedStreamExecutor
+        work = lower_conv_forward(CAFFENET_CONVS[0])
+        best = {}
+        for device in ("K40C", "P100"):
+            times = {}
+            for s in (1, 2, 4, 8, 16):
+                ex = FixedStreamExecutor(fresh(device), s)
+                times[s] = steady(ex, work)
+            best[device] = min(times, key=times.get)
+        assert best["K40C"] != 1 or best["P100"] != 1
+
+    def test_profiling_iteration_is_not_wasted(self):
+        """The profiling pass executes the layer's kernels for real."""
+        gpu = fresh("P100")
+        ex = GLP4NNExecutor(gpu)
+        work = lower_conv_forward(SIAMESE_CONVS[1])
+        ex.run(work)
+        assert gpu.kernels_completed == work.num_kernels
+
+    def test_stream_pool_reuse_across_layers(self):
+        """The pool is created once and shared by subsequent layers."""
+        gpu = fresh("P100")
+        ex = GLP4NNExecutor(gpu)
+        works = conv_works(CIFAR10_CONVS, "forward")
+        for w in works:
+            ex.run(w)            # round 1: profiling (default stream only)
+        for w in works:
+            ex.run(w)            # round 2: pools created
+        streams_after_dispatch_round = len(gpu.streams())
+        assert streams_after_dispatch_round > 1
+        for w in works:
+            ex.run(w)            # round 3: pools reused, no new streams
+        assert len(gpu.streams()) == streams_after_dispatch_round
+
+
+class TestCrossDeviceShape:
+    def test_faster_device_faster_everywhere(self):
+        work = lower_conv_forward(CIFAR10_CONVS[1])
+        t = {}
+        for device in ("K40C", "P100"):
+            t[device] = steady(NaiveExecutor(fresh(device)), work)
+        assert t["P100"] < t["K40C"]
+
+    def test_kepler_vs_pascal_concurrency_budget(self):
+        """Pascal's deeper hardware queues admit larger pools."""
+        gk = fresh("K40C")
+        gp = fresh("P100")
+        assert gp.props.max_concurrent_kernels > gk.props.max_concurrent_kernels

@@ -1,0 +1,82 @@
+"""Tests for the analytic cost model vs the discrete-event engine."""
+
+import pytest
+
+from repro.gpusim import GPU, get_device
+from repro.kernels.costmodel import (
+    block_work_us,
+    chain_solo_time_us,
+    kernel_flop_rate,
+    kernel_solo_time_us,
+)
+from repro.kernels.ir import KernelChain
+from repro.kernels.ops import im2col_spec, sgemm_spec
+from tests.conftest import small_kernel
+
+
+class TestBlockWork:
+    def test_compute_bound(self):
+        dev = get_device("P100")
+        spec = small_kernel(flops=1e6, bytes_=1.0)
+        w = block_work_us(spec, dev)
+        expected = 1e6 * 256 / dev.sm_flops_per_us + dev.block_overhead_us
+        assert w == pytest.approx(expected)
+
+    def test_memory_bound(self):
+        dev = get_device("P100")
+        spec = small_kernel(flops=1.0, bytes_=1e5)
+        w = block_work_us(spec, dev)
+        expected = 1e5 * 256 / dev.sm_bytes_per_us + dev.block_overhead_us
+        assert w == pytest.approx(expected)
+
+    def test_duration_override(self):
+        dev = get_device("P100")
+        spec = small_kernel()
+        spec = type(spec)(name="x", launch=spec.launch, duration_us=50.0)
+        # demand of a 256-thread block on P100 is 1.0 -> work = 50
+        assert block_work_us(spec, dev) == pytest.approx(50.0)
+
+
+class TestSoloTimeMatchesEngine:
+    @pytest.mark.parametrize("spec", [
+        sgemm_spec(256, 729, 2400),
+        sgemm_spec(20, 576, 25),
+        im2col_spec(3, 55, 55, 11, 11),
+        small_kernel(blocks=500),
+        small_kernel(blocks=1, threads=64),
+    ], ids=["big-gemm", "small-gemm", "im2col", "multiwave", "tiny"])
+    @pytest.mark.parametrize("device", ["P100", "K40C", "TitanXP"])
+    def test_estimate_close_to_simulation(self, spec, device):
+        dev = get_device(device)
+        est = kernel_solo_time_us(spec, dev)
+        gpu = GPU(dev)
+        gpu.launch(spec)
+        gpu.synchronize()
+        sim = gpu.timeline.records[0].duration_us
+        assert est == pytest.approx(sim, rel=0.35)
+
+    def test_longer_kernel_estimated_longer(self):
+        dev = get_device("P100")
+        a = kernel_solo_time_us(sgemm_spec(64, 64, 100), dev)
+        b = kernel_solo_time_us(sgemm_spec(64, 64, 10_000), dev)
+        assert b > a
+
+    def test_chain_time_is_sum(self):
+        dev = get_device("P100")
+        k1, k2 = small_kernel("a"), small_kernel("b")
+        chain = KernelChain((k1, k2))
+        assert chain_solo_time_us(chain, dev) == pytest.approx(
+            kernel_solo_time_us(k1, dev) + kernel_solo_time_us(k2, dev)
+        )
+
+    def test_flop_rate_below_peak(self):
+        dev = get_device("P100")
+        spec = sgemm_spec(512, 512, 512)
+        rate = kernel_flop_rate(spec, dev)
+        assert 0 < rate <= dev.peak_gflops
+
+    def test_faster_device_is_faster(self):
+        spec = sgemm_spec(256, 256, 1024)
+        t_k40 = kernel_solo_time_us(spec, get_device("K40C"))
+        t_p100 = kernel_solo_time_us(spec, get_device("P100"))
+        assert t_p100 < t_k40

@@ -1,0 +1,59 @@
+"""Tests for kernel chains and layer work units."""
+
+import pytest
+
+from repro.kernels.ir import KernelChain, LayerWork
+from tests.conftest import small_kernel
+
+
+class TestKernelChain:
+    def test_iteration_order(self):
+        ks = [small_kernel(n) for n in ("a", "b", "c")]
+        chain = KernelChain(tuple(ks))
+        assert [k.name for k in chain] == ["a", "b", "c"]
+        assert len(chain) == 3
+
+    def test_retagged_prefixes(self):
+        chain = KernelChain((small_kernel("a", tag="x"),))
+        out = chain.retagged("s0")
+        assert out.kernels[0].tag == "s0/x"
+
+    def test_retagged_empty_tag(self):
+        chain = KernelChain((small_kernel("a"),))
+        assert chain.retagged("s1").kernels[0].tag == "s1"
+
+
+class TestLayerWork:
+    def _work(self):
+        chains = tuple(
+            KernelChain((small_kernel("im2col", tag=f"s{i}"),
+                         small_kernel("sgemm", tag=f"s{i}")),
+                        label=f"s{i}")
+            for i in range(3)
+        )
+        serial = (small_kernel("reduce"),)
+        return LayerWork(layer="conv1", phase="forward",
+                         parallel_chains=chains, serial_kernels=serial)
+
+    def test_key(self):
+        assert self._work().key == "conv1/forward"
+
+    def test_num_kernels(self):
+        assert self._work().num_kernels == 7
+
+    def test_all_kernels_order(self):
+        names = [k.name for k in self._work().all_kernels()]
+        assert names == ["im2col", "sgemm"] * 3 + ["reduce"]
+
+    def test_unique_signatures_deduplicates_samples(self):
+        sigs = self._work().unique_signatures()
+        assert [k.name for k in sigs] == ["im2col", "sgemm", "reduce"]
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            LayerWork(layer="x", phase="sideways")
+
+    def test_empty_work_allowed(self):
+        w = LayerWork(layer="x", phase="forward")
+        assert w.num_kernels == 0
+        assert w.unique_signatures() == []

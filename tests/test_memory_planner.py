@@ -1,0 +1,79 @@
+"""Tests for the device-memory planner."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo import build_cifar10, build_caffenet
+from repro.runtime.memory_planner import (
+    allocate_net,
+    plan_memory,
+    release_net,
+)
+
+
+class TestPlan:
+    def test_breakdown_positive(self):
+        net = build_cifar10(batch=10)
+        plan = plan_memory(net)
+        assert plan.params > 0
+        assert plan.param_grads == plan.params
+        assert plan.activations > 0
+        assert plan.col_buffer > 0
+        assert plan.total == (plan.params + plan.param_grads
+                              + 2 * plan.activations + plan.col_buffer)
+
+    def test_col_buffer_sized_for_largest_conv(self):
+        net = build_cifar10(batch=10)
+        # conv1: K=75, P=1024 -> 307200 B; conv2: K=800, P=256 -> 819200 B;
+        # conv3: K=800, P=64 -> 204800 B
+        assert plan_memory(net).col_buffer == 4 * 800 * 256
+
+    def test_activations_scale_with_batch(self):
+        small = plan_memory(build_cifar10(batch=10))
+        big = plan_memory(build_cifar10(batch=40))
+        assert big.activations > 3 * small.activations
+        assert big.params == small.params
+
+    def test_caffenet_fits_12gb_card(self):
+        net = build_caffenet(batch=16, classes=100, fc_dim=256)
+        plan = plan_memory(net)
+        assert plan.total < 12 * (1 << 30)
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, p100):
+        net = build_cifar10(batch=10)
+        plan = allocate_net(p100, net)
+        assert p100.allocator.bytes_in_use >= plan.total
+        release_net(p100, plan)
+        assert p100.allocator.bytes_in_use == 0
+
+    def test_oom_on_tiny_device(self):
+        from repro.gpusim.arch import Architecture
+        from repro.gpusim.device import DeviceProperties, KIB
+        tiny = DeviceProperties(
+            name="tiny", arch=Architecture.PASCAL, sm_count=1,
+            cores_per_sm=64, clock_ghz=1.0, memory_bytes=1 << 20,
+            mem_bandwidth_gbps=100.0, memory_type="X",
+            shared_mem_per_sm=48 * KIB,
+        )
+        gpu = GPU(tiny)
+        net = build_cifar10(batch=50)
+        with pytest.raises(OutOfMemoryError):
+            allocate_net(gpu, net)
+
+    def test_glp4nn_adds_no_device_memory(self, p100):
+        """The paper's space claim: tracker memory is host-side only."""
+        from repro.core import GLP4NN
+        from repro.runtime.lowering import lower_conv_forward
+        from repro.nn.zoo.table5 import CIFAR10_CONVS
+        net = build_cifar10(batch=10)
+        plan = allocate_net(p100, net)
+        used_before = p100.allocator.bytes_in_use
+        glp = GLP4NN([p100])
+        work = lower_conv_forward(CIFAR10_CONVS[0])
+        glp.run_layer(p100, work)   # profile (CUPTI buffers are host RAM)
+        glp.run_layer(p100, work)
+        assert p100.allocator.bytes_in_use == used_before
+        release_net(p100, plan)

@@ -1,0 +1,97 @@
+"""Tests for branch-and-bound MILP solving, with scipy.optimize.milp oracle."""
+
+import numpy as np
+import pytest
+
+from repro.milp.branch_and_bound import solve_milp
+from repro.milp.simplex import LinearProgram
+from repro.milp.solution import SolveStatus
+
+_opt = pytest.importorskip("scipy.optimize")
+
+
+class TestHandCases:
+    def test_knapsack(self):
+        # max 10a + 6b + 4c st a+b+c<=10, 5a+4b+3c<=30 (integers)
+        lp = LinearProgram(
+            c=[-10, -6, -4],
+            a_ub=[[1, 1, 1], [5, 4, 3]],
+            b_ub=[10, 30],
+            lo=[0, 0, 0], hi=[10, 10, 10],
+        )
+        res = solve_milp(lp, integers=[0, 1, 2])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-60.0)  # a=6: weight 30, value 60
+
+    def test_integrality_changes_optimum(self):
+        # LP optimum fractional: max x st 2x <= 5 -> x = 2.5; MILP -> 2
+        lp = LinearProgram(c=[-1], a_ub=[[2]], b_ub=[5], lo=[0], hi=[10])
+        res = solve_milp(lp, integers=[0])
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_mixed_integer(self):
+        # y continuous, x integer
+        lp = LinearProgram(c=[-1, -1], a_ub=[[2, 1]], b_ub=[5.5],
+                           lo=[0, 0], hi=[10, 0.25])
+        res = solve_milp(lp, integers=[0])
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.x[1] == pytest.approx(0.25)
+
+    def test_infeasible_integrality(self):
+        # 0.4 <= x <= 0.6 has no integer point
+        lp = LinearProgram(c=[1], lo=[0.4], hi=[0.6])
+        res = solve_milp(lp, integers=[0])
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_integers_snapped_exactly(self):
+        lp = LinearProgram(c=[-3, -2], a_ub=[[1, 1]], b_ub=[7.3],
+                           lo=[0, 0], hi=[5, 5])
+        res = solve_milp(lp, integers=[0, 1])
+        assert res.x[0] == float(int(res.x[0]))
+        assert res.x[1] == float(int(res.x[1]))
+
+    def test_root_infeasible(self):
+        lp = LinearProgram(c=[1], a_ub=[[1]], b_ub=[-1], lo=[0], hi=[5])
+        assert solve_milp(lp, [0]).status is SolveStatus.INFEASIBLE
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_pure_integer(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(1, 5))
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.normal(size=m) + 2.0
+        lo, hi = np.zeros(n), np.full(n, 8.0)
+        ours = solve_milp(LinearProgram(c, a, b, lo=lo, hi=hi),
+                          integers=range(n))
+        ref = _opt.milp(
+            c, constraints=_opt.LinearConstraint(a, -np.inf, b),
+            bounds=_opt.Bounds(lo, hi), integrality=np.ones(n),
+        )
+        assert (ours.status is SolveStatus.OPTIMAL) == bool(ref.success)
+        if ref.success:
+            assert ours.objective == pytest.approx(ref.fun, rel=1e-6,
+                                                   abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_mixed(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        n = 4
+        c = rng.normal(size=n)
+        a = rng.normal(size=(3, n))
+        b = rng.normal(size=3) + 2.0
+        lo, hi = np.zeros(n), np.full(n, 6.0)
+        integrality = np.array([1, 0, 1, 0], dtype=float)
+        ours = solve_milp(LinearProgram(c, a, b, lo=lo, hi=hi),
+                          integers=[0, 2])
+        ref = _opt.milp(
+            c, constraints=_opt.LinearConstraint(a, -np.inf, b),
+            bounds=_opt.Bounds(lo, hi), integrality=integrality,
+        )
+        assert (ours.status is SolveStatus.OPTIMAL) == bool(ref.success)
+        if ref.success:
+            assert ours.objective == pytest.approx(ref.fun, rel=1e-6,
+                                                   abs=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the algebraic modelling layer."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.milp import Model, SolveStatus
+from repro.milp.model import LinExpr
+
+
+class TestExpressions:
+    def _model(self):
+        m = Model()
+        return m, m.var("x", 0, 10), m.var("y", 0, 10)
+
+    def test_addition_and_scaling(self):
+        m, x, y = self._model()
+        e = 2 * x + y / 2 - 3
+        assert e.coeffs[x] == 2 and e.coeffs[y] == pytest.approx(0.5)
+        assert e.const == -3
+
+    def test_subtraction(self):
+        m, x, y = self._model()
+        e = x - y
+        assert e.coeffs[x] == 1 and e.coeffs[y] == -1
+
+    def test_rsub(self):
+        m, x, _ = self._model()
+        e = 5 - x
+        assert e.const == 5 and e.coeffs[x] == -1
+
+    def test_negation(self):
+        m, x, _ = self._model()
+        e = -(2 * x + 1)
+        assert e.coeffs[x] == -2 and e.const == -1
+
+    def test_value_evaluation(self):
+        m, x, y = self._model()
+        e = 3 * x + 2 * y + 1
+        assert e.value({"x": 2.0, "y": 0.5}) == pytest.approx(8.0)
+
+    def test_comparison_builds_constraint(self):
+        m, x, y = self._model()
+        con = (x + y <= 5)
+        assert con.sense == "<="
+        con2 = (x + y >= 2)
+        assert con2.sense == "<="  # normalized with flipped sign
+        con3 = (x == y)
+        assert con3.sense == "=="
+
+
+class TestModelSolve:
+    def test_doc_example(self):
+        m = Model("toy")
+        x = m.int_var("x", lo=0, hi=10)
+        y = m.int_var("y", lo=0, hi=10)
+        m.add_constr(3 * x + 4 * y <= 24)
+        m.maximize(2 * x + 3 * y)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(18.0)
+        assert sol[y] == 6.0
+
+    def test_minimize(self):
+        m = Model()
+        x = m.var("x", lo=2, hi=9)
+        m.minimize(x)
+        assert m.solve().objective == pytest.approx(2.0)
+
+    def test_equality_constraint(self):
+        m = Model()
+        x = m.var("x", 0, 10)
+        y = m.var("y", 0, 10)
+        m.add_constr(x + y == 7)
+        m.minimize(x)
+        sol = m.solve()
+        assert sol[x] == pytest.approx(0.0)
+        assert sol[y] == pytest.approx(7.0)
+
+    def test_infeasible_status(self):
+        m = Model()
+        x = m.var("x", 0, 1)
+        m.add_constr(x >= 5)
+        m.minimize(x)
+        assert m.solve().status is SolveStatus.INFEASIBLE
+
+    def test_objective_orientation_preserved(self):
+        m = Model()
+        x = m.var("x", 0, 4)
+        m.maximize(3 * x)
+        assert m.solve().objective == pytest.approx(12.0)
+
+    def test_integer_rounding_in_solution(self):
+        m = Model()
+        x = m.int_var("x", 0, 10)
+        m.add_constr(2 * x <= 7)
+        m.maximize(x)
+        sol = m.solve()
+        assert sol[x] == 3.0 and sol[x] == int(sol[x])
+
+    def test_duplicate_name_rejected(self):
+        m = Model()
+        m.var("x")
+        with pytest.raises(SolverError, match="duplicate"):
+            m.var("x")
+
+    def test_bad_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(SolverError):
+            m.var("x", lo=2, hi=1)
+
+    def test_solve_without_objective_rejected(self):
+        m = Model()
+        m.var("x")
+        with pytest.raises(SolverError, match="objective"):
+            m.solve()
+
+    def test_add_constr_rejects_bool(self):
+        m = Model()
+        m.var("x")
+        with pytest.raises(SolverError):
+            m.add_constr(True)  # type: ignore[arg-type]
+
+    def test_nodes_counted_for_integer_programs(self):
+        m = Model()
+        x = m.int_var("x", 0, 10)
+        y = m.int_var("y", 0, 10)
+        m.add_constr(3 * x + 7 * y <= 22)
+        m.maximize(2 * x + 5 * y)
+        sol = m.solve()
+        assert sol.status.ok
+        assert sol.nodes_explored >= 1

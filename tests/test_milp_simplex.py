@@ -1,0 +1,138 @@
+"""Tests for the two-phase simplex LP solver, with scipy as oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.milp.simplex import LinearProgram, solve_lp
+from repro.milp.solution import SolveStatus
+
+scipy_linprog = pytest.importorskip("scipy.optimize").linprog
+
+
+class TestHandCases:
+    def test_simple_max(self):
+        # max 2x + 3y st 3x + 4y <= 24, x,y in [0, 10] (as min of negation)
+        lp = LinearProgram(c=[-2, -3], a_ub=[[3, 4]], b_ub=[24],
+                           lo=[0, 0], hi=[10, 10])
+        res = solve_lp(lp)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-18.0)
+
+    def test_equality_constraint(self):
+        # min x + y st x + y = 5, x >= 0, y >= 0
+        lp = LinearProgram(c=[1, 1], a_eq=[[1, 1]], b_eq=[5])
+        res = solve_lp(lp)
+        assert res.objective == pytest.approx(5.0)
+
+    def test_infeasible(self):
+        lp = LinearProgram(c=[1], a_ub=[[1]], b_ub=[-2], lo=[0], hi=[10])
+        assert solve_lp(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram(c=[-1], lo=[0], hi=[np.inf])
+        assert solve_lp(lp).status is SolveStatus.UNBOUNDED
+
+    def test_bounded_no_constraints(self):
+        lp = LinearProgram(c=[1.0, 2.0], lo=[3, 4], hi=[10, 10])
+        res = solve_lp(lp)
+        assert res.status is SolveStatus.OPTIMAL
+        np.testing.assert_allclose(res.x, [3, 4])
+
+    def test_negative_lower_bounds(self):
+        lp = LinearProgram(c=[1], lo=[-5], hi=[5])
+        res = solve_lp(lp)
+        assert res.objective == pytest.approx(-5.0)
+
+    def test_free_variable_split(self):
+        # min x st x >= -inf with x + 0y <= 3 and x >= -7 via ub row
+        lp = LinearProgram(c=[1], a_ub=[[-1]], b_ub=[7],
+                           lo=[-np.inf], hi=[np.inf])
+        res = solve_lp(lp)
+        assert res.objective == pytest.approx(-7.0)
+
+    def test_degenerate_does_not_cycle(self):
+        # classic Beale-like degeneracy; Bland's rule must terminate
+        lp = LinearProgram(
+            c=[-0.75, 150, -0.02, 6],
+            a_ub=[[0.25, -60, -0.04, 9],
+                  [0.5, -90, -0.02, 3],
+                  [0, 0, 1, 0]],
+            b_ub=[0, 0, 1],
+        )
+        res = solve_lp(lp)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-0.05)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=[1, 2], a_ub=[[1]], b_ub=[1])
+
+    def test_inverted_bounds_infeasible(self):
+        lp = LinearProgram(c=[1], lo=[5], hi=[2])
+        assert solve_lp(lp).status is SolveStatus.INFEASIBLE
+
+
+class TestAgainstScipy:
+    def _compare(self, lp: LinearProgram) -> None:
+        ours = solve_lp(lp)
+        ref = scipy_linprog(
+            lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, A_eq=lp.a_eq, b_eq=lp.b_eq,
+            bounds=list(zip(lp.lo, lp.hi)), method="highs",
+        )
+        if ref.success:
+            assert ours.status is SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, rel=1e-6,
+                                                   abs=1e-7)
+        else:
+            assert ours.status in (SolveStatus.INFEASIBLE,
+                                   SolveStatus.UNBOUNDED)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_bounded_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(1, 7))
+        lp = LinearProgram(
+            c=rng.normal(size=n),
+            a_ub=rng.normal(size=(m, n)),
+            b_ub=rng.normal(size=m) + 1.0,
+            lo=np.zeros(n),
+            hi=np.full(n, 10.0),
+        )
+        self._compare(lp)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_with_equalities(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(3, 6))
+        lp = LinearProgram(
+            c=rng.normal(size=n),
+            a_ub=rng.normal(size=(2, n)),
+            b_ub=rng.normal(size=2) + 2.0,
+            a_eq=rng.normal(size=(1, n)),
+            b_eq=rng.normal(size=1),
+            lo=np.zeros(n),
+            hi=np.full(n, 5.0),
+        )
+        self._compare(lp)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_optimum_feasible(self, data):
+        """Any reported optimum must satisfy all constraints and bounds."""
+        n = data.draw(st.integers(2, 5))
+        m = data.draw(st.integers(1, 4))
+        flt = st.floats(-5, 5, allow_nan=False)
+        c = np.array(data.draw(st.lists(flt, min_size=n, max_size=n)))
+        a = np.array([data.draw(st.lists(flt, min_size=n, max_size=n))
+                      for _ in range(m)])
+        b = np.array(data.draw(st.lists(st.floats(0.5, 10), min_size=m,
+                                        max_size=m)))
+        lp = LinearProgram(c=c, a_ub=a, b_ub=b, lo=np.zeros(n),
+                           hi=np.full(n, 8.0))
+        res = solve_lp(lp)
+        assert res.status is SolveStatus.OPTIMAL  # x=0 is always feasible
+        assert np.all(a @ res.x <= b + 1e-6)
+        assert np.all(res.x >= -1e-9) and np.all(res.x <= 8 + 1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the multi-threaded dispatch baseline."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import CIFAR10_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import NaiveExecutor
+from repro.runtime.lowering import lower_conv_forward
+from repro.runtime.multithread import (
+    MultiThreadDispatcher,
+    THREAD_SPAWN_US,
+)
+from tests.conftest import small_kernel
+
+
+def fresh():
+    return GPU(get_device("P100"), record_timeline=False)
+
+
+class TestEnqueueAt:
+    def test_explicit_enqueue_time_respected(self, p100):
+        s = p100.create_stream()
+        ke = p100.launch(small_kernel(), stream=s, enqueue_at=100.0)
+        p100.synchronize()
+        assert ke.enqueue_time == pytest.approx(100.0)
+        assert ke.start_time >= 100.0
+
+    def test_past_enqueue_rejected(self, p100):
+        p100.launch(small_kernel(flops=500_000.0))
+        p100.synchronize()             # device time has advanced
+        with pytest.raises(SimulationError, match="past"):
+            p100.launch(small_kernel(), enqueue_at=0.0)
+
+    def test_parallel_lanes_overlap_launches(self, p100):
+        """Two 'threads' stamping t=10 get concurrent starts, unlike the
+        serialized single-thread pipeline."""
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        a = p100.launch(small_kernel("a", flops=300_000.0), stream=s1,
+                        enqueue_at=10.0)
+        b = p100.launch(small_kernel("b", flops=300_000.0), stream=s2,
+                        enqueue_at=10.0)
+        p100.synchronize()
+        assert abs(a.start_time - b.start_time) < 1.0
+
+
+class TestDispatcher:
+    def test_requires_valid_thread_count(self):
+        with pytest.raises(SchedulingError):
+            MultiThreadDispatcher(fresh(), 0)
+
+    def test_thread_count_capped_by_device(self):
+        gpu = GPU(get_device("GTX980"))     # C = 16
+        with pytest.raises(SchedulingError):
+            MultiThreadDispatcher(gpu, 17)
+
+    def test_all_kernels_execute(self):
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        d = MultiThreadDispatcher(fresh(), 4)
+        run = d.run(work)
+        assert run.launches == work.num_kernels
+        assert d.gpu.kernels_completed == work.num_kernels
+
+    def test_chain_order_preserved_within_thread(self):
+        gpu = GPU(get_device("P100"))
+        d = MultiThreadDispatcher(gpu, 2)
+        d.run(lower_conv_forward(SIAMESE_CONVS[0]))
+        for sid, recs in gpu.timeline.by_stream().items():
+            for a, b in zip(recs, recs[1:]):
+                assert b.start_us >= a.end_us - 1e-6
+
+    def test_more_threads_faster_on_launch_bound_layer(self):
+        """Parallel launch pipelines lift the Eq. 7 bottleneck ..."""
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        times = {}
+        for k in (1, 4):
+            d = MultiThreadDispatcher(fresh(), k)
+            d.run(work)
+            times[k] = d.run(work).elapsed_us
+        assert times[4] < times[1]
+
+    def test_but_costs_cpu_threads(self):
+        """... which is the trade-off the paper's critique is about."""
+        d = MultiThreadDispatcher(fresh(), 8)
+        run = d.run(lower_conv_forward(SIAMESE_CONVS[0]))
+        assert run.threads_used == 8
+
+    def test_spawn_overhead_charged(self):
+        work = lower_conv_forward(CIFAR10_CONVS[0])
+        naive = NaiveExecutor(fresh())
+        naive.run(work)
+        t_naive = naive.run(work).elapsed_us
+        d = MultiThreadDispatcher(fresh(), 1)
+        d.run(work)
+        t_one_thread = d.run(work).elapsed_us
+        # one dispatch thread ~ the naive pipeline + fork/join overhead
+        assert t_one_thread >= t_naive
+        assert t_one_thread <= t_naive + 4 * THREAD_SPAWN_US

@@ -1,0 +1,92 @@
+"""Tests for Blob and fillers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.blob import Blob
+from repro.nn.filler import (
+    constant_filler,
+    gaussian_filler,
+    make_filler,
+    xavier_filler,
+)
+
+
+class TestBlob:
+    def test_zero_initialized(self):
+        b = Blob((2, 3), name="w")
+        assert b.shape == (2, 3)
+        assert b.count == 6
+        assert not b.data.any()
+        assert b.data.dtype == np.float32
+
+    def test_from_array(self):
+        b = Blob(np.ones((2, 2), dtype=np.float64))
+        assert b.data.dtype == np.float32
+        assert b.data.sum() == 4
+
+    def test_lazy_diff(self):
+        b = Blob((4,))
+        assert b._diff is None
+        d = b.diff
+        assert d.shape == (4,)
+
+    def test_diff_setter_validates_shape(self):
+        b = Blob((4,))
+        with pytest.raises(NetworkError):
+            b.diff = np.zeros((5,), dtype=np.float32)
+
+    def test_zero_diff(self):
+        b = Blob((3,))
+        b.diff += 1.0
+        b.zero_diff()
+        assert not b.diff.any()
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(NetworkError):
+            Blob((0, 3))
+
+    def test_nbytes_counts_data_and_diff(self):
+        b = Blob((10,))
+        assert b.nbytes == 2 * 10 * 4
+
+
+class TestFillers:
+    def _rng(self):
+        return np.random.default_rng(0)
+
+    def test_constant(self):
+        arr = np.zeros((3, 3), dtype=np.float32)
+        constant_filler(2.5)(arr, self._rng())
+        assert (arr == 2.5).all()
+
+    def test_gaussian_stats(self):
+        arr = np.zeros(200_000, dtype=np.float32)
+        gaussian_filler(std=0.1)(arr, self._rng())
+        assert abs(float(arr.mean())) < 0.01
+        assert float(arr.std()) == pytest.approx(0.1, rel=0.05)
+
+    def test_xavier_range(self):
+        arr = np.zeros((50, 100), dtype=np.float32)
+        xavier_filler()(arr, self._rng())
+        scale = np.sqrt(3.0 / 100)
+        assert float(arr.max()) <= scale
+        assert float(arr.min()) >= -scale
+        assert float(np.abs(arr).max()) > 0.8 * scale  # actually spans range
+
+    def test_deterministic_given_seed(self):
+        a = np.zeros(100, dtype=np.float32)
+        b = np.zeros(100, dtype=np.float32)
+        gaussian_filler()(a, np.random.default_rng(7))
+        gaussian_filler()(b, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_factory(self):
+        arr = np.zeros(10, dtype=np.float32)
+        make_filler("constant", value=1.0)(arr, self._rng())
+        assert (arr == 1.0).all()
+
+    def test_factory_unknown(self):
+        with pytest.raises(NetworkError):
+            make_filler("orthogonal")

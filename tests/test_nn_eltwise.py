@@ -1,0 +1,161 @@
+"""Tests for Eltwise and Flatten layers (residual-style topologies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    EltwiseLayer,
+    FlattenLayer,
+    InnerProductLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+from tests.conftest import assert_grad_close, numeric_gradient
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def setup_eltwise(op="sum", coeffs=None, shape=(2, 3, 4, 4), n=2, seed=0):
+    layer = EltwiseLayer("e", operation=op, coeffs=coeffs)
+    layer.setup([shape] * n, RNG(seed))
+    return layer
+
+
+class TestEltwiseSum:
+    def test_default_coeffs(self):
+        layer = setup_eltwise()
+        a = np.ones((2, 3, 4, 4), dtype=np.float32)
+        b = 2 * np.ones((2, 3, 4, 4), dtype=np.float32)
+        (y,) = layer.forward([a, b])
+        assert (y == 3.0).all()
+
+    def test_custom_coeffs(self):
+        layer = setup_eltwise(coeffs=[1.0, -1.0])
+        a = np.full((2, 3, 4, 4), 5.0, dtype=np.float32)
+        b = np.full((2, 3, 4, 4), 3.0, dtype=np.float32)
+        (y,) = layer.forward([a, b])
+        assert (y == 2.0).all()
+
+    def test_backward_scales_by_coeff(self):
+        layer = setup_eltwise(coeffs=[2.0, -0.5])
+        a = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        layer.forward([a, a])
+        dout = np.ones_like(a)
+        da, db = layer.backward([dout], [a, a], [None])
+        assert (da == 2.0).all() and (db == -0.5).all()
+
+    def test_coeffs_require_sum(self):
+        with pytest.raises(NetworkError):
+            EltwiseLayer("e", operation="max", coeffs=[1, 1])
+
+    def test_coeff_count_checked(self):
+        layer = EltwiseLayer("e", coeffs=[1.0])
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 2), (1, 2)], RNG())
+
+
+class TestEltwiseProdMax:
+    def test_prod_forward(self):
+        layer = setup_eltwise("prod")
+        a = np.full((2, 3, 4, 4), 2.0, dtype=np.float32)
+        b = np.full((2, 3, 4, 4), 3.0, dtype=np.float32)
+        (y,) = layer.forward([a, b])
+        assert (y == 6.0).all()
+
+    def test_prod_gradient(self):
+        layer = setup_eltwise("prod", shape=(2, 5))
+        rng = RNG(3)
+        a = rng.normal(size=(2, 5)).astype(np.float32) + 2.0
+        b = rng.normal(size=(2, 5)).astype(np.float32) + 2.0
+        dout = rng.normal(size=(2, 5)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([a, b])[0] * dout))
+
+        (y,) = layer.forward([a, b])
+        da, db = layer.backward([dout], [a, b], [y])
+        assert_grad_close(da, numeric_gradient(loss, a))
+        assert_grad_close(db, numeric_gradient(loss, b))
+
+    def test_max_routes_gradient_to_winner(self):
+        layer = setup_eltwise("max", shape=(1, 4))
+        a = np.array([[1, 5, 1, 5]], dtype=np.float32)
+        b = np.array([[5, 1, 5, 1]], dtype=np.float32)
+        (y,) = layer.forward([a, b])
+        np.testing.assert_array_equal(y, [[5, 5, 5, 5]])
+        dout = np.ones_like(a)
+        da, db = layer.backward([dout], [a, b], [y])
+        np.testing.assert_array_equal(da, [[0, 1, 0, 1]])
+        np.testing.assert_array_equal(db, [[1, 0, 1, 0]])
+
+    def test_shape_mismatch_rejected(self):
+        layer = EltwiseLayer("e")
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 2), (1, 3)], RNG())
+
+    def test_single_bottom_rejected(self):
+        layer = EltwiseLayer("e")
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 2)], RNG())
+
+
+class TestFlatten:
+    def test_forward_shape(self):
+        layer = FlattenLayer("f")
+        tops = layer.setup([(4, 2, 3, 3)], RNG())
+        assert tops == [(4, 18)]
+        x = RNG(1).normal(size=(4, 2, 3, 3)).astype(np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (4, 18)
+
+    def test_backward_restores_shape(self):
+        layer = FlattenLayer("f")
+        layer.setup([(4, 2, 3, 3)], RNG())
+        x = np.zeros((4, 2, 3, 3), dtype=np.float32)
+        layer.forward([x])
+        dout = RNG(2).normal(size=(4, 18)).astype(np.float32)
+        (dx,) = layer.backward([dout], [x], [None])
+        assert dx.shape == x.shape
+        np.testing.assert_array_equal(dx.reshape(4, 18), dout)
+
+
+class TestResidualTopology:
+    def test_residual_block_trains(self):
+        """x -> ip -> relu -> ip, joined with the identity via Eltwise SUM."""
+        net = Net(
+            "res",
+            [
+                LayerDef(InnerProductLayer("fc1", 6), ["data"], ["h1"]),
+                LayerDef(ReLULayer("relu"), ["h1"], ["h1r"]),
+                LayerDef(InnerProductLayer("fc2", 6), ["h1r"], ["h2"]),
+                LayerDef(EltwiseLayer("join"), ["h1", "h2"], ["res"]),
+                LayerDef(InnerProductLayer("out", 3), ["res"], ["logits"]),
+                LayerDef(SoftmaxWithLossLayer("loss"), ["logits", "label"],
+                         ["loss"]),
+            ],
+            input_shapes={"data": (8, 4), "label": (8,)},
+        )
+        from repro.nn.solver import Solver, SolverConfig
+        rng = RNG(5)
+        labels = rng.integers(0, 3, 8)
+        data = np.eye(4, dtype=np.float32)[:3][labels] * 2 \
+            + rng.normal(0, 0.1, (8, 4)).astype(np.float32)
+        batch = {"data": data, "label": labels.astype(np.float32)}
+        solver = Solver(net, SolverConfig(base_lr=0.1, momentum=0.9,
+                                          weight_decay=0.0))
+        losses = [solver.step(batch) for _ in range(40)]
+        assert losses[-1] < 0.3 * losses[0]
+
+    def test_lowering(self):
+        layer = EltwiseLayer("e")
+        layer.setup([(2, 8), (2, 8)], RNG())
+        from repro.runtime.lowering import lower_layer
+        work = lower_layer(layer, "forward", [(2, 8), (2, 8)])
+        assert work.serial_kernels[0].name == "eltwise_sum"
+
+        flat = FlattenLayer("f")
+        flat.setup([(2, 2, 2, 2)], RNG())
+        assert lower_layer(flat, "forward", [(2, 2, 2, 2)]) is None

@@ -1,0 +1,118 @@
+"""Tests for grouped convolution (Caffe's ``group`` parameter)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.config import ConvConfig
+from repro.nn.layers import ConvolutionLayer
+from repro.runtime.lowering import lower_conv_backward, lower_conv_forward
+from tests.conftest import assert_grad_close, numeric_gradient
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def grouped_layer(group=2, ci=4, co=6, shape_hw=5, seed=0):
+    layer = ConvolutionLayer("gc", co, 3, pad=1, group=group)
+    layer.setup([(2, ci, shape_hw, shape_hw)], RNG(seed))
+    return layer
+
+
+class TestConfig:
+    def test_k_gemm_divided_by_group(self):
+        cfg = ConvConfig("c", n=1, ci=96, hw=27, co=256, f=5, p=2, g=2)
+        assert cfg.k_gemm == 48 * 25
+        assert cfg.co_gemm == 128
+
+    def test_indivisible_channels_rejected(self):
+        with pytest.raises(NetworkError, match="divisible"):
+            ConvConfig("c", n=1, ci=3, hw=8, co=4, f=3, g=2)
+
+    def test_flops_scale_down_with_group(self):
+        base = ConvConfig("c", n=1, ci=96, hw=27, co=256, f=5, p=2)
+        grp = ConvConfig("c", n=1, ci=96, hw=27, co=256, f=5, p=2, g=2)
+        assert grp.flops_per_sample == pytest.approx(
+            base.flops_per_sample / 2)
+
+
+class TestLayer:
+    def test_weight_shape_per_group(self):
+        layer = grouped_layer(group=2, ci=4, co=6)
+        assert layer.params[0].shape == (6, 2 * 9)
+
+    def test_forward_matches_two_independent_convs(self):
+        """A group-2 conv equals two half-channel convs concatenated."""
+        layer = grouped_layer(group=2, ci=4, co=6, seed=3)
+        rng = RNG(4)
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        (y,) = layer.forward([x])
+
+        w = layer.params[0].data
+        b = layer.params[1].data
+        halves = []
+        for gi in range(2):
+            half = ConvolutionLayer(f"h{gi}", 3, 3, pad=1)
+            half.setup([(2, 2, 5, 5)], RNG(9))
+            half.params[0].data[...] = w[gi * 3:(gi + 1) * 3]
+            half.params[1].data[...] = b[gi * 3:(gi + 1) * 3]
+            halves.append(half.forward([x[:, gi * 2:(gi + 1) * 2]])[0])
+        expected = np.concatenate(halves, axis=1)
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-5)
+
+    def test_gradients(self):
+        layer = grouped_layer(group=2, ci=4, co=4, seed=5)
+        rng = RNG(6)
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        dout = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([x])[0] * dout))
+
+        layer.forward([x])
+        layer.zero_param_diffs()
+        (dx,) = layer.backward([dout], [x], [None])
+        assert_grad_close(dx, numeric_gradient(loss, x))
+        assert_grad_close(layer.params[0].diff,
+                          numeric_gradient(loss, layer.params[0].data))
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(NetworkError):
+            ConvolutionLayer("c", 5, 3, group=2)
+
+    def test_input_channels_checked_at_setup(self):
+        layer = ConvolutionLayer("c", 4, 3, group=2)
+        with pytest.raises(NetworkError, match="divisible"):
+            layer.setup([(1, 3, 8, 8)], RNG())
+
+
+class TestLowering:
+    def test_forward_emits_one_gemm_per_group(self):
+        cfg = ConvConfig("c", n=2, ci=96, hw=27, co=256, f=5, p=2, g=2)
+        chain = lower_conv_forward(cfg).parallel_chains[0]
+        assert [k.name for k in chain] == ["im2col", "sgemm", "sgemm",
+                                           "gemmk"]
+
+    def test_backward_emits_group_gemms(self):
+        cfg = ConvConfig("c", n=2, ci=96, hw=27, co=256, f=5, p=2, g=2)
+        chain = lower_conv_backward(cfg).parallel_chains[0]
+        assert [k.name for k in chain].count("sgemm") == 4
+
+    def test_group_gemms_are_smaller(self):
+        plain = ConvConfig("c", n=1, ci=96, hw=27, co=256, f=5, p=2)
+        grp = ConvConfig("c", n=1, ci=96, hw=27, co=256, f=5, p=2, g=2)
+        k_plain = next(k for k in lower_conv_forward(plain).parallel_chains[0]
+                       if k.name == "sgemm")
+        k_grp = next(k for k in lower_conv_forward(grp).parallel_chains[0]
+                     if k.name == "sgemm")
+        assert k_grp.total_flops < k_plain.total_flops
+
+    def test_grouped_caffenet_trains(self):
+        from repro.nn.zoo import build_caffenet
+        net = build_caffenet(batch=2, classes=10, fc_dim=16, grouped=True)
+        rng = RNG(7)
+        net.forward({
+            "data": rng.normal(size=(2, 3, 227, 227)).astype(np.float32),
+            "label": np.array([0.0, 1.0], dtype=np.float32),
+        })
+        net.backward()
+        assert np.isfinite(net.loss_value())

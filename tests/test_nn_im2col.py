@@ -1,0 +1,84 @@
+"""Tests for im2col / col2im, including the adjoint property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.nn.im2col import col2im, im2col
+
+
+def naive_im2col(x, f, stride, pad):
+    """Reference implementation with explicit loops."""
+    n, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - f) // stride + 1
+    ow = (w + 2 * pad - f) // stride + 1
+    out = np.zeros((n, c * f * f, oh * ow), dtype=x.dtype)
+    for ni in range(n):
+        col = 0
+        for y in range(oh):
+            for xcol in range(ow):
+                patch = xp[ni, :, y * stride:y * stride + f,
+                           xcol * stride:xcol * stride + f]
+                out[ni, :, col] = patch.reshape(-1)
+                col += 1
+    return out
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("shape,f,s,p", [
+        ((2, 3, 8, 8), 3, 1, 0),
+        ((1, 1, 28, 28), 5, 1, 0),
+        ((2, 3, 32, 32), 5, 1, 2),
+        ((1, 3, 227, 227), 11, 4, 0),
+        ((3, 2, 7, 7), 1, 1, 0),
+        ((1, 4, 9, 9), 3, 2, 1),
+    ])
+    def test_matches_reference(self, shape, f, s, p):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=shape).astype(np.float32)
+        np.testing.assert_allclose(im2col(x, f, s, p),
+                                   naive_im2col(x, f, s, p), rtol=1e-6)
+
+    def test_requires_nchw(self):
+        with pytest.raises(NetworkError):
+            im2col(np.zeros((3, 8, 8), dtype=np.float32), 3, 1, 0)
+
+    def test_output_contiguous(self):
+        x = np.zeros((1, 2, 6, 6), dtype=np.float32)
+        assert im2col(x, 3, 1, 1).flags["C_CONTIGUOUS"]
+
+
+class TestAdjointProperty:
+    """col2im must be the exact adjoint of im2col:
+
+    ``<im2col(x), y> == <x, col2im(y)>`` for all x, y.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 2), st.integers(1, 3), st.integers(5, 10),
+        st.integers(1, 3), st.sampled_from([1, 2]), st.integers(0, 2),
+        st.integers(0, 2 ** 31 - 1),
+    )
+    def test_dot_product_identity(self, n, c, hw, f, s, p, seed):
+        if hw + 2 * p < f:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, hw, hw)).astype(np.float32)
+        cols_shape = im2col(x, f, s, p).shape
+        y = rng.normal(size=cols_shape).astype(np.float32)
+        lhs = float(np.sum(im2col(x, f, s, p) * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, f, s, p)))
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+    def test_col2im_counts_overlaps(self):
+        # all-ones columns: each input pixel receives one count per window
+        # containing it
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        cols = np.ones_like(im2col(x, 3, 1, 0))
+        back = col2im(cols, x.shape, 3, 1, 0)
+        # the centre pixels of a 4x4 with 3x3/stride-1 appear in 4 windows
+        assert back[0, 0, 1, 1] == 4.0
+        assert back[0, 0, 0, 0] == 1.0

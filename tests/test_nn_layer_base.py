@@ -1,0 +1,61 @@
+"""Tests for the Layer base class and LayerDef plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layer import Layer, LayerDef
+from repro.nn.layers import InnerProductLayer, ReLULayer
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestLayerBase:
+    def test_double_setup_rejected(self):
+        layer = ReLULayer("r")
+        layer.setup([(1, 4)], RNG())
+        with pytest.raises(NetworkError, match="twice"):
+            layer.setup([(1, 4)], RNG())
+
+    def test_multipliers_default_to_ones(self):
+        class TwoParam(Layer):
+            def _setup(self, bottom_shapes, rng):
+                from repro.nn.blob import Blob
+                self.params = [Blob((2,)), Blob((3,))]
+                return [tuple(bottom_shapes[0])]
+
+        layer = TwoParam("p")
+        layer.setup([(1, 4)], RNG())
+        assert layer.lr_mult == [1.0, 1.0]
+        assert layer.decay_mult == [1.0, 1.0]
+
+    def test_has_params(self):
+        ip = InnerProductLayer("ip", 3)
+        ip.setup([(1, 4)], RNG())
+        assert ip.has_params
+        relu = ReLULayer("r")
+        relu.setup([(1, 4)], RNG())
+        assert not relu.has_params
+
+    def test_zero_param_diffs(self):
+        ip = InnerProductLayer("ip", 3)
+        ip.setup([(1, 4)], RNG())
+        ip.params[0].diff += 5.0
+        ip.zero_param_diffs()
+        assert not ip.params[0].diff.any()
+
+    def test_is_loss_default_false(self):
+        assert not ReLULayer("r").is_loss
+
+    def test_repr_contains_name(self):
+        assert "relu_x" in repr(ReLULayer("relu_x"))
+
+
+class TestLayerDef:
+    def test_name_delegates_to_layer(self):
+        ld = LayerDef(ReLULayer("myrelu"), ["a"], ["b"])
+        assert ld.name == "myrelu"
+
+    def test_default_param_key_empty(self):
+        ld = LayerDef(ReLULayer("r"), ["a"], ["b"])
+        assert ld.param_key == ""

@@ -1,0 +1,109 @@
+"""Tests for the convolution layer, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layers import ConvolutionLayer
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+def make_layer(co=4, f=3, s=1, p=1, shape=(2, 3, 6, 6), seed=0):
+    layer = ConvolutionLayer("conv", co, f, stride=s, pad=p)
+    layer.setup([shape], np.random.default_rng(seed))
+    return layer
+
+
+class TestForward:
+    def test_output_shape(self):
+        layer = make_layer()
+        x = np.random.default_rng(1).normal(size=(2, 3, 6, 6)).astype(np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (2, 4, 6, 6)
+
+    def test_strided_shape(self):
+        layer = make_layer(co=8, f=11, s=4, p=0, shape=(1, 3, 227, 227))
+        x = np.zeros((1, 3, 227, 227), dtype=np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (1, 8, 55, 55)
+
+    def test_matches_direct_convolution(self):
+        layer = make_layer(co=2, f=3, s=1, p=0, shape=(1, 2, 5, 5))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        (y,) = layer.forward([x])
+        w = layer.params[0].data.reshape(2, 2, 3, 3)
+        b = layer.params[1].data
+        # brute-force convolution
+        expected = np.zeros((1, 2, 3, 3), dtype=np.float32)
+        for co in range(2):
+            for oy in range(3):
+                for ox in range(3):
+                    patch = x[0, :, oy:oy + 3, ox:ox + 3]
+                    expected[0, co, oy, ox] = np.sum(patch * w[co]) + b[co]
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-5)
+
+    def test_bias_broadcast(self):
+        layer = make_layer(co=3, f=1, s=1, p=0, shape=(1, 2, 4, 4))
+        layer.params[0].data[...] = 0.0
+        layer.params[1].data[...] = [1.0, 2.0, 3.0]
+        x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+        (y,) = layer.forward([x])
+        assert (y[0, 0] == 1.0).all() and (y[0, 2] == 3.0).all()
+
+    def test_config_captured(self):
+        layer = make_layer(shape=(5, 3, 8, 8))
+        assert layer.config.n == 5 and layer.config.hw == 8
+
+    def test_nonsquare_rejected(self):
+        layer = ConvolutionLayer("conv", 4, 3)
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 3, 6, 7)], np.random.default_rng(0))
+
+
+class TestBackward:
+    def _loss_setup(self, seed=3):
+        layer = make_layer(co=2, f=3, s=1, p=1, shape=(2, 2, 5, 5), seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        dout = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        return layer, x, dout
+
+    def _loss(self, layer, x, dout):
+        (y,) = layer.forward([x])
+        return float(np.sum(y * dout))
+
+    def test_input_gradient(self):
+        layer, x, dout = self._loss_setup()
+        layer.forward([x])
+        (dx,) = layer.backward([dout], [x], [None])
+        num = numeric_gradient(lambda: self._loss(layer, x, dout), x)
+        assert_grad_close(dx, num)
+
+    def test_weight_gradient(self):
+        layer, x, dout = self._loss_setup()
+        layer.forward([x])
+        layer.zero_param_diffs()
+        layer.backward([dout], [x], [None])
+        num = numeric_gradient(lambda: self._loss(layer, x, dout),
+                               layer.params[0].data)
+        assert_grad_close(layer.params[0].diff, num)
+
+    def test_bias_gradient(self):
+        layer, x, dout = self._loss_setup()
+        layer.forward([x])
+        layer.zero_param_diffs()
+        layer.backward([dout], [x], [None])
+        num = numeric_gradient(lambda: self._loss(layer, x, dout),
+                               layer.params[1].data)
+        assert_grad_close(layer.params[1].diff, num)
+
+    def test_gradients_accumulate(self):
+        layer, x, dout = self._loss_setup()
+        layer.forward([x])
+        layer.zero_param_diffs()
+        layer.backward([dout], [x], [None])
+        first = layer.params[0].diff.copy()
+        layer.forward([x])
+        layer.backward([dout], [x], [None])
+        np.testing.assert_allclose(layer.params[0].diff, 2 * first, rtol=1e-5)

@@ -1,0 +1,214 @@
+"""Tests for activation, LRN, inner-product, dropout and concat layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layers import (
+    ConcatLayer,
+    DropoutLayer,
+    InnerProductLayer,
+    LRNLayer,
+    ReLULayer,
+    SigmoidLayer,
+    TanHLayer,
+)
+from tests.conftest import assert_grad_close, numeric_gradient
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def grad_check_elementwise(layer, shape=(2, 3, 4, 4), seed=1, eps=1e-2):
+    layer.setup([shape], RNG(seed))
+    rng = RNG(seed + 1)
+    x = rng.normal(size=shape).astype(np.float32)
+    # keep inputs away from non-differentiable kinks (ReLU at 0) so the
+    # central difference does not straddle them
+    x = np.where(np.abs(x) < 5 * eps, np.sign(x) * 5 * eps + x, x)
+    dout = rng.normal(size=shape).astype(np.float32)
+
+    def loss():
+        return float(np.sum(layer.forward([x])[0] * dout))
+
+    (y,) = layer.forward([x])
+    (dx,) = layer.backward([dout], [x], [y])
+    num = numeric_gradient(loss, x, eps=eps)
+    assert_grad_close(dx, num)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLULayer("r")
+        layer.setup([(1, 4)], RNG())
+        (y,) = layer.forward([np.array([[-1, 0, 2, -3]], dtype=np.float32)])
+        np.testing.assert_array_equal(y, [[0, 0, 2, 0]])
+
+    def test_leaky_relu(self):
+        layer = ReLULayer("r", negative_slope=0.1)
+        layer.setup([(1, 2)], RNG())
+        (y,) = layer.forward([np.array([[-10.0, 10.0]], dtype=np.float32)])
+        np.testing.assert_allclose(y, [[-1.0, 10.0]], rtol=1e-6)
+
+    def test_relu_gradient(self):
+        grad_check_elementwise(ReLULayer("r"))
+
+    def test_sigmoid_range_and_gradient(self):
+        layer = SigmoidLayer("s")
+        layer.setup([(2, 8)], RNG())
+        x = RNG(3).normal(size=(2, 8)).astype(np.float32) * 5
+        (y,) = layer.forward([x])
+        assert (y > 0).all() and (y < 1).all()
+        grad_check_elementwise(SigmoidLayer("s2"), shape=(2, 8))
+
+    def test_sigmoid_extreme_values_stable(self):
+        layer = SigmoidLayer("s")
+        layer.setup([(1, 2)], RNG())
+        (y,) = layer.forward([np.array([[-100.0, 100.0]], dtype=np.float32)])
+        assert np.isfinite(y).all()
+        np.testing.assert_allclose(y, [[0.0, 1.0]], atol=1e-6)
+
+    def test_tanh_gradient(self):
+        grad_check_elementwise(TanHLayer("t"), shape=(3, 5))
+
+
+class TestLRN:
+    def test_identity_when_alpha_zero(self):
+        layer = LRNLayer("n", local_size=5, alpha=0.0, beta=0.75)
+        layer.setup([(1, 8, 3, 3)], RNG())
+        x = RNG(1).normal(size=(1, 8, 3, 3)).astype(np.float32)
+        (y,) = layer.forward([x])
+        np.testing.assert_allclose(y, x, rtol=1e-5)
+
+    def test_matches_reference(self):
+        layer = LRNLayer("n", local_size=3, alpha=0.5, beta=0.75, k=2.0)
+        layer.setup([(1, 4, 1, 1)], RNG())
+        x = np.arange(1, 5, dtype=np.float32).reshape(1, 4, 1, 1)
+        (y,) = layer.forward([x])
+        for c in range(4):
+            lo, hi = max(0, c - 1), min(4, c + 2)
+            scale = 2.0 + (0.5 / 3) * float(np.sum(x[0, lo:hi] ** 2))
+            assert y[0, c, 0, 0] == pytest.approx(
+                x[0, c, 0, 0] * scale ** -0.75, rel=1e-5
+            )
+
+    def test_gradient(self):
+        layer = LRNLayer("n", local_size=3, alpha=0.3, beta=0.75)
+        layer.setup([(2, 5, 2, 2)], RNG())
+        rng = RNG(4)
+        x = rng.normal(size=(2, 5, 2, 2)).astype(np.float32)
+        dout = rng.normal(size=(2, 5, 2, 2)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([x])[0] * dout))
+
+        (y,) = layer.forward([x])
+        (dx,) = layer.backward([dout], [x], [y])
+        num = numeric_gradient(loss, x)
+        assert_grad_close(dx, num)
+
+    def test_even_size_rejected(self):
+        with pytest.raises(NetworkError):
+            LRNLayer("n", local_size=4)
+
+
+class TestInnerProduct:
+    def test_forward_shape_flattens(self):
+        layer = InnerProductLayer("ip", 7)
+        layer.setup([(3, 2, 4, 4)], RNG())
+        x = RNG(1).normal(size=(3, 2, 4, 4)).astype(np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (3, 7)
+
+    def test_linear_algebra(self):
+        layer = InnerProductLayer("ip", 2)
+        layer.setup([(1, 3)], RNG())
+        layer.params[0].data[...] = [[1, 0, 0], [0, 2, 0]]
+        layer.params[1].data[...] = [10, 20]
+        (y,) = layer.forward([np.array([[1, 2, 3]], dtype=np.float32)])
+        np.testing.assert_allclose(y, [[11, 24]])
+
+    def test_gradients(self):
+        layer = InnerProductLayer("ip", 4)
+        layer.setup([(2, 6)], RNG(5))
+        rng = RNG(6)
+        x = rng.normal(size=(2, 6)).astype(np.float32)
+        dout = rng.normal(size=(2, 4)).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([x])[0] * dout))
+
+        layer.forward([x])
+        layer.zero_param_diffs()
+        (dx,) = layer.backward([dout], [x], [None])
+        assert_grad_close(dx, numeric_gradient(loss, x))
+        assert_grad_close(layer.params[0].diff,
+                          numeric_gradient(loss, layer.params[0].data))
+        assert_grad_close(layer.params[1].diff,
+                          numeric_gradient(loss, layer.params[1].data))
+
+    def test_lr_mult_defaults(self):
+        layer = InnerProductLayer("ip", 4)
+        layer.setup([(2, 6)], RNG())
+        assert layer.lr_mult == [1.0, 2.0]
+        assert layer.decay_mult == [1.0, 0.0]
+
+
+class TestDropout:
+    def test_test_mode_identity(self):
+        layer = DropoutLayer("d", 0.5)
+        layer.setup([(4, 10)], RNG())
+        layer.train_mode = False
+        x = RNG(1).normal(size=(4, 10)).astype(np.float32)
+        (y,) = layer.forward([x])
+        np.testing.assert_array_equal(y, x)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = DropoutLayer("d", 0.5)
+        layer.setup([(1, 100_000)], RNG(3))
+        x = np.ones((1, 100_000), dtype=np.float32)
+        (y,) = layer.forward([x])
+        assert float(y.mean()) == pytest.approx(1.0, abs=0.02)
+        assert set(np.unique(y)).issubset({0.0, 2.0})
+
+    def test_backward_uses_same_mask(self):
+        layer = DropoutLayer("d", 0.5)
+        layer.setup([(1, 1000)], RNG(4))
+        x = np.ones((1, 1000), dtype=np.float32)
+        (y,) = layer.forward([x])
+        dout = np.ones_like(x)
+        (dx,) = layer.backward([dout], [x], [y])
+        np.testing.assert_array_equal(dx, y)
+
+    def test_phase_flag(self):
+        assert DropoutLayer("d", 0.5).phase_train_only
+
+    def test_invalid_ratio(self):
+        with pytest.raises(NetworkError):
+            DropoutLayer("d", 1.0)
+
+
+class TestConcat:
+    def test_forward_concatenates_channels(self):
+        layer = ConcatLayer("c")
+        layer.setup([(1, 2, 3, 3), (1, 5, 3, 3)], RNG())
+        a = np.zeros((1, 2, 3, 3), dtype=np.float32)
+        b = np.ones((1, 5, 3, 3), dtype=np.float32)
+        (y,) = layer.forward([a, b])
+        assert y.shape == (1, 7, 3, 3)
+        assert (y[:, :2] == 0).all() and (y[:, 2:] == 1).all()
+
+    def test_backward_splits(self):
+        layer = ConcatLayer("c")
+        layer.setup([(1, 2, 2, 2), (1, 3, 2, 2)], RNG())
+        a = np.zeros((1, 2, 2, 2), dtype=np.float32)
+        b = np.zeros((1, 3, 2, 2), dtype=np.float32)
+        layer.forward([a, b])
+        dout = np.arange(20, dtype=np.float32).reshape(1, 5, 2, 2)
+        da, db = layer.backward([dout], [a, b], [None])
+        np.testing.assert_array_equal(da, dout[:, :2])
+        np.testing.assert_array_equal(db, dout[:, 2:])
+
+    def test_mismatched_spatial_rejected(self):
+        layer = ConcatLayer("c")
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 2, 3, 3), (1, 2, 4, 4)], RNG())

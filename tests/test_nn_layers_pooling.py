@@ -1,0 +1,123 @@
+"""Tests for pooling layers (ceil mode, padding, gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layers import PoolingLayer
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+def make_pool(f=2, s=2, op="max", pad=0, shape=(1, 1, 4, 4), seed=0):
+    layer = PoolingLayer("pool", f, s, op=op, pad=pad)
+    layer.setup([shape], np.random.default_rng(seed))
+    return layer
+
+
+class TestMaxPool:
+    def test_simple_2x2(self):
+        layer = make_pool()
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        (y,) = layer.forward([x])
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_ceil_mode_output_size(self):
+        # Caffe CIFAR10: 32x32, f=3, s=2 -> 16 (ceil)
+        layer = make_pool(f=3, s=2, shape=(1, 1, 32, 32))
+        x = np.zeros((1, 1, 32, 32), dtype=np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (1, 1, 16, 16)
+
+    def test_overhang_ignores_out_of_bounds(self):
+        layer = make_pool(f=3, s=2, shape=(1, 1, 4, 4))
+        x = np.full((1, 1, 4, 4), -5.0, dtype=np.float32)
+        (y,) = layer.forward([x])
+        # padding is -inf, so the max stays -5 even on overhanging windows
+        assert (y == -5.0).all()
+
+    def test_padded_keeps_size(self):
+        # GoogLeNet inception pool: 7x7, f=3, s=1, pad=1 -> 7x7
+        layer = make_pool(f=3, s=1, pad=1, shape=(1, 2, 7, 7))
+        x = np.random.default_rng(0).normal(size=(1, 2, 7, 7)).astype(np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (1, 2, 7, 7)
+
+    def test_gradient(self):
+        layer = make_pool(f=3, s=2, shape=(2, 2, 7, 7))
+        rng = np.random.default_rng(5)
+        # distinct values so the argmax is stable under perturbation
+        x = rng.permutation(2 * 2 * 49).reshape(2, 2, 7, 7).astype(np.float32)
+        dout_shape = layer.forward([x])[0].shape
+        dout = rng.normal(size=dout_shape).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([x])[0] * dout))
+
+        layer.forward([x])
+        (dx,) = layer.backward([dout], [x], [None])
+        num = numeric_gradient(loss, x, eps=1e-1)
+        assert_grad_close(dx, num, rtol=5e-2, atol=5e-3)
+
+    def test_gradient_routes_to_argmax(self):
+        layer = make_pool()
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        layer.forward([x])
+        dout = np.ones((1, 1, 2, 2), dtype=np.float32)
+        (dx,) = layer.backward([dout], [x], [None])
+        assert dx[0, 0, 1, 1] == 1.0  # value 5 was the max of its window
+        assert dx[0, 0, 0, 0] == 0.0
+
+
+class TestAvePool:
+    def test_simple_average(self):
+        layer = make_pool(op="ave")
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        (y,) = layer.forward([x])
+        assert y[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_valid_count_at_edges(self):
+        # 3x3 window, stride 2 on 4x4: last window covers a 2x2 valid region
+        layer = make_pool(f=3, s=2, op="ave", shape=(1, 1, 4, 4))
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        (y,) = layer.forward([x])
+        assert (np.abs(y - 1.0) < 1e-6).all()  # averages of ones stay one
+
+    def test_global_average(self):
+        layer = make_pool(f=7, s=1, op="ave", shape=(2, 3, 7, 7))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        (y,) = layer.forward([x])
+        assert y.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(y[..., 0, 0], x.mean(axis=(2, 3)),
+                                   rtol=1e-4)
+
+    def test_gradient(self):
+        layer = make_pool(f=3, s=2, op="ave", shape=(1, 2, 5, 5))
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        dout_shape = layer.forward([x])[0].shape
+        dout = rng.normal(size=dout_shape).astype(np.float32)
+
+        def loss():
+            return float(np.sum(layer.forward([x])[0] * dout))
+
+        layer.forward([x])
+        (dx,) = layer.backward([dout], [x], [None])
+        num = numeric_gradient(loss, x)
+        assert_grad_close(dx, num)
+
+
+class TestValidation:
+    def test_bad_op(self):
+        with pytest.raises(NetworkError):
+            PoolingLayer("p", 2, 2, op="median")
+
+    def test_bad_pad(self):
+        with pytest.raises(NetworkError):
+            PoolingLayer("p", 2, 2, pad=2)
+
+    def test_two_bottoms_rejected(self):
+        layer = PoolingLayer("p", 2, 2)
+        with pytest.raises(NetworkError):
+            layer.setup([(1, 1, 4, 4), (1, 1, 4, 4)],
+                        np.random.default_rng(0))

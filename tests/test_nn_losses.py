@@ -1,0 +1,171 @@
+"""Tests for loss layers and accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layers import AccuracyLayer
+from repro.nn.layers.losses import (
+    ContrastiveLossLayer,
+    SoftmaxWithLossLayer,
+    softmax,
+)
+from tests.conftest import assert_grad_close, numeric_gradient
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = softmax(RNG(0).normal(size=(5, 10)).astype(np.float32))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_shift_invariance(self):
+        x = RNG(1).normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-4)
+
+    def test_large_logits_stable(self):
+        p = softmax(np.array([[1000.0, 0.0]], dtype=np.float32))
+        assert np.isfinite(p).all()
+
+
+class TestSoftmaxWithLoss:
+    def _layer(self, n=4, k=5):
+        layer = SoftmaxWithLossLayer("loss")
+        layer.setup([(n, k), (n,)], RNG())
+        return layer
+
+    def test_uniform_logits_give_log_k(self):
+        layer = self._layer(n=3, k=10)
+        logits = np.zeros((3, 10), dtype=np.float32)
+        labels = np.array([0, 5, 9], dtype=np.float32)
+        (loss,) = layer.forward([logits, labels])
+        assert float(loss[0]) == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        layer = self._layer(n=2, k=3)
+        logits = np.array([[100, 0, 0], [0, 0, 100]], dtype=np.float32)
+        labels = np.array([0, 2], dtype=np.float32)
+        (loss,) = layer.forward([logits, labels])
+        assert float(loss[0]) < 1e-4
+
+    def test_gradient(self):
+        layer = self._layer()
+        rng = RNG(2)
+        logits = rng.normal(size=(4, 5)).astype(np.float32)
+        labels = rng.integers(0, 5, size=4).astype(np.float32)
+
+        def loss():
+            return float(layer.forward([logits, labels])[0][0])
+
+        layer.forward([logits, labels])
+        grad, none = layer.backward(
+            [np.ones(1, dtype=np.float32)], [logits, labels], [None]
+        )
+        assert none is None
+        assert_grad_close(grad, numeric_gradient(loss, logits, eps=1e-2))
+
+    def test_loss_weight_scales_gradient(self):
+        layer = self._layer()
+        logits = RNG(3).normal(size=(4, 5)).astype(np.float32)
+        labels = np.zeros(4, dtype=np.float32)
+        layer.forward([logits, labels])
+        g1, _ = layer.backward([np.array([1.0], dtype=np.float32)],
+                               [logits, labels], [None])
+        layer.forward([logits, labels])
+        g2, _ = layer.backward([np.array([2.0], dtype=np.float32)],
+                               [logits, labels], [None])
+        np.testing.assert_allclose(g2, 2 * g1, rtol=1e-5)
+
+    def test_is_loss(self):
+        assert self._layer().is_loss
+
+    def test_batch_mismatch_rejected(self):
+        layer = SoftmaxWithLossLayer("loss")
+        with pytest.raises(NetworkError):
+            layer.setup([(4, 5), (3,)], RNG())
+
+
+class TestContrastiveLoss:
+    def _layer(self, n=4, d=3, margin=1.0):
+        layer = ContrastiveLossLayer("loss", margin=margin)
+        layer.setup([(n, d), (n, d), (n,)], RNG())
+        return layer
+
+    def test_identical_similar_pairs_zero_loss(self):
+        layer = self._layer()
+        a = RNG(1).normal(size=(4, 3)).astype(np.float32)
+        sim = np.ones(4, dtype=np.float32)
+        (loss,) = layer.forward([a, a.copy(), sim])
+        assert float(loss[0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_distant_dissimilar_pairs_zero_loss(self):
+        layer = self._layer(margin=1.0)
+        a = np.zeros((2, 3), dtype=np.float32)
+        b = np.full((2, 3), 10.0, dtype=np.float32)
+        sim = np.zeros(2, dtype=np.float32)
+        (loss,) = layer.forward([a, b, sim])
+        assert float(loss[0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_close_dissimilar_pairs_penalized(self):
+        layer = self._layer(margin=2.0)
+        a = np.zeros((1, 3), dtype=np.float32)
+        b = np.full((1, 3), 0.1, dtype=np.float32)
+        sim = np.zeros(1, dtype=np.float32)
+        (loss,) = layer.forward([a, b, sim])
+        assert float(loss[0]) > 0.5
+
+    def test_gradients(self):
+        layer = self._layer()
+        rng = RNG(5)
+        a = rng.normal(size=(4, 3)).astype(np.float32)
+        b = rng.normal(size=(4, 3)).astype(np.float32)
+        sim = rng.integers(0, 2, size=4).astype(np.float32)
+
+        def loss():
+            return float(layer.forward([a, b, sim])[0][0])
+
+        layer.forward([a, b, sim])
+        da, db, dsim = layer.backward(
+            [np.ones(1, dtype=np.float32)], [a, b, sim], [None]
+        )
+        assert dsim is None
+        assert_grad_close(da, numeric_gradient(loss, a, eps=1e-2))
+        assert_grad_close(db, numeric_gradient(loss, b, eps=1e-2))
+
+    def test_antisymmetric_gradients(self):
+        layer = self._layer()
+        rng = RNG(6)
+        a = rng.normal(size=(4, 3)).astype(np.float32)
+        b = rng.normal(size=(4, 3)).astype(np.float32)
+        sim = np.ones(4, dtype=np.float32)
+        layer.forward([a, b, sim])
+        da, db, _ = layer.backward([np.ones(1, dtype=np.float32)],
+                                   [a, b, sim], [None])
+        np.testing.assert_allclose(da, -db, rtol=1e-5)
+
+
+class TestAccuracy:
+    def _layer(self, top_k=1):
+        layer = AccuracyLayer("acc", top_k=top_k)
+        layer.setup([(4, 3), (4,)], RNG())
+        return layer
+
+    def test_top1(self):
+        layer = self._layer()
+        scores = np.array([[9, 0, 0], [0, 9, 0], [0, 9, 0], [0, 0, 9]],
+                          dtype=np.float32)
+        labels = np.array([0, 1, 0, 2], dtype=np.float32)
+        (acc,) = layer.forward([scores, labels])
+        assert float(acc[0]) == pytest.approx(0.75)
+
+    def test_topk(self):
+        layer = self._layer(top_k=2)
+        scores = np.array([[3, 2, 1]] * 4, dtype=np.float32)
+        labels = np.array([1, 1, 2, 0], dtype=np.float32)
+        (acc,) = layer.forward([scores, labels])
+        assert float(acc[0]) == pytest.approx(0.75)
+
+    def test_no_gradients(self):
+        layer = self._layer()
+        assert layer.backward([None], [None, None], [None]) == [None, None]

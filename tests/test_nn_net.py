@@ -1,0 +1,225 @@
+"""Tests for Net wiring, execution and parameter sharing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.layer import LayerDef
+from repro.nn.layers import (
+    ConcatLayer,
+    ConvolutionLayer,
+    InnerProductLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.net import Net
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def tiny_net(seed=0):
+    return Net(
+        "tiny",
+        [
+            LayerDef(InnerProductLayer("ip1", 8), ["data"], ["ip1"]),
+            LayerDef(ReLULayer("relu1"), ["ip1"], ["relu1"]),
+            LayerDef(InnerProductLayer("ip2", 3), ["relu1"], ["ip2"]),
+            LayerDef(SoftmaxWithLossLayer("loss"), ["ip2", "label"], ["loss"]),
+        ],
+        input_shapes={"data": (4, 5), "label": (4,)},
+        seed=seed,
+    )
+
+
+def tiny_batch(seed=1):
+    rng = RNG(seed)
+    return {
+        "data": rng.normal(size=(4, 5)).astype(np.float32),
+        "label": rng.integers(0, 3, size=4).astype(np.float32),
+    }
+
+
+class TestConstruction:
+    def test_shapes_inferred(self):
+        net = tiny_net()
+        assert net.blob_shapes["ip1"] == (4, 8)
+        assert net.blob_shapes["loss"] == (1,)
+
+    def test_unknown_bottom_rejected(self):
+        with pytest.raises(NetworkError, match="not produced yet"):
+            Net("bad",
+                [LayerDef(ReLULayer("r"), ["nope"], ["out"])],
+                input_shapes={"data": (1, 4)})
+
+    def test_duplicate_top_rejected(self):
+        with pytest.raises(NetworkError, match="already exists"):
+            Net("bad",
+                [LayerDef(ReLULayer("r1"), ["data"], ["x"]),
+                 LayerDef(ReLULayer("r2"), ["data"], ["x"])],
+                input_shapes={"data": (1, 4)})
+
+    def test_in_place_rejected(self):
+        with pytest.raises(NetworkError, match="in-place"):
+            Net("bad",
+                [LayerDef(ReLULayer("r"), ["data"], ["data"])],
+                input_shapes={"data": (1, 4)})
+
+    def test_layer_lookup(self):
+        net = tiny_net()
+        assert net.layer("ip1").name == "ip1"
+        with pytest.raises(NetworkError):
+            net.layer("missing")
+
+    def test_deterministic_initialization(self):
+        a, b = tiny_net(seed=3), tiny_net(seed=3)
+        np.testing.assert_array_equal(a.layer("ip1").params[0].data,
+                                      b.layer("ip1").params[0].data)
+
+    def test_different_seeds_differ(self):
+        a, b = tiny_net(seed=3), tiny_net(seed=4)
+        assert not np.array_equal(a.layer("ip1").params[0].data,
+                                  b.layer("ip1").params[0].data)
+
+
+class TestForwardBackward:
+    def test_forward_produces_all_blobs(self):
+        net = tiny_net()
+        blobs = net.forward(tiny_batch())
+        assert set(blobs) >= {"data", "ip1", "relu1", "ip2", "loss"}
+
+    def test_missing_input_rejected(self):
+        net = tiny_net()
+        with pytest.raises(NetworkError, match="missing net inputs"):
+            net.forward({"data": np.zeros((4, 5), dtype=np.float32)})
+
+    def test_wrong_input_shape_rejected(self):
+        net = tiny_net()
+        batch = tiny_batch()
+        batch["data"] = np.zeros((4, 6), dtype=np.float32)
+        with pytest.raises(NetworkError, match="shape"):
+            net.forward(batch)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(NetworkError):
+            tiny_net().backward()
+
+    def test_backward_fills_param_diffs(self):
+        net = tiny_net()
+        net.forward(tiny_batch())
+        net.backward()
+        for blob, _, _ in net.unique_params():
+            assert np.abs(blob.diff).sum() >= 0  # allocated
+        # at least the last layer must receive nonzero gradient
+        assert np.abs(net.layer("ip2").params[0].diff).sum() > 0
+
+    def test_loss_value(self):
+        net = tiny_net()
+        net.forward(tiny_batch())
+        assert net.loss_value() > 0
+
+    def test_no_loss_layer_rejected(self):
+        net = Net("nl", [LayerDef(ReLULayer("r"), ["data"], ["out"])],
+                  input_shapes={"data": (1, 4)})
+        net.forward({"data": np.zeros((1, 4), dtype=np.float32)})
+        with pytest.raises(NetworkError, match="no loss layer"):
+            net.backward()
+
+    def test_fanout_blob_gradients_accumulate(self):
+        """A blob consumed by two branches sums its gradients."""
+        net = Net(
+            "fanout",
+            [
+                LayerDef(InnerProductLayer("a", 4), ["data"], ["a"]),
+                LayerDef(ReLULayer("r1"), ["a"], ["b1"]),
+                LayerDef(ReLULayer("r2"), ["a"], ["b2"]),
+                LayerDef(ConcatLayer("cat"), ["b1", "b2"], ["cat"]),
+                LayerDef(SoftmaxWithLossLayer("loss"), ["cat", "label"],
+                         ["loss"]),
+            ],
+            input_shapes={"data": (2, 3), "label": (2,)},
+        )
+        rng = RNG(9)
+        net.forward({
+            "data": rng.normal(size=(2, 3)).astype(np.float32) + 1.0,
+            "label": np.array([0.0, 1.0], dtype=np.float32),
+        })
+        net.backward()
+        assert "a" in net.blob_diffs
+        assert np.abs(net.blob_diffs["a"]).sum() > 0
+
+
+class TestParamSharing:
+    def _shared_net(self):
+        return Net(
+            "shared",
+            [
+                LayerDef(InnerProductLayer("left", 4), ["x1"], ["l"],
+                         param_key="w"),
+                LayerDef(InnerProductLayer("right", 4), ["x2"], ["r"],
+                         param_key="w"),
+                LayerDef(ConcatLayer("cat"), ["l", "r"], ["cat"]),
+                LayerDef(SoftmaxWithLossLayer("loss"), ["cat", "label"],
+                         ["loss"]),
+            ],
+            input_shapes={"x1": (2, 3), "x2": (2, 3), "label": (2,)},
+        )
+
+    def test_blobs_are_shared(self):
+        net = self._shared_net()
+        assert net.layer("left").params[0] is net.layer("right").params[0]
+
+    def test_unique_params_deduplicates(self):
+        net = self._shared_net()
+        names = [p.name for p, _, _ in net.unique_params()]
+        assert len(names) == len(set(names))
+        assert len([n for n in names if "left" in n]) == 2
+        assert not any("right" in n for n in names)
+
+    def test_shared_gradients_accumulate_from_both_branches(self):
+        net = self._shared_net()
+        rng = RNG(2)
+        batch = {
+            "x1": rng.normal(size=(2, 3)).astype(np.float32),
+            "x2": np.zeros((2, 3), dtype=np.float32),
+            "label": np.array([0.0, 1.0], dtype=np.float32),
+        }
+        net.forward(batch)
+        net.backward()
+        g_both = net.layer("left").params[1].diff.copy()  # bias sees both
+        assert np.abs(g_both).sum() > 0
+
+    def test_mismatched_share_shapes_rejected(self):
+        with pytest.raises(NetworkError, match="shape mismatch"):
+            Net(
+                "bad",
+                [
+                    LayerDef(InnerProductLayer("a", 4), ["x"], ["a"],
+                             param_key="w"),
+                    LayerDef(InnerProductLayer("b", 5), ["a"], ["b"],
+                             param_key="w"),
+                ],
+                input_shapes={"x": (1, 3)},
+            )
+
+
+class TestModes:
+    def test_set_mode_propagates(self):
+        from repro.nn.layers import DropoutLayer
+        net = Net(
+            "drop",
+            [
+                LayerDef(DropoutLayer("d", 0.5), ["data"], ["d"]),
+                LayerDef(InnerProductLayer("ip", 2), ["d"], ["ip"]),
+                LayerDef(SoftmaxWithLossLayer("loss"), ["ip", "label"],
+                         ["loss"]),
+            ],
+            input_shapes={"data": (1, 4), "label": (1,)},
+        )
+        net.set_mode(False)
+        assert net.layer("d").train_mode is False
+        net.set_mode(True)
+        assert net.layer("d").train_mode is True
+
+    def test_num_learnable(self):
+        net = tiny_net()
+        assert net.num_learnable() == (5 * 8 + 8) + (8 * 3 + 3)

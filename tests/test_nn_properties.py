@@ -1,0 +1,124 @@
+"""Property-based tests of the NN framework's mathematical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import (
+    ConvolutionLayer,
+    PoolingLayer,
+    ReLULayer,
+    SoftmaxWithLossLayer,
+)
+from repro.nn.layers.losses import softmax
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+_images = st.tuples(
+    st.integers(1, 3),              # batch
+    st.integers(1, 4),              # channels
+    st.integers(4, 10),             # spatial
+    st.integers(0, 2 ** 31 - 1),    # seed
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_images)
+def test_maxpool_output_bounded_by_input(args):
+    n, c, hw, seed = args
+    layer = PoolingLayer("p", 3, 2, op="max")
+    layer.setup([(n, c, hw, hw)], RNG(0))
+    x = RNG(seed).normal(size=(n, c, hw, hw)).astype(np.float32)
+    (y,) = layer.forward([x])
+    assert float(y.max()) <= float(x.max()) + 1e-6
+    assert float(y.min()) >= float(x.min()) - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(_images)
+def test_avepool_preserves_mean_range(args):
+    n, c, hw, seed = args
+    layer = PoolingLayer("p", 2, 2, op="ave")
+    layer.setup([(n, c, hw, hw)], RNG(0))
+    x = RNG(seed).normal(size=(n, c, hw, hw)).astype(np.float32)
+    (y,) = layer.forward([x])
+    assert float(y.max()) <= float(x.max()) + 1e-5
+    assert float(y.min()) >= float(x.min()) - 1e-5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(2, 12), st.integers(0, 2 ** 31 - 1))
+def test_softmax_is_a_distribution(rows, cols, seed):
+    logits = RNG(seed).normal(scale=5.0, size=(rows, cols)).astype(np.float32)
+    p = softmax(logits)
+    assert (p >= 0).all()
+    np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 6), st.integers(0, 2 ** 31 - 1))
+def test_softmax_loss_lower_bounded_by_zero(batch, classes, seed):
+    layer = SoftmaxWithLossLayer("l")
+    layer.setup([(batch, classes), (batch,)], RNG(0))
+    rng = RNG(seed)
+    logits = rng.normal(scale=3.0, size=(batch, classes)).astype(np.float32)
+    labels = rng.integers(0, classes, batch).astype(np.float32)
+    (loss,) = layer.forward([logits, labels])
+    assert float(loss[0]) >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 6), st.integers(0, 2 ** 31 - 1))
+def test_softmax_loss_gradient_sums_to_zero_per_row(batch, classes, seed):
+    """Softmax gradient rows sum to 0: probability mass is conserved."""
+    layer = SoftmaxWithLossLayer("l")
+    layer.setup([(batch, classes), (batch,)], RNG(0))
+    rng = RNG(seed)
+    logits = rng.normal(size=(batch, classes)).astype(np.float32)
+    labels = rng.integers(0, classes, batch).astype(np.float32)
+    layer.forward([logits, labels])
+    grad, _ = layer.backward([np.ones(1, dtype=np.float32)],
+                             [logits, labels], [None])
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_images)
+def test_relu_is_idempotent(args):
+    n, c, hw, seed = args
+    layer = ReLULayer("r")
+    layer.setup([(n, c, hw, hw)], RNG(0))
+    x = RNG(seed).normal(size=(n, c, hw, hw)).astype(np.float32)
+    (y1,) = layer.forward([x])
+    (y2,) = layer.forward([y1])
+    np.testing.assert_array_equal(y1, y2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 3), st.integers(5, 9),
+       st.integers(0, 2 ** 31 - 1))
+def test_convolution_is_linear_in_input(n, c, hw, seed):
+    """With zero bias, conv(a*x) == a * conv(x)."""
+    layer = ConvolutionLayer("c", 4, 3, pad=1)
+    layer.setup([(n, c, hw, hw)], RNG(1))
+    layer.params[1].data[...] = 0.0
+    x = RNG(seed).normal(size=(n, c, hw, hw)).astype(np.float32)
+    (y1,) = layer.forward([x])
+    (y2,) = layer.forward([2.0 * x])
+    np.testing.assert_allclose(y2, 2.0 * y1, rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_forward_is_deterministic(seed):
+    from repro.nn.zoo import build_cifar10
+    net1 = build_cifar10(batch=2, seed=7, with_accuracy=False)
+    net2 = build_cifar10(batch=2, seed=7, with_accuracy=False)
+    rng = RNG(seed)
+    batch = {
+        "data": rng.normal(size=(2, 3, 32, 32)).astype(np.float32),
+        "label": rng.integers(0, 10, 2).astype(np.float32),
+    }
+    l1 = net1.forward(batch)["loss"][0]
+    l2 = net2.forward(batch)["loss"][0]
+    assert l1 == l2

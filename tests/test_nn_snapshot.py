@@ -1,0 +1,115 @@
+"""Tests for net state dicts and solver snapshots (checkpoint/resume)."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, make_dataset
+from repro.errors import NetworkError
+from repro.nn.solver import Solver, SolverConfig
+from repro.nn.zoo import build_cifar10
+
+
+def fresh_solver(seed=11):
+    net = build_cifar10(batch=20, seed=seed, with_accuracy=False)
+    return Solver(net, SolverConfig(base_lr=0.01, momentum=0.9,
+                                    weight_decay=0.004))
+
+
+def loader(seed=5):
+    return BatchLoader(make_dataset("cifar10", 100, seed=3), 20, seed=seed)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = build_cifar10(batch=4, seed=1)
+        state = net.state_dict()
+        # mutate, then restore
+        for p, _, _ in net.unique_params():
+            p.data += 1.0
+        net.load_state_dict(state)
+        for name, arr in net.state_dict().items():
+            np.testing.assert_array_equal(arr, state[name])
+
+    def test_state_is_a_copy(self):
+        net = build_cifar10(batch=4, seed=1)
+        state = net.state_dict()
+        first = next(iter(state.values()))
+        first += 99.0
+        fresh = net.state_dict()
+        assert not np.array_equal(next(iter(fresh.values())), first)
+
+    def test_missing_key_rejected(self):
+        net = build_cifar10(batch=4, seed=1)
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(NetworkError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = build_cifar10(batch=4, seed=1)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(NetworkError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_transfer_between_identical_nets(self):
+        a = build_cifar10(batch=4, seed=1)
+        b = build_cifar10(batch=4, seed=2)
+        b.load_state_dict(a.state_dict())
+        rng = np.random.default_rng(0)
+        batch = {
+            "data": rng.normal(size=(4, 3, 32, 32)).astype(np.float32),
+            "label": rng.integers(0, 10, 4).astype(np.float32),
+        }
+        la = a.forward(batch)["loss"][0]
+        lb = b.forward(batch)["loss"][0]
+        assert la == lb
+
+
+class TestSolverSnapshot:
+    def test_resume_is_bit_exact(self):
+        """train(10) == train(5) + snapshot/restore + train(5)."""
+        straight = fresh_solver()
+        l1 = loader()
+        losses_straight = [straight.step(l1.next_batch()) for _ in range(10)]
+
+        first = fresh_solver()
+        l2 = loader()
+        for _ in range(5):
+            first.step(l2.next_batch())
+        snap = first.snapshot()
+
+        resumed = fresh_solver(seed=999)   # different init: must not matter
+        resumed.restore(snap)
+        losses_tail = [resumed.step(l2.next_batch()) for _ in range(5)]
+        assert losses_straight[5:] == losses_tail
+        assert resumed.iteration == 10
+
+    def test_snapshot_contains_momentum(self):
+        solver = fresh_solver()
+        l = loader()
+        solver.step(l.next_batch())
+        snap = solver.snapshot()
+        assert snap["momentum"]
+        for v in snap["momentum"].values():
+            assert np.abs(v).sum() > 0
+
+    def test_snapshot_is_isolated(self):
+        solver = fresh_solver()
+        l = loader()
+        solver.step(l.next_batch())
+        snap = solver.snapshot()
+        before = {k: v.copy() for k, v in snap["params"].items()}
+        solver.step(l.next_batch())   # keep training
+        for k in before:
+            np.testing.assert_array_equal(snap["params"][k], before[k])
+
+    def test_restore_rejects_unknown_momentum(self):
+        solver = fresh_solver()
+        l = loader()
+        solver.step(l.next_batch())
+        snap = solver.snapshot()
+        snap["momentum"]["bogus/param"] = np.zeros(3, dtype=np.float32)
+        with pytest.raises(NetworkError):
+            fresh_solver().restore(snap)

@@ -1,0 +1,87 @@
+"""Tests for the Caffe-style training orchestrator."""
+
+import pytest
+
+from repro.data import BatchLoader, make_dataset
+from repro.errors import ReproError
+from repro.nn.solver import Solver, SolverConfig
+from repro.nn.trainer import Trainer
+from repro.nn.zoo import build_cifar10
+
+
+def make_trainer(test_interval=10, test_iter=2, snapshot_interval=0,
+                 display=None):
+    from repro.data.synthetic import Dataset
+    net = build_cifar10(batch=20, seed=3)
+    solver = Solver(net, SolverConfig(base_lr=0.01, momentum=0.9,
+                                      weight_decay=0.004))
+    # one generator call so train and test share the class prototypes
+    full = make_dataset("cifar10", 300, seed=1)
+    train_ds = Dataset("cifar10", full.images[:200], full.labels[:200])
+    test_ds = Dataset("cifar10", full.images[200:], full.labels[200:])
+    train = BatchLoader(train_ds, 20, seed=2)
+    test = BatchLoader(test_ds, 20, seed=4)
+    return Trainer(solver, train, test_loader=test,
+                   test_interval=test_interval, test_iter=test_iter,
+                   snapshot_interval=snapshot_interval, display=display)
+
+
+class TestConstruction:
+    def test_test_interval_requires_loader(self):
+        net = build_cifar10(batch=20, seed=3)
+        solver = Solver(net)
+        train = BatchLoader(make_dataset("cifar10", 100, seed=1), 20)
+        with pytest.raises(ReproError):
+            Trainer(solver, train, test_interval=5)
+
+    def test_invalid_intervals(self):
+        net = build_cifar10(batch=20, seed=3)
+        solver = Solver(net)
+        train = BatchLoader(make_dataset("cifar10", 100, seed=1), 20)
+        with pytest.raises(ReproError):
+            Trainer(solver, train, test_iter=0)
+
+
+class TestLoop:
+    def test_test_phases_fire_on_interval(self):
+        trainer = make_trainer(test_interval=10)
+        events = trainer.run(30)
+        test_events = [e for e in events if e.test_accuracy is not None]
+        assert [e.iteration for e in test_events] == [10, 20, 30]
+        for e in test_events:
+            assert 0.0 <= e.test_accuracy <= 1.0
+            assert e.test_loss > 0
+
+    def test_snapshots_collected(self):
+        trainer = make_trainer(test_interval=0, snapshot_interval=15)
+        trainer.run(30)
+        assert len(trainer.snapshots) == 2
+        assert trainer.snapshots[0]["iteration"] == 15
+
+    def test_display_callback(self):
+        seen = []
+        trainer = make_trainer(test_interval=5, display=seen.append)
+        trainer.run(10)
+        assert len(seen) == 2
+
+    def test_train_mode_restored_after_test(self):
+        trainer = make_trainer(test_interval=5)
+        trainer.run(5)
+        # dropout-free net, but the mode flag must still be train
+        for layer in trainer.solver.net.layers:
+            if hasattr(layer, "train_mode"):
+                assert layer.train_mode
+
+    def test_accuracy_improves_with_training(self):
+        trainer = make_trainer(test_interval=40, test_iter=3)
+        trainer.run(120)
+        accs = [e.test_accuracy for e in trainer.events
+                if e.test_accuracy is not None]
+        assert accs[-1] > accs[0]
+        assert trainer.best_accuracy >= accs[-1] - 1e-9
+
+    def test_best_accuracy_requires_tests(self):
+        trainer = make_trainer(test_interval=0)
+        trainer.run(3)
+        with pytest.raises(ReproError):
+            trainer.best_accuracy

@@ -1,0 +1,192 @@
+"""Tests for the network zoo against the paper's Table 5."""
+
+import numpy as np
+import pytest
+
+from repro.nn.config import ConvConfig
+from repro.nn.zoo import (
+    NETWORKS,
+    NETWORK_ORDER,
+    TABLE5,
+    build_caffenet,
+    build_cifar10,
+    build_googlenet,
+    build_siamese,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestTable5Configs:
+    def test_network_order(self):
+        assert NETWORK_ORDER == ("CIFAR10", "Siamese", "CaffeNet",
+                                 "GoogLeNet")
+
+    def test_row_counts(self):
+        assert len(TABLE5["CIFAR10"]) == 3
+        assert len(TABLE5["Siamese"]) == 4
+        assert len(TABLE5["CaffeNet"]) == 5
+        assert len(TABLE5["GoogLeNet"]) == 6
+
+    @pytest.mark.parametrize("net,name,expect", [
+        ("CIFAR10", "conv1", (100, 3, 32, 32, 5, 1, 2)),
+        ("CIFAR10", "conv3", (100, 32, 8, 64, 5, 1, 2)),
+        ("Siamese", "conv1", (64, 1, 28, 20, 5, 1, 0)),
+        ("Siamese", "conv2_p", (64, 20, 12, 50, 5, 1, 0)),
+        ("CaffeNet", "conv1", (256, 3, 227, 96, 11, 4, 0)),
+        ("CaffeNet", "conv5", (256, 384, 13, 256, 3, 1, 1)),
+        ("GoogLeNet", "conv_1", (32, 160, 7, 320, 3, 1, 1)),
+        ("GoogLeNet", "conv_6", (32, 832, 7, 48, 1, 1, 0)),
+    ])
+    def test_rows_verbatim(self, net, name, expect):
+        cfg = next(c for c in TABLE5[net] if c.name == name)
+        n, ci, hw, co, f, s, p = expect
+        assert (cfg.n, cfg.ci, cfg.hw, cfg.co, cfg.f, cfg.s, cfg.p) == \
+            (n, ci, hw, co, f, s, p)
+
+    def test_out_dims(self):
+        conv1 = TABLE5["CaffeNet"][0]
+        assert conv1.out_hw == 55           # (227 - 11)/4 + 1
+        assert TABLE5["Siamese"][0].out_hw == 24
+
+    def test_gemm_dims(self):
+        conv2 = TABLE5["CaffeNet"][1]
+        assert conv2.k_gemm == 96 * 25
+        assert conv2.out_spatial == 27 * 27
+
+
+class TestCIFAR10Net:
+    def test_conv_shapes_match_table5(self):
+        net = build_cifar10(batch=100)
+        for cfg in TABLE5["CIFAR10"]:
+            layer = net.layer(cfg.name)
+            built = layer.config
+            assert (built.ci, built.hw, built.co, built.f, built.s, built.p) \
+                == (cfg.ci, cfg.hw, cfg.co, cfg.f, cfg.s, cfg.p)
+
+    def test_forward_backward(self):
+        net = build_cifar10(batch=4)
+        rng = RNG(1)
+        blobs = net.forward({
+            "data": rng.normal(size=(4, 3, 32, 32)).astype(np.float32),
+            "label": rng.integers(0, 10, size=4).astype(np.float32),
+        })
+        assert blobs["loss"].shape == (1,)
+        net.backward()
+
+    def test_trains_on_synthetic_data(self):
+        from repro.data import BatchLoader, make_dataset
+        from repro.nn.solver import Solver, SolverConfig
+        net = build_cifar10(batch=50, seed=1)
+        loader = BatchLoader(make_dataset("cifar10", 400, seed=3), 50, seed=7)
+        solver = Solver(net, SolverConfig(base_lr=0.01, momentum=0.9,
+                                          weight_decay=0.004))
+        losses = [solver.step(loader.next_batch()) for _ in range(120)]
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestSiameseNet:
+    def test_conv_shapes_match_table5(self):
+        net = build_siamese(batch=64)
+        for cfg in TABLE5["Siamese"]:
+            built = net.layer(cfg.name).config
+            assert (built.n, built.ci, built.hw, built.co) == \
+                (cfg.n, cfg.ci, cfg.hw, cfg.co)
+
+    def test_twins_share_parameters(self):
+        net = build_siamese(batch=4)
+        for base in ("conv1", "conv2", "ip1", "ip2", "feat"):
+            assert net.layer(base).params[0] is \
+                net.layer(f"{base}_p").params[0]
+
+    def test_branches_compute_identically(self):
+        net = build_siamese(batch=2)
+        rng = RNG(4)
+        x = rng.normal(size=(2, 1, 28, 28)).astype(np.float32)
+        blobs = net.forward({
+            "data": x, "data_p": x.copy(),
+            "sim": np.ones(2, dtype=np.float32),
+        })
+        np.testing.assert_allclose(blobs["feat"], blobs["feat_p"], rtol=1e-5)
+        assert float(blobs["loss"][0]) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestCaffeNet:
+    def test_conv_shapes_match_table5(self):
+        net = build_caffenet(batch=2, classes=10, fc_dim=16)
+        for cfg in TABLE5["CaffeNet"]:
+            built = net.layer(cfg.name).config
+            assert (built.ci, built.hw, built.co, built.f, built.s, built.p) \
+                == (cfg.ci, cfg.hw, cfg.co, cfg.f, cfg.s, cfg.p)
+
+    def test_forward_backward_small(self):
+        net = build_caffenet(batch=2, classes=10, fc_dim=16)
+        rng = RNG(5)
+        net.forward({
+            "data": rng.normal(size=(2, 3, 227, 227)).astype(np.float32),
+            "label": np.array([0.0, 3.0], dtype=np.float32),
+        })
+        net.backward()
+        assert np.isfinite(net.loss_value())
+
+
+class TestGoogLeNet:
+    def test_table5_units_present_with_exact_shapes(self):
+        net = build_googlenet(batch=2, classes=10)
+        for cfg in TABLE5["GoogLeNet"]:
+            built = net.layer(cfg.name).config
+            assert (built.ci, built.hw, built.co, built.f, built.s, built.p) \
+                == (cfg.ci, cfg.hw, cfg.co, cfg.f, cfg.s, cfg.p)
+
+    def test_inception_concat_widths(self):
+        net = build_googlenet(batch=2, classes=10)
+        assert net.blob_shapes["inception_5a/out"] == (2, 832, 7, 7)
+        assert net.blob_shapes["inception_5b/out"] == (2, 1024, 7, 7)
+
+    def test_forward_backward(self):
+        net = build_googlenet(batch=2, classes=10)
+        rng = RNG(6)
+        net.forward({
+            "data": rng.normal(size=(2, 832, 7, 7)).astype(np.float32),
+            "label": np.array([1.0, 2.0], dtype=np.float32),
+        })
+        net.backward()
+        assert np.isfinite(net.loss_value())
+
+
+class TestRegistry:
+    def test_all_networks_registered(self):
+        assert set(NETWORKS) == set(NETWORK_ORDER)
+
+    def test_batches_match_table5(self):
+        assert NETWORKS["CIFAR10"].batch == 100
+        assert NETWORKS["Siamese"].batch == 64
+        assert NETWORKS["CaffeNet"].batch == 256
+        assert NETWORKS["GoogLeNet"].batch == 32
+
+    def test_datasets_match_table4(self):
+        assert NETWORKS["CIFAR10"].dataset == "cifar10"
+        assert NETWORKS["Siamese"].dataset == "mnist"
+        assert NETWORKS["CaffeNet"].dataset == "imagenet"
+
+
+class TestLeNet:
+    def test_builds_and_trains(self):
+        import numpy as np
+        from repro.data import BatchLoader, make_dataset
+        from repro.nn.solver import Solver, SolverConfig
+        from repro.nn.zoo import build_lenet
+        net = build_lenet(batch=32, seed=4)
+        loader = BatchLoader(make_dataset("mnist", 300, seed=2), 32, seed=6)
+        solver = Solver(net, SolverConfig(base_lr=0.02, momentum=0.9))
+        losses = [solver.step(loader.next_batch()) for _ in range(120)]
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_is_the_siamese_branch(self):
+        """LeNet's conv shapes equal the Siamese branch convs (Table 5)."""
+        from repro.nn.zoo import build_lenet
+        net = build_lenet(batch=64)
+        c1 = net.layer("conv1").config
+        c2 = net.layer("conv2").config
+        assert (c1.ci, c1.hw, c1.co, c1.f) == (1, 28, 20, 5)
+        assert (c2.ci, c2.hw, c2.co, c2.f) == (20, 12, 50, 5)

@@ -1,0 +1,106 @@
+"""Tests for the three executors."""
+
+import pytest
+
+from repro.core.framework import GLP4NN
+from repro.gpusim import GPU, get_device
+from repro.nn.zoo.table5 import CIFAR10_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import (
+    FixedStreamExecutor,
+    GLP4NNExecutor,
+    NaiveExecutor,
+)
+from repro.runtime.lowering import lower_conv_forward
+
+
+def fresh(name="P100"):
+    return GPU(get_device(name), record_timeline=False)
+
+
+class TestNaiveExecutor:
+    def test_single_stream_only(self):
+        gpu = GPU(get_device("P100"))
+        ex = NaiveExecutor(gpu)
+        ex.run(lower_conv_forward(SIAMESE_CONVS[0]))
+        assert set(gpu.timeline.by_stream()) == {0}
+
+    def test_run_pass_sums(self):
+        ex = NaiveExecutor(fresh())
+        works = [lower_conv_forward(c) for c in SIAMESE_CONVS[:2]]
+        total = ex.run_pass(works)
+        assert total == pytest.approx(sum(r.elapsed_us for r in ex.runs))
+
+    def test_layer_times_keeps_latest(self):
+        ex = NaiveExecutor(fresh())
+        w = lower_conv_forward(SIAMESE_CONVS[0])
+        ex.run(w)
+        t2 = ex.run(w).elapsed_us
+        assert ex.layer_times()["conv1/forward"] == pytest.approx(t2)
+
+
+class TestFixedStreamExecutor:
+    def test_uses_requested_stream_count(self):
+        gpu = GPU(get_device("P100"))
+        ex = FixedStreamExecutor(gpu, 4)
+        ex.run(lower_conv_forward(SIAMESE_CONVS[1]))
+        lanes = set(gpu.timeline.by_stream())
+        assert len(lanes - {0}) == 4
+
+    def test_more_streams_faster_on_medium_layer(self):
+        w = lower_conv_forward(CIFAR10_CONVS[2])
+        t1 = None
+        times = {}
+        for s in (1, 4, 8):
+            ex = FixedStreamExecutor(fresh(), s)
+            ex.run(w)
+            times[s] = ex.run(w).elapsed_us
+        assert times[4] < times[1]
+        assert times[8] <= times[4] * 1.05
+
+
+class TestGLP4NNExecutor:
+    def test_profiles_then_speeds_up(self):
+        w = lower_conv_forward(CIFAR10_CONVS[2])
+        ex = GLP4NNExecutor(fresh())
+        first = ex.run(w)
+        second = ex.run(w)
+        assert first.profiled and not second.profiled
+        assert second.elapsed_us < first.elapsed_us
+
+    def test_shared_framework_reuses_profiles(self):
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        ex1 = GLP4NNExecutor(gpu, framework=glp)
+        w = lower_conv_forward(CIFAR10_CONVS[2])
+        ex1.run(w)
+        ex2 = GLP4NNExecutor(gpu, framework=glp)
+        run = ex2.run(w)
+        assert not run.profiled   # profile shared through the framework
+
+    def test_warm_up(self):
+        ex = GLP4NNExecutor(fresh())
+        works = [lower_conv_forward(c) for c in SIAMESE_CONVS[:2]]
+        ex.warm_up(works)
+        runs = [ex.run(w) for w in works]
+        assert all(not r.profiled for r in runs)
+
+    def test_beats_naive_on_compute_heavy_layer(self):
+        w = lower_conv_forward(CIFAR10_CONVS[2])
+        naive = NaiveExecutor(fresh())
+        naive.run(w)
+        t_naive = naive.run(w).elapsed_us
+        glp = GLP4NNExecutor(fresh())
+        glp.run(w)
+        t_glp = glp.run(w).elapsed_us
+        assert t_naive / t_glp > 1.5
+
+    def test_degrades_gracefully_on_tiny_layer(self):
+        """Sub-ms layers may lose slightly (paper Fig. 9) but never badly."""
+        w = lower_conv_forward(SIAMESE_CONVS[0])
+        naive = NaiveExecutor(fresh())
+        naive.run(w)
+        t_naive = naive.run(w).elapsed_us
+        glp = GLP4NNExecutor(fresh())
+        glp.run(w)
+        t_glp = glp.run(w).elapsed_us
+        assert t_glp < 1.2 * t_naive

@@ -1,0 +1,132 @@
+"""Tests for the kernel-fusion pass."""
+
+import pytest
+
+from repro.gpusim import GPU, get_device
+from repro.kernels.costmodel import kernel_solo_time_us
+from repro.kernels.ir import KernelChain
+from repro.nn.zoo.table5 import CAFFENET_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import NaiveExecutor
+from repro.runtime.fusion import (
+    fuse_chain,
+    fuse_work,
+    make_fusion_transform,
+    merge_specs,
+)
+from repro.runtime.lowering import lower_conv_forward
+from tests.conftest import small_kernel
+
+DEV = get_device("P100")
+
+
+class TestMergeSpecs:
+    def test_single_kernel_passthrough(self):
+        k = small_kernel("x")
+        assert merge_specs([k]) is k
+
+    def test_work_is_conserved(self):
+        a = small_kernel("a", blocks=2, flops=1000.0, bytes_=100.0)
+        b = small_kernel("b", blocks=4, flops=500.0, bytes_=50.0)
+        fused = merge_specs([a, b])
+        assert fused.total_flops == pytest.approx(a.total_flops + b.total_flops)
+        assert fused.total_bytes == pytest.approx(a.total_bytes + b.total_bytes)
+
+    def test_carrier_geometry(self):
+        a = small_kernel("a", blocks=2, threads=128)
+        b = small_kernel("b", blocks=8, threads=256)   # bigger
+        fused = merge_specs([a, b])
+        assert fused.launch.grid == b.launch.grid
+        assert fused.launch.block == b.launch.block
+
+    def test_max_footprints(self):
+        a = small_kernel("a", smem=4096, regs=33)
+        b = small_kernel("b", smem=1024, regs=63)
+        fused = merge_specs([a, b])
+        assert fused.launch.shared_mem_per_block == 4096
+        assert fused.launch.registers_per_thread == 63
+
+    def test_name_lists_members(self):
+        fused = merge_specs([small_kernel("im2col"), small_kernel("sgemm")])
+        assert fused.name == "fused_im2col_sgemm"
+
+
+class TestFuseChain:
+    def test_small_kernels_collapse(self):
+        chain = KernelChain(tuple(
+            small_kernel(n, blocks=1, flops=100.0) for n in "abc"
+        ))
+        fused = fuse_chain(chain, DEV)
+        assert len(fused) == 1
+
+    def test_large_kernels_untouched(self):
+        big = small_kernel("big", blocks=500, flops=1e6)
+        chain = KernelChain((big, big.retagged("x")))
+        fused = fuse_chain(chain, DEV)
+        assert len(fused) == 2
+
+    def test_mixed_chain_fuses_runs_only(self):
+        tiny = lambda n: small_kernel(n, blocks=1, flops=10.0)
+        big = small_kernel("big", blocks=500, flops=1e6)
+        chain = KernelChain((tiny("a"), tiny("b"), big, tiny("c"), tiny("d")))
+        fused = fuse_chain(chain, DEV)
+        assert [k.name for k in fused] == ["fused_a_b", "big", "fused_c_d"]
+
+    def test_threshold_zero_disables(self):
+        chain = KernelChain(tuple(
+            small_kernel(n, blocks=1, flops=10.0) for n in "ab"
+        ))
+        assert len(fuse_chain(chain, DEV, threshold_us=0.0)) == 2
+
+
+class TestFuseWork:
+    def test_siamese_conv1_fuses_to_one_per_sample(self):
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        fused, report = fuse_work(work, DEV)
+        assert report.kernels_before == 64 * 3
+        assert report.kernels_after == 64
+        assert all(len(c) == 1 for c in fused.parallel_chains)
+
+    def test_big_caffenet_layer_partially_fuses(self):
+        work = lower_conv_forward(CAFFENET_CONVS[1])
+        fused, report = fuse_work(work, DEV)
+        # the big sgemm must survive unfused
+        names = {k.name for c in fused.parallel_chains for k in c}
+        assert any(n == "sgemm" for n in names)
+
+    def test_serial_kernels_untouched(self):
+        from repro.runtime.lowering import lower_conv_backward
+        work = lower_conv_backward(SIAMESE_CONVS[0])
+        fused, _ = fuse_work(work, DEV)
+        assert fused.serial_kernels == work.serial_kernels
+
+    def test_key_preserved(self):
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        fused, _ = fuse_work(work, DEV)
+        assert fused.key == work.key
+
+
+class TestFusionEndToEnd:
+    def test_fusion_speeds_up_launch_bound_layer(self):
+        """The paper's fusion hypothesis: small kernels benefit most."""
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        naive = NaiveExecutor(GPU(DEV, record_timeline=False))
+        naive.run(work)
+        t_plain = naive.run(work).elapsed_us
+
+        fused, _ = fuse_work(work, DEV)
+        naive2 = NaiveExecutor(GPU(DEV, record_timeline=False))
+        naive2.run(fused)
+        t_fused = naive2.run(fused).elapsed_us
+        assert t_fused < 0.55 * t_plain   # ~3 launches -> 1
+
+    def test_transform_plugs_into_framework(self):
+        from repro.core import GLP4NN
+        gpu = GPU(DEV, record_timeline=False)
+        glp = GLP4NN([gpu], work_transform=make_fusion_transform(DEV))
+        work = lower_conv_forward(SIAMESE_CONVS[0])
+        glp.run_layer(gpu, work)
+        run = glp.run_layer(gpu, work)
+        # the profiled/cached kernels are the fused ones
+        profile = glp.tracker.get(gpu, work.key)
+        assert any(k.name.startswith("fused_") for k in profile.kernels)
+        assert run.elapsed_us > 0

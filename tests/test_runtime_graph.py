@@ -1,0 +1,143 @@
+"""Tests for the DAG-dependency kernel dispatcher."""
+
+import pytest
+
+from repro.core import GLP4NN
+from repro.errors import SchedulingError
+from repro.gpusim import GPU, get_device
+from repro.runtime.executor import NaiveExecutor
+from repro.runtime.graph import GraphScheduler, KernelGraph, dispatch_graph
+from tests.conftest import small_kernel
+
+
+def fresh():
+    return GPU(get_device("P100"), record_timeline=True)
+
+
+def diamond(flops=300_000.0) -> KernelGraph:
+    g = KernelGraph("diamond")
+    a = g.add(small_kernel("a", flops=flops, tag="a"))
+    b = g.add(small_kernel("b", flops=flops, tag="b"), deps=[a])
+    c = g.add(small_kernel("c", flops=flops, tag="c"), deps=[a])
+    g.add(small_kernel("d", flops=flops, tag="d"), deps=[b, c])
+    return g
+
+
+class TestKernelGraph:
+    def test_add_and_len(self):
+        g = diamond()
+        assert len(g) == 4
+
+    def test_forward_reference_rejected(self):
+        g = KernelGraph()
+        with pytest.raises(SchedulingError, match="must be added first"):
+            g.add(small_kernel(), deps=[99])
+
+    def test_add_chain_links_serially(self):
+        g = KernelGraph()
+        ids = g.add_chain([small_kernel("x"), small_kernel("y"),
+                           small_kernel("z")])
+        nodes = g.nodes
+        assert nodes[1].deps == (ids[0],)
+        assert nodes[2].deps == (ids[1],)
+
+    def test_sinks(self):
+        g = diamond()
+        assert g.sinks() == [3]
+
+    def test_as_layer_work_is_topological(self):
+        work = diamond().as_layer_work("dmd")
+        (chain,) = work.parallel_chains
+        assert [k.name for k in chain] == ["a", "b", "c", "d"]
+
+    def test_assign_streams_chain_affinity(self):
+        g = KernelGraph()
+        chain = g.add_chain([small_kernel(str(i)) for i in range(4)])
+        assignment = g.assign_streams(4)
+        # one chain stays on one stream
+        assert len({assignment[i] for i in chain}) == 1
+
+    def test_assign_streams_spreads_branches(self):
+        g = diamond()
+        assignment = g.assign_streams(3)
+        # b and c are independent: different streams
+        assert assignment[1] != assignment[2]
+
+    def test_assign_streams_requires_positive(self):
+        with pytest.raises(SchedulingError):
+            diamond().assign_streams(0)
+
+
+class TestDispatchGraph:
+    def test_dependencies_respected(self):
+        gpu = fresh()
+        streams = [gpu.create_stream() for _ in range(3)]
+        dispatch_graph(gpu, diamond(), streams)
+        recs = {r.tag: r for r in gpu.timeline.records}
+        assert recs["b"].start_us >= recs["a"].end_us
+        assert recs["c"].start_us >= recs["a"].end_us
+        assert recs["d"].start_us >= max(recs["b"].end_us, recs["c"].end_us)
+
+    def test_independent_branches_overlap(self):
+        gpu = fresh()
+        streams = [gpu.create_stream() for _ in range(3)]
+        dispatch_graph(gpu, diamond(flops=1_000_000.0), streams)
+        recs = {r.tag: r for r in gpu.timeline.records}
+        assert recs["c"].start_us < recs["b"].end_us  # b, c concurrent
+
+    def test_all_kernels_execute(self):
+        gpu = fresh()
+        streams = [gpu.create_stream() for _ in range(2)]
+        g = diamond()
+        dispatch_graph(gpu, g, streams)
+        assert gpu.kernels_completed == len(g)
+
+    def test_needs_streams(self):
+        with pytest.raises(SchedulingError):
+            dispatch_graph(fresh(), diamond(), [])
+
+    def test_single_stream_equals_serial_order(self):
+        gpu = fresh()
+        dispatch_graph(gpu, diamond(), [gpu.create_stream()])
+        recs = sorted(gpu.timeline.records, key=lambda r: r.start_us)
+        assert [r.tag for r in recs] == ["a", "b", "c", "d"]
+
+
+class TestGraphScheduler:
+    def test_profile_then_dispatch(self):
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        sched = GraphScheduler(glp, gpu)
+        g = diamond()
+        sched.run(g)
+        assert glp.tracker.has(gpu, "diamond/forward")
+        t = sched.run(g)
+        assert t > 0
+        assert gpu.kernels_completed == 2 * len(g)
+
+    def test_wide_graph_beats_serial(self):
+        """Many independent heavy branches: DAG dispatch wins clearly."""
+        def wide():
+            g = KernelGraph("wide")
+            ends = []
+            for i in range(8):
+                ids = g.add_chain([
+                    small_kernel("work", blocks=2, flops=2_000_000.0,
+                                 tag=f"br{i}")
+                ])
+                ends.extend(ids)
+            g.add(small_kernel("join", tag="join"), deps=ends)
+            return g
+
+        gpu_serial = GPU(get_device("P100"), record_timeline=False)
+        serial = NaiveExecutor(gpu_serial)
+        work = wide().as_layer_work("wide")
+        serial.run(work)
+        t_serial = serial.run(work).elapsed_us
+
+        gpu = GPU(get_device("P100"), record_timeline=False)
+        glp = GLP4NN([gpu])
+        sched = GraphScheduler(glp, gpu)
+        sched.run(wide())
+        t_graph = sched.run(wide())
+        assert t_graph < 0.6 * t_serial

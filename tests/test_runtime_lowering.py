@@ -1,0 +1,175 @@
+"""Tests for layer -> kernel lowering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn.config import ConvConfig
+from repro.nn.layers import (
+    ConvolutionLayer,
+    DropoutLayer,
+    InnerProductLayer,
+    LRNLayer,
+    PoolingLayer,
+    ReLULayer,
+)
+from repro.nn.zoo import build_cifar10, build_siamese
+from repro.nn.zoo.table5 import CAFFENET_CONVS, GOOGLENET_CONVS
+from repro.runtime.lowering import (
+    conv_works,
+    lower_conv_backward,
+    lower_conv_forward,
+    lower_layer,
+    lower_net,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestConvForward:
+    def test_one_chain_per_sample(self):
+        cfg = ConvConfig("c", n=7, ci=3, hw=8, co=4, f=3, s=1, p=1)
+        work = lower_conv_forward(cfg)
+        assert len(work.parallel_chains) == 7
+        assert work.serial_kernels == ()
+
+    def test_chain_is_im2col_sgemm_gemmk(self):
+        cfg = ConvConfig("c", n=2, ci=3, hw=8, co=4, f=3, s=1, p=1)
+        chain = lower_conv_forward(cfg).parallel_chains[0]
+        assert [k.name for k in chain] == ["im2col", "sgemm", "gemmk"]
+
+    def test_1x1_conv_skips_im2col(self):
+        cfg = ConvConfig("c", n=2, ci=832, hw=7, co=384, f=1, s=1, p=0)
+        chain = lower_conv_forward(cfg).parallel_chains[0]
+        assert [k.name for k in chain] == ["sgemm", "gemmk"]
+
+    def test_gemm_shape_from_config(self):
+        cfg = CAFFENET_CONVS[1]   # conv2: 256 x 729 x 2400
+        chain = lower_conv_forward(cfg).parallel_chains[0]
+        sgemm = next(k for k in chain if k.name == "sgemm")
+        assert sgemm.total_flops == pytest.approx(
+            2.0 * cfg.co * cfg.out_spatial * cfg.k_gemm
+        )
+
+    def test_tags_carry_sample_index(self):
+        cfg = ConvConfig("conv9", n=3, ci=1, hw=6, co=2, f=3, s=1, p=0)
+        work = lower_conv_forward(cfg)
+        assert work.parallel_chains[2].kernels[0].tag == "conv9/s2"
+
+    def test_key(self):
+        cfg = ConvConfig("conv1", n=1, ci=1, hw=6, co=2, f=3, s=1, p=0)
+        assert lower_conv_forward(cfg).key == "conv1/forward"
+
+
+class TestConvBackward:
+    def test_chains_and_serial_reduction(self):
+        cfg = ConvConfig("c", n=4, ci=3, hw=8, co=4, f=3, s=1, p=1)
+        work = lower_conv_backward(cfg)
+        assert len(work.parallel_chains) == 4
+        names = [k.name for k in work.parallel_chains[0]]
+        assert names == ["sgemm", "sgemm", "col2im"]
+        assert [k.name for k in work.serial_kernels] == ["axpy", "gemmk"]
+
+    def test_1x1_backward_skips_col2im(self):
+        cfg = ConvConfig("c", n=2, ci=16, hw=7, co=8, f=1, s=1, p=0)
+        names = [k.name for k in lower_conv_backward(cfg).parallel_chains[0]]
+        assert names == ["sgemm", "sgemm"]
+
+
+class TestLayerLowering:
+    def test_conv_layer(self):
+        layer = ConvolutionLayer("conv", 4, 3, pad=1)
+        layer.setup([(5, 3, 8, 8)], RNG())
+        work = lower_layer(layer, "forward")
+        assert len(work.parallel_chains) == 5
+
+    def test_conv_before_setup_rejected(self):
+        with pytest.raises(NetworkError):
+            lower_layer(ConvolutionLayer("conv", 4, 3), "forward")
+
+    def test_pooling_whole_batch(self):
+        layer = PoolingLayer("pool", 3, 2)
+        layer.setup([(4, 8, 16, 16)], RNG())
+        work = lower_layer(layer, "forward")
+        assert work.parallel_chains == ()
+        (k,) = work.serial_kernels
+        assert k.name == "maxpool"
+        assert k.launch.total_threads >= 4 * 8 * 8 * 8
+
+    def test_relu(self):
+        layer = ReLULayer("r")
+        layer.setup([(2, 100)], RNG())
+        work = lower_layer(layer, "forward", [(2, 100)])
+        assert work.serial_kernels[0].name == "relu"
+
+    def test_lrn_two_kernels(self):
+        layer = LRNLayer("n")
+        layer.setup([(2, 8, 4, 4)], RNG())
+        work = lower_layer(layer, "forward", [(2, 8, 4, 4)])
+        assert [k.name for k in work.serial_kernels] == \
+            ["lrn_scale", "lrn_output"]
+
+    def test_inner_product_forward_and_backward(self):
+        layer = InnerProductLayer("ip", 10)
+        layer.setup([(4, 20)], RNG())
+        fwd = lower_layer(layer, "forward", [(4, 20)])
+        assert [k.name for k in fwd.serial_kernels] == ["sgemm", "gemmk"]
+        bwd = lower_layer(layer, "backward", [(4, 20)])
+        assert [k.name for k in bwd.serial_kernels] == \
+            ["sgemm", "sgemm", "gemmk"]
+
+    def test_dropout(self):
+        layer = DropoutLayer("d", 0.5)
+        layer.setup([(2, 50)], RNG())
+        work = lower_layer(layer, "forward", [(2, 50)])
+        assert work.serial_kernels[0].name == "dropout"
+
+    def test_accuracy_has_no_gpu_work(self):
+        from repro.nn.layers import AccuracyLayer
+        layer = AccuracyLayer("acc")
+        layer.setup([(2, 5), (2,)], RNG())
+        assert lower_layer(layer, "forward", [(2, 5), (2,)]) is None
+
+
+class TestNetLowering:
+    def test_cifar10_forward_order(self):
+        net = build_cifar10(batch=4)
+        works = lower_net(net, "forward")
+        keys = [w.layer for w in works]
+        assert keys[0] == "conv1"
+        assert "ip2" in keys and "loss" in keys
+        assert "accuracy" not in keys     # host-side
+
+    def test_backward_reversed(self):
+        net = build_cifar10(batch=4, with_accuracy=False)
+        fwd = lower_net(net, "forward")
+        bwd = lower_net(net, "backward")
+        assert bwd[0].layer == fwd[-1].layer
+        assert all(w.phase == "backward" for w in bwd)
+
+    def test_conv_layers_parallel_others_serial(self):
+        net = build_siamese(batch=4)
+        works = lower_net(net, "forward")
+        for w in works:
+            if w.layer.startswith("conv"):
+                assert len(w.parallel_chains) == 4
+            else:
+                assert w.parallel_chains == ()
+
+
+class TestConvWorks:
+    def test_shape_driven_no_net_needed(self):
+        works = conv_works(GOOGLENET_CONVS, "forward")
+        assert len(works) == 6
+        assert works[0].key == "conv_1/forward"
+        assert len(works[0].parallel_chains) == 32
+
+    def test_batch_override(self):
+        works = conv_works(CAFFENET_CONVS[:1], "forward", batch_override=8)
+        assert len(works[0].parallel_chains) == 8
+
+    def test_backward_phase(self):
+        works = conv_works(CAFFENET_CONVS[:1], "backward")
+        assert works[0].phase == "backward"

@@ -1,0 +1,205 @@
+"""Tests for training sessions and metrics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, make_dataset
+from repro.errors import ReproError
+from repro.gpusim import GPU, get_device
+from repro.nn.solver import SolverConfig
+from repro.nn.zoo import build_cifar10
+from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
+from repro.runtime.metrics import TimingSummary, geometric_mean, speedup
+from repro.runtime.session import TrainingSession
+
+
+def fresh():
+    return GPU(get_device("P100"), record_timeline=False)
+
+
+def small_session(executor_cls=NaiveExecutor, numeric=True, seed=0):
+    net = build_cifar10(batch=20, seed=seed, with_accuracy=False)
+    return TrainingSession(
+        net, executor_cls(fresh()),
+        solver_config=SolverConfig(base_lr=0.001, momentum=0.9),
+        compute_numeric=numeric,
+    )
+
+
+def batches(seed=1):
+    ds = make_dataset("cifar10", 100, seed=seed)
+    return BatchLoader(ds, 20, seed=seed + 1)
+
+
+class TestTrainingSession:
+    def test_iteration_records_timing_and_loss(self):
+        session = small_session()
+        loader = batches()
+        t = session.run_iteration(loader.next_batch())
+        assert t.loss > 0
+        assert t.sim_time_us == pytest.approx(t.forward_us + t.backward_us)
+        assert t.forward_us > 0 and t.backward_us > 0
+
+    def test_numeric_requires_batch(self):
+        session = small_session()
+        with pytest.raises(ReproError):
+            session.run_iteration(None)
+
+    def test_timing_only_mode(self):
+        session = small_session(numeric=False)
+        t = session.run_iteration()
+        assert math.isnan(t.loss)
+        assert t.sim_time_us > 0
+
+    def test_steady_state_excludes_warmup(self):
+        session = small_session(GLP4NNExecutor, numeric=False)
+        for _ in range(3):
+            session.run_iteration()
+        steady = session.steady_state_time_us(skip=1)
+        first = session.timings[0].sim_time_us
+        assert steady < first   # profiling iteration excluded
+
+    def test_steady_state_needs_iterations(self):
+        session = small_session(numeric=False)
+        with pytest.raises(ReproError):
+            session.steady_state_time_us()
+
+    def test_run_helper(self):
+        session = small_session()
+        loader = batches()
+        out = session.run(iter(loader), iterations=3)
+        assert len(out) == 3
+        assert session.losses == [t.loss for t in out]
+
+    def test_losses_decrease_over_training(self):
+        session = small_session()
+        loader = batches()
+        for _ in range(60):
+            session.run_iteration(loader.next_batch())
+        assert session.losses[-1] < session.losses[0]
+
+
+class TestConvergenceInvariance:
+    """The core claim: scheduling does not change the numbers."""
+
+    def test_identical_losses_naive_vs_glp4nn(self):
+        s1 = small_session(NaiveExecutor, seed=3)
+        s2 = small_session(GLP4NNExecutor, seed=3)
+        l1 = batches(seed=9)
+        l2 = batches(seed=9)
+        for _ in range(8):
+            s1.run_iteration(l1.next_batch())
+            s2.run_iteration(l2.next_batch())
+        assert s1.losses == s2.losses     # bit-identical
+
+    def test_identical_parameters_after_training(self):
+        s1 = small_session(NaiveExecutor, seed=3)
+        s2 = small_session(GLP4NNExecutor, seed=3)
+        l1, l2 = batches(seed=9), batches(seed=9)
+        for _ in range(5):
+            s1.run_iteration(l1.next_batch())
+            s2.run_iteration(l2.next_batch())
+        for (p1, _, _), (p2, _, _) in zip(s1.net.unique_params(),
+                                          s2.net.unique_params()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_glp4nn_is_faster_per_iteration(self):
+        s1 = small_session(NaiveExecutor, numeric=False)
+        s2 = small_session(GLP4NNExecutor, numeric=False)
+        for _ in range(3):
+            s1.run_iteration()
+            s2.run_iteration()
+        assert s2.steady_state_time_us() < s1.steady_state_time_us()
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_summary(self):
+        s = TimingSummary.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0 and s.minimum == 1.0 and s.maximum == 3.0
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_summary_single_sample(self):
+        assert TimingSummary.of([5.0]).stdev == 0.0
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingSummary.of([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestH2DTransfers:
+    def test_h2d_adds_time(self):
+        s_plain = small_session(numeric=False)
+        net2 = build_cifar10(batch=20, seed=0, with_accuracy=False)
+        s_h2d = TrainingSession(net2, NaiveExecutor(fresh()),
+                                compute_numeric=False, include_h2d=True)
+        t_plain = s_plain.run_iteration().sim_time_us
+        t_h2d = s_h2d.run_iteration().sim_time_us
+        assert t_h2d > t_plain
+
+    def test_h2d_bytes_accounted_on_device(self):
+        net = build_cifar10(batch=20, seed=0, with_accuracy=False)
+        ex = NaiveExecutor(fresh())
+        session = TrainingSession(net, ex, compute_numeric=False,
+                                  include_h2d=True)
+        session.run_iteration()
+        expected = 4 * (20 * 3 * 32 * 32 + 20)   # data + label blobs
+        assert ex.gpu.bytes_copied["h2d"] == expected
+
+
+class TestInference:
+    def test_forward_only_timing(self):
+        session = small_session(numeric=False)
+        t = session.run_inference()
+        assert t.backward_us == 0.0
+        assert t.sim_time_us == t.forward_us > 0
+
+    def test_inference_faster_than_training_iteration(self):
+        s = small_session(numeric=False)
+        train = s.run_iteration()
+        infer = s.run_inference()
+        assert infer.sim_time_us < train.sim_time_us
+
+    def test_numeric_inference_reports_loss(self):
+        session = small_session()
+        loader = batches()
+        t = session.run_inference(loader.next_batch())
+        assert t.loss > 0
+
+    def test_inference_respects_test_mode(self):
+        """Dropout must be off during run_inference and restored after."""
+        from repro.nn.layer import LayerDef
+        from repro.nn.layers import (DropoutLayer, InnerProductLayer,
+                                     SoftmaxWithLossLayer)
+        from repro.nn.net import Net
+        net = Net(
+            "d",
+            [
+                LayerDef(DropoutLayer("drop", 0.5), ["data"], ["dd"]),
+                LayerDef(InnerProductLayer("ip", 3), ["dd"], ["ip"]),
+                LayerDef(SoftmaxWithLossLayer("loss"), ["ip", "label"],
+                         ["loss"]),
+            ],
+            input_shapes={"data": (4, 8), "label": (4,)},
+        )
+        session = TrainingSession(net, NaiveExecutor(fresh()))
+        rng = np.random.default_rng(0)
+        batch = {"data": rng.normal(size=(4, 8)).astype(np.float32),
+                 "label": rng.integers(0, 3, 4).astype(np.float32)}
+        a = session.run_inference(batch).loss
+        b = session.run_inference(batch).loss
+        assert a == b                      # deterministic: no dropout noise
+        assert net.layer("drop").train_mode is True

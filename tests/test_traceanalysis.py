@@ -1,0 +1,84 @@
+"""Tests for timeline trace analysis."""
+
+import pytest
+
+from repro.gpusim import GPU, get_device
+from repro.gpusim.timeline import Timeline, TraceRecord
+from repro.gpusim.traceanalysis import TraceStats, analyze, per_stream_busy
+from repro.nn.zoo.table5 import CIFAR10_CONVS
+from repro.runtime.executor import FixedStreamExecutor, NaiveExecutor
+from repro.runtime.lowering import lower_conv_forward
+
+
+def rec(stream=1, start=0.0, end=10.0, enqueue=None):
+    return TraceRecord(
+        name="k", tag="", stream_id=stream,
+        enqueue_us=start - 1.0 if enqueue is None else enqueue,
+        start_us=start, end_us=end,
+        grid=(1, 1, 1), block=(32, 1, 1), registers=8, shared_mem=0,
+    )
+
+
+class TestAnalyze:
+    def test_empty(self):
+        stats = analyze(Timeline())
+        assert stats.kernels == 0 and stats.busy_us == 0.0
+
+    def test_disjoint_intervals(self):
+        t = Timeline()
+        t.add(rec(start=0, end=10))
+        t.add(rec(start=20, end=25))
+        stats = analyze(t)
+        assert stats.busy_us == pytest.approx(15.0)
+        assert stats.overlap_us == 0.0
+        assert stats.span_us == pytest.approx(25.0)
+        assert stats.busy_fraction == pytest.approx(15 / 25)
+
+    def test_overlapping_intervals(self):
+        t = Timeline()
+        t.add(rec(stream=1, start=0, end=10))
+        t.add(rec(stream=2, start=5, end=15))
+        stats = analyze(t)
+        assert stats.busy_us == pytest.approx(15.0)
+        assert stats.overlap_us == pytest.approx(5.0)
+        assert stats.overlap_fraction == pytest.approx(5 / 15)
+        assert stats.max_concurrency == 2
+
+    def test_launch_gap(self):
+        t = Timeline()
+        t.add(rec(start=0, end=1, enqueue=0.0))
+        t.add(rec(start=2, end=3, enqueue=6.0))
+        t.add(rec(start=4, end=5, enqueue=12.0))
+        assert analyze(t).mean_launch_gap_us == pytest.approx(6.0)
+
+    def test_per_stream_busy(self):
+        t = Timeline()
+        t.add(rec(stream=1, start=0, end=10))
+        t.add(rec(stream=1, start=20, end=25))
+        t.add(rec(stream=2, start=0, end=3))
+        busy = per_stream_busy(t)
+        assert busy[1] == pytest.approx(15.0)
+        assert busy[2] == pytest.approx(3.0)
+
+
+class TestOnRealTraces:
+    def test_multistream_overlaps_naive_does_not(self):
+        work = lower_conv_forward(CIFAR10_CONVS[2])
+
+        g1 = GPU(get_device("P100"))
+        NaiveExecutor(g1).run(work)
+        serial = analyze(g1.timeline)
+        assert serial.overlap_us == 0.0
+
+        g2 = GPU(get_device("P100"))
+        FixedStreamExecutor(g2, 8).run(work)
+        concurrent = analyze(g2.timeline)
+        assert concurrent.overlap_fraction > 0.3
+        assert concurrent.max_concurrency >= 4
+
+    def test_launch_gap_tracks_device_latency(self):
+        work = lower_conv_forward(CIFAR10_CONVS[0])
+        gpu = GPU(get_device("K40C"))
+        NaiveExecutor(gpu).run(work)
+        stats = analyze(gpu.timeline)
+        assert stats.mean_launch_gap_us >= gpu.props.launch_latency_us * 0.9

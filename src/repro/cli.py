@@ -11,6 +11,8 @@ Commands
 ``run <experiment> [...]``
     Run experiments by id (e.g. ``run fig9 table6``) and print their
     result tables.  ``run all`` runs everything (slow: tens of minutes).
+    ``--faults plan.json`` runs them under a deterministic fault-injection
+    plan (see ``docs/fault_injection.md``) and prints the fault summary.
 """
 
 from __future__ import annotations
@@ -97,6 +99,8 @@ def cmd_experiments(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    from contextlib import nullcontext
+
     registry = _experiment_registry()
     targets = list(args.experiment)
     if targets == ["all"]:
@@ -107,12 +111,28 @@ def cmd_run(args) -> int:
               file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
-    for target in targets:
-        t0 = time.perf_counter()
-        result = registry[target]()
-        elapsed = time.perf_counter() - t0
-        print(result.render())
-        print(f"  [{target} regenerated in {elapsed:.1f}s]\n")
+    chaos = nullcontext(None)
+    if getattr(args, "faults", None):
+        from repro.errors import FaultPlanError
+        from repro.faults import FaultPlan, chaos_session
+        try:
+            plan = FaultPlan.load(args.faults)
+        except FaultPlanError as e:
+            print(f"bad fault plan: {e}", file=sys.stderr)
+            return 2
+        chaos = chaos_session(plan)
+    with chaos as injector:
+        for target in targets:
+            t0 = time.perf_counter()
+            result = registry[target]()
+            elapsed = time.perf_counter() - t0
+            print(result.render())
+            print(f"  [{target} regenerated in {elapsed:.1f}s]\n")
+        if injector is not None:
+            summary = injector.summary() or "none fired"
+            print(f"  [fault injection: {summary}; "
+                  f"{injector.fires} fault(s) over "
+                  f"{sum(injector.site_calls.values())} site calls]")
     return 0
 
 
@@ -134,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run experiments by id")
     run.add_argument("experiment", nargs="+",
                      help="experiment ids (or 'all')")
+    run.add_argument("--faults", metavar="PLAN.json", default=None,
+                     help="run under a deterministic fault-injection plan "
+                          "(docs/fault_injection.md)")
     run.set_defaults(fn=cmd_run)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"

@@ -46,10 +46,20 @@ from repro.core.analytical_model import (
 from repro.core.kernel_analyzer import ConcurrencyAnalyzer, ConcurrencyMaintainer, KernelAnalyzer
 from repro.core.predictive_model import PredictiveModel, predictive_analyze_fn
 from repro.core.stream_manager import StreamPool, StreamManager
-from repro.core.runtime_scheduler import RuntimeScheduler, DispatchPolicy
+from repro.core.runtime_scheduler import (
+    DegradePolicy,
+    DispatchPolicy,
+    LayerRun,
+    RuntimeScheduler,
+)
 from repro.core.framework import GLP4NN
 from repro.core.cost import OverheadModel, OverheadReport
-from repro.core.persistence import save_decisions, load_decisions
+from repro.core.persistence import (
+    CacheLoadReport,
+    load_decisions,
+    load_decisions_safe,
+    save_decisions,
+)
 
 __all__ = [
     "KernelProfile",
@@ -68,9 +78,13 @@ __all__ = [
     "StreamManager",
     "RuntimeScheduler",
     "DispatchPolicy",
+    "DegradePolicy",
+    "LayerRun",
     "GLP4NN",
     "OverheadModel",
     "OverheadReport",
     "save_decisions",
     "load_decisions",
+    "load_decisions_safe",
+    "CacheLoadReport",
 ]

@@ -11,7 +11,12 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.kernel_analyzer import AnalyzerFn, KernelAnalyzer
 from repro.core.resource_tracker import ResourceTracker
-from repro.core.runtime_scheduler import DispatchPolicy, LayerRun, RuntimeScheduler
+from repro.core.runtime_scheduler import (
+    DegradePolicy,
+    DispatchPolicy,
+    LayerRun,
+    RuntimeScheduler,
+)
 from repro.core.stream_manager import StreamManager
 from repro.errors import DeviceError
 from repro.gpusim.engine import GPU
@@ -57,6 +62,7 @@ class GLP4NN:
         use_launch_bound: bool = True,
         fixed_streams: int = 1,
         work_transform=None,
+        degrade_policy: Optional[DegradePolicy] = None,
     ) -> None:
         if not gpus:
             raise DeviceError("GLP4NN needs at least one GPU")
@@ -76,6 +82,7 @@ class GLP4NN:
                 gpu, self.tracker, analyzer, self.streams,
                 policy=policy, fixed_streams=fixed_streams,
                 work_transform=work_transform,
+                degrade=degrade_policy,
             )
         self.gpus = list(gpus)
 
@@ -120,6 +127,19 @@ class GLP4NN:
         return save_decisions(self, gpu, path)
 
     def load_decisions(self, gpu: GPU, path) -> int:
-        """Seed ``gpu``'s analyzer from a persisted decision cache."""
+        """Seed ``gpu``'s analyzer from a persisted decision cache.
+
+        Strict: corruption raises.  Sessions that must survive a broken
+        cache should use :meth:`load_decisions_safe` instead.
+        """
         from repro.core.persistence import load_decisions
         return load_decisions(self, gpu, path)
+
+    def load_decisions_safe(self, gpu: GPU, path):
+        """Resilient cache load: quarantine bad entries, never raise.
+
+        Returns a :class:`~repro.core.persistence.CacheLoadReport`; every
+        quarantined layer simply re-profiles on first execution.
+        """
+        from repro.core.persistence import load_decisions_safe
+        return load_decisions_safe(self, gpu, path)

@@ -7,19 +7,30 @@ so a later run can seed its analyzer and skip both the serial profiling
 pass and the MILP solve.
 
 Decisions are only portable between *identical* configurations, so each
-entry is guarded by the device name and a fingerprint of the kernel bounds
-it was derived from; stale entries are ignored on load.
+entry is guarded by the device name and a fingerprint over the kernel
+bounds and counts it was derived from.  Two loading modes exist:
+
+* :func:`load_decisions` — strict: any corruption raises
+  :class:`~repro.errors.SchedulingError` (the historical behavior, for
+  callers that prefer failing fast over silently re-profiling).
+* :func:`load_decisions_safe` — resilient: truncated JSON, wrong format
+  versions, device mismatches and tampered fingerprints are *quarantined*
+  and reported, never raised.  A session that loses its cache simply pays
+  the one-time profiling cost again — it must not crash.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.analytical_model import ConcurrencyDecision, KernelBound
 from repro.core.framework import GLP4NN
 from repro.errors import SchedulingError
+from repro.faults.hooks import fault_poll
 from repro.gpusim.engine import GPU
 
 FORMAT_VERSION = 1
@@ -37,20 +48,54 @@ def _bound_from_dict(d: dict) -> KernelBound:
     return KernelBound(**d)
 
 
+def _entry_fingerprint(entry: dict) -> str:
+    """Digest over the decision payload (everything except the fingerprint).
+
+    Canonical-JSON SHA-256, so any tampering with the counts, ``c_out`` or
+    the kernel bounds an entry was derived from is detectable on load.
+    """
+    payload = {k: v for k, v in entry.items() if k != "fingerprint"}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheLoadReport:
+    """Outcome of a resilient decision-cache load."""
+
+    path: str
+    loaded: int = 0
+    #: ``(layer_key_or_"*", reason)`` per rejected entry; ``"*"`` means the
+    #: whole document was unusable.
+    quarantined: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def describe(self) -> str:
+        lines = [f"decision cache {self.path}: {self.loaded} entries loaded"]
+        for key, reason in self.quarantined:
+            lines.append(f"  quarantined {key}: {reason}")
+        return "\n".join(lines)
+
+
 def save_decisions(framework: GLP4NN, gpu: GPU,
                    path: Union[str, Path]) -> int:
     """Write ``gpu``'s cached decisions to ``path``; returns entry count."""
     maintainer = framework.analyzer_for(gpu).maintainer
     entries = []
     for key, d in maintainer.decisions().items():
-        entries.append({
+        entry = {
             "layer_key": key,
             "device": d.device,
             "counts": d.counts,
             "c_out": d.c_out,
             "occupancy_ratio": d.occupancy_ratio,
             "bounds": [_bound_to_dict(b) for b in d.bounds],
-        })
+        }
+        entry["fingerprint"] = _entry_fingerprint(entry)
+        entries.append(entry)
     doc = {
         "format": FORMAT_VERSION,
         "device": gpu.props.name,
@@ -60,13 +105,41 @@ def save_decisions(framework: GLP4NN, gpu: GPU,
     return len(entries)
 
 
+def _decision_from_entry(entry: dict) -> ConcurrencyDecision:
+    return ConcurrencyDecision(
+        layer_key=entry["layer_key"],
+        device=entry["device"],
+        counts={k: int(v) for k, v in entry["counts"].items()},
+        c_out=int(entry["c_out"]),
+        occupancy_ratio=float(entry["occupancy_ratio"]),
+        bounds=[_bound_from_dict(b) for b in entry["bounds"]],
+        analysis_time_us=0.0,     # already paid in the recording run
+    )
+
+
+def _entry_problem(entry: dict) -> Optional[str]:
+    """Reason an entry is unusable, or ``None`` if it validates."""
+    if not isinstance(entry, dict):
+        return f"entry is not an object: {entry!r}"
+    fingerprint = entry.get("fingerprint")
+    if not fingerprint:
+        return "missing kernel-bound fingerprint"
+    if fingerprint != _entry_fingerprint(entry):
+        return "fingerprint mismatch (tampered or stale entry)"
+    try:
+        _decision_from_entry(entry)
+    except (KeyError, TypeError, ValueError) as e:
+        return f"malformed entry: {e!r}"
+    return None
+
+
 def load_decisions(framework: GLP4NN, gpu: GPU,
                    path: Union[str, Path]) -> int:
     """Seed ``gpu``'s maintainer from ``path``; returns entries loaded.
 
-    Entries recorded for a different device are rejected outright; the
-    kernel-bound fingerprints travel along so a future profile mismatch can
-    be detected by callers comparing against fresh profiles.
+    Strict mode: unsupported formats, device mismatches and tampered
+    fingerprints raise :class:`~repro.errors.SchedulingError`.  Use
+    :func:`load_decisions_safe` when a broken cache must not be fatal.
     """
     doc = json.loads(Path(path).read_text(encoding="utf-8"))
     if doc.get("format") != FORMAT_VERSION:
@@ -81,15 +154,64 @@ def load_decisions(framework: GLP4NN, gpu: GPU,
     maintainer = framework.analyzer_for(gpu).maintainer
     loaded = 0
     for entry in doc["decisions"]:
-        decision = ConcurrencyDecision(
-            layer_key=entry["layer_key"],
-            device=entry["device"],
-            counts={k: int(v) for k, v in entry["counts"].items()},
-            c_out=int(entry["c_out"]),
-            occupancy_ratio=float(entry["occupancy_ratio"]),
-            bounds=[_bound_from_dict(b) for b in entry["bounds"]],
-            analysis_time_us=0.0,     # already paid in the recording run
-        )
-        maintainer.put(decision)
+        problem = _entry_problem(entry)
+        if problem is not None:
+            raise SchedulingError(
+                f"decision cache {path}, entry "
+                f"{entry.get('layer_key', '?')!r}: {problem}"
+            )
+        maintainer.put(_decision_from_entry(entry))
         loaded += 1
     return loaded
+
+
+def load_decisions_safe(framework: GLP4NN, gpu: GPU,
+                        path: Union[str, Path]) -> CacheLoadReport:
+    """Resilient cache load: quarantine what cannot be trusted, keep going.
+
+    Never raises on bad cache contents.  A quarantined entry simply means
+    the corresponding layer re-profiles on first execution, exactly as if
+    the cache had never existed — the graceful-degradation contract.
+    """
+    report = CacheLoadReport(path=str(path))
+    # Fault-injection site: a fired fault models unreadable/corrupt cache
+    # bytes — the whole document is quarantined.
+    if fault_poll("cache_load", str(path)) is not None:
+        report.quarantined.append(("*", "injected fault: cache unreadable"))
+        return report
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as e:
+        report.quarantined.append(("*", f"unreadable: {e}"))
+        return report
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        report.quarantined.append(("*", f"corrupt JSON: {e}"))
+        return report
+    if not isinstance(doc, dict):
+        report.quarantined.append(("*", "document is not an object"))
+        return report
+    if doc.get("format") != FORMAT_VERSION:
+        report.quarantined.append(
+            ("*", f"unsupported format {doc.get('format')!r}"))
+        return report
+    if doc.get("device") != gpu.props.name:
+        report.quarantined.append(
+            ("*", f"recorded on {doc.get('device')!r}, "
+                  f"not {gpu.props.name!r}"))
+        return report
+    entries = doc.get("decisions")
+    if not isinstance(entries, list):
+        report.quarantined.append(("*", "'decisions' is not a list"))
+        return report
+    maintainer = framework.analyzer_for(gpu).maintainer
+    for entry in entries:
+        problem = _entry_problem(entry)
+        key = entry.get("layer_key", "?") if isinstance(entry, dict) else "?"
+        if problem is not None:
+            report.quarantined.append((str(key), problem))
+            continue
+        maintainer.put(_decision_from_entry(entry))
+        report.loaded += 1
+    return report

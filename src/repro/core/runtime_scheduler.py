@@ -14,21 +14,48 @@ Implements the paper's Fig. 6 workflow for each layer execution:
 
 Alternative dispatch policies (single stream, fixed-size pool, all-streams)
 are provided for the motivation experiments (Figs. 2-4) and ablations.
+
+Graceful degradation
+--------------------
+Concurrency is an *optimization*, never a correctness requirement, so every
+failure on the concurrent path has a convergence-invariant fallback:
+
+* transient launch/sync failures are retried with simulated-clock backoff
+  (bounded by :class:`DegradePolicy`; exhaustion raises
+  :class:`~repro.errors.DegradedError` — the sync watchdog);
+* a layer whose stream pool or concurrency decision cannot be obtained
+  (stream-creation failure, dropped profiler records, MILP timeout) falls
+  back to serial dispatch on the default stream — unmodified-Caffe
+  semantics — with the reason recorded on its :class:`LayerRun`;
+* an infeasible analyzer output is clamped to ``C_out = 1`` by the
+  analytical model itself.
+
+The numerics never pass through any of this (the simulator only meters
+time), so degraded and healthy runs train bit-identically.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, TypeVar
 
 from repro.core.kernel_analyzer import KernelAnalyzer
 from repro.core.analytical_model import ConcurrencyDecision
 from repro.core.resource_tracker import ResourceTracker
 from repro.core.stream_manager import StreamManager
-from repro.errors import SchedulingError
+from repro.errors import (
+    DegradedError,
+    FaultInjected,
+    SchedulingError,
+    SolverError,
+    TransientError,
+)
 from repro.gpusim.engine import GPU
+from repro.gpusim.stream import Stream
 from repro.kernels.ir import LayerWork
+
+_T = TypeVar("_T")
 
 
 class DispatchPolicy(enum.Enum):
@@ -38,6 +65,24 @@ class DispatchPolicy(enum.Enum):
     SINGLE = "single"          # everything on the default stream (naive Caffe)
     FIXED = "fixed"            # fixed user-chosen pool size (stream sweeps)
     MAX = "max"                # device concurrency degree (ablation)
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Bounded-retry budget for transient failures.
+
+    Backoff is charged to the *simulated* host clock (never wall clock), so
+    retried runs stay deterministic: the n-th retry of a given call always
+    lands at the same simulated time.
+    """
+
+    max_retries: int = 3
+    backoff_us: float = 50.0
+    backoff_factor: float = 2.0
+
+    def delay_us(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (1-based)."""
+        return self.backoff_us * self.backoff_factor ** (attempt - 1)
 
 
 @dataclass
@@ -50,6 +95,13 @@ class LayerRun:
     streams_used: int
     profiled: bool
     decision: Optional[ConcurrencyDecision] = None
+    #: True when this execution fell back to serial dispatch (or ran with
+    #: no usable decision) because of a failure on the concurrent path.
+    degraded: bool = False
+    #: Human-readable cause of the degradation ("" when not degraded).
+    degrade_reason: str = ""
+    #: Transient-failure retries spent during this execution.
+    retries: int = 0
 
 
 class RuntimeScheduler:
@@ -64,6 +116,7 @@ class RuntimeScheduler:
         policy: DispatchPolicy = DispatchPolicy.MODEL,
         fixed_streams: int = 1,
         work_transform=None,
+        degrade: Optional[DegradePolicy] = None,
     ) -> None:
         self.gpu = gpu
         self.tracker = tracker
@@ -74,6 +127,7 @@ class RuntimeScheduler:
         #: Optional ``LayerWork -> LayerWork`` rewrite applied before both
         #: profiling and dispatch (e.g. the kernel-fusion pass).
         self.work_transform = work_transform
+        self.degrade = degrade or DegradePolicy()
         self.runs: list[LayerRun] = []
 
     # ------------------------------------------------------------------
@@ -82,48 +136,32 @@ class RuntimeScheduler:
         if self.work_transform is not None:
             work = self.work_transform(work)
         start = self.gpu.host_time
-        profiled = False
         decision: Optional[ConcurrencyDecision] = None
+        degraded = False
+        reason = ""
+        retries = 0
 
         if self.policy is DispatchPolicy.MODEL:
             cached = self.analyzer.maintainer.get(work.key)
             if cached is not None:
                 # Decision already known (this run, or loaded from a
                 # persisted cache): dispatch straight away, no profiling.
-                self._dispatch(work, cached.c_out)
-                run = LayerRun(
-                    key=work.key,
-                    device=self.gpu.props.name,
-                    elapsed_us=self.gpu.host_time - start,
-                    streams_used=cached.c_out,
-                    profiled=False,
-                    decision=cached,
-                )
-                self.runs.append(run)
-                return run
-            profile = self.tracker.get(self.gpu, work.key)
-            if profile is None:
-                # First execution: serial run under the tracker.  The
-                # computation itself is performed, so the iteration is not
-                # wasted — only the one-time T_p/T_a overhead is paid.
-                profile = self.tracker.profile_layer(self.gpu, work)
-                decision = self.analyzer.decision_for(profile)
-                # Charge the (measured) analysis time to the host timeline:
-                # the naive implementation analyzes synchronously.
-                self.gpu.host_time += decision.analysis_time_us
-                profiled = True
-                run = LayerRun(
-                    key=work.key,
-                    device=self.gpu.props.name,
-                    elapsed_us=self.gpu.host_time - start,
-                    streams_used=1,
-                    profiled=True,
-                    decision=decision,
-                )
-                self.runs.append(run)
-                return run
-            decision = self.analyzer.decision_for(profile)
-            pool_size = decision.c_out
+                decision = cached
+                pool_size = cached.c_out
+            else:
+                profile = self.tracker.get(self.gpu, work.key)
+                if profile is None:
+                    # First execution: serial profiling run (Fig. 6 left).
+                    return self._profile_first(work, start)
+                try:
+                    decision = self.analyzer.decision_for(profile)
+                    pool_size = decision.c_out
+                except (SolverError, SchedulingError, FaultInjected) as e:
+                    # Decision unobtainable (e.g. solver timeout): run the
+                    # layer serially this iteration; nothing is cached, so
+                    # a later iteration retries the analysis.
+                    degraded, reason = True, f"analyzer unavailable: {e}"
+                    pool_size = 1
         elif self.policy is DispatchPolicy.SINGLE:
             pool_size = 1
         elif self.policy is DispatchPolicy.FIXED:
@@ -133,41 +171,174 @@ class RuntimeScheduler:
         else:  # pragma: no cover - defensive
             raise SchedulingError(f"unknown policy {self.policy}")
 
-        self._dispatch(work, pool_size)
+        streams_used, d_retries, d_reason = self._dispatch(work, pool_size)
+        retries += d_retries
+        if d_reason:
+            degraded, reason = True, d_reason
         run = LayerRun(
             key=work.key,
             device=self.gpu.props.name,
             elapsed_us=self.gpu.host_time - start,
-            streams_used=pool_size,
-            profiled=profiled,
+            streams_used=streams_used,
+            profiled=False,
             decision=decision,
+            degraded=degraded,
+            degrade_reason=reason,
+            retries=retries,
         )
         self.runs.append(run)
         return run
 
     # ------------------------------------------------------------------
-    def _dispatch(self, work: LayerWork, pool_size: int) -> None:
+    def _profile_first(self, work: LayerWork, start: float) -> LayerRun:
+        """First execution of a layer: serial run under the tracker.
+
+        The computation itself is performed, so the iteration is not
+        wasted — only the one-time ``T_p``/``T_a`` overhead is paid.  On
+        profiling or analysis failure the layer still completes serially
+        (the profiling pass *is* a serial execution) and the failure is
+        recorded; nothing is cached, so a later iteration tries again.
+        """
+        retries = 0
+        try:
+            profile, attempts = self._with_retry(
+                lambda: self.tracker.profile_layer(self.gpu, work),
+                f"profiling {work.key!r}",
+            )
+            retries += attempts
+        except DegradedError:
+            raise
+        except (SchedulingError, FaultInjected) as e:
+            # Profiling produced no usable records (or was rejected
+            # outright).  Re-dispatch serially so the layer's work is
+            # guaranteed complete this iteration, whatever state the
+            # failed profiling attempt left behind.
+            _, d_retries, _ = self._dispatch(work, 1)
+            run = LayerRun(
+                key=work.key,
+                device=self.gpu.props.name,
+                elapsed_us=self.gpu.host_time - start,
+                streams_used=1,
+                profiled=False,
+                decision=None,
+                degraded=True,
+                degrade_reason=f"profiling unavailable: {e}",
+                retries=retries + d_retries,
+            )
+            self.runs.append(run)
+            return run
+
+        try:
+            decision = self.analyzer.decision_for(profile)
+        except (SolverError, SchedulingError, FaultInjected) as e:
+            run = LayerRun(
+                key=work.key,
+                device=self.gpu.props.name,
+                elapsed_us=self.gpu.host_time - start,
+                streams_used=1,
+                profiled=True,
+                decision=None,
+                degraded=True,
+                degrade_reason=f"analyzer unavailable: {e}",
+                retries=retries,
+            )
+            self.runs.append(run)
+            return run
+
+        # Charge the (measured) analysis time to the host timeline:
+        # the naive implementation analyzes synchronously.
+        self.gpu.host_time += decision.analysis_time_us
+        run = LayerRun(
+            key=work.key,
+            device=self.gpu.props.name,
+            elapsed_us=self.gpu.host_time - start,
+            streams_used=1,
+            profiled=True,
+            decision=decision,
+            retries=retries,
+        )
+        self.runs.append(run)
+        return run
+
+    # ------------------------------------------------------------------
+    def _with_retry(self, fn: Callable[[], _T], what: str
+                    ) -> tuple[_T, int]:
+        """Run ``fn``, retrying transient failures with simulated backoff.
+
+        Returns ``(result, retries_used)``; raises
+        :class:`~repro.errors.DegradedError` once the budget is exhausted.
+        """
+        policy = self.degrade
+        last: Optional[TransientError] = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                return fn(), attempt
+            except TransientError as e:
+                last = e
+                if attempt < policy.max_retries:
+                    self.gpu.host_time += policy.delay_us(attempt + 1)
+        raise DegradedError(
+            f"{what}: transient failure persisted through "
+            f"{policy.max_retries} retries ({last})"
+        ) from last
+
+    def _launch_with_retry(self, spec, stream: Optional[Stream]) -> int:
+        _, attempts = self._with_retry(
+            lambda: self.gpu.launch(spec, stream=stream),
+            f"launch of {spec.name!r}",
+        )
+        return attempts
+
+    def _sync_with_retry(self) -> int:
+        """The sync watchdog: bounded retries, then DegradedError."""
+        _, attempts = self._with_retry(self.gpu.synchronize, "synchronize")
+        return attempts
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, work: LayerWork, pool_size: int
+                  ) -> tuple[int, int, str]:
+        """Issue the layer's kernels; returns (streams, retries, reason).
+
+        ``reason`` is non-empty when the requested pool could not be
+        obtained and the layer fell back to serial dispatch.
+        """
         gpu = self.gpu
-        if pool_size <= 1:
+        retries = 0
+        reason = ""
+        pool: Optional[list[Stream]] = None
+        if pool_size > 1:
+            try:
+                pool = self.streams.pool(gpu).ensure(pool_size)
+            except FaultInjected as e:
+                pool_size = 1
+                reason = f"stream pool unavailable: {e}"
+        if pool_size <= 1 or pool is None:
             for chain in work.parallel_chains:
                 for spec in chain:
-                    gpu.launch(spec)
+                    retries += self._launch_with_retry(spec, None)
             for spec in work.serial_kernels:
-                gpu.launch(spec)
-            gpu.synchronize()
-            return
-        pool = self.streams.pool(gpu).ensure(pool_size)
+                retries += self._launch_with_retry(spec, None)
+            retries += self._sync_with_retry()
+            return 1, retries, reason
         for i, chain in enumerate(work.parallel_chains):
             stream = pool[i % pool_size]       # round-robin (Section 3.1)
             for spec in chain:
-                gpu.launch(spec, stream=stream)
+                retries += self._launch_with_retry(spec, stream)
         # Whole-batch work goes to the legacy default stream, which waits
         # for all pool streams — the layer's reduction barrier for free.
         for spec in work.serial_kernels:
-            gpu.launch(spec)
-        gpu.synchronize()
+            retries += self._launch_with_retry(spec, None)
+        retries += self._sync_with_retry()
+        return pool_size, retries, reason
 
     # ------------------------------------------------------------------
+    def degraded_runs(self) -> list[LayerRun]:
+        """Every recorded run that fell back (for reports/tests)."""
+        return [r for r in self.runs if r.degraded]
+
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.runs)
+
     def total_time_us(self) -> float:
         return sum(r.elapsed_us for r in self.runs)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import SchedulingError
+from repro.faults.hooks import fault_check
 from repro.gpusim.engine import GPU
 from repro.gpusim.stream import Stream
 
@@ -40,6 +41,9 @@ class StreamPool:
             raise SchedulingError(
                 f"pool of {size} exceeds device concurrency degree {cap}"
             )
+        # Fault-injection site: a fired fault means the pool could not be
+        # obtained; the scheduler falls back to serial dispatch.
+        fault_check("stream_create", self.gpu.props.name)
         while len(self._streams) < size:
             self._streams.append(
                 self.gpu.create_stream(name=f"pool{len(self._streams)}")
@@ -69,13 +73,16 @@ class StreamManager:
     """Machine-wide registry of per-device stream pools."""
 
     def __init__(self) -> None:
-        self._pools: dict[str, StreamPool] = {}
+        self._pools: dict[int, StreamPool] = {}
 
     def pool(self, gpu: GPU) -> StreamPool:
-        key = gpu.props.name
+        # Keyed by device *identity*, not model name: two same-model GPUs
+        # in one machine must not share (or clobber) one pool.
+        key = id(gpu)
         existing = self._pools.get(key)
         if existing is None or existing.gpu is not gpu:
-            # A fresh GPU object (e.g. after reset) invalidates old handles.
+            # A recycled id (old GPU collected, new one allocated at the
+            # same address) invalidates old handles.
             existing = StreamPool(gpu)
             self._pools[key] = existing
         return existing

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ProfilerError
+from repro.faults.hooks import fault_poll
 from repro.cupti.activity import (
     ActivityKind,
     ActivityRecord,
@@ -111,6 +112,11 @@ class CuptiProfiler:
 
     def _on_kernel(self, ke: KernelExecution) -> None:
         spec = ke.spec
+        # Fault-injection site: a fired fault models CUPTI dropping this
+        # activity record (buffer overflow / truncated flush).  The kernel
+        # still ran — only the profile loses the sample.
+        if fault_poll("profiler_record", spec.name) is not None:
+            return
         assert ke.start_time is not None and ke.end_time is not None
         rec = ActivityRecord(
             kind=ActivityKind.KERNEL,

@@ -46,3 +46,43 @@ class NetworkError(ReproError):
 
 class SchedulingError(ReproError):
     """The GLP4NN runtime scheduler was driven through an invalid state."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to clear on retry (launch queue full,
+    momentary driver hiccup).  The runtime scheduler retries these with
+    simulated-clock backoff before degrading.
+    """
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised by the fault-injection subsystem.
+
+    Carries the fault ``site`` (e.g. ``"launch"``, ``"sync"``), the call
+    ``key`` it matched, and the fault ``kind`` (``"transient"`` or
+    ``"persistent"``) so degradation layers and tests can attribute it.
+    """
+
+    def __init__(self, message: str, site: str = "", key: str = "",
+                 kind: str = "persistent") -> None:
+        super().__init__(message)
+        self.site = site
+        self.key = key
+        self.kind = kind
+
+
+class TransientFault(FaultInjected, TransientError):
+    """An injected fault flagged as transient: retrying may succeed."""
+
+    def __init__(self, message: str, site: str = "", key: str = "") -> None:
+        super().__init__(message, site=site, key=key, kind="transient")
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown site, bad trigger)."""
+
+
+class DegradedError(ReproError):
+    """Graceful degradation was exhausted: the retry budget ran out and no
+    safe fallback remained.  Raised only after bounded retries.
+    """

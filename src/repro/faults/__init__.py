@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the GLP4NN runtime.
+
+GLP4NN's core promise is *convergence invariance*: concurrent dispatch must
+never change what the network computes, only when it finishes.  This
+package makes that claim testable under failure: a seedable
+:class:`FaultPlan` describes which runtime sites fail and when, a
+:class:`FaultInjector` evaluates it deterministically, and the runtime's
+graceful-degradation layer (bounded retry with backoff, serial fallback,
+cache quarantine) keeps training alive — with bit-identical numerics.
+
+Injection sites (see :data:`~repro.faults.plan.SITES` and
+``docs/fault_injection.md``): kernel launch, stream-pool creation, CUPTI
+activity records, the analytical model's MILP solve, decision-cache loads
+and device synchronization.
+
+With no plan installed, every hook is a single ``None`` check — fault-free
+runs are behaviorally unchanged.
+"""
+
+from repro.faults.chaos import chaos_session
+from repro.faults.hooks import (
+    active_injector,
+    fault_check,
+    fault_poll,
+    install,
+    uninstall,
+)
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import KINDS, SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultEvent",
+    "SITES",
+    "KINDS",
+    "chaos_session",
+    "install",
+    "uninstall",
+    "active_injector",
+    "fault_check",
+    "fault_poll",
+]

@@ -1,0 +1,42 @@
+"""Chaos-testing entry point: run any workload under a fault plan.
+
+Usage::
+
+    from repro.faults import FaultPlan, chaos_session
+
+    plan = FaultPlan.load("plan.json")
+    with chaos_session(plan, seed=7) as injector:
+        session.run(batches, iterations=20)
+    print(injector.summary())
+
+The context manager installs a fresh :class:`FaultInjector` for the plan,
+restores whatever was installed before on exit (so sessions nest), and
+yields the injector so callers can inspect the fault log afterwards.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.faults.hooks import install
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+
+@contextmanager
+def chaos_session(plan: Union[FaultPlan, str, Path],
+                  seed: Optional[int] = None) -> Iterator[FaultInjector]:
+    """Install ``plan`` (a :class:`FaultPlan` or a path to a plan JSON)
+    for the duration of the ``with`` block; yields the injector."""
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan.load(plan)
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    injector = FaultInjector(plan)
+    previous = install(injector)
+    try:
+        yield injector
+    finally:
+        install(previous)

@@ -1,0 +1,66 @@
+"""Process-wide fault hook the runtime calls into.
+
+This module is deliberately import-light (``repro.errors`` only) so every
+layer of the stack — the GPU engine, the stream manager, the CUPTI
+profiler, the MILP solver and the persistence layer — can call
+:func:`fault_check` / :func:`fault_poll` without creating import cycles.
+
+With no injector installed the hooks are a single ``None`` test: zero
+behavioral change for fault-free runs (the default).  Install via
+:func:`install` or, more usually, :func:`repro.faults.chaos_session`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultSpec
+
+_active: Optional["FaultInjector"] = None
+
+
+def active_injector() -> Optional["FaultInjector"]:
+    """The currently installed injector, or ``None``."""
+    return _active
+
+
+def install(injector: Optional["FaultInjector"]
+            ) -> Optional["FaultInjector"]:
+    """Install ``injector`` as the process-wide fault source.
+
+    Returns the previously installed injector (or ``None``) so callers can
+    restore it — :func:`repro.faults.chaos_session` nests this way.
+    """
+    global _active
+    previous = _active
+    _active = injector
+    return previous
+
+
+def uninstall() -> Optional["FaultInjector"]:
+    """Remove any installed injector; returns what was installed."""
+    return install(None)
+
+
+def fault_check(site: str, key: str = "") -> None:
+    """Raise the injected fault for this call, if one fires.
+
+    Used by sites where the real failure is an exception (kernel launch,
+    synchronize, stream creation, strict cache load).
+    """
+    if _active is not None:
+        _active.check(site, key)
+
+
+def fault_poll(site: str, key: str = "") -> Optional["FaultSpec"]:
+    """Return the firing fault spec for this call, or ``None``.
+
+    Used by sites where the failure is silent data corruption or loss
+    (dropped profiler records, unusable cache entries, forced-infeasible
+    solver output) rather than an exception.
+    """
+    if _active is None:
+        return None
+    return _active.poll(site, key)

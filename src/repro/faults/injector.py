@@ -1,0 +1,132 @@
+"""The fault injector: evaluates a plan against a stream of site calls.
+
+One :class:`FaultInjector` holds the per-spec call counters, the per-spec
+seeded RNGs and the firing log.  Determinism contract: a given
+``(FaultPlan, seed)`` run against the same (deterministic) workload yields
+the same :attr:`events` log and therefore the same simulated timeline —
+the injector has no hidden global state and never consults wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FaultInjected, TransientFault
+from repro.faults.plan import SITES, FaultPlan, FaultSpec
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One firing of one fault spec (for logs, reports and tests)."""
+
+    seq: int            # global firing index (0-based)
+    site: str
+    key: str
+    call_index: int     # the spec's matching-call counter at firing (1-based)
+    spec_index: int     # position of the spec in the plan
+    kind: str
+    effect: str
+
+    def describe(self) -> str:
+        where = f"{self.site}[{self.key}]" if self.key else self.site
+        eff = f" effect={self.effect}" if self.effect else ""
+        return (f"#{self.seq} {self.kind} fault at {where} "
+                f"(call {self.call_index}, spec {self.spec_index}){eff}")
+
+
+class FaultInjector:
+    """Stateful evaluation of a :class:`~repro.faults.plan.FaultPlan`.
+
+    The hook sites call :meth:`poll` (returns the firing spec, or ``None``)
+    or :meth:`check` (raises the corresponding exception).  Which one a site
+    uses depends on whether the failure is an exception in the real system
+    (launch, sync, stream creation) or silent data loss (dropped profiler
+    records, corrupt cache bytes).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: list[FaultEvent] = []
+        #: Calls observed per site (fired or not) — injector telemetry.
+        self.site_calls: dict[str, int] = {site: 0 for site in SITES}
+        self._match_counts = [0] * len(plan.specs)
+        self._fire_counts = [0] * len(plan.specs)
+        # One private RNG per spec, derived from the plan seed and the spec
+        # position only, so reordering unrelated specs cannot change a
+        # spec's firing sequence.
+        self._rngs = [random.Random((plan.seed << 16) ^ (i * 2654435761))
+                      for i in range(len(plan.specs))]
+
+    # ------------------------------------------------------------------
+    def poll(self, site: str, key: str = "") -> Optional[FaultSpec]:
+        """Advance counters for one call at ``site``; return the fault.
+
+        Every spec matching ``(site, key)`` has its counter advanced (and
+        its RNG drawn, for probability triggers) so firing decisions stay
+        independent across specs; the first spec that fires wins.
+        """
+        self.site_calls[site] = self.site_calls.get(site, 0) + 1
+        fired: Optional[FaultSpec] = None
+        fired_index = -1
+        fired_call = 0
+        for i, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(key):
+                continue
+            self._match_counts[i] += 1
+            if not spec.fires_on(self._match_counts[i], self._rngs[i]):
+                continue
+            if (spec.max_fires is not None
+                    and self._fire_counts[i] >= spec.max_fires):
+                continue
+            self._fire_counts[i] += 1
+            if fired is None:
+                fired = spec
+                fired_index = i
+                fired_call = self._match_counts[i]
+        if fired is not None:
+            self.events.append(FaultEvent(
+                seq=len(self.events),
+                site=site,
+                key=key,
+                call_index=fired_call,
+                spec_index=fired_index,
+                kind=fired.kind,
+                effect=fired.effect,
+            ))
+        return fired
+
+    def check(self, site: str, key: str = "") -> None:
+        """Raise :class:`TransientFault` / :class:`FaultInjected` if a
+        fault fires for this call; no-op otherwise."""
+        spec = self.poll(site, key)
+        if spec is None:
+            return
+        msg = spec.message or (
+            f"injected {spec.kind} fault at {site}"
+            + (f" (key={key!r})" if key else "")
+        )
+        if spec.kind == "transient":
+            raise TransientFault(msg, site=site, key=key)
+        raise FaultInjected(msg, site=site, key=key, kind=spec.kind)
+
+    # ------------------------------------------------------------------
+    @property
+    def fires(self) -> int:
+        """Total faults fired so far."""
+        return len(self.events)
+
+    def fires_at(self, site: str) -> int:
+        return sum(1 for e in self.events if e.site == site)
+
+    def summary(self) -> dict[str, int]:
+        """Fired-fault count per site (sites that fired only)."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.site] = out.get(e.site, 0) + 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultInjector(specs={len(self.plan.specs)}, "
+                f"fired={self.fires})")

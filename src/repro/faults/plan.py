@@ -1,0 +1,247 @@
+"""Deterministic fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a seedable, serializable list of :class:`FaultSpec`
+entries.  Each spec names an injection *site* (one of :data:`SITES`), an
+optional ``key`` glob restricting which calls at that site it applies to
+(kernel names at ``launch``/``profiler_record``, device names at
+``stream_create``/``sync``, cache paths at ``cache_load``), a *trigger*
+saying which matching calls fire, and a *kind*:
+
+``transient``
+    The injected failure clears on retry — raised as
+    :class:`~repro.errors.TransientFault`, which the runtime scheduler
+    retries with simulated-clock backoff.
+``persistent``
+    Fires on every triggered call — raised as
+    :class:`~repro.errors.FaultInjected`; the scheduler degrades (serial
+    fallback) instead of retrying.
+
+Triggers (exactly one per spec, or none for "every matching call"):
+
+``{"nth": n}``      fire on the n-th matching call only (1-based)
+``{"every": k}``    fire on every k-th matching call
+``{"after": n}``    fire on every matching call after the n-th
+``{"probability": p}``  fire with probability ``p`` per call, drawn from a
+                    per-spec ``random.Random`` seeded from the plan seed —
+                    the same plan + seed always fires on the same calls
+
+``max_fires`` caps the total number of firings of one spec.  ``effect``
+selects a site-specific failure mode where more than one exists
+(``milp_solve``: ``"timeout"`` (default) or ``"infeasible"``;
+``profiler_record``: ``"drop"``).
+
+Everything is pure data — installing and evaluating plans is
+:mod:`repro.faults.injector`'s job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import FaultPlanError
+
+#: The hook points threaded through the runtime (see docs/fault_injection.md).
+SITES = (
+    "launch",           # GPU.launch — kernel launch rejected
+    "stream_create",    # StreamPool.ensure — stream pool unavailable
+    "profiler_record",  # CuptiProfiler — activity record dropped
+    "milp_solve",       # solve_milp — solver timeout / forced infeasible
+    "cache_load",       # persistence — corrupt/stale decision cache
+    "sync",             # GPU.synchronize — synchronization failure
+)
+
+KINDS = ("transient", "persistent")
+
+#: Allowed ``effect`` values per site ("" means the site's default).
+_EFFECTS = {
+    "milp_solve": ("", "timeout", "infeasible"),
+    "profiler_record": ("", "drop"),
+}
+
+_TRIGGER_FIELDS = ("nth", "every", "after", "probability")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a site, a call filter, a trigger and a failure mode."""
+
+    site: str
+    kind: str = "persistent"
+    key: str = ""                       # fnmatch glob over the call key
+    nth: Optional[int] = None
+    every: Optional[int] = None
+    after: Optional[int] = None
+    probability: Optional[float] = None
+    max_fires: Optional[int] = None
+    effect: str = ""
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; expected one of {SITES}"
+            )
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        set_triggers = [f for f in _TRIGGER_FIELDS
+                        if getattr(self, f) is not None]
+        if len(set_triggers) > 1:
+            raise FaultPlanError(
+                f"fault spec for site {self.site!r} sets multiple triggers: "
+                f"{set_triggers}; pick one of nth/every/after/probability"
+            )
+        for f in ("nth", "every"):
+            v = getattr(self, f)
+            if v is not None and v < 1:
+                raise FaultPlanError(f"{f} must be >= 1, got {v}")
+        if self.after is not None and self.after < 0:
+            raise FaultPlanError(f"after must be >= 0, got {self.after}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise FaultPlanError(
+                f"max_fires must be >= 0, got {self.max_fires}"
+            )
+        allowed = _EFFECTS.get(self.site, ("",))
+        if self.effect not in allowed:
+            raise FaultPlanError(
+                f"effect {self.effect!r} is not valid for site {self.site!r} "
+                f"(allowed: {[e for e in allowed if e] or ['<none>']})"
+            )
+
+    # ------------------------------------------------------------------
+    def matches(self, key: str) -> bool:
+        """Does this spec apply to a call with ``key`` at its site?"""
+        return not self.key or fnmatchcase(key, self.key)
+
+    def fires_on(self, n: int, rng) -> bool:
+        """Trigger decision for the ``n``-th matching call (1-based).
+
+        ``rng`` is the spec's private seeded generator; it is drawn from on
+        every matching call when a ``probability`` trigger is set, so the
+        firing sequence depends only on the plan seed and the call order.
+        """
+        if self.nth is not None:
+            return n == self.nth
+        if self.every is not None:
+            return n % self.every == 0
+        if self.after is not None:
+            return n > self.after
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True      # untriggered spec: every matching call
+
+    def to_dict(self) -> dict:
+        out: dict = {"site": self.site, "kind": self.kind}
+        if self.key:
+            out["key"] = self.key
+        trigger = {f: getattr(self, f) for f in _TRIGGER_FIELDS
+                   if getattr(self, f) is not None}
+        if trigger:
+            out["trigger"] = trigger
+        if self.max_fires is not None:
+            out["max_fires"] = self.max_fires
+        if self.effect:
+            out["effect"] = self.effect
+        if self.message:
+            out["message"] = self.message
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        if not isinstance(d, dict):
+            raise FaultPlanError(f"fault spec must be an object, got {d!r}")
+        known = {"site", "kind", "key", "trigger", "max_fires", "effect",
+                 "message"}
+        unknown = set(d) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault spec field(s): {sorted(unknown)}"
+            )
+        trigger = d.get("trigger", {})
+        if not isinstance(trigger, dict):
+            raise FaultPlanError(f"trigger must be an object, got {trigger!r}")
+        bad = set(trigger) - set(_TRIGGER_FIELDS)
+        if bad:
+            raise FaultPlanError(f"unknown trigger field(s): {sorted(bad)}")
+        return cls(
+            site=d.get("site", ""),
+            kind=d.get("kind", "persistent"),
+            key=d.get("key", ""),
+            nth=trigger.get("nth"),
+            every=trigger.get("every"),
+            after=trigger.get("after"),
+            probability=trigger.get("probability"),
+            max_fires=d.get("max_fires"),
+            effect=d.get("effect", ""),
+            message=d.get("message", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of fault specs.
+
+    The plan is immutable; :meth:`with_seed` returns a reseeded copy.  The
+    same plan applied to the same deterministic workload produces the same
+    fault sequence (see :class:`~repro.faults.injector.FaultInjector`).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=int(seed))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {"seed": self.seed,
+                     "faults": [s.to_dict() for s in self.specs]}
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        if not isinstance(d, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {d!r}")
+        faults = d.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("'faults' must be a list of fault specs")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in faults),
+            seed=int(d.get("seed", 0)),
+            name=str(d.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as e:
+            raise FaultPlanError(f"cannot read fault plan {path}: {e}") from e
+        except json.JSONDecodeError as e:
+            raise FaultPlanError(f"fault plan {path} is not valid JSON: {e}"
+                                 ) from e
+        return cls.from_dict(doc)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.errors import DeviceError, SimulationError
+from repro.faults.hooks import fault_check
 from repro.gpusim.device import DeviceProperties
 from repro.gpusim.kernel import KernelSpec, LaunchConfig
 from repro.gpusim.memory import DeviceAllocator
@@ -303,6 +304,9 @@ class GPU:
         caller's per-thread clock instead of the single host thread's
         serialized pipeline.  It must not lie in the device's past.
         """
+        # Fault-injection site: fires *before* any engine state changes, so
+        # a rejected launch can be retried without corrupting the timeline.
+        fault_check("launch", spec.name)
         stream = self._check_stream(stream)
         validate_launch(self.props, spec.launch)
 
@@ -620,6 +624,9 @@ class GPU:
         Adds the host-side synchronization overhead (grows with the number
         of distinct streams touched since the previous synchronization).
         """
+        # Fault-injection site: fires before event processing, so a failed
+        # synchronize leaves all pending work intact for the retry.
+        fault_check("sync", self.props.name)
         self._run_until(lambda: self._pending_ops == 0)
         cost = (
             self.props.sync_base_us

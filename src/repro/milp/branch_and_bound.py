@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import SolverError
+from repro.faults.hooks import fault_poll
 from repro.milp.simplex import LinearProgram, solve_lp
 from repro.milp.solution import SolveStatus
 
@@ -59,6 +60,14 @@ def solve_milp(
         Node budget; exceeding it raises :class:`~repro.errors.SolverError`
         rather than silently returning a possibly suboptimal answer.
     """
+    # Fault-injection site: "timeout" raises (degrade-to-serial upstream);
+    # "infeasible" forces the no-solution path (C_out clamped to 1).
+    fault = fault_poll("milp_solve")
+    if fault is not None:
+        if fault.effect == "infeasible":
+            return MilpResult(SolveStatus.INFEASIBLE, nodes=0, iterations=0)
+        raise SolverError(fault.message or "injected fault: MILP solve "
+                          "exceeded its time budget")
     integers = list(integers)
     root = solve_lp(lp)
     total_iters = root.iterations

@@ -12,19 +12,13 @@ the Fig. 11 convergence experiment (numeric + timing).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
-import math
-
 from repro.errors import ReproError
-from repro.kernels.ir import LayerWork
-
-
-def _prod(shape) -> int:
-    return math.prod(shape)
 from repro.nn.net import Net
 from repro.nn.solver import Solver, SolverConfig
 from repro.runtime.executor import Executor
@@ -78,7 +72,7 @@ class TrainingSession:
         #: the default stream in both executors, so comparisons stay fair.
         self.include_h2d = include_h2d
         self._input_bytes = sum(
-            4 * _prod(net.blob_shapes[name]) for name in net.input_names
+            4 * math.prod(net.blob_shapes[name]) for name in net.input_names
         )
         self.timings: list[IterationTiming] = []
         self._iteration = 0
@@ -179,3 +173,24 @@ class TrainingSession:
     @property
     def losses(self) -> list[float]:
         return [t.loss for t in self.timings]
+
+    # ------------------------------------------------------------------
+    # Graceful-degradation surface
+    # ------------------------------------------------------------------
+    def degraded_layers(self) -> dict[str, str]:
+        """Layer-phase key -> most recent degradation reason.
+
+        Empty when every layer ran on its intended concurrent path.  A
+        populated map means the scheduler fell back (serial dispatch,
+        retried transients, unusable decisions) — the training numerics
+        are unaffected by construction, only ``sim_time_us`` moves.
+        """
+        out: dict[str, str] = {}
+        for r in self.executor.scheduler.runs:
+            if r.degraded:
+                out[r.key] = r.degrade_reason
+        return out
+
+    def total_retries(self) -> int:
+        """Transient-failure retries spent across all recorded layer runs."""
+        return self.executor.scheduler.total_retries()

@@ -101,3 +101,128 @@ class TestGuards:
         glp2.load_decisions(gpu2, path)
         for d in glp2.decisions(gpu2).values():
             assert d.analysis_time_us == 0.0
+
+
+class TestSafeLoad:
+    """``load_decisions_safe`` must never crash — only quarantine."""
+
+    def saved_cache(self, tmp_path):
+        glp, gpu = warmed_framework()
+        path = tmp_path / "d.json"
+        glp.save_decisions(gpu, path)
+        return path
+
+    def test_good_cache_loads_everything(self, tmp_path):
+        path = self.saved_cache(tmp_path)
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.ok
+        assert report.loaded == 3
+        assert report.quarantined == []
+        assert len(glp.decisions(gpu)) == 3
+
+    def test_missing_file_quarantined(self, tmp_path):
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, tmp_path / "nope.json")
+        assert report.loaded == 0
+        assert report.quarantined[0][0] == "*"
+        assert "unreadable" in report.quarantined[0][1]
+
+    def test_truncated_json_quarantined(self, tmp_path):
+        path = self.saved_cache(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.loaded == 0
+        assert "corrupt JSON" in report.quarantined[0][1]
+
+    def test_wrong_format_version_quarantined(self, tmp_path):
+        path = tmp_path / "d.json"
+        path.write_text('{"format": 99, "device": "P100", "decisions": []}')
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.loaded == 0
+        assert "unsupported format" in report.quarantined[0][1]
+
+    def test_device_mismatch_quarantined(self, tmp_path):
+        path = self.saved_cache(tmp_path)
+        k40 = fresh("K40C")
+        glp = GLP4NN([k40])
+        report = glp.load_decisions_safe(k40, path)
+        assert report.loaded == 0
+        assert "recorded on" in report.quarantined[0][1]
+
+    def test_non_object_document_quarantined(self, tmp_path):
+        path = tmp_path / "d.json"
+        path.write_text("[1, 2, 3]")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.loaded == 0
+        assert "not an object" in report.quarantined[0][1]
+
+    def test_tampered_entry_quarantined_others_load(self, tmp_path):
+        import json
+
+        path = self.saved_cache(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["decisions"][1]["c_out"] = 999          # tamper one entry
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.loaded == 2                   # the intact entries
+        assert len(report.quarantined) == 1
+        key, reason = report.quarantined[0]
+        assert key == doc["decisions"][1]["layer_key"]
+        assert "fingerprint mismatch" in reason
+        assert key not in glp.decisions(gpu)
+        assert "quarantined" in report.describe()
+
+    def test_missing_fingerprint_quarantined(self, tmp_path):
+        import json
+
+        path = self.saved_cache(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        del doc["decisions"][0]["fingerprint"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert report.loaded == 2
+        assert "missing kernel-bound fingerprint" in report.quarantined[0][1]
+
+    def test_quarantined_layer_simply_reprofiles(self, tmp_path):
+        import json
+
+        path = self.saved_cache(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        victim = doc["decisions"][2]["layer_key"]
+        doc["decisions"][2]["counts"] = {}          # stale/tampered
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        report = glp.load_decisions_safe(gpu, path)
+        assert not report.ok
+        work = lower_conv_forward(CIFAR10_CONVS[2])
+        assert work.key == victim
+        run = glp.run_layer(gpu, work)
+        assert run.profiled                         # paid T_p again, no crash
+        assert run.decision is not None
+
+    def test_strict_load_rejects_tampered_entry(self, tmp_path):
+        import json
+
+        path = self.saved_cache(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["decisions"][0]["c_out"] = 999
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        gpu = fresh()
+        glp = GLP4NN([gpu])
+        with pytest.raises(SchedulingError, match="fingerprint"):
+            glp.load_decisions(gpu, path)

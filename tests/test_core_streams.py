@@ -72,3 +72,19 @@ class TestStreamManager:
         pool2 = mgr.pool(g2)
         assert pool2 is not pool1
         assert pool2.size == 0
+
+    def test_two_same_model_gpus_get_distinct_pools(self):
+        # regression: pools used to be keyed by device *name*, so two
+        # same-model GPUs silently shared (and cross-grew) one pool
+        mgr = StreamManager()
+        g1 = GPU(get_device("P100"))
+        g2 = GPU(get_device("P100"))
+        p1 = mgr.pool(g1)
+        p2 = mgr.pool(g2)
+        assert p1 is not p2
+        assert len(mgr) == 2
+        p1.ensure(4)
+        assert p2.size == 0
+        assert mgr.pool(g1) is p1
+        assert mgr.pool(g2) is p2
+        assert p1.gpu is g1 and p2.gpu is g2

@@ -17,6 +17,11 @@ class TestHierarchy:
         errors.UnboundedError,
         errors.NetworkError,
         errors.SchedulingError,
+        errors.TransientError,
+        errors.FaultInjected,
+        errors.TransientFault,
+        errors.FaultPlanError,
+        errors.DegradedError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, errors.ReproError)
@@ -31,6 +36,17 @@ class TestHierarchy:
     def test_catchable_as_base(self):
         with pytest.raises(errors.ReproError):
             raise errors.SchedulingError("x")
+
+    def test_transient_fault_is_both(self):
+        # retry logic catches TransientError; fault accounting catches
+        # FaultInjected — an injected transient must satisfy both
+        assert issubclass(errors.TransientFault, errors.TransientError)
+        assert issubclass(errors.TransientFault, errors.FaultInjected)
+
+    def test_fault_injected_carries_site_metadata(self):
+        e = errors.FaultInjected("boom", site="launch", key="sgemm",
+                                 kind="transient")
+        assert (e.site, e.key, e.kind) == ("launch", "sgemm", "transient")
 
 
 class TestUsageSurfaces:

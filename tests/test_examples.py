@@ -1,5 +1,6 @@
 """Smoke tests for the example scripts."""
 
+import os
 import pathlib
 import py_compile
 import subprocess
@@ -10,6 +11,20 @@ import pytest
 EXAMPLES = sorted(
     (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
 )
+
+
+def example_env() -> dict:
+    """Subprocess environment with ``<repo>/src`` on ``PYTHONPATH``.
+
+    The examples import ``repro`` from the source tree; a bare
+    ``sys.executable`` subprocess would not find it unless the package is
+    installed.  Every example-subprocess test must use this env.
+    """
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 def test_examples_exist():
@@ -27,6 +42,7 @@ def test_quickstart_runs_end_to_end(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
         capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        env=example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert "GLP4NN" in result.stdout

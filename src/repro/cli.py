@@ -13,6 +13,11 @@ Commands
     result tables.  ``run all`` runs everything (slow: tens of minutes).
     ``--faults plan.json`` runs them under a deterministic fault-injection
     plan (see ``docs/fault_injection.md``) and prints the fault summary.
+``serve``
+    Simulated inference serving: generate an open-loop arrival trace and
+    serve it through one or all executors with dynamic batching and
+    SLO-aware admission control (see ``docs/serving.md``), e.g.
+    ``serve --net cifar10 --device titan-xp --rps 500 --slo-ms 10``.
 """
 
 from __future__ import annotations
@@ -107,8 +112,18 @@ def cmd_run(args) -> int:
         targets = list(registry)
     unknown = [t for t in targets if t not in registry]
     if unknown:
+        import difflib
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
+        suggestions = sorted({
+            match
+            for t in unknown
+            for match in difflib.get_close_matches(t, registry, n=3,
+                                                   cutoff=0.5)
+        })
+        if suggestions:
+            print(f"did you mean: {', '.join(suggestions)}?",
+                  file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
     chaos = nullcontext(None)
@@ -136,6 +151,69 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.errors import ReproError
+    from repro.serve import (
+        EXECUTOR_KINDS,
+        comparison_table,
+        make_trace,
+        serve_trace,
+    )
+    from repro.serve.queue import OverflowPolicy, QueueOrder
+
+    kinds = (list(EXECUTOR_KINDS) if args.executor == "all"
+             else [args.executor])
+    chaos = nullcontext(None)
+    if args.faults:
+        from repro.errors import FaultPlanError
+        from repro.faults import FaultPlan, chaos_session
+        try:
+            plan = FaultPlan.load(args.faults)
+        except FaultPlanError as e:
+            print(f"bad fault plan: {e}", file=sys.stderr)
+            return 2
+        chaos = chaos_session(plan)
+    injector = None
+    try:
+        trace = make_trace(args.trace, rps=args.rps,
+                           duration_us=args.duration_ms * 1e3,
+                           slo_us=args.slo_ms * 1e3, seed=args.seed)
+        reports = []
+        with chaos as injector:
+            for kind in kinds:
+                reports.append(serve_trace(
+                    args.net, args.device, kind, trace,
+                    fixed_streams=args.streams,
+                    max_batch=args.max_batch,
+                    max_wait_us=args.max_wait_us,
+                    queue_capacity=args.queue_capacity,
+                    overflow=OverflowPolicy(args.overflow),
+                    order=QueueOrder(args.order),
+                    slo_admission=not args.no_admission,
+                    seed=args.seed,
+                    warmup=not args.no_warmup,
+                ))
+    except ReproError as e:
+        print(f"serve failed: {e}", file=sys.stderr)
+        return 2
+    if args.json:
+        for report in reports:
+            print(report.to_json())
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        if len(reports) > 1:
+            print(comparison_table(reports))
+    if injector is not None:
+        summary = injector.summary() or "none fired"
+        print(f"  [fault injection: {summary}; {injector.fires} fault(s) "
+              f"over {sum(injector.site_calls.values())} site calls]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +236,55 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under a deterministic fault-injection plan "
                           "(docs/fault_injection.md)")
     run.set_defaults(fn=cmd_run)
+    serve = sub.add_parser(
+        "serve",
+        help="simulated inference serving (dynamic batching + SLOs)",
+    )
+    serve.add_argument("--net", default="cifar10",
+                       help="network to serve (default: cifar10)")
+    serve.add_argument("--device", default="titan-xp",
+                       help="simulated GPU (default: titan-xp)")
+    serve.add_argument("--executor", default="all",
+                       choices=["all", "naive", "fixed", "glp4nn"],
+                       help="executor(s) to serve with (default: all)")
+    serve.add_argument("--rps", type=float, default=500.0,
+                       help="offered arrival rate, requests/s (default: 500)")
+    serve.add_argument("--slo-ms", type=float, default=10.0,
+                       help="per-request latency SLO, ms (default: 10)")
+    serve.add_argument("--duration-ms", type=float, default=50.0,
+                       help="trace duration, ms of simulated time "
+                            "(default: 50)")
+    serve.add_argument("--trace", default="poisson",
+                       choices=["poisson", "bursty"],
+                       help="arrival process (default: poisson)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace / lowering seed (default: 0)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batching: max batch size (default: 8)")
+    serve.add_argument("--max-wait-us", type=float, default=200.0,
+                       help="dynamic batching: max queue wait before a "
+                            "partial batch fires, µs (default: 200)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission queue capacity (default: 64)")
+    serve.add_argument("--overflow", default="reject-newest",
+                       choices=["reject-newest", "drop-oldest"],
+                       help="full-queue policy (default: reject-newest)")
+    serve.add_argument("--order", default="fifo", choices=["fifo", "edf"],
+                       help="batch formation order (default: fifo)")
+    serve.add_argument("--streams", type=int, default=4,
+                       help="stream count for the fixed executor "
+                            "(default: 4)")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="disable SLO-aware admission control")
+    serve.add_argument("--no-warmup", action="store_true",
+                       help="charge profiling/lowering to the first "
+                            "requests instead of warming up")
+    serve.add_argument("--json", action="store_true",
+                       help="print reports as JSON instead of text")
+    serve.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="serve under a deterministic fault-injection "
+                            "plan (docs/fault_injection.md)")
+    serve.set_defaults(fn=cmd_serve)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"
     )

@@ -45,6 +45,40 @@ class TimingSummary:
             return 0.0
         return statistics.stdev(self.samples)
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), linearly interpolated.
+
+        Uses the inclusive definition (min at q=0, max at q=100), matching
+        ``numpy.percentile``'s default.
+
+        >>> TimingSummary.of([10.0, 20.0, 30.0, 40.0]).percentile(50)
+        25.0
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+    @property
+    def p50(self) -> float:
+        """Median latency (the 50th percentile)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """Tail latency — the number SLO dashboards watch."""
+        return self.percentile(99.0)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{self.mean:.1f}us (min {self.minimum:.1f}, "
                 f"max {self.maximum:.1f}, n={len(self.samples)})")

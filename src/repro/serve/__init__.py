@@ -1,0 +1,78 @@
+"""Inference serving on the GLP4NN runtime: batching, SLOs, scheduling.
+
+The training side of this repo reproduces GLP4NN's claim that batch-level
+kernel concurrency speeds up DNN *training*; this package turns the same
+runtime into an **inference-serving stack** so the serving-side claims
+(Opara-style stream concurrency for inference, load-adaptive concurrency
+control) can be measured on the simulator too:
+
+* :mod:`repro.serve.request` — inference requests with deadlines and
+  seedable open-loop arrival traces (Poisson and bursty), all in simulated
+  time;
+* :mod:`repro.serve.queue` — bounded admission queue with backpressure
+  policies plus an SLO-aware admission controller;
+* :mod:`repro.serve.batcher` — timeout-or-full dynamic batching and the
+  per-batch-shape lowered-work cache;
+* :mod:`repro.serve.engine` — the serving loop driving batches through an
+  existing executor (naive / fixed-stream / GLP4NN), degrading gracefully
+  under injected faults;
+* :mod:`repro.serve.slo` / :mod:`repro.serve.report` — per-request latency
+  accounting, percentile/goodput metrics and deterministic reports.
+
+Everything is deterministic: same trace seed, same report — byte for byte.
+"""
+
+from repro.serve.batcher import DynamicBatcher, LoweredNetCache, default_buckets
+from repro.serve.engine import (
+    EXECUTOR_KINDS,
+    SERVE_NETS,
+    ServingEngine,
+    make_executor,
+    resolve_device,
+    resolve_net,
+    serve_trace,
+)
+from repro.serve.queue import (
+    AdmissionController,
+    BoundedQueue,
+    OverflowPolicy,
+    QueueOrder,
+)
+from repro.serve.report import ServingReport, comparison_table
+from repro.serve.request import (
+    ArrivalTrace,
+    InferenceRequest,
+    TRACE_KINDS,
+    bursty_trace,
+    make_trace,
+    poisson_trace,
+)
+from repro.serve.slo import Outcome, RequestRecord, SLOTracker
+
+__all__ = [
+    "ArrivalTrace",
+    "InferenceRequest",
+    "TRACE_KINDS",
+    "poisson_trace",
+    "bursty_trace",
+    "make_trace",
+    "BoundedQueue",
+    "AdmissionController",
+    "OverflowPolicy",
+    "QueueOrder",
+    "DynamicBatcher",
+    "LoweredNetCache",
+    "default_buckets",
+    "ServingEngine",
+    "serve_trace",
+    "make_executor",
+    "resolve_net",
+    "resolve_device",
+    "SERVE_NETS",
+    "EXECUTOR_KINDS",
+    "Outcome",
+    "RequestRecord",
+    "SLOTracker",
+    "ServingReport",
+    "comparison_table",
+]

@@ -1,0 +1,148 @@
+"""Dynamic batching and the per-shape lowered-work cache.
+
+Dynamic batching is the standard *timeout-or-full* policy: a batch fires as
+soon as ``max_batch`` requests are waiting **or** the most stale waiting
+request has been queued ``max_wait_us`` — latency is traded for GPU
+efficiency with exactly two knobs.
+
+A batch of ``B`` single-sample requests executes as one forward pass at
+batch size ``B``.  Because the lowering in :mod:`repro.runtime.lowering` is
+shape-driven, every *distinct* batch size is a distinct kernel stream — so
+batch sizes are rounded up to a small set of power-of-two **buckets**
+(the padding trick real serving stacks use to bound their engine-cache
+size), and each bucket's network is built and lowered exactly once, then
+replayed for every batch that lands in it.  The cached works are relabeled
+``layer@bB`` so the resource tracker and the concurrency maintainer keep
+separate profiles and stream-pool decisions per batch shape; GLP4NN then
+sizes its pool for the shape actually being served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.kernels.ir import LayerWork
+from repro.nn.net import Net
+from repro.runtime.lowering import lower_net
+from repro.serve.queue import BoundedQueue
+
+
+def default_buckets(max_batch: int) -> tuple[int, ...]:
+    """Power-of-two batch buckets up to and including ``max_batch``.
+
+    >>> default_buckets(12)
+    (1, 2, 4, 8, 12)
+    """
+    if max_batch < 1:
+        raise ReproError(f"max batch must be >= 1, got {max_batch}")
+    buckets = []
+    b = 1
+    while b < max_batch:
+        buckets.append(b)
+        b *= 2
+    buckets.append(max_batch)
+    return tuple(buckets)
+
+
+class LoweredNetCache:
+    """Build-and-lower each batch bucket once; replay forever after.
+
+    Parameters
+    ----------
+    builder:
+        Network factory accepting a ``batch`` keyword (the zoo builders).
+    buckets:
+        Allowed batch sizes, ascending.  A batch of ``n`` requests runs at
+        the smallest bucket ``>= n`` (the padding waste is the price of a
+        bounded cache).
+    seed:
+        Forwarded to the builder so cached networks are reproducible.
+    """
+
+    def __init__(self, builder: Callable[..., Net],
+                 buckets: Sequence[int], seed: int = 0) -> None:
+        if not buckets:
+            raise ReproError("need at least one batch bucket")
+        ordered = sorted(set(int(b) for b in buckets))
+        if ordered[0] < 1:
+            raise ReproError(f"batch buckets must be >= 1, got {ordered}")
+        self.builder = builder
+        self.buckets = tuple(ordered)
+        self.seed = seed
+        self._works: dict[int, tuple[LayerWork, ...]] = {}
+        self.lowerings = 0          # cache misses (distinct shapes built)
+
+    def bucket_for(self, n: int) -> int:
+        """Smallest bucket that fits ``n`` requests."""
+        if n < 1:
+            raise ReproError(f"batch of {n} requests cannot be lowered")
+        for b in self.buckets:
+            if b >= n:
+                return b
+        raise ReproError(
+            f"batch of {n} exceeds the largest bucket {self.buckets[-1]}"
+        )
+
+    def works_for(self, n: int) -> tuple[int, tuple[LayerWork, ...]]:
+        """Return ``(bucket, forward works)`` for a batch of ``n`` requests."""
+        bucket = self.bucket_for(n)
+        cached = self._works.get(bucket)
+        if cached is None:
+            net = self.builder(batch=bucket, seed=self.seed)
+            net.set_mode(train=False)
+            works = tuple(
+                dataclasses.replace(w, layer=f"{w.layer}@b{bucket}")
+                for w in lower_net(net, "forward")
+            )
+            self._works[bucket] = cached = works
+            self.lowerings += 1
+        return bucket, cached
+
+
+class DynamicBatcher:
+    """Timeout-or-full batch formation over a :class:`BoundedQueue`."""
+
+    def __init__(self, max_batch: int = 8, max_wait_us: float = 200.0) -> None:
+        if max_batch < 1:
+            raise ReproError(f"max batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ReproError(f"max wait must be >= 0, got {max_wait_us}")
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.batches_formed = 0
+        self.requests_batched = 0
+
+    # ------------------------------------------------------------------
+    def fire_time_us(self, queue: BoundedQueue) -> Optional[float]:
+        """Absolute time at which the current queue head times out."""
+        oldest = queue.oldest_enqueue_us()
+        if oldest is None:
+            return None
+        return oldest + self.max_wait_us
+
+    def ready(self, queue: BoundedQueue, now: float,
+              more_arrivals: bool) -> bool:
+        """Should a batch fire at ``now``?
+
+        Fires when the queue holds a full batch, the head request has
+        waited out ``max_wait_us``, or no further arrivals exist (there is
+        nothing left to wait for).
+        """
+        if not len(queue):
+            return False
+        if len(queue) >= self.max_batch or not more_arrivals:
+            return True
+        fire_at = self.fire_time_us(queue)
+        assert fire_at is not None
+        return now >= fire_at - 1e-9
+
+    def form(self, queue: BoundedQueue) -> list:
+        """Pop the next batch off the queue (caller checked :meth:`ready`)."""
+        batch = queue.pop_batch(self.max_batch)
+        if not batch:
+            raise ReproError("cannot form a batch from an empty queue")
+        self.batches_formed += 1
+        self.requests_batched += len(batch)
+        return batch

@@ -1,0 +1,148 @@
+"""Bounded admission queue with backpressure and SLO-aware shedding.
+
+Two cooperating pieces:
+
+* :class:`BoundedQueue` — a capacity-limited request queue.  Overflow is
+  resolved by an :class:`OverflowPolicy`: reject the arriving request
+  (``REJECT_NEWEST``, classic tail drop) or evict the most stale queued
+  request to make room (``DROP_OLDEST``, which favors fresh requests whose
+  deadlines are still reachable).  Dequeue order is FIFO or
+  earliest-deadline-first.
+* :class:`AdmissionController` — optional SLO-aware gate in front of the
+  queue: a request whose *projected* completion time already misses its
+  deadline is rejected on arrival, so capacity is never spent on work that
+  is predictably late.  The projection uses the engine's online service-time
+  estimate (an EWMA over completed batches), which is derived purely from
+  simulated timings and therefore deterministic.
+
+Every shed request is returned to the caller (never silently dropped) so
+the SLO tracker can account for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serve.request import InferenceRequest
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full queue does with a new arrival."""
+
+    REJECT_NEWEST = "reject-newest"
+    DROP_OLDEST = "drop-oldest"
+
+
+class QueueOrder(enum.Enum):
+    """Dequeue order when forming batches."""
+
+    FIFO = "fifo"
+    EDF = "edf"            # earliest deadline first
+
+
+class BoundedQueue:
+    """A bounded queue of waiting requests.
+
+    >>> q = BoundedQueue(capacity=2)
+    >>> r = [InferenceRequest(i, float(i), 100.0 + i) for i in range(3)]
+    >>> q.offer(r[0], now=0.0) and q.offer(r[1], now=1.0)
+    True
+    >>> q.offer(r[2], now=2.0)      # full: tail drop
+    False
+    >>> q.shed_overflow
+    1
+    """
+
+    def __init__(self, capacity: int,
+                 overflow: OverflowPolicy = OverflowPolicy.REJECT_NEWEST,
+                 order: QueueOrder = QueueOrder.FIFO) -> None:
+        if capacity < 1:
+            raise ReproError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.overflow = overflow
+        self.order = order
+        self._waiting: list[tuple[InferenceRequest, float]] = []
+        self.admitted = 0
+        self.shed_overflow = 0
+        self.evicted: list[InferenceRequest] = []
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def full(self) -> bool:
+        return len(self._waiting) >= self.capacity
+
+    def oldest_enqueue_us(self) -> Optional[float]:
+        """Enqueue time of the most stale waiting request (None if empty)."""
+        if not self._waiting:
+            return None
+        return min(t for _, t in self._waiting)
+
+    # ------------------------------------------------------------------
+    def offer(self, request: InferenceRequest, now: float) -> bool:
+        """Try to enqueue ``request`` at simulated time ``now``.
+
+        Returns True when the request was admitted.  Under
+        ``DROP_OLDEST`` an admission may evict a queued request; evicted
+        requests accumulate in :attr:`evicted` until drained with
+        :meth:`drain_evicted`.
+        """
+        if self.full:
+            if self.overflow is OverflowPolicy.REJECT_NEWEST:
+                self.shed_overflow += 1
+                return False
+            stale = min(range(len(self._waiting)),
+                        key=lambda i: self._waiting[i][1])
+            victim, _ = self._waiting.pop(stale)
+            self.evicted.append(victim)
+            self.shed_overflow += 1
+        self._waiting.append((request, now))
+        self.admitted += 1
+        self.high_water = max(self.high_water, len(self._waiting))
+        return True
+
+    def drain_evicted(self) -> list[InferenceRequest]:
+        """Return and clear requests evicted by ``DROP_OLDEST`` overflow."""
+        out, self.evicted = self.evicted, []
+        return out
+
+    def pop_batch(self, max_batch: int) -> list[InferenceRequest]:
+        """Dequeue up to ``max_batch`` requests in the configured order."""
+        if max_batch < 1:
+            raise ReproError(f"batch size must be >= 1, got {max_batch}")
+        if self.order is QueueOrder.EDF:
+            self._waiting.sort(key=lambda e: (e[0].deadline_us, e[0].rid))
+        else:
+            self._waiting.sort(key=lambda e: (e[1], e[0].rid))
+        take = self._waiting[:max_batch]
+        self._waiting = self._waiting[max_batch:]
+        return [req for req, _ in take]
+
+
+class AdmissionController:
+    """SLO-aware admission gate: reject predictably-late requests.
+
+    ``projected finish = now + (queued + 1) * service_estimate``; a request
+    is rejected when that projection exceeds its deadline.  Until the first
+    service-time estimate exists every request is admitted (the controller
+    has nothing to project from).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.rejected = 0
+
+    def admits(self, request: InferenceRequest, now: float, queued: int,
+               service_estimate_us: Optional[float]) -> bool:
+        if not self.enabled or service_estimate_us is None:
+            return True
+        projected = now + (queued + 1) * service_estimate_us
+        if projected > request.deadline_us:
+            self.rejected += 1
+            return False
+        return True

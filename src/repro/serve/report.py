@@ -1,0 +1,134 @@
+"""Serving reports: one run's metrics, renderable and comparable.
+
+A :class:`ServingReport` is pure data derived from the simulated run —
+no wall-clock timestamps, no object ids — so two runs with the same seed
+render **byte-identical** text and JSON (the determinism contract the
+serving benchmarks assert).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.bench.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Metrics of one serving run (one executor, one trace)."""
+
+    executor: str
+    net: str
+    device: str
+    trace_kind: str
+    rps: float
+    duration_us: float
+    slo_us: float
+    seed: int
+    # outcome counters
+    requests: int
+    ok: int
+    late: int
+    shed_queue: int
+    shed_admission: int
+    failed: int
+    # batching
+    batches: int
+    mean_batch: float
+    lowerings: int
+    degraded_layers: int
+    # timing (simulated µs)
+    makespan_us: float
+    latency_mean_us: Optional[float] = None
+    latency_p50_us: Optional[float] = None
+    latency_p95_us: Optional[float] = None
+    latency_p99_us: Optional[float] = None
+    latency_max_us: Optional[float] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def goodput(self) -> float:
+        """Fraction of issued requests that met their deadline."""
+        if not self.requests:
+            return 0.0
+        return self.ok / self.requests
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.late
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.completed / (self.makespan_us * 1e-6)
+
+    # ------------------------------------------------------------------
+    def _lat(self, value: Optional[float]) -> str:
+        return "-" if value is None else f"{value / 1e3:.3f}"
+
+    def render(self) -> str:
+        """Multi-line plain-text summary of this run."""
+        lines = [
+            f"[serve] {self.net} on {self.device} — {self.executor} executor",
+            f"  trace: {self.trace_kind}, {self.rps:.0f} rps offered over "
+            f"{self.duration_us / 1e3:.1f} ms (seed {self.seed}), "
+            f"SLO {self.slo_us / 1e3:.3f} ms",
+            f"  requests: {self.requests} issued, {self.ok} on time, "
+            f"{self.late} late, {self.shed_queue} shed (queue), "
+            f"{self.shed_admission} shed (admission), {self.failed} failed",
+            f"  goodput: {self.goodput * 100:.1f}%   throughput: "
+            f"{self.throughput_rps:.0f} rps over "
+            f"{self.makespan_us / 1e3:.1f} ms served",
+            f"  batches: {self.batches} (mean size {self.mean_batch:.2f}, "
+            f"{self.lowerings} shape lowerings, "
+            f"{self.degraded_layers} degraded layer runs)",
+            f"  latency ms: mean {self._lat(self.latency_mean_us)}, "
+            f"p50 {self._lat(self.latency_p50_us)}, "
+            f"p95 {self._lat(self.latency_p95_us)}, "
+            f"p99 {self._lat(self.latency_p99_us)}, "
+            f"max {self._lat(self.latency_max_us)}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, data only)."""
+        doc = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        doc["goodput"] = self.goodput
+        doc["throughput_rps"] = self.throughput_rps
+        doc["extra"] = {k: v for k, v in self.extra.items()
+                        if isinstance(v, (int, float, str, bool))}
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def comparison_table(reports: Sequence[ServingReport]) -> str:
+    """Side-by-side executor comparison at one arrival rate.
+
+    This is the serving analogue of the paper's Fig. 7 speedup table: same
+    workload, same device, scheduling policy as the only variable.
+    """
+    headers = ["executor", "goodput %", "ok", "late", "shed", "failed",
+               "p50 ms", "p99 ms", "batches"]
+    rows = []
+    for r in reports:
+        rows.append([
+            r.executor,
+            f"{r.goodput * 100:.1f}",
+            r.ok,
+            r.late,
+            r.shed_queue + r.shed_admission,
+            r.failed,
+            r._lat(r.latency_p50_us),
+            r._lat(r.latency_p99_us),
+            r.batches,
+        ])
+    title = ""
+    if reports:
+        r0 = reports[0]
+        title = (f"[serve] {r0.net} on {r0.device}: {r0.rps:.0f} rps "
+                 f"({r0.trace_kind}), SLO {r0.slo_us / 1e3:.3f} ms")
+    return format_table(headers, rows, title=title)

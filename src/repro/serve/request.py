@@ -1,0 +1,171 @@
+"""Inference requests and open-loop arrival traces.
+
+Serving experiments are *open loop*: arrival times are drawn up front from a
+seeded generator and never react to the system's speed, so an overloaded
+configuration visibly builds queueing delay instead of silently slowing the
+workload down.  All times are **simulated microseconds** relative to the
+start of the trace — nothing in this package ever reads a wall clock; the
+engine maps trace offsets onto the device's host timeline
+(:attr:`repro.gpusim.engine.GPU.host_time`).
+
+Two trace shapes cover the classic serving benchmarks:
+
+* :func:`poisson_trace` — memoryless arrivals at a constant rate, the
+  standard stationary-load model;
+* :func:`bursty_trace` — a two-phase Markov-modulated Poisson process that
+  alternates a quiet phase and a burst phase, the on/off pattern production
+  traffic actually exhibits (and the case adaptive admission control is
+  for).
+
+The same ``(rps, duration, seed)`` triple always yields byte-identical
+traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One single-sample inference request.
+
+    ``arrival_us`` and ``deadline_us`` are offsets from the trace start;
+    the deadline is the arrival plus the request's SLO budget.
+    """
+
+    rid: int
+    arrival_us: float
+    deadline_us: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ReproError(f"request {self.rid}: negative arrival time")
+        if self.deadline_us < self.arrival_us:
+            raise ReproError(
+                f"request {self.rid}: deadline {self.deadline_us} precedes "
+                f"arrival {self.arrival_us}"
+            )
+
+    @property
+    def slo_us(self) -> float:
+        """The request's latency budget."""
+        return self.deadline_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """An ordered sequence of requests plus the parameters that made it."""
+
+    requests: tuple[InferenceRequest, ...]
+    kind: str
+    rps: float
+    duration_us: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        arrivals = [r.arrival_us for r in self.requests]
+        if arrivals != sorted(arrivals):
+            raise ReproError("trace arrivals must be sorted")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def offered_rps(self) -> float:
+        """Realized offered load (requests per second of trace time)."""
+        if self.duration_us <= 0:
+            return 0.0
+        return len(self.requests) / (self.duration_us * 1e-6)
+
+
+def _check_params(rps: float, duration_us: float, slo_us: float) -> None:
+    if rps <= 0:
+        raise ReproError(f"arrival rate must be positive, got {rps}")
+    if duration_us <= 0:
+        raise ReproError(f"trace duration must be positive, got {duration_us}")
+    if slo_us <= 0:
+        raise ReproError(f"SLO budget must be positive, got {slo_us}")
+
+
+def poisson_trace(rps: float, duration_us: float, slo_us: float,
+                  seed: int = 0) -> ArrivalTrace:
+    """Constant-rate Poisson arrivals over ``duration_us``.
+
+    >>> t = poisson_trace(rps=10_000, duration_us=5_000, slo_us=2_000, seed=1)
+    >>> t.requests == poisson_trace(10_000, 5_000, 2_000, seed=1).requests
+    True
+    """
+    _check_params(rps, duration_us, slo_us)
+    rng = random.Random(seed)
+    mean_gap_us = 1e6 / rps
+    requests = []
+    t = rng.expovariate(1.0) * mean_gap_us
+    while t < duration_us:
+        requests.append(InferenceRequest(
+            rid=len(requests), arrival_us=t, deadline_us=t + slo_us))
+        t += rng.expovariate(1.0) * mean_gap_us
+    return ArrivalTrace(tuple(requests), kind="poisson", rps=rps,
+                        duration_us=duration_us, seed=seed)
+
+
+def bursty_trace(rps: float, duration_us: float, slo_us: float,
+                 seed: int = 0, burst_factor: float = 4.0,
+                 period_us: float = 2_000.0,
+                 duty_cycle: float = 0.25) -> ArrivalTrace:
+    """On/off bursty arrivals averaging ``rps`` overall.
+
+    The trace alternates a burst phase (``duty_cycle`` of each
+    ``period_us``) at ``burst_factor`` times the base rate and a quiet
+    phase at a rate chosen so the long-run average stays ``rps``.  A
+    ``burst_factor`` of 1 degenerates to :func:`poisson_trace`.
+    """
+    _check_params(rps, duration_us, slo_us)
+    if burst_factor < 1.0:
+        raise ReproError(f"burst factor must be >= 1, got {burst_factor}")
+    if not 0.0 < duty_cycle < 1.0:
+        raise ReproError(f"duty cycle must be in (0, 1), got {duty_cycle}")
+    # Solve quiet_rate so duty*burst + (1-duty)*quiet == 1 (in units of rps).
+    quiet_scale = (1.0 - duty_cycle * burst_factor) / (1.0 - duty_cycle)
+    quiet_scale = max(quiet_scale, 0.0)
+    rng = random.Random(seed)
+    requests = []
+    t = 0.0
+    while True:
+        phase = (t % period_us) / period_us
+        scale = burst_factor if phase < duty_cycle else quiet_scale
+        rate_per_us = rps * 1e-6 * scale
+        if rate_per_us <= 0.0:
+            # Quiet phase with zero rate: jump to the next burst window.
+            t = (t // period_us + 1.0) * period_us
+            continue
+        t += rng.expovariate(1.0) / rate_per_us
+        if t >= duration_us:
+            break
+        requests.append(InferenceRequest(
+            rid=len(requests), arrival_us=t, deadline_us=t + slo_us))
+    return ArrivalTrace(tuple(requests), kind="bursty", rps=rps,
+                        duration_us=duration_us, seed=seed)
+
+
+TRACE_KINDS = {"poisson": poisson_trace, "bursty": bursty_trace}
+
+
+def make_trace(kind: str, rps: float, duration_us: float, slo_us: float,
+               seed: int = 0) -> ArrivalTrace:
+    """Build a trace by kind name (the CLI entry point)."""
+    try:
+        builder = TRACE_KINDS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown trace kind {kind!r}; expected one of "
+            f"{', '.join(TRACE_KINDS)}"
+        ) from None
+    return builder(rps, duration_us, slo_us, seed=seed)

@@ -1,0 +1,136 @@
+"""Per-request latency accounting and SLO attainment.
+
+Every request leaves the system with exactly one :class:`RequestRecord`,
+whatever happened to it — completed in time, completed late, shed by the
+queue or the admission controller, or failed because the runtime degraded
+past recovery.  *Goodput* is the fraction of **all** issued requests that
+completed within their deadline, so shedding is never a way to make the
+numbers look better.
+
+Percentiles come from :class:`repro.runtime.metrics.TimingSummary`, shared
+with the training-side benchmarks so both report latencies the same way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.runtime.metrics import TimingSummary
+from repro.serve.request import InferenceRequest
+
+
+class Outcome(enum.Enum):
+    """Terminal state of one request."""
+
+    OK = "ok"                      # completed within its deadline
+    LATE = "late"                  # completed after its deadline
+    SHED_QUEUE = "shed-queue"      # dropped by queue backpressure
+    SHED_ADMISSION = "shed-admission"  # rejected by SLO-aware admission
+    FAILED = "failed"              # batch aborted (degraded past recovery)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The final accounting line of one request."""
+
+    rid: int
+    arrival_us: float
+    deadline_us: float
+    outcome: Outcome
+    finish_us: Optional[float] = None     # None for shed/failed requests
+    batch_size: int = 0
+    detail: str = ""
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.finish_us is None:
+            return None
+        return self.finish_us - self.arrival_us
+
+    @property
+    def met_slo(self) -> bool:
+        return self.outcome is Outcome.OK
+
+
+class SLOTracker:
+    """Accumulates request records and derives the serving metrics."""
+
+    def __init__(self) -> None:
+        self.records: list[RequestRecord] = []
+
+    # ------------------------------------------------------------------
+    def complete(self, request: InferenceRequest, finish_us: float,
+                 batch_size: int) -> RequestRecord:
+        outcome = (Outcome.OK if finish_us <= request.deadline_us
+                   else Outcome.LATE)
+        rec = RequestRecord(
+            rid=request.rid, arrival_us=request.arrival_us,
+            deadline_us=request.deadline_us, outcome=outcome,
+            finish_us=finish_us, batch_size=batch_size,
+        )
+        self.records.append(rec)
+        return rec
+
+    def shed(self, request: InferenceRequest, outcome: Outcome,
+             detail: str = "") -> RequestRecord:
+        if outcome not in (Outcome.SHED_QUEUE, Outcome.SHED_ADMISSION,
+                           Outcome.FAILED):
+            raise ReproError(f"{outcome} is not a shedding outcome")
+        rec = RequestRecord(
+            rid=request.rid, arrival_us=request.arrival_us,
+            deadline_us=request.deadline_us, outcome=outcome, detail=detail,
+        )
+        self.records.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return self.count(Outcome.OK) + self.count(Outcome.LATE)
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of all issued requests that met their deadline."""
+        if not self.records:
+            return 0.0
+        return self.count(Outcome.OK) / self.total
+
+    def latency_summary(self) -> Optional[TimingSummary]:
+        """Latencies of completed requests (None when nothing completed)."""
+        samples = [r.latency_us for r in self.records
+                   if r.latency_us is not None]
+        if not samples:
+            return None
+        return TimingSummary.of(samples)
+
+    def summary(self) -> dict:
+        """All metrics as a flat dict (report/JSON building block)."""
+        lat = self.latency_summary()
+        out: dict = {
+            "requests": self.total,
+            "ok": self.count(Outcome.OK),
+            "late": self.count(Outcome.LATE),
+            "shed_queue": self.count(Outcome.SHED_QUEUE),
+            "shed_admission": self.count(Outcome.SHED_ADMISSION),
+            "failed": self.count(Outcome.FAILED),
+            "goodput": self.goodput,
+        }
+        if lat is not None:
+            out.update({
+                "latency_mean_us": lat.mean,
+                "latency_p50_us": lat.p50,
+                "latency_p95_us": lat.p95,
+                "latency_p99_us": lat.p99,
+                "latency_max_us": lat.maximum,
+            })
+        return out

@@ -38,10 +38,55 @@ class TestCommands:
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "available:" in err
+
+    def test_run_unknown_experiment_suggests_close_match(self, capsys):
+        assert main(["run", "fig77"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "fig7" in err
+
+    def test_run_unknown_without_close_match_has_no_suggestion(self, capsys):
+        assert main(["run", "zzzzzz"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "did you mean" not in err
 
     def test_run_cheap_experiment(self, capsys):
         assert main(["run", "table1"]) == 0
         out = capsys.readouterr().out
         assert "Max Concurrent Kernels" in out
         assert "regenerated in" in out
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--net", "lenet", "--device", "p100",
+            "--rps", "2000", "--slo-ms", "5", "--duration-ms", "4",
+            "--seed", "1"]
+
+    def test_serve_all_executors(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        for kind in ("naive", "fixed", "glp4nn"):
+            assert kind in out
+        assert "goodput" in out
+
+    def test_serve_single_executor_json(self, capsys):
+        assert main(self.ARGS + ["--executor", "glp4nn", "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "glp4nn"
+        assert payload["requests"] > 0
+
+    def test_serve_unknown_net(self, capsys):
+        assert main(["serve", "--net", "resnet152"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_serve_deterministic_output(self, capsys):
+        args = self.ARGS + ["--executor", "naive"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

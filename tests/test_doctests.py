@@ -13,6 +13,10 @@ MODULES = [
     "repro.milp",
     "repro.nn.config",
     "repro.core.framework",
+    "repro.runtime.metrics",
+    "repro.serve.request",
+    "repro.serve.queue",
+    "repro.serve.batcher",
 ]
 
 

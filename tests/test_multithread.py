@@ -4,10 +4,12 @@ import pytest
 
 from repro.errors import SchedulingError, SimulationError
 from repro.gpusim import GPU, get_device
+from repro.kernels.ir import KernelChain, LayerWork
 from repro.nn.zoo.table5 import CIFAR10_CONVS, SIAMESE_CONVS
 from repro.runtime.executor import NaiveExecutor
 from repro.runtime.lowering import lower_conv_forward
 from repro.runtime.multithread import (
+    DRIVER_CONTENTION,
     MultiThreadDispatcher,
     THREAD_SPAWN_US,
 )
@@ -16,6 +18,25 @@ from tests.conftest import small_kernel
 
 def fresh():
     return GPU(get_device("P100"), record_timeline=False)
+
+
+def kernel_starts(gpu) -> list[float]:
+    """Sorted start times of every kernel on the device's timeline."""
+    return sorted(rec.start_us
+                  for recs in gpu.timeline.by_stream().values()
+                  for rec in recs)
+
+
+def toy_work(chains: int, depth: int = 1) -> LayerWork:
+    """A layer of ``chains`` independent chains, ``depth`` kernels each."""
+    return LayerWork(
+        layer="toy", phase="forward",
+        parallel_chains=tuple(
+            KernelChain(tuple(small_kernel(f"c{i}k{j}", flops=200_000.0)
+                              for j in range(depth)), label=f"c{i}")
+            for i in range(chains)
+        ),
+    )
 
 
 class TestEnqueueAt:
@@ -96,3 +117,64 @@ class TestDispatcher:
         # one dispatch thread ~ the naive pipeline + fork/join overhead
         assert t_one_thread >= t_naive
         assert t_one_thread <= t_naive + 4 * THREAD_SPAWN_US
+
+
+class TestEdgeCases:
+    def test_single_thread_is_the_serialized_baseline_shifted(self):
+        """k=1: the exact serialized launch pipeline, delayed one spawn.
+
+        With one dispatch thread there is no contention (the inflation
+        factor degenerates to 1.0) and no chain interleaving, so every
+        kernel start matches a plain single-stream launch loop shifted by
+        exactly ``THREAD_SPAWN_US``.
+        """
+        work = lower_conv_forward(CIFAR10_CONVS[0])
+        serial_gpu = GPU(get_device("P100"))
+        for chain in work.parallel_chains:
+            for spec in chain:
+                serial_gpu.launch(spec)
+        serial_gpu.synchronize()
+        mt_gpu = GPU(get_device("P100"))
+        MultiThreadDispatcher(mt_gpu, 1).run(work)
+        serial, mt = kernel_starts(serial_gpu), kernel_starts(mt_gpu)
+        assert len(mt) == len(serial) == work.num_kernels
+        for a, b in zip(serial, mt):
+            assert b == pytest.approx(a + THREAD_SPAWN_US)
+
+    def test_more_threads_than_chains_leaves_threads_idle(self):
+        work = toy_work(chains=4)
+        gpu = GPU(get_device("P100"))
+        d = MultiThreadDispatcher(gpu, 8)
+        run = d.run(work)
+        assert run.launches == work.num_kernels == 4
+        assert gpu.kernels_completed == 4
+        # Round-robin touches only the first ``chains`` threads; the other
+        # four streams never see a kernel.
+        busy = {sid for sid, recs in gpu.timeline.by_stream().items()
+                if recs}
+        assert len(busy) == 4
+
+    def test_driver_contention_monotonic_in_thread_count(self):
+        """More launchers, more lock contention: a single-chain layer gets
+        strictly slower as threads are added (they cannot help — there is
+        only one chain — but they still inflate every launch)."""
+        work = toy_work(chains=1, depth=8)
+        elapsed = []
+        for k in (1, 2, 4, 8):
+            d = MultiThreadDispatcher(fresh(), k)
+            elapsed.append(d.run(work).elapsed_us)
+        assert elapsed == sorted(elapsed)
+        assert all(a < b for a, b in zip(elapsed, elapsed[1:]))
+
+    def test_contention_factor_matches_model(self):
+        """The per-launch inflation is exactly the documented formula."""
+        gpu = GPU(get_device("P100"))
+        d = MultiThreadDispatcher(gpu, 4)
+        d.run(toy_work(chains=1, depth=4))
+        per_launch = gpu.props.launch_latency_us * (
+            1.0 + 3 * DRIVER_CONTENTION)
+        enqueues = sorted(rec.enqueue_us
+                          for recs in gpu.timeline.by_stream().values()
+                          for rec in recs)
+        gaps = [b - a for a, b in zip(enqueues, enqueues[1:])]
+        assert gaps == pytest.approx([per_launch] * 3)

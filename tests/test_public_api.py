@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.comm",
     "repro.bench",
+    "repro.serve",
 ]
 
 

@@ -139,6 +139,37 @@ class TestMetrics:
         with pytest.raises(ValueError):
             geometric_mean([])
 
+    def test_percentile_endpoints_and_interpolation(self):
+        s = TimingSummary.of([10.0, 20.0, 30.0, 40.0])
+        assert s.percentile(0) == 10.0
+        assert s.percentile(100) == 40.0
+        assert s.percentile(50) == 25.0     # midway between 20 and 30
+        assert s.percentile(25) == pytest.approx(17.5)
+
+    def test_percentile_single_sample_is_constant(self):
+        s = TimingSummary.of([7.0])
+        assert s.percentile(0) == s.percentile(50) == s.percentile(99) == 7.0
+
+    def test_percentile_order_independent(self):
+        shuffled = TimingSummary.of([30.0, 10.0, 40.0, 20.0])
+        ordered = TimingSummary.of([10.0, 20.0, 30.0, 40.0])
+        assert shuffled.percentile(95) == ordered.percentile(95)
+
+    def test_percentile_validates_range(self):
+        s = TimingSummary.of([1.0])
+        with pytest.raises(ValueError):
+            s.percentile(-1)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_tail_shorthands(self):
+        samples = [float(i) for i in range(1, 101)]    # 1..100
+        s = TimingSummary.of(samples)
+        assert s.p50 == s.percentile(50) == pytest.approx(50.5)
+        assert s.p95 == s.percentile(95) == pytest.approx(95.05)
+        assert s.p99 == s.percentile(99) == pytest.approx(99.01)
+        assert s.p50 <= s.p95 <= s.p99 <= s.maximum
+
 
 class TestH2DTransfers:
     def test_h2d_adds_time(self):

@@ -1,0 +1,113 @@
+"""Tests for dynamic batching and the per-shape lowered-work cache."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nn.zoo import build_lenet
+from repro.serve.batcher import DynamicBatcher, LoweredNetCache, default_buckets
+from repro.serve.queue import BoundedQueue
+from repro.serve.request import InferenceRequest
+
+
+def req(rid, arrival=0.0, slo=1_000.0):
+    return InferenceRequest(rid, arrival, arrival + slo)
+
+
+class TestDefaultBuckets:
+    def test_powers_of_two_plus_max(self):
+        assert default_buckets(1) == (1,)
+        assert default_buckets(8) == (1, 2, 4, 8)
+        assert default_buckets(12) == (1, 2, 4, 8, 12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            default_buckets(0)
+
+
+class TestLoweredNetCache:
+    def test_lowers_each_bucket_once(self):
+        cache = LoweredNetCache(build_lenet, (1, 2, 4), seed=0)
+        b1, works1 = cache.works_for(3)
+        b2, works2 = cache.works_for(4)
+        assert b1 == b2 == 4
+        assert works1 is works2            # replayed, not rebuilt
+        assert cache.lowerings == 1
+        cache.works_for(1)
+        assert cache.lowerings == 2
+
+    def test_bucket_rounding(self):
+        cache = LoweredNetCache(build_lenet, (1, 2, 4, 8))
+        assert cache.bucket_for(1) == 1
+        assert cache.bucket_for(3) == 4
+        assert cache.bucket_for(8) == 8
+        with pytest.raises(ReproError, match="exceeds"):
+            cache.bucket_for(9)
+        with pytest.raises(ReproError):
+            cache.bucket_for(0)
+
+    def test_works_relabeled_per_shape(self):
+        cache = LoweredNetCache(build_lenet, (2, 4))
+        _, w2 = cache.works_for(2)
+        _, w4 = cache.works_for(3)
+        assert all(w.layer.endswith("@b2") for w in w2)
+        assert all(w.layer.endswith("@b4") for w in w4)
+        # Distinct shapes never share tracker/analyzer cache keys.
+        assert {w.key for w in w2}.isdisjoint(w.key for w in w4)
+
+    def test_forward_only_inference_works(self):
+        cache = LoweredNetCache(build_lenet, (2,))
+        _, works = cache.works_for(2)
+        assert works and all(w.phase == "forward" for w in works)
+
+    def test_requires_buckets(self):
+        with pytest.raises(ReproError, match="at least one"):
+            LoweredNetCache(build_lenet, ())
+        with pytest.raises(ReproError, match=">= 1"):
+            LoweredNetCache(build_lenet, (0, 2))
+
+
+class TestDynamicBatcher:
+    def test_fires_when_full(self):
+        b = DynamicBatcher(max_batch=2, max_wait_us=1_000.0)
+        q = BoundedQueue(capacity=8)
+        q.offer(req(0), now=0.0)
+        assert not b.ready(q, now=0.0, more_arrivals=True)
+        q.offer(req(1), now=1.0)
+        assert b.ready(q, now=1.0, more_arrivals=True)
+
+    def test_fires_on_head_timeout(self):
+        b = DynamicBatcher(max_batch=8, max_wait_us=100.0)
+        q = BoundedQueue(capacity=8)
+        q.offer(req(0), now=50.0)
+        assert b.fire_time_us(q) == 150.0
+        assert not b.ready(q, now=149.0, more_arrivals=True)
+        assert b.ready(q, now=150.0, more_arrivals=True)
+
+    def test_fires_partial_when_trace_exhausted(self):
+        b = DynamicBatcher(max_batch=8, max_wait_us=10_000.0)
+        q = BoundedQueue(capacity=8)
+        q.offer(req(0), now=0.0)
+        assert b.ready(q, now=0.0, more_arrivals=False)
+
+    def test_never_fires_empty(self):
+        b = DynamicBatcher(max_batch=2, max_wait_us=0.0)
+        q = BoundedQueue(capacity=8)
+        assert not b.ready(q, now=1e9, more_arrivals=False)
+        assert b.fire_time_us(q) is None
+        with pytest.raises(ReproError, match="empty queue"):
+            b.form(q)
+
+    def test_form_counts(self):
+        b = DynamicBatcher(max_batch=2, max_wait_us=0.0)
+        q = BoundedQueue(capacity=8)
+        for i in range(3):
+            q.offer(req(i), now=float(i))
+        assert [r.rid for r in b.form(q)] == [0, 1]
+        assert [r.rid for r in b.form(q)] == [2]
+        assert b.batches_formed == 2 and b.requests_batched == 3
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ReproError):
+            DynamicBatcher(max_wait_us=-1.0)

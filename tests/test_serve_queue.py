@@ -1,0 +1,100 @@
+"""Tests for the bounded admission queue and the SLO admission gate."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.queue import (
+    AdmissionController,
+    BoundedQueue,
+    OverflowPolicy,
+    QueueOrder,
+)
+from repro.serve.request import InferenceRequest
+
+
+def req(rid, arrival=0.0, slo=1_000.0):
+    return InferenceRequest(rid, arrival, arrival + slo)
+
+
+class TestBoundedQueue:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ReproError, match="capacity"):
+            BoundedQueue(capacity=0)
+
+    def test_tail_drop_keeps_existing_requests(self):
+        q = BoundedQueue(capacity=2)
+        assert q.offer(req(0), now=0.0)
+        assert q.offer(req(1), now=1.0)
+        assert not q.offer(req(2), now=2.0)
+        assert q.shed_overflow == 1 and q.admitted == 2
+        assert [r.rid for r in q.pop_batch(4)] == [0, 1]
+
+    def test_drop_oldest_evicts_most_stale(self):
+        q = BoundedQueue(capacity=2, overflow=OverflowPolicy.DROP_OLDEST)
+        q.offer(req(0), now=0.0)
+        q.offer(req(1), now=1.0)
+        assert q.offer(req(2), now=2.0)   # admitted, rid 0 evicted
+        assert [r.rid for r in q.drain_evicted()] == [0]
+        assert q.shed_overflow == 1 and q.admitted == 3
+        assert [r.rid for r in q.pop_batch(4)] == [1, 2]
+        assert q.drain_evicted() == []    # drained once, then empty
+
+    def test_fifo_order_is_by_enqueue_time(self):
+        q = BoundedQueue(capacity=8, order=QueueOrder.FIFO)
+        # Later deadline enqueued first: FIFO ignores deadlines.
+        q.offer(req(0, arrival=0.0, slo=9_000.0), now=5.0)
+        q.offer(req(1, arrival=1.0, slo=100.0), now=6.0)
+        assert [r.rid for r in q.pop_batch(2)] == [0, 1]
+
+    def test_edf_order_is_by_deadline(self):
+        q = BoundedQueue(capacity=8, order=QueueOrder.EDF)
+        q.offer(req(0, arrival=0.0, slo=9_000.0), now=5.0)
+        q.offer(req(1, arrival=1.0, slo=100.0), now=6.0)
+        assert [r.rid for r in q.pop_batch(2)] == [1, 0]
+
+    def test_pop_batch_respects_max(self):
+        q = BoundedQueue(capacity=8)
+        for i in range(5):
+            q.offer(req(i), now=float(i))
+        assert [r.rid for r in q.pop_batch(3)] == [0, 1, 2]
+        assert len(q) == 2
+        with pytest.raises(ReproError, match="batch size"):
+            q.pop_batch(0)
+
+    def test_high_water_and_oldest(self):
+        q = BoundedQueue(capacity=8)
+        assert q.oldest_enqueue_us() is None
+        q.offer(req(0), now=3.0)
+        q.offer(req(1), now=7.0)
+        assert q.oldest_enqueue_us() == 3.0
+        assert q.high_water == 2
+        q.pop_batch(2)
+        assert q.high_water == 2          # watermark survives the drain
+
+
+class TestAdmissionController:
+    def test_admits_everything_without_estimate(self):
+        gate = AdmissionController()
+        assert gate.admits(req(0, slo=1.0), now=0.0, queued=99,
+                           service_estimate_us=None)
+        assert gate.rejected == 0
+
+    def test_rejects_predictably_late_request(self):
+        gate = AdmissionController()
+        # 4 queued ahead at 300 us each: finishes at 1500 > deadline 1000.
+        r = req(0, arrival=0.0, slo=1_000.0)
+        assert not gate.admits(r, now=0.0, queued=4,
+                               service_estimate_us=300.0)
+        assert gate.rejected == 1
+
+    def test_admits_reachable_deadline(self):
+        gate = AdmissionController()
+        r = req(0, arrival=0.0, slo=1_000.0)
+        assert gate.admits(r, now=0.0, queued=1, service_estimate_us=300.0)
+        assert gate.rejected == 0
+
+    def test_disabled_gate_is_transparent(self):
+        gate = AdmissionController(enabled=False)
+        r = req(0, slo=1.0)
+        assert gate.admits(r, now=0.0, queued=50, service_estimate_us=500.0)
+        assert gate.rejected == 0

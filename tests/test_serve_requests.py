@@ -1,0 +1,103 @@
+"""Tests for inference requests and arrival-trace generation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.request import (
+    ArrivalTrace,
+    InferenceRequest,
+    bursty_trace,
+    make_trace,
+    poisson_trace,
+)
+
+
+class TestInferenceRequest:
+    def test_slo_budget(self):
+        r = InferenceRequest(0, arrival_us=10.0, deadline_us=110.0)
+        assert r.slo_us == 100.0
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ReproError, match="negative arrival"):
+            InferenceRequest(0, arrival_us=-1.0, deadline_us=10.0)
+
+    def test_rejects_deadline_before_arrival(self):
+        with pytest.raises(ReproError, match="precedes"):
+            InferenceRequest(0, arrival_us=50.0, deadline_us=10.0)
+
+
+class TestPoissonTrace:
+    def test_same_seed_same_trace(self):
+        a = poisson_trace(5_000, 20_000, 1_000, seed=42)
+        b = poisson_trace(5_000, 20_000, 1_000, seed=42)
+        assert a.requests == b.requests
+
+    def test_different_seed_different_trace(self):
+        a = poisson_trace(5_000, 20_000, 1_000, seed=1)
+        b = poisson_trace(5_000, 20_000, 1_000, seed=2)
+        assert a.requests != b.requests
+
+    def test_offered_rate_near_nominal(self):
+        # Long trace: realized rate within 15% of the requested rate.
+        t = poisson_trace(10_000, 1_000_000, 1_000, seed=0)
+        assert t.offered_rps == pytest.approx(10_000, rel=0.15)
+
+    def test_arrivals_sorted_with_deadlines(self):
+        t = poisson_trace(2_000, 50_000, 3_000, seed=3)
+        arrivals = [r.arrival_us for r in t]
+        assert arrivals == sorted(arrivals)
+        assert all(r.deadline_us == r.arrival_us + 3_000 for r in t)
+        assert [r.rid for r in t] == list(range(len(t)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            poisson_trace(0, 1_000, 1_000)
+        with pytest.raises(ReproError):
+            poisson_trace(1_000, 0, 1_000)
+        with pytest.raises(ReproError):
+            poisson_trace(1_000, 1_000, 0)
+
+
+class TestBurstyTrace:
+    def test_deterministic(self):
+        a = bursty_trace(5_000, 50_000, 1_000, seed=9)
+        b = bursty_trace(5_000, 50_000, 1_000, seed=9)
+        assert a.requests == b.requests
+
+    def test_average_rate_preserved(self):
+        t = bursty_trace(10_000, 1_000_000, 1_000, seed=0)
+        assert t.offered_rps == pytest.approx(10_000, rel=0.2)
+
+    def test_bursts_are_denser_than_quiet_phases(self):
+        t = bursty_trace(10_000, 500_000, 1_000, seed=1,
+                         burst_factor=4.0, period_us=2_000, duty_cycle=0.25)
+        burst = sum(1 for r in t if (r.arrival_us % 2_000) / 2_000 < 0.25)
+        quiet = len(t) - burst
+        # Burst windows are 1/4 of the time but carry most arrivals.
+        assert burst > quiet
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="burst factor"):
+            bursty_trace(1_000, 1_000, 100, burst_factor=0.5)
+        with pytest.raises(ReproError, match="duty cycle"):
+            bursty_trace(1_000, 1_000, 100, duty_cycle=1.5)
+
+
+class TestMakeTrace:
+    def test_dispatches_by_kind(self):
+        p = make_trace("poisson", 1_000, 10_000, 500, seed=1)
+        b = make_trace("bursty", 1_000, 10_000, 500, seed=1)
+        assert p.kind == "poisson" and b.kind == "bursty"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown trace kind"):
+            make_trace("adversarial", 1_000, 10_000, 500)
+
+
+class TestArrivalTrace:
+    def test_rejects_unsorted(self):
+        reqs = (InferenceRequest(0, 10.0, 20.0),
+                InferenceRequest(1, 5.0, 25.0))
+        with pytest.raises(ReproError, match="sorted"):
+            ArrivalTrace(reqs, kind="poisson", rps=1.0, duration_us=20.0,
+                         seed=0)

@@ -2,9 +2,14 @@
 """Export a GLP4NN execution timeline as a Chrome/Perfetto trace.
 
 Runs CaffeNet's conv5 layer under naive Caffe and under GLP4NN on a
-simulated P100 and writes both traces to JSON files loadable in
-``chrome://tracing`` or https://ui.perfetto.dev — the reproduction of the
-NVIDIA-Visual-Profiler views the paper's figures are screenshots of.
+simulated P100 and writes both runs as *merged* traces — host spans
+(profiling, MILP solve, dispatch, sync) from :mod:`repro.obs` on one set
+of tracks, per-stream device slices on another — loadable in
+``chrome://tracing`` or https://ui.perfetto.dev.  This is the reproduction
+of the NVIDIA-Visual-Profiler views the paper's figures are screenshots
+of, with the host-side scheduling work the profiler cannot show added on
+top.  (``python -m repro trace conv5`` produces the same kind of file from
+a canned scenario; see ``docs/observability.md``.)
 
 Usage::
 
@@ -14,8 +19,10 @@ Usage::
 import pathlib
 import sys
 
-from repro.gpusim import GPU, get_device, ascii_timeline, to_chrome_trace
+from repro.gpusim import GPU, get_device, ascii_timeline
 from repro.nn.zoo.table5 import CAFFENET_CONVS
+from repro.obs import MetricsRegistry, recording, to_perfetto_json
+from repro.obs import metrics as obs_metrics
 from repro.runtime.executor import GLP4NNExecutor, NaiveExecutor
 from repro.runtime.lowering import lower_conv_forward
 
@@ -26,8 +33,20 @@ def trace(executor_cls, path: pathlib.Path) -> float:
     work = lower_conv_forward(CAFFENET_CONVS[4])
     ex.run(work)                       # warm-up / profiling pass
     gpu.timeline.clear()
-    run = ex.run(work)
-    path.write_text(to_chrome_trace(gpu.timeline), encoding="utf-8")
+    registry = MetricsRegistry()
+    previous = obs_metrics.install(registry)
+    try:
+        with recording(lambda: gpu.host_time) as recorder:
+            run = ex.run(work)
+    finally:
+        obs_metrics.install(previous)
+    path.write_text(
+        to_perfetto_json(recorder.sorted_spans(), gpu.timeline,
+                         metrics=registry.snapshot(),
+                         meta={"example": "timeline_export",
+                               "executor": executor_cls.__name__}),
+        encoding="utf-8",
+    )
     print(f"{executor_cls.__name__:18s} {run.elapsed_us / 1000:8.2f} ms  "
           f"peak concurrency {gpu.timeline.max_concurrency():2d}  -> {path}")
     print(ascii_timeline(gpu.timeline, width=74))
@@ -41,7 +60,7 @@ def main(outdir: str = ".") -> None:
     t_naive = trace(NaiveExecutor, out / "trace_naive.json")
     t_glp = trace(GLP4NNExecutor, out / "trace_glp4nn.json")
     print(f"speedup: {t_naive / t_glp:.2f}x — open the JSON files in "
-          "chrome://tracing to inspect the lanes")
+          "https://ui.perfetto.dev to inspect the lanes")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Check documentation for broken links and stale code references.
+
+Scans every tracked markdown file (top level + ``docs/``) and verifies:
+
+* **relative markdown links** — ``[text](path)`` resolved against the
+  containing file must exist (``#anchors``, ``http(s)://`` and
+  ``mailto:`` targets are skipped);
+* **backticked path references** — `` `docs/x.md` ``-style mentions of
+  files under the repository's known top-level directories must exist;
+* **dotted module references** — `` `repro.x.y` `` mentions must resolve
+  to a package/module under ``src/repro`` (attribute suffixes are
+  tolerated: the longest resolving prefix wins, but at least one
+  component beyond the bare ``repro`` must resolve).
+
+Exits non-zero listing every failure, so CI catches docs drifting away
+from the code (renamed modules, moved pages, deleted examples).
+
+Usage::
+
+    python scripts/check_docs.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Directories whose mention as a backticked path implies "this should
+#: exist in the repository".
+KNOWN_TOP_DIRS = ("docs", "src", "examples", "tests", "scripts",
+                  "benchmarks", "results")
+
+MD_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+DOTTED = re.compile(r"^repro(?:\.\w+)+$")
+#: Path-looking backticked text: no spaces, contains a slash or a known
+#: file suffix.
+PATHLIKE_SUFFIXES = (".py", ".md", ".json", ".yml", ".yaml", ".toml",
+                     ".cfg", ".txt")
+
+
+def iter_markdown(root: pathlib.Path) -> list[pathlib.Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks (shell transcripts are full of ``->``)."""
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def check_md_links(path: pathlib.Path, text: str,
+                   root: pathlib.Path) -> list[str]:
+    problems = []
+    for match in MD_LINK.finditer(text):
+        target = match.group(2)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link "
+                f"[{match.group(1)}]({match.group(2)})"
+            )
+    return problems
+
+
+def _resolves_as_module(dotted: str, src: pathlib.Path) -> bool:
+    """True when some prefix beyond bare ``repro`` maps to src/repro/...
+
+    ``repro.obs.spans.span`` is fine (the ``repro.obs.spans`` prefix is a
+    module); ``repro.nosuch.thing`` is not (nothing beyond ``repro``
+    resolves).
+    """
+    parts = dotted.split(".")
+    deepest = 1                      # bare "repro" always resolves
+    for i in range(2, len(parts) + 1):
+        rel = pathlib.Path(*parts[:i])
+        if (src / rel).is_dir() or (src / rel).with_suffix(".py").is_file():
+            deepest = i
+    return deepest >= 2
+
+
+def check_code_refs(path: pathlib.Path, text: str,
+                    root: pathlib.Path) -> list[str]:
+    problems = []
+    src = root / "src"
+    for match in BACKTICK.finditer(text):
+        ref = match.group(1).strip()
+        if DOTTED.match(ref):
+            if not _resolves_as_module(ref, src):
+                problems.append(
+                    f"{path.relative_to(root)}: unresolved module `{ref}`"
+                )
+            continue
+        if " " in ref or ref.startswith(("-", "--")):
+            continue
+        ref = ref.split("::", 1)[0]      # pytest node ids
+        first = ref.split("/", 1)[0]
+        looks_pathy = "/" in ref or ref.endswith(PATHLIKE_SUFFIXES)
+        if not looks_pathy or first not in KNOWN_TOP_DIRS:
+            continue
+        if "*" in ref:
+            if not any(root.glob(ref)):
+                problems.append(
+                    f"{path.relative_to(root)}: glob `{ref}` matches "
+                    "nothing"
+                )
+            continue
+        if not (root / ref).exists():
+            problems.append(
+                f"{path.relative_to(root)}: missing path `{ref}`"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    files = iter_markdown(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        problems.extend(check_md_links(path, text, root))
+        problems.extend(check_code_refs(path, strip_code_blocks(text), root))
+    if problems:
+        print(f"{len(problems)} documentation problem(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"docs OK: {len(files)} markdown file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -18,6 +18,13 @@ Commands
     serve it through one or all executors with dynamic batching and
     SLO-aware admission control (see ``docs/serving.md``), e.g.
     ``serve --net cifar10 --device titan-xp --rps 500 --slo-ms 10``.
+``trace <scenario> [-o trace.json]``
+    Run a canned deterministic scenario with span/metrics recording on and
+    export a merged host + device Chrome/Perfetto trace (see
+    ``docs/observability.md``).  ``trace`` with no scenario lists the
+    available ones.
+``selftest [device ...]``
+    Micro-benchmark simulated devices against their spec sheets.
 """
 
 from __future__ import annotations
@@ -214,6 +221,31 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs.scenarios import TRACE_SCENARIOS, run_scenario
+
+    def _list() -> None:
+        for name, fn in TRACE_SCENARIOS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"  {name:8s} {doc[0] if doc else ''}")
+
+    if args.experiment is None:
+        _list()
+        return 0
+    try:
+        capture = run_scenario(args.experiment)
+    except ReproError as e:
+        print(f"trace failed: {e}", file=sys.stderr)
+        _list()
+        return 2
+    capture.write(args.out)
+    print(f"{capture.scenario}: {len(capture.spans)} host span(s) + "
+          f"{len(capture.timeline)} device slice(s) -> {args.out}")
+    print("  open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -285,6 +317,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve under a deterministic fault-injection "
                             "plan (docs/fault_injection.md)")
     serve.set_defaults(fn=cmd_serve)
+    trace = sub.add_parser(
+        "trace",
+        help="export a merged host+device Perfetto trace of a scenario",
+    )
+    trace.add_argument("experiment", nargs="?", default=None,
+                       help="scenario name (omit to list the available "
+                            "scenarios)")
+    trace.add_argument("-o", "--out", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.set_defaults(fn=cmd_trace)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"
     )

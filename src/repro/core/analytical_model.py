@@ -39,6 +39,7 @@ from repro.errors import SchedulingError
 from repro.gpusim.device import DeviceProperties
 from repro.milp import Model, SolveStatus
 from repro.core.resource_tracker import KernelProfile
+from repro.obs.metrics import counter_inc, observe
 
 
 @dataclass(frozen=True)
@@ -197,9 +198,13 @@ class AnalyticalModel:
         t0 = time.perf_counter()
         sol = model.solve()
         t_a = (time.perf_counter() - t0) * 1e6
+        counter_inc("milp.solves")
+        observe("milp.nodes", sol.nodes_explored)
+        observe("milp.iterations", sol.simplex_iterations)
 
         if not sol.status.ok:
             if sol.status is SolveStatus.INFEASIBLE:
+                counter_inc("milp.infeasible")
                 # Even one instance of every kernel overflows an SM — fall
                 # back to fully serial execution (one stream).
                 counts = {b.name: 1 for b in bounds}

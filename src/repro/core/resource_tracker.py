@@ -28,6 +28,8 @@ from repro.errors import SchedulingError
 from repro.gpusim.engine import GPU
 from repro.gpusim.kernel import Dim3, dim3_size
 from repro.kernels.ir import LayerWork
+from repro.obs.metrics import counter_inc, observe
+from repro.obs.spans import span
 
 
 @dataclass(frozen=True)
@@ -136,22 +138,28 @@ class ResourceTracker:
         cache_key = (gpu.props.name, work.key)
         if cache_key in self._profiles:
             return self._profiles[cache_key]
-        profiler = CuptiProfiler(gpu)
-        profiler.start()
-        try:
-            for chain in work.parallel_chains:
-                for spec in chain:
-                    gpu.launch(spec)          # default stream, in order
-            for spec in work.serial_kernels:
-                gpu.launch(spec)
-            gpu.synchronize()
-        finally:
-            report = profiler.stop()
-        kernels = KernelParser.parse(report.records)
-        if not kernels:
-            raise SchedulingError(
-                f"profiling {work.key!r} produced no kernel records"
-            )
+        with span("profile.layer", cat="profile", layer=work.key,
+                  device=gpu.props.name) as h:
+            profiler = CuptiProfiler(gpu)
+            profiler.start()
+            try:
+                for chain in work.parallel_chains:
+                    for spec in chain:
+                        gpu.launch(spec)      # default stream, in order
+                for spec in work.serial_kernels:
+                    gpu.launch(spec)
+                gpu.synchronize()
+            finally:
+                report = profiler.stop()
+            with span("profile.parse", cat="profile", layer=work.key):
+                kernels = KernelParser.parse(report.records)
+            if not kernels:
+                raise SchedulingError(
+                    f"profiling {work.key!r} produced no kernel records"
+                )
+            h.set(kernels=len(kernels), records=len(report.records))
+        counter_inc("profile.layers")
+        observe("profile.time_us", report.profiling_time_us)
         profile = LayerProfile(
             key=work.key,
             device=gpu.props.name,

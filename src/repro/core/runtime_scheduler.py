@@ -54,6 +54,8 @@ from repro.errors import (
 from repro.gpusim.engine import GPU
 from repro.gpusim.stream import Stream
 from repro.kernels.ir import LayerWork
+from repro.obs.metrics import counter_inc, observe
+from repro.obs.spans import instant, span
 
 _T = TypeVar("_T")
 
@@ -135,6 +137,19 @@ class RuntimeScheduler:
         """Execute one layer-phase; profile-and-analyze on first sight."""
         if self.work_transform is not None:
             work = self.work_transform(work)
+        with span("runtime.layer", cat="runtime", layer=work.key) as h:
+            run = self._run_layer(work)
+            h.set(streams=run.streams_used, profiled=run.profiled,
+                  degraded=run.degraded, retries=run.retries)
+        counter_inc("runtime.layers")
+        observe("runtime.layer_us", run.elapsed_us)
+        if run.retries:
+            counter_inc("runtime.retries", run.retries)
+        if run.degraded:
+            counter_inc("runtime.degraded")
+        return run
+
+    def _run_layer(self, work: LayerWork) -> LayerRun:
         start = self.gpu.host_time
         decision: Optional[ConcurrencyDecision] = None
         degraded = False
@@ -154,7 +169,9 @@ class RuntimeScheduler:
                     # First execution: serial profiling run (Fig. 6 left).
                     return self._profile_first(work, start)
                 try:
-                    decision = self.analyzer.decision_for(profile)
+                    with span("milp.solve", cat="milp", layer=work.key) as m:
+                        decision = self.analyzer.decision_for(profile)
+                        m.set(c_out=decision.c_out)
                     pool_size = decision.c_out
                 except (SolverError, SchedulingError, FaultInjected) as e:
                     # Decision unobtainable (e.g. solver timeout): run the
@@ -229,7 +246,15 @@ class RuntimeScheduler:
             return run
 
         try:
-            decision = self.analyzer.decision_for(profile)
+            # Charge the (measured) analysis time to the host timeline
+            # inside the span: the naive implementation analyzes
+            # synchronously, so the span width is T_a on the host clock.
+            with span("milp.solve", cat="milp", layer=work.key) as m:
+                decision = self.analyzer.decision_for(profile)
+                self.gpu.host_time += decision.analysis_time_us
+                m.set(c_out=decision.c_out,
+                      nodes=decision.solver_nodes,
+                      iterations=decision.solver_iterations)
         except (SolverError, SchedulingError, FaultInjected) as e:
             run = LayerRun(
                 key=work.key,
@@ -244,10 +269,6 @@ class RuntimeScheduler:
             )
             self.runs.append(run)
             return run
-
-        # Charge the (measured) analysis time to the host timeline:
-        # the naive implementation analyzes synchronously.
-        self.gpu.host_time += decision.analysis_time_us
         run = LayerRun(
             key=work.key,
             device=self.gpu.props.name,
@@ -275,6 +296,9 @@ class RuntimeScheduler:
                 return fn(), attempt
             except TransientError as e:
                 last = e
+                instant("runtime.retry", cat="runtime", what=what,
+                        attempt=attempt + 1)
+                counter_inc("runtime.transient_faults")
                 if attempt < policy.max_retries:
                     self.gpu.host_time += policy.delay_us(attempt + 1)
         raise DegradedError(
@@ -313,22 +337,29 @@ class RuntimeScheduler:
                 pool_size = 1
                 reason = f"stream pool unavailable: {e}"
         if pool_size <= 1 or pool is None:
-            for chain in work.parallel_chains:
-                for spec in chain:
+            with span("runtime.dispatch", cat="runtime", layer=work.key,
+                      streams=1):
+                for chain in work.parallel_chains:
+                    for spec in chain:
+                        retries += self._launch_with_retry(spec, None)
+                for spec in work.serial_kernels:
                     retries += self._launch_with_retry(spec, None)
+            with span("runtime.sync", cat="runtime", layer=work.key):
+                retries += self._sync_with_retry()
+            return 1, retries, reason
+        with span("runtime.dispatch", cat="runtime", layer=work.key,
+                  streams=pool_size):
+            for i, chain in enumerate(work.parallel_chains):
+                stream = pool[i % pool_size]   # round-robin (Section 3.1)
+                for spec in chain:
+                    retries += self._launch_with_retry(spec, stream)
+            # Whole-batch work goes to the legacy default stream, which
+            # waits for all pool streams — the layer's reduction barrier
+            # for free.
             for spec in work.serial_kernels:
                 retries += self._launch_with_retry(spec, None)
+        with span("runtime.sync", cat="runtime", layer=work.key):
             retries += self._sync_with_retry()
-            return 1, retries, reason
-        for i, chain in enumerate(work.parallel_chains):
-            stream = pool[i % pool_size]       # round-robin (Section 3.1)
-            for spec in chain:
-                retries += self._launch_with_retry(spec, stream)
-        # Whole-batch work goes to the legacy default stream, which waits
-        # for all pool streams — the layer's reduction barrier for free.
-        for spec in work.serial_kernels:
-            retries += self._launch_with_retry(spec, None)
-        retries += self._sync_with_retry()
         return pool_size, retries, reason
 
     # ------------------------------------------------------------------

@@ -1,9 +1,10 @@
 """Process-wide fault hook the runtime calls into.
 
-This module is deliberately import-light (``repro.errors`` only) so every
-layer of the stack — the GPU engine, the stream manager, the CUPTI
-profiler, the MILP solver and the persistence layer — can call
-:func:`fault_check` / :func:`fault_poll` without creating import cycles.
+This module is deliberately import-light (stdlib-only siblings such as
+``repro.obs.metrics`` aside) so every layer of the stack — the GPU engine,
+the stream manager, the CUPTI profiler, the MILP solver and the
+persistence layer — can call :func:`fault_check` / :func:`fault_poll`
+without creating import cycles.
 
 With no injector installed the hooks are a single ``None`` test: zero
 behavioral change for fault-free runs (the default).  Install via
@@ -13,6 +14,8 @@ behavioral change for fault-free runs (the default).  Install via
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import counter_inc
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -51,7 +54,11 @@ def fault_check(site: str, key: str = "") -> None:
     synchronize, stream creation, strict cache load).
     """
     if _active is not None:
-        _active.check(site, key)
+        try:
+            _active.check(site, key)
+        except Exception:
+            counter_inc(f"faults.injected.{site}")
+            raise
 
 
 def fault_poll(site: str, key: str = "") -> Optional["FaultSpec"]:
@@ -63,4 +70,7 @@ def fault_poll(site: str, key: str = "") -> Optional["FaultSpec"]:
     """
     if _active is None:
         return None
-    return _active.poll(site, key)
+    spec = _active.poll(site, key)
+    if spec is not None:
+        counter_inc(f"faults.injected.{site}")
+    return spec

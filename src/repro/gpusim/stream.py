@@ -30,6 +30,21 @@ _stream_ids = itertools.count(1)
 _event_ids = itertools.count(1)
 
 
+def reset_handle_ids() -> None:
+    """Restart stream/event id allocation from 1 (fresh-process state).
+
+    Handle ids are process-global, so a second run of the same experiment
+    in one process names its streams differently — harmless for execution
+    (equality is ``(device, id)``-scoped) but fatal for byte-reproducible
+    trace exports, whose track names embed the ids.  Scenario runners
+    (:mod:`repro.obs.scenarios`) call this before each run; production
+    code never needs to.
+    """
+    global _stream_ids, _event_ids
+    _stream_ids = itertools.count(1)
+    _event_ids = itertools.count(1)
+
+
 class Stream:
     """Handle to one simulated CUDA stream.
 

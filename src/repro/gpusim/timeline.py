@@ -97,6 +97,33 @@ class Timeline:
             peak = max(peak, level)
         return peak
 
+    def trace_events(self) -> list[dict]:
+        """Chrome trace-event dicts, one complete event per record.
+
+        The shared building block of :func:`to_chrome_trace` and the
+        unified exporter in :mod:`repro.obs.export` — one track (``tid``)
+        per CUDA stream under this device's process (``pid``).
+        """
+        events = []
+        for r in self.records:
+            events.append({
+                "name": r.name,
+                "cat": r.tag or "kernel",
+                "ph": "X",
+                "ts": r.start_us,
+                "dur": r.duration_us,
+                "pid": self.device or "gpu",
+                "tid": f"stream {r.stream_id}",
+                "args": {
+                    "grid": list(r.grid),
+                    "block": list(r.block),
+                    "registers": r.registers,
+                    "shared_mem": r.shared_mem,
+                    "enqueue_us": r.enqueue_us,
+                },
+            })
+        return events
+
 
 def ascii_timeline(
     timeline: Timeline,
@@ -107,8 +134,10 @@ def ascii_timeline(
     """Render the trace as one ASCII lane per stream (the paper's Fig. 3).
 
     Each kernel is drawn as a run of its name's first letter; overlap across
-    lanes is concurrency.
+    lanes is concurrency.  ``width`` is clamped below at 1 column so a
+    degenerate terminal width still renders one mark per kernel.
     """
+    width = max(1, int(width))
     recs = timeline.records
     if not recs:
         return "(empty timeline)"
@@ -135,23 +164,11 @@ def ascii_timeline(
 
 
 def to_chrome_trace(timeline: Timeline) -> str:
-    """Export as a Chrome ``chrome://tracing`` / Perfetto JSON string."""
-    events = []
-    for r in timeline.records:
-        events.append({
-            "name": r.name,
-            "cat": r.tag or "kernel",
-            "ph": "X",
-            "ts": r.start_us,
-            "dur": r.duration_us,
-            "pid": timeline.device or "gpu",
-            "tid": f"stream {r.stream_id}",
-            "args": {
-                "grid": list(r.grid),
-                "block": list(r.block),
-                "registers": r.registers,
-                "shared_mem": r.shared_mem,
-                "enqueue_us": r.enqueue_us,
-            },
-        })
-    return json.dumps({"traceEvents": events}, indent=1)
+    """Export as a Chrome ``chrome://tracing`` / Perfetto JSON string.
+
+    Device records only; for a merged host-span + device view use
+    :func:`repro.obs.export.to_perfetto_json` (or ``python -m repro
+    trace``), which layers :mod:`repro.obs.spans` tracks on top of these
+    per-stream lanes.
+    """
+    return json.dumps({"traceEvents": timeline.trace_events()}, indent=1)

@@ -1,0 +1,67 @@
+"""Observability: spans, metrics and Perfetto trace export.
+
+Three cooperating pieces, all zero-dependency and opt-in (with nothing
+installed every hook is a single ``None`` test, so uninstrumented runs are
+byte-identical to pre-instrumentation ones):
+
+* :mod:`repro.obs.spans` — hierarchical host-side spans over the
+  *simulated* clock (``span("milp.solve")`` as a context manager,
+  :func:`traced` as a decorator, :func:`instant` for point events);
+* :mod:`repro.obs.metrics` — a run-scoped registry of counters, gauges
+  and histograms replacing the scattered ad-hoc tallies the subsystems
+  used to keep privately;
+* :mod:`repro.obs.export` — a Chrome/Perfetto trace-event exporter that
+  merges host spans with the :mod:`repro.gpusim` device timeline into one
+  byte-deterministic JSON document.
+
+:mod:`repro.obs.scenarios` (imported on demand, not re-exported here — it
+pulls the full runtime stack) provides the canned experiments behind
+``python -m repro trace``.  See ``docs/observability.md`` for a worked
+example.
+"""
+
+from repro.obs.export import (
+    merged_trace_events,
+    to_perfetto_json,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    counter_inc,
+    gauge_max,
+    gauge_set,
+    observe,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    SpanRecorder,
+    instant,
+    recording,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanRecorder",
+    "collecting",
+    "counter_inc",
+    "gauge_max",
+    "gauge_set",
+    "instant",
+    "merged_trace_events",
+    "observe",
+    "recording",
+    "span",
+    "to_perfetto_json",
+    "traced",
+    "write_trace",
+]

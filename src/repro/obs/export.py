@@ -1,0 +1,121 @@
+"""Chrome/Perfetto trace-event export merging host spans + device slices.
+
+The :mod:`repro.gpusim` timeline shows what the *device* did (one slice
+per kernel, one track per CUDA stream); :mod:`repro.obs.spans` shows what
+the *host* did (profiling passes, MILP solves, dispatch, serving batches).
+This module merges both into one Chrome trace-event JSON document — the
+format ``chrome://tracing`` and https://ui.perfetto.dev read — so host
+phases and the kernel overlap they produced line up on a single zoomable
+timeline:
+
+* process ``host`` — one track (``tid``) per span category
+  (``runtime``, ``profile``, ``milp``, ``serve``, ``session``);
+* one process per GPU — one track per CUDA stream, exactly as the
+  existing :func:`repro.gpusim.timeline.to_chrome_trace` renders them.
+
+Output is **byte-deterministic**: every timestamp comes from the simulated
+clock, span ids are assigned in open order, events are emitted in a fixed
+sort order, and the JSON is serialized with sorted keys and fixed
+separators.  Two runs of the same scenario produce identical files, which
+is what makes the export round-trip testable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs.spans import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.timeline import Timeline
+
+HOST_PID = "host"
+
+
+def span_events(spans: Iterable[SpanRecord]) -> list[dict]:
+    """Chrome trace events for host spans (one track per category).
+
+    Closed spans become complete (``"ph": "X"``) events; zero-duration
+    spans become thread-scoped instant (``"ph": "i"``) events.  Events are
+    ordered by start time then span id, which is stable across runs.
+    """
+    events = []
+    ordered = sorted(spans, key=lambda s: (s.start_us, s.span_id))
+    for s in ordered:
+        args = dict(sorted(s.args.items()))
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        event = {
+            "name": s.name,
+            "cat": s.cat,
+            "pid": HOST_PID,
+            "tid": s.cat,
+            "ts": s.start_us,
+            "args": args,
+        }
+        if s.is_instant:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = s.duration_us
+        events.append(event)
+    return events
+
+
+def device_events(timeline: "Timeline") -> list[dict]:
+    """Chrome trace events for the device timeline, in stable order."""
+    ordered = sorted(
+        timeline.trace_events(),
+        key=lambda e: (e["ts"], e["tid"], e["name"]),
+    )
+    return ordered
+
+
+def merged_trace_events(
+    spans: Iterable[SpanRecord] = (),
+    timeline: Optional["Timeline"] = None,
+) -> list[dict]:
+    """Host span events followed by device slice events."""
+    events = span_events(spans)
+    if timeline is not None:
+        events.extend(device_events(timeline))
+    return events
+
+
+def to_perfetto_json(
+    spans: Iterable[SpanRecord] = (),
+    timeline: Optional["Timeline"] = None,
+    metrics: Optional[dict] = None,
+    meta: Optional[dict] = None,
+) -> str:
+    """Serialize one merged trace as a deterministic JSON string.
+
+    ``metrics`` (a :meth:`MetricsRegistry.snapshot` dict) and ``meta``
+    (scenario name, device, …) ride along as top-level keys; trace viewers
+    ignore keys they do not know.  The returned string always ends with a
+    newline and serializes with sorted keys and fixed separators, so equal
+    inputs give byte-equal output.
+    """
+    doc: dict = {"traceEvents": merged_trace_events(spans, timeline)}
+    if metrics is not None:
+        doc["metrics"] = metrics
+    if meta is not None:
+        doc["meta"] = meta
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_trace(
+    path,
+    spans: Iterable[SpanRecord] = (),
+    timeline: Optional["Timeline"] = None,
+    metrics: Optional[dict] = None,
+    meta: Optional[dict] = None,
+) -> str:
+    """Write :func:`to_perfetto_json` output to ``path``; returns the text."""
+    text = to_perfetto_json(spans, timeline, metrics=metrics, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

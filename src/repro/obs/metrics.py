@@ -1,0 +1,218 @@
+"""The metrics registry: counters, gauges and histograms in one place.
+
+Before this module existed every subsystem kept its own ad-hoc tallies —
+``GPU.kernels_launched``, ``RuntimeScheduler`` retry totals,
+``BoundedQueue.shed_overflow``, ``FaultInjector.fires`` — each with its own
+naming and no way to read them together.  The registry is the unified sink:
+instrumented sites publish through the module-level helpers
+(:func:`counter_inc`, :func:`gauge_set`, :func:`observe`) and a run-scoped
+:class:`MetricsRegistry` aggregates them under dotted names
+(``runtime.retries``, ``serve.queue.shed``, ``faults.injected.launch``).
+
+Like :mod:`repro.obs.spans` (and :mod:`repro.faults.hooks`), collection is
+opt-in: with no registry installed each helper is a single ``None`` test.
+Install one with :func:`collecting` or :func:`install`.
+
+Histograms reuse :meth:`repro.runtime.metrics.TimingSummary.percentile`,
+so serving latencies, layer times and span durations all report percentiles
+with the same (numpy-compatible, linearly interpolated) definition.
+
+>>> with collecting() as reg:
+...     counter_inc("runtime.retries")
+...     counter_inc("runtime.retries", 2)
+...     gauge_set("serve.queue.depth", 7)
+...     for v in (10.0, 20.0, 30.0, 40.0):
+...         observe("milp.solve_us", v)
+>>> reg.counter("runtime.retries").value
+3
+>>> reg.gauge("serve.queue.depth").value
+7
+>>> reg.histogram("milp.solve_us").percentile(50)
+25.0
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size, high-water mark)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark semantics)."""
+        self.value = max(self.value, value)
+
+
+class Histogram:
+    """A sample accumulator with :class:`TimingSummary` percentiles."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summary(self):
+        """The samples as a :class:`repro.runtime.metrics.TimingSummary`.
+
+        Raises ``ValueError`` on an empty histogram (as ``TimingSummary``
+        itself does for zero samples).
+        """
+        # Imported lazily: repro.runtime pulls the full runtime stack at
+        # package-import time, and this module must stay import-light so
+        # low-level modules (e.g. repro.faults.hooks) can depend on it.
+        from repro.runtime.metrics import TimingSummary
+        return TimingSummary.of(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile, via ``TimingSummary.percentile``."""
+        return self.summary().percentile(q)
+
+
+class MetricsRegistry:
+    """Run-scoped store of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything as one deterministic (sorted-key) plain dict.
+
+        Histograms are summarized (count / mean / p50 / p95 / p99 / max)
+        rather than dumped raw, so snapshots stay small and byte-stable.
+        """
+        out: dict = {
+            "counters": {n: c.value
+                         for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {},
+        }
+        for name, hist in sorted(self.histograms.items()):
+            if not hist.samples:
+                out["histograms"][name] = {"count": 0}
+                continue
+            s = hist.summary()
+            out["histograms"][name] = {
+                "count": hist.count,
+                "mean": s.mean,
+                "p50": s.p50,
+                "p95": s.p95,
+                "p99": s.p99,
+                "max": s.maximum,
+            }
+        return out
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry slot.
+# ----------------------------------------------------------------------
+_active: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The currently installed registry, or ``None``."""
+    return _active
+
+
+def install(registry: Optional[MetricsRegistry]
+            ) -> Optional[MetricsRegistry]:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def uninstall() -> Optional[MetricsRegistry]:
+    """Remove any installed registry; returns what was installed."""
+    return install(None)
+
+
+@contextmanager
+def collecting() -> Iterator[MetricsRegistry]:
+    """Install a fresh registry for the enclosed block; restore after."""
+    registry = MetricsRegistry()
+    previous = install(registry)
+    try:
+        yield registry
+    finally:
+        install(previous)
+
+
+def counter_inc(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` on the installed registry (or no-op)."""
+    if _active is not None:
+        _active.counter(name).inc(n)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` on the installed registry (or no-op)."""
+    if _active is not None:
+        _active.gauge(name).set(value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to at least ``value`` (or no-op)."""
+    if _active is not None:
+        _active.gauge(name).max(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (or no-op)."""
+    if _active is not None:
+        _active.histogram(name).observe(value)

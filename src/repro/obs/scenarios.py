@@ -1,0 +1,177 @@
+"""Canned trace scenarios behind ``python -m repro trace``.
+
+Each scenario is a small, fully deterministic experiment that runs with a
+:class:`~repro.obs.spans.SpanRecorder` and a
+:class:`~repro.obs.metrics.MetricsRegistry` installed and the device
+timeline recording, then packages all three into a :class:`TraceCapture`
+ready for Perfetto export.  Determinism is by construction:
+
+* every span timestamp comes from the simulated host clock;
+* GLP4NN-based scenarios use
+  :func:`repro.serve.engine.deterministic_analyze_fn`, which replaces the
+  measured (wall-clock) MILP ``T_a`` with a nominal cost derived from the
+  solver's deterministic work counters;
+* arrival traces and network weights are seeded.
+
+Two runs of the same scenario therefore produce byte-identical trace
+files — asserted by the export round-trip tests.
+
+This module imports the full runtime stack and is deliberately *not*
+re-exported from :mod:`repro.obs`; import it only where a trace is
+actually produced (the CLI, the example, the tests).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.gpusim.timeline import Timeline
+from repro.nn.zoo import build_lenet
+from repro.nn.zoo.table5 import CAFFENET_CONVS, SIAMESE_CONVS
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.export import to_perfetto_json, write_trace
+from repro.obs.spans import SpanRecord
+from repro.runtime.executor import FixedStreamExecutor
+from repro.runtime.lowering import lower_conv_forward
+from repro.runtime.session import TrainingSession
+from repro.serve.engine import ServingEngine, make_executor, resolve_device
+from repro.serve.request import poisson_trace
+
+
+@dataclass
+class TraceCapture:
+    """Everything one scenario run produced, ready for export."""
+
+    scenario: str
+    title: str
+    device: str
+    spans: list[SpanRecord]
+    timeline: Timeline
+    metrics: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """The merged Perfetto document as a deterministic JSON string."""
+        return to_perfetto_json(
+            self.spans, self.timeline, metrics=self.metrics,
+            meta={"scenario": self.scenario, "title": self.title,
+                  "device": self.device},
+        )
+
+    def write(self, path) -> str:
+        """Write the document to ``path``; returns the text written."""
+        return write_trace(
+            path, self.spans, self.timeline, metrics=self.metrics,
+            meta={"scenario": self.scenario, "title": self.title,
+                  "device": self.device},
+        )
+
+
+@contextmanager
+def _observing(gpu: GPU) -> Iterator[tuple]:
+    """Record spans (on ``gpu``'s simulated clock) and metrics; restore."""
+    recorder = obs_spans.SpanRecorder(clock=lambda: gpu.host_time)
+    registry = obs_metrics.MetricsRegistry()
+    prev_rec = obs_spans.install(recorder)
+    prev_reg = obs_metrics.install(registry)
+    try:
+        yield recorder, registry
+    finally:
+        obs_spans.install(prev_rec)
+        obs_metrics.install(prev_reg)
+
+
+def _capture(name: str, title: str, gpu: GPU, recorder, registry
+             ) -> TraceCapture:
+    return TraceCapture(
+        scenario=name,
+        title=title,
+        device=gpu.props.name,
+        spans=recorder.sorted_spans(),
+        timeline=gpu.timeline,
+        metrics=registry.snapshot(),
+    )
+
+
+# ----------------------------------------------------------------------
+# The scenarios
+# ----------------------------------------------------------------------
+def _run_fig3() -> TraceCapture:
+    """The paper's Fig. 3 setup: MNIST conv2 on 4 fixed streams (P100)."""
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    with _observing(gpu) as (rec, reg):
+        ex = FixedStreamExecutor(gpu, 4)
+        ex.run(lower_conv_forward(SIAMESE_CONVS[1]))
+    return _capture("fig3", "MNIST conv2, 4 fixed streams (paper Fig. 3)",
+                    gpu, rec, reg)
+
+
+def _run_conv5() -> TraceCapture:
+    """GLP4NN on CaffeNet conv5: profiling pass, then the concurrent pass."""
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    ex = make_executor("glp4nn", gpu)
+    work = lower_conv_forward(CAFFENET_CONVS[4])
+    with _observing(gpu) as (rec, reg):
+        ex.run(work)     # first execution: profile + MILP solve
+        ex.run(work)     # second execution: model-sized stream pool
+    return _capture(
+        "conv5", "GLP4NN on CaffeNet conv5: profile pass then "
+        "model-sized concurrent pass", gpu, rec, reg)
+
+
+def _run_train() -> TraceCapture:
+    """Two timing-only LeNet training iterations under GLP4NN."""
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    ex = make_executor("glp4nn", gpu)
+    net = build_lenet(batch=8, seed=0)
+    session = TrainingSession(net, ex, compute_numeric=False)
+    with _observing(gpu) as (rec, reg):
+        session.run_iteration()
+        session.run_iteration()
+    return _capture(
+        "train", "LeNet training (timing only), 2 iterations under GLP4NN",
+        gpu, rec, reg)
+
+
+def _run_serve() -> TraceCapture:
+    """A short LeNet serving run: warmup, admission, batching, SLOs."""
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    ex = make_executor("glp4nn", gpu)
+    engine = ServingEngine(ex, build_lenet, net_name="lenet",
+                           max_batch=4, queue_capacity=16, seed=0)
+    trace = poisson_trace(rps=200.0, duration_us=20_000.0,
+                          slo_us=60_000.0, seed=0)
+    with _observing(gpu) as (rec, reg):
+        engine.serve(trace)
+    return _capture(
+        "serve", "LeNet serving under GLP4NN: warmup, admission, "
+        "dynamic batches", gpu, rec, reg)
+
+
+#: Scenario name -> builder.  Deterministic iteration order (insertion).
+TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
+    "fig3": _run_fig3,
+    "conv5": _run_conv5,
+    "train": _run_train,
+    "serve": _run_serve,
+}
+
+
+def run_scenario(name: str) -> TraceCapture:
+    """Run one named scenario; raises with the available list if unknown."""
+    try:
+        build = TRACE_SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown trace scenario {name!r}; available: "
+            f"{', '.join(TRACE_SCENARIOS)}"
+        ) from None
+    # Stream names embed process-global handle ids; restart them so a
+    # scenario emits the same track names however often it is re-run.
+    reset_handle_ids()
+    return build()

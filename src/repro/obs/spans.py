@@ -1,0 +1,265 @@
+"""Hierarchical host-side spans over the *simulated* clock.
+
+A span is a named, timed interval of host work — "profile this layer",
+"solve the MILP", "close this serving batch" — recorded against whatever
+clock the caller chooses.  In this repository the clock is always a
+simulated one (``lambda: gpu.host_time``), never the wall clock, so span
+timelines are byte-reproducible: the same run produces the same spans with
+the same timestamps, every time.
+
+The module follows the :mod:`repro.faults.hooks` pattern: a process-wide
+recorder slot that instrumented call sites consult through
+:func:`span` / :func:`instant`.  With no recorder installed the hooks cost
+one ``None`` test and record nothing, so fault-free production paths are
+unchanged.  Install a recorder with :func:`recording` (context manager) or
+:func:`install`.
+
+Usage (context manager, decorator, instant events):
+
+>>> t = [0.0]
+>>> rec = SpanRecorder(clock=lambda: t[0])
+>>> with rec.span("milp.solve", cat="milp", layer="conv1") as h:
+...     t[0] = 40.0                    # simulated work
+...     h.set(c_out=6)
+>>> s = rec.spans[0]
+>>> (s.name, s.start_us, s.end_us, s.args["c_out"])
+('milp.solve', 0.0, 40.0, 6)
+
+Spans nest through an explicit stack, so a span opened inside another
+records its parent:
+
+>>> with rec.span("outer"):
+...     with rec.span("inner"):
+...         t[0] = 41.0
+>>> inner = next(s for s in rec.spans if s.name == "inner")
+>>> outer = next(s for s in rec.spans if s.name == "outer")
+>>> inner.parent_id == outer.span_id
+True
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: a named interval on the recorder's clock.
+
+    ``span_id`` values are assigned in open order starting from 1, so they
+    are stable across identical runs (a requirement for byte-reproducible
+    trace exports).  ``start_us == end_us`` marks an *instant* event.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    cat: str
+    start_us: float
+    end_us: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end_us <= self.start_us
+
+
+class _SpanHandle:
+    """Mutable view of an open span: lets the body attach result args."""
+
+    __slots__ = ("args",)
+
+    def __init__(self) -> None:
+        self.args: dict = {}
+
+    def set(self, **kwargs) -> None:
+        """Attach deterministic key/value args to the span being recorded."""
+        self.args.update(kwargs)
+
+
+class _NullHandle:
+    """The no-op handle yielded when no recorder is installed."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class SpanRecorder:
+    """Collects :class:`SpanRecord` s against an injected clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in µs.  Pass the
+        simulated host clock (``lambda: gpu.host_time``) for reproducible
+        traces; wall clocks work but forfeit determinism.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self.spans: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "host", **args
+             ) -> Iterator[_SpanHandle]:
+        """Record the enclosed block as one span (closed on exit).
+
+        The span is recorded even when the body raises — the exception
+        propagates, but the interval (up to the raise) is kept, which is
+        exactly what a degradation investigation needs to see.
+        """
+        span_id = next(self._ids)
+        parent = self._stack[-1] if self._stack else None
+        handle = _SpanHandle()
+        handle.args.update(args)
+        start = float(self.clock())
+        self._stack.append(span_id)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            end = float(self.clock())
+            self.spans.append(SpanRecord(
+                span_id=span_id,
+                parent_id=parent,
+                name=name,
+                cat=cat,
+                start_us=start,
+                end_us=max(end, start),
+                args=dict(handle.args),
+            ))
+
+    def instant(self, name: str, cat: str = "host", **args) -> SpanRecord:
+        """Record a zero-duration event at the current clock reading.
+
+        >>> rec = SpanRecorder(clock=lambda: 7.0)
+        >>> rec.instant("serve.reject", cat="serve", rid=3).is_instant
+        True
+        """
+        now = float(self.clock())
+        record = SpanRecord(
+            span_id=next(self._ids),
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            cat=cat,
+            start_us=now,
+            end_us=now,
+            args=dict(args),
+        )
+        self.spans.append(record)
+        return record
+
+    def sorted_spans(self) -> list[SpanRecord]:
+        """Spans in deterministic export order: by start time, then id."""
+        return sorted(self.spans, key=lambda s: (s.start_us, s.span_id))
+
+
+# ----------------------------------------------------------------------
+# Process-wide recorder slot (the repro.faults.hooks pattern).
+# ----------------------------------------------------------------------
+_active: Optional[SpanRecorder] = None
+
+
+def active_recorder() -> Optional[SpanRecorder]:
+    """The currently installed recorder, or ``None``."""
+    return _active
+
+
+def install(recorder: Optional[SpanRecorder]) -> Optional[SpanRecorder]:
+    """Install ``recorder`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+def uninstall() -> Optional[SpanRecorder]:
+    """Remove any installed recorder; returns what was installed."""
+    return install(None)
+
+
+@contextmanager
+def recording(clock: Callable[[], float]) -> Iterator[SpanRecorder]:
+    """Install a fresh recorder for the enclosed block; restore after.
+
+    >>> t = [0.0]
+    >>> with recording(lambda: t[0]) as rec:
+    ...     with span("work"):
+    ...         t[0] = 5.0
+    >>> [s.name for s in rec.spans]
+    ['work']
+    >>> active_recorder() is None
+    True
+    """
+    recorder = SpanRecorder(clock)
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)
+
+
+@contextmanager
+def span(name: str, cat: str = "host", **args) -> Iterator[_SpanHandle]:
+    """Record a span on the installed recorder; no-op when none is.
+
+    Always yields a handle whose :meth:`~_SpanHandle.set` is safe to call,
+    so instrumented sites need no ``if recording`` guards:
+
+    >>> with span("never.recorded") as h:
+    ...     h.set(ignored=True)      # no recorder installed: no-op
+    """
+    recorder = _active
+    if recorder is None:
+        yield _NULL_HANDLE
+        return
+    with recorder.span(name, cat=cat, **args) as handle:
+        yield handle
+
+
+def instant(name: str, cat: str = "host", **args) -> None:
+    """Record an instant event on the installed recorder (no-op when none)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.instant(name, cat=cat, **args)
+
+
+def traced(name: Optional[str] = None, cat: str = "host"):
+    """Decorator form of :func:`span` for whole functions.
+
+    >>> calls = []
+    >>> @traced("scenario.step", cat="scenario")
+    ... def step():
+    ...     calls.append(1)
+    >>> with recording(lambda: 0.0) as rec:
+    ...     step()
+    >>> (calls, rec.spans[0].name)
+    ([1], 'scenario.step')
+    """
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(span_name, cat=cat):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate

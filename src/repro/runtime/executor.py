@@ -22,6 +22,7 @@ from repro.core.framework import GLP4NN
 from repro.core.runtime_scheduler import DispatchPolicy, LayerRun, RuntimeScheduler
 from repro.gpusim.engine import GPU
 from repro.kernels.ir import LayerWork
+from repro.obs.spans import span
 
 
 class Executor:
@@ -40,7 +41,14 @@ class Executor:
 
     def run_pass(self, works: Iterable[LayerWork]) -> float:
         """Execute a sequence of layers; returns total elapsed µs."""
-        return sum(self.run(w).elapsed_us for w in works)
+        with span("runtime.pass", cat="runtime") as h:
+            total = 0.0
+            layers = 0
+            for w in works:
+                total += self.run(w).elapsed_us
+                layers += 1
+            h.set(layers=layers, elapsed_us=total)
+        return total
 
     @property
     def runs(self) -> list[LayerRun]:

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from repro.errors import SchedulingError
 from repro.gpusim.engine import GPU
 from repro.kernels.ir import LayerWork
+from repro.obs.metrics import counter_inc, observe
+from repro.obs.spans import span
 
 #: One-time cost of forking/joining a worker thread (OpenMP region entry).
 THREAD_SPAWN_US = 15.0
@@ -76,21 +78,27 @@ class MultiThreadDispatcher:
         per_launch = gpu.props.launch_latency_us * (
             1.0 + (self.threads - 1) * DRIVER_CONTENTION
         )
-        clocks = [start + THREAD_SPAWN_US] * self.threads
-        launches = 0
-        for i, chain in enumerate(work.parallel_chains):
-            t = i % self.threads
-            for spec in chain:
-                clocks[t] += per_launch
-                gpu.launch(spec, stream=self._streams[t],
-                           enqueue_at=clocks[t])
+        with span("runtime.multithread", cat="runtime", layer=work.key,
+                  threads=self.threads) as h:
+            clocks = [start + THREAD_SPAWN_US] * self.threads
+            launches = 0
+            for i, chain in enumerate(work.parallel_chains):
+                t = i % self.threads
+                for spec in chain:
+                    clocks[t] += per_launch
+                    gpu.launch(spec, stream=self._streams[t],
+                               enqueue_at=clocks[t])
+                    launches += 1
+            # join threads, then run whole-batch serial work on the main
+            # thread
+            gpu.host_time = max([gpu.host_time] + clocks) + THREAD_SPAWN_US
+            for spec in work.serial_kernels:
+                gpu.launch(spec)
                 launches += 1
-        # join threads, then run whole-batch serial work on the main thread
-        gpu.host_time = max([gpu.host_time] + clocks) + THREAD_SPAWN_US
-        for spec in work.serial_kernels:
-            gpu.launch(spec)
-            launches += 1
-        gpu.synchronize()
+            gpu.synchronize()
+            h.set(launches=launches)
+        counter_inc("runtime.multithread_layers")
+        observe("runtime.multithread_layer_us", gpu.host_time - start)
         run = MultiThreadRun(
             key=work.key,
             elapsed_us=gpu.host_time - start,

@@ -21,6 +21,8 @@ import numpy as np
 from repro.errors import ReproError
 from repro.nn.net import Net
 from repro.nn.solver import Solver, SolverConfig
+from repro.obs.metrics import observe
+from repro.obs.spans import span
 from repro.runtime.executor import Executor
 from repro.runtime.lowering import lower_net
 
@@ -84,23 +86,25 @@ class TrainingSession:
 
         ``batch`` is required when numeric training is on.
         """
-        if self.compute_numeric:
-            if batch is None:
-                raise ReproError("numeric training needs a batch")
-            assert self.solver is not None
-            loss = self.solver.step(batch)
-        else:
-            loss = float("nan")
-        if self.include_h2d:
-            gpu = self.executor.gpu
-            start = gpu.host_time
-            gpu.memcpy(self._input_bytes, "h2d")
-            gpu.synchronize()
-            h2d = gpu.host_time - start
-        else:
-            h2d = 0.0
-        fwd = h2d + self.executor.run_pass(self.forward_works)
-        bwd = self.executor.run_pass(self.backward_works)
+        with span("session.iteration", cat="session",
+                  iteration=self._iteration) as h:
+            if self.compute_numeric:
+                if batch is None:
+                    raise ReproError("numeric training needs a batch")
+                assert self.solver is not None
+                loss = self.solver.step(batch)
+            else:
+                loss = float("nan")
+            h2d = self._input_transfer()
+            with span("session.forward", cat="session"):
+                fwd = h2d + self.executor.run_pass(self.forward_works)
+            with span("session.backward", cat="session"):
+                bwd = self.executor.run_pass(self.backward_works)
+            h.set(sim_time_us=fwd + bwd)
+            if math.isfinite(loss):
+                # NaN (timing-only sessions) is not valid JSON — skip it.
+                h.set(loss=loss)
+        observe("session.iteration_us", fwd + bwd)
         timing = IterationTiming(
             iteration=self._iteration,
             loss=loss,
@@ -112,6 +116,18 @@ class TrainingSession:
         self._iteration += 1
         return timing
 
+    def _input_transfer(self) -> float:
+        """H2D copy of the input batch (0 when ``include_h2d`` is off)."""
+        if not self.include_h2d:
+            return 0.0
+        gpu = self.executor.gpu
+        start = gpu.host_time
+        with span("session.h2d", cat="session",
+                  nbytes=self._input_bytes):
+            gpu.memcpy(self._input_bytes, "h2d")
+            gpu.synchronize()
+        return gpu.host_time - start
+
     def run_inference(self, batch: Optional[dict[str, np.ndarray]] = None
                       ) -> IterationTiming:
         """Forward-only pass (the paper covers "training or inference").
@@ -119,24 +135,21 @@ class TrainingSession:
         Runs the net in test mode (dropout off) numerically when a batch is
         given, and meters only the forward kernel works on the simulator.
         """
-        if self.compute_numeric and batch is not None:
-            self.net.set_mode(False)
-            try:
-                self.net.forward(batch)
-                loss = self.net.loss_value()
-            finally:
-                self.net.set_mode(True)
-        else:
-            loss = float("nan")
-        if self.include_h2d:
-            gpu = self.executor.gpu
-            start = gpu.host_time
-            gpu.memcpy(self._input_bytes, "h2d")
-            gpu.synchronize()
-            h2d = gpu.host_time - start
-        else:
-            h2d = 0.0
-        fwd = h2d + self.executor.run_pass(self.forward_works)
+        with span("session.inference", cat="session",
+                  iteration=self._iteration):
+            if self.compute_numeric and batch is not None:
+                self.net.set_mode(False)
+                try:
+                    self.net.forward(batch)
+                    loss = self.net.loss_value()
+                finally:
+                    self.net.set_mode(True)
+            else:
+                loss = float("nan")
+            h2d = self._input_transfer()
+            with span("session.forward", cat="session"):
+                fwd = h2d + self.executor.run_pass(self.forward_works)
+        observe("session.inference_us", fwd)
         timing = IterationTiming(
             iteration=self._iteration,
             loss=loss,

@@ -43,6 +43,8 @@ from repro.nn.zoo import (
     build_lenet,
     build_siamese,
 )
+from repro.obs.metrics import counter_inc, gauge_max, gauge_set, observe
+from repro.obs.spans import instant, span
 from repro.runtime.executor import (
     Executor,
     FixedStreamExecutor,
@@ -94,7 +96,7 @@ def resolve_device(name: str) -> DeviceProperties:
     return get_device(name)     # let the catalog raise its usual error
 
 
-def _deterministic_analyze_fn(gpu: GPU) -> Callable:
+def deterministic_analyze_fn(gpu: GPU) -> Callable:
     """An analyzer whose ``T_a`` charge is simulated, not measured.
 
     The stock analytical model stamps each decision with the *wall-clock*
@@ -102,7 +104,9 @@ def _deterministic_analyze_fn(gpu: GPU) -> Callable:
     overhead measurement, but a determinism leak for serving (the charge
     lands on the simulated host clock).  Serving replaces it with a nominal
     cost derived from the solver's deterministic work counters, so two runs
-    with the same seed produce byte-identical timelines.
+    with the same seed produce byte-identical timelines.  The ``trace``
+    scenarios (:mod:`repro.obs.scenarios`) reuse it for the same reason:
+    byte-reproducible trace exports.
     """
     model = AnalyticalModel(gpu.props)
 
@@ -122,7 +126,7 @@ def make_executor(kind: str, gpu: GPU, fixed_streams: int = 4) -> Executor:
     """Build one of the comparable executors by name.
 
     The GLP4NN executor gets the deterministic-``T_a`` analyzer (see
-    :func:`_deterministic_analyze_fn`) so serving runs are replayable.
+    :func:`deterministic_analyze_fn`) so serving runs are replayable.
     """
     if kind == "naive":
         return NaiveExecutor(gpu)
@@ -130,7 +134,7 @@ def make_executor(kind: str, gpu: GPU, fixed_streams: int = 4) -> Executor:
         return FixedStreamExecutor(gpu, fixed_streams)
     if kind == "glp4nn":
         framework = GLP4NN([gpu], policy=DispatchPolicy.MODEL,
-                           analyze_fn=_deterministic_analyze_fn(gpu))
+                           analyze_fn=deterministic_analyze_fn(gpu))
         return GLP4NNExecutor(gpu, framework=framework)
     raise ReproError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
@@ -206,15 +210,17 @@ class ServingEngine:
         """
         if self._warmed:
             return
-        for bucket in self.cache.buckets:
-            _, works = self.cache.works_for(bucket)
+        with span("serve.warmup", cat="serve",
+                  buckets=len(self.cache.buckets)):
+            for bucket in self.cache.buckets:
+                _, works = self.cache.works_for(bucket)
+                for work in works:
+                    self.executor.run(work)
+            largest, works = self.cache.works_for(self.cache.buckets[-1])
+            start = self.gpu.host_time
             for work in works:
                 self.executor.run(work)
-        largest, works = self.cache.works_for(self.cache.buckets[-1])
-        start = self.gpu.host_time
-        for work in works:
-            self.executor.run(work)
-        self._update_estimate((self.gpu.host_time - start) / largest)
+            self._update_estimate((self.gpu.host_time - start) / largest)
         self._warmed = True
 
     def _update_estimate(self, per_request_us: float) -> None:
@@ -262,37 +268,59 @@ class ServingEngine:
                                      self.service_estimate_us):
             self.slo.shed(request, Outcome.SHED_ADMISSION,
                           detail="projected finish past deadline")
+            instant("serve.reject", cat="serve", rid=request.rid,
+                    why="admission")
             return
         admitted = self.queue.offer(request, now)
         for victim in self.queue.drain_evicted():
             self.slo.shed(victim, Outcome.SHED_QUEUE, detail="evicted")
+            instant("serve.reject", cat="serve", rid=victim.rid,
+                    why="evicted")
         if not admitted:
             self.slo.shed(request, Outcome.SHED_QUEUE, detail="queue full")
+            instant("serve.reject", cat="serve", rid=request.rid,
+                    why="queue full")
+        else:
+            instant("serve.admit", cat="serve", rid=request.rid,
+                    depth=len(self.queue))
+        gauge_set("serve.queue.depth", len(self.queue))
+        gauge_max("serve.queue.high_water", self.queue.high_water)
 
     def _run_batch(self) -> None:
         batch = self.batcher.form(self.queue)
         bucket, works = self.cache.works_for(len(batch))
         start = self.gpu.host_time
         failure = ""
-        try:
-            for work in works:
-                self.executor.run(work)
-        except DegradedError as e:
-            failure = str(e)
-            self.failed_batches += 1
+        with span("serve.batch", cat="serve", size=len(batch),
+                  bucket=bucket) as h:
             try:
-                # Best-effort drain so the next batch starts clean; under a
-                # persistent sync fault this may fail too — the retry
-                # backoffs already advanced the clock, so serving proceeds.
-                self.gpu.synchronize()
-            except ReproError:
-                pass
+                for work in works:
+                    self.executor.run(work)
+            except DegradedError as e:
+                failure = str(e)
+                self.failed_batches += 1
+                h.set(failed=True)
+                try:
+                    # Best-effort drain so the next batch starts clean;
+                    # under a persistent sync fault this may fail too — the
+                    # retry backoffs already advanced the clock, so serving
+                    # proceeds.
+                    self.gpu.synchronize()
+                except ReproError:
+                    pass
+        counter_inc("serve.batches")
+        observe("serve.batch_size", len(batch))
+        if failure:
+            counter_inc("serve.failed_batches")
         finish = self.gpu.host_time - self._base_us
         for request in batch:
             if failure:
                 self.slo.shed(request, Outcome.FAILED, detail=failure)
             else:
-                self.slo.complete(request, finish, batch_size=len(batch))
+                rec = self.slo.complete(request, finish,
+                                        batch_size=len(batch))
+                if rec.latency_us is not None:
+                    observe("serve.latency_us", rec.latency_us)
         if not failure:
             self._update_estimate((self.gpu.host_time - start) / len(batch))
 

@@ -25,6 +25,7 @@ import enum
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.obs.metrics import counter_inc
 from repro.serve.request import InferenceRequest
 
 
@@ -95,14 +96,17 @@ class BoundedQueue:
         if self.full:
             if self.overflow is OverflowPolicy.REJECT_NEWEST:
                 self.shed_overflow += 1
+                counter_inc("serve.queue.shed")
                 return False
             stale = min(range(len(self._waiting)),
                         key=lambda i: self._waiting[i][1])
             victim, _ = self._waiting.pop(stale)
             self.evicted.append(victim)
             self.shed_overflow += 1
+            counter_inc("serve.queue.shed")
         self._waiting.append((request, now))
         self.admitted += 1
+        counter_inc("serve.queue.admitted")
         self.high_water = max(self.high_water, len(self._waiting))
         return True
 
@@ -144,5 +148,6 @@ class AdmissionController:
         projected = now + (queued + 1) * service_estimate_us
         if projected > request.deadline_us:
             self.rejected += 1
+            counter_inc("serve.admission.rejected")
             return False
         return True

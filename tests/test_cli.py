@@ -90,3 +90,34 @@ class TestServeCommand:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestTraceCommand:
+    def test_trace_without_scenario_lists_available(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "conv5", "train", "serve"):
+            assert name in out
+
+    def test_trace_unknown_scenario(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown trace scenario" in captured.err
+        assert "fig3" in captured.out      # available list printed
+
+    def test_trace_writes_merged_chrome_trace(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "fig3.json"
+        assert main(["trace", "fig3", "-o", str(out_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert "host span(s)" in stdout and "device slice(s)" in stdout
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert "host" in pids and "P100" in pids
+        assert doc["meta"]["scenario"] == "fig3"
+
+    def test_trace_output_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "fig3", "-o", str(a)]) == 0
+        assert main(["trace", "fig3", "-o", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,31 @@
+"""The documentation link/reference checker passes on the repo itself."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_check_docs_passes():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py"), str(ROOT)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_broken_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/nope.md) and `repro.nosuch.module`\n",
+        encoding="utf-8",
+    )
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py"),
+         str(tmp_path)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "broken link" in proc.stdout
+    assert "unresolved module" in proc.stdout

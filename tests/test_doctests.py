@@ -14,6 +14,8 @@ MODULES = [
     "repro.nn.config",
     "repro.core.framework",
     "repro.runtime.metrics",
+    "repro.obs.spans",
+    "repro.obs.metrics",
     "repro.serve.request",
     "repro.serve.queue",
     "repro.serve.batcher",

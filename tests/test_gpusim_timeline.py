@@ -96,3 +96,43 @@ class TestRendering:
         assert ev["ph"] == "X"
         assert ev["args"]["grid"] == [4, 1, 1]
         assert ev["tid"] == "stream 1"
+
+    def test_chrome_trace_empty_timeline(self):
+        doc = json.loads(to_chrome_trace(Timeline()))
+        assert doc == {"traceEvents": []}
+
+    def test_trace_events_one_per_record(self):
+        t = Timeline()          # no device name: pid falls back to "gpu"
+        t.add(rec(stream=1, start=0, end=10))
+        t.add(rec(stream=2, start=5, end=15))
+        events = t.trace_events()
+        assert len(events) == 2
+        assert {e["pid"] for e in events} == {"gpu"}
+        assert {e["tid"] for e in events} == {"stream 1", "stream 2"}
+
+    def test_overlapping_records_on_one_stream_all_rendered(self):
+        # Overlap within one stream cannot happen on real hardware, but
+        # the renderers must not lose or merge such records (they can be
+        # produced by hand-built timelines and by future preemption
+        # models).
+        t = Timeline("P100")
+        t.add(rec(name="a", stream=1, start=0.0, end=10.0))
+        t.add(rec(name="b", stream=1, start=5.0, end=15.0))
+        doc = json.loads(to_chrome_trace(t))
+        assert len(doc["traceEvents"]) == 2
+        assert t.max_concurrency() == 2
+        lanes = ascii_timeline(t, width=30)
+        assert "a" in lanes and "b" in lanes
+
+    def test_ascii_width_clamped_to_at_least_one_column(self):
+        t = Timeline("P100")
+        t.add(rec(name="k", start=0.0, end=10.0))
+        for width in (0, -5, 1):
+            out = ascii_timeline(t, width=width)
+            assert "1 cols" in out
+            assert "k" in out
+
+    def test_ascii_fractional_width_truncated(self):
+        t = Timeline("P100")
+        t.add(rec(name="k", start=0.0, end=10.0))
+        assert "2 cols" in ascii_timeline(t, width=2.9)

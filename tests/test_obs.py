@@ -1,0 +1,320 @@
+"""Tests for the observability layer: spans, metrics, trace export."""
+
+import json
+
+import pytest
+
+from repro.gpusim.engine import GPU
+from repro.gpusim.device import get_device
+from repro.gpusim.timeline import Timeline, TraceRecord
+from repro.obs import export, metrics, spans
+from repro.obs.scenarios import TRACE_SCENARIOS, run_scenario
+from repro.runtime.executor import FixedStreamExecutor
+from repro.runtime.lowering import lower_conv_forward
+from repro.nn.zoo.table5 import SIAMESE_CONVS
+
+
+@pytest.fixture(autouse=True)
+def _clean_slots():
+    """Every test starts and ends with no recorder/registry installed."""
+    spans.uninstall()
+    metrics.uninstall()
+    yield
+    spans.uninstall()
+    metrics.uninstall()
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpanRecorder:
+    def test_span_records_interval_and_args(self):
+        t = [0.0]
+        rec = spans.SpanRecorder(clock=lambda: t[0])
+        with rec.span("work", cat="runtime", layer="conv1") as h:
+            t[0] = 12.5
+            h.set(streams=4)
+        (s,) = rec.spans
+        assert (s.name, s.cat) == ("work", "runtime")
+        assert (s.start_us, s.end_us) == (0.0, 12.5)
+        assert s.args == {"layer": "conv1", "streams": 4}
+        assert s.duration_us == pytest.approx(12.5)
+        assert not s.is_instant
+
+    def test_nesting_records_parent_ids(self):
+        rec = spans.SpanRecorder(clock=lambda: 0.0)
+        with rec.span("outer"):
+            with rec.span("mid"):
+                with rec.span("inner"):
+                    pass
+            rec.instant("tick")
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["mid"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["mid"].span_id
+        assert by_name["tick"].parent_id == by_name["outer"].span_id
+
+    def test_ids_assigned_in_open_order_from_one(self):
+        rec = spans.SpanRecorder(clock=lambda: 0.0)
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        rec.instant("c")
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["a"].span_id == 1
+        assert by_name["b"].span_id == 2
+        assert by_name["c"].span_id == 3
+
+    def test_span_recorded_when_body_raises(self):
+        t = [0.0]
+        rec = spans.SpanRecorder(clock=lambda: t[0])
+        with pytest.raises(RuntimeError):
+            with rec.span("failing"):
+                t[0] = 3.0
+                raise RuntimeError("boom")
+        (s,) = rec.spans
+        assert s.name == "failing"
+        assert s.end_us == 3.0
+        assert not rec._stack     # stack unwound
+
+    def test_clock_regression_clamped(self):
+        t = [10.0]
+        rec = spans.SpanRecorder(clock=lambda: t[0])
+        with rec.span("weird"):
+            t[0] = 5.0
+        (s,) = rec.spans
+        assert s.end_us == s.start_us == 10.0
+        assert s.is_instant
+
+    def test_module_hooks_are_noops_without_recorder(self):
+        assert spans.active_recorder() is None
+        with spans.span("ignored") as h:
+            h.set(anything=1)        # must not raise
+        spans.instant("ignored")
+
+    def test_recording_installs_and_restores(self):
+        with spans.recording(lambda: 1.0) as rec:
+            assert spans.active_recorder() is rec
+            with spans.span("seen"):
+                pass
+        assert spans.active_recorder() is None
+        assert [s.name for s in rec.spans] == ["seen"]
+
+    def test_recording_restores_previous_recorder(self):
+        outer = spans.SpanRecorder(clock=lambda: 0.0)
+        spans.install(outer)
+        with spans.recording(lambda: 0.0):
+            pass
+        assert spans.active_recorder() is outer
+
+    def test_traced_decorator(self):
+        @spans.traced("step.run", cat="scenario")
+        def step(x):
+            return x + 1
+
+        with spans.recording(lambda: 0.0) as rec:
+            assert step(1) == 2
+        assert rec.spans[0].name == "step.run"
+        assert rec.spans[0].cat == "scenario"
+
+    def test_sorted_spans_by_start_then_id(self):
+        t = [5.0]
+        rec = spans.SpanRecorder(clock=lambda: t[0])
+        rec.instant("late")
+        t[0] = 1.0
+        rec.instant("early")
+        t[0] = 5.0
+        rec.instant("late2")
+        assert [s.name for s in rec.sorted_spans()] == [
+            "early", "late", "late2"]
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        with metrics.collecting() as reg:
+            metrics.counter_inc("c")
+            metrics.counter_inc("c", 4)
+            metrics.gauge_set("g", 3.0)
+            metrics.gauge_max("hw", 2.0)
+            metrics.gauge_max("hw", 7.0)
+            metrics.gauge_max("hw", 4.0)
+            for v in (1.0, 2.0, 3.0, 4.0):
+                metrics.observe("h", v)
+        assert reg.counter("c").value == 5
+        assert reg.gauge("g").value == 3.0
+        assert reg.gauge("hw").value == 7.0
+        assert reg.histogram("h").count == 4
+        assert reg.histogram("h").percentile(50) == pytest.approx(2.5)
+
+    def test_counter_rejects_negative(self):
+        reg = metrics.MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_histogram_percentile_matches_timing_summary(self):
+        from repro.runtime.metrics import TimingSummary
+        samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        h = metrics.Histogram("x")
+        for s in samples:
+            h.observe(s)
+        for q in (50, 95, 99):
+            assert h.percentile(q) == TimingSummary.of(samples).percentile(q)
+
+    def test_hooks_are_noops_without_registry(self):
+        metrics.counter_inc("nope")
+        metrics.gauge_set("nope", 1.0)
+        metrics.gauge_max("nope", 1.0)
+        metrics.observe("nope", 1.0)
+        assert metrics.active_registry() is None
+
+    def test_snapshot_sorted_and_json_safe(self):
+        with metrics.collecting() as reg:
+            metrics.counter_inc("b.two")
+            metrics.counter_inc("a.one")
+            metrics.observe("lat", 10.0)
+            reg.histogram("empty")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.one", "b.two"]
+        assert snap["histograms"]["empty"] == {"count": 0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)    # must be serializable as-is
+
+    def test_collecting_restores_previous_registry(self):
+        outer = metrics.MetricsRegistry()
+        metrics.install(outer)
+        with metrics.collecting():
+            pass
+        assert metrics.active_registry() is outer
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def _device_timeline():
+    t = Timeline("P100")
+    t.add(TraceRecord(
+        name="sgemm", tag="conv1/s0", stream_id=1, enqueue_us=0.0,
+        start_us=1.0, end_us=5.0, grid=(4, 1, 1), block=(256, 1, 1),
+        registers=32, shared_mem=0))
+    return t
+
+
+class TestExport:
+    def test_span_events_complete_and_instant(self):
+        t = [2.0]
+        rec = spans.SpanRecorder(clock=lambda: t[0])
+        with rec.span("phase", cat="runtime"):
+            t[0] = 6.0
+        rec.instant("mark", cat="serve", rid=7)
+        complete, instant_ev = export.span_events(rec.spans)
+        assert complete["ph"] == "X" and complete["dur"] == 4.0
+        assert complete["pid"] == "host" and complete["tid"] == "runtime"
+        assert instant_ev["ph"] == "i" and instant_ev["s"] == "t"
+        assert instant_ev["args"]["rid"] == 7
+
+    def test_merged_doc_has_host_and_device_tracks(self):
+        rec = spans.SpanRecorder(clock=lambda: 0.0)
+        with rec.span("runtime.layer", cat="runtime"):
+            pass
+        doc = json.loads(export.to_perfetto_json(
+            rec.spans, _device_timeline(), metrics={"counters": {}},
+            meta={"scenario": "t"}))
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {"host", "P100"}
+        assert doc["meta"] == {"scenario": "t"}
+        assert doc["metrics"] == {"counters": {}}
+
+    def test_output_is_byte_deterministic(self):
+        rec = spans.SpanRecorder(clock=lambda: 0.0)
+        rec.instant("z", b=2, a=1)
+        a = export.to_perfetto_json(rec.spans, _device_timeline())
+        b = export.to_perfetto_json(rec.spans, _device_timeline())
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_empty_inputs_export_cleanly(self):
+        doc = json.loads(export.to_perfetto_json())
+        assert doc == {"traceEvents": []}
+
+
+# ----------------------------------------------------------------------
+# Instrumentation integration
+# ----------------------------------------------------------------------
+class TestInstrumentation:
+    def test_fixed_executor_emits_spans_and_metrics(self):
+        gpu = GPU(get_device("P100"), record_timeline=True)
+        ex = FixedStreamExecutor(gpu, 4)
+        work = lower_conv_forward(SIAMESE_CONVS[1])
+        with metrics.collecting() as reg:
+            with spans.recording(lambda: gpu.host_time) as rec:
+                ex.run(work)
+        names = {s.name for s in rec.spans}
+        assert {"runtime.layer", "runtime.dispatch",
+                "runtime.sync"} <= names
+        assert reg.counter("runtime.layers").value == 1
+        assert reg.histogram("runtime.layer_us").count == 1
+        layer = next(s for s in rec.spans if s.name == "runtime.layer")
+        assert layer.args["layer"] == work.key
+        assert layer.duration_us > 0
+
+    def test_instrumentation_does_not_change_timings(self):
+        def run_once(observed: bool) -> float:
+            from repro.gpusim.stream import reset_handle_ids
+            reset_handle_ids()
+            gpu = GPU(get_device("P100"))
+            ex = FixedStreamExecutor(gpu, 4)
+            work = lower_conv_forward(SIAMESE_CONVS[1])
+            if observed:
+                with metrics.collecting():
+                    with spans.recording(lambda: gpu.host_time):
+                        run = ex.run(work)
+            else:
+                run = ex.run(work)
+            return run.elapsed_us
+
+        assert run_once(True) == run_once(False)
+
+
+# ----------------------------------------------------------------------
+# Scenarios / round trip
+# ----------------------------------------------------------------------
+class TestScenarios:
+    def test_unknown_scenario_lists_available(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="fig3"):
+            run_scenario("nope")
+
+    def test_fig3_roundtrip_is_byte_deterministic(self):
+        a = run_scenario("fig3").to_json()
+        b = run_scenario("fig3").to_json()
+        assert a == b
+
+    def test_fig3_capture_merges_host_and_device(self):
+        cap = run_scenario("fig3")
+        doc = json.loads(cap.to_json())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert "host" in pids and "P100" in pids
+        stream_tids = {e["tid"] for e in doc["traceEvents"]
+                       if e["pid"] == "P100"}
+        assert len(stream_tids) >= 4      # one track per stream
+        assert doc["meta"]["scenario"] == "fig3"
+        assert doc["metrics"]["counters"]["runtime.layers"] == 1
+
+    def test_scenarios_leave_no_slots_installed(self):
+        run_scenario("fig3")
+        assert spans.active_recorder() is None
+        assert metrics.active_registry() is None
+
+    def test_all_scenarios_registered_and_documented(self):
+        assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve"}
+        for fn in TRACE_SCENARIOS.values():
+            assert fn.__doc__
+
+    def test_write_roundtrips_cli_document(self, tmp_path):
+        path = tmp_path / "trace.json"
+        cap = run_scenario("fig3")
+        text = cap.write(path)
+        assert path.read_text(encoding="utf-8") == text == cap.to_json()

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.comm",
     "repro.bench",
     "repro.serve",
+    "repro.obs",
 ]
 
 

@@ -23,6 +23,11 @@ Commands
     export a merged host + device Chrome/Perfetto trace (see
     ``docs/observability.md``).  ``trace`` with no scenario lists the
     available ones.
+``verify [--network N --seed S --rounds R --replay FILE]``
+    Convergence-invariance verification (see ``docs/verification.md``):
+    differential equivalence across every executor, schedule fuzzing with
+    witness shrinking, and fault-plan fuzzing.  ``--replay witness.json``
+    re-executes a saved witness and exits 1 if it still reproduces.
 ``selftest [device ...]``
     Micro-benchmark simulated devices against their spec sheets.
 """
@@ -246,6 +251,62 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.errors import ReproError
+    from repro.verify import (
+        VerifyReport,
+        fuzz_faults,
+        fuzz_schedules,
+        replay_witness,
+        run_differential,
+    )
+
+    if args.replay:
+        try:
+            replay = replay_witness(args.replay)
+        except ReproError as e:
+            print(f"replay failed: {e}", file=sys.stderr)
+            return 2
+        print(replay.render())
+        return 1 if replay.reproduced else 0
+
+    parts = (["differential", "schedule", "faults"] if args.only == "all"
+             else [args.only])
+    report = VerifyReport(network=args.network, device=args.device,
+                          seed=args.seed)
+    try:
+        if "differential" in parts:
+            report.differential = run_differential(
+                network=args.network, device=args.device, seed=args.seed,
+                iterations=args.iterations, batch=args.batch,
+            )
+        if "schedule" in parts:
+            report.schedule = fuzz_schedules(
+                network=args.network, device=args.device, seed=args.seed,
+                rounds=args.rounds, batch=args.batch,
+                witness_path=args.witness,
+            )
+        if "faults" in parts:
+            report.faults = fuzz_faults(
+                network=args.network, device=args.device, seed=args.seed,
+                rounds=args.fault_rounds, batch=args.batch,
+                iterations=args.iterations,
+            )
+    except ReproError as e:
+        print(f"verify failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        # Write the report even on failure paths: CI publishes it as the
+        # divergence artifact.
+        if args.report:
+            report.save(args.report)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -327,6 +388,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--out", default="trace.json",
                        help="output path (default: trace.json)")
     trace.set_defaults(fn=cmd_trace)
+    verify = sub.add_parser(
+        "verify",
+        help="convergence-invariance verification (differential + fuzzing)",
+    )
+    verify.add_argument("--network", default="cifar10",
+                        help="zoo network to verify (default: cifar10)")
+    verify.add_argument("--device", default="p100",
+                        help="simulated GPU (default: p100)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="network / batch / fuzz seed (default: 0)")
+    verify.add_argument("--rounds", type=int, default=25,
+                        help="schedule-fuzz rounds (default: 25)")
+    verify.add_argument("--fault-rounds", type=int, default=10,
+                        help="fault-fuzz rounds (default: 10)")
+    verify.add_argument("--iterations", type=int, default=2,
+                        help="training iterations per path (default: 2)")
+    verify.add_argument("--batch", type=int, default=8,
+                        help="verification batch size (default: 8)")
+    verify.add_argument("--only", default="all",
+                        choices=["all", "differential", "schedule",
+                                 "faults"],
+                        help="run a single component (default: all)")
+    verify.add_argument("--replay", metavar="WITNESS.json", default=None,
+                        help="replay a saved schedule witness; exit 1 if "
+                             "it reproduces")
+    verify.add_argument("--witness", metavar="OUT.json", default=None,
+                        help="where to save a shrunk failure witness "
+                             "(default: schedule_witness_<net>_...json)")
+    verify.add_argument("--report", metavar="OUT.json", default=None,
+                        help="write the combined report as JSON (written "
+                             "even when verification fails)")
+    verify.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of text")
+    verify.set_defaults(fn=cmd_verify)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"
     )

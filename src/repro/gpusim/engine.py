@@ -259,6 +259,14 @@ class GPU:
         self.launch_hooks: list[Callable[["GPU", KernelExecution], None]] = []
         self.completion_hooks: list[Callable[["GPU", KernelExecution], None]] = []
 
+        # Order-permutation hook (the schedule fuzzer's device-side axis):
+        # given the list of slot-waiting kernels, return the index to grant
+        # next.  Every waiter is dependency-resolved by construction, so any
+        # choice preserves program-order constraints — only interleaving
+        # changes.  ``None`` keeps CUDA semantics (priority, then FIFO).
+        self.grant_policy: Optional[
+            Callable[[list[KernelExecution]], int]] = None
+
     # ------------------------------------------------------------------
     # Stream management
     # ------------------------------------------------------------------
@@ -513,15 +521,24 @@ class GPU:
     def _try_grant(self) -> None:
         limit = self.props.max_concurrent_kernels
         while self._slot_waiters and self._active_kernels < limit:
-            # CUDA priority semantics: the highest-priority (lowest value)
-            # waiting kernel takes the freed slot; FIFO within a priority.
-            best = min(
-                range(len(self._slot_waiters)),
-                key=lambda i: (
-                    self._stream_priority(self._slot_waiters[i].stream_id),
-                    i,
-                ),
-            )
+            if self.grant_policy is not None:
+                best = int(self.grant_policy(self._slot_waiters))
+                if not 0 <= best < len(self._slot_waiters):
+                    raise SimulationError(
+                        f"grant_policy returned {best}, outside "
+                        f"[0, {len(self._slot_waiters)})"
+                    )
+            else:
+                # CUDA priority semantics: the highest-priority (lowest
+                # value) waiting kernel takes the freed slot; FIFO within
+                # a priority.
+                best = min(
+                    range(len(self._slot_waiters)),
+                    key=lambda i: (
+                        self._stream_priority(self._slot_waiters[i].stream_id),
+                        i,
+                    ),
+                )
             ke = self._slot_waiters.pop(best)
             ke.state = _ACTIVE
             self._active_kernels += 1

@@ -125,6 +125,94 @@ class Timeline:
         return events
 
 
+@dataclass(frozen=True)
+class DependencyViolation:
+    """One trace inconsistency found by :func:`check_timeline`.
+
+    ``rule`` names the invariant broken (``clock``, ``stream-fifo`` or
+    ``default-barrier``); ``kernel``/``other`` are the offending record
+    names, ``detail`` is a human-readable account with timestamps.
+    """
+
+    rule: str
+    kernel: str
+    other: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+#: Timestamp slack for floating-point comparisons, µs.
+_EPS = 1e-6
+
+
+def check_timeline(records: Iterable[TraceRecord]
+                   ) -> list[DependencyViolation]:
+    """Validate the structural dependency invariants of a trace.
+
+    Checks only what every legal trace must satisfy, with no knowledge of
+    the workload that produced it:
+
+    * **clock** — ``enqueue <= start <= end`` for every record;
+    * **stream-fifo** — records on one stream, taken in enqueue order, do
+      not overlap (a stream is a FIFO queue: the next op cannot start
+      before the previous one ends);
+    * **default-barrier** — legacy default-stream semantics: a record on
+      stream 0 starts only after everything enqueued before it has ended,
+      and nothing enqueued after it starts before it ends.
+
+    Assumes host issue order matches enqueue-timestamp order (true for
+    single-threaded dispatch; multi-threaded ``enqueue_at`` launches can
+    legitimately interleave and are not checked here).  Returns every
+    violation found, in a deterministic order.
+    """
+    recs = sorted(records, key=lambda r: (r.enqueue_us, r.start_us, r.name))
+    out: list[DependencyViolation] = []
+    for r in recs:
+        if r.start_us < r.enqueue_us - _EPS or r.end_us < r.start_us - _EPS:
+            out.append(DependencyViolation(
+                "clock", r.name, "",
+                f"{r.name} (stream {r.stream_id}): enqueue={r.enqueue_us:.3f}"
+                f" start={r.start_us:.3f} end={r.end_us:.3f} not monotonic",
+            ))
+    by_stream: dict[int, list[TraceRecord]] = {}
+    for r in recs:
+        by_stream.setdefault(r.stream_id, []).append(r)
+    for sid, group in sorted(by_stream.items()):
+        for prev, cur in zip(group, group[1:]):
+            if cur.start_us < prev.end_us - _EPS:
+                out.append(DependencyViolation(
+                    "stream-fifo", cur.name, prev.name,
+                    f"stream {sid}: {cur.name} starts at {cur.start_us:.3f}"
+                    f" before predecessor {prev.name} ends at "
+                    f"{prev.end_us:.3f}",
+                ))
+    for d in recs:
+        if d.stream_id != 0:
+            continue
+        for r in recs:
+            if r is d:
+                continue
+            if r.enqueue_us < d.enqueue_us - _EPS \
+                    and r.end_us > d.start_us + _EPS:
+                out.append(DependencyViolation(
+                    "default-barrier", d.name, r.name,
+                    f"default-stream {d.name} starts at {d.start_us:.3f}"
+                    f" before earlier {r.name} (stream {r.stream_id}) ends"
+                    f" at {r.end_us:.3f}",
+                ))
+            elif r.enqueue_us > d.enqueue_us + _EPS \
+                    and r.start_us < d.end_us - _EPS:
+                out.append(DependencyViolation(
+                    "default-barrier", d.name, r.name,
+                    f"{r.name} (stream {r.stream_id}) starts at "
+                    f"{r.start_us:.3f} before default-stream {d.name}"
+                    f" ends at {d.end_us:.3f}",
+                ))
+    return out
+
+
 def ascii_timeline(
     timeline: Timeline,
     width: int = 78,

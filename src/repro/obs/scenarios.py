@@ -153,12 +153,45 @@ def _run_serve() -> TraceCapture:
         "dynamic batches", gpu, rec, reg)
 
 
+def _run_verify() -> TraceCapture:
+    """Three schedule-fuzz rounds on LeNet, one observed device timeline."""
+    from repro.nn.zoo import build_lenet as _build
+    from repro.runtime.lowering import lower_net
+    from repro.verify.schedule import (
+        ScheduleRunner,
+        identity_plan,
+        random_plan,
+    )
+
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    net = _build(batch=4, seed=0)
+    works = (list(lower_net(net, "forward"))
+             + list(lower_net(net, "backward")))
+    runner = ScheduleRunner(works, pool_size=4)
+    with _observing(gpu) as (rec, reg):
+        with obs_spans.span("verify.scenario", cat="verify"):
+            with obs_spans.span("verify.schedule.round", cat="verify",
+                                round=-1):
+                runner.run(identity_plan(works, "lenet", "p100", 4, 0),
+                           gpu=gpu)
+            for r in range(2):
+                plan = random_plan(works, "lenet", "p100", 4, 0, r)
+                with obs_spans.span("verify.schedule.round", cat="verify",
+                                    round=r):
+                    runner.run(plan, gpu=gpu)
+                obs_metrics.counter_inc("verify.schedule.rounds")
+    return _capture(
+        "verify", "LeNet schedule fuzzing: identity round plus two "
+        "seeded permutation rounds", gpu, rec, reg)
+
+
 #: Scenario name -> builder.  Deterministic iteration order (insertion).
 TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "fig3": _run_fig3,
     "conv5": _run_conv5,
     "train": _run_train,
     "serve": _run_serve,
+    "verify": _run_verify,
 }
 
 

@@ -19,8 +19,8 @@ module answers the *timing/scaling* question.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 from repro.comm import AllReduceModel, PCIE3
 from repro.errors import ReproError
@@ -114,3 +114,58 @@ class DataParallelSession:
         """Speedup over one replica divided by the replica count."""
         t = self.steady_state_time_us(skip=skip)
         return (single_replica_us / t) / len(self.executors)
+
+
+class DataParallelExecutor(Executor):
+    """Executor facade over synchronous data parallelism.
+
+    Each layer work's per-sample chains are sharded round-robin across the
+    replica executors (each owning its own GPU); whole-batch serial kernels
+    are replicated, as every replica performs its own reduction.  After each
+    backward layer the allreduce cost for ``grad_bytes`` is charged once.
+    The reported elapsed time of a pass is the slowest replica's — the
+    synchronous-SGD critical path.
+
+    Numerically this path is the whole-batch session unchanged (summed
+    shard gradients equal the large-batch gradient), so the differential
+    harness uses it to pin down the timing/numerics separation.
+    """
+
+    def __init__(self, executors: Sequence[Executor],
+                 grad_bytes: float = 0.0,
+                 comm: AllReduceModel | None = None) -> None:
+        if not executors:
+            raise ReproError("need at least one replica")
+        super().__init__(executors[0].gpu)
+        self.replicas = list(executors)
+        self.comm = comm or AllReduceModel(PCIE3)
+        self.grad_bytes = float(grad_bytes)
+        self.allreduce_us_total = 0.0
+
+    @property
+    def scheduler(self):
+        return self.replicas[0].scheduler
+
+    def _shard(self, work: LayerWork, index: int) -> LayerWork:
+        chains = work.parallel_chains[index::len(self.replicas)]
+        return replace(work, parallel_chains=chains)
+
+    def run_pass(self, works: Iterable[LayerWork]) -> float:
+        works = list(works)
+        total = 0.0
+        for w in works:
+            if w.parallel_chains and \
+                    len(w.parallel_chains) % len(self.replicas):
+                raise ReproError(
+                    f"{w.key}: {len(w.parallel_chains)} chains do not "
+                    f"divide over {len(self.replicas)} replicas"
+                )
+            total += max(
+                ex.run(self._shard(w, i)).elapsed_us
+                for i, ex in enumerate(self.replicas)
+            )
+        if works and works[0].phase == "backward" and self.grad_bytes > 0:
+            sync = self.comm.time_us(self.grad_bytes, len(self.replicas))
+            self.allreduce_us_total += sync
+            total += sync
+        return total

@@ -92,6 +92,37 @@ class FixedStreamExecutor(Executor):
         return self._scheduler
 
 
+class FusedExecutor(Executor):
+    """GLP4NN with the greedy kernel-fusion prepass enabled.
+
+    Identical to :class:`GLP4NNExecutor` except every work unit passes
+    through :func:`repro.runtime.fusion.make_fusion_transform` before both
+    profiling and dispatch — the configuration behind the fusion ablation
+    and the ``fused`` differential-verification path.
+    """
+
+    def __init__(self, gpu: GPU, threshold_us: Optional[float] = None,
+                 analyze_fn=None) -> None:
+        super().__init__(gpu)
+        from repro.runtime.fusion import (
+            DEFAULT_THRESHOLD_US,
+            make_fusion_transform,
+        )
+        self.threshold_us = (DEFAULT_THRESHOLD_US if threshold_us is None
+                             else threshold_us)
+        self.framework = GLP4NN(
+            [gpu], policy=DispatchPolicy.MODEL,
+            analyze_fn=analyze_fn,
+            work_transform=make_fusion_transform(gpu.props,
+                                                 self.threshold_us),
+        )
+        self._scheduler = self.framework.scheduler_for(gpu)
+
+    @property
+    def scheduler(self) -> RuntimeScheduler:
+        return self._scheduler
+
+
 class GLP4NNExecutor(Executor):
     """The framework: model-sized pools, profile-then-dispatch.
 

@@ -31,6 +31,7 @@ from repro.gpusim.engine import GPU
 from repro.kernels.ir import LayerWork
 from repro.obs.metrics import counter_inc, observe
 from repro.obs.spans import span
+from repro.runtime.executor import Executor
 
 #: One-time cost of forking/joining a worker thread (OpenMP region entry).
 THREAD_SPAWN_US = 15.0
@@ -107,3 +108,25 @@ class MultiThreadDispatcher:
         )
         self.runs.append(run)
         return run
+
+
+class MultiThreadExecutor(Executor):
+    """Executor facade over :class:`MultiThreadDispatcher`.
+
+    Lets the multi-threaded host-dispatch baseline plug into anything that
+    drives an :class:`~repro.runtime.executor.Executor` — training
+    sessions and the differential verification harness — so the OpenMP
+    alternative can be compared end-to-end, not just per layer.
+    """
+
+    def __init__(self, gpu: GPU, threads: int = 4) -> None:
+        super().__init__(gpu)
+        self.dispatcher = MultiThreadDispatcher(gpu, threads)
+        self.threads = threads
+
+    def run(self, work: LayerWork) -> MultiThreadRun:
+        return self.dispatcher.run(work)
+
+    @property
+    def runs(self) -> list[MultiThreadRun]:
+        return self.dispatcher.runs

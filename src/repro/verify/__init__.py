@@ -1,0 +1,62 @@
+"""Convergence-invariance verification: differential + fuzz harnesses.
+
+The paper's headline property — stream-pool dispatch trains *bit
+identically* to serial execution — is enforced here three ways:
+
+* :mod:`repro.verify.differential` — every executor path (serial,
+  stream-pool, multithread, fused, data-parallel) against the serial
+  baseline, fingerprinted tensor-by-tensor;
+* :mod:`repro.verify.schedule` — randomized stream assignment and
+  dispatch/grant order against the dependency invariants of the timeline,
+  with shrinking to a minimal replayable witness
+  (:mod:`repro.verify.witness`);
+* :mod:`repro.verify.fault_fuzz` — random survivable fault plans against
+  the degraded/retried execution paths.
+
+Entry point: ``python -m repro verify`` (see :mod:`repro.cli`), or
+:func:`run_differential` / :func:`fuzz_schedules` / :func:`fuzz_faults`
+directly.
+"""
+
+from repro.verify.differential import (
+    DifferentialReport,
+    EXECUTOR_PATHS,
+    run_differential,
+)
+from repro.verify.fault_fuzz import FaultFuzzReport, fuzz_faults
+from repro.verify.fingerprint import (
+    Divergence,
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+from repro.verify.report import VerifyReport
+from repro.verify.schedule import (
+    SchedulePlan,
+    ScheduleFuzzReport,
+    ScheduleRunner,
+    fuzz_schedules,
+    shrink_plan,
+)
+from repro.verify.witness import ReplayResult, ScheduleWitness, replay_witness
+
+__all__ = [
+    "DifferentialReport",
+    "Divergence",
+    "EXECUTOR_PATHS",
+    "FaultFuzzReport",
+    "NetFingerprint",
+    "ReplayResult",
+    "SchedulePlan",
+    "ScheduleFuzzReport",
+    "ScheduleRunner",
+    "ScheduleWitness",
+    "VerifyReport",
+    "fingerprint_net",
+    "first_divergence",
+    "fuzz_faults",
+    "fuzz_schedules",
+    "replay_witness",
+    "run_differential",
+    "shrink_plan",
+]

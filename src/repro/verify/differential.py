@@ -1,0 +1,271 @@
+"""Differential equivalence checker across every execution path.
+
+Runs the same seeded network + batch stream through each executor the repo
+offers — serial baseline, GLP4NN stream pool, multi-threaded host dispatch,
+fused-kernel GLP4NN and data parallelism — and asserts the numeric state is
+*bit-identical* to the serial run after every iteration (forward
+activations, backward gradients, parameter updates; see
+:mod:`repro.verify.fingerprint`).
+
+By the repo's architecture the executors only meter simulated time, so
+these paths are equivalent *by construction today*.  The checker exists to
+keep it that way: a work transform that mutates shared state, an executor
+that changes control flow on degradation, or a global-RNG leak would all
+surface here as a first-divergence report naming the executor, iteration,
+section and blob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.nn.net import Net
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.data_parallel import DataParallelExecutor
+from repro.runtime.executor import Executor, FusedExecutor, NaiveExecutor
+from repro.runtime.multithread import MultiThreadExecutor
+from repro.runtime.session import TrainingSession
+from repro.serve.engine import (
+    deterministic_analyze_fn,
+    make_executor,
+    resolve_device,
+    resolve_net,
+)
+from repro.verify.fingerprint import (
+    Divergence,
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+
+#: Every execution path under differential test, serial baseline first.
+EXECUTOR_PATHS: tuple[str, ...] = (
+    "serial", "stream-pool", "multithread", "fused", "data-parallel",
+)
+
+#: Default per-path verification batch: small enough that 25 fuzz rounds of
+#: NumPy convolutions stay fast, large enough for several chains per pool.
+DEFAULT_BATCH = 8
+
+
+def make_batches(net: Net, iterations: int, seed: int
+                 ) -> list[dict[str, np.ndarray]]:
+    """Deterministic synthetic batches matching ``net``'s input blobs.
+
+    Gaussian data for tensor inputs; class indices in ``[0, 10)`` for
+    ``label`` blobs (valid for every zoo network — all have >= 10 classes)
+    and ``{0, 1}`` for Siamese ``sim`` targets.  The same ``(net, seed)``
+    always yields the same bytes.
+    """
+    rng = np.random.default_rng(seed + 0x5EED)
+    batches = []
+    for _ in range(iterations):
+        batch: dict[str, np.ndarray] = {}
+        for name in net.input_names:
+            shape = net.blob_shapes[name]
+            if name == "sim":
+                batch[name] = rng.integers(0, 2, size=shape
+                                           ).astype(np.float32)
+            elif "label" in name:
+                batch[name] = rng.integers(0, 10, size=shape
+                                           ).astype(np.float32)
+            else:
+                batch[name] = rng.normal(0.0, 1.0, size=shape
+                                         ).astype(np.float32)
+        batches.append(batch)
+    return batches
+
+
+def build_path_executor(kind: str, device: str, threads: int = 4,
+                        replicas: int = 2, grad_bytes: float = 0.0
+                        ) -> Executor:
+    """A fresh, deterministic executor for one differential path.
+
+    GLP4NN-based paths use the deterministic-``T_a`` analyzer so repeated
+    harness runs are byte-identical.  The data-parallel path shards chains
+    over ``replicas`` naive executors, each on its own GPU.
+    """
+    props = resolve_device(device)
+    if kind == "serial":
+        return NaiveExecutor(GPU(props))
+    if kind == "stream-pool":
+        return make_executor("glp4nn", GPU(props))
+    if kind == "multithread":
+        return MultiThreadExecutor(GPU(props), threads=threads)
+    if kind == "fused":
+        gpu = GPU(props)
+        return FusedExecutor(gpu, analyze_fn=deterministic_analyze_fn(gpu))
+    if kind == "data-parallel":
+        reps = [NaiveExecutor(GPU(resolve_device(device)))
+                for _ in range(replicas)]
+        return DataParallelExecutor(reps, grad_bytes=grad_bytes)
+    raise ReproError(
+        f"unknown executor path {kind!r}; expected one of {EXECUTOR_PATHS}"
+    )
+
+
+@dataclass(frozen=True)
+class IterationDivergence:
+    """First divergence of one path, located in time and space."""
+
+    iteration: int
+    divergence: Divergence
+
+    def __str__(self) -> str:
+        return f"iteration {self.iteration}: {self.divergence}"
+
+
+@dataclass
+class PathOutcome:
+    """Result of running one execution path against the baseline."""
+
+    executor: str
+    iterations: int
+    sim_time_us: float
+    losses: list[float] = field(default_factory=list)
+    divergence: Optional[IterationDivergence] = None
+    degraded_layers: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.error
+
+    def to_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "iterations": self.iterations,
+            "sim_time_us": round(self.sim_time_us, 3),
+            "losses": self.losses,
+            "ok": self.ok,
+            "divergence": str(self.divergence) if self.divergence else None,
+            "degraded_layers": self.degraded_layers,
+            "error": self.error,
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Every path's verdict for one (network, device, seed) triple."""
+
+    network: str
+    device: str
+    seed: int
+    batch: int
+    iterations: int
+    baseline: str = "serial"
+    outcomes: list[PathOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def failures(self) -> list[PathOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "device": self.device,
+            "seed": self.seed,
+            "batch": self.batch,
+            "iterations": self.iterations,
+            "baseline": self.baseline,
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"differential: {self.network} on {self.device} "
+            f"(seed {self.seed}, batch {self.batch}, "
+            f"{self.iterations} iteration(s))"
+        ]
+        for o in self.outcomes:
+            status = "OK" if o.ok else "DIVERGED"
+            lines.append(
+                f"  {o.executor:13s} {status:8s} "
+                f"sim={o.sim_time_us:10.1f}us"
+                + (f"  {o.divergence}" if o.divergence else "")
+                + (f"  error: {o.error}" if o.error else "")
+            )
+        return "\n".join(lines)
+
+
+def run_differential(
+    network: str = "cifar10",
+    device: str = "p100",
+    seed: int = 0,
+    iterations: int = 2,
+    batch: int = DEFAULT_BATCH,
+    executors: Optional[Sequence[str]] = None,
+    threads: int = 4,
+    replicas: int = 2,
+    net_builder: Optional[Callable[..., Net]] = None,
+) -> DifferentialReport:
+    """Run the differential check; returns the per-path report.
+
+    Every path gets a freshly built network with the same seed (the zoo
+    builders are seed-deterministic) and the identical synthetic batch
+    stream, so any post-iteration fingerprint mismatch against the serial
+    baseline is caused by the execution path itself.
+    """
+    builder = net_builder or resolve_net(network)
+    paths = list(executors) if executors else list(EXECUTOR_PATHS)
+    if "serial" not in paths:
+        paths.insert(0, "serial")
+    if "data-parallel" in paths and batch % replicas:
+        raise ReproError(
+            f"batch {batch} does not divide over {replicas} replicas"
+        )
+    probe = builder(batch=batch, seed=seed)
+    batches = make_batches(probe, iterations, seed)
+    grad_bytes = 4.0 * probe.num_learnable()
+
+    report = DifferentialReport(network=network, device=device, seed=seed,
+                                batch=batch, iterations=iterations)
+    baseline_fps: list[NetFingerprint] = []
+    for kind in paths:
+        with span("verify.differential.path", cat="verify",
+                  executor=kind, network=network):
+            reset_handle_ids()
+            net = builder(batch=batch, seed=seed)
+            ex = build_path_executor(kind, device, threads=threads,
+                                     replicas=replicas,
+                                     grad_bytes=grad_bytes)
+            session = TrainingSession(net, ex)
+            outcome = PathOutcome(executor=kind, iterations=0,
+                                  sim_time_us=0.0)
+            fps: list[NetFingerprint] = []
+            try:
+                for b in batches:
+                    t = session.run_iteration(b)
+                    outcome.sim_time_us += t.sim_time_us
+                    outcome.losses.append(t.loss)
+                    outcome.iterations += 1
+                    fps.append(fingerprint_net(net))
+            except ReproError as e:
+                outcome.error = f"{type(e).__name__}: {e}"
+            try:
+                outcome.degraded_layers = len(session.degraded_layers())
+            except NotImplementedError:
+                outcome.degraded_layers = 0
+        if kind == "serial":
+            baseline_fps = fps
+        else:
+            for i, (exp, act) in enumerate(zip(baseline_fps, fps)):
+                d = first_divergence(exp, act)
+                if d is not None:
+                    outcome.divergence = IterationDivergence(i, d)
+                    counter_inc("verify.divergences")
+                    break
+        counter_inc("verify.paths")
+        report.outcomes.append(outcome)
+    return report

@@ -1,0 +1,232 @@
+"""Fault-plan fuzzer: degraded and retried runs must match serial numerics.
+
+Graceful degradation (PR 1) promises that every fallback — transient
+retries with backoff, serial dispatch on stream-pool failure, analyzer
+timeouts, dropped profiler records — affects only the *simulated timing*,
+never the training numerics.  This fuzzer turns that promise into a
+checked property: each round draws a random-but-survivable
+:class:`~repro.faults.plan.FaultPlan` from curated templates, runs a
+GLP4NN training session under :func:`~repro.faults.chaos_session`, and
+fingerprints the numeric state after every iteration against a fault-free
+serial baseline.
+
+Template curation keeps the fuzz *productive*: transient specs are capped
+(``max_fires``) below the scheduler's retry budget so they exercise the
+retry path without exhausting it, and persistent specs target only sites
+with a serial fallback.  A plan that still exhausts the budget raises
+:class:`~repro.errors.DegradedError`; the run is recorded as *aborted*
+(the documented contract) and the iterations completed before the abort
+are still compared — an abort is acceptable, silent divergence is not.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DegradedError, FaultInjected
+from repro.faults import FaultPlan, FaultSpec, chaos_session
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.executor import NaiveExecutor
+from repro.runtime.session import TrainingSession
+from repro.serve.engine import make_executor, resolve_device, resolve_net
+from repro.verify.differential import make_batches
+from repro.verify.fingerprint import (
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+
+
+def _t_launch(rng: random.Random) -> FaultSpec:
+    return FaultSpec(site="launch", kind="transient",
+                     nth=rng.randint(1, 40), max_fires=2)
+
+
+def _t_sync(rng: random.Random) -> FaultSpec:
+    return FaultSpec(site="sync", kind="transient",
+                     nth=rng.randint(1, 12), max_fires=2)
+
+
+def _t_launch_every(rng: random.Random) -> FaultSpec:
+    # every >= 2: the retry (the next matching call) never re-fires.
+    return FaultSpec(site="launch", kind="transient",
+                     every=rng.randint(5, 60),
+                     max_fires=rng.randint(1, 3))
+
+
+def _p_streams(rng: random.Random) -> FaultSpec:
+    return FaultSpec(site="stream_create", kind="persistent",
+                     nth=rng.randint(1, 4), max_fires=1)
+
+
+def _p_milp(rng: random.Random) -> FaultSpec:
+    return FaultSpec(site="milp_solve", kind="persistent",
+                     effect=rng.choice(["timeout", "infeasible"]),
+                     nth=rng.randint(1, 6), max_fires=1)
+
+
+def _p_profiler(rng: random.Random) -> FaultSpec:
+    return FaultSpec(site="profiler_record", kind="persistent",
+                     effect="drop", every=rng.randint(3, 9),
+                     max_fires=rng.randint(1, 4))
+
+
+#: Survivable fault templates; each draws its trigger from the round rng.
+FAULT_TEMPLATES = (
+    _t_launch, _t_sync, _t_launch_every, _p_streams, _p_milp, _p_profiler,
+)
+
+
+def random_fault_plan(seed: int, round_: int) -> FaultPlan:
+    """A seeded, survivable fault plan for fuzz round ``round_``."""
+    rng = random.Random((seed * 7_368_787) ^ (round_ * 104_729) ^ 0xFA17)
+    n = rng.randint(1, 3)
+    specs = tuple(rng.choice(FAULT_TEMPLATES)(rng) for _ in range(n))
+    return FaultPlan(specs=specs, seed=(seed << 8) ^ round_,
+                     name=f"fuzz-r{round_}")
+
+
+@dataclass
+class FaultRoundOutcome:
+    """One fuzzed chaos run compared against the clean serial baseline."""
+
+    round: int
+    plan_name: str
+    fires: int = 0
+    iterations_completed: int = 0
+    degraded_layers: int = 0
+    retries: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
+    divergence: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Aborting loudly is allowed; diverging silently is not."""
+        return self.divergence is None
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round, "plan": self.plan_name,
+            "fires": self.fires,
+            "iterations_completed": self.iterations_completed,
+            "degraded_layers": self.degraded_layers,
+            "retries": self.retries, "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+            "divergence": self.divergence, "ok": self.ok,
+        }
+
+
+@dataclass
+class FaultFuzzReport:
+    """Outcome of one bounded fault-fuzz campaign."""
+
+    network: str
+    device: str
+    seed: int
+    batch: int
+    iterations: int
+    rounds_requested: int
+    rounds: list[FaultRoundOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.rounds)
+
+    @property
+    def total_fires(self) -> int:
+        return sum(r.fires for r in self.rounds)
+
+    @property
+    def aborted_rounds(self) -> int:
+        return sum(1 for r in self.rounds if r.aborted)
+
+    def failures(self) -> list[FaultRoundOutcome]:
+        return [r for r in self.rounds if not r.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "device": self.device,
+            "seed": self.seed, "batch": self.batch,
+            "iterations": self.iterations,
+            "rounds_requested": self.rounds_requested,
+            "ok": self.ok, "total_fires": self.total_fires,
+            "aborted_rounds": self.aborted_rounds,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"fault-fuzz: {self.network} on {self.device} "
+            f"(seed {self.seed}) — {status}: {len(self.rounds)}/"
+            f"{self.rounds_requested} round(s), {self.total_fires} "
+            f"fault(s) fired, {self.aborted_rounds} aborted"
+        ]
+        for r in self.failures():
+            lines.append(f"  round {r.round} ({r.plan_name}): "
+                         f"DIVERGED {r.divergence}")
+        return "\n".join(lines)
+
+
+def fuzz_faults(
+    network: str = "cifar10",
+    device: str = "p100",
+    seed: int = 0,
+    rounds: int = 10,
+    batch: int = 8,
+    iterations: int = 2,
+) -> FaultFuzzReport:
+    """Fuzz ``rounds`` random fault plans against the serial baseline."""
+    builder = resolve_net(network)
+    props = resolve_device(device)
+    batches = make_batches(builder(batch=batch, seed=seed), iterations,
+                           seed)
+
+    # Fault-free serial baseline fingerprints, one per iteration.
+    reset_handle_ids()
+    base_net = builder(batch=batch, seed=seed)
+    base_session = TrainingSession(base_net, NaiveExecutor(GPU(props)))
+    baseline: list[NetFingerprint] = []
+    for b in batches:
+        base_session.run_iteration(b)
+        baseline.append(fingerprint_net(base_net))
+
+    report = FaultFuzzReport(network=network, device=device, seed=seed,
+                             batch=batch, iterations=iterations,
+                             rounds_requested=rounds)
+    for r in range(rounds):
+        plan = random_fault_plan(seed, r)
+        outcome = FaultRoundOutcome(round=r, plan_name=plan.name)
+        reset_handle_ids()
+        net = builder(batch=batch, seed=seed)
+        session = TrainingSession(net, make_executor("glp4nn", GPU(props)))
+        fps: list[NetFingerprint] = []
+        with span("verify.faults.round", cat="verify", round=r,
+                  plan=plan.name):
+            with chaos_session(plan) as injector:
+                try:
+                    for b in batches:
+                        session.run_iteration(b)
+                        fps.append(fingerprint_net(net))
+                except (DegradedError, FaultInjected) as e:
+                    outcome.aborted = True
+                    outcome.abort_reason = f"{type(e).__name__}: {e}"
+                outcome.fires = injector.fires
+        counter_inc("verify.faults.rounds")
+        outcome.iterations_completed = len(fps)
+        outcome.degraded_layers = len(session.degraded_layers())
+        outcome.retries = session.total_retries()
+        for i, fp in enumerate(fps):
+            d = first_divergence(baseline[i], fp)
+            if d is not None:
+                outcome.divergence = f"iteration {i}: {d}"
+                counter_inc("verify.divergences")
+                break
+        report.rounds.append(outcome)
+    return report

@@ -1,0 +1,127 @@
+"""Bit-exact fingerprints of a network's numeric state.
+
+The convergence-invariance claim (paper Fig. 11) is *exact*: a layer's
+kernels dispatched over a stream pool must produce the very bytes serial
+execution produces.  So the differential harness compares SHA-256 digests
+of every tensor — no tolerances, no "close enough".
+
+A :class:`NetFingerprint` covers four sections, in causal order:
+
+``blob``
+    Forward activations (:attr:`Net.blobs` after ``forward``).
+``blob_grad``
+    Backward activation gradients (:attr:`Net.blob_diffs`).
+``param_grad``
+    Parameter gradients (``Blob.diff`` of every unique parameter).
+``param``
+    Parameter values themselves (after the solver update).
+
+:func:`first_divergence` walks the sections in that order, so the reported
+mismatch is the earliest point in the compute pipeline where two runs
+disagree — the layer/blob name in the report localizes the bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.net import Net
+
+#: Comparison order: forward results, then backward, then the update.
+SECTIONS = ("blob", "blob_grad", "param_grad", "param")
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """SHA-256 over dtype, shape and the raw bytes of ``arr``."""
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first tensor where two fingerprints disagree."""
+
+    section: str
+    name: str
+    expected: str
+    actual: str
+
+    def __str__(self) -> str:
+        def _short(d: str) -> str:
+            return d[:12] if len(d) > 12 else d
+        return (f"{self.section}[{self.name}]: "
+                f"{_short(self.expected)} != {_short(self.actual)}")
+
+
+@dataclass(frozen=True)
+class NetFingerprint:
+    """Digests of every tensor in one network state, plus the loss."""
+
+    sections: dict[str, dict[str, str]] = field(default_factory=dict)
+    loss: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {"sections": {s: dict(sorted(v.items()))
+                             for s, v in self.sections.items()},
+                "loss": self.loss}
+
+
+def fingerprint_net(net: Net, include_activations: bool = True
+                    ) -> NetFingerprint:
+    """Fingerprint ``net``'s current numeric state.
+
+    ``include_activations=False`` restricts to parameters and their
+    gradients — cheaper, and sufficient once per-iteration activations
+    have already been compared.
+    """
+    sections: dict[str, dict[str, str]] = {
+        "blob": {}, "blob_grad": {}, "param_grad": {}, "param": {},
+    }
+    if include_activations:
+        for name, arr in net.blobs.items():
+            sections["blob"][name] = array_digest(arr)
+        for name, arr in net.blob_diffs.items():
+            sections["blob_grad"][name] = array_digest(arr)
+    for p, _, _ in net.unique_params():
+        sections["param_grad"][p.name] = array_digest(p.diff)
+        sections["param"][p.name] = array_digest(p.data)
+    loss = None
+    if net.blobs:
+        try:
+            loss = net.loss_value()
+        except Exception:
+            loss = None
+    return NetFingerprint(sections=sections, loss=loss)
+
+
+def first_divergence(expected: NetFingerprint, actual: NetFingerprint
+                     ) -> Optional[Divergence]:
+    """The earliest mismatch between two fingerprints, or ``None``.
+
+    Sections are walked in pipeline order (:data:`SECTIONS`); within a
+    section, names are compared in sorted order for determinism.  A tensor
+    present on one side only is itself a divergence (``<absent>``).
+    """
+    for section in SECTIONS:
+        exp = expected.sections.get(section, {})
+        act = actual.sections.get(section, {})
+        for name in sorted(set(exp) | set(act)):
+            e = exp.get(name, "<absent>")
+            a = act.get(name, "<absent>")
+            if e != a:
+                return Divergence(section=section, name=name,
+                                  expected=e, actual=a)
+    if expected.loss is not None and actual.loss is not None \
+            and expected.loss != actual.loss:
+        return Divergence(section="loss", name="loss",
+                          expected=repr(expected.loss),
+                          actual=repr(actual.loss))
+    return None

@@ -1,0 +1,69 @@
+"""The combined verification report: one verdict over all three checks.
+
+``python -m repro verify`` runs the differential checker, the schedule
+fuzzer and the fault fuzzer in sequence and folds their individual reports
+into a single :class:`VerifyReport` with one exit-status-shaping ``ok``
+bit.  The JSON form (``--report out.json``) is what CI publishes as the
+divergence-report artifact when a run fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.verify.differential import DifferentialReport
+from repro.verify.fault_fuzz import FaultFuzzReport
+from repro.verify.schedule import ScheduleFuzzReport
+
+
+@dataclass
+class VerifyReport:
+    """Results of one full ``repro verify`` run."""
+
+    network: str
+    device: str
+    seed: int
+    differential: Optional[DifferentialReport] = None
+    schedule: Optional[ScheduleFuzzReport] = None
+    faults: Optional[FaultFuzzReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(part.ok for part in
+                   (self.differential, self.schedule, self.faults)
+                   if part is not None)
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "device": self.device,
+            "seed": self.seed,
+            "ok": self.ok,
+            "differential": (None if self.differential is None
+                             else self.differential.to_dict()),
+            "schedule": (None if self.schedule is None
+                         else self.schedule.to_dict()),
+            "faults": (None if self.faults is None
+                       else self.faults.to_dict()),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+    def render(self) -> str:
+        parts = []
+        for part in (self.differential, self.schedule, self.faults):
+            if part is not None:
+                parts.append(part.render())
+        verdict = "PASS" if self.ok else "FAIL"
+        parts.append(f"verify: {verdict} ({self.network} on {self.device}, "
+                     f"seed {self.seed})")
+        return "\n".join(parts)

@@ -1,0 +1,548 @@
+"""Schedule fuzzer: random stream assignment + dispatch-order permutation.
+
+The paper's round-robin chain dispatch is one point in a large space of
+legal schedules: any assignment of whole chains to pool streams, in any
+issue order, must preserve the numerics *and* produce a timeline that
+violates no dependency (intra-chain order, layer-boundary syncs, legacy
+default-stream barriers).  Gilman & Walls observed that GPU concurrency
+mechanisms silently reorder work — this fuzzer exercises exactly that
+freedom against the simulator:
+
+* **host axis** — a :class:`SchedulePlan` permutes, per layer, the order
+  chains are issued in and the pool stream each chain lands on;
+* **device axis** — an optional seeded ``grant_policy``
+  (:attr:`repro.gpusim.engine.GPU.grant_policy`) randomizes which
+  dependency-ready kernel takes each freed hardware work-queue slot.
+
+After every fuzzed run the timeline is validated structurally
+(:func:`repro.gpusim.timeline.check_timeline`), chain program order is
+checked against the recorded kernel executions, and the network numerics
+are re-fingerprinted.  On failure the plan is *shrunk* — layers dropped,
+then perturbations reverted, greedily re-running after each step — down to
+a minimal witness that still fails, and saved as a seeded replay file
+(:mod:`repro.verify.witness`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU, KernelExecution
+from repro.gpusim.stream import Stream, reset_handle_ids
+from repro.gpusim.timeline import check_timeline
+from repro.kernels.ir import KernelChain, LayerWork
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.lowering import lower_net
+from repro.serve.engine import resolve_device, resolve_net
+from repro.verify.fingerprint import (
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+
+#: Timestamp slack for kernel-order comparisons, µs.
+_EPS = 1e-6
+
+#: Default fuzz pool width (the typical model-sized C_out range).
+DEFAULT_POOL = 4
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerSchedule:
+    """One layer's fuzzed dispatch: chain issue order + stream targets.
+
+    ``chain_order`` is a permutation of the layer's chain indices;
+    ``stream_of[k]`` is the pool slot the ``k``-th *issued* chain runs on.
+    """
+
+    index: int
+    key: str
+    chain_order: tuple[int, ...]
+    stream_of: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "key": self.key,
+                "chain_order": list(self.chain_order),
+                "stream_of": list(self.stream_of)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LayerSchedule":
+        return cls(index=int(d["index"]), key=str(d.get("key", "")),
+                   chain_order=tuple(int(x) for x in d["chain_order"]),
+                   stream_of=tuple(int(x) for x in d["stream_of"]))
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A complete, replayable fuzzed schedule for one network pass."""
+
+    network: str
+    device: str
+    batch: int
+    seed: int
+    round: int
+    pool_size: int
+    layers: tuple[LayerSchedule, ...]
+    grant_seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "device": self.device,
+            "batch": self.batch, "seed": self.seed, "round": self.round,
+            "pool_size": self.pool_size, "grant_seed": self.grant_seed,
+            "layers": [ls.to_dict() for ls in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchedulePlan":
+        return cls(
+            network=str(d["network"]), device=str(d["device"]),
+            batch=int(d["batch"]), seed=int(d["seed"]),
+            round=int(d.get("round", 0)), pool_size=int(d["pool_size"]),
+            grant_seed=(None if d.get("grant_seed") is None
+                        else int(d["grant_seed"])),
+            layers=tuple(LayerSchedule.from_dict(ls)
+                         for ls in d.get("layers", [])),
+        )
+
+
+def works_for(network: str, batch: int, seed: int) -> list[LayerWork]:
+    """The full forward+backward lowered work list of a zoo network."""
+    net = resolve_net(network)(batch=batch, seed=seed)
+    return list(lower_net(net, "forward")) + list(lower_net(net, "backward"))
+
+
+def identity_plan(works: Sequence[LayerWork], network: str, device: str,
+                  batch: int, seed: int, pool_size: int = DEFAULT_POOL
+                  ) -> SchedulePlan:
+    """The unfuzzed schedule: natural chain order, round-robin streams."""
+    layers = tuple(
+        LayerSchedule(
+            index=i, key=w.key,
+            chain_order=tuple(range(len(w.parallel_chains))),
+            stream_of=tuple(k % pool_size
+                            for k in range(len(w.parallel_chains))),
+        )
+        for i, w in enumerate(works)
+    )
+    return SchedulePlan(network=network, device=device, batch=batch,
+                        seed=seed, round=-1, pool_size=pool_size,
+                        layers=layers)
+
+
+def random_plan(works: Sequence[LayerWork], network: str, device: str,
+                batch: int, seed: int, round_: int,
+                pool_size: int = DEFAULT_POOL) -> SchedulePlan:
+    """A seeded random schedule for fuzz round ``round_``."""
+    rng = random.Random((seed * 1_000_003) ^ (round_ * 7919) ^ 0xC0FFEE)
+    layers = []
+    for i, w in enumerate(works):
+        n = len(w.parallel_chains)
+        order = list(range(n))
+        rng.shuffle(order)
+        layers.append(LayerSchedule(
+            index=i, key=w.key, chain_order=tuple(order),
+            stream_of=tuple(rng.randrange(pool_size) for _ in range(n)),
+        ))
+    grant_seed = rng.randrange(1 << 30) if rng.random() < 0.5 else None
+    return SchedulePlan(network=network, device=device, batch=batch,
+                        seed=seed, round=round_, pool_size=pool_size,
+                        layers=tuple(layers), grant_seed=grant_seed)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleRunResult:
+    """Everything one plan execution produced."""
+
+    violations: list[str] = field(default_factory=list)
+    elapsed_us: float = 0.0
+    kernels: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ScheduleRunner:
+    """Execute :class:`SchedulePlan` s against a fresh simulated GPU.
+
+    Each :meth:`run` builds a new device (after
+    :func:`~repro.gpusim.stream.reset_handle_ids`, for byte-stable stream
+    names), creates the fuzz pool, issues every scheduled layer —
+    permuted chains onto their assigned pool streams, whole-batch serial
+    kernels onto the default stream, one ``synchronize`` per layer — and
+    validates the result three ways: structural timeline invariants,
+    intra-chain program order (via the live kernel-execution handles,
+    which catches cross-stream chain splits the trace alone cannot
+    attribute), and layer-boundary ordering.
+    """
+
+    def __init__(self, works: Sequence[LayerWork],
+                 pool_size: int = DEFAULT_POOL) -> None:
+        self.works = list(works)
+        self.pool_size = pool_size
+
+    # The planted-bug hook: tests monkeypatch this to model a dispatcher
+    # that breaks intra-chain stream affinity.
+    def _launch_chain(self, gpu: GPU, chain: KernelChain,
+                      pool: Sequence[Stream], slot: int
+                      ) -> list[KernelExecution]:
+        """Issue one chain, in order, onto its assigned pool stream."""
+        stream = pool[slot % len(pool)]
+        return [gpu.launch(spec, stream=stream) for spec in chain]
+
+    def run(self, plan: SchedulePlan, device: Optional[str] = None,
+            gpu: Optional[GPU] = None) -> ScheduleRunResult:
+        """Execute ``plan``; returns the validated result.
+
+        By default each run gets a fresh device (with stream handle ids
+        reset for byte-stable names).  Pass ``gpu`` to accumulate several
+        runs on one observed device — the ``verify`` trace scenario does
+        this to capture a whole fuzz session in a single timeline.
+        """
+        if gpu is None:
+            reset_handle_ids()
+            gpu = GPU(resolve_device(device or plan.device))
+        pool = [gpu.create_stream(name=f"fuzz{i}")
+                for i in range(plan.pool_size)]
+        if plan.grant_seed is not None:
+            rng = random.Random(plan.grant_seed)
+            gpu.grant_policy = lambda waiters: rng.randrange(len(waiters))
+        result = ScheduleRunResult()
+        chain_execs: list[tuple[str, int, list[KernelExecution]]] = []
+        layer_slices: list[tuple[str, int, int]] = []
+        for ls in plan.layers:
+            if not 0 <= ls.index < len(self.works):
+                raise ReproError(
+                    f"schedule references layer index {ls.index}, but only "
+                    f"{len(self.works)} works are lowered"
+                )
+            work = self.works[ls.index]
+            if len(ls.chain_order) != len(work.parallel_chains) \
+                    or sorted(ls.chain_order) != \
+                    list(range(len(work.parallel_chains))):
+                raise ReproError(
+                    f"{work.key}: chain_order {ls.chain_order} is not a "
+                    f"permutation of {len(work.parallel_chains)} chains"
+                )
+            mark = len(gpu.timeline.records)
+            for pos, ci in enumerate(ls.chain_order):
+                execs = self._launch_chain(
+                    gpu, work.parallel_chains[ci], pool, ls.stream_of[pos])
+                chain_execs.append((work.key, ci, execs))
+                result.kernels += len(execs)
+            for spec in work.serial_kernels:
+                gpu.launch(spec)
+                result.kernels += 1
+            gpu.synchronize()
+            layer_slices.append(
+                (work.key, mark, len(gpu.timeline.records)))
+        gpu.grant_policy = None
+        result.elapsed_us = gpu.host_time
+        result.violations.extend(
+            str(v) for v in check_timeline(gpu.timeline.records))
+        result.violations.extend(self._check_chains(chain_execs))
+        result.violations.extend(
+            self._check_layer_order(gpu, layer_slices))
+        return result
+
+    @staticmethod
+    def _check_chains(
+        chain_execs: Sequence[tuple[str, int, list[KernelExecution]]],
+    ) -> list[str]:
+        """Intra-chain program order: kernel k+1 starts after k ends."""
+        out = []
+        for key, ci, execs in chain_execs:
+            for prev, cur in zip(execs, execs[1:]):
+                if cur.start_time is None or prev.end_time is None:
+                    out.append(f"[chain-order] {key} chain {ci}: "
+                               f"{cur.spec.name} never completed")
+                elif cur.start_time < prev.end_time - _EPS:
+                    out.append(
+                        f"[chain-order] {key} chain {ci}: "
+                        f"{cur.spec.name} starts at {cur.start_time:.3f} "
+                        f"before {prev.spec.name} ends at "
+                        f"{prev.end_time:.3f}"
+                    )
+        return out
+
+    @staticmethod
+    def _check_layer_order(gpu: GPU,
+                           layer_slices: Sequence[tuple[str, int, int]]
+                           ) -> list[str]:
+        """Layer-boundary syncs: no layer overlaps its predecessor."""
+        out = []
+        records = gpu.timeline.records
+        prev_end = 0.0
+        prev_key = ""
+        for key, a, b in layer_slices:
+            slice_ = records[a:b]
+            if not slice_:
+                continue
+            start = min(r.start_us for r in slice_)
+            if prev_key and start < prev_end - _EPS:
+                out.append(
+                    f"[layer-order] {key} starts at {start:.3f} before "
+                    f"{prev_key} ends at {prev_end:.3f}"
+                )
+            prev_end = max(r.end_us for r in slice_)
+            prev_key = key
+        return out
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def shrink_plan(plan: SchedulePlan,
+                failing: Callable[[SchedulePlan], bool],
+                ) -> tuple[SchedulePlan, int]:
+    """Greedily minimize a failing plan; returns ``(minimal, attempts)``.
+
+    Three passes, each keeping a candidate only if it still fails:
+
+    1. drop the device-side grant permutation (``grant_seed``);
+    2. drop whole layers from the executed set (lowered works are
+       independent timing units, so any subset is executable);
+    3. per remaining layer, revert ``chain_order`` to natural order and
+       ``stream_of`` to round-robin.
+
+    The result is the minimal kernel-order witness: only the layers and
+    perturbations that actually provoke the failure survive.
+    """
+    attempts = 0
+
+    def still_fails(candidate: SchedulePlan) -> bool:
+        nonlocal attempts
+        attempts += 1
+        return failing(candidate)
+
+    current = plan
+    if current.grant_seed is not None:
+        cand = replace(current, grant_seed=None)
+        if still_fails(cand):
+            current = cand
+
+    layers = list(current.layers)
+    i = 0
+    while i < len(layers):
+        cand_layers = layers[:i] + layers[i + 1:]
+        if cand_layers:
+            cand = replace(current, layers=tuple(cand_layers))
+            if still_fails(cand):
+                layers = cand_layers
+                current = cand
+                continue
+        i += 1
+
+    for j, ls in enumerate(layers):
+        n = len(ls.chain_order)
+        natural = replace(ls, chain_order=tuple(range(n)))
+        if ls.chain_order != natural.chain_order:
+            cand_layers = layers[:j] + [natural] + layers[j + 1:]
+            cand = replace(current, layers=tuple(cand_layers))
+            if still_fails(cand):
+                layers = cand_layers
+                current = cand
+        ls = layers[j]
+        round_robin = replace(
+            ls, stream_of=tuple(k % current.pool_size for k in range(n)))
+        if ls.stream_of != round_robin.stream_of:
+            cand_layers = layers[:j] + [round_robin] + layers[j + 1:]
+            cand = replace(current, layers=tuple(cand_layers))
+            if still_fails(cand):
+                layers = cand_layers
+                current = cand
+    return current, attempts
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleFailure:
+    """A fuzz round that violated a dependency or perturbed numerics."""
+
+    round: int
+    violations: list[str]
+    divergence: Optional[str]
+    plan: SchedulePlan
+    shrunk_plan: SchedulePlan
+    shrink_attempts: int
+    witness_path: Optional[str] = None
+
+    def summary(self) -> str:
+        head = self.violations[0] if self.violations else self.divergence
+        return (f"round {self.round}: {len(self.violations)} violation(s), "
+                f"first: {head}; witness has "
+                f"{len(self.shrunk_plan.layers)} layer(s) "
+                f"(from {len(self.plan.layers)})")
+
+
+@dataclass
+class ScheduleFuzzReport:
+    """Outcome of one bounded schedule-fuzz campaign."""
+
+    network: str
+    device: str
+    seed: int
+    batch: int
+    pool_size: int
+    rounds_requested: int
+    rounds_run: int = 0
+    kernels_checked: int = 0
+    failure: Optional[ScheduleFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "device": self.device,
+            "seed": self.seed, "batch": self.batch,
+            "pool_size": self.pool_size,
+            "rounds_requested": self.rounds_requested,
+            "rounds_run": self.rounds_run,
+            "kernels_checked": self.kernels_checked,
+            "ok": self.ok,
+            "failure": None if self.failure is None else {
+                "round": self.failure.round,
+                "violations": self.failure.violations,
+                "divergence": self.failure.divergence,
+                "witness_path": self.failure.witness_path,
+                "shrink_attempts": self.failure.shrink_attempts,
+            },
+        }
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"schedule-fuzz: {self.network} on {self.device} "
+            f"(seed {self.seed}, pool {self.pool_size}) — {status}: "
+            f"{self.rounds_run}/{self.rounds_requested} round(s), "
+            f"{self.kernels_checked} kernel(s) checked"
+        ]
+        if self.failure is not None:
+            lines.append("  " + self.failure.summary())
+            if self.failure.witness_path:
+                lines.append(f"  witness: {self.failure.witness_path}")
+        return "\n".join(lines)
+
+
+def fuzz_schedules(
+    network: str = "cifar10",
+    device: str = "p100",
+    seed: int = 0,
+    rounds: int = 25,
+    batch: int = 8,
+    pool_size: int = DEFAULT_POOL,
+    witness_path: Optional[str] = None,
+    runner: Optional[ScheduleRunner] = None,
+) -> ScheduleFuzzReport:
+    """Fuzz ``rounds`` random schedules; shrink + save a witness on failure.
+
+    The numeric cross-check re-runs the network's forward/backward each
+    round on the untouched NumPy state and fingerprints it against the
+    pre-fuzz baseline: device-side scheduling has no handle on the
+    numerics, and this asserts that stays true.
+    """
+    builder = resolve_net(network)
+    net = builder(batch=batch, seed=seed)
+    works = (list(lower_net(net, "forward"))
+             + list(lower_net(net, "backward")))
+    runner = runner or ScheduleRunner(works, pool_size=pool_size)
+    report = ScheduleFuzzReport(network=network, device=device, seed=seed,
+                                batch=batch, pool_size=pool_size,
+                                rounds_requested=rounds)
+
+    batch_inputs = _single_batch(net, seed)
+    net.forward(batch_inputs)
+    net.backward()
+    baseline_fp = fingerprint_net(net)
+
+    # Round -1: the identity schedule itself.  A violation here means the
+    # dispatcher breaks dependencies without any fuzzing — still shrunk
+    # and witnessed like any other failure.
+    ident = identity_plan(works, network, device, batch, seed, pool_size)
+    base = runner.run(ident, device=device)
+    report.kernels_checked += base.kernels
+    if not base.ok:
+        counter_inc("verify.schedule.failures")
+        report.failure = _handle_failure(runner, device, ident, base, None,
+                                         witness_path)
+        return report
+
+    for r in range(rounds):
+        plan = random_plan(works, network, device, batch, seed, r,
+                           pool_size=pool_size)
+        with span("verify.schedule.round", cat="verify", round=r,
+                  network=network):
+            result = runner.run(plan, device=device)
+        counter_inc("verify.schedule.rounds")
+        report.rounds_run += 1
+        report.kernels_checked += result.kernels
+
+        net.forward(batch_inputs)
+        net.backward()
+        div = first_divergence(baseline_fp, fingerprint_net(net))
+
+        if result.violations or div is not None:
+            counter_inc("verify.schedule.failures")
+            failure = _handle_failure(runner, device, plan, result, div,
+                                      witness_path)
+            report.failure = failure
+            break
+    return report
+
+
+def _single_batch(net, seed: int) -> dict:
+    from repro.verify.differential import make_batches
+    return make_batches(net, 1, seed)[0]
+
+
+def _handle_failure(runner: ScheduleRunner, device: str, plan: SchedulePlan,
+                    result: ScheduleRunResult, divergence,
+                    witness_path: Optional[str]) -> ScheduleFailure:
+    from repro.verify.witness import ScheduleWitness
+
+    if result.violations:
+        with span("verify.schedule.shrink", cat="verify"):
+            shrunk, attempts = shrink_plan(
+                plan,
+                lambda p: not runner.run(p, device=device).ok,
+            )
+    else:
+        # A pure numeric divergence cannot be localized by re-running the
+        # (timing-only) schedule; the full plan is the witness.
+        shrunk, attempts = plan, 0
+    failure = ScheduleFailure(
+        round=plan.round,
+        violations=list(result.violations),
+        divergence=None if divergence is None else str(divergence),
+        plan=plan,
+        shrunk_plan=shrunk,
+        shrink_attempts=attempts,
+    )
+    path = witness_path or (
+        f"schedule_witness_{plan.network}_s{plan.seed}_r{plan.round}.json"
+    )
+    witness = ScheduleWitness(
+        plan=shrunk,
+        violations=runner.run(shrunk, device=device).violations
+        if result.violations else [],
+        divergence=failure.divergence,
+        shrink_attempts=attempts,
+        original_layers=len(plan.layers),
+    )
+    failure.witness_path = witness.save(path)
+    return failure

@@ -1,0 +1,143 @@
+"""Seeded replay files for schedule-fuzzer failures.
+
+A witness is the shrunk :class:`~repro.verify.schedule.SchedulePlan` plus
+everything needed to reproduce and triage the failure offline: the
+violations observed on the shrunk plan, any numeric divergence, and the
+shrink statistics.  The file is plain JSON so it can be attached to a CI
+run, diffed, or hand-edited while bisecting.
+
+``python -m repro verify --replay witness.json`` (or
+:func:`replay_witness`) rebuilds the network's lowered works from the
+plan's own ``(network, batch, seed)`` triple, re-executes the plan through
+a fresh :class:`~repro.verify.schedule.ScheduleRunner`, and reports
+whether the violation reproduces — exit status 1 when it does, so a replay
+doubles as a regression test for the fix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.verify.schedule import (
+    SchedulePlan,
+    ScheduleRunner,
+    ScheduleRunResult,
+    works_for,
+)
+
+#: Format version stamped into every witness file.
+WITNESS_VERSION = 1
+
+
+@dataclass
+class ScheduleWitness:
+    """A minimal failing schedule, ready to replay."""
+
+    plan: SchedulePlan
+    violations: list[str] = field(default_factory=list)
+    divergence: Optional[str] = None
+    shrink_attempts: int = 0
+    original_layers: int = 0
+    version: int = WITNESS_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "kind": "schedule-witness",
+            "plan": self.plan.to_dict(),
+            "violations": list(self.violations),
+            "divergence": self.divergence,
+            "shrink": {
+                "attempts": self.shrink_attempts,
+                "layers_before": self.original_layers,
+                "layers_after": len(self.plan.layers),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json(), encoding="utf-8")
+        return str(p)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduleWitness":
+        if not isinstance(d, dict) or d.get("kind") != "schedule-witness":
+            raise ReproError("not a schedule witness file")
+        version = int(d.get("version", 0))
+        if version > WITNESS_VERSION:
+            raise ReproError(
+                f"witness version {version} is newer than supported "
+                f"({WITNESS_VERSION})"
+            )
+        shrink = d.get("shrink", {})
+        return cls(
+            plan=SchedulePlan.from_dict(d["plan"]),
+            violations=[str(v) for v in d.get("violations", [])],
+            divergence=d.get("divergence"),
+            shrink_attempts=int(shrink.get("attempts", 0)),
+            original_layers=int(shrink.get("layers_before", 0)),
+            version=version,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScheduleWitness":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as e:
+            raise ReproError(f"cannot read witness {path}: {e}") from e
+        except json.JSONDecodeError as e:
+            raise ReproError(f"witness {path} is not valid JSON: {e}"
+                             ) from e
+        return cls.from_dict(doc)
+
+
+@dataclass
+class ReplayResult:
+    """What replaying a witness produced."""
+
+    witness: ScheduleWitness
+    result: ScheduleRunResult
+    #: True when the replay still violates dependencies — the bug is live.
+    reproduced: bool
+
+    def render(self) -> str:
+        plan = self.witness.plan
+        status = "REPRODUCED" if self.reproduced else "did not reproduce"
+        lines = [
+            f"replay: {plan.network} on {plan.device} "
+            f"(seed {plan.seed}, round {plan.round}, "
+            f"{len(plan.layers)} layer(s)) — {status}"
+        ]
+        for v in self.result.violations[:10]:
+            lines.append(f"  {v}")
+        extra = len(self.result.violations) - 10
+        if extra > 0:
+            lines.append(f"  ... and {extra} more")
+        return "\n".join(lines)
+
+
+def replay_witness(path: Union[str, Path],
+                   runner: Optional[ScheduleRunner] = None) -> ReplayResult:
+    """Load and re-execute a witness; report whether it still fails.
+
+    A custom ``runner`` (e.g. one whose ``_launch_chain`` carries a
+    planted bug under test) can be supplied; by default the works are
+    rebuilt from the plan's own network/batch/seed triple.
+    """
+    witness = ScheduleWitness.load(path)
+    plan = witness.plan
+    if runner is None:
+        runner = ScheduleRunner(
+            works_for(plan.network, plan.batch, plan.seed),
+            pool_size=plan.pool_size,
+        )
+    result = runner.run(plan)
+    return ReplayResult(witness=witness, result=result,
+                        reproduced=bool(result.violations))

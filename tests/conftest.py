@@ -5,7 +5,32 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.faults import hooks as fault_hooks
 from repro.gpusim import GPU, KernelSpec, LaunchConfig, get_device
+from repro.gpusim.stream import reset_handle_ids
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_globals():
+    """Isolate every test from process-global state.
+
+    The runtime keeps three process-wide installation slots (span
+    recorder, metrics registry, fault injector) plus a global stream
+    handle counter.  A test that installs one and fails before its
+    cleanup would otherwise leak observers — or fault plans — into every
+    later test; the handle counter would make stream names depend on
+    test execution order.  Reset all four on both sides of each test.
+    """
+    def _reset():
+        reset_handle_ids()
+        obs_spans.install(None)
+        obs_metrics.install(None)
+        fault_hooks.install(None)
+    _reset()
+    yield
+    _reset()
 
 
 @pytest.fixture

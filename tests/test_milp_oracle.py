@@ -1,0 +1,114 @@
+"""Property-based oracle for branch-and-bound: brute-force enumeration.
+
+On all-integer instances with small finite boxes the MILP optimum can be
+found by enumerating every lattice point.  `hypothesis` drives random
+instances — integer objective and constraint coefficients, half-integer
+right-hand sides so the LP relaxation is feasible where no integer point
+is — and :func:`solve_milp` must agree with the enumeration on both the
+status and the optimal objective.  Ties are compared on objective value
+only: branch order may legitimately pick a different argmin.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp.branch_and_bound import solve_milp
+from repro.milp.simplex import LinearProgram
+from repro.milp.solution import SolveStatus
+
+_EPS = 1e-6
+
+
+def brute_force_min(lp: LinearProgram) -> float | None:
+    """Optimal objective over all feasible lattice points, None if none."""
+    axes = [range(int(lp.lo[j]), int(lp.hi[j]) + 1)
+            for j in range(lp.num_vars)]
+    best = None
+    for point in itertools.product(*axes):
+        x = np.array(point, dtype=float)
+        if lp.a_ub is not None and np.any(lp.a_ub @ x > lp.b_ub + _EPS):
+            continue
+        obj = float(lp.c @ x)
+        if best is None or obj < best:
+            best = obj
+    return best
+
+
+@st.composite
+def milp_instances(draw) -> LinearProgram:
+    """A small all-integer minimization over a finite box.
+
+    Right-hand sides are drawn in halves: with integer coefficients a
+    fractional bound like ``-x <= -0.5`` carves out regions that the LP
+    relaxation can satisfy but no lattice point can, exercising the
+    integer-infeasible pruning path.
+    """
+    n = draw(st.integers(1, 3))
+    m = draw(st.integers(0, 3))
+    c = [draw(st.integers(-5, 5)) for _ in range(n)]
+    lo = [draw(st.integers(-2, 1)) for _ in range(n)]
+    hi = [lo[j] + draw(st.integers(0, 3)) for j in range(n)]
+    if m:
+        a_ub = [[draw(st.integers(-4, 4)) for _ in range(n)]
+                for _ in range(m)]
+        b_ub = [draw(st.integers(-12, 12)) / 2.0 for _ in range(m)]
+    else:
+        a_ub = b_ub = None
+    return LinearProgram(c=np.array(c, dtype=float), a_ub=a_ub, b_ub=b_ub,
+                         lo=np.array(lo, dtype=float),
+                         hi=np.array(hi, dtype=float))
+
+
+@given(milp_instances())
+@settings(max_examples=80, deadline=None)
+def test_branch_and_bound_matches_enumeration(lp: LinearProgram) -> None:
+    integers = list(range(lp.num_vars))
+    expected = brute_force_min(lp)
+    result = solve_milp(lp, integers, max_nodes=20_000)
+    if expected is None:
+        assert result.status is SolveStatus.INFEASIBLE
+        return
+    assert result.status is SolveStatus.OPTIMAL
+    assert result.objective == pytest.approx(expected, abs=1e-6)
+    # The solver's point must itself be a feasible lattice point; its
+    # identity may differ from the enumeration's under objective ties.
+    x = result.x
+    assert x is not None
+    for j in integers:
+        assert abs(x[j] - round(x[j])) < 1e-6
+    xi = np.round(x)
+    assert np.all(xi >= lp.lo - _EPS) and np.all(xi <= lp.hi + _EPS)
+    if lp.a_ub is not None:
+        assert np.all(lp.a_ub @ xi <= lp.b_ub + _EPS)
+    assert float(lp.c @ xi) == pytest.approx(expected, abs=1e-6)
+
+
+def test_tied_optima_agree_on_objective() -> None:
+    # min x + y  s.t.  x + y >= 1,  x, y in {0, 1}: both (1,0) and (0,1)
+    # are optimal.  Only the objective is pinned, not the argmin.
+    lp = LinearProgram(c=[1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0],
+                       lo=[0.0, 0.0], hi=[1.0, 1.0])
+    result = solve_milp(lp, [0, 1])
+    assert result.status is SolveStatus.OPTIMAL
+    assert result.objective == pytest.approx(1.0)
+    assert result.x is not None
+    assert round(result.x[0]) + round(result.x[1]) == 1
+
+
+def test_lp_feasible_but_integer_infeasible() -> None:
+    # 0.25 <= x <= 0.75 is a non-empty LP slab containing no integer.
+    lp = LinearProgram(c=[1.0], a_ub=[[-1.0], [1.0]], b_ub=[-0.25, 0.75],
+                       lo=[0.0], hi=[1.0])
+    relaxed = solve_milp(lp, [])
+    assert relaxed.status is SolveStatus.OPTIMAL
+    assert relaxed.objective == pytest.approx(0.25)
+    integral = solve_milp(lp, [0])
+    assert integral.status is SolveStatus.INFEASIBLE

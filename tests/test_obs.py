@@ -309,7 +309,7 @@ class TestScenarios:
         assert metrics.active_registry() is None
 
     def test_all_scenarios_registered_and_documented(self):
-        assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve"}
+        assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve", "verify"}
         for fn in TRACE_SCENARIOS.values():
             assert fn.__doc__
 

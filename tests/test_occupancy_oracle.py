@@ -1,0 +1,94 @@
+"""Occupancy oracle: hand-computed CUDA-occupancy-calculator values.
+
+Each case below was worked by hand from the Table 3 device limits, the
+same way the CUDA occupancy calculator spreadsheet does it: divide each
+per-SM resource by the per-block footprint, take the tightest, convert
+resident blocks to active warps.  The simulator must reproduce every
+intermediate (resident blocks, limiting resource, active warps), not
+just the final ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.occupancy import (
+    max_active_blocks_per_sm,
+    occupancy,
+    validate_launch,
+)
+
+
+def _launch(blocks: int, threads: int, smem: int = 0,
+            regs: int = 32) -> LaunchConfig:
+    return LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                        shared_mem_dynamic=smem, registers_per_thread=regs)
+
+
+# (device, threads, smem, regs) -> (blocks_per_sm, limiter, active_warps)
+#
+# K40C:    2048 thr/SM, 16 blk/SM, 48 KiB smem/SM, 65536 regs/SM, 64 warps
+# P100:    2048 thr/SM, 32 blk/SM, 64 KiB smem/SM, 65536 regs/SM, 64 warps
+# TitanXP: 2048 thr/SM, 32 blk/SM, 48 KiB smem/SM, 65536 regs/SM, 64 warps
+ORACLE = [
+    # K40C, 256 thr, 32 regs: thr 2048/256=8, blk 16, regs 65536/8192=8,
+    # smem unlimited -> 8 blocks; thread slots named on the 8==8 tie.
+    ("K40C", 256, 0, 32, 8, "threads", 64),
+    # K40C, 128 thr, 64 regs: thr 2048/128=16, blk 16,
+    # regs 65536/(64*128)=8 -> register-bound at 8 blocks, 32 warps.
+    ("K40C", 128, 0, 64, 8, "registers", 32),
+    # K40C, 256 thr, 12 KiB smem: smem 49152/12288=4 beats thr 8 and
+    # regs 8 -> 4 blocks, 32 warps.
+    ("K40C", 256, 12288, 32, 4, "shared_mem", 32),
+    # P100, 64 thr, 32 regs: thr 2048/64=32, blk 32, smem 32,
+    # regs 65536/2048=32 -- a four-way tie resolved to thread slots.
+    ("P100", 64, 0, 32, 32, "threads", 64),
+    # P100, 256 thr, 32 regs: the docstring case; thr-bound at 8 blocks.
+    ("P100", 256, 0, 32, 8, "threads", 64),
+    # P100, 1024 thr, 64 regs, 32 KiB smem: thr 2, smem 65536/32768=2,
+    # regs 65536/65536=1 -> one resident block, 32 warps.
+    ("P100", 1024, 32768, 64, 1, "registers", 32),
+    # TitanXP, 96 thr, 32 regs: thr 2048/96=21, regs 65536/3072=21 (tie),
+    # 3 warps/block -> 63 active warps, just under full.
+    ("TitanXP", 96, 0, 32, 21, "threads", 63),
+    # TitanXP, 32 thr, 4 KiB smem: smem 49152/4096=12 beats thr 64,
+    # blk 32, regs 64 -> 12 blocks of one warp each.
+    ("TitanXP", 32, 4096, 32, 12, "shared_mem", 12),
+]
+
+
+@pytest.mark.parametrize(
+    "device,threads,smem,regs,blocks,limiter,warps", ORACLE,
+    ids=[f"{d}-{t}t-{s}b-{r}r" for d, t, s, r, *_ in ORACLE])
+def test_occupancy_matches_hand_computation(
+        device, threads, smem, regs, blocks, limiter, warps) -> None:
+    props = get_device(device)
+    res = max_active_blocks_per_sm(props, _launch(1024, threads, smem, regs))
+    assert res.blocks_per_sm == blocks
+    assert res.limiter == limiter
+    assert res.active_warps == warps
+    assert res.max_warps == 64
+    assert res.ratio == pytest.approx(warps / 64)
+
+
+def test_grid_limited_occupancy_p100() -> None:
+    # 18 blocks of 256 threads on 56 SMs: footprint allows 8 blocks/SM
+    # but the grid averages 18/56 blocks per SM, i.e. 18*8 warps spread
+    # over 56 SMs of 64 warp slots each.
+    props = get_device("P100")
+    assert occupancy(props, _launch(18, 256)) == \
+        pytest.approx(18 * 8 / 56 / 64)
+    # A saturating grid reaches the footprint-derived ceiling exactly.
+    assert occupancy(props, _launch(8 * 56, 256)) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("device", ["K40C", "P100", "TitanXP"])
+def test_invalid_launches_rejected(device) -> None:
+    props = get_device(device)
+    with pytest.raises(LaunchError):
+        validate_launch(props, _launch(1, 2048))          # > 1024 thr/block
+    with pytest.raises(LaunchError):
+        validate_launch(props, _launch(1, 256, smem=64 * 1024))

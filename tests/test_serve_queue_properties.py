@@ -1,0 +1,110 @@
+"""Property-based invariants for the bounded admission queue.
+
+Random arrival traces (nondecreasing arrival times, random SLO budgets)
+interleaved with random batch pops must preserve three invariants
+whatever the overflow policy:
+
+* boundedness — the queue never exceeds its capacity, and ``high_water``
+  records the true maximum;
+* conservation — every offered request is accounted for exactly once:
+  popped, still waiting, evicted (DROP_OLDEST) or rejected
+  (REJECT_NEWEST); nothing is silently dropped;
+* ordering — concatenated pops come out EDF-sorted by
+  ``(deadline_us, rid)`` or FIFO-sorted by ``(enqueue_time, rid)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.queue import BoundedQueue, OverflowPolicy, QueueOrder
+from repro.serve.request import InferenceRequest
+
+
+@st.composite
+def arrival_traces(draw) -> list[tuple[InferenceRequest, bool, int]]:
+    """Requests with nondecreasing arrivals, each tagged with a pop op.
+
+    The tag ``(do_pop, batch)`` interleaves dequeues between offers so
+    the invariants are exercised on a queue that drains and refills, not
+    just one that monotonically fills.
+    """
+    n = draw(st.integers(1, 40))
+    out = []
+    now = 0.0
+    for rid in range(n):
+        now += draw(st.integers(0, 5))
+        slo = draw(st.integers(0, 50))
+        req = InferenceRequest(rid, now, now + slo)
+        out.append((req, draw(st.booleans()), draw(st.integers(1, 4))))
+    return out
+
+
+@given(arrival_traces(), st.integers(1, 8),
+       st.sampled_from(list(OverflowPolicy)),
+       st.sampled_from(list(QueueOrder)))
+@settings(max_examples=60, deadline=None)
+def test_bounded_and_conserving(trace, capacity, overflow, order) -> None:
+    q = BoundedQueue(capacity, overflow=overflow, order=order)
+    popped: list[InferenceRequest] = []
+    rejected: list[InferenceRequest] = []
+    evicted: list[InferenceRequest] = []
+    high = 0
+    for req, do_pop, batch in trace:
+        if not q.offer(req, now=req.arrival_us):
+            rejected.append(req)
+        assert len(q) <= capacity
+        high = max(high, len(q))
+        evicted.extend(q.drain_evicted())
+        if do_pop:
+            popped.extend(q.pop_batch(batch))
+
+    assert q.high_water == high <= capacity
+    # DROP_OLDEST always admits the newcomer; REJECT_NEWEST never evicts.
+    if overflow is OverflowPolicy.DROP_OLDEST:
+        assert not rejected
+    else:
+        assert not evicted
+    assert q.admitted == len(trace) - len(rejected)
+    assert q.shed_overflow == len(rejected) + len(evicted)
+
+    # Conservation: drain the remainder and check the four bins
+    # partition the offered set exactly.
+    while len(q):
+        popped.extend(q.pop_batch(capacity))
+    bins = [r.rid for r in popped + rejected + evicted]
+    assert sorted(bins) == [r.rid for r, _, _ in trace]
+    assert len(bins) == len(set(bins))
+
+
+@given(arrival_traces(), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_edf_pop_order(trace, batch) -> None:
+    q = BoundedQueue(capacity=len(trace), order=QueueOrder.EDF)
+    for req, _, _ in trace:
+        assert q.offer(req, now=req.arrival_us)
+    popped: list[InferenceRequest] = []
+    while len(q):
+        chunk = q.pop_batch(batch)
+        assert chunk, "pop_batch on a non-empty queue returned nothing"
+        popped.extend(chunk)
+    keys = [(r.deadline_us, r.rid) for r in popped]
+    assert keys == sorted(keys)
+
+
+@given(arrival_traces(), st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_fifo_pop_order(trace, batch) -> None:
+    q = BoundedQueue(capacity=len(trace), order=QueueOrder.FIFO)
+    for req, _, _ in trace:
+        assert q.offer(req, now=req.arrival_us)
+    popped: list[InferenceRequest] = []
+    while len(q):
+        popped.extend(q.pop_batch(batch))
+    # Arrivals are nondecreasing and rids increasing, so FIFO order
+    # (enqueue time, rid) is exactly offer order.
+    assert [r.rid for r in popped] == [r.rid for r, _, _ in trace]

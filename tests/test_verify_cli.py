@@ -1,0 +1,76 @@
+"""The ``python -m repro verify`` entry point: exit codes and artifacts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.verify.schedule import ScheduleRunner, identity_plan, works_for
+from repro.verify.witness import ScheduleWitness
+
+
+def test_verify_differential_only(tmp_path, capsys) -> None:
+    report_file = tmp_path / "report.json"
+    rc = main(["verify", "--network", "lenet", "--only", "differential",
+               "--iterations", "1", "--batch", "4",
+               "--report", str(report_file)])
+    assert rc == 0
+    assert "verify: PASS" in capsys.readouterr().out
+    doc = json.loads(report_file.read_text())
+    assert doc["ok"] is True
+    assert doc["differential"]["ok"] is True
+    assert doc["schedule"] is None and doc["faults"] is None
+
+
+def test_verify_json_output(capsys) -> None:
+    rc = main(["verify", "--network", "lenet", "--only", "differential",
+               "--iterations", "1", "--batch", "4", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["network"] == "lenet" and doc["ok"] is True
+
+
+def test_verify_report_written_even_on_failure(tmp_path, capsys,
+                                               monkeypatch) -> None:
+    def _spray(self, gpu, chain, pool, slot):
+        return [gpu.launch(spec, stream=pool[(slot + j) % len(pool)])
+                for j, spec in enumerate(chain)]
+
+    monkeypatch.setattr(ScheduleRunner, "_launch_chain", _spray)
+    monkeypatch.chdir(tmp_path)   # witness default path lands here
+    report_file = tmp_path / "report.json"
+    rc = main(["verify", "--network", "lenet", "--only", "schedule",
+               "--rounds", "2", "--batch", "4",
+               "--report", str(report_file)])
+    assert rc == 1
+    assert "FAILED" in capsys.readouterr().out
+    # The CI artifact exists despite the failing exit status, and names
+    # the witness file that was saved alongside it.
+    doc = json.loads(report_file.read_text())
+    assert doc["ok"] is False
+    witness_path = doc["schedule"]["failure"]["witness_path"]
+    assert (tmp_path / witness_path).exists()
+
+    # Replaying the witness through the CLI reproduces -> exit 1 ...
+    rc = main(["verify", "--replay", witness_path])
+    assert rc == 1
+    # ... and stops reproducing once the planted bug is removed.
+    monkeypatch.undo()
+    monkeypatch.chdir(tmp_path)
+    rc = main(["verify", "--replay", str(tmp_path / witness_path)])
+    assert rc == 0
+
+
+def test_verify_replay_clean_witness_and_bad_file(tmp_path,
+                                                  capsys) -> None:
+    works = works_for("lenet", 2, 0)
+    witness = ScheduleWitness(plan=identity_plan(works, "lenet", "p100",
+                                                 2, 0))
+    path = tmp_path / "clean.json"
+    witness.save(path)
+    assert main(["verify", "--replay", str(path)]) == 0
+    assert "did not reproduce" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["verify", "--replay", str(bad)]) == 2

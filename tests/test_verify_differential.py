@@ -1,0 +1,71 @@
+"""The differential checker: every executor path vs the serial baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nn.zoo import build_lenet
+from repro.verify.differential import (
+    EXECUTOR_PATHS,
+    build_path_executor,
+    run_differential,
+)
+
+
+def test_all_paths_bit_identical_on_lenet() -> None:
+    report = run_differential(network="lenet", seed=0, iterations=1,
+                              batch=4)
+    assert report.ok
+    assert [o.executor for o in report.outcomes] == list(EXECUTOR_PATHS)
+    assert all(o.divergence is None and not o.error
+               for o in report.outcomes)
+    # Same losses everywhere: the paths share numerics by construction.
+    losses = {tuple(o.losses) for o in report.outcomes}
+    assert len(losses) == 1
+    assert all(o.sim_time_us > 0 for o in report.outcomes)
+    assert "OK" in report.render() and "DIVERGED" not in report.render()
+
+
+def test_planted_weight_perturbation_is_caught() -> None:
+    # A builder that hands pristine weights to the probe and the serial
+    # baseline, then perturbed ones to every later path — the kind of
+    # per-path state leak the harness exists to catch.
+    calls = {"n": 0}
+
+    def builder(batch: int, seed: int):
+        net = build_lenet(batch=batch, seed=seed)
+        calls["n"] += 1
+        if calls["n"] >= 3:
+            p, _, _ = next(iter(net.unique_params()))
+            p.data.reshape(-1)[0] += 1e-3
+        return net
+
+    report = run_differential(network="lenet", seed=0, iterations=1,
+                              batch=4, executors=["serial", "stream-pool"],
+                              net_builder=builder)
+    assert not report.ok
+    bad = report.outcomes[1]
+    assert bad.executor == "stream-pool"
+    assert bad.divergence is not None
+    # Perturbed weights surface at the causally-earliest point: the
+    # forward activations of iteration 0.
+    assert bad.divergence.iteration == 0
+    assert bad.divergence.divergence.section == "blob"
+    assert "DIVERGED" in report.render()
+    assert report.to_dict()["ok"] is False
+
+
+def test_serial_baseline_is_forced_first() -> None:
+    report = run_differential(network="lenet", seed=0, iterations=1,
+                              batch=4, executors=["stream-pool"])
+    assert report.outcomes[0].executor == "serial"
+    assert report.ok
+
+
+def test_rejects_unknown_path_and_bad_sharding() -> None:
+    with pytest.raises(ReproError):
+        build_path_executor("warp-drive", "p100")
+    with pytest.raises(ReproError):
+        run_differential(network="lenet", batch=3, replicas=2,
+                         executors=["data-parallel"])

@@ -1,0 +1,60 @@
+"""Fault-plan fuzzer: degraded runs must still match serial numerics."""
+
+from __future__ import annotations
+
+from repro.verify.fault_fuzz import (
+    FAULT_TEMPLATES,
+    FaultRoundOutcome,
+    fuzz_faults,
+    random_fault_plan,
+)
+
+
+def test_random_plans_are_seeded_and_survivable() -> None:
+    plan = random_fault_plan(seed=0, round_=3)
+    assert plan == random_fault_plan(seed=0, round_=3)
+    assert plan != random_fault_plan(seed=0, round_=4)
+    assert 1 <= len(plan.specs) <= 3
+    for spec in plan.specs:
+        # Curation: transient specs stay under the retry budget (3);
+        # persistent specs only target sites with a serial fallback.
+        if spec.kind == "transient":
+            assert spec.max_fires <= 3
+        else:
+            assert spec.site in ("stream_create", "milp_solve",
+                                 "profiler_record")
+
+
+def test_template_draws_stay_in_curated_ranges() -> None:
+    import random
+    rng = random.Random(0)
+    for template in FAULT_TEMPLATES:
+        for _ in range(20):
+            spec = template(rng)
+            assert spec.kind in ("transient", "persistent")
+            assert spec.max_fires <= 4
+
+
+def test_fuzz_faults_campaign_on_lenet() -> None:
+    report = fuzz_faults(network="lenet", seed=0, rounds=3, batch=4,
+                         iterations=1)
+    assert report.ok, report.render()
+    assert len(report.rounds) == 3
+    # Outcomes carry full accounting whether or not anything fired.
+    for outcome in report.rounds:
+        assert outcome.fires >= 0
+        assert outcome.iterations_completed <= 1
+        if not outcome.aborted:
+            assert outcome.iterations_completed == 1
+    assert "OK" in report.render()
+    assert report.to_dict()["ok"] is True
+
+
+def test_abort_is_acceptable_divergence_is_not() -> None:
+    aborted = FaultRoundOutcome(round=0, plan_name="p", aborted=True,
+                                abort_reason="DegradedError: boom")
+    assert aborted.ok
+    diverged = FaultRoundOutcome(round=1, plan_name="p",
+                                 divergence="iteration 0: blob[x]")
+    assert not diverged.ok
+    assert diverged.to_dict()["ok"] is False

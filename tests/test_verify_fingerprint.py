@@ -1,0 +1,80 @@
+"""Unit tests for the bit-exact network fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.zoo import build_lenet
+from repro.verify.differential import make_batches
+from repro.verify.fingerprint import (
+    Divergence,
+    NetFingerprint,
+    array_digest,
+    fingerprint_net,
+    first_divergence,
+)
+
+
+def test_array_digest_sensitivity() -> None:
+    a = np.arange(6, dtype=np.float32).reshape(2, 3)
+    assert array_digest(a) == array_digest(a.copy())
+    assert array_digest(a) != array_digest(a.astype(np.float64))
+    assert array_digest(a) != array_digest(a.reshape(3, 2))
+    b = a.copy()
+    b[0, 0] += 1e-7  # any bit flip counts; there are no tolerances
+    assert array_digest(a) != array_digest(b)
+
+
+def test_fingerprint_is_deterministic_and_complete() -> None:
+    net = build_lenet(batch=2, seed=0)
+    batch = make_batches(net, 1, seed=0)[0]
+    net.forward(batch)
+    net.backward()
+    fp1 = fingerprint_net(net)
+    fp2 = fingerprint_net(net)
+    assert fp1.to_dict() == fp2.to_dict()
+    assert fp1.sections["blob"] and fp1.sections["param"]
+    assert fp1.loss is not None
+    assert first_divergence(fp1, fp2) is None
+    # Without activations only the parameter sections are populated.
+    lean = fingerprint_net(net, include_activations=False)
+    assert not lean.sections["blob"] and lean.sections["param"]
+
+
+def test_first_divergence_reports_earliest_section() -> None:
+    base = NetFingerprint(sections={
+        "blob": {"conv1": "aa"}, "blob_grad": {"conv1": "bb"},
+        "param_grad": {"w": "cc"}, "param": {"w": "dd"},
+    }, loss=1.0)
+    # Divergence planted in both "blob" and "param": the causally
+    # earliest one (the forward activation) must be the one reported.
+    other = NetFingerprint(sections={
+        "blob": {"conv1": "XX"}, "blob_grad": {"conv1": "bb"},
+        "param_grad": {"w": "cc"}, "param": {"w": "YY"},
+    }, loss=1.0)
+    d = first_divergence(base, other)
+    assert d == Divergence("blob", "conv1", "aa", "XX")
+    assert "blob[conv1]" in str(d)
+
+
+def test_first_divergence_absent_tensor_and_loss() -> None:
+    base = NetFingerprint(sections={"blob": {"a": "x"}}, loss=1.0)
+    missing = NetFingerprint(sections={"blob": {}}, loss=1.0)
+    d = first_divergence(base, missing)
+    assert d is not None and d.actual == "<absent>"
+    # Identical tensors but different losses: reported as the last check.
+    other_loss = NetFingerprint(sections={"blob": {"a": "x"}}, loss=2.0)
+    d = first_divergence(base, other_loss)
+    assert d is not None and d.section == "loss"
+
+
+def test_make_batches_deterministic() -> None:
+    net = build_lenet(batch=4, seed=0)
+    b1 = make_batches(net, 2, seed=7)
+    b2 = make_batches(net, 2, seed=7)
+    b3 = make_batches(net, 2, seed=8)
+    for one, two in zip(b1, b2):
+        assert sorted(one) == sorted(two)
+        for name in one:
+            assert one[name].tobytes() == two[name].tobytes()
+    assert any(b1[0][n].tobytes() != b3[0][n].tobytes() for n in b1[0])

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Run the repo's own determinism lint over ``src/repro``.
+
+Thin wrapper around ``python -m repro analyze lint`` for pre-commit /
+local use — same rules, same suppression syntax, same exit code as the
+CI gate (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv: list[str]) -> int:
+    from repro.analyze import lint_paths
+
+    targets = [Path(a) for a in argv] or [REPO / "src" / "repro"]
+    report = lint_paths(targets)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

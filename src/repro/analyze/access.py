@@ -1,0 +1,164 @@
+"""Per-kernel memory-effect derivation for lowered layer work.
+
+The hazard detector needs to know, for every kernel a dispatcher will
+launch, which abstract memory regions it reads and writes.  This module
+derives that from the net's blob wiring (:class:`repro.nn.layer.LayerDef`
+bottoms/tops) and the shape of the lowered work
+(:class:`repro.kernels.ir.LayerWork`), at **per-sample granularity** —
+the granularity GLP4NN's batch-level parallelism actually partitions:
+
+* ``{blob}[s{n}]`` — sample ``n``'s slice of an activation blob;
+* ``d:{blob}[s{n}]`` — its gradient;
+* ``param:{key}`` — a layer's (possibly shared) parameter blobs,
+  read-only during dispatch;
+* ``partial:{layer}[c{n}]`` — chain ``n``'s privatized weight-gradient
+  partial (the lowering's privatize-and-reduce transform);
+* ``wgrad:{key}`` — the reduced parameter gradient, written by the
+  serial tail;
+* ``{layer}.{f|b}.c{n}.t{j}`` — chain-internal temporaries (im2col
+  column buffers etc.), private to one chain by construction.
+
+The derivation is *conservative on reads*: every kernel of a chain is
+charged with the chain's external inputs, since e.g. both backward GEMMs
+re-read the saved activations.  Over-approximate reads can only add
+hazards that a sync would anyway be needed for, never hide one.
+
+Whole-batch serial kernels touch every sample's region — which is exactly
+why a serial kernel moved off the default stream without a barrier races
+against every chain of the neighbouring layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalyzeError
+from repro.kernels.ir import LayerWork
+
+
+@dataclass(frozen=True)
+class Access:
+    """Memory effect of one kernel: region reads and writes."""
+
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class WorkAccess:
+    """Per-kernel accesses of one :class:`LayerWork`, aligned by position.
+
+    ``chains[n][j]`` is the effect of kernel ``j`` of parallel chain ``n``;
+    ``serial[j]`` of the ``j``-th whole-batch serial kernel.
+    """
+
+    chains: tuple[tuple[Access, ...], ...] = ()
+    serial: tuple[Access, ...] = ()
+
+
+def data_region(blob: str, sample: int) -> str:
+    return f"{blob}[s{sample}]"
+
+
+def grad_region(blob: str, sample: int) -> str:
+    return f"d:{blob}[s{sample}]"
+
+
+def _samples(net, blob: str) -> int:
+    shape = net.blob_shapes.get(blob)
+    if not shape:
+        raise AnalyzeError(f"blob {blob!r} has no recorded shape")
+    return int(shape[0])
+
+
+def _expand(net, blobs: Sequence[str], grad: bool = False) -> set[str]:
+    region = grad_region if grad else data_region
+    return {region(b, s) for b in blobs for s in range(_samples(net, b))}
+
+
+def _chain_accesses(reads0: set[str], writes_last: set[str],
+                    tmp_prefix: str, count: int) -> tuple[Access, ...]:
+    """A pipeline of ``count`` kernels threaded through private temps."""
+    accs = []
+    for j in range(count):
+        reads = set(reads0)
+        if j > 0:
+            reads.add(f"{tmp_prefix}.t{j - 1}")
+        writes: set[str] = set()
+        if j < count - 1:
+            writes.add(f"{tmp_prefix}.t{j}")
+        else:
+            writes |= writes_last
+        accs.append(Access(frozenset(reads), frozenset(writes)))
+    return tuple(accs)
+
+
+def work_access(net, layer_def, work: LayerWork) -> WorkAccess:
+    """Derive the per-kernel memory effect of one lowered work unit."""
+    name = work.layer
+    bottoms = list(layer_def.bottoms)
+    tops = list(layer_def.tops)
+    param = (f"param:{layer_def.param_key or name}"
+             if layer_def.layer.has_params else None)
+    forward = work.phase == "forward"
+    phase_tag = "f" if forward else "b"
+
+    chains: list[tuple[Access, ...]] = []
+    for n, chain in enumerate(work.parallel_chains):
+        if forward:
+            reads0 = {data_region(b, n) for b in bottoms}
+            writes_last = {data_region(t, n) for t in tops}
+        else:
+            reads0 = ({grad_region(t, n) for t in tops}
+                      | {data_region(b, n) for b in bottoms})
+            writes_last = {grad_region(b, n) for b in bottoms}
+            if param:
+                writes_last.add(f"partial:{name}[c{n}]")
+        if param:
+            reads0.add(param)
+        chains.append(_chain_accesses(
+            reads0, writes_last, f"{name}.{phase_tag}.c{n}", len(chain)))
+
+    serial: tuple[Access, ...]
+    if forward:
+        reads0 = _expand(net, bottoms) | ({param} if param else set())
+        writes_last = _expand(net, tops)
+        serial = _chain_accesses(reads0, writes_last, f"{name}.{phase_tag}",
+                                 len(work.serial_kernels))
+    elif work.parallel_chains:
+        # Conv-backward reduction tail: every serial kernel folds the
+        # privatized partials (and the batch's output gradients) into the
+        # parameter gradient.  They run back-to-back on one stream, so
+        # modelling them with a common write region adds no false pairs.
+        reads0 = ({f"partial:{name}[c{n}]"
+                   for n in range(len(work.parallel_chains))}
+                  | _expand(net, tops, grad=True))
+        key = layer_def.param_key or name
+        serial = tuple(Access(frozenset(reads0),
+                              frozenset({f"wgrad:{key}"}))
+                       for _ in work.serial_kernels)
+    else:
+        reads0 = (_expand(net, tops, grad=True) | _expand(net, bottoms)
+                  | ({param} if param else set()))
+        writes_last = _expand(net, bottoms, grad=True)
+        if param:
+            writes_last.add(f"wgrad:{layer_def.param_key or name}")
+        serial = _chain_accesses(reads0, writes_last, f"{name}.{phase_tag}",
+                                 len(work.serial_kernels))
+    return WorkAccess(chains=tuple(chains), serial=serial)
+
+
+def derive_accesses(net, works: Sequence[LayerWork]) -> list[WorkAccess]:
+    """Accesses for a lowered work list, aligned positionally with it."""
+    defs = {ld.name: ld for ld in net.layer_defs}
+    out: list[WorkAccess] = []
+    for work in works:
+        ld = defs.get(work.layer)
+        if ld is None:
+            raise AnalyzeError(
+                f"work {work.key!r} does not match any layer of the net "
+                f"(have: {', '.join(sorted(defs))})"
+            )
+        out.append(work_access(net, ld, work))
+    return out

@@ -1,0 +1,189 @@
+"""A small AST-based lint framework with pluggable determinism rules.
+
+The differential/fuzz harnesses of :mod:`repro.verify` catch
+nondeterminism *after* it has perturbed a run; this linter catches the
+usual sources before they ship: unseeded RNGs, wall-clock reads inside
+the simulated paths, iteration order leaking out of unordered sets, and
+multi-stream dispatch with no synchronization edge.
+
+Rules subclass :class:`LintRule` and return ``(line, message)`` pairs
+from :meth:`LintRule.check`; :func:`lint_paths` walks the source tree,
+parses each file once, applies every in-scope rule and drops violations
+suppressed with a ``# repro: allow(<rule>)`` comment on the offending
+line or the line directly above it.  The rule catalog lives in
+:mod:`repro.analyze.rules`; ``docs/static_analysis.md`` documents each
+rule and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import AnalyzeError
+
+#: Suppression marker: ``# repro: allow(rule-a, rule-b)``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Attributes
+    ----------
+    name:
+        Stable rule id (kebab-case) used in reports and suppressions.
+    description:
+        One-line summary shown in the rule catalog and SARIF metadata.
+    scope:
+        Path fragments (package dir names) the rule is restricted to;
+        empty means every file.  E.g. ``("core", "gpusim", "verify")``
+        limits a rule to the simulated paths.
+    """
+
+    name: str = ""
+    description: str = ""
+    scope: tuple[str, ...] = ()
+
+    def check(self, tree: ast.AST, source: str,
+              path: Path) -> list[tuple[int, str]]:
+        raise NotImplementedError
+
+    def applies_to(self, path: Path) -> bool:
+        if not self.scope:
+            return True
+        parts = set(path.parts)
+        return any(s in parts for s in self.scope)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one ``repro analyze lint`` pass."""
+
+    roots: list[str] = field(default_factory=list)
+    rules: list[str] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    violations: list[LintViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "lint-report",
+            "roots": list(self.roots), "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed, "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+    def render(self) -> str:
+        lines = [v.describe() for v in self.violations]
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"analyze lint: {verdict} ({self.files_checked} file(s), "
+            f"{len(self.rules)} rule(s), {len(self.violations)} "
+            f"violation(s), {self.suppressed} suppressed)")
+        return "\n".join(lines)
+
+
+def allowed_rules(source: str) -> dict[int, set[str]]:
+    """Per-line suppression sets parsed from ``# repro: allow(...)``."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+            allowed[lineno] = names
+    return allowed
+
+
+def _suppressed(allowed: dict[int, set[str]], rule: str, line: int) -> bool:
+    for at in (line, line - 1):
+        names = allowed.get(at)
+        if names and (rule in names or "*" in names):
+            return True
+    return False
+
+
+def lint_file(path: Path, rules: Sequence[LintRule],
+              display_path: Optional[str] = None,
+              ) -> tuple[list[LintViolation], int]:
+    """Apply every in-scope rule to one file; returns (hits, #suppressed)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as e:
+        raise AnalyzeError(f"cannot parse {path}: {e}") from e
+    allowed = allowed_rules(source)
+    shown = display_path or str(path)
+    out: list[LintViolation] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for line, message in rule.check(tree, source, path):
+            if _suppressed(allowed, rule.name, line):
+                suppressed += 1
+                continue
+            out.append(LintViolation(rule=rule.name, path=shown,
+                                     line=line, message=message))
+    out.sort(key=lambda v: (v.path, v.line, v.rule))
+    return out, suppressed
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               rules: Optional[Sequence[LintRule]] = None) -> LintReport:
+    """Lint every ``*.py`` file under the given files/directories."""
+    if rules is None:
+        from repro.analyze.rules import DEFAULT_RULES
+        rules = DEFAULT_RULES
+    roots = [Path(p) for p in paths]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.suffix == ".py":
+            files.append(root)
+        else:
+            raise AnalyzeError(f"nothing to lint at {root}")
+    report = LintReport(roots=[str(r) for r in roots],
+                        rules=[r.name for r in rules])
+    for f in files:
+        hits, suppressed = lint_file(f, rules)
+        report.violations.extend(hits)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

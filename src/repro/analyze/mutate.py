@@ -1,0 +1,101 @@
+"""Seeded sync-deletion mutants: the analyzer/fuzzer cross-check probe.
+
+Deleting only the host ``synchronize`` after a layer is usually *not*
+observable: the next layer's whole-batch serial kernels launch on the
+legacy default stream, which is itself a barrier, so both the engine and
+the static model still order everything.  A real sync-edge deletion must
+therefore also strip the implicit barrier — the mutation here sets
+``sync=False`` on layer ``k`` **and** moves the serial kernels of ``k``
+and ``k+1`` onto pool streams (``serial_stream``), exactly the class of
+bug a dispatcher refactor could introduce.
+
+:func:`find_flagged_mutant` searches seeded ``(layer, slot)`` candidates
+until the static detector reports hazards, returning the mutated plan and
+its witness.  The acceptance cross-check then replays the same plan
+through :class:`repro.verify.schedule.ScheduleRunner`, which must also
+flag it — see ``docs/static_analysis.md`` for the exact directional
+guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+from repro.analyze.access import WorkAccess
+from repro.analyze.hazards import Hazard, detect
+from repro.analyze.plans import program_from_schedule_plan
+from repro.errors import AnalyzeError
+from repro.kernels.ir import LayerWork
+
+
+def drop_sync_mutant(plan, layer_index: int, slot: int):
+    """Delete layer ``layer_index``'s sync edge from a schedule plan.
+
+    Marks the layer ``sync=False`` and assigns its serial kernels (and
+    the next layer's) to pool streams so no implicit default-stream
+    barrier re-orders the racing work.
+    """
+    layers = list(plan.layers)
+    if not 0 <= layer_index < len(layers):
+        raise AnalyzeError(
+            f"mutation index {layer_index} outside plan "
+            f"({len(layers)} layers)")
+    slot %= plan.pool_size
+    layers[layer_index] = replace(layers[layer_index], sync=False,
+                                  serial_stream=slot)
+    if layer_index + 1 < len(layers):
+        next_slot = ((slot + 1) % plan.pool_size
+                     if plan.pool_size > 1 else slot)
+        layers[layer_index + 1] = replace(layers[layer_index + 1],
+                                          serial_stream=next_slot)
+    return replace(plan, layers=tuple(layers))
+
+
+def find_flagged_mutant(works: Sequence[LayerWork],
+                        accesses: Sequence[WorkAccess],
+                        plan, seed: int = 0,
+                        confirm: Optional[Callable[[object], bool]] = None,
+                        ) -> tuple[object, list[Hazard]]:
+    """Seeded search for a sync-deletion mutant the detector flags.
+
+    Tries layer indices in a seeded random order (and every pool slot for
+    each) until the mutated plan's program has hazards; returns
+    ``(mutated_plan, hazards)``.  Raises :class:`AnalyzeError` when no
+    single deleted sync is observable — e.g. a pool of size 1, where
+    stream FIFO alone orders everything (hazard-free by construction).
+
+    ``confirm``, when given, is an extra predicate each statically
+    flagged candidate must also satisfy — the cross-check wires in a
+    :class:`~repro.verify.schedule.ScheduleRunner` replay here, so the
+    returned mutant is flagged by *both* the static detector and the
+    dynamic harness.  (Statically flagged but dynamically clean
+    candidates are expected: a race is a property of all legal
+    schedules, while one simulated run samples a single timing.)
+    """
+    n = len(plan.layers)
+    if n < 2:
+        raise AnalyzeError("need at least two layers to delete a sync edge")
+    rng = random.Random(seed)
+    order = list(range(n - 1))
+    rng.shuffle(order)
+    static_only = 0
+    for k in order:
+        for slot in range(plan.pool_size):
+            cand = drop_sync_mutant(plan, k, slot)
+            hazards = detect(program_from_schedule_plan(works, accesses,
+                                                        cand))
+            if not hazards:
+                continue
+            if confirm is not None and not confirm(cand):
+                static_only += 1
+                continue
+            return cand, hazards
+    if static_only:
+        raise AnalyzeError(
+            f"{static_only} sync-deletion mutant(s) are statically racy "
+            "but none diverged under the dynamic confirmation predicate")
+    raise AnalyzeError(
+        "no sync-deletion mutant of this plan produces a static hazard "
+        "(a pool of size 1 is hazard-free by construction)")

@@ -1,0 +1,196 @@
+"""Build dispatch programs for every executor plan the runtime supports.
+
+Each builder reproduces — statically — the exact op order a dispatcher
+issues, using the same round-robin assignment helper
+(:func:`repro.core.stream_manager.round_robin_slots`) the runtime uses,
+so the certified program *is* the dispatched program:
+
+* ``round-robin`` — :meth:`RuntimeScheduler._dispatch`: chains over the
+  pool, whole-batch serial kernels on the legacy default stream, one
+  ``synchronize`` per layer;
+* ``multithread`` — :class:`repro.runtime.multithread.MultiThreadDispatcher`:
+  thread ``t = i % threads`` owns stream ``t``; the orderings visible to
+  the hazard model are identical to round-robin (per-thread FIFOs, serial
+  work on default, a join + sync per layer);
+* ``fused`` — round-robin dispatch of works rewritten by
+  :func:`repro.runtime.fusion.make_fusion_transform` (fusion merges
+  kernels *within* a chain, so the region model is re-derived on the
+  fused works);
+* ``data-parallel`` — :mod:`repro.runtime.data_parallel`: each replica
+  round-robin dispatches its own batch shard on its own device; one
+  program per replica, hazard-checked independently (the allreduce is a
+  full barrier between replicas and is outside the per-device model).
+
+``program_from_schedule_plan`` mirrors
+:class:`repro.verify.schedule.ScheduleRunner` op-for-op, including the
+``sync``/``serial_stream`` mutation axes, and is how the static verdict
+and the dynamic fuzzer are compared on the *same* plan.
+``program_from_graph`` mirrors :func:`repro.runtime.graph.dispatch_graph`
+(event record/wait edges for cross-stream DAG dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analyze.access import WorkAccess, derive_accesses
+from repro.analyze.program import DispatchProgram
+from repro.core.stream_manager import round_robin_slots
+from repro.errors import AnalyzeError
+from repro.kernels.ir import LayerWork
+
+#: The executor plans the hazard pass certifies (CI runs all of them).
+PLAN_KINDS = ("round-robin", "multithread", "fused", "data-parallel")
+
+#: Zoo networks the hazard pass certifies, in report order.
+ZOO_NETWORKS = ("cifar10", "lenet", "siamese", "caffenet", "googlenet")
+
+#: Replica count modelled for the data-parallel plan.
+DATA_PARALLEL_REPLICAS = 2
+
+
+def _kernel_name(spec, layer: str, fallback: str) -> str:
+    name = getattr(spec, "name", "") or fallback
+    tag = getattr(spec, "tag", "")
+    return f"{name}@{tag}" if tag else name
+
+
+def program_from_works(works: Sequence[LayerWork],
+                       accesses: Sequence[WorkAccess],
+                       pool_size: int,
+                       name: str = "round-robin") -> DispatchProgram:
+    """The paper's dispatch: round-robin chains, serial on default, sync."""
+    if len(works) != len(accesses):
+        raise AnalyzeError(
+            f"{len(works)} works but {len(accesses)} access plans")
+    prog = DispatchProgram(name)
+    for work, acc in zip(works, accesses):
+        slots = round_robin_slots(len(work.parallel_chains), pool_size)
+        for ci, chain in enumerate(work.parallel_chains):
+            for j, spec in enumerate(chain):
+                a = acc.chains[ci][j]
+                prog.launch(_kernel_name(spec, work.layer, f"k{j}"),
+                            stream=slots[ci] + 1,
+                            reads=a.reads, writes=a.writes,
+                            layer=work.key, chain=ci)
+        for j, spec in enumerate(work.serial_kernels):
+            a = acc.serial[j]
+            prog.launch(_kernel_name(spec, work.layer, f"serial{j}"),
+                        stream=0, reads=a.reads, writes=a.writes,
+                        layer=work.key)
+        prog.sync(label=work.key)
+    return prog
+
+
+def program_from_schedule_plan(works: Sequence[LayerWork],
+                               accesses: Sequence[WorkAccess],
+                               plan) -> DispatchProgram:
+    """Mirror :meth:`ScheduleRunner.run` for a fuzzed/mutated plan."""
+    if len(works) != len(accesses):
+        raise AnalyzeError(
+            f"{len(works)} works but {len(accesses)} access plans")
+    prog = DispatchProgram(
+        f"{plan.network}/schedule-plan/r{plan.round}")
+    for ls in plan.layers:
+        if not 0 <= ls.index < len(works):
+            raise AnalyzeError(
+                f"schedule references layer index {ls.index}, but only "
+                f"{len(works)} works are lowered")
+        work = works[ls.index]
+        acc = accesses[ls.index]
+        for pos, ci in enumerate(ls.chain_order):
+            slot = ls.stream_of[pos] % plan.pool_size
+            for j, spec in enumerate(work.parallel_chains[ci]):
+                a = acc.chains[ci][j]
+                prog.launch(_kernel_name(spec, work.layer, f"k{j}"),
+                            stream=slot + 1,
+                            reads=a.reads, writes=a.writes,
+                            layer=work.key, chain=ci)
+        serial_stream = (0 if ls.serial_stream is None
+                         else (ls.serial_stream % plan.pool_size) + 1)
+        for j, spec in enumerate(work.serial_kernels):
+            a = acc.serial[j]
+            prog.launch(_kernel_name(spec, work.layer, f"serial{j}"),
+                        stream=serial_stream,
+                        reads=a.reads, writes=a.writes, layer=work.key)
+        if ls.sync:
+            prog.sync(label=work.key)
+    return prog
+
+
+def program_from_graph(graph, num_streams: int,
+                       name: Optional[str] = None) -> DispatchProgram:
+    """Mirror :func:`repro.runtime.graph.dispatch_graph` for a DAG.
+
+    Node regions come from the graph structure itself: node ``i`` writes
+    ``n{i}`` and reads its dependencies' regions — precisely the effect
+    set the DAG encodes.  Cross-stream edges become event record/wait
+    pairs; same-stream edges ride stream FIFO order, as in the runtime.
+    """
+    if num_streams < 1:
+        raise AnalyzeError("need at least one stream")
+    prog = DispatchProgram(name or f"graph:{graph.name}")
+    assignment = graph.assign_streams(num_streams)
+    dependents = graph.dependents()
+    recorded: set[int] = set()
+    for node in graph.nodes:
+        slot = assignment[node.node_id]
+        for d in node.deps:
+            if assignment[d] != slot and d in recorded:
+                prog.wait(event=d, stream=slot + 1)
+        prog.launch(node.spec.name or f"n{node.node_id}",
+                    stream=slot + 1,
+                    reads={f"n{d}" for d in node.deps},
+                    writes={f"n{node.node_id}"},
+                    layer=graph.name, chain=node.node_id)
+        if any(assignment[c] != slot for c in dependents[node.node_id]):
+            prog.record(event=node.node_id, stream=slot + 1)
+            recorded.add(node.node_id)
+    prog.sync(label=graph.name)
+    return prog
+
+
+def build_programs(network: str,
+                   plan: str = "round-robin",
+                   pool_size: int = 4,
+                   batch: int = 4,
+                   seed: int = 0,
+                   device: str = "p100") -> list[DispatchProgram]:
+    """Lower ``network`` (forward+backward) and lay it out under ``plan``.
+
+    Returns one program per independent hardware context — a single
+    program for the single-device plans, one per replica for
+    ``data-parallel``.
+    """
+    from repro.runtime.lowering import lower_net
+    from repro.serve.engine import resolve_device, resolve_net
+
+    if plan not in PLAN_KINDS:
+        raise AnalyzeError(
+            f"unknown plan {plan!r}; expected one of {', '.join(PLAN_KINDS)}")
+
+    def lowered(b: int):
+        net = resolve_net(network)(batch=b, seed=seed)
+        works = (list(lower_net(net, "forward"))
+                 + list(lower_net(net, "backward")))
+        return net, works
+
+    if plan == "data-parallel":
+        shard = max(1, batch // DATA_PARALLEL_REPLICAS)
+        programs = []
+        for r in range(DATA_PARALLEL_REPLICAS):
+            net, works = lowered(shard)
+            accesses = derive_accesses(net, works)
+            programs.append(program_from_works(
+                works, accesses, pool_size,
+                name=f"{network}/data-parallel/r{r}"))
+        return programs
+
+    net, works = lowered(batch)
+    if plan == "fused":
+        from repro.runtime.fusion import make_fusion_transform
+        transform = make_fusion_transform(resolve_device(device))
+        works = [transform(w) for w in works]
+    accesses = derive_accesses(net, works)
+    return [program_from_works(works, accesses, pool_size,
+                               name=f"{network}/{plan}")]

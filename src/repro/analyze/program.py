@@ -1,0 +1,172 @@
+"""Dispatch programs: the static model of a kernel schedule.
+
+A :class:`DispatchProgram` is the analyzer's abstraction of what a host
+dispatcher does: an ordered list of operations — kernel launches with
+explicit read/write region sets, device-wide barriers (``synchronize``),
+and CUDA event record/wait pairs.  It deliberately mirrors the primitives
+of :class:`repro.gpusim.engine.GPU` one-for-one, so a program built from a
+runtime plan describes *exactly* the dependency edges the engine will wire
+(:meth:`GPU._wire_dependencies`):
+
+* ops on one stream are FIFO-ordered;
+* an op on the legacy default stream (id 0) is a barrier: it waits for
+  every stream's tail and everything issued later waits for it;
+* a ``synchronize`` joins all streams on the host;
+* a wait on a recorded event orders the waiting stream after the record.
+
+:func:`happens_before` folds those rules into a transitive-reachability
+bitmask per op, which :mod:`repro.analyze.hazards` then intersects with
+the per-region access sets to find unordered conflicting pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+#: Stream id of the legacy default stream inside a program (barrier
+#: semantics).  Pool/thread streams use ids >= 1.
+DEFAULT_STREAM = 0
+
+
+@dataclass(frozen=True)
+class Launch:
+    """One kernel launch with its memory effect.
+
+    ``reads``/``writes`` are abstract region names (see
+    :mod:`repro.analyze.access` for how they are derived from a net);
+    ``layer`` and ``chain`` are provenance labels used in hazard witnesses.
+    """
+
+    kernel: str
+    stream: int
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+    layer: str = ""
+    chain: int = -1
+
+
+@dataclass(frozen=True)
+class SyncAll:
+    """A host ``synchronize``: joins every stream (layer_sync)."""
+
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class RecordEvent:
+    """``cudaEventRecord`` of ``event`` into ``stream``."""
+
+    event: int
+    stream: int
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """``cudaStreamWaitEvent``: gate later ops in ``stream`` on ``event``."""
+
+    event: int
+    stream: int
+
+
+DispatchOp = Union[Launch, SyncAll, RecordEvent, WaitEvent]
+
+
+@dataclass
+class DispatchProgram:
+    """An ordered dispatch trace to be certified hazard-free."""
+
+    name: str
+    ops: list[DispatchOp] = field(default_factory=list)
+
+    # -- builder helpers ----------------------------------------------
+    def launch(self, kernel: str, stream: int, reads=(), writes=(),
+               layer: str = "", chain: int = -1) -> "DispatchProgram":
+        self.ops.append(Launch(kernel=kernel, stream=stream,
+                               reads=frozenset(reads),
+                               writes=frozenset(writes),
+                               layer=layer, chain=chain))
+        return self
+
+    def sync(self, label: str = "") -> "DispatchProgram":
+        self.ops.append(SyncAll(label=label))
+        return self
+
+    def record(self, event: int, stream: int) -> "DispatchProgram":
+        self.ops.append(RecordEvent(event=event, stream=stream))
+        return self
+
+    def wait(self, event: int, stream: int) -> "DispatchProgram":
+        self.ops.append(WaitEvent(event=event, stream=stream))
+        return self
+
+    # -- queries ------------------------------------------------------
+    def launches(self) -> list[tuple[int, Launch]]:
+        """``(op_index, launch)`` pairs in issue order."""
+        return [(i, op) for i, op in enumerate(self.ops)
+                if isinstance(op, Launch)]
+
+    def streams_used(self) -> set[int]:
+        return {op.stream for op in self.ops
+                if isinstance(op, (Launch, RecordEvent, WaitEvent))}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[DispatchOp]:
+        return iter(self.ops)
+
+
+def happens_before(ops: list[DispatchOp]) -> list[int]:
+    """Transitive happens-before reachability, one bitmask per op.
+
+    Bit ``j`` of ``hb[i]`` is set iff op ``j`` happens before op ``i``
+    under stream-FIFO order, default-stream barrier semantics, host
+    ``synchronize`` joins, and event record→wait edges.  The fold mirrors
+    the engine's dependency wiring exactly: each op's direct predecessors
+    are computed from the same tail/barrier state machine, and its mask is
+    the union of the predecessors' masks plus the predecessors themselves.
+
+    An event that was never recorded gates nothing (CUDA semantics); a
+    re-recorded event binds each wait to the latest record issued before
+    the wait.
+    """
+    hb: list[int] = []
+    tails: dict[int, int] = {}      # stream id -> index of its tail op
+    barrier: int | None = None      # last default-stream barrier op
+    records: dict[int, int] = {}    # event id -> index of latest record
+    for i, op in enumerate(ops):
+        preds: set[int] = set()
+        if isinstance(op, SyncAll):
+            # The host joins every stream; model the sync as a new
+            # default-stream barrier so later ops on any stream order
+            # after everything before it.
+            preds.update(tails.values())
+            barrier = i
+            tails[DEFAULT_STREAM] = i
+        else:
+            stream = op.stream
+            if stream == DEFAULT_STREAM:
+                # Legacy default stream: barrier against every tail.
+                preds.update(tails.values())
+                barrier = i
+            else:
+                if stream in tails:
+                    preds.add(tails[stream])
+                if barrier is not None:
+                    preds.add(barrier)
+                if isinstance(op, WaitEvent) and op.event in records:
+                    preds.add(records[op.event])
+            tails[stream] = i
+            if isinstance(op, RecordEvent):
+                records[op.event] = i
+        mask = 0
+        for p in preds:
+            mask |= hb[p] | (1 << p)
+        hb.append(mask)
+    return hb
+
+
+def ordered(hb: list[int], a: int, b: int) -> bool:
+    """True iff op ``a`` happens before op ``b`` (or vice versa)."""
+    return bool((hb[b] >> a) & 1) or bool((hb[a] >> b) & 1)

@@ -1,0 +1,64 @@
+"""Combined ``repro analyze`` report (hazards + lint).
+
+Mirrors :class:`repro.verify.report.VerifyReport`: one object that holds
+whichever passes ran, renders as text or JSON through the shared
+:mod:`repro.reporting` helpers, and decides the process exit code via
+``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analyze.hazards import HazardReport
+from repro.analyze.lint import LintReport
+
+
+@dataclass
+class AnalyzeReport:
+    """Everything one ``repro analyze`` invocation produced."""
+
+    hazards: Optional[HazardReport] = None
+    lint: Optional[LintReport] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.hazards is not None and not self.hazards.ok:
+            return False
+        if self.lint is not None and not self.lint.ok:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "analyze-report",
+            "ok": self.ok,
+            "hazards": (None if self.hazards is None
+                        else self.hazards.to_dict()),
+            "lint": None if self.lint is None else self.lint.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+    def render(self) -> str:
+        sections = []
+        if self.hazards is not None:
+            sections.append(self.hazards.render())
+        if self.lint is not None:
+            sections.append(self.lint.render())
+        verdict = "PASS" if self.ok else "FAIL"
+        sections.append(f"analyze: {verdict}")
+        return "\n".join(sections)
+
+    def save_sarif(self, path: Union[str, Path]) -> str:
+        from repro.analyze.sarif import save_sarif
+        return save_sarif(path, hazards=self.hazards, lint=self.lint)

@@ -1,0 +1,259 @@
+"""The determinism rule catalog (see ``docs/static_analysis.md``).
+
+Every rule here guards the property the whole repo exists to reproduce —
+bit-identical runs.  They are deliberately syntactic and conservative:
+each matches the concrete idioms that have caused (or would cause) the
+differential harness to trip, and anything intentional is silenced at
+the use site with ``# repro: allow(<rule>)``, keeping exceptions visible
+in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analyze.lint import LintRule
+
+#: numpy legacy global-state samplers (np.random.<fn> without a Generator).
+_NP_GLOBAL_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "bytes",
+})
+
+#: stdlib ``random`` module-level samplers (the shared global Random()).
+_PY_GLOBAL_FNS = frozenset({
+    "random", "randrange", "randint", "uniform", "gauss", "choice",
+    "choices", "sample", "shuffle", "betavariate", "expovariate",
+    "normalvariate", "triangular", "randbytes", "getrandbits",
+})
+
+#: wall-clock reads that leak host time into simulated state.
+_WALL_CLOCK_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: call names that constitute a synchronization edge between streams.
+_SYNC_NAMES = frozenset({
+    "synchronize", "stream_synchronize", "event_synchronize",
+    "record_event", "wait_event", "layer_sync",
+})
+
+
+def _attr_root(node: ast.expr) -> str:
+    """``a.b.c`` -> ``a`` (empty for non-name roots)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+class UnseededRngRule(LintRule):
+    """Unseeded/global RNG construction or use.
+
+    Flags argument-less ``random.Random()`` / ``np.random.default_rng()``
+    / ``np.random.RandomState()`` (entropy-seeded → run-dependent) and
+    any module-level sampler on the stdlib ``random`` or legacy
+    ``np.random`` global state.
+    """
+
+    name = "unseeded-rng"
+    description = ("RNG constructed without a seed, or global RNG state "
+                   "sampled directly")
+
+    def check(self, tree, source, path):
+        hits = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            # random.<fn>(...)
+            if isinstance(value, ast.Name) and value.id == "random":
+                if func.attr == "Random" and not node.args:
+                    hits.append((node.lineno,
+                                 "random.Random() without a seed is "
+                                 "entropy-seeded; pass an explicit seed"))
+                elif func.attr in _PY_GLOBAL_FNS:
+                    hits.append((node.lineno,
+                                 f"random.{func.attr}() samples the global "
+                                 "RNG; use a seeded random.Random "
+                                 "instance"))
+                continue
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            is_np_random = (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and _attr_root(value) in ("np", "numpy")
+            )
+            if is_np_random:
+                if func.attr in ("default_rng", "RandomState", "Generator") \
+                        and not node.args:
+                    hits.append((node.lineno,
+                                 f"np.random.{func.attr}() without a seed "
+                                 "is entropy-seeded; pass an explicit "
+                                 "seed"))
+                elif func.attr in _NP_GLOBAL_FNS:
+                    hits.append((node.lineno,
+                                 f"np.random.{func.attr}() samples numpy's "
+                                 "global state; use a seeded Generator "
+                                 "(np.random.default_rng(seed))"))
+        return hits
+
+
+class WallClockRule(LintRule):
+    """Wall-clock reads in the simulated paths.
+
+    The simulator, analyzers and verification harnesses must be pure
+    functions of their inputs — host time reaching any simulated
+    quantity makes runs non-replayable.  Use the simulated clocks
+    (``gpu.host_time`` / ``gpu.now``) or deterministic work counters.
+    """
+
+    name = "wall-clock"
+    description = ("wall-clock read (time.time/perf_counter/...) in a "
+                   "simulated path")
+    scope = ("core", "gpusim", "verify")
+
+    def check(self, tree, source, path):
+        hits = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "time" \
+                    and func.attr in _WALL_CLOCK_FNS:
+                hits.append((node.lineno,
+                             f"time.{func.attr}() reads the wall clock; "
+                             "derive timing from the simulated clock or "
+                             "deterministic counters"))
+            elif func.attr in ("now", "utcnow") \
+                    and _attr_root(func.value) in ("datetime", "dt"):
+                hits.append((node.lineno,
+                             f"datetime {func.attr}() reads the wall "
+                             "clock; pass timestamps in explicitly"))
+        return hits
+
+
+class UnorderedIterationRule(LintRule):
+    """Iteration over an unordered set.
+
+    Set iteration order depends on element hashes (and for str, on
+    ``PYTHONHASHSEED``); anywhere that order can reach a fingerprint,
+    a report, or dispatch order it breaks replayability.  Wrap the
+    iterable in ``sorted(...)``.
+    """
+
+    name = "unordered-iteration"
+    description = "for-loop or comprehension over a set (unordered)"
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            # set algebra: s1 | s2, s1 & s2, s1 - s2 ...
+            return (UnorderedIterationRule._is_set_expr(node.left)
+                    or UnorderedIterationRule._is_set_expr(node.right))
+        return False
+
+    def check(self, tree, source, path):
+        hits = []
+        message = ("iterating an unordered set; wrap in sorted(...) so "
+                   "downstream order is deterministic")
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and self._is_set_expr(node.iter):
+                hits.append((node.lineno, message))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.SetComp, ast.DictComp)):
+                for gen in node.generators:
+                    if self._is_set_expr(gen.iter):
+                        hits.append((node.lineno, message))
+        return hits
+
+
+class MissingLayerSyncRule(LintRule):
+    """Multi-stream dispatch with no synchronization edge.
+
+    A heuristic shadow of the hazard detector for hand-written
+    dispatchers: a function that launches onto two or more distinct
+    non-default streams (or onto a stream expression that varies inside
+    a loop) but contains no synchronize/event primitive and no
+    default-stream launch (an implicit barrier) almost certainly misses
+    its layer_sync.
+    """
+
+    name = "missing-layer-sync"
+    description = ("function launches on multiple streams without any "
+                   "sync edge")
+
+    def check(self, tree, source, path):
+        hits = []
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stream_exprs: set[str] = set()
+            varying = False
+            has_sync = False
+            default_launch = False
+            first_line = None
+            loop_depth_of: dict[int, int] = {}
+
+            def _loops(node, depth=0):
+                loop_depth_of[id(node)] = depth
+                for child in ast.iter_child_nodes(node):
+                    _loops(child, depth + isinstance(
+                        node, (ast.For, ast.While, ast.AsyncFor)))
+
+            _loops(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = (node.func.attr
+                        if isinstance(node.func, ast.Attribute)
+                        else node.func.id
+                        if isinstance(node.func, ast.Name) else "")
+                if name in _SYNC_NAMES or "sync" in name:
+                    has_sync = True
+                if name != "launch":
+                    continue
+                stream_kw = next((kw for kw in node.keywords
+                                  if kw.arg == "stream"), None)
+                if stream_kw is None or (
+                        isinstance(stream_kw.value, ast.Constant)
+                        and stream_kw.value.value is None):
+                    default_launch = True
+                    continue
+                if first_line is None:
+                    first_line = node.lineno
+                stream_exprs.add(ast.dump(stream_kw.value))
+                if isinstance(stream_kw.value, (ast.Subscript, ast.Call)) \
+                        and loop_depth_of.get(id(node), 0) > 0:
+                    varying = True
+            multi = len(stream_exprs) >= 2 or varying
+            if multi and not has_sync and not default_launch \
+                    and first_line is not None:
+                hits.append((
+                    first_line,
+                    f"{fn.name}() launches onto multiple streams but has "
+                    "no synchronize/event edge and no default-stream "
+                    "barrier; add a layer_sync"))
+        return hits
+
+
+DEFAULT_RULES: tuple[LintRule, ...] = (
+    UnseededRngRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    MissingLayerSyncRule(),
+)

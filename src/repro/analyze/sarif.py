@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 export for hazard and lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the report format
+CI systems ingest natively; ``repro analyze --sarif out.sarif`` writes
+one and the CI job uploads it as an artifact when the gate fails.  Lint
+violations carry physical locations (file + line); hazards, which live
+in a dispatch program rather than a file, carry logical locations (the
+two kernels and their layers) plus the full witness in ``properties``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _driver(name: str, rules: list[dict]) -> dict:
+    return {
+        "tool": {
+            "driver": {
+                "name": name,
+                "informationUri":
+                    "https://example.invalid/repro/docs/static_analysis.md",
+                "rules": rules,
+            }
+        },
+        "results": [],
+    }
+
+
+def _hazard_run(report) -> dict:
+    kinds = sorted({h.kind for e in report.entries for h in e.hazards}) \
+        or ["RAW", "WAR", "WAW"]
+    run = _driver("repro-analyze-hazards", [
+        {"id": f"hazard/{k}",
+         "shortDescription": {"text": f"{k} stream hazard: conflicting "
+                                      "accesses not ordered by "
+                                      "happens-before"}}
+        for k in kinds
+    ])
+    for entry in report.entries:
+        for h in entry.hazards:
+            run["results"].append({
+                "ruleId": f"hazard/{h.kind}",
+                "level": "error",
+                "message": {"text": h.describe()},
+                "locations": [{
+                    "logicalLocations": [
+                        {"name": h.first,
+                         "fullyQualifiedName":
+                             f"{entry.program}/{h.first_layer}/{h.first}"},
+                        {"name": h.second,
+                         "fullyQualifiedName":
+                             f"{entry.program}/{h.second_layer}/{h.second}"},
+                    ]
+                }],
+                "properties": h.to_dict() | {"program": entry.program},
+            })
+    return run
+
+
+def _lint_run(report) -> dict:
+    from repro.analyze.rules import DEFAULT_RULES
+    descriptions = {r.name: r.description for r in DEFAULT_RULES}
+    run = _driver("repro-analyze-lint", [
+        {"id": name,
+         "shortDescription": {"text": descriptions.get(name, name)}}
+        for name in report.rules
+    ])
+    for v in report.violations:
+        run["results"].append({
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path},
+                    "region": {"startLine": v.line},
+                }
+            }],
+        })
+    return run
+
+
+def to_sarif(hazards=None, lint=None) -> dict:
+    """Fold the given report(s) into one SARIF log (one run per tool)."""
+    runs = []
+    if hazards is not None:
+        runs.append(_hazard_run(hazards))
+    if lint is not None:
+        runs.append(_lint_run(lint))
+    return {"$schema": _SCHEMA, "version": _SARIF_VERSION, "runs": runs}
+
+
+def save_sarif(path: Union[str, Path], hazards=None,
+               lint=None) -> str:
+    p = Path(path)
+    p.write_text(json.dumps(to_sarif(hazards=hazards, lint=lint), indent=1)
+                 + "\n", encoding="utf-8")
+    return str(p)

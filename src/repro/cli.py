@@ -28,6 +28,13 @@ Commands
     differential equivalence across every executor, schedule fuzzing with
     witness shrinking, and fault-plan fuzzing.  ``--replay witness.json``
     re-executes a saved witness and exits 1 if it still reproduces.
+``analyze [hazards|lint|all]``
+    Static analysis (see ``docs/static_analysis.md``): certify dispatch
+    plans free of stream hazards (RAW/WAR/WAW pairs not ordered by
+    happens-before) and lint the source tree for determinism bugs.
+    ``--mutate-seed S`` plants a seeded sync-deletion mutant, reports its
+    two-kernel witness, and saves a replayable schedule witness for the
+    ``verify --replay`` cross-check.
 ``selftest [device ...]``
     Micro-benchmark simulated devices against their spec sheets.
 """
@@ -300,10 +307,126 @@ def cmd_verify(args) -> int:
         # divergence artifact.
         if args.report:
             report.save(args.report)
-    if args.json:
-        print(report.to_json())
-    else:
-        print(report.render())
+    from repro.reporting import emit
+    print(emit(report, "json" if args.json else args.format))
+    return 0 if report.ok else 1
+
+
+#: ``analyze`` sub-analyses, in run order.
+ANALYZE_KINDS = ("hazards", "lint", "all")
+
+
+def _analyze_mutant(args) -> int:
+    """The seeded cross-check probe: plant, flag, and save a mutant."""
+    from repro.analyze import (
+        AnalyzeReport,
+        HazardReport,
+        ProgramVerdict,
+        derive_accesses,
+        find_flagged_mutant,
+        program_from_schedule_plan,
+    )
+    from repro.reporting import emit
+    from repro.serve.engine import resolve_net
+    from repro.verify.schedule import (
+        ScheduleRunner,
+        identity_plan,
+        works_for,
+    )
+    from repro.verify.witness import ScheduleWitness
+
+    network = "cifar10" if args.network == "all" else args.network
+    net = resolve_net(network)(batch=args.batch, seed=args.seed)
+    works = works_for(network, args.batch, args.seed)
+    accesses = derive_accesses(net, works)
+    plan = identity_plan(works, network, args.device, args.batch,
+                         args.seed, pool_size=args.pool)
+    runner = ScheduleRunner(works, pool_size=args.pool)
+    dynamic: dict = {}
+
+    def confirm(cand) -> bool:
+        result = runner.run(cand, device=args.device)
+        if result.violations:
+            dynamic["violations"] = list(result.violations)
+            return True
+        return False
+
+    mutant, hazards = find_flagged_mutant(
+        works, accesses, plan, seed=args.mutate_seed, confirm=confirm)
+    program = program_from_schedule_plan(works, accesses, mutant)
+    verdict = ProgramVerdict(
+        program=program.name, network=network, plan="mutant",
+        ops=len(program), launches=len(program.launches()),
+        hazards=hazards)
+    report = AnalyzeReport(hazards=HazardReport(
+        device=args.device, pool_size=args.pool, batch=args.batch,
+        seed=args.seed, entries=[verdict]))
+    witness_path = (args.witness
+                    or f"analyze_mutant_{network}_s{args.mutate_seed}.json")
+    ScheduleWitness(
+        plan=mutant, violations=dynamic.get("violations", []),
+        original_layers=len(plan.layers),
+    ).save(witness_path)
+    if args.sarif:
+        report.save_sarif(args.sarif)
+    if args.report:
+        report.save(args.report)
+    print(emit(report, args.format))
+    print(f"  [mutant witness -> {witness_path}; replay with "
+          f"'python -m repro verify --replay {witness_path}']",
+          file=sys.stderr)
+    # A planted mutant *should* be flagged: exit 1, like any hazard.
+    return 0 if report.ok else 1
+
+
+def cmd_analyze(args) -> int:
+    from repro.errors import ReproError
+
+    if args.what not in ANALYZE_KINDS:
+        import difflib
+        print(f"unknown analysis: {args.what}", file=sys.stderr)
+        suggestions = difflib.get_close_matches(args.what, ANALYZE_KINDS,
+                                                n=3, cutoff=0.5)
+        if suggestions:
+            print(f"did you mean: {', '.join(suggestions)}?",
+                  file=sys.stderr)
+        print(f"available: {', '.join(ANALYZE_KINDS)}", file=sys.stderr)
+        return 2
+
+    from repro.analyze import (
+        PLAN_KINDS,
+        ZOO_NETWORKS,
+        AnalyzeReport,
+        analyze_networks,
+        lint_paths,
+    )
+    from repro.reporting import emit
+
+    try:
+        if args.mutate_seed is not None:
+            return _analyze_mutant(args)
+        report = AnalyzeReport()
+        if args.what in ("hazards", "all"):
+            networks = (list(ZOO_NETWORKS) if args.network == "all"
+                        else [args.network])
+            plans = (list(PLAN_KINDS) if args.plan == "all"
+                     else [args.plan])
+            report.hazards = analyze_networks(
+                networks, plans=plans, device=args.device,
+                pool_size=args.pool, batch=args.batch, seed=args.seed)
+        if args.what in ("lint", "all"):
+            import repro
+            from pathlib import Path
+            paths = args.paths or [Path(repro.__file__).parent]
+            report.lint = lint_paths(paths)
+    except ReproError as e:
+        print(f"analyze failed: {e}", file=sys.stderr)
+        return 2
+    if args.sarif:
+        report.save_sarif(args.sarif)
+    if args.report:
+        report.save(args.report)
+    print(emit(report, args.format))
     return 0 if report.ok else 1
 
 
@@ -420,8 +543,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the combined report as JSON (written "
                              "even when verification fails)")
     verify.add_argument("--json", action="store_true",
-                        help="print the report as JSON instead of text")
+                        help="print the report as JSON (alias for "
+                             "--format json)")
+    from repro.reporting import add_format_argument
+    add_format_argument(verify)
     verify.set_defaults(fn=cmd_verify)
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: stream-hazard detection + determinism lint",
+    )
+    analyze.add_argument("what", nargs="?", default="all",
+                         help="analysis to run: hazards, lint, or all "
+                              "(default: all)")
+    analyze.add_argument("--network", default="all",
+                         help="zoo network(s) to certify, or 'all' "
+                              "(default: all)")
+    analyze.add_argument("--plan", default="round-robin",
+                         help="executor plan(s): round-robin, multithread, "
+                              "fused, data-parallel, or 'all' "
+                              "(default: round-robin)")
+    analyze.add_argument("--device", default="p100",
+                         help="simulated GPU for lowering (default: p100)")
+    analyze.add_argument("--pool", type=int, default=4,
+                         help="stream pool size (default: 4)")
+    analyze.add_argument("--batch", type=int, default=4,
+                         help="batch size to lower (default: 4)")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="network / lowering seed (default: 0)")
+    analyze.add_argument("--mutate-seed", type=int, default=None,
+                         metavar="S",
+                         help="plant a seeded sync-deletion mutant instead "
+                              "of certifying; saves a replayable witness")
+    analyze.add_argument("--witness", metavar="OUT.json", default=None,
+                         help="where to save the mutant's schedule witness "
+                              "(default: analyze_mutant_<net>_s<seed>.json)")
+    analyze.add_argument("--paths", nargs="*", default=None,
+                         help="files/directories to lint (default: the "
+                              "installed repro package)")
+    analyze.add_argument("--sarif", metavar="OUT.sarif", default=None,
+                         help="write a SARIF 2.1.0 log (CI artifact)")
+    analyze.add_argument("--report", metavar="OUT.json", default=None,
+                         help="write the combined report as JSON")
+    add_format_argument(analyze)
+    analyze.set_defaults(fn=cmd_analyze)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"
     )

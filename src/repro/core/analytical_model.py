@@ -71,7 +71,7 @@ class ConcurrencyDecision:
     c_out: int                      # Eq. 9: stream-pool size
     occupancy_ratio: float          # achieved OR_SM of Eq. 1
     bounds: list[KernelBound] = field(default_factory=list)
-    analysis_time_us: float = 0.0   # measured T_a (wall clock)
+    analysis_time_us: float = 0.0   # nominal deterministic T_a
     solver_nodes: int = 0
     solver_iterations: int = 0
 
@@ -194,10 +194,13 @@ class AnalyticalModel:
             + 1e-3 * sum(xs)
         )
 
-        import time
-        t0 = time.perf_counter()
         sol = model.solve()
-        t_a = (time.perf_counter() - t0) * 1e6
+        # Nominal deterministic T_a: a fixed setup charge plus per-unit
+        # solver work, so analysis cost is a pure function of the solve
+        # (a wall-clock read here would leak host time into simulated
+        # runs and break replayability — see docs/static_analysis.md).
+        t_a = (20.0 + 0.4 * sol.simplex_iterations
+               + 4.0 * sol.nodes_explored)
         counter_inc("milp.solves")
         observe("milp.nodes", sol.nodes_explored)
         observe("milp.iterations", sol.simplex_iterations)

@@ -25,7 +25,6 @@ compares the two.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -101,7 +100,6 @@ class PredictiveModel:
               profiles: Sequence[KernelProfile]) -> ConcurrencyDecision:
         if not profiles:
             raise SchedulingError(f"no kernel profiles for {layer_key!r}")
-        t0 = time.perf_counter()
         cap = self._max_concurrent_chains(profiles)
         predictions = [self.predict(profiles, c) for c in range(1, cap + 1)]
         best = min(predictions, key=lambda p: p.total_us)
@@ -110,7 +108,10 @@ class PredictiveModel:
             p for p in predictions
             if p.total_us <= best.total_us * (1.0 + self.tolerance)
         )
-        t_a = (time.perf_counter() - t0) * 1e6
+        # Nominal deterministic T_a: fixed setup plus one closed-form
+        # evaluation per candidate pool size (not wall clock, which
+        # would make simulated runs non-replayable).
+        t_a = 5.0 + 1.5 * len(predictions)
         return ConcurrencyDecision(
             layer_key=layer_key,
             device=self.device.name,

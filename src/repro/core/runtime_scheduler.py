@@ -43,7 +43,7 @@ from typing import Callable, Optional, TypeVar
 from repro.core.kernel_analyzer import KernelAnalyzer
 from repro.core.analytical_model import ConcurrencyDecision
 from repro.core.resource_tracker import ResourceTracker
-from repro.core.stream_manager import StreamManager
+from repro.core.stream_manager import StreamManager, round_robin_slots
 from repro.errors import (
     DegradedError,
     FaultInjected,
@@ -349,8 +349,9 @@ class RuntimeScheduler:
             return 1, retries, reason
         with span("runtime.dispatch", cat="runtime", layer=work.key,
                   streams=pool_size):
+            slots = round_robin_slots(len(work.parallel_chains), pool_size)
             for i, chain in enumerate(work.parallel_chains):
-                stream = pool[i % pool_size]   # round-robin (Section 3.1)
+                stream = pool[slots[i]]   # round-robin (Section 3.1)
                 for spec in chain:
                     retries += self._launch_with_retry(spec, stream)
             # Whole-batch work goes to the legacy default stream, which

@@ -20,6 +20,22 @@ from repro.gpusim.engine import GPU
 from repro.gpusim.stream import Stream
 
 
+def round_robin_slots(num_chains: int, pool_size: int) -> tuple[int, ...]:
+    """The canonical GLP4NN chain→stream assignment: chain ``i`` on slot
+    ``i % pool_size`` (Section 3.1's round-robin).
+
+    Shared by the runtime dispatcher
+    (:meth:`repro.core.runtime_scheduler.RuntimeScheduler._dispatch`), the
+    schedule fuzzer's identity plan and the static hazard analyzer
+    (:mod:`repro.analyze`), so the plan the analyzer certifies is — by
+    construction — the plan the dispatcher issues.
+    """
+    if pool_size < 1:
+        raise SchedulingError(
+            f"stream pool size must be >= 1, got {pool_size}")
+    return tuple(i % pool_size for i in range(num_chains))
+
+
 class StreamPool:
     """A lazily-grown pool of persistent streams on one device."""
 

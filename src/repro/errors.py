@@ -48,6 +48,11 @@ class SchedulingError(ReproError):
     """The GLP4NN runtime scheduler was driven through an invalid state."""
 
 
+class AnalyzeError(ReproError):
+    """The static analyzer was misused or could not build its model
+    (unknown plan kind, work/net mismatch, no flaggable mutant)."""
+
+
 class TransientError(ReproError):
     """A failure that is expected to clear on retry (launch queue full,
     momentary driver hiccup).  The runtime scheduler retries these with

@@ -40,7 +40,7 @@ from repro.gpusim.memory import DeviceAllocator
 from repro.gpusim.occupancy import validate_launch
 from repro.gpusim.sm import SM, block_demand
 from repro.gpusim.stream import DEFAULT_STREAM_ID, Event, Stream
-from repro.gpusim.timeline import Timeline, TraceRecord
+from repro.gpusim.timeline import SyncRecord, Timeline, TraceRecord
 
 #: Safety valve for the event loop.
 MAX_EVENTS = 50_000_000
@@ -502,9 +502,18 @@ class GPU:
         elif isinstance(op, _EventRecord):
             t = max(self.now, op.ready_time)
             op.event.timestamp_us = t
+            self.timeline.add_sync(SyncRecord(
+                kind="record", event_id=op.event.event_id,
+                event_name=op.event.name, stream_id=op.stream_id,
+                enqueue_us=op.ready_time, complete_us=t))
             self._complete_op(op, t)
         elif isinstance(op, _EventWait):
-            self._complete_op(op, max(self.now, op.ready_time))
+            t = max(self.now, op.ready_time)
+            self.timeline.add_sync(SyncRecord(
+                kind="wait", event_id=op.event.event_id,
+                event_name=op.event.name, stream_id=op.stream_id,
+                enqueue_us=op.ready_time, complete_us=t))
+            self._complete_op(op, t)
         elif isinstance(op, MemcpyOp):
             start = max(self.now, op.ready_time,
                         self._copy_engine_free[op.kind])

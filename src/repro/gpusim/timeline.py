@@ -41,20 +41,51 @@ class TraceRecord:
         return self.start_us - self.enqueue_us
 
 
+@dataclass(frozen=True)
+class SyncRecord:
+    """One completed synchronization primitive (event record or wait).
+
+    The sync-edge counterpart of :class:`TraceRecord`: ``kind`` is
+    ``"record"`` or ``"wait"``, ``enqueue_us`` the host issue time and
+    ``complete_us`` when the op resolved on the device.  Kept on a
+    separate track so kernel-only consumers (lane renderers, concurrency
+    queries) are unaffected, while :func:`check_timeline` can validate
+    event edges — the same edges the static analyzer
+    (:mod:`repro.analyze`) assumes when it certifies a plan.
+    """
+
+    kind: str
+    event_id: int
+    event_name: str
+    stream_id: int
+    enqueue_us: float
+    complete_us: float
+
+
 class Timeline:
-    """Append-only store of :class:`TraceRecord` with simple queries."""
+    """Append-only store of :class:`TraceRecord` with simple queries.
+
+    Synchronization ops (event records/waits) are collected alongside on
+    :attr:`syncs`; ``len()`` and iteration cover kernel records only.
+    """
 
     def __init__(self, device: str = "", enabled: bool = True) -> None:
         self.device = device
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self.syncs: list[SyncRecord] = []
 
     def add(self, record: TraceRecord) -> None:
         if self.enabled:
             self.records.append(record)
 
+    def add_sync(self, record: SyncRecord) -> None:
+        if self.enabled:
+            self.syncs.append(record)
+
     def clear(self) -> None:
         self.records.clear()
+        self.syncs.clear()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -129,9 +160,10 @@ class Timeline:
 class DependencyViolation:
     """One trace inconsistency found by :func:`check_timeline`.
 
-    ``rule`` names the invariant broken (``clock``, ``stream-fifo`` or
-    ``default-barrier``); ``kernel``/``other`` are the offending record
-    names, ``detail`` is a human-readable account with timestamps.
+    ``rule`` names the invariant broken (``clock``, ``stream-fifo``,
+    ``default-barrier``, ``event-record`` or ``event-wait``);
+    ``kernel``/``other`` are the offending record names, ``detail`` is a
+    human-readable account with timestamps.
     """
 
     rule: str
@@ -147,7 +179,8 @@ class DependencyViolation:
 _EPS = 1e-6
 
 
-def check_timeline(records: Iterable[TraceRecord]
+def check_timeline(records: Iterable[TraceRecord],
+                   syncs: Iterable[SyncRecord] = (),
                    ) -> list[DependencyViolation]:
     """Validate the structural dependency invariants of a trace.
 
@@ -160,7 +193,15 @@ def check_timeline(records: Iterable[TraceRecord]
       before the previous one ends);
     * **default-barrier** — legacy default-stream semantics: a record on
       stream 0 starts only after everything enqueued before it has ended,
-      and nothing enqueued after it starts before it ends.
+      and nothing enqueued after it starts before it ends;
+    * **event-record** — an event record completes no earlier than every
+      kernel enqueued before it on its stream (it marks the stream's
+      progress point);
+    * **event-wait** — kernels enqueued on a stream after a wait on a
+      recorded event do not start before that record completed (the wait
+      itself also cannot resolve earlier).  A wait binds to the latest
+      record of its event issued before it; an event never recorded gates
+      nothing, as in CUDA.
 
     Assumes host issue order matches enqueue-timestamp order (true for
     single-threaded dispatch; multi-threaded ``enqueue_at`` launches can
@@ -209,6 +250,46 @@ def check_timeline(records: Iterable[TraceRecord]
                     f"{r.name} (stream {r.stream_id}) starts at "
                     f"{r.start_us:.3f} before default-stream {d.name}"
                     f" ends at {d.end_us:.3f}",
+                ))
+    sync_list = sorted(syncs, key=lambda s: (s.enqueue_us, s.complete_us,
+                                             s.event_id))
+    for s in sync_list:
+        if s.kind != "record":
+            continue
+        for r in by_stream.get(s.stream_id, []):
+            if r.enqueue_us < s.enqueue_us - _EPS \
+                    and r.end_us > s.complete_us + _EPS:
+                out.append(DependencyViolation(
+                    "event-record", s.event_name, r.name,
+                    f"event {s.event_name} recorded on stream "
+                    f"{s.stream_id} completes at {s.complete_us:.3f} "
+                    f"before prior {r.name} ends at {r.end_us:.3f}",
+                ))
+    for w in sync_list:
+        if w.kind != "wait":
+            continue
+        rec = None
+        for s in sync_list:
+            if s.kind == "record" and s.event_id == w.event_id \
+                    and s.enqueue_us <= w.enqueue_us + _EPS:
+                rec = s  # latest record issued before the wait wins
+        if rec is None:
+            continue  # unrecorded event: gates nothing (CUDA semantics)
+        if w.complete_us < rec.complete_us - _EPS:
+            out.append(DependencyViolation(
+                "event-wait", w.event_name, rec.event_name,
+                f"wait on {w.event_name} (stream {w.stream_id}) resolves "
+                f"at {w.complete_us:.3f} before its record completes at "
+                f"{rec.complete_us:.3f}",
+            ))
+        for r in by_stream.get(w.stream_id, []):
+            if r.enqueue_us > w.enqueue_us + _EPS \
+                    and r.start_us < rec.complete_us - _EPS:
+                out.append(DependencyViolation(
+                    "event-wait", r.name, w.event_name,
+                    f"{r.name} (stream {w.stream_id}) starts at "
+                    f"{r.start_us:.3f} before awaited event "
+                    f"{w.event_name} completed at {rec.complete_us:.3f}",
                 ))
     return out
 

@@ -1,0 +1,26 @@
+"""Shared report serialization for the verify/analyze CLIs.
+
+Every report object in this repo exposes the same two views — a
+human-readable ``render()`` and a machine-readable ``to_dict()`` /
+``to_json()`` — so the ``--format json|text`` plumbing lives once, here,
+instead of per-subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+FORMATS = ("text", "json")
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="report format: human-readable text or machine-readable JSON")
+
+
+def emit(report, fmt: str) -> str:
+    """Serialize ``report`` in the requested format."""
+    if fmt == "json":
+        return report.to_json()
+    return report.render()

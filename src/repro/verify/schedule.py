@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
+from repro.core.stream_manager import round_robin_slots
 from repro.errors import ReproError
 from repro.gpusim.engine import GPU, KernelExecution
 from repro.gpusim.stream import Stream, reset_handle_ids
@@ -66,17 +67,30 @@ class LayerSchedule:
     key: str
     chain_order: tuple[int, ...]
     stream_of: tuple[int, ...]
+    #: Issue the layer-boundary ``synchronize`` after this layer.  False
+    #: models a deleted sync edge — the mutation the static analyzer
+    #: (:mod:`repro.analyze.mutate`) and the fuzzer cross-check on.
+    sync: bool = True
+    #: Pool slot for the whole-batch serial kernels, or ``None`` for the
+    #: legacy default stream.  A non-default slot removes the implicit
+    #: barrier that default-stream launches provide, which is what makes
+    #: a deleted sync actually observable.
+    serial_stream: Optional[int] = None
 
     def to_dict(self) -> dict:
         return {"index": self.index, "key": self.key,
                 "chain_order": list(self.chain_order),
-                "stream_of": list(self.stream_of)}
+                "stream_of": list(self.stream_of),
+                "sync": self.sync, "serial_stream": self.serial_stream}
 
     @classmethod
     def from_dict(cls, d: dict) -> "LayerSchedule":
+        serial = d.get("serial_stream")
         return cls(index=int(d["index"]), key=str(d.get("key", "")),
                    chain_order=tuple(int(x) for x in d["chain_order"]),
-                   stream_of=tuple(int(x) for x in d["stream_of"]))
+                   stream_of=tuple(int(x) for x in d["stream_of"]),
+                   sync=bool(d.get("sync", True)),
+                   serial_stream=None if serial is None else int(serial))
 
 
 @dataclass(frozen=True)
@@ -127,8 +141,7 @@ def identity_plan(works: Sequence[LayerWork], network: str, device: str,
         LayerSchedule(
             index=i, key=w.key,
             chain_order=tuple(range(len(w.parallel_chains))),
-            stream_of=tuple(k % pool_size
-                            for k in range(len(w.parallel_chains))),
+            stream_of=round_robin_slots(len(w.parallel_chains), pool_size),
         )
         for i, w in enumerate(works)
     )
@@ -220,7 +233,8 @@ class ScheduleRunner:
             gpu.grant_policy = lambda waiters: rng.randrange(len(waiters))
         result = ScheduleRunResult()
         chain_execs: list[tuple[str, int, list[KernelExecution]]] = []
-        layer_slices: list[tuple[str, int, int]] = []
+        layer_execs: list[tuple[str, list[KernelExecution]]] = []
+        skipped_sync = False
         for ls in plan.layers:
             if not 0 <= ls.index < len(self.works):
                 raise ReproError(
@@ -235,25 +249,35 @@ class ScheduleRunner:
                     f"{work.key}: chain_order {ls.chain_order} is not a "
                     f"permutation of {len(work.parallel_chains)} chains"
                 )
-            mark = len(gpu.timeline.records)
+            this_layer: list[KernelExecution] = []
             for pos, ci in enumerate(ls.chain_order):
                 execs = self._launch_chain(
                     gpu, work.parallel_chains[ci], pool, ls.stream_of[pos])
                 chain_execs.append((work.key, ci, execs))
+                this_layer.extend(execs)
                 result.kernels += len(execs)
+            serial_stream = (None if ls.serial_stream is None
+                             else pool[ls.serial_stream % len(pool)])
             for spec in work.serial_kernels:
-                gpu.launch(spec)
+                this_layer.append(gpu.launch(spec, stream=serial_stream))
                 result.kernels += 1
+            if ls.sync:
+                gpu.synchronize()
+            else:
+                skipped_sync = True
+            layer_execs.append((work.key, this_layer))
+        if skipped_sync:
+            # Drain whatever a skipped layer boundary left in flight so the
+            # timeline is complete before validation (and elapsed_us is
+            # meaningful).
             gpu.synchronize()
-            layer_slices.append(
-                (work.key, mark, len(gpu.timeline.records)))
         gpu.grant_policy = None
         result.elapsed_us = gpu.host_time
         result.violations.extend(
-            str(v) for v in check_timeline(gpu.timeline.records))
+            str(v) for v in check_timeline(gpu.timeline.records,
+                                           gpu.timeline.syncs))
         result.violations.extend(self._check_chains(chain_execs))
-        result.violations.extend(
-            self._check_layer_order(gpu, layer_slices))
+        result.violations.extend(self._check_layer_order(layer_execs))
         return result
 
     @staticmethod
@@ -277,25 +301,36 @@ class ScheduleRunner:
         return out
 
     @staticmethod
-    def _check_layer_order(gpu: GPU,
-                           layer_slices: Sequence[tuple[str, int, int]]
-                           ) -> list[str]:
-        """Layer-boundary syncs: no layer overlaps its predecessor."""
+    def _check_layer_order(
+        layer_execs: Sequence[tuple[str, list[KernelExecution]]],
+    ) -> list[str]:
+        """Layer-boundary syncs: no layer overlaps its predecessor.
+
+        Works from the live kernel-execution handles, not timeline
+        slices — the timeline appends records at *completion*, so when a
+        plan skips a sync a layer's records land in a later layer's
+        slice and index-based slicing goes blind exactly when the
+        overlap it must catch happens.
+        """
         out = []
-        records = gpu.timeline.records
         prev_end = 0.0
         prev_key = ""
-        for key, a, b in layer_slices:
-            slice_ = records[a:b]
-            if not slice_:
+        for key, execs in layer_execs:
+            timed = [e for e in execs
+                     if e.start_time is not None and e.end_time is not None]
+            for e in execs:
+                if e.start_time is None or e.end_time is None:
+                    out.append(f"[layer-order] {key}: {e.spec.name} "
+                               f"never completed")
+            if not timed:
                 continue
-            start = min(r.start_us for r in slice_)
+            start = min(e.start_time for e in timed)
             if prev_key and start < prev_end - _EPS:
                 out.append(
                     f"[layer-order] {key} starts at {start:.3f} before "
                     f"{prev_key} ends at {prev_end:.3f}"
                 )
-            prev_end = max(r.end_us for r in slice_)
+            prev_end = max(e.end_time for e in timed)
             prev_key = key
         return out
 
@@ -355,7 +390,7 @@ def shrink_plan(plan: SchedulePlan,
                 current = cand
         ls = layers[j]
         round_robin = replace(
-            ls, stream_of=tuple(k % current.pool_size for k in range(n)))
+            ls, stream_of=round_robin_slots(n, current.pool_size))
         if ls.stream_of != round_robin.stream_of:
             cand_layers = layers[:j] + [round_robin] + layers[j + 1:]
             cand = replace(current, layers=tuple(cand_layers))

@@ -29,8 +29,11 @@ from repro.verify.schedule import (
     works_for,
 )
 
-#: Format version stamped into every witness file.
-WITNESS_VERSION = 1
+#: Format version stamped into every witness file.  Version 2 added the
+#: ``sync`` / ``serial_stream`` mutation fields to each layer schedule
+#: (absent fields default to the historical behavior, so version-1 files
+#: still load).
+WITNESS_VERSION = 2
 
 
 @dataclass

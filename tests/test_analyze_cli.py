@@ -1,0 +1,124 @@
+"""Tests for ``python -m repro analyze`` and the shared report formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyzeSubcommand:
+    def test_hazards_single_net(self, capsys):
+        assert main(["analyze", "hazards", "--network", "lenet"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet/round-robin" in out
+        assert "analyze hazards: PASS" in out
+
+    def test_lint_clean_tree(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["analyze", "lint", "--paths", str(tmp_path)]) == 0
+        assert "analyze lint: PASS" in capsys.readouterr().out
+
+    def test_lint_violation_exits_1(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text("import random\nrandom.random()\n")
+        assert main(["analyze", "lint", "--paths", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out
+        assert "analyze lint: FAIL" in out
+
+    def test_all_runs_both(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["analyze", "all", "--network", "lenet",
+                     "--paths", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "analyze hazards: PASS" in out
+        assert "analyze lint: PASS" in out
+        assert "analyze: PASS" in out
+
+    def test_did_you_mean(self, capsys):
+        assert main(["analyze", "hazrds"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown analysis" in err
+        assert "did you mean" in err and "hazards" in err
+
+    def test_unknown_without_close_match(self, capsys):
+        assert main(["analyze", "zzzzz"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" not in err
+        assert "available: hazards, lint, all" in err
+
+    def test_format_json(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "analyze-report" and doc["ok"]
+        assert doc["lint"]["files_checked"] == 1
+
+    def test_sarif_and_report_outputs(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.random()\n")
+        sarif = tmp_path / "out.sarif"
+        report = tmp_path / "out.json"
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--sarif", str(sarif), "--report", str(report)]) == 1
+        capsys.readouterr()
+        log = json.loads(sarif.read_text())
+        assert log["version"] == "2.1.0"
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "unseeded-rng"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 2
+        assert json.loads(report.read_text())["ok"] is False
+
+    def test_hazard_sarif_uses_logical_locations(self, capsys, tmp_path):
+        sarif = tmp_path / "hz.sarif"
+        assert main(["analyze", "hazards", "--network", "lenet",
+                     "--sarif", str(sarif)]) == 0
+        capsys.readouterr()
+        log = json.loads(sarif.read_text())
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze-hazards"
+        assert run["results"] == []     # clean certification
+
+
+class TestMutateFlow:
+    def test_mutant_flagged_and_replayable(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        witness = tmp_path / "mutant.json"
+        code = main(["analyze", "hazards", "--network", "cifar10",
+                     "--mutate-seed", "0", "--witness", str(witness)])
+        captured = capsys.readouterr()
+        assert code == 1                       # planted bug is flagged
+        assert "hazard(s)" in captured.out
+        assert witness.exists()
+        # the saved witness must reproduce dynamically via verify --replay
+        assert main(["verify", "--replay", str(witness)]) == 1
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_mutant_witness_mentions_two_kernels(self, capsys, tmp_path):
+        witness = tmp_path / "w.json"
+        main(["analyze", "hazards", "--network", "cifar10",
+              "--mutate-seed", "0", "--witness", str(witness),
+              "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        hz = doc["hazards"]["entries"][0]["hazards"][0]
+        assert hz["first"]["kernel"] and hz["second"]["kernel"]
+        assert hz["first"]["stream"] != hz["second"]["stream"]
+        assert hz["regions"]
+
+
+class TestVerifyFormat:
+    def test_verify_format_json(self, capsys):
+        code = main(["verify", "--only", "schedule", "--rounds", "1",
+                     "--network", "lenet", "--batch", "2",
+                     "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0 and doc["ok"]
+
+    def test_verify_json_alias_still_works(self, capsys):
+        code = main(["verify", "--only", "schedule", "--rounds", "1",
+                     "--network", "lenet", "--batch", "2", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0 and doc["ok"]

@@ -1,0 +1,223 @@
+"""Tests for the determinism lint framework and its rule catalog."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import (
+    DEFAULT_RULES,
+    LintRule,
+    MissingLayerSyncRule,
+    UnorderedIterationRule,
+    UnseededRngRule,
+    WallClockRule,
+    lint_file,
+    lint_paths,
+)
+from repro.errors import AnalyzeError
+
+
+def _lint_source(tmp_path, source, rules=None, name="mod.py"):
+    f = tmp_path / name
+    f.write_text(source)
+    violations, suppressed = lint_file(f, rules or DEFAULT_RULES)
+    return violations, suppressed
+
+
+class TestUnseededRng:
+    def test_flags_argless_constructors(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "import random\n"
+            "import numpy as np\n"
+            "r = random.Random()\n"
+            "g = np.random.default_rng()\n"
+        ), rules=[UnseededRngRule()])
+        assert [x.line for x in v] == [3, 4]
+
+    def test_flags_global_samplers(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "import random\n"
+            "import numpy as np\n"
+            "x = random.randint(0, 9)\n"
+            "y = np.random.rand(3)\n"
+            "np.random.shuffle(y)\n"
+        ), rules=[UnseededRngRule()])
+        assert [x.line for x in v] == [3, 4, 5]
+
+    def test_seeded_is_clean(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "import random\n"
+            "import numpy as np\n"
+            "r = random.Random(0)\n"
+            "g = np.random.default_rng(42)\n"
+            "x = r.randint(0, 9)\n"
+            "y = g.random(3)\n"
+        ), rules=[UnseededRngRule()])
+        assert v == []
+
+
+class TestWallClock:
+    def test_scoped_to_simulated_paths(self, tmp_path):
+        source = "import time\nt = time.perf_counter()\n"
+        core = tmp_path / "core"
+        core.mkdir()
+        f = core / "m.py"
+        f.write_text(source)
+        v, _ = lint_file(f, [WallClockRule()])
+        assert len(v) == 1 and v[0].rule == "wall-clock"
+        # same source outside core/gpusim/verify: out of scope
+        g = tmp_path / "bench_m.py"
+        g.write_text(source)
+        v2, _ = lint_file(g, [WallClockRule()])
+        assert v2 == []
+
+    def test_flags_datetime_now(self, tmp_path):
+        core = tmp_path / "verify"
+        core.mkdir()
+        f = core / "m.py"
+        f.write_text("import datetime\nts = datetime.datetime.now()\n")
+        v, _ = lint_file(f, [WallClockRule()])
+        assert len(v) == 1
+
+
+class TestUnorderedIteration:
+    def test_flags_for_over_set(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "s = {1, 2, 3}\n"
+            "for x in s | {4}:\n"
+            "    print(x)\n"
+            "out = [y for y in set(range(3))]\n"
+        ), rules=[UnorderedIterationRule()])
+        assert [x.line for x in v] == [2, 4]
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "s = {1, 2, 3}\n"
+            "for x in sorted(s):\n"
+            "    print(x)\n"
+        ), rules=[UnorderedIterationRule()])
+        assert v == []
+
+
+class TestMissingLayerSync:
+    def test_flags_multi_stream_no_sync(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "def dispatch(gpu, chains, pool):\n"
+            "    for i, chain in enumerate(chains):\n"
+            "        gpu.launch(chain, stream=pool[i % len(pool)])\n"
+        ), rules=[MissingLayerSyncRule()])
+        assert len(v) == 1 and v[0].rule == "missing-layer-sync"
+
+    def test_sync_call_silences(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "def dispatch(gpu, chains, pool):\n"
+            "    for i, chain in enumerate(chains):\n"
+            "        gpu.launch(chain, stream=pool[i % len(pool)])\n"
+            "    gpu.synchronize()\n"
+        ), rules=[MissingLayerSyncRule()])
+        assert v == []
+
+    def test_default_stream_launch_is_a_barrier(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "def dispatch(gpu, chains, pool):\n"
+            "    for i, chain in enumerate(chains):\n"
+            "        gpu.launch(chain, stream=pool[i % len(pool)])\n"
+            "    gpu.launch(tail, stream=None)\n"
+        ), rules=[MissingLayerSyncRule()])
+        assert v == []
+
+    def test_single_fixed_stream_is_clean(self, tmp_path):
+        v, _ = _lint_source(tmp_path, (
+            "def dispatch(gpu, chains, s):\n"
+            "    for chain in chains:\n"
+            "        gpu.launch(chain, stream=s)\n"
+        ), rules=[MissingLayerSyncRule()])
+        assert v == []
+
+
+class TestSuppression:
+    def test_allow_on_same_line(self, tmp_path):
+        v, suppressed = _lint_source(tmp_path, (
+            "import random\n"
+            "x = random.randint(0, 9)  # repro: allow(unseeded-rng)\n"
+        ), rules=[UnseededRngRule()])
+        assert v == [] and suppressed == 1
+
+    def test_allow_on_line_above(self, tmp_path):
+        v, suppressed = _lint_source(tmp_path, (
+            "import random\n"
+            "# repro: allow(unseeded-rng)\n"
+            "x = random.randint(0, 9)\n"
+        ), rules=[UnseededRngRule()])
+        assert v == [] and suppressed == 1
+
+    def test_wildcard_allows_everything(self, tmp_path):
+        v, suppressed = _lint_source(tmp_path, (
+            "import random\n"
+            "x = random.randint(0, 9)  # repro: allow(*)\n"
+        ))
+        assert v == [] and suppressed == 1
+
+    def test_wrong_rule_name_does_not_suppress(self, tmp_path):
+        v, suppressed = _lint_source(tmp_path, (
+            "import random\n"
+            "x = random.randint(0, 9)  # repro: allow(wall-clock)\n"
+        ), rules=[UnseededRngRule()])
+        assert len(v) == 1 and suppressed == 0
+
+
+class TestFramework:
+    def test_custom_rule_plugs_in(self, tmp_path):
+        class NoPrintRule(LintRule):
+            name = "no-print"
+            description = "print() in library code"
+
+            def check(self, tree, source, path):
+                import ast
+                return [(n.lineno, "print call")
+                        for n in ast.walk(tree)
+                        if isinstance(n, ast.Call)
+                        and isinstance(n.func, ast.Name)
+                        and n.func.id == "print"]
+
+        f = tmp_path / "m.py"
+        f.write_text("print('hi')\n")
+        report = lint_paths([f], rules=[NoPrintRule()])
+        assert not report.ok
+        assert report.violations[0].rule == "no-print"
+
+    def test_directory_walk_and_report(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text("import random\nrandom.random()\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert len(report.violations) == 1
+        assert report.violations[0].rule == "unseeded-rng"
+
+    def test_syntax_error_raises_analyze_error(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        with pytest.raises(AnalyzeError):
+            lint_file(f, DEFAULT_RULES)
+
+    def test_nothing_to_lint_raises(self, tmp_path):
+        with pytest.raises(AnalyzeError):
+            lint_paths([tmp_path / "nope.txt"])
+
+    def test_report_json_shape(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\nrandom.random()\n")
+        report = lint_paths([tmp_path])
+        doc = report.to_dict()
+        assert doc["kind"] == "lint-report"
+        assert doc["ok"] is False
+        assert doc["violations"][0]["rule"] == "unseeded-rng"
+
+
+class TestRepoIsClean:
+    def test_src_repro_passes_default_rules(self):
+        import repro
+
+        report = lint_paths([Path(repro.__file__).parent])
+        assert report.ok, report.render()

@@ -1,0 +1,160 @@
+"""The static/dynamic cross-check: mutants and always-sync plans.
+
+The directional guarantees under test (docs/static_analysis.md):
+
+* a plan the static detector certifies under the always-sync dispatch
+  must never produce a dynamic divergence witness;
+* a seeded sync-deletion mutant must be flagged by the static detector
+  AND confirmed divergent by the dynamic schedule runner.
+"""
+
+import pytest
+
+from repro.analyze import (
+    derive_accesses,
+    detect,
+    drop_sync_mutant,
+    find_flagged_mutant,
+    program_from_schedule_plan,
+)
+from repro.errors import AnalyzeError
+from repro.verify.schedule import (
+    ScheduleRunner,
+    identity_plan,
+    random_plan,
+    works_for,
+)
+from repro.verify.witness import ScheduleWitness, replay_witness
+
+
+@pytest.fixture(scope="module")
+def cifar():
+    from repro.serve.engine import resolve_net
+
+    net = resolve_net("cifar10")(batch=4, seed=0)
+    works = works_for("cifar10", batch=4, seed=0)
+    return net, works, derive_accesses(net, works)
+
+
+def _identity(works):
+    return identity_plan(works, "cifar10", "p100", 4, 0)
+
+
+class TestCrossCheck:
+    def test_identity_plan_clean_both_ways(self, cifar):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        assert detect(program_from_schedule_plan(works, accesses,
+                                                 plan)) == []
+        runner = ScheduleRunner(works, pool_size=plan.pool_size)
+        assert runner.run(plan, device="p100").ok
+
+    def test_always_sync_fuzz_plans_statically_clean(self, cifar):
+        """Static 'safe' must cover everything the fuzzer samples."""
+        net, works, accesses = cifar
+        runner = ScheduleRunner(works, pool_size=4)
+        for round_ in range(5):
+            plan = random_plan(works, "cifar10", "p100", 4, seed=0,
+                               round_=round_)
+            prog = program_from_schedule_plan(works, accesses, plan)
+            assert detect(prog) == [], f"round {round_} flagged"
+            assert runner.run(plan, device="p100").ok, f"round {round_}"
+
+    def test_mutant_flagged_by_both(self, cifar):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        runner = ScheduleRunner(works, pool_size=plan.pool_size)
+
+        def confirm(cand):
+            return not runner.run(cand, device="p100").ok
+
+        mutant, hazards = find_flagged_mutant(works, accesses, plan,
+                                              seed=0, confirm=confirm)
+        assert hazards
+        h = hazards[0]
+        # a minimal two-kernel witness
+        assert h.first and h.second and h.regions
+        assert h.first_stream != h.second_stream
+        result = runner.run(mutant, device="p100")
+        assert not result.ok
+        assert any("[layer-order]" in v or "[chain-order]" in v
+                   for v in result.violations)
+
+    def test_mutant_witness_replays(self, cifar, tmp_path):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        runner = ScheduleRunner(works, pool_size=plan.pool_size)
+        mutant, _ = find_flagged_mutant(
+            works, accesses, plan, seed=0,
+            confirm=lambda c: not runner.run(c, device="p100").ok)
+        path = tmp_path / "mutant.json"
+        ScheduleWitness(plan=mutant,
+                        original_layers=len(plan.layers)).save(path)
+        replay = replay_witness(path)
+        assert replay.reproduced
+        assert replay.result.violations
+
+
+class TestMutation:
+    def test_drop_sync_sets_fields(self, cifar):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        mut = drop_sync_mutant(plan, 2, 1)
+        assert mut.layers[2].sync is False
+        assert mut.layers[2].serial_stream == 1
+        assert mut.layers[3].serial_stream == 2
+        # untouched layers keep the safe defaults
+        assert mut.layers[0].sync is True
+        assert mut.layers[0].serial_stream is None
+
+    def test_out_of_range_index_raises(self, cifar):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        with pytest.raises(AnalyzeError):
+            drop_sync_mutant(plan, len(plan.layers), 0)
+
+    def test_pool_of_one_has_no_flaggable_mutant(self):
+        """Pool of 1: zero hazards by construction, search must fail."""
+        from repro.serve.engine import resolve_net
+
+        net = resolve_net("lenet")(batch=2, seed=0)
+        works = works_for("lenet", batch=2, seed=0)
+        accesses = derive_accesses(net, works)
+        plan = identity_plan(works, "lenet", "p100", 2, 0, pool_size=1)
+        with pytest.raises(AnalyzeError):
+            find_flagged_mutant(works, accesses, plan, seed=0)
+
+    def test_mutant_search_is_deterministic(self, cifar):
+        net, works, accesses = cifar
+        plan = _identity(works)
+        a, _ = find_flagged_mutant(works, accesses, plan, seed=3)
+        b, _ = find_flagged_mutant(works, accesses, plan, seed=3)
+        assert a == b
+
+
+class TestWitnessFormat:
+    def test_version_2_carries_mutation_fields(self, cifar, tmp_path):
+        net, works, accesses = cifar
+        plan = drop_sync_mutant(_identity(works), 1, 0)
+        path = tmp_path / "w.json"
+        ScheduleWitness(plan=plan).save(path)
+        loaded = ScheduleWitness.load(path)
+        assert loaded.version == 2
+        assert loaded.plan.layers[1].sync is False
+        assert loaded.plan.layers[1].serial_stream == 0
+
+    def test_version_1_files_still_load(self, cifar, tmp_path):
+        import json
+
+        net, works, accesses = cifar
+        path = tmp_path / "v1.json"
+        ScheduleWitness(plan=_identity(works)).save(path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 1
+        for layer in doc["plan"]["layers"]:
+            layer.pop("sync", None)
+            layer.pop("serial_stream", None)
+        path.write_text(json.dumps(doc))
+        loaded = ScheduleWitness.load(path)
+        assert loaded.plan.layers[0].sync is True
+        assert loaded.plan.layers[0].serial_stream is None

@@ -1,0 +1,123 @@
+"""Tests for event-record/wait edge validation in ``check_timeline``."""
+
+from repro.gpusim import Event
+from repro.gpusim.timeline import SyncRecord, TraceRecord, check_timeline
+from tests.conftest import small_kernel
+
+
+def _rec(name, stream, enq, start, end):
+    return TraceRecord(name=name, tag="", stream_id=stream,
+                       enqueue_us=enq, start_us=start, end_us=end,
+                       grid=(1, 1, 1), block=(32, 1, 1),
+                       registers=16, shared_mem=0)
+
+
+def _sync(kind, event_id, stream, enq, complete, name="ev"):
+    return SyncRecord(kind=kind, event_id=event_id, event_name=name,
+                      stream_id=stream, enqueue_us=enq,
+                      complete_us=complete)
+
+
+class TestEngineEmitsSyncRecords:
+    def test_record_and_wait_tracked(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        p100.launch(small_kernel("a", flops=300_000.0), stream=s1)
+        ev = Event()
+        p100.record_event(ev, stream=s1)
+        p100.wait_event(ev, stream=s2)
+        p100.launch(small_kernel("b"), stream=s2)
+        p100.synchronize()
+        kinds = [s.kind for s in p100.timeline.syncs]
+        assert kinds == ["record", "wait"]
+        rec, wait = p100.timeline.syncs
+        assert rec.event_id == wait.event_id
+        assert wait.complete_us >= rec.complete_us
+
+    def test_real_event_flow_validates_clean(self, p100):
+        s1, s2, s3 = (p100.create_stream() for _ in range(3))
+        a = p100.launch(small_kernel("a", flops=500_000.0), stream=s1)
+        ev = Event()
+        p100.record_event(ev, stream=s1)
+        p100.wait_event(ev, stream=s2)
+        p100.launch(small_kernel("b"), stream=s2)
+        p100.launch(small_kernel("c"), stream=s3)
+        p100.synchronize()
+        assert check_timeline(p100.timeline.records,
+                              p100.timeline.syncs) == []
+
+    def test_clear_drops_syncs(self, p100):
+        p100.record_event(Event(), stream=p100.create_stream())
+        p100.synchronize()
+        assert p100.timeline.syncs
+        p100.timeline.clear()
+        assert p100.timeline.syncs == []
+
+
+class TestEventRecordRule:
+    def test_record_completing_early_is_flagged(self):
+        # The record claims completion at t=5, but a kernel enqueued
+        # before it on the same stream runs until t=20.
+        records = [_rec("k", 1, enq=0.0, start=0.0, end=20.0)]
+        syncs = [_sync("record", 0, 1, enq=1.0, complete=5.0)]
+        violations = check_timeline(records, syncs)
+        assert [v.rule for v in violations] == ["event-record"]
+
+    def test_record_after_stream_tail_is_clean(self):
+        records = [_rec("k", 1, enq=0.0, start=0.0, end=20.0)]
+        syncs = [_sync("record", 0, 1, enq=1.0, complete=20.0)]
+        assert check_timeline(records, syncs) == []
+
+    def test_other_stream_kernels_do_not_gate_record(self):
+        records = [_rec("k", 2, enq=0.0, start=0.0, end=50.0)]
+        syncs = [_sync("record", 0, 1, enq=1.0, complete=2.0)]
+        assert check_timeline(records, syncs) == []
+
+
+class TestEventWaitRule:
+    def test_gated_kernel_starting_early_is_flagged(self):
+        # b is enqueued after the wait but starts before the awaited
+        # record completed: the wait edge was dropped.
+        records = [
+            _rec("a", 1, enq=0.0, start=0.0, end=30.0),
+            _rec("b", 2, enq=3.0, start=5.0, end=10.0),
+        ]
+        syncs = [
+            _sync("record", 0, 1, enq=1.0, complete=30.0),
+            _sync("wait", 0, 2, enq=2.0, complete=30.0),
+        ]
+        violations = check_timeline(records, syncs)
+        assert any(v.rule == "event-wait" and v.kernel == "b"
+                   for v in violations)
+
+    def test_wait_resolving_before_record_is_flagged(self):
+        syncs = [
+            _sync("record", 0, 1, enq=1.0, complete=30.0),
+            _sync("wait", 0, 2, enq=2.0, complete=5.0),
+        ]
+        violations = check_timeline([], syncs)
+        assert [v.rule for v in violations] == ["event-wait"]
+
+    def test_unrecorded_event_gates_nothing(self):
+        records = [_rec("b", 2, enq=3.0, start=3.0, end=4.0)]
+        syncs = [_sync("wait", 9, 2, enq=2.0, complete=2.5)]
+        assert check_timeline(records, syncs) == []
+
+    def test_wait_binds_to_latest_prior_record(self):
+        # Re-recorded event: the wait issued between the two records
+        # binds to the first; a kernel ordered after record #1 but not
+        # record #2 is legal.
+        records = [_rec("b", 2, enq=3.0, start=12.0, end=13.0)]
+        syncs = [
+            _sync("record", 0, 1, enq=1.0, complete=10.0),
+            _sync("wait", 0, 2, enq=2.0, complete=10.0),
+            _sync("record", 0, 1, enq=5.0, complete=50.0),
+        ]
+        assert check_timeline(records, syncs) == []
+
+    def test_kernels_enqueued_before_wait_are_not_gated(self):
+        records = [_rec("early", 2, enq=0.5, start=0.5, end=1.0)]
+        syncs = [
+            _sync("record", 0, 1, enq=1.0, complete=30.0),
+            _sync("wait", 0, 2, enq=2.0, complete=30.0),
+        ]
+        assert check_timeline(records, syncs) == []

@@ -18,6 +18,11 @@ Commands
     serve it through one or all executors with dynamic batching and
     SLO-aware admission control (see ``docs/serving.md``), e.g.
     ``serve --net cifar10 --device titan-xp --rps 500 --slo-ms 10``.
+``fleet``
+    Fault-tolerant multi-replica serving: sweep replica counts over one
+    arrival trace, clean and under a chaos fault plan, and report the
+    fleet-wide p99 vs. replica count (see ``docs/fleet.md``), e.g.
+    ``fleet --net lenet --replicas 1,2,4 --hedge-ms 1.5``.
 ``trace <scenario> [-o trace.json]``
     Run a canned deterministic scenario with span/metrics recording on and
     export a merged host + device Chrome/Perfetto trace (see
@@ -217,7 +222,8 @@ def cmd_serve(args) -> int:
     except ReproError as e:
         print(f"serve failed: {e}", file=sys.stderr)
         return 2
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         for report in reports:
             print(report.to_json())
     else:
@@ -230,6 +236,82 @@ def cmd_serve(args) -> int:
         summary = injector.summary() or "none fired"
         print(f"  [fault injection: {summary}; {injector.fires} fault(s) "
               f"over {sum(injector.site_calls.values())} site calls]")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    import difflib
+    from pathlib import Path
+
+    from repro.errors import FaultPlanError, ReproError
+    from repro.fleet import fleet_sweep
+    from repro.gpusim.device import DEVICE_CATALOG
+    from repro.reporting import emit
+    from repro.serve.engine import SERVE_NETS, resolve_device, resolve_net
+    from repro.serve.request import make_trace
+
+    try:
+        resolve_net(args.net)
+    except ReproError as e:
+        print(f"fleet failed: {e}", file=sys.stderr)
+        matches = difflib.get_close_matches(args.net.lower(), SERVE_NETS,
+                                            n=3, cutoff=0.5)
+        if matches:
+            print(f"did you mean: {', '.join(matches)}?", file=sys.stderr)
+        return 2
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    if not devices:
+        print("fleet failed: no devices given", file=sys.stderr)
+        return 2
+    for dev in devices:
+        try:
+            resolve_device(dev)
+        except ReproError as e:
+            print(f"fleet failed: {e}", file=sys.stderr)
+            matches = difflib.get_close_matches(
+                dev.lower(), [k.lower() for k in DEVICE_CATALOG],
+                n=3, cutoff=0.5)
+            if matches:
+                print(f"did you mean: {', '.join(matches)}?",
+                      file=sys.stderr)
+            return 2
+    try:
+        counts = sorted({int(x) for x in args.replicas.split(",")
+                         if x.strip()})
+    except ValueError:
+        print(f"fleet failed: bad --replicas {args.replicas!r} "
+              "(expected e.g. '1,2,4')", file=sys.stderr)
+        return 2
+    if not counts:
+        print("fleet failed: no replica counts given", file=sys.stderr)
+        return 2
+    chaos_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+        try:
+            chaos_plan = FaultPlan.load(args.faults)
+        except FaultPlanError as e:
+            print(f"bad fault plan: {e}", file=sys.stderr)
+            return 2
+    try:
+        trace = make_trace(args.trace, rps=args.rps,
+                           duration_us=args.duration_ms * 1e3,
+                           slo_us=args.slo_ms * 1e3, seed=args.seed)
+        report = fleet_sweep(
+            args.net, devices, args.executor, counts, trace,
+            chaos=not args.no_chaos, chaos_plan=chaos_plan,
+            router_policy=args.router, seed=args.seed,
+            max_batch=args.max_batch,
+            hedge_after_us=(None if args.hedge_ms is None
+                            else args.hedge_ms * 1e3),
+        )
+    except ReproError as e:
+        print(f"fleet failed: {e}", file=sys.stderr)
+        return 2
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n",
+                                     encoding="utf-8")
+    print(emit(report, args.format))
     return 0
 
 
@@ -496,11 +578,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="charge profiling/lowering to the first "
                             "requests instead of warming up")
     serve.add_argument("--json", action="store_true",
-                       help="print reports as JSON instead of text")
+                       help="print reports as JSON (alias for "
+                            "--format json)")
     serve.add_argument("--faults", metavar="PLAN.json", default=None,
                        help="serve under a deterministic fault-injection "
                             "plan (docs/fault_injection.md)")
+    from repro.reporting import add_format_argument
+    add_format_argument(serve)
     serve.set_defaults(fn=cmd_serve)
+    fleet = sub.add_parser(
+        "fleet",
+        help="fault-tolerant multi-replica serving fleet "
+             "(p99 vs. replica count, clean + chaos)",
+    )
+    fleet.add_argument("--net", default="lenet",
+                       help="network to serve (default: lenet)")
+    fleet.add_argument("--devices", default="titan-xp",
+                       help="comma-separated catalog devices, cycled "
+                            "across replicas (default: titan-xp)")
+    fleet.add_argument("--executor", default="fixed",
+                       choices=["naive", "fixed", "glp4nn"],
+                       help="per-replica executor (default: fixed)")
+    fleet.add_argument("--replicas", default="1,2,4",
+                       help="comma-separated replica counts to sweep "
+                            "(default: 1,2,4)")
+    fleet.add_argument("--router", default="least-loaded",
+                       choices=["least-loaded", "p2c"],
+                       help="front-end routing policy "
+                            "(default: least-loaded)")
+    fleet.add_argument("--rps", type=float, default=4000.0,
+                       help="offered arrival rate, requests/s "
+                            "(default: 4000)")
+    fleet.add_argument("--slo-ms", type=float, default=3.0,
+                       help="per-request latency SLO, ms (default: 3)")
+    fleet.add_argument("--duration-ms", type=float, default=6.0,
+                       help="trace duration, ms of simulated time "
+                            "(default: 6)")
+    fleet.add_argument("--trace", default="poisson",
+                       choices=["poisson", "bursty"],
+                       help="arrival process (default: poisson)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="trace / fleet seed (default: 0)")
+    fleet.add_argument("--max-batch", type=int, default=8,
+                       help="per-replica max batch size (default: 8)")
+    fleet.add_argument("--hedge-ms", type=float, default=None,
+                       metavar="MS",
+                       help="hedge requests still unfinished after MS ms "
+                            "(off by default)")
+    fleet.add_argument("--no-chaos", action="store_true",
+                       help="clean sweep only: skip the chaos runs")
+    fleet.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="chaos fault plan to use instead of the "
+                            "default (docs/fault_injection.md)")
+    fleet.add_argument("--report", metavar="OUT.json", default=None,
+                       help="write the sweep report as JSON (CI artifact)")
+    add_format_argument(fleet)
+    fleet.set_defaults(fn=cmd_fleet)
     trace = sub.add_parser(
         "trace",
         help="export a merged host+device Perfetto trace of a scenario",
@@ -545,7 +678,6 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--json", action="store_true",
                         help="print the report as JSON (alias for "
                              "--format json)")
-    from repro.reporting import add_format_argument
     add_format_argument(verify)
     verify.set_defaults(fn=cmd_verify)
     analyze = sub.add_parser(

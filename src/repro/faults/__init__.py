@@ -11,7 +11,8 @@ cache quarantine) keeps training alive — with bit-identical numerics.
 Injection sites (see :data:`~repro.faults.plan.SITES` and
 ``docs/fault_injection.md``): kernel launch, stream-pool creation, CUPTI
 activity records, the analytical model's MILP solve, decision-cache loads
-and device synchronization.
+and device synchronization — plus the fleet-scoped sites (replica crash,
+replica slowdown, front-end link drop) polled by :mod:`repro.fleet`.
 
 With no plan installed, every hook is a single ``None`` check — fault-free
 runs are behaviorally unchanged.

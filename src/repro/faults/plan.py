@@ -52,6 +52,13 @@ SITES = (
     "milp_solve",       # solve_milp — solver timeout / forced infeasible
     "cache_load",       # persistence — corrupt/stale decision cache
     "sync",             # GPU.synchronize — synchronization failure
+    # Fleet-scoped sites (see docs/fleet.md); keys are replica names
+    # (``replica_crash``/``replica_slow``) or front-end link names of the
+    # form ``fe-><replica>`` (``link_drop``, modeled over
+    # repro.comm.interconnect).
+    "replica_crash",    # FleetEngine heartbeat — replica process dies
+    "replica_slow",     # Replica batch start — degraded replica (slow batch)
+    "link_drop",        # FleetEngine dispatch — front-end link loses the send
 )
 
 KINDS = ("transient", "persistent")
@@ -60,6 +67,13 @@ KINDS = ("transient", "persistent")
 _EFFECTS = {
     "milp_solve": ("", "timeout", "infeasible"),
     "profiler_record": ("", "drop"),
+    # "restart": the replica rejoins after the fleet's restart delay;
+    # "permanent": it stays dead for the rest of the run.
+    "replica_crash": ("", "restart", "permanent"),
+    # Batch-duration multipliers for a degraded replica.
+    "replica_slow": ("", "mild", "severe"),
+    # The dropped send is the only failure mode for a link.
+    "link_drop": ("",),
 }
 
 _TRIGGER_FIELDS = ("nth", "every", "after", "probability")

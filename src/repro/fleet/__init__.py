@@ -1,0 +1,70 @@
+"""Fault-tolerant multi-replica serving fleet.
+
+``repro.fleet`` scales the single serving engine (:mod:`repro.serve`)
+out to N simulated replicas behind a front-end router, with the
+fault-tolerance layer as the headline:
+
+* :mod:`repro.fleet.replica` — one replica: its own catalog device,
+  executor and serving state (queue, batcher, shape cache, EWMA).
+* :mod:`repro.fleet.router` — least-loaded and power-of-two-choices
+  routing, SLO-aware via the replicas' service estimates.
+* :mod:`repro.fleet.health` — per-replica circuit breakers and
+  heartbeat liveness monitoring.
+* :mod:`repro.fleet.engine` — the discrete-event loop tying it
+  together: dispatch over a simulated link, retry-with-failover, hedged
+  requests with exactly-once duplicate suppression, graceful
+  drain/rejoin.
+* :mod:`repro.fleet.chaos` — canned fault plans (crash, slow replica,
+  link drops) for the ``replica_crash`` / ``replica_slow`` /
+  ``link_drop`` sites.
+* :mod:`repro.fleet.report` — per-run and p99-vs-replica-count sweep
+  reports.
+
+The safety contract — every admitted request reaches exactly one
+terminal outcome, is never executed twice for accounting, and the whole
+run is bit-deterministic per seed — is certified by
+:mod:`repro.verify.fleet_chaos`.
+"""
+
+from repro.fleet.chaos import default_chaos_plan
+from repro.fleet.engine import (
+    FleetEngine,
+    build_fleet,
+    fleet_sweep,
+    serve_fleet,
+)
+from repro.fleet.health import (
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
+    HealthMonitor,
+)
+from repro.fleet.replica import BatchRun, Replica, RequestCopy
+from repro.fleet.report import (
+    FleetReport,
+    FleetSweepReport,
+    FleetSweepRow,
+    ReplicaStats,
+)
+from repro.fleet.router import ROUTER_POLICIES, Router
+
+__all__ = [
+    "BatchRun",
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "FleetEngine",
+    "FleetReport",
+    "FleetSweepReport",
+    "FleetSweepRow",
+    "HealthMonitor",
+    "ROUTER_POLICIES",
+    "Replica",
+    "ReplicaStats",
+    "RequestCopy",
+    "Router",
+    "build_fleet",
+    "default_chaos_plan",
+    "fleet_sweep",
+    "serve_fleet",
+]

@@ -1,0 +1,40 @@
+"""Canned chaos plans for fleet runs.
+
+:func:`default_chaos_plan` builds the fleet's standard adversarial
+weather: one mid-run replica crash with restart (only when the fleet has
+a spare — a one-replica fleet is never fully killed), a degraded (slow)
+replica, and a burst of front-end link drops.  The plan is pure data
+(:class:`~repro.faults.plan.FaultPlan`), so the CLI, the chaos harness
+and CI all replay the identical fault sequence from the seed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def default_chaos_plan(n_replicas: int, seed: int = 0) -> FaultPlan:
+    """The standard fleet chaos weather for an ``n_replicas`` fleet.
+
+    * ``replica_crash`` on the last replica at its 3rd heartbeat, with
+      restart — only when ``n_replicas >= 2``, so at most ``N - 1``
+      replicas are ever down at once;
+    * ``replica_slow`` (mild) on replica ``r0`` every 4th batch;
+    * ``link_drop`` on the front-end link to ``r0``, two drops starting
+      at the 5th send.
+    """
+    if n_replicas < 1:
+        raise ReproError(f"fleet size must be >= 1, got {n_replicas}")
+    specs = [
+        FaultSpec(site="replica_slow", key="r0", every=4, effect="mild",
+                  max_fires=4),
+        FaultSpec(site="link_drop", key="fe->r0", nth=5, max_fires=1),
+        FaultSpec(site="link_drop", key="fe->r0", nth=9, max_fires=1),
+    ]
+    if n_replicas >= 2:
+        specs.insert(0, FaultSpec(
+            site="replica_crash", key=f"r{n_replicas - 1}", nth=3,
+            effect="restart", max_fires=1))
+    return FaultPlan(specs=tuple(specs), seed=seed,
+                     name=f"fleet-default-x{n_replicas}")

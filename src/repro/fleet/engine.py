@@ -1,0 +1,715 @@
+"""The fleet engine: N replicas, one router, one discrete-event loop.
+
+:class:`FleetEngine` composes the serving stack (PR 2) with the fault
+subsystem (PR 1) into a fault-tolerant multi-replica serving fleet:
+
+* **Routing** — every arrival is dispatched by the front-end
+  :class:`~repro.fleet.router.Router` (least-loaded or power-of-two
+  choices, SLO-aware via per-replica EWMA estimates) over a simulated
+  front-end link (:class:`~repro.comm.interconnect.Interconnect`).
+* **Health** — per-replica :class:`~repro.fleet.health.CircuitBreaker`
+  driven by consecutive ``DegradedError`` batch failures and batch
+  timeouts, plus heartbeat liveness that polls the ``replica_crash``
+  fault site at a fixed simulated interval.
+* **Failover** — a copy lost to a crash, a failed batch, a dropped link
+  send or queue overflow is re-dispatched (bounded by
+  ``failover_budget``) to another routable replica; when none exists the
+  request fails loudly.
+* **Hedging** — optionally, a request still unfinished ``hedge_after_us``
+  after dispatch gets a duplicate on a second replica; the first
+  completion wins and the loser is *suppressed*, so the request still
+  reaches exactly one terminal outcome.
+* **Drain / rejoin** — a breaker that opens drains its queue into
+  failover; a crashed replica restarts after ``restart_after_us``, and
+  rejoins through half-open probing once its heartbeats look healthy.
+
+Everything runs on one trace-relative simulated clock.  Events at equal
+timestamps resolve by a fixed priority (completions, recoveries,
+heartbeats, link deliveries, hedge timers, arrivals) and then by issue
+order, so a hedge-vs-primary race at identical timestamps has a
+deterministic winner and the whole run is bit-reproducible per seed —
+the safety invariant :mod:`repro.verify.fleet_chaos` certifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.comm.interconnect import Interconnect, PCIE3
+from repro.errors import DegradedError, FaultInjected, ReproError
+from repro.faults.hooks import active_injector, fault_poll
+from repro.fleet.health import BreakerState, CircuitBreaker, HealthMonitor
+from repro.fleet.replica import Replica, RequestCopy
+from repro.fleet.report import (
+    FleetReport,
+    FleetSweepReport,
+    FleetSweepRow,
+    ReplicaStats,
+)
+from repro.fleet.router import Router
+from repro.obs.metrics import counter_inc, gauge_set, observe
+from repro.obs.spans import instant, span
+from repro.serve.engine import resolve_device, resolve_net
+from repro.serve.queue import OverflowPolicy, QueueOrder
+from repro.serve.request import ArrivalTrace, InferenceRequest
+from repro.serve.slo import Outcome, SLOTracker
+
+_EPS = 1e-9
+
+#: Event priorities at equal simulated timestamps (lower runs first).
+_P_COMPLETE = 0
+_P_RECOVER = 1
+_P_HEARTBEAT = 2
+_P_DELIVER = 3
+_P_HEDGE = 4
+_P_ARRIVAL = 5
+
+
+@dataclass
+class _Ledger:
+    """Fleet-wide bookkeeping for one logical request.
+
+    ``live`` maps outstanding copy ids to the replica index holding them
+    (or ``-1`` while a copy is in flight on the front-end link).  The
+    chaos harness reads these fields to certify the safety invariant:
+    ``terminal`` set exactly once, ``executions``/``suppressed``
+    reconciling every hedged duplicate.
+    """
+
+    request: InferenceRequest
+    live: dict[int, int] = field(default_factory=dict)
+    terminal: Optional[Outcome] = None
+    executions: int = 0
+    suppressed: int = 0
+    failovers: int = 0
+    hedged: bool = False
+
+
+class FleetEngine:
+    """Serve one arrival trace through a fault-tolerant replica fleet."""
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        router: Router,
+        *,
+        net_name: str = "",
+        executor_kind: str = "",
+        heartbeat_us: float = 1_000.0,
+        restart_after_us: float = 5_000.0,
+        failover_budget: int = 2,
+        hedge_after_us: Optional[float] = None,
+        batch_timeout_us: Optional[float] = None,
+        failure_threshold: int = 2,
+        timeout_threshold: int = 3,
+        cooldown_us: float = 2_000.0,
+        healthy_after: int = 1,
+        link: Interconnect = PCIE3,
+        payload_bytes: int = 12_288,
+        drop_expired: bool = True,
+    ) -> None:
+        if not replicas:
+            raise ReproError("a fleet needs at least one replica")
+        if heartbeat_us <= 0:
+            raise ReproError(f"heartbeat must be > 0, got {heartbeat_us}")
+        if restart_after_us < 0:
+            raise ReproError("restart delay must be >= 0")
+        if failover_budget < 0:
+            raise ReproError("failover budget must be >= 0")
+        if hedge_after_us is not None and hedge_after_us < 0:
+            raise ReproError("hedge delay must be >= 0")
+        self.replicas = list(replicas)
+        self.router = router
+        self.net_name = net_name
+        self.executor_kind = executor_kind
+        self.heartbeat_us = heartbeat_us
+        self.restart_after_us = restart_after_us
+        self.failover_budget = failover_budget
+        self.hedge_after_us = hedge_after_us
+        self.batch_timeout_us = batch_timeout_us
+        self.link = link
+        self.payload_bytes = payload_bytes
+        self.drop_expired = drop_expired
+        self.breakers = [
+            CircuitBreaker(r.name, failure_threshold=failure_threshold,
+                           timeout_threshold=timeout_threshold,
+                           cooldown_us=cooldown_us)
+            for r in self.replicas
+        ]
+        self.monitors = [HealthMonitor(r.name, healthy_after=healthy_after)
+                         for r in self.replicas]
+        self.slo = SLOTracker()
+        self.ledger: dict[int, _Ledger] = {}
+        self.now_us = 0.0
+        # resilience counters
+        self.failovers = 0
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_suppressed = 0
+        self.link_drops = 0
+        self.crashes = 0
+        self.heartbeats = 0
+        self.failfast = 0
+        # event machinery
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._copy_ids = 0
+        self._open_requests = 0
+        self._deliveries = 0
+        self._hedges_pending = 0
+
+    # ------------------------------------------------------------------
+    # Event heap helpers
+    # ------------------------------------------------------------------
+    def _push(self, at_us: float, prio: int, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (at_us, prio, self._seq, kind, payload))
+
+    def _routable(self, now: float, exclude: Sequence[int] = ()
+                  ) -> list[Replica]:
+        """Replicas the router may use right now (alive + breaker allows)."""
+        return [
+            r for i, r in enumerate(self.replicas)
+            if i not in exclude
+            and self.monitors[i].alive
+            and self.breakers[i].allows(now)
+        ]
+
+    # ------------------------------------------------------------------
+    # The discrete-event loop
+    # ------------------------------------------------------------------
+    def serve(self, trace: ArrivalTrace) -> FleetReport:
+        """Run the whole trace to completion and return the report."""
+        for i, replica in enumerate(self.replicas):
+            try:
+                replica.warm_up()
+            except (DegradedError, FaultInjected) as e:
+                # A replica that cannot even warm up joins the fleet
+                # dead instead of taking the whole run down.
+                self.monitors[i].crash(permanent=True)
+                self.breakers[i].force_open(0.0, f"warm-up failed: {e}")
+                self.crashes += 1
+                counter_inc("fleet.crashes")
+        pending = deque(trace.requests)
+        self._push(self.heartbeat_us, _P_HEARTBEAT, "heartbeat", None)
+        now = 0.0
+        with span("fleet.serve", cat="fleet", replicas=len(self.replicas),
+                  requests=len(trace)):
+            while True:
+                self._start_ready_batches(now, pending)
+                nxt = self._next_event_us(pending)
+                if nxt is None:
+                    break
+                now = self.now_us = max(now, nxt)
+                while pending and pending[0].arrival_us <= now + _EPS:
+                    request = pending.popleft()
+                    self._push(request.arrival_us, _P_ARRIVAL, "arrival",
+                               request)
+                while self._heap and self._heap[0][0] <= now + _EPS:
+                    _, _, _, kind, payload = heapq.heappop(self._heap)
+                    self._handle(kind, payload, now, pending)
+        self._fail_stragglers(now)
+        return self.report(trace)
+
+    def _next_event_us(self, pending) -> Optional[float]:
+        times = []
+        if pending:
+            times.append(pending[0].arrival_us)
+        if self._heap:
+            times.append(self._heap[0][0])
+        for i, replica in enumerate(self.replicas):
+            if self.monitors[i].alive and replica.idle and replica.depth():
+                fire = replica.fire_time_us()
+                if fire is not None:
+                    times.append(fire)
+        if not times:
+            return None
+        return min(times)
+
+    def _handle(self, kind: str, payload, now: float, pending) -> None:
+        if kind == "complete":
+            self._on_complete(payload, now)
+        elif kind == "recover":
+            self._on_recover(payload, now)
+        elif kind == "heartbeat":
+            self._on_heartbeat(now, pending)
+        elif kind == "deliver":
+            self._deliveries -= 1
+            self._on_deliver(payload, now)
+        elif kind == "hedge":
+            self._hedges_pending -= 1
+            self._on_hedge_timer(payload, now)
+        elif kind == "arrival":
+            self._on_arrival(payload, now)
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown fleet event {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Arrivals, dispatch and the front-end link
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request: InferenceRequest, now: float) -> None:
+        self.ledger[request.rid] = led = _Ledger(request=request)
+        self._open_requests += 1
+        if not self._routable(now):
+            # Fail fast: no point queueing work nothing can serve.
+            self.failfast += 1
+            counter_inc("fleet.failfast")
+            instant("fleet.failfast", cat="fleet", rid=request.rid)
+            self._record_terminal(led, Outcome.SHED_ADMISSION,
+                                  detail="fail-fast: no routable replica")
+            return
+        copy = self._new_copy(request, "primary")
+        led.live[copy.copy_id] = -1
+        self._dispatch(copy, now, exclude=())
+        if self.hedge_after_us is not None and led.terminal is None:
+            self._hedges_pending += 1
+            self._push(now + self.hedge_after_us, _P_HEDGE, "hedge",
+                       request.rid)
+
+    def _new_copy(self, request: InferenceRequest, kind: str) -> RequestCopy:
+        self._copy_ids += 1
+        return RequestCopy(copy_id=self._copy_ids, rid=request.rid,
+                           arrival_us=request.arrival_us,
+                           deadline_us=request.deadline_us, kind=kind)
+
+    def _dispatch(self, copy: RequestCopy, now: float,
+                  exclude: Sequence[int]) -> None:
+        """Route ``copy`` and send it over the front-end link.
+
+        A ``link_drop`` fault loses the send; the front end retries the
+        remaining routable replicas in ranking order before giving the
+        copy up to the failover path.
+        """
+        led = self.ledger[copy.rid]
+        tried = list(exclude)
+        while True:
+            replica = self.router.pick(self._routable(now, tried), now,
+                                       exclude=tried)
+            if replica is None:
+                led.live.pop(copy.copy_id, None)
+                self._copy_lost(copy, now, "no routable replica",
+                                exclude=tried)
+                return
+            breaker = self.breakers[replica.index]
+            if breaker.state is BreakerState.HALF_OPEN:
+                breaker.note_probe()
+            drop = fault_poll("link_drop", key=f"fe->{replica.name}")
+            if drop is not None:
+                self.link_drops += 1
+                counter_inc("fleet.link_drops")
+                instant("fleet.link_drop", cat="fleet", rid=copy.rid,
+                        replica=replica.name)
+                tried.append(replica.index)
+                continue
+            led.live[copy.copy_id] = -1
+            self._deliveries += 1
+            self._push(now + self.link.transfer_time_us(self.payload_bytes),
+                       _P_DELIVER, "deliver", (copy, replica.index))
+            counter_inc("fleet.dispatches")
+            return
+
+    def _on_deliver(self, payload, now: float) -> None:
+        copy, ridx = payload
+        led = self.ledger[copy.rid]
+        if led.terminal is not None:
+            led.live.pop(copy.copy_id, None)
+            return
+        replica = self.replicas[ridx]
+        monitor = self.monitors[ridx]
+        breaker = self.breakers[ridx]
+        if not monitor.alive or breaker.state is BreakerState.OPEN:
+            # The replica died (or its breaker opened) while the send was
+            # on the wire: treat like a lost copy.
+            led.live.pop(copy.copy_id, None)
+            self._copy_lost(copy, now, f"{replica.name} unroutable at "
+                            "delivery", exclude=(ridx,))
+            return
+        verdict, evicted = replica.offer(copy, now)
+        if verdict == "queued":
+            led.live[copy.copy_id] = ridx
+            instant("fleet.admit", cat="fleet", rid=copy.rid,
+                    replica=replica.name, depth=replica.depth())
+        elif verdict == "shed-admission":
+            led.live.pop(copy.copy_id, None)
+            self._copy_dead(copy, now, Outcome.SHED_ADMISSION,
+                            f"{replica.name}: projected finish past "
+                            "deadline")
+        else:  # shed-queue: the router misjudged; try elsewhere
+            led.live.pop(copy.copy_id, None)
+            self._copy_lost(copy, now, f"{replica.name} queue full",
+                            exclude=(ridx,))
+        for victim in evicted:
+            vled = self.ledger[victim.rid]
+            vled.live.pop(victim.copy_id, None)
+            self._copy_lost(victim, now, f"evicted from {replica.name}",
+                            exclude=(ridx,))
+        gauge_set(f"fleet.{replica.name}.queue.depth", replica.depth())
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+    def _on_hedge_timer(self, rid: int, now: float) -> None:
+        led = self.ledger.get(rid)
+        if led is None or led.terminal is not None or led.hedged:
+            return
+        if not led.live:
+            return      # the failover path is already re-dispatching
+        holders = set(led.live.values()) - {-1}
+        candidates = self._routable(now, exclude=tuple(holders))
+        if not candidates:
+            return      # nowhere distinct to hedge to; not an error
+        led.hedged = True
+        self.hedges_issued += 1
+        counter_inc("fleet.hedges.issued")
+        instant("fleet.hedge", cat="fleet", rid=rid)
+        copy = self._new_copy(led.request, "hedge")
+        led.live[copy.copy_id] = -1
+        self._dispatch(copy, now, exclude=tuple(holders))
+
+    # ------------------------------------------------------------------
+    # Batch lifecycle
+    # ------------------------------------------------------------------
+    def _start_ready_batches(self, now: float, pending) -> None:
+        more = bool(pending) or self._deliveries > 0 \
+            or self._hedges_pending > 0
+        for i, replica in enumerate(self.replicas):
+            if not self.monitors[i].alive or not replica.idle:
+                continue
+            if self.drop_expired:
+                for copy in replica.expire_queued(now):
+                    led = self.ledger[copy.rid]
+                    led.live.pop(copy.copy_id, None)
+                    self._copy_dead(copy, now, Outcome.EXPIRED,
+                                    f"deadline passed in {replica.name} "
+                                    "queue")
+            if not replica.depth():
+                continue
+            if replica.ready(now, more):
+                run = replica.run_batch(now)
+                for copy in run.copies:
+                    self.ledger[copy.rid].live[copy.copy_id] = i
+                self._push(run.finish_us, _P_COMPLETE, "complete", i)
+
+    def _on_complete(self, ridx: int, now: float) -> None:
+        replica = self.replicas[ridx]
+        if replica.inflight is None:
+            return          # batch already aborted by a crash
+        run = replica.finish_batch()
+        breaker = self.breakers[ridx]
+        if run.ok:
+            timed_out = (self.batch_timeout_us is not None
+                         and run.duration_us > self.batch_timeout_us)
+            if timed_out:
+                replica.timeout_batches += 1
+                counter_inc("fleet.batch_timeouts")
+                breaker.record_timeout(now)
+            else:
+                breaker.record_success(now)
+            for copy in run.copies:
+                self._copy_executed(copy, now, len(run.copies))
+        else:
+            counter_inc("fleet.failed_batches")
+            breaker.record_failure(now, run.failure)
+            if breaker.state is BreakerState.OPEN:
+                self._drain_open_replica(ridx, now)
+            for copy in run.copies:
+                led = self.ledger[copy.rid]
+                led.live.pop(copy.copy_id, None)
+                self._copy_lost(copy, now,
+                                f"batch failed on {replica.name}: "
+                                f"{run.failure}", exclude=(ridx,))
+
+    def _copy_executed(self, copy: RequestCopy, finish_us: float,
+                       batch_size: int) -> None:
+        led = self.ledger[copy.rid]
+        led.executions += 1
+        led.live.pop(copy.copy_id, None)
+        if led.terminal is not None:
+            # The race's loser: executed, but its result is discarded.
+            led.suppressed += 1
+            self.hedges_suppressed += 1
+            counter_inc("fleet.hedges.suppressed")
+            return
+        rec = self.slo.complete(led.request, finish_us,
+                                batch_size=batch_size)
+        led.terminal = rec.outcome
+        self._open_requests -= 1
+        if copy.kind == "hedge":
+            self.hedges_won += 1
+            counter_inc("fleet.hedges.won")
+        if rec.latency_us is not None:
+            observe("fleet.latency_us", rec.latency_us)
+
+    # ------------------------------------------------------------------
+    # Failover and terminal accounting
+    # ------------------------------------------------------------------
+    def _copy_lost(self, copy: RequestCopy, now: float, reason: str,
+                   exclude: Sequence[int]) -> None:
+        """A copy died without executing; fail over or fail loudly."""
+        led = self.ledger[copy.rid]
+        if led.terminal is not None or led.live:
+            return      # another copy is still in play
+        if led.failovers >= self.failover_budget:
+            self._record_terminal(
+                led, Outcome.FAILED,
+                detail=f"failover budget exhausted: {reason}")
+            return
+        if not self._routable(now, exclude=exclude):
+            if not self._routable(now):
+                self._record_terminal(
+                    led, Outcome.FAILED,
+                    detail=f"no routable replica: {reason}")
+                return
+            # Only the excluded replica(s) are healthy: retrying there is
+            # still better than dropping the request.
+            exclude = ()
+        led.failovers += 1
+        self.failovers += 1
+        counter_inc("fleet.failovers")
+        instant("fleet.failover", cat="fleet", rid=copy.rid, why=reason)
+        retry = self._new_copy(led.request, "failover")
+        led.live[retry.copy_id] = -1
+        self._dispatch(retry, now, exclude=exclude)
+
+    def _copy_dead(self, copy: RequestCopy, now: float, outcome: Outcome,
+                   detail: str) -> None:
+        """A copy died for a reason failover cannot help with."""
+        led = self.ledger[copy.rid]
+        if led.terminal is not None or led.live:
+            return
+        self._record_terminal(led, outcome, detail=detail)
+
+    def _record_terminal(self, led: _Ledger, outcome: Outcome,
+                         detail: str) -> None:
+        if led.terminal is not None:  # pragma: no cover - invariant guard
+            raise ReproError(
+                f"request {led.request.rid} reached a second terminal "
+                f"outcome {outcome}")
+        self.slo.shed(led.request, outcome, detail=detail)
+        led.terminal = outcome
+        self._open_requests -= 1
+
+    def _fail_stragglers(self, now: float) -> None:
+        """Defensive sweep: no admitted request may end up outcome-less."""
+        for led in self.ledger.values():
+            if led.terminal is None:
+                led.live.clear()
+                self._record_terminal(led, Outcome.FAILED,
+                                      detail="fleet stalled")
+
+    # ------------------------------------------------------------------
+    # Health: heartbeats, crashes, drain and rejoin
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, now: float, pending) -> None:
+        self.heartbeats += 1
+        counter_inc("fleet.heartbeats")
+        for i, replica in enumerate(self.replicas):
+            monitor = self.monitors[i]
+            if monitor.permanently_dead or not monitor.alive:
+                continue
+            spec = fault_poll("replica_crash", key=replica.name)
+            if spec is not None:
+                self._crash_replica(i, now,
+                                    permanent=(spec.effect == "permanent"))
+                continue
+            healthy = monitor.beat_ok()
+            if healthy and monitor.recovering:
+                monitor.recovering = False
+                self.breakers[i].begin_probe(
+                    now, f"{monitor.healthy_after} healthy heartbeat(s) "
+                    "after restart")
+        if pending or self._open_requests > 0 or self._deliveries > 0:
+            self._push(now + self.heartbeat_us, _P_HEARTBEAT, "heartbeat",
+                       None)
+
+    def _crash_replica(self, ridx: int, now: float, permanent: bool) -> None:
+        replica = self.replicas[ridx]
+        monitor = self.monitors[ridx]
+        self.crashes += 1
+        counter_inc("fleet.crashes")
+        instant("fleet.crash", cat="fleet", replica=replica.name,
+                permanent=permanent)
+        monitor.crash(permanent=permanent)
+        self.breakers[ridx].force_open(
+            now, "heartbeat missed: replica crashed"
+                 + (" (permanent)" if permanent else ""))
+        lost = replica.abort_inflight() + replica.drain()
+        for copy in lost:
+            led = self.ledger[copy.rid]
+            led.live.pop(copy.copy_id, None)
+        for copy in lost:
+            self._copy_lost(copy, now, f"{replica.name} crashed",
+                            exclude=(ridx,))
+        if not permanent:
+            self._push(now + self.restart_after_us, _P_RECOVER, "recover",
+                       ridx)
+
+    def _drain_open_replica(self, ridx: int, now: float) -> None:
+        """Graceful drain: an opened breaker's queue fails over at once."""
+        replica = self.replicas[ridx]
+        drained = replica.drain()
+        for copy in drained:
+            self.ledger[copy.rid].live.pop(copy.copy_id, None)
+        for copy in drained:
+            self._copy_lost(copy, now, f"{replica.name} circuit opened",
+                            exclude=(ridx,))
+
+    def _on_recover(self, ridx: int, now: float) -> None:
+        monitor = self.monitors[ridx]
+        if monitor.permanently_dead:
+            return
+        monitor.restart()
+        counter_inc("fleet.restarts")
+        instant("fleet.restart", cat="fleet",
+                replica=self.replicas[ridx].name)
+
+    # ------------------------------------------------------------------
+    def report(self, trace: ArrivalTrace) -> FleetReport:
+        """Build the run's :class:`~repro.fleet.report.FleetReport`."""
+        summary = self.slo.summary()
+        injector = active_injector()
+        stats = tuple(
+            ReplicaStats(
+                name=r.name,
+                device=r.gpu.props.name,
+                served=r.served,
+                batches=r.batcher.batches_formed,
+                failed_batches=r.failed_batches,
+                timeout_batches=r.timeout_batches,
+                crashes=self.monitors[i].crashes,
+                breaker_transitions=tuple(
+                    t.to_dict() for t in self.breakers[i].transitions),
+            )
+            for i, r in enumerate(self.replicas)
+        )
+        return FleetReport(
+            net=self.net_name or "?",
+            executor=self.executor_kind or "?",
+            router=self.router.policy,
+            replicas=len(self.replicas),
+            devices=tuple(r.gpu.props.name for r in self.replicas),
+            trace_kind=trace.kind,
+            rps=trace.rps,
+            duration_us=trace.duration_us,
+            slo_us=(trace.requests[0].slo_us if trace.requests else 0.0),
+            seed=trace.seed,
+            requests=summary["requests"],
+            ok=summary["ok"],
+            late=summary["late"],
+            shed_queue=summary["shed_queue"],
+            shed_admission=summary["shed_admission"],
+            failed=summary["failed"],
+            expired=summary["expired"],
+            failfast=self.failfast,
+            failovers=self.failovers,
+            hedges_issued=self.hedges_issued,
+            hedges_won=self.hedges_won,
+            hedges_suppressed=self.hedges_suppressed,
+            link_drops=self.link_drops,
+            crashes=self.crashes,
+            heartbeats=self.heartbeats,
+            makespan_us=self.now_us,
+            latency_mean_us=summary.get("latency_mean_us"),
+            latency_p50_us=summary.get("latency_p50_us"),
+            latency_p95_us=summary.get("latency_p95_us"),
+            latency_p99_us=summary.get("latency_p99_us"),
+            latency_max_us=summary.get("latency_max_us"),
+            replica_stats=stats,
+            fault_summary=(dict(sorted(injector.summary().items()))
+                           if injector is not None else {}),
+            extra={
+                "dispatches": self.router.dispatches,
+                "suppressed_executions": sum(
+                    led.suppressed for led in self.ledger.values()),
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (CLI / benchmarks / verify harness)
+# ----------------------------------------------------------------------
+def build_fleet(
+    net: str,
+    devices: Sequence[str],
+    executor_kind: str,
+    n_replicas: int,
+    *,
+    router_policy: str = "least-loaded",
+    seed: int = 0,
+    max_batch: int = 8,
+    max_wait_us: float = 200.0,
+    queue_capacity: int = 64,
+    overflow: OverflowPolicy = OverflowPolicy.REJECT_NEWEST,
+    order: QueueOrder = QueueOrder.FIFO,
+    slo_admission: bool = True,
+    ewma_alpha: float = 0.3,
+    **engine_kwargs,
+) -> FleetEngine:
+    """Build an N-replica fleet over a (cycled) heterogeneous device list."""
+    if n_replicas < 1:
+        raise ReproError(f"fleet size must be >= 1, got {n_replicas}")
+    if not devices:
+        raise ReproError("fleet needs at least one device name")
+    builder = resolve_net(net)
+    props = [resolve_device(d) for d in devices]
+    replicas = [
+        Replica(i, props[i % len(props)], executor_kind, builder,
+                max_batch=max_batch, max_wait_us=max_wait_us,
+                queue_capacity=queue_capacity, overflow=overflow,
+                order=order, slo_admission=slo_admission, seed=seed,
+                ewma_alpha=ewma_alpha)
+        for i in range(n_replicas)
+    ]
+    router = Router(router_policy, seed=seed)
+    return FleetEngine(replicas, router, net_name=net.lower(),
+                       executor_kind=executor_kind, **engine_kwargs)
+
+
+def serve_fleet(
+    net: str,
+    devices: Sequence[str],
+    executor_kind: str,
+    n_replicas: int,
+    trace: ArrivalTrace,
+    **kwargs,
+) -> FleetReport:
+    """One-call fleet run: fresh replicas, one trace, one report."""
+    engine = build_fleet(net, devices, executor_kind, n_replicas, **kwargs)
+    return engine.serve(trace)
+
+
+def fleet_sweep(
+    net: str,
+    devices: Sequence[str],
+    executor_kind: str,
+    replica_counts: Sequence[int],
+    trace: ArrivalTrace,
+    *,
+    chaos: bool = True,
+    chaos_plan=None,
+    **kwargs,
+) -> FleetSweepReport:
+    """The target artifact: fleet-wide p99 vs. replica count.
+
+    Serves the same trace at each replica count, clean and (unless
+    ``chaos=False``) under a fault plan — ``chaos_plan`` if given, else
+    :func:`~repro.fleet.chaos.default_chaos_plan` for that fleet size.
+    """
+    from repro.faults import chaos_session
+    from repro.fleet.chaos import default_chaos_plan
+
+    rows = []
+    for n in replica_counts:
+        clean = serve_fleet(net, devices, executor_kind, n, trace, **kwargs)
+        chaos_rep = None
+        if chaos:
+            plan = (chaos_plan if chaos_plan is not None
+                    else default_chaos_plan(n, seed=trace.seed))
+            with chaos_session(plan):
+                chaos_rep = serve_fleet(net, devices, executor_kind, n,
+                                        trace, **kwargs)
+        rows.append(FleetSweepRow(replicas=n, clean=clean, chaos=chaos_rep))
+    return FleetSweepReport(rows=tuple(rows))

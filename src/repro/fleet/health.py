@@ -1,0 +1,220 @@
+"""Per-replica health: circuit breakers and heartbeat monitoring.
+
+The fleet treats every replica as an unreliable component and guards it
+with a :class:`CircuitBreaker` — the classic three-state machine:
+
+``CLOSED``
+    Normal operation.  Consecutive batch failures
+    (:class:`~repro.errors.DegradedError`) or batch timeouts past the
+    configured thresholds trip the breaker ``OPEN``.
+``OPEN``
+    The router sends no traffic; queued work is drained and failed over.
+    After ``cooldown_us`` of simulated time the breaker transitions to
+    ``HALF_OPEN`` on the next routing inquiry.
+``HALF_OPEN``
+    Exactly ``probe_budget`` probe request(s) may be routed.  A probe
+    batch that completes closes the breaker (the replica rejoins); a
+    probe failure re-opens it and restarts the cooldown.
+
+A :class:`HealthMonitor` tracks liveness on top: heartbeats at a fixed
+simulated-clock interval poll the ``replica_crash`` fault site, and a
+crashed replica is forced ``OPEN`` until its scheduled restart (or
+forever, for ``effect="permanent"``).  Every transition is logged with
+its simulated timestamp, so a fleet run's breaker history is replayable
+bit-for-bit from the seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import instant
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states (per replica)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One logged state change of one replica's breaker."""
+
+    at_us: float
+    frm: str
+    to: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"at_us": self.at_us, "from": self.frm, "to": self.to,
+                "reason": self.reason}
+
+
+class CircuitBreaker:
+    """Failure-driven admission switch for one replica.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive batch failures that trip ``CLOSED -> OPEN``.
+    timeout_threshold:
+        Consecutive batch *timeouts* (duration past the engine's
+        ``batch_timeout_us``) that trip the breaker; timeouts and
+        failures accumulate on separate counters so a slow-but-correct
+        replica and a crashing one are distinguishable in the log.
+    cooldown_us:
+        Simulated time the breaker stays ``OPEN`` before allowing a
+        half-open probe.
+    probe_budget:
+        Requests routable while ``HALF_OPEN`` (default one probe).
+    """
+
+    def __init__(self, name: str, *, failure_threshold: int = 2,
+                 timeout_threshold: int = 3, cooldown_us: float = 2_000.0,
+                 probe_budget: int = 1) -> None:
+        if failure_threshold < 1 or timeout_threshold < 1:
+            raise ReproError("breaker thresholds must be >= 1")
+        if cooldown_us < 0:
+            raise ReproError(f"cooldown must be >= 0, got {cooldown_us}")
+        if probe_budget < 1:
+            raise ReproError(f"probe budget must be >= 1, got {probe_budget}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.timeout_threshold = timeout_threshold
+        self.cooldown_us = cooldown_us
+        self.probe_budget = probe_budget
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.consecutive_timeouts = 0
+        self._opened_at_us = 0.0
+        self._probes_left = 0
+        self.transitions: list[BreakerTransition] = []
+
+    # ------------------------------------------------------------------
+    def _move(self, to: BreakerState, now: float, reason: str) -> None:
+        if to is self.state:
+            return
+        self.transitions.append(BreakerTransition(
+            at_us=now, frm=self.state.value, to=to.value, reason=reason))
+        counter_inc(f"fleet.breaker.{to.value}")
+        instant("fleet.breaker", cat="fleet", replica=self.name,
+                to=to.value, why=reason)
+        self.state = to
+        if to is BreakerState.OPEN:
+            self._opened_at_us = now
+        elif to is BreakerState.HALF_OPEN:
+            self._probes_left = self.probe_budget
+        elif to is BreakerState.CLOSED:
+            self.consecutive_failures = 0
+            self.consecutive_timeouts = 0
+
+    # ------------------------------------------------------------------
+    def allows(self, now: float) -> bool:
+        """May the router send a request here at simulated time ``now``?
+
+        An ``OPEN`` breaker whose cooldown has elapsed transitions to
+        ``HALF_OPEN`` as a side effect (lazily, on inquiry — there is no
+        timer thread in a discrete-event world).
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now < self._opened_at_us + self.cooldown_us:
+                return False
+            self._move(BreakerState.HALF_OPEN, now, "cooldown elapsed")
+        return self._probes_left > 0
+
+    def note_probe(self) -> None:
+        """One half-open probe request was routed (spend the budget)."""
+        if self.state is BreakerState.HALF_OPEN and self._probes_left > 0:
+            self._probes_left -= 1
+
+    # ------------------------------------------------------------------
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        self.consecutive_timeouts = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.CLOSED, now, "probe succeeded")
+
+    def record_failure(self, now: float, reason: str = "batch failed"
+                       ) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.OPEN, now, f"probe failed: {reason}")
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self._move(BreakerState.OPEN, now,
+                       f"{self.consecutive_failures} consecutive failures")
+
+    def record_timeout(self, now: float) -> None:
+        self.consecutive_timeouts += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.OPEN, now, "probe timed out")
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_timeouts >= self.timeout_threshold):
+            self._move(BreakerState.OPEN, now,
+                       f"{self.consecutive_timeouts} consecutive timeouts")
+
+    def force_open(self, now: float, reason: str) -> None:
+        """Trip the breaker regardless of counters (crash detection)."""
+        self._move(BreakerState.OPEN, now, reason)
+
+    def begin_probe(self, now: float, reason: str) -> None:
+        """Move ``OPEN -> HALF_OPEN`` ahead of the cooldown (graceful
+        rejoin after a restarted replica's healthy heartbeats)."""
+        if self.state is BreakerState.OPEN:
+            self._move(BreakerState.HALF_OPEN, now, reason)
+
+
+class HealthMonitor:
+    """Liveness tracking for one replica, driven by fleet heartbeats.
+
+    ``alive`` is the monitor's belief; the *fault* (``replica_crash``)
+    is polled by the fleet at heartbeat granularity, so detection is
+    deterministic and immediate at the heartbeat that kills the replica.
+    A monitor requires ``healthy_after`` consecutive heartbeat successes
+    after a restart before it reports the replica routable again — the
+    graceful-rejoin half of drain/rejoin.
+    """
+
+    def __init__(self, name: str, *, healthy_after: int = 1) -> None:
+        if healthy_after < 1:
+            raise ReproError(f"healthy_after must be >= 1, got "
+                             f"{healthy_after}")
+        self.name = name
+        self.healthy_after = healthy_after
+        self.alive = True
+        self.permanently_dead = False
+        self.recovering = False      # restarted, awaiting healthy beats
+        self.crashes = 0
+        self.heartbeats = 0
+        self._successes_since_restart = 0
+
+    def beat_ok(self) -> bool:
+        """One successful heartbeat; True once rejoin criteria are met."""
+        self.heartbeats += 1
+        if not self.alive:
+            return False
+        self._successes_since_restart += 1
+        return self._successes_since_restart >= self.healthy_after
+
+    def crash(self, permanent: bool) -> None:
+        self.heartbeats += 1
+        self.crashes += 1
+        self.alive = False
+        self.recovering = False
+        self.permanently_dead = self.permanently_dead or permanent
+        self._successes_since_restart = 0
+
+    def restart(self) -> None:
+        """The replica process came back (but is not yet routable)."""
+        if not self.permanently_dead:
+            self.alive = True
+            self.recovering = True
+            self._successes_since_restart = 0

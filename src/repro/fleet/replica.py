@@ -1,0 +1,295 @@
+"""One serving replica: a device, an executor and local serving state.
+
+A :class:`Replica` is the fleet's unit of failure.  It owns a private
+simulated GPU (heterogeneous fleets mix catalog devices), an executor on
+that GPU, and the same serving components the single-engine path uses —
+bounded queue, timeout-or-full batcher, per-shape lowered-work cache and
+an EWMA service-time estimate — but exposes them *stepwise* so the fleet's
+discrete-event loop (:mod:`repro.fleet.engine`) can interleave many
+replicas on one trace-relative clock.
+
+Requests travel as :class:`RequestCopy` instances: the same logical
+request may exist as a primary copy, a hedge copy and/or failover copies
+on different replicas, and the fleet ledger reconciles them to exactly
+one terminal outcome.  A copy mimics the request's ``rid`` /
+``arrival_us`` / ``deadline_us`` surface, so the existing queue,
+admission and batcher machinery works on copies unchanged.
+
+Executor time and fleet time: each replica's GPU clock is advanced to
+``base + now`` before a batch runs, so per-replica device timelines stay
+consistent with the shared fleet clock while warmup (pre-lowering every
+batch bucket) stays excluded from trace time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import DegradedError, FaultInjected, ReproError
+from repro.faults.hooks import fault_poll
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.engine import GPU
+from repro.nn.net import Net
+from repro.obs.metrics import counter_inc, gauge_max, observe
+from repro.obs.spans import span
+from repro.serve.batcher import DynamicBatcher, LoweredNetCache, default_buckets
+from repro.serve.engine import make_executor
+from repro.serve.queue import (
+    AdmissionController,
+    BoundedQueue,
+    OverflowPolicy,
+    QueueOrder,
+)
+
+#: Batch-duration multipliers for the ``replica_slow`` fault effects.
+SLOW_FACTORS = {"": 2.0, "mild": 2.0, "severe": 8.0}
+
+
+@dataclass(frozen=True)
+class RequestCopy:
+    """One routed instance of a logical request.
+
+    ``kind`` is ``"primary"`` for the first dispatch, ``"hedge"`` for a
+    tail-latency duplicate and ``"failover"`` for a re-dispatch after a
+    replica failure.  ``copy_id`` is unique fleet-wide.
+    """
+
+    copy_id: int
+    rid: int
+    arrival_us: float
+    deadline_us: float
+    kind: str = "primary"
+
+    @property
+    def slo_us(self) -> float:
+        return self.deadline_us - self.arrival_us
+
+
+@dataclass
+class BatchRun:
+    """Outcome of one replica batch execution (simulated)."""
+
+    copies: list
+    bucket: int
+    started_us: float        # fleet (trace-relative) start time
+    duration_us: float       # effective duration incl. slow-fault padding
+    failure: str = ""        # DegradedError message ("" on success)
+    slow_effect: str = ""    # replica_slow effect applied ("" if none)
+
+    @property
+    def finish_us(self) -> float:
+        return self.started_us + self.duration_us
+
+    @property
+    def ok(self) -> bool:
+        return not self.failure
+
+
+class Replica:
+    """Serving state for one fleet member (see module docstring)."""
+
+    def __init__(
+        self,
+        index: int,
+        props: DeviceProperties,
+        executor_kind: str,
+        net_builder: Callable[..., Net],
+        *,
+        max_batch: int = 8,
+        max_wait_us: float = 200.0,
+        queue_capacity: int = 64,
+        overflow: OverflowPolicy = OverflowPolicy.REJECT_NEWEST,
+        order: QueueOrder = QueueOrder.FIFO,
+        slo_admission: bool = True,
+        buckets: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        self.index = index
+        self.name = f"r{index}"
+        self.gpu = GPU(props, record_timeline=False)
+        self.executor = make_executor(executor_kind, self.gpu)
+        self.queue = BoundedQueue(queue_capacity, overflow=overflow,
+                                  order=order)
+        self.batcher = DynamicBatcher(max_batch, max_wait_us)
+        self.cache = LoweredNetCache(
+            net_builder, buckets or default_buckets(max_batch), seed=seed)
+        self.admission = AdmissionController(enabled=slo_admission)
+        self.ewma_alpha = ewma_alpha
+        self.service_estimate_us: Optional[float] = None
+        self.busy_until_us: Optional[float] = None   # None when idle
+        self.inflight: Optional[BatchRun] = None
+        self.failed_batches = 0
+        self.timeout_batches = 0
+        self.served = 0              # copies that completed here
+        self._base_us = 0.0
+        self._warmed = False
+
+    # ------------------------------------------------------------------
+    def warm_up(self) -> None:
+        """Pre-lower and pre-profile every bucket; seed the EWMA estimate.
+
+        Warmup advances only the replica's private device clock — the
+        fleet clock starts after every replica warmed up, so profiling
+        cost is never charged to the trace.
+        """
+        if self._warmed:
+            return
+        with span("fleet.warmup", cat="fleet", replica=self.name,
+                  buckets=len(self.cache.buckets)):
+            for bucket in self.cache.buckets:
+                _, works = self.cache.works_for(bucket)
+                for work in works:
+                    self.executor.run(work)
+            largest, works = self.cache.works_for(self.cache.buckets[-1])
+            start = self.gpu.host_time
+            for work in works:
+                self.executor.run(work)
+            self._update_estimate((self.gpu.host_time - start) / largest)
+        self._base_us = self.gpu.host_time
+        self._warmed = True
+
+    def _update_estimate(self, per_request_us: float) -> None:
+        if self.service_estimate_us is None:
+            self.service_estimate_us = per_request_us
+        else:
+            a = self.ewma_alpha
+            self.service_estimate_us = (
+                a * per_request_us + (1.0 - a) * self.service_estimate_us)
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self.inflight is None
+
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def busy_remaining_us(self, now: float) -> float:
+        if self.busy_until_us is None:
+            return 0.0
+        return max(0.0, self.busy_until_us - now)
+
+    def projected_wait_us(self, now: float) -> float:
+        """Routing load score: remaining busy time plus queued work."""
+        est = self.service_estimate_us or 0.0
+        return self.busy_remaining_us(now) + self.depth() * est
+
+    def projected_finish_us(self, now: float) -> float:
+        """SLO-aware projection for one more request landing here now."""
+        est = self.service_estimate_us or 0.0
+        return now + self.projected_wait_us(now) + est
+
+    # ------------------------------------------------------------------
+    def offer(self, copy: RequestCopy, now: float
+              ) -> tuple[str, list[RequestCopy]]:
+        """Enqueue ``copy``; returns ``(verdict, evicted_copies)``.
+
+        Verdicts: ``"queued"``, ``"shed-admission"`` (predictably late by
+        this replica's own estimate) or ``"shed-queue"`` (overflow).
+        Under ``DROP_OLDEST`` an admission may evict older copies — they
+        are returned for the fleet to fail over.
+        """
+        if not self.admission.admits(copy, now, self.depth(),
+                                     self.service_estimate_us):
+            return "shed-admission", []
+        admitted = self.queue.offer(copy, now)
+        evicted = self.queue.drain_evicted()
+        gauge_max(f"fleet.{self.name}.queue.high_water",
+                  self.queue.high_water)
+        if not admitted:
+            return "shed-queue", evicted
+        return "queued", evicted
+
+    def drain(self) -> list[RequestCopy]:
+        """Empty the queue (breaker opened / crash): copies to fail over."""
+        drained = self.queue.pop_batch(max(1, self.depth())) \
+            if self.depth() else []
+        return list(drained)
+
+    def expire_queued(self, now: float) -> list[RequestCopy]:
+        """Remove queued copies whose deadline already passed."""
+        return self.queue.drop_expired(now)
+
+    # ------------------------------------------------------------------
+    def ready(self, now: float, more_arrivals: bool) -> bool:
+        return (self.idle
+                and self.batcher.ready(self.queue, now, more_arrivals))
+
+    def fire_time_us(self) -> Optional[float]:
+        if not self.idle:
+            return None
+        return self.batcher.fire_time_us(self.queue)
+
+    def run_batch(self, now: float) -> BatchRun:
+        """Execute the next batch synchronously; the fleet schedules the
+        completion event at :attr:`BatchRun.finish_us`.
+
+        Polls the ``replica_slow`` fault site once per batch; a firing
+        spec multiplies the batch duration by its effect's factor (the
+        replica computes correctly, just slowly — convergence invariance
+        is never at stake, only the timeline).
+        """
+        copies = self.batcher.form(self.queue)
+        bucket, works = self.cache.works_for(len(copies))
+        self.gpu.host_time = max(self.gpu.host_time, self._base_us + now)
+        start = self.gpu.host_time
+        failure = ""
+        slow_effect = ""
+        with span("fleet.batch", cat="fleet", replica=self.name,
+                  size=len(copies), bucket=bucket) as h:
+            slow = fault_poll("replica_slow", key=self.name)
+            try:
+                for work in works:
+                    self.executor.run(work)
+            except (DegradedError, FaultInjected) as e:
+                # DegradedError: the scheduler's retries exhausted.
+                # FaultInjected: an executor without a retry path (naive/
+                # fixed) surfaced the raw injected fault.  Either way the
+                # batch failed as a unit; the fleet fails it over.
+                failure = str(e)
+                self.failed_batches += 1
+                h.set(failed=True)
+                try:
+                    # Best-effort drain so the next batch starts clean.
+                    self.gpu.synchronize()
+                except ReproError:
+                    pass
+            duration = self.gpu.host_time - start
+            if slow is not None and not failure:
+                slow_effect = slow.effect or "mild"
+                factor = SLOW_FACTORS[slow_effect]
+                self.gpu.host_time = start + duration * factor
+                duration *= factor
+                h.set(slow=slow_effect)
+        counter_inc("fleet.batches")
+        observe("fleet.batch_size", len(copies))
+        if not failure:
+            self._update_estimate(duration / len(copies))
+        run = BatchRun(copies=copies, bucket=bucket, started_us=now,
+                       duration_us=duration, failure=failure,
+                       slow_effect=slow_effect)
+        self.inflight = run
+        self.busy_until_us = run.finish_us
+        return run
+
+    def finish_batch(self) -> BatchRun:
+        """Clear the in-flight marker at the completion event."""
+        run = self.inflight
+        if run is None:
+            raise ReproError(f"{self.name}: no batch in flight")
+        self.inflight = None
+        self.busy_until_us = None
+        if run.ok:
+            self.served += len(run.copies)
+        return run
+
+    def abort_inflight(self) -> list[RequestCopy]:
+        """Crash mid-batch: the in-flight copies are lost (to fail over)."""
+        if self.inflight is None:
+            return []
+        run = self.inflight
+        self.inflight = None
+        self.busy_until_us = None
+        return list(run.copies)

@@ -1,0 +1,222 @@
+"""Fleet reports: one run's metrics, and the p99-vs-replica-count sweep.
+
+Same contract as :class:`repro.serve.report.ServingReport`: pure data
+derived from the simulated run, so two runs with the same seed render
+byte-identical text and JSON — the fleet chaos harness asserts exactly
+that (see :mod:`repro.verify.fleet_chaos`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.bench.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica accounting of one fleet run."""
+
+    name: str
+    device: str
+    served: int
+    batches: int
+    failed_batches: int
+    timeout_batches: int
+    crashes: int
+    breaker_transitions: tuple[dict, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "device": self.device, "served": self.served,
+            "batches": self.batches, "failed_batches": self.failed_batches,
+            "timeout_batches": self.timeout_batches, "crashes": self.crashes,
+            "breaker_transitions": list(self.breaker_transitions),
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Metrics of one fleet run (N replicas, one router, one trace)."""
+
+    net: str
+    executor: str
+    router: str
+    replicas: int
+    devices: tuple[str, ...]
+    trace_kind: str
+    rps: float
+    duration_us: float
+    slo_us: float
+    seed: int
+    # terminal outcome counters (exactly one per issued request)
+    requests: int
+    ok: int
+    late: int
+    shed_queue: int
+    shed_admission: int
+    failed: int
+    expired: int
+    failfast: int            # rejected on arrival: no routable replica
+    # fault-tolerance machinery
+    failovers: int
+    hedges_issued: int
+    hedges_won: int
+    hedges_suppressed: int
+    link_drops: int
+    crashes: int
+    heartbeats: int
+    # timing (simulated µs)
+    makespan_us: float
+    latency_mean_us: Optional[float] = None
+    latency_p50_us: Optional[float] = None
+    latency_p95_us: Optional[float] = None
+    latency_p99_us: Optional[float] = None
+    latency_max_us: Optional[float] = None
+    replica_stats: tuple[ReplicaStats, ...] = ()
+    fault_summary: dict[str, int] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def goodput(self) -> float:
+        """Fraction of all issued requests that met their deadline."""
+        if not self.requests:
+            return 0.0
+        return self.ok / self.requests
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.late
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.completed / (self.makespan_us * 1e-6)
+
+    @property
+    def breaker_transitions(self) -> int:
+        return sum(len(s.breaker_transitions) for s in self.replica_stats)
+
+    # ------------------------------------------------------------------
+    def _lat(self, value: Optional[float]) -> str:
+        return "-" if value is None else f"{value / 1e3:.3f}"
+
+    def render(self) -> str:
+        """Multi-line plain-text summary of this fleet run."""
+        lines = [
+            f"[fleet] {self.net} x{self.replicas} replica(s) "
+            f"({', '.join(self.devices)}) — {self.executor} executor, "
+            f"{self.router} router",
+            f"  trace: {self.trace_kind}, {self.rps:.0f} rps offered over "
+            f"{self.duration_us / 1e3:.1f} ms (seed {self.seed}), "
+            f"SLO {self.slo_us / 1e3:.3f} ms",
+            f"  requests: {self.requests} issued, {self.ok} on time, "
+            f"{self.late} late, {self.shed_queue + self.shed_admission} "
+            f"shed, {self.expired} expired, {self.failed} failed, "
+            f"{self.failfast} fail-fast",
+            f"  goodput: {self.goodput * 100:.1f}%   throughput: "
+            f"{self.throughput_rps:.0f} rps over "
+            f"{self.makespan_us / 1e3:.1f} ms served",
+            f"  resilience: {self.failovers} failover(s), "
+            f"{self.crashes} crash(es), {self.link_drops} link drop(s), "
+            f"{self.breaker_transitions} breaker transition(s), "
+            f"{self.heartbeats} heartbeat(s)",
+            f"  hedging: {self.hedges_issued} issued, {self.hedges_won} "
+            f"won, {self.hedges_suppressed} suppressed duplicate(s)",
+            f"  latency ms: mean {self._lat(self.latency_mean_us)}, "
+            f"p50 {self._lat(self.latency_p50_us)}, "
+            f"p95 {self._lat(self.latency_p95_us)}, "
+            f"p99 {self._lat(self.latency_p99_us)}, "
+            f"max {self._lat(self.latency_max_us)}",
+        ]
+        for s in self.replica_stats:
+            line = (f"    {s.name} ({s.device}): {s.served} served in "
+                    f"{s.batches} batch(es), {s.failed_batches} failed, "
+                    f"{s.timeout_batches} timed out, {s.crashes} crash(es)")
+            for t in s.breaker_transitions:
+                line += (f"\n      breaker {t['from']} -> {t['to']} at "
+                         f"{t['at_us'] / 1e3:.3f} ms: {t['reason']}")
+            lines.append(line)
+        if self.fault_summary:
+            fired = ", ".join(f"{k}={v}"
+                              for k, v in sorted(self.fault_summary.items()))
+            lines.append(f"  chaos: {fired}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        doc = {k: v for k, v in self.__dict__.items()
+               if k not in ("replica_stats", "extra", "devices")}
+        doc["devices"] = list(self.devices)
+        doc["goodput"] = self.goodput
+        doc["throughput_rps"] = self.throughput_rps
+        doc["replica_stats"] = [s.to_dict() for s in self.replica_stats]
+        doc["extra"] = {k: v for k, v in self.extra.items()
+                        if isinstance(v, (int, float, str, bool))}
+        return doc
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, data only)."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class FleetSweepRow:
+    """Clean + chaos runs at one replica count."""
+
+    replicas: int
+    clean: FleetReport
+    chaos: Optional[FleetReport] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "clean": self.clean.to_dict(),
+            "chaos": None if self.chaos is None else self.chaos.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FleetSweepReport:
+    """The ROADMAP target artifact: fleet-wide p99 vs. replica count."""
+
+    rows: tuple[FleetSweepRow, ...]
+
+    def render(self) -> str:
+        headers = ["replicas", "clean p99 ms", "clean goodput %",
+                   "chaos p99 ms", "chaos goodput %", "failovers",
+                   "crashes", "hedges won"]
+        body = []
+        for row in self.rows:
+            clean, chaos = row.clean, row.chaos
+            body.append([
+                row.replicas,
+                clean._lat(clean.latency_p99_us),
+                f"{clean.goodput * 100:.1f}",
+                "-" if chaos is None else chaos._lat(chaos.latency_p99_us),
+                "-" if chaos is None else f"{chaos.goodput * 100:.1f}",
+                0 if chaos is None else chaos.failovers,
+                0 if chaos is None else chaos.crashes,
+                0 if chaos is None else chaos.hedges_won,
+            ])
+        title = ""
+        if self.rows:
+            r0 = self.rows[0].clean
+            title = (f"[fleet] {r0.net} ({r0.executor}, {r0.router} router): "
+                     f"{r0.rps:.0f} rps {r0.trace_kind}, "
+                     f"SLO {r0.slo_us / 1e3:.3f} ms — p99 vs. replica count")
+        table = format_table(headers, body, title=title)
+        details = "\n\n".join(
+            part.render()
+            for row in self.rows
+            for part in (row.clean, row.chaos) if part is not None)
+        return f"{table}\n\n{details}"
+
+    def to_dict(self) -> dict:
+        return {"rows": [r.to_dict() for r in self.rows]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)

@@ -1,0 +1,71 @@
+"""Front-end request routing across fleet replicas.
+
+Two policies, both SLO-aware through the replicas' online EWMA
+service-time estimates:
+
+``least-loaded``
+    Rank every routable replica by projected wait (remaining busy time
+    plus queued work times the replica's own service estimate) and pick
+    the minimum; ties break on queue depth, then replica index, so the
+    choice is deterministic.
+``p2c``
+    Power-of-two-choices: sample two distinct routable replicas from a
+    seeded generator and keep the less loaded.  The classic result —
+    near-least-loaded balance at O(1) inspection cost — carries over to
+    the simulated fleet, and the seeded RNG keeps runs replayable.
+
+The router only ever sees *routable* replicas: alive (heartbeat belief)
+and with a breaker that :meth:`~repro.fleet.health.CircuitBreaker.allows`
+traffic now.  When that set is empty the fleet fails fast at arrival
+instead of queueing unservable work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.fleet.replica import Replica
+
+ROUTER_POLICIES = ("least-loaded", "p2c")
+
+
+class Router:
+    """Pick a replica for each dispatch (see module docstring)."""
+
+    def __init__(self, policy: str = "least-loaded", seed: int = 0) -> None:
+        if policy not in ROUTER_POLICIES:
+            raise ReproError(
+                f"unknown router policy {policy!r}; expected one of "
+                f"{ROUTER_POLICIES}")
+        self.policy = policy
+        self.dispatches = 0
+        self._rng = random.Random((seed << 8) ^ 0x2C2C)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _score(replica: Replica, now: float) -> tuple:
+        return (replica.projected_wait_us(now), replica.depth(),
+                replica.index)
+
+    def pick(self, candidates: Sequence[Replica], now: float,
+             exclude: Sequence[int] = ()) -> Optional[Replica]:
+        """Choose a routable replica, or ``None`` when none exists.
+
+        ``exclude`` lists replica indices the caller must avoid (the
+        replica a hedge's primary copy sits on, or the one that just
+        failed a copy being failed over); it is ignored if honoring it
+        would leave no choice at all — a lone healthy replica is still
+        better than dropping the request.
+        """
+        pool = [r for r in candidates if r.index not in exclude]
+        if not pool:
+            pool = list(candidates)
+        if not pool:
+            return None
+        self.dispatches += 1
+        if self.policy == "p2c" and len(pool) > 1:
+            pair = self._rng.sample(range(len(pool)), 2)
+            pool = [pool[i] for i in sorted(pair)]
+        return min(pool, key=lambda r: self._score(r, now))

@@ -185,6 +185,40 @@ def _run_verify() -> TraceCapture:
         "seeded permutation rounds", gpu, rec, reg)
 
 
+def _run_fleet() -> TraceCapture:
+    """A 2-replica fleet under chaos: crash, failover, breaker, hedges."""
+    from repro.faults import chaos_session
+    from repro.fleet import build_fleet, default_chaos_plan
+    from repro.serve.request import poisson_trace as _poisson
+
+    engine = build_fleet("lenet", ["p100", "titan-xp"], "fixed", 2,
+                         seed=0, hedge_after_us=1_500.0)
+    lead = engine.replicas[0].gpu
+    lead.timeline.enabled = True      # one replica's device track
+    # Spans on the fleet's trace-relative clock (not any one GPU's).
+    recorder = obs_spans.SpanRecorder(clock=lambda: engine.now_us)
+    registry = obs_metrics.MetricsRegistry()
+    prev_rec = obs_spans.install(recorder)
+    prev_reg = obs_metrics.install(registry)
+    try:
+        trace = _poisson(rps=4_000.0, duration_us=6_000.0,
+                         slo_us=3_000.0, seed=3)
+        with chaos_session(default_chaos_plan(2, seed=1)):
+            engine.serve(trace)
+    finally:
+        obs_spans.install(prev_rec)
+        obs_metrics.install(prev_reg)
+    return TraceCapture(
+        scenario="fleet",
+        title="2-replica fleet under chaos: crash, failover, breaker "
+              "transitions and hedged requests",
+        device=lead.props.name,
+        spans=recorder.sorted_spans(),
+        timeline=lead.timeline,
+        metrics=registry.snapshot(),
+    )
+
+
 #: Scenario name -> builder.  Deterministic iteration order (insertion).
 TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "fig3": _run_fig3,
@@ -192,6 +226,7 @@ TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "train": _run_train,
     "serve": _run_serve,
     "verify": _run_verify,
+    "fleet": _run_fleet,
 }
 
 

@@ -115,6 +115,19 @@ class BoundedQueue:
         out, self.evicted = self.evicted, []
         return out
 
+    def drop_expired(self, now: float) -> list[InferenceRequest]:
+        """Remove and return queued requests whose deadline has passed.
+
+        Enqueue times of the surviving requests are preserved, so batch
+        formation and staleness accounting are unaffected.
+        """
+        expired = [r for r, _ in self._waiting if r.deadline_us <= now]
+        if expired:
+            self._waiting = [(r, t) for r, t in self._waiting
+                             if r.deadline_us > now]
+            counter_inc("serve.queue.expired", len(expired))
+        return expired
+
     def pop_batch(self, max_batch: int) -> list[InferenceRequest]:
         """Dequeue up to ``max_batch`` requests in the configured order."""
         if max_batch < 1:

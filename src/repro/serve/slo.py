@@ -30,6 +30,7 @@ class Outcome(enum.Enum):
     SHED_QUEUE = "shed-queue"      # dropped by queue backpressure
     SHED_ADMISSION = "shed-admission"  # rejected by SLO-aware admission
     FAILED = "failed"              # batch aborted (degraded past recovery)
+    EXPIRED = "expired"            # deadline passed while still queued
 
 
 @dataclass(frozen=True)
@@ -77,7 +78,7 @@ class SLOTracker:
     def shed(self, request: InferenceRequest, outcome: Outcome,
              detail: str = "") -> RequestRecord:
         if outcome not in (Outcome.SHED_QUEUE, Outcome.SHED_ADMISSION,
-                           Outcome.FAILED):
+                           Outcome.FAILED, Outcome.EXPIRED):
             raise ReproError(f"{outcome} is not a shedding outcome")
         rec = RequestRecord(
             rid=request.rid, arrival_us=request.arrival_us,
@@ -123,6 +124,7 @@ class SLOTracker:
             "shed_queue": self.count(Outcome.SHED_QUEUE),
             "shed_admission": self.count(Outcome.SHED_ADMISSION),
             "failed": self.count(Outcome.FAILED),
+            "expired": self.count(Outcome.EXPIRED),
             "goodput": self.goodput,
         }
         if lat is not None:

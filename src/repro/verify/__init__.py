@@ -11,7 +11,10 @@ identically* to serial execution — is enforced here three ways:
   with shrinking to a minimal replayable witness
   (:mod:`repro.verify.witness`);
 * :mod:`repro.verify.fault_fuzz` — random survivable fault plans against
-  the degraded/retried execution paths.
+  the degraded/retried execution paths;
+* :mod:`repro.verify.fleet_chaos` — fleet-level chaos: random replica
+  crashes, slowdowns and link drops against the serving fleet's
+  exactly-once and determinism contract (see :mod:`repro.fleet`).
 
 Entry point: ``python -m repro verify`` (see :mod:`repro.cli`), or
 :func:`run_differential` / :func:`fuzz_schedules` / :func:`fuzz_faults`
@@ -24,6 +27,12 @@ from repro.verify.differential import (
     run_differential,
 )
 from repro.verify.fault_fuzz import FaultFuzzReport, fuzz_faults
+from repro.verify.fleet_chaos import (
+    FleetChaosReport,
+    check_fleet_invariants,
+    fuzz_fleet,
+    random_fleet_plan,
+)
 from repro.verify.fingerprint import (
     Divergence,
     NetFingerprint,
@@ -45,6 +54,7 @@ __all__ = [
     "Divergence",
     "EXECUTOR_PATHS",
     "FaultFuzzReport",
+    "FleetChaosReport",
     "NetFingerprint",
     "ReplayResult",
     "SchedulePlan",
@@ -52,10 +62,13 @@ __all__ = [
     "ScheduleRunner",
     "ScheduleWitness",
     "VerifyReport",
+    "check_fleet_invariants",
     "fingerprint_net",
     "first_divergence",
     "fuzz_faults",
+    "fuzz_fleet",
     "fuzz_schedules",
+    "random_fleet_plan",
     "replay_witness",
     "run_differential",
     "shrink_plan",

@@ -1,0 +1,265 @@
+"""Fleet-level chaos harness: safety invariants under adversarial weather.
+
+The fleet (:mod:`repro.fleet`) makes a three-part safety promise that no
+amount of crashing, slowdown or packet loss may break:
+
+1. **Exactly one terminal outcome** — every request admitted to the
+   front end ends up served, rejected or deadline-expired exactly once;
+   nothing is silently dropped and nothing is double-counted.
+2. **No duplicate accounting** — hedged and failed-over copies may
+   *execute* more than once, but at most one execution is accounted;
+   every surplus completion is suppressed and tallied as such.
+3. **Bit-determinism per seed** — the same trace, fleet and fault plan
+   produce a byte-identical report (text and JSON) on every run.
+
+Each fuzz round draws a random-but-survivable fleet fault plan (at most
+``N - 1`` replicas crashed at once, bounded link drops, bounded
+slowdowns), serves one trace through a fresh fleet under
+:func:`~repro.faults.chaos_session`, checks invariants 1–2 against the
+engine's ledger, then replays the identical round and checks invariant 3
+by JSON equality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.faults import FaultPlan, FaultSpec, chaos_session
+from repro.fleet.engine import FleetEngine, build_fleet
+from repro.fleet.report import FleetReport
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.serve.request import ArrivalTrace, make_trace
+from repro.serve.slo import Outcome
+
+
+# ----------------------------------------------------------------------
+# Survivable fleet fault templates
+# ----------------------------------------------------------------------
+def _crash(rng: random.Random, n: int) -> FaultSpec:
+    # Restarting crash on one replica; the fleet never loses everything.
+    return FaultSpec(site="replica_crash", key=f"r{rng.randrange(n)}",
+                     nth=rng.randint(2, 5), effect="restart", max_fires=1)
+
+
+def _crash_permanent(rng: random.Random, n: int) -> FaultSpec:
+    return FaultSpec(site="replica_crash", key=f"r{rng.randrange(n)}",
+                     nth=rng.randint(2, 4), effect="permanent", max_fires=1)
+
+
+def _slow(rng: random.Random, n: int) -> FaultSpec:
+    return FaultSpec(site="replica_slow", key=f"r{rng.randrange(n)}",
+                     every=rng.randint(2, 5),
+                     effect=rng.choice(["mild", "severe"]),
+                     max_fires=rng.randint(1, 4))
+
+
+def _link(rng: random.Random, n: int) -> FaultSpec:
+    return FaultSpec(site="link_drop", key=f"fe->r{rng.randrange(n)}",
+                     nth=rng.randint(1, 8), max_fires=rng.randint(1, 2))
+
+
+def random_fleet_plan(n_replicas: int, seed: int, round_: int) -> FaultPlan:
+    """A seeded, survivable fleet fault plan for fuzz round ``round_``.
+
+    At most one crash spec per plan (so at most one replica is down at a
+    time), and permanent crashes only when a spare replica exists.
+    """
+    rng = random.Random((seed * 2_750_159) ^ (round_ * 65_537) ^ 0xF1EE7)
+    templates = [_slow, _link]
+    specs = [rng.choice(templates)(rng, n_replicas)
+             for _ in range(rng.randint(1, 3))]
+    if n_replicas >= 2:
+        crash = rng.choice([_crash, _crash, _crash_permanent, None])
+        if crash is not None:
+            specs.insert(0, crash(rng, n_replicas))
+    return FaultPlan(specs=tuple(specs), seed=(seed << 8) ^ round_,
+                     name=f"fleet-fuzz-r{round_}")
+
+
+# ----------------------------------------------------------------------
+# Invariant checking
+# ----------------------------------------------------------------------
+def check_fleet_invariants(engine: FleetEngine,
+                           trace: ArrivalTrace) -> list[str]:
+    """Violations of the exactly-once contract after one served trace.
+
+    Returns human-readable violation strings (empty list = all good).
+    Shared with the unit tests, so the harness and the test suite agree
+    on what the contract *is*.
+    """
+    violations: list[str] = []
+    records = engine.slo.records
+    seen: dict[int, int] = {}
+    for rec in records:
+        seen[rec.rid] = seen.get(rec.rid, 0) + 1
+    for rid, count in sorted(seen.items()):
+        if count > 1:
+            violations.append(
+                f"request {rid} has {count} terminal records")
+    trace_rids = {r.rid for r in trace.requests}
+    missing = sorted(trace_rids - set(seen))
+    for rid in missing:
+        violations.append(f"request {rid} has no terminal record")
+    phantom = sorted(set(seen) - trace_rids)
+    for rid in phantom:
+        violations.append(f"terminal record for unknown request {rid}")
+    for rid, led in sorted(engine.ledger.items()):
+        if led.terminal is None:
+            violations.append(f"request {rid} left without a terminal "
+                              "outcome in the ledger")
+            continue
+        if led.live:
+            violations.append(
+                f"request {rid} still has live copies {sorted(led.live)} "
+                "after the run")
+        counted = led.executions - led.suppressed
+        if led.terminal in (Outcome.OK, Outcome.LATE):
+            if counted != 1:
+                violations.append(
+                    f"request {rid} completed with {led.executions} "
+                    f"execution(s) and {led.suppressed} suppressed — "
+                    f"{counted} counted, expected exactly 1")
+        elif counted != 0:
+            violations.append(
+                f"request {rid} ended {led.terminal.value} yet has "
+                f"{counted} counted execution(s)")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# The fuzz campaign
+# ----------------------------------------------------------------------
+@dataclass
+class FleetRoundOutcome:
+    """One chaos round: invariants 1–2 plus the determinism replay."""
+
+    round: int
+    plan_name: str
+    fires: int = 0
+    requests: int = 0
+    crashes: int = 0
+    failovers: int = 0
+    link_drops: int = 0
+    hedges_suppressed: int = 0
+    violations: list[str] = field(default_factory=list)
+    deterministic: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.deterministic
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round, "plan": self.plan_name,
+            "fires": self.fires, "requests": self.requests,
+            "crashes": self.crashes, "failovers": self.failovers,
+            "link_drops": self.link_drops,
+            "hedges_suppressed": self.hedges_suppressed,
+            "violations": list(self.violations),
+            "deterministic": self.deterministic, "ok": self.ok,
+        }
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one bounded fleet-chaos campaign."""
+
+    network: str
+    devices: tuple[str, ...]
+    executor: str
+    replicas: int
+    seed: int
+    rounds_requested: int
+    rounds: list[FleetRoundOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.rounds)
+
+    @property
+    def total_fires(self) -> int:
+        return sum(r.fires for r in self.rounds)
+
+    def failures(self) -> list[FleetRoundOutcome]:
+        return [r for r in self.rounds if not r.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "devices": list(self.devices),
+            "executor": self.executor, "replicas": self.replicas,
+            "seed": self.seed, "rounds_requested": self.rounds_requested,
+            "ok": self.ok, "total_fires": self.total_fires,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"fleet-chaos: {self.network} x{self.replicas} on "
+            f"{', '.join(self.devices)} (seed {self.seed}) — {status}: "
+            f"{len(self.rounds)}/{self.rounds_requested} round(s), "
+            f"{self.total_fires} fault(s) fired"
+        ]
+        for r in self.failures():
+            if not r.deterministic:
+                lines.append(f"  round {r.round} ({r.plan_name}): "
+                             "NON-DETERMINISTIC replay")
+            for v in r.violations:
+                lines.append(f"  round {r.round} ({r.plan_name}): {v}")
+        return "\n".join(lines)
+
+
+def fuzz_fleet(
+    network: str = "lenet",
+    devices: tuple[str, ...] = ("titanxp",),
+    executor: str = "fixed",
+    replicas: int = 2,
+    seed: int = 0,
+    rounds: int = 5,
+    rps: float = 4_000.0,
+    duration_us: float = 6_000.0,
+    slo_us: float = 3_000.0,
+    trace_kind: str = "poisson",
+    hedge_after_us: float = 1_500.0,
+    **fleet_kwargs,
+) -> FleetChaosReport:
+    """Fuzz ``rounds`` random fleet fault plans against the safety contract.
+
+    Hedging is on by default — the exactly-once invariant is only
+    interesting when duplicates exist to suppress.
+    """
+    trace = make_trace(trace_kind, rps, duration_us, slo_us, seed=seed)
+    report = FleetChaosReport(network=network, devices=tuple(devices),
+                              executor=executor, replicas=replicas,
+                              seed=seed, rounds_requested=rounds)
+
+    def run_once(plan: FaultPlan) -> tuple[FleetEngine, FleetReport, int]:
+        engine = build_fleet(network, devices, executor, replicas,
+                             seed=seed, hedge_after_us=hedge_after_us,
+                             **fleet_kwargs)
+        with chaos_session(plan) as injector:
+            rep = engine.serve(trace)
+            return engine, rep, injector.fires
+
+    for r in range(rounds):
+        plan = random_fleet_plan(replicas, seed, r)
+        outcome = FleetRoundOutcome(round=r, plan_name=plan.name)
+        with span("verify.fleet.round", cat="verify", round=r,
+                  plan=plan.name):
+            engine, rep, outcome.fires = run_once(plan)
+            outcome.requests = rep.requests
+            outcome.crashes = rep.crashes
+            outcome.failovers = rep.failovers
+            outcome.link_drops = rep.link_drops
+            outcome.hedges_suppressed = rep.hedges_suppressed
+            outcome.violations = check_fleet_invariants(engine, trace)
+            _, replay, _ = run_once(plan)
+            outcome.deterministic = (rep.to_json() == replay.to_json()
+                                     and rep.render() == replay.render())
+        counter_inc("verify.fleet.rounds")
+        if outcome.violations:
+            counter_inc("verify.fleet.violations", len(outcome.violations))
+        report.rounds.append(outcome)
+    return report

@@ -1,0 +1,589 @@
+"""Tests for the fault-tolerant multi-replica serving fleet.
+
+Covers the circuit-breaker state machine, heartbeat health monitoring,
+router policies and their edge cases (all breakers open, single-replica
+degeneration, hedge-vs-primary completion ties), the fleet engine's
+end-to-end safety contract (exactly one terminal outcome per request,
+no duplicate accounting, bit-determinism per seed), the fleet fault
+sites, the chaos harness and the CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.comm.interconnect import Interconnect
+from repro.errors import FaultPlanError, ReproError
+from repro.faults import FaultPlan, FaultSpec, chaos_session, uninstall
+from repro.fleet import (
+    BreakerState,
+    CircuitBreaker,
+    FleetEngine,
+    HealthMonitor,
+    Replica,
+    Router,
+    build_fleet,
+    default_chaos_plan,
+    fleet_sweep,
+    serve_fleet,
+)
+from repro.serve.engine import serve_trace
+from repro.serve.request import poisson_trace
+from repro.serve.slo import Outcome
+from repro.verify import check_fleet_invariants, fuzz_fleet
+
+ZERO_LINK = Interconnect("zero", bandwidth_gbps=1.0, latency_us=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Every test starts and ends with no installed injector."""
+    uninstall()
+    yield
+    uninstall()
+
+
+def small_trace(n_target=20, seed=3, rps=4_000.0, slo_us=3_000.0):
+    return poisson_trace(rps=rps, duration_us=n_target / rps * 1e6,
+                         slo_us=slo_us, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker("r0")
+        assert b.state is BreakerState.CLOSED
+        assert b.allows(0.0)
+
+    def test_consecutive_failures_trip_open(self):
+        b = CircuitBreaker("r0", failure_threshold=2)
+        b.record_failure(10.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(20.0)
+        assert b.state is BreakerState.OPEN
+        assert not b.allows(20.0)
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker("r0", failure_threshold=2)
+        b.record_failure(10.0)
+        b.record_success(20.0)
+        b.record_failure(30.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_timeouts_trip_on_their_own_counter(self):
+        b = CircuitBreaker("r0", failure_threshold=2, timeout_threshold=3)
+        b.record_timeout(1.0)
+        b.record_timeout(2.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_timeout(3.0)
+        assert b.state is BreakerState.OPEN
+        assert "timeout" in b.transitions[-1].reason
+
+    def test_cooldown_half_opens_lazily(self):
+        b = CircuitBreaker("r0", failure_threshold=1, cooldown_us=100.0)
+        b.record_failure(0.0)
+        assert not b.allows(50.0)
+        assert b.state is BreakerState.OPEN
+        assert b.allows(100.0)        # cooldown elapsed: probe allowed
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_probe_budget_limits_half_open_traffic(self):
+        b = CircuitBreaker("r0", failure_threshold=1, cooldown_us=10.0,
+                           probe_budget=1)
+        b.record_failure(0.0)
+        assert b.allows(10.0)
+        b.note_probe()
+        assert not b.allows(10.0)     # budget spent, probe in flight
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker("r0", failure_threshold=1, cooldown_us=10.0)
+        b.record_failure(0.0)
+        assert b.allows(10.0)
+        b.note_probe()
+        b.record_success(15.0)
+        assert b.state is BreakerState.CLOSED
+        assert b.consecutive_failures == 0
+
+    def test_probe_failure_reopens(self):
+        b = CircuitBreaker("r0", failure_threshold=1, cooldown_us=10.0)
+        b.record_failure(0.0)
+        assert b.allows(10.0)
+        b.note_probe()
+        b.record_failure(15.0)
+        assert b.state is BreakerState.OPEN
+        assert not b.allows(20.0)     # cooldown restarted at reopen
+
+    def test_force_open_and_begin_probe(self):
+        b = CircuitBreaker("r0", cooldown_us=1e9)
+        b.force_open(5.0, "crash")
+        assert b.state is BreakerState.OPEN
+        b.begin_probe(7.0, "healthy heartbeats")
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.allows(7.0)
+
+    def test_transitions_are_logged_with_timestamps(self):
+        b = CircuitBreaker("r0", failure_threshold=1, cooldown_us=10.0)
+        b.record_failure(3.0)
+        b.allows(13.0)
+        b.record_success(14.0)
+        states = [(t.frm, t.to) for t in b.transitions]
+        assert states == [("closed", "open"), ("open", "half-open"),
+                          ("half-open", "closed")]
+        assert [t.at_us for t in b.transitions] == [3.0, 13.0, 14.0]
+        d = b.transitions[0].to_dict()
+        assert d["from"] == "closed" and d["to"] == "open"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker("r0", failure_threshold=0)
+        with pytest.raises(ReproError):
+            CircuitBreaker("r0", cooldown_us=-1.0)
+        with pytest.raises(ReproError):
+            CircuitBreaker("r0", probe_budget=0)
+
+
+class TestHealthMonitor:
+    def test_crash_and_restart_cycle(self):
+        m = HealthMonitor("r0")
+        assert m.alive and not m.recovering
+        m.crash(permanent=False)
+        assert not m.alive and m.crashes == 1
+        m.restart()
+        assert m.alive and m.recovering
+        assert m.beat_ok()            # healthy_after=1: routable again
+
+    def test_healthy_after_requires_consecutive_beats(self):
+        m = HealthMonitor("r0", healthy_after=2)
+        m.crash(permanent=False)
+        m.restart()
+        assert not m.beat_ok()
+        assert m.beat_ok()
+
+    def test_permanent_crash_never_restarts(self):
+        m = HealthMonitor("r0")
+        m.crash(permanent=True)
+        m.restart()
+        assert not m.alive and m.permanently_dead
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+def make_replicas(n, device="titanxp", executor="fixed"):
+    from repro.serve.engine import resolve_device, resolve_net
+    props = resolve_device(device)
+    builder = resolve_net("lenet")
+    return [Replica(i, props, executor, builder) for i in range(n)]
+
+
+class TestRouter:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError):
+            Router("random")
+
+    def test_least_loaded_prefers_empty_replica(self):
+        replicas = make_replicas(2)
+        for r in replicas:
+            r.warm_up()
+        router = Router("least-loaded")
+        from repro.fleet.replica import RequestCopy
+        replicas[0].offer(RequestCopy(1, 0, 0.0, 5_000.0), 0.0)
+        pick = router.pick(replicas, now=0.0)
+        assert pick is replicas[1]
+
+    def test_ties_break_on_index(self):
+        replicas = make_replicas(3)
+        pick = Router("least-loaded").pick(replicas, now=0.0)
+        assert pick is replicas[0]
+
+    def test_exclude_is_honored_until_it_empties_the_pool(self):
+        replicas = make_replicas(2)
+        router = Router("least-loaded")
+        assert router.pick(replicas, 0.0, exclude=(0,)) is replicas[1]
+        # Excluding everything falls back to the full pool.
+        assert router.pick(replicas, 0.0, exclude=(0, 1)) is not None
+        assert router.pick([], 0.0) is None
+
+    def test_p2c_is_seed_deterministic(self):
+        replicas = make_replicas(4)
+        picks_a = [Router("p2c", seed=5).pick(replicas, 0.0).index
+                   for _ in range(1)]
+        picks_b = [Router("p2c", seed=5).pick(replicas, 0.0).index
+                   for _ in range(1)]
+        assert picks_a == picks_b
+        r1, r2 = Router("p2c", seed=5), Router("p2c", seed=5)
+        seq1 = [r1.pick(replicas, 0.0).index for _ in range(20)]
+        seq2 = [r2.pick(replicas, 0.0).index for _ in range(20)]
+        assert seq1 == seq2
+
+
+# ----------------------------------------------------------------------
+# Fleet engine end-to-end
+# ----------------------------------------------------------------------
+class TestFleetEngine:
+    def test_clean_run_serves_everything(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        report = engine.serve(trace)
+        assert report.requests == len(trace)
+        assert report.ok == len(trace)
+        assert report.failovers == 0 and report.crashes == 0
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_bit_deterministic_per_seed(self):
+        trace = small_trace()
+        a = serve_fleet("lenet", ["titanxp", "p100"], "fixed", 3, trace,
+                        seed=4, router_policy="p2c")
+        b = serve_fleet("lenet", ["titanxp", "p100"], "fixed", 3, trace,
+                        seed=4, router_policy="p2c")
+        assert a.to_json() == b.to_json()
+        assert a.render() == b.render()
+
+    def test_heterogeneous_devices_cycle(self):
+        trace = small_trace()
+        report = serve_fleet("lenet", ["titanxp", "p100"], "fixed", 3,
+                             trace, seed=0)
+        assert report.devices == ("TitanXP", "P100", "TitanXP")
+
+    def test_crash_fails_over_and_replica_rejoins(self):
+        trace = small_trace(n_target=40)
+        plan = FaultPlan(specs=(FaultSpec(
+            site="replica_crash", key="r1", nth=2, effect="restart",
+            max_fires=1),), seed=0)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0,
+                             heartbeat_us=1_000.0, restart_after_us=2_000.0)
+        with chaos_session(plan):
+            report = engine.serve(trace)
+        assert report.crashes == 1
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+        # The crashed replica's breaker opened and later half-opened for
+        # its graceful rejoin probe.
+        transitions = [(t.frm, t.to)
+                       for t in engine.breakers[1].transitions]
+        assert ("closed", "open") in transitions
+        assert ("open", "half-open") in transitions
+
+    def test_permanent_crash_stays_dead(self):
+        trace = small_trace(n_target=40)
+        plan = FaultPlan(specs=(FaultSpec(
+            site="replica_crash", key="r1", nth=2, effect="permanent",
+            max_fires=1),), seed=0)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        with chaos_session(plan):
+            report = engine.serve(trace)
+        assert report.crashes == 1
+        assert not engine.monitors[1].alive
+        assert engine.monitors[1].permanently_dead
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_link_drops_are_retried_on_other_replicas(self):
+        trace = small_trace()
+        plan = FaultPlan(specs=(FaultSpec(
+            site="link_drop", key="fe->r0", every=2, max_fires=3),), seed=0)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        with chaos_session(plan):
+            report = engine.serve(trace)
+        assert report.link_drops == 3
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_slow_replica_only_stretches_the_timeline(self):
+        trace = small_trace()
+        plan = FaultPlan(specs=(FaultSpec(
+            site="replica_slow", key="r0", every=1, effect="severe"),),
+            seed=0)
+        clean = serve_fleet("lenet", ["titanxp"], "fixed", 1, trace, seed=0)
+        with chaos_session(plan):
+            slow = serve_fleet("lenet", ["titanxp"], "fixed", 1, trace,
+                               seed=0)
+        assert slow.requests == clean.requests
+        assert slow.latency_p99_us > clean.latency_p99_us
+
+    def test_failed_batches_trip_breaker_and_fail_over(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0,
+                             failure_threshold=1)
+        for r in engine.replicas:
+            r.warm_up()          # warm outside chaos: poison serving only
+        # One poisoned kernel launch fails the first serving batch as a
+        # unit; the breaker (threshold 1) opens and the batch's requests
+        # fail over to the surviving replica.
+        plan = FaultPlan(specs=(
+            FaultSpec(site="launch", kind="persistent", max_fires=1),),
+            seed=0)
+        with chaos_session(plan):
+            report = engine.serve(trace)
+        assert report.failovers >= 1
+        transitions = [(t.frm, t.to) for b in engine.breakers
+                       for t in b.transitions]
+        assert ("closed", "open") in transitions
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_warmup_failure_joins_the_fleet_dead(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        plan = FaultPlan(specs=(
+            FaultSpec(site="launch", kind="persistent", nth=1,
+                      max_fires=1),), seed=0)
+        with chaos_session(plan):
+            report = engine.serve(trace)
+        assert not engine.monitors[0].alive    # r0 warms up first, dies
+        assert engine.monitors[1].alive        # r1 carries the trace
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_fail_fast_when_every_breaker_is_open(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0,
+                             cooldown_us=1e9)
+        for b in engine.breakers:
+            b.force_open(0.0, "test")
+        report = engine.serve(trace)
+        assert report.failfast == len(trace)
+        assert report.shed_admission == len(trace)
+        assert report.ok == 0
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_single_replica_degenerates_to_serving_engine(self):
+        """With one replica and a zero-cost link, fleet outcome counts
+        match the PR-2 single-engine serving path."""
+        trace = small_trace()
+        fleet = serve_fleet("lenet", ["titanxp"], "fixed", 1, trace,
+                            seed=0, link=ZERO_LINK, payload_bytes=0)
+        single = serve_trace("lenet", "titanxp", "fixed", trace, seed=0)
+        assert fleet.ok == single.ok
+        assert fleet.late == single.late
+        assert fleet.shed_queue + fleet.shed_admission == \
+            single.shed_queue + single.shed_admission
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            build_fleet("lenet", ["titanxp"], "fixed", 0)
+        with pytest.raises(ReproError):
+            build_fleet("lenet", [], "fixed", 1)
+        with pytest.raises(ReproError):
+            build_fleet("lenet", ["titanxp"], "fixed", 1, heartbeat_us=0.0)
+        with pytest.raises(ReproError):
+            build_fleet("lenet", ["titanxp"], "fixed", 1,
+                        hedge_after_us=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Hedging
+# ----------------------------------------------------------------------
+class TestHedging:
+    def test_hedge_race_at_identical_timestamps_counts_once(self):
+        """Primary and hedge finish at the same simulated instant on twin
+        replicas; the tie resolves deterministically by batch-start order
+        and the loser is suppressed."""
+        trace = poisson_trace(rps=100.0, duration_us=5_000.0,
+                              slo_us=50_000.0, seed=1)
+        assert len(trace) == 1
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0,
+                             hedge_after_us=0.0, link=ZERO_LINK,
+                             payload_bytes=0)
+        report = engine.serve(trace)
+        assert report.hedges_issued == 1
+        assert report.hedges_won + report.hedges_suppressed >= 1
+        assert report.ok == 1 and report.requests == 1
+        led = engine.ledger[trace.requests[0].rid]
+        assert led.executions == 2 and led.suppressed == 1
+        assert check_fleet_invariants(engine, trace) == []
+        # The tie-break is stable: replaying yields the identical report.
+        replay_engine = build_fleet("lenet", ["titanxp"], "fixed", 2,
+                                    seed=0, hedge_after_us=0.0,
+                                    link=ZERO_LINK, payload_bytes=0)
+        assert replay_engine.serve(trace).to_json() == report.to_json()
+
+    def test_hedging_under_chaos_never_double_counts(self):
+        trace = small_trace(n_target=40)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 3, seed=0,
+                             hedge_after_us=400.0)
+        with chaos_session(default_chaos_plan(3, seed=0)):
+            report = engine.serve(trace)
+        assert report.requests == len(trace)
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_no_hedge_to_the_same_replica(self):
+        trace = poisson_trace(rps=100.0, duration_us=5_000.0,
+                              slo_us=50_000.0, seed=1)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 1, seed=0,
+                             hedge_after_us=100.0)
+        report = engine.serve(trace)
+        # Single replica: the hedge has nowhere distinct to go.
+        assert report.hedges_issued == 0
+        assert report.ok == 1
+
+
+# ----------------------------------------------------------------------
+# Fleet fault sites
+# ----------------------------------------------------------------------
+class TestFleetFaultSites:
+    @pytest.mark.parametrize("site,effect", [
+        ("replica_crash", "restart"),
+        ("replica_crash", "permanent"),
+        ("replica_slow", "mild"),
+        ("replica_slow", "severe"),
+        ("link_drop", ""),
+    ])
+    def test_spec_round_trips(self, site, effect):
+        spec = FaultSpec(site=site, key="r0", nth=3, effect=effect,
+                         max_fires=1)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        plan = FaultPlan(specs=(spec,), seed=9, name="rt")
+        assert FaultPlan.from_dict(json.loads(plan.to_json())) == plan
+
+    @pytest.mark.parametrize("site,bad", [
+        ("replica_crash", "drop"),
+        ("replica_slow", "permanent"),
+        ("link_drop", "severe"),
+    ])
+    def test_invalid_effects_rejected(self, site, bad):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site=site, effect=bad)
+
+    def test_per_replica_specs_compose_in_one_session(self):
+        """One plan, one spec per replica: each key-scoped fault hits only
+        its own replica."""
+        trace = small_trace(n_target=40)
+        plan = FaultPlan(specs=(
+            FaultSpec(site="replica_slow", key="r0", every=2,
+                      effect="severe", max_fires=2),
+            FaultSpec(site="replica_crash", key="r1", nth=3,
+                      effect="restart", max_fires=1),
+            FaultSpec(site="link_drop", key="fe->r2", nth=1, max_fires=1),
+        ), seed=0)
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 3, seed=0)
+        with chaos_session(plan) as injector:
+            report = engine.serve(trace)
+        assert engine.monitors[1].crashes == 1
+        assert engine.monitors[0].crashes == 0
+        assert engine.monitors[2].crashes == 0
+        assert report.link_drops == 1
+        assert injector.summary().get("replica_slow", 0) >= 1
+        assert check_fleet_invariants(engine, trace) == []
+
+    def test_chaos_sessions_nest_and_restore(self):
+        from repro.faults import active_injector
+        outer = default_chaos_plan(2, seed=0)
+        inner = FaultPlan(specs=(FaultSpec(site="link_drop",
+                                           key="fe->r0"),), seed=1)
+        with chaos_session(outer) as oinj:
+            assert active_injector() is oinj
+            with chaos_session(inner) as iinj:
+                assert active_injector() is iinj
+            assert active_injector() is oinj
+        assert active_injector() is None
+
+    def test_default_chaos_plan_never_kills_a_lone_replica(self):
+        lone = default_chaos_plan(1, seed=0)
+        assert all(s.site != "replica_crash" for s in lone.specs)
+        pair = default_chaos_plan(2, seed=0)
+        crash = [s for s in pair.specs if s.site == "replica_crash"]
+        assert len(crash) == 1 and crash[0].effect == "restart"
+
+
+# ----------------------------------------------------------------------
+# Chaos harness and sweep
+# ----------------------------------------------------------------------
+class TestFleetChaosHarness:
+    def test_fuzz_fleet_holds_the_contract(self):
+        report = fuzz_fleet(replicas=2, rounds=2, seed=11)
+        assert report.ok, report.render()
+        assert report.total_fires > 0
+        assert all(r.deterministic for r in report.rounds)
+
+    def test_invariant_checker_catches_tampering(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        engine.serve(trace)
+        assert check_fleet_invariants(engine, trace) == []
+        # Forge a duplicate terminal record: the checker must object.
+        engine.slo.records.append(engine.slo.records[0])
+        violations = check_fleet_invariants(engine, trace)
+        assert any("terminal records" in v for v in violations)
+
+    def test_invariant_checker_catches_double_counting(self):
+        trace = small_trace()
+        engine = build_fleet("lenet", ["titanxp"], "fixed", 2, seed=0)
+        engine.serve(trace)
+        led = engine.ledger[trace.requests[0].rid]
+        led.executions += 1          # an unsuppressed duplicate execution
+        violations = check_fleet_invariants(engine, trace)
+        assert any("expected exactly 1" in v for v in violations)
+
+    def test_fleet_sweep_reports_p99_per_replica_count(self):
+        trace = small_trace()
+        report = fleet_sweep("lenet", ["titanxp"], "fixed", [1, 2], trace,
+                             seed=0)
+        assert [row.replicas for row in report.rows] == [1, 2]
+        assert all(row.chaos is not None for row in report.rows)
+        text = report.render()
+        assert "p99 vs. replica count" in text
+        doc = json.loads(report.to_json())
+        assert len(doc["rows"]) == 2
+        assert doc["rows"][0]["clean"]["requests"] == len(trace)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestFleetCLI:
+    def test_fleet_sweep_text(self, capsys):
+        assert main(["fleet", "--replicas", "1,2", "--duration-ms", "4",
+                     "--no-chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 vs. replica count" in out
+
+    def test_fleet_json_and_report_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--replicas", "1", "--duration-ms", "4",
+                     "--format", "json", "--report", str(out_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert json.loads(out_path.read_text())["rows"] == doc["rows"]
+
+    def test_fleet_unknown_net_suggests(self, capsys):
+        assert main(["fleet", "--net", "lente"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown network" in err
+        assert "did you mean" in err and "lenet" in err
+
+    def test_fleet_unknown_device_suggests(self, capsys):
+        assert main(["fleet", "--devices", "titanpx"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "titanxp" in err
+
+    def test_fleet_bad_replica_list(self, capsys):
+        assert main(["fleet", "--replicas", "two"]) == 2
+        assert "bad --replicas" in capsys.readouterr().err
+
+    def test_fleet_custom_fault_plan(self, capsys, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec(site="link_drop", key="fe->r0",
+                                          nth=1, max_fires=1),), seed=0)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert main(["fleet", "--replicas", "2", "--duration-ms", "4",
+                     "--faults", str(path)]) == 0
+        assert "link drop" in capsys.readouterr().out
+
+    def test_serve_format_json_parity(self, capsys):
+        assert main(["serve", "--net", "lenet", "--executor", "fixed",
+                     "--duration-ms", "4", "--format", "json"]) == 0
+        via_format = capsys.readouterr().out
+        assert main(["serve", "--net", "lenet", "--executor", "fixed",
+                     "--duration-ms", "4", "--json"]) == 0
+        via_alias = capsys.readouterr().out
+        assert json.loads(via_format) == json.loads(via_alias)
+
+    def test_fleet_trace_scenario_exports(self, tmp_path, capsys):
+        assert main(["trace", "fleet", "-o",
+                     str(tmp_path / "fleet.json")]) == 0
+        doc = json.loads((tmp_path / "fleet.json").read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert any(n and n.startswith("fleet.") for n in names)

@@ -309,7 +309,8 @@ class TestScenarios:
         assert metrics.active_registry() is None
 
     def test_all_scenarios_registered_and_documented(self):
-        assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve", "verify"}
+        assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve",
+                                        "verify", "fleet"}
         for fn in TRACE_SCENARIOS.values():
             assert fn.__doc__
 

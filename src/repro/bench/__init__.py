@@ -21,6 +21,7 @@ Fig. 10   GLP4NN memory consumption           ``repro.bench.fig10``
 Fig. 11   convergence invariance              ``repro.bench.fig11``
 Table 6   one-time overhead T_p/T_a/ratio     ``repro.bench.table6``
 ablation  launch bound / greedy / policies    ``repro.bench.ablations``
+BENCH_7   graph replay vs eager (loss cases)  ``repro.bench.graph_launch``
 ========  ==========================================================
 """
 

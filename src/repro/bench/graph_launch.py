@@ -1,0 +1,151 @@
+"""Graph-launch baseline: ``BENCH_7.json`` (ROADMAP item 3(b)).
+
+Two numbers future PRs inherit as a trajectory:
+
+* **simulator throughput** — discrete events the engine processes per
+  wall-clock second, measured over repeated eager passes of CIFAR10
+  conv1 (the denominator every later engine change moves);
+* **graph vs eager dispatch** — per-pass latency and host launch
+  overhead on the paper's own loss cases, CIFAR10 conv1 and Siamese
+  conv1 (Fig. 9): layers whose kernels are shorter than ``T_launch``,
+  where eager multi-stream dispatch *loses* to serial execution because
+  every kernel pays the launch pipeline.  Graph replay collapses that to
+  one host launch per pass, which is exactly the regime the subsystem
+  exists to win back.
+
+Run directly (``python -m repro.bench.graph_launch [out.json]``) to
+regenerate the committed ``BENCH_7.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Union
+
+from repro.bench.harness import ExperimentResult, cached, fresh_gpu
+from repro.nn.config import ConvConfig
+from repro.nn.zoo.table5 import CIFAR10_CONVS, SIAMESE_CONVS
+from repro.runtime.executor import GLP4NNExecutor
+from repro.runtime.lowering import lower_conv_forward
+
+DEVICE = "P100"
+
+#: The paper's reported degradation cases (Fig. 9): launch-bound conv1s.
+LOSS_CASE_LAYERS: tuple[ConvConfig, ...] = (
+    CIFAR10_CONVS[0],    # 32x32x3 -> 32 maps, 5x5: ~100us kernels
+    SIAMESE_CONVS[0],    # 28x28x1 -> 20 maps, 5x5: sub-T_launch kernels
+)
+
+#: Passes per layer: eager warmup, capture, then steady replays.
+PASSES = 6
+
+#: Eager passes timed for the events/sec throughput figure.
+THROUGHPUT_PASSES = 40
+
+
+def _graph_vs_eager(cfg: ConvConfig) -> dict:
+    """One loss-case layer through the graph lifecycle; returns its row."""
+    gpu = fresh_gpu(DEVICE)
+    ex = GLP4NNExecutor(gpu)
+    runtime = ex.enable_graph_mode(network=cfg.net)
+    work = lower_conv_forward(cfg)
+    samples: list[tuple[float, float]] = []     # (elapsed, overhead)
+    for _ in range(PASSES):
+        o0 = gpu.launch_overhead_total
+        elapsed = ex.run_pass([work])
+        samples.append((elapsed, gpu.launch_overhead_total - o0))
+    modes = runtime.modes_for([work], gpu.props.name)
+    by_mode: dict[str, list[tuple[float, float]]] = {}
+    for mode, sample in zip(modes, samples):
+        by_mode.setdefault(mode, []).append(sample)
+    # The capture pass runs eagerly (recording is free on the simulated
+    # clock): the steady-state eager baseline, after pass-1 profiling.
+    eager_us, eager_overhead_us = by_mode["capture"][0]
+    replays = by_mode.get("replay", [])
+    replay_us = sum(e for e, _ in replays) / len(replays)
+    graph_overhead_us = sum(o for _, o in replays) / len(replays)
+    return {
+        "layer": f"{cfg.net} {cfg.name}",
+        "kernels": work.num_kernels,
+        "eager_us": round(eager_us, 3),
+        "replay_us": round(replay_us, 3),
+        "speedup": round(eager_us / replay_us, 3),
+        "eager_overhead_us": round(eager_overhead_us, 3),
+        "graph_overhead_us": round(graph_overhead_us, 3),
+        "overhead_reduction": round(
+            1.0 - graph_overhead_us / eager_overhead_us, 4),
+        "replays": len(replays),
+    }
+
+
+def _events_per_sec() -> tuple[float, int]:
+    """Simulator throughput: engine events processed per wall second."""
+    gpu = fresh_gpu(DEVICE)
+    ex = GLP4NNExecutor(gpu)
+    work = lower_conv_forward(CIFAR10_CONVS[0])
+    ex.run(work)                        # profiling pass outside the clock
+    e0 = gpu.events_processed
+    t0 = time.perf_counter()
+    for _ in range(THROUGHPUT_PASSES):
+        ex.run_pass([work])
+    wall = time.perf_counter() - t0
+    events = gpu.events_processed - e0
+    return (events / wall if wall > 0 else 0.0), events
+
+
+@cached("graph_launch")
+def run_graph_launch_bench() -> ExperimentResult:
+    """Measure the graph-launch baseline; see the module docstring."""
+    rows = [_graph_vs_eager(cfg) for cfg in LOSS_CASE_LAYERS]
+    eps, events = _events_per_sec()
+    headers = ["layer", "kernels", "eager_us", "replay_us", "speedup",
+               "eager_overhead_us", "graph_overhead_us",
+               "overhead_reduction"]
+    return ExperimentResult(
+        experiment="graph_launch",
+        title="Graph replay vs eager dispatch on the Fig. 9 loss cases "
+              f"({DEVICE})",
+        headers=headers,
+        rows=[[r[h] for h in headers] for r in rows],
+        notes="eager = steady-state pass under per-kernel launches; "
+              "replay = one amortized graph launch per pass",
+        extra={
+            "device": DEVICE,
+            "events_per_sec": round(eps, 1),
+            "events_measured": events,
+            "layers": rows,
+        },
+    )
+
+
+def write_bench(out_path: Union[str, Path] = "BENCH_7.json") -> str:
+    """Write the committed ``BENCH_7.json`` baseline; returns the path.
+
+    Wall-clock throughput varies run to run; the graph-vs-eager numbers
+    are simulated and exactly reproducible.
+    """
+    result = run_graph_launch_bench()
+    doc = {
+        "bench": "graph_launch",
+        "device": DEVICE,
+        "gpusim": {
+            "events_per_sec": result.extra["events_per_sec"],
+            "events_measured": result.extra["events_measured"],
+            "throughput_passes": THROUGHPUT_PASSES,
+        },
+        "layers": result.extra["layers"],
+        "notes": result.notes,
+    }
+    p = Path(out_path)
+    p.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return str(p)
+
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_7.json"
+    path = write_bench(out)
+    print(run_graph_launch_bench().render())
+    print(f"wrote {path}")

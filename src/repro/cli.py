@@ -33,6 +33,12 @@ Commands
     differential equivalence across every executor, schedule fuzzing with
     witness shrinking, and fault-plan fuzzing.  ``--replay witness.json``
     re-executes a saved witness and exits 1 if it still reproduces.
+``graph [capture|replay|report]``
+    Graph-launch compilation (see ``docs/graph_launch.md``): capture a
+    network's dispatch into a compiled graph, certify it hazard-free, and
+    replay it with one amortized host launch per pass, e.g.
+    ``graph replay --net cifar10 --device p100``.  ``--cache`` persists
+    admitted graphs; ``--inject-hazard`` proves the eager fallback.
 ``analyze [hazards|lint|all]``
     Static analysis (see ``docs/static_analysis.md``): certify dispatch
     plans free of stream hazards (RAW/WAR/WAW pairs not ordered by
@@ -348,7 +354,9 @@ def cmd_verify(args) -> int:
         fuzz_schedules,
         replay_witness,
         run_differential,
+        verify_graph_replay,
     )
+    from repro.verify.graph_replay import DEFAULT_ITERATIONS
 
     if args.replay:
         try:
@@ -359,8 +367,8 @@ def cmd_verify(args) -> int:
         print(replay.render())
         return 1 if replay.reproduced else 0
 
-    parts = (["differential", "schedule", "faults"] if args.only == "all"
-             else [args.only])
+    parts = (["differential", "schedule", "faults", "graph"]
+             if args.only == "all" else [args.only])
     report = VerifyReport(network=args.network, device=args.device,
                           seed=args.seed)
     try:
@@ -381,6 +389,14 @@ def cmd_verify(args) -> int:
                 rounds=args.fault_rounds, batch=args.batch,
                 iterations=args.iterations,
             )
+        if "graph" in parts:
+            # Graph replay needs warmup + capture + replays per seed.
+            report.graph = verify_graph_replay(
+                network=args.network, device=args.device,
+                seeds=(args.seed, args.seed + 1),
+                iterations=max(args.iterations, DEFAULT_ITERATIONS),
+                batch=args.batch,
+            )
     except ReproError as e:
         print(f"verify failed: {e}", file=sys.stderr)
         return 2
@@ -390,6 +406,40 @@ def cmd_verify(args) -> int:
         if args.report:
             report.save(args.report)
     from repro.reporting import emit
+    print(emit(report, "json" if args.json else args.format))
+    return 0 if report.ok else 1
+
+
+def cmd_graph(args) -> int:
+    import difflib
+
+    from repro.errors import ReproError
+    from repro.graphs import run_graph_session
+    from repro.reporting import emit
+    from repro.serve.engine import SERVE_NETS, resolve_net
+
+    try:
+        resolve_net(args.net)
+    except ReproError as e:
+        print(f"graph failed: {e}", file=sys.stderr)
+        matches = difflib.get_close_matches(args.net.lower(), SERVE_NETS,
+                                            n=3, cutoff=0.5)
+        if matches:
+            print(f"did you mean: {', '.join(matches)}?", file=sys.stderr)
+        return 2
+    try:
+        report = run_graph_session(
+            action=args.action, network=args.net, device=args.device,
+            phase=args.phase, batch=args.batch, seed=args.seed,
+            executor=args.executor, streams=args.streams,
+            iterations=args.iters, inject_hazard=args.inject_hazard,
+            cache=args.cache, load_cache=args.load_cache,
+        )
+    except ReproError as e:
+        print(f"graph failed: {e}", file=sys.stderr)
+        return 2
+    if args.report:
+        report.save(args.report)
     print(emit(report, "json" if args.json else args.format))
     return 0 if report.ok else 1
 
@@ -664,7 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verification batch size (default: 8)")
     verify.add_argument("--only", default="all",
                         choices=["all", "differential", "schedule",
-                                 "faults"],
+                                 "faults", "graph"],
                         help="run a single component (default: all)")
     verify.add_argument("--replay", metavar="WITNESS.json", default=None,
                         help="replay a saved schedule witness; exit 1 if "
@@ -680,6 +730,53 @@ def build_parser() -> argparse.ArgumentParser:
                              "--format json)")
     add_format_argument(verify)
     verify.set_defaults(fn=cmd_verify)
+    graph = sub.add_parser(
+        "graph",
+        help="graph-launch compilation: capture, validate, replay "
+             "dispatch programs",
+    )
+    graph.add_argument("action", nargs="?", default="replay",
+                       choices=["capture", "replay", "report"],
+                       help="capture (+ optionally persist), replay "
+                            "(full lifecycle + timing), or report "
+                            "(admission verdict only; default: replay)")
+    graph.add_argument("--net", default="cifar10",
+                       help="zoo network to capture (default: cifar10)")
+    graph.add_argument("--device", default="p100",
+                       help="simulated GPU (default: p100)")
+    graph.add_argument("--phase", default="both",
+                       choices=["forward", "backward", "both"],
+                       help="which pass(es) to graph (default: both)")
+    graph.add_argument("--batch", type=int, default=8,
+                       help="batch size (default: 8)")
+    graph.add_argument("--seed", type=int, default=0,
+                       help="network seed (default: 0)")
+    graph.add_argument("--executor", default="glp4nn",
+                       help="executor kind to wrap (default: glp4nn)")
+    graph.add_argument("--streams", type=int, default=4,
+                       help="stream count for fixed executors "
+                            "(default: 4)")
+    graph.add_argument("--iters", type=int, default=4,
+                       help="passes per phase: warmup + capture + "
+                            "replays (default: 4)")
+    graph.add_argument("--cache", metavar="GRAPHS.json", default=None,
+                       help="graph cache file: written after capture, "
+                            "read with --load-cache")
+    graph.add_argument("--load-cache", action="store_true",
+                       help="seed the runtime from --cache "
+                            "(quarantine-safe load) instead of writing")
+    graph.add_argument("--inject-hazard", action="store_true",
+                       help="poison capture effects so admission must "
+                            "reject and dispatch falls back to eager "
+                            "(the CI fallback probe; report is OK iff "
+                            "rejection happened)")
+    graph.add_argument("--report", metavar="OUT.json", default=None,
+                       help="also write the report as JSON")
+    graph.add_argument("--json", action="store_true",
+                       help="print the report as JSON (alias for "
+                            "--format json)")
+    add_format_argument(graph)
+    graph.set_defaults(fn=cmd_graph)
     analyze = sub.add_parser(
         "analyze",
         help="static analysis: stream-hazard detection + determinism lint",

@@ -87,6 +87,29 @@ class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (unknown site, bad trigger)."""
 
 
+class GraphError(ReproError):
+    """The graph-launch compiler was misused or given an unusable graph."""
+
+
+class GraphCaptureError(GraphError):
+    """Dispatch capture failed (unknown kernel effect, nested capture,
+    empty capture).  Executors treat this as a capture miss and fall back
+    to eager dispatch.
+    """
+
+
+class GraphValidationError(GraphError):
+    """A captured graph failed hazard validation and was refused admission.
+
+    Carries the offending :class:`repro.analyze.hazards.ProgramVerdict` so
+    callers can report the minimal two-kernel witnesses.
+    """
+
+    def __init__(self, message: str, verdict=None) -> None:
+        super().__init__(message)
+        self.verdict = verdict
+
+
 class DegradedError(ReproError):
     """Graceful degradation was exhausted: the retry budget ran out and no
     safe fallback remained.  Raised only after bounded retries.

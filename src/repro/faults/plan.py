@@ -52,6 +52,7 @@ SITES = (
     "milp_solve",       # solve_milp — solver timeout / forced infeasible
     "cache_load",       # persistence — corrupt/stale decision cache
     "sync",             # GPU.synchronize — synchronization failure
+    "graph_launch",     # GPU.launch_graph — whole-graph launch rejected
     # Fleet-scoped sites (see docs/fleet.md); keys are replica names
     # (``replica_crash``/``replica_slow``) or front-end link names of the
     # form ``fe-><replica>`` (``link_drop``, modeled over

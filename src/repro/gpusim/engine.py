@@ -249,6 +249,8 @@ class GPU:
         # counters exposed to tests / metrics
         self.kernels_launched = 0
         self.kernels_completed = 0
+        self.graphs_launched = 0
+        self.events_processed = 0
         self.launch_overhead_total = 0.0
         self.sync_overhead_total = 0.0
 
@@ -378,6 +380,94 @@ class GPU:
             op.depends_on(record)
         self._register_op(op, stream)
 
+    def launch_graph(self, ops, name: str = "graph"):
+        """Launch a whole dispatch program with one host-side operation.
+
+        The CUDA-Graphs analogue (``cudaGraphLaunch``): the host pays a
+        single ``launch_latency_us`` for the entire op list instead of one
+        ``T_launch`` (plus stream-switch and event-primitive costs) per
+        node — the amortization that removes the Eq. 7 launch-pipeline
+        bound from sub-millisecond layers.  Device-side semantics are
+        identical to eager dispatch: every node is enqueued at the same
+        host timestamp with the standard dependency wiring (stream FIFO,
+        default-stream barriers, event edges), so a graph admits exactly
+        the interleavings its eager counterpart would.
+
+        ``ops`` is a sequence of :class:`repro.gpusim.graph.GraphOp`; a
+        ``barrier`` op reproduces a captured host ``synchronize`` as a
+        zero-cost join on the legacy default stream.  Kernels inside a
+        graph do not pass through the per-kernel ``launch`` fault site —
+        the graph has its own site (``graph_launch``), which fires before
+        any engine state changes so a rejected launch can fall back to
+        eager dispatch cleanly.
+        """
+        from repro.gpusim.graph import GraphLaunchResult
+
+        ops = list(ops)
+        if not ops:
+            raise SimulationError(f"graph {name!r} has no ops")
+        # Fault-injection site + validation both run *before* any state
+        # changes: a refused graph launch is retryable/fallback-safe.
+        fault_check("graph_launch", name)
+        for op in ops:
+            if op.kind == "launch":
+                validate_launch(self.props, op.spec.launch)
+        overhead = self.props.launch_latency_us
+        self.host_time += overhead
+        self.launch_overhead_total += overhead
+        self.graphs_launched += 1
+        t = self.host_time
+        kernels: list[KernelExecution] = []
+        for op in ops:
+            if op.kind == "launch":
+                kernels.append(self._enqueue_graph_kernel(op.spec,
+                                                          op.stream, t))
+            elif op.kind == "barrier":
+                marker = Event(name=f"{name}.barrier")
+                bar = _EventRecord(marker, DEFAULT_STREAM_ID, t)
+                self._wire_dependencies(bar, self.default_stream)
+                self._register_op(bar, self.default_stream)
+            elif op.kind == "record":
+                stream = self._check_stream(op.stream)
+                rec = _EventRecord(op.event, stream.stream_id, t)
+                self._wire_dependencies(rec, stream)
+                self._register_op(rec, stream)
+                self._event_records[op.event.event_id] = rec
+            elif op.kind == "wait":
+                stream = self._check_stream(op.stream)
+                wait = _EventWait(op.event, stream.stream_id, t)
+                self._wire_dependencies(wait, stream)
+                record = self._event_records.get(op.event.event_id)
+                if record is not None:
+                    wait.depends_on(record)
+                self._register_op(wait, stream)
+            else:  # pragma: no cover - GraphOp validates kinds
+                raise SimulationError(f"unknown graph op kind {op.kind!r}")
+        return GraphLaunchResult(name=name, launches=len(kernels),
+                                 ops=len(ops), overhead_us=overhead,
+                                 kernels=kernels)
+
+    def _enqueue_graph_kernel(self, spec: KernelSpec,
+                              stream: Optional[Stream],
+                              t: float) -> KernelExecution:
+        """Enqueue one replayed kernel at host time ``t``, free of charge.
+
+        Mirrors :meth:`launch` minus the host-side costs and the
+        per-kernel fault site — inside a graph those are paid once, by
+        :meth:`launch_graph` itself.
+        """
+        stream = self._check_stream(stream)
+        work = self._block_work_fn(spec, self.props)
+        ke = KernelExecution(spec, stream.stream_id, t, work)
+        for hook in self.launch_hooks:
+            hook(self, ke)
+        ke.ready_time = ke.enqueue_time = t
+        self._wire_dependencies(ke, stream)
+        self._register_op(ke, stream)
+        self._last_launch_stream = stream.stream_id
+        self.kernels_launched += 1
+        return ke
+
     def memcpy(self, nbytes: int, kind: str = "h2d",
                stream: Optional[Stream] = None) -> MemcpyOp:
         """Enqueue an async memcpy onto ``stream`` (cudaMemcpyAsync).
@@ -439,6 +529,7 @@ class GPU:
     def _process_next_event(self) -> None:
         """Pop and handle the single earliest event on the heap."""
         time, _, kind, payload = heapq.heappop(self._events)
+        self.events_processed += 1
         if time < self.now - 1e-9:
             raise SimulationError("event heap produced out-of-order time")
         self.now = max(self.now, time)

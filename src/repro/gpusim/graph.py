@@ -1,0 +1,81 @@
+"""Device-side graph launch: one host launch for a whole dispatch program.
+
+This is the simulator's analogue of CUDA Graphs (``cudaGraphLaunch``): an
+ordered list of :class:`GraphOp` primitives — kernel launches, barriers,
+event records and waits — that the engine enqueues in a single host-side
+operation.  The host pays **one** ``T_launch`` for the entire program
+instead of one per kernel (plus stream-switch penalties and per-primitive
+driver costs), which is exactly the amortization the paper's launch-bound
+loss cases (CIFAR10 conv1, Siamese conv1; Eq. 7) need.
+
+Ordering semantics are byte-for-byte those of eager dispatch: kernels on
+one stream stay FIFO, a ``barrier`` op reproduces a captured host
+``synchronize`` as a legacy-default-stream join, and record/wait pairs
+keep their cross-stream edges.  The engine wires the same dependency
+graph either way (:meth:`repro.gpusim.engine.GPU._wire_dependencies`), so
+a hazard-free program admits every interleaving eager dispatch could
+produce and no new ones — the convergence-invariance guarantee is
+unchanged by replay.
+
+Build :class:`GraphOp` lists by hand for tests, or let
+:mod:`repro.graphs.replay` instantiate them from a validated
+:class:`repro.graphs.compiled.CompiledGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import GraphError
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.stream import Event, Stream
+
+#: Graph op kinds, mirroring :mod:`repro.analyze.program` one-for-one.
+GRAPH_OP_KINDS = ("launch", "barrier", "record", "wait")
+
+
+@dataclass(frozen=True)
+class GraphOp:
+    """One node of an executable graph, bound to device handles.
+
+    ``kind`` selects the primitive: ``launch`` needs ``spec`` + ``stream``;
+    ``barrier`` (a captured host ``synchronize``) needs neither; ``record``
+    and ``wait`` need ``event`` + ``stream``.
+    """
+
+    kind: str
+    spec: Optional[KernelSpec] = None
+    stream: Optional[Stream] = None
+    event: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRAPH_OP_KINDS:
+            raise GraphError(
+                f"unknown graph op kind {self.kind!r}; expected one of "
+                f"{', '.join(GRAPH_OP_KINDS)}"
+            )
+        if self.kind == "launch" and self.spec is None:
+            raise GraphError("launch graph op needs a kernel spec")
+        if self.kind in ("record", "wait") and self.event is None:
+            raise GraphError(f"{self.kind} graph op needs an event")
+
+
+@dataclass
+class GraphLaunchResult:
+    """Host-side receipt of one graph launch.
+
+    ``overhead_us`` is the single launch cost charged to the host clock —
+    compare against ``launches * T_launch`` for the amortization win.
+    """
+
+    name: str
+    launches: int
+    ops: int
+    overhead_us: float
+    kernels: list = field(default_factory=list)
+
+
+def count_launches(ops: Sequence[GraphOp]) -> int:
+    """Number of kernel-launch nodes in ``ops``."""
+    return sum(1 for op in ops if op.kind == "launch")

@@ -1,0 +1,96 @@
+"""Graph-launch compilation: capture, validate, and replay dispatch.
+
+The CUDA-Graphs analogue for the simulated runtime, built to remove the
+paper's own reported loss cases: layers whose kernels are shorter than
+the host launch latency (CIFAR10 conv1, Siamese conv1) are bound by the
+launch pipeline (Eq. 7's ``ceil(T_Ki / T_launch)`` term), so dispatching
+them kernel-by-kernel costs more than the concurrency wins back.  This
+package captures a layer's (or whole net's) dispatch once, certifies it
+hazard-free, and thereafter replays it with a *single* host launch:
+
+* :mod:`repro.graphs.compiled` — :class:`CompiledGraph`, the serializable
+  capture artifact with dense stream ids and per-kernel memory effects;
+* :mod:`repro.graphs.capture` — stream-capture shims over the engine plus
+  the memory-effect oracles (net-derived, synthetic, poisoned);
+* :mod:`repro.graphs.admission` — hazard validation via the PR-5 race
+  detector; no graph replays without a clean
+  :class:`~repro.analyze.hazards.ProgramVerdict`;
+* :mod:`repro.graphs.cache` — quarantine-safe persistence keyed by works
+  fingerprint, mirroring the decision cache;
+* :mod:`repro.graphs.replay` — instantiation onto a device and the
+  one-``T_launch`` replay through ``GPU.launch_graph``;
+* :mod:`repro.graphs.runtime` — the warmup -> capture -> replay
+  lifecycle behind ``Executor.enable_graph_mode``, with transparent
+  eager fallback on capture miss, validation rejection, or an injected
+  ``graph_launch`` fault;
+* :mod:`repro.graphs.report` — the ``python -m repro graph`` driver.
+
+Convergence invariance is preserved twice over: statically (admission
+proves every conflicting kernel pair ordered under all legal
+interleavings) and dynamically (the ``repro.verify`` graph-replay
+harness holds replay bit-identical to eager dispatch across seeds).
+"""
+
+from repro.graphs.admission import admit, validate_graph
+from repro.graphs.cache import (
+    FORMAT_VERSION,
+    GraphCacheLoadReport,
+    load_graphs_safe,
+    save_graphs,
+)
+from repro.graphs.capture import (
+    Effect,
+    GraphCapture,
+    KernelEffects,
+    capture_works,
+    effects_from_net,
+    poisoned_effects,
+    synthetic_effects,
+)
+from repro.graphs.compiled import (
+    CompiledGraph,
+    GraphNode,
+    works_fingerprint,
+)
+from repro.graphs.replay import GraphExec, instantiate
+from repro.graphs.report import (
+    GRAPH_ACTIONS,
+    GRAPH_PHASES,
+    GraphReport,
+    PhaseOutcome,
+    run_graph_session,
+)
+from repro.graphs.runtime import (
+    GraphModeRuntime,
+    GraphModeStats,
+    WARMUP_PASSES,
+)
+
+__all__ = [
+    "CompiledGraph",
+    "Effect",
+    "FORMAT_VERSION",
+    "GRAPH_ACTIONS",
+    "GRAPH_PHASES",
+    "GraphCacheLoadReport",
+    "GraphCapture",
+    "GraphExec",
+    "GraphModeRuntime",
+    "GraphModeStats",
+    "GraphNode",
+    "GraphReport",
+    "KernelEffects",
+    "PhaseOutcome",
+    "WARMUP_PASSES",
+    "admit",
+    "capture_works",
+    "effects_from_net",
+    "instantiate",
+    "load_graphs_safe",
+    "poisoned_effects",
+    "run_graph_session",
+    "save_graphs",
+    "synthetic_effects",
+    "validate_graph",
+    "works_fingerprint",
+]

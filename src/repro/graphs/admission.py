@@ -1,0 +1,42 @@
+"""Hazard admission: no graph replays unless the race detector signs off.
+
+Replaying a graph skips the host dispatch that originally ordered its
+kernels, so the convergence-invariance guarantee now rests entirely on
+the *recorded* stream/event structure.  Admission closes that loop with
+the PR-5 machinery: the captured graph lowers to a
+:class:`repro.analyze.program.DispatchProgram` and
+:func:`repro.analyze.hazards.detect` must certify that every conflicting
+kernel pair (RAW/WAR/WAW on the capture's memory effects) is ordered by
+happens-before — under *all* interleavings the engine could produce, not
+just the one the capture happened to observe.
+
+A rejected graph raises :class:`~repro.errors.GraphValidationError`
+carrying the full :class:`~repro.analyze.hazards.ProgramVerdict`
+(two-kernel witnesses included); the graph-mode runtime turns that into a
+permanent eager fallback for the works in question.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.hazards import ProgramVerdict, verdict_for
+from repro.errors import GraphValidationError
+from repro.graphs.compiled import CompiledGraph
+
+
+def validate_graph(graph: CompiledGraph) -> ProgramVerdict:
+    """Run the stream-hazard detector over ``graph``'s program."""
+    return verdict_for(graph.program(), network=graph.network,
+                       plan="graph-capture")
+
+
+def admit(graph: CompiledGraph) -> ProgramVerdict:
+    """Validate ``graph``; raise :class:`GraphValidationError` if unsafe."""
+    verdict = validate_graph(graph)
+    if not verdict.ok:
+        first = verdict.hazards[0]
+        raise GraphValidationError(
+            f"graph {graph.name!r} refused admission: "
+            f"{len(verdict.hazards)} hazard(s), first: {first.describe()}",
+            verdict=verdict,
+        )
+    return verdict

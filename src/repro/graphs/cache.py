@@ -1,0 +1,144 @@
+"""Compiled-graph cache: persist captures across processes, safely.
+
+Capture costs a full warmup + recorded pass per works list; like GLP4NN's
+profiling/analysis cost, that is one-time *per process* unless persisted.
+This cache mirrors the decision cache (:mod:`repro.core.persistence`)
+exactly:
+
+* entries are keyed by the works fingerprint
+  (:func:`repro.graphs.compiled.works_fingerprint` — shape/net/device
+  identity, the same notion of identity the runtime decision cache uses);
+* each entry carries a canonical-JSON SHA-256 fingerprint of its graph,
+  so tampered or stale entries are detectable;
+* the whole document is guarded by a format version and the device name;
+* :func:`load_graphs_safe` never raises on bad cache contents — anything
+  untrustworthy is *quarantined* and reported, and the affected works
+  simply re-capture on next execution, exactly as if the cache had never
+  existed.
+
+A loaded graph still goes through hazard admission before replay; the
+cache shortcuts capture, never validation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.faults.hooks import fault_poll
+from repro.graphs.compiled import CompiledGraph
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class GraphCacheLoadReport:
+    """Outcome of a resilient graph-cache load."""
+
+    path: str
+    graphs: dict[str, CompiledGraph] = field(default_factory=dict)
+    #: ``(works_key_or_"*", reason)`` per rejected entry; ``"*"`` means
+    #: the whole document was unusable.
+    quarantined: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def loaded(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def describe(self) -> str:
+        lines = [f"graph cache {self.path}: {self.loaded} graph(s) loaded"]
+        for key, reason in self.quarantined:
+            lines.append(f"  quarantined {key}: {reason}")
+        return "\n".join(lines)
+
+
+def save_graphs(graphs: dict[str, CompiledGraph],
+                path: Union[str, Path], device: str) -> int:
+    """Write ``graphs`` (works-fingerprint keyed) to ``path``."""
+    entries = []
+    for key in sorted(graphs):
+        graph = graphs[key]
+        entries.append({
+            "works_key": key,
+            "graph": graph.to_dict(),
+            "fingerprint": graph.fingerprint(),
+        })
+    doc = {
+        "format": FORMAT_VERSION,
+        "device": device,
+        "graphs": entries,
+    }
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return len(entries)
+
+
+def _entry_problem(entry) -> Union[str, None]:
+    """Reason an entry is unusable, or ``None`` if it validates."""
+    if not isinstance(entry, dict):
+        return f"entry is not an object: {entry!r}"
+    if not entry.get("works_key"):
+        return "missing works key"
+    fingerprint = entry.get("fingerprint")
+    if not fingerprint:
+        return "missing graph fingerprint"
+    try:
+        graph = CompiledGraph.from_dict(entry["graph"])
+    except Exception as e:  # malformed payloads take many shapes
+        return f"malformed graph: {e!r}"
+    if graph.fingerprint() != fingerprint:
+        return "fingerprint mismatch (tampered or stale entry)"
+    return None
+
+
+def load_graphs_safe(path: Union[str, Path],
+                     device: str) -> GraphCacheLoadReport:
+    """Resilient cache load: quarantine what cannot be trusted, keep going.
+
+    Shares the ``cache_load`` fault-injection site with the decision
+    cache — a fired fault models unreadable cache bytes and quarantines
+    the whole document.
+    """
+    report = GraphCacheLoadReport(path=str(path))
+    if fault_poll("cache_load", str(path)) is not None:
+        report.quarantined.append(("*", "injected fault: cache unreadable"))
+        return report
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as e:
+        report.quarantined.append(("*", f"unreadable: {e}"))
+        return report
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        report.quarantined.append(("*", f"corrupt JSON: {e}"))
+        return report
+    if not isinstance(doc, dict):
+        report.quarantined.append(("*", "document is not an object"))
+        return report
+    if doc.get("format") != FORMAT_VERSION:
+        report.quarantined.append(
+            ("*", f"unsupported format {doc.get('format')!r}"))
+        return report
+    if doc.get("device") != device:
+        report.quarantined.append(
+            ("*", f"recorded on {doc.get('device')!r}, not {device!r}"))
+        return report
+    entries = doc.get("graphs")
+    if not isinstance(entries, list):
+        report.quarantined.append(("*", "'graphs' is not a list"))
+        return report
+    for entry in entries:
+        problem = _entry_problem(entry)
+        key = (entry.get("works_key", "?") if isinstance(entry, dict)
+               else "?")
+        if problem is not None:
+            report.quarantined.append((str(key), problem))
+            continue
+        report.graphs[str(key)] = CompiledGraph.from_dict(entry["graph"])
+    return report

@@ -1,0 +1,311 @@
+"""Dispatch capture: record one executor pass as a compiled graph.
+
+The simulator analogue of CUDA stream capture
+(``cudaStreamBeginCapture``): a :class:`GraphCapture` wraps a
+:class:`repro.gpusim.engine.GPU` and shims its dispatch entry points
+(``launch``, ``synchronize``, ``record_event``, ``wait_event``) so the
+capture pass *executes normally* — nothing is deferred, the warmup
+semantics of the pass are unchanged — while every operation is also
+recorded as a :class:`repro.graphs.compiled.GraphNode`.
+
+Capture needs a memory-effect oracle: the hazard validator requires each
+kernel's abstract read/write region sets, which the engine does not know.
+:class:`KernelEffects` supplies them, built either from the net's blob
+wiring (:func:`effects_from_net`, via the PR-5 access derivation) or
+synthetically from the chain structure of net-less works
+(:func:`synthetic_effects`).  A kernel with no known effect makes the
+capture unusable (:class:`~repro.errors.GraphCaptureError` at
+:meth:`GraphCapture.build` time — never mid-pass, so the eager pass
+always completes); executors treat that as a capture miss and stay eager.
+
+Stream and event handles are renumbered densely in first-use order
+(default stream -> 0), producing process-portable graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.analyze.access import derive_accesses
+from repro.errors import GraphCaptureError
+from repro.gpusim.engine import GPU
+from repro.gpusim.kernel import KernelSpec
+from repro.graphs.compiled import CompiledGraph, GraphNode
+from repro.kernels.ir import LayerWork
+
+#: Sentinel for a (name, tag) pair that maps to conflicting effects.
+_CONFLICT = object()
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Memory effect of one kernel plus its provenance labels."""
+
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+    layer: str = ""
+    chain: int = -1
+
+
+@dataclass
+class KernelEffects:
+    """Effect oracle: kernel spec -> abstract read/write regions.
+
+    Lookup is by spec ``uid`` first (exact object identity across passes —
+    works are lowered once per session, so dispatch re-launches the same
+    spec objects), with a ``(name, tag)`` fallback for transformed works
+    whose specs are rebuilt per pass (e.g. the fusion prepass).  A
+    ``(name, tag)`` pair registered with two different effects is marked
+    conflicting and never resolves — soundness over coverage: an
+    unresolvable kernel fails capture, it never gets a guessed effect.
+    """
+
+    by_uid: dict = field(default_factory=dict)
+    by_name_tag: dict = field(default_factory=dict)
+
+    def add(self, spec: KernelSpec, effect: Effect) -> None:
+        self.by_uid[spec.uid] = effect
+        key = (spec.name, spec.tag)
+        prior = self.by_name_tag.get(key)
+        if prior is None:
+            self.by_name_tag[key] = effect
+        elif prior is not _CONFLICT and prior != effect:
+            self.by_name_tag[key] = _CONFLICT
+
+    def lookup(self, spec: KernelSpec) -> Optional[Effect]:
+        eff = self.by_uid.get(spec.uid)
+        if eff is not None:
+            return eff
+        eff = self.by_name_tag.get((spec.name, spec.tag))
+        return None if eff is _CONFLICT else eff
+
+
+def effects_from_net(net, works: Sequence[LayerWork],
+                     transform: Optional[Callable] = None) -> KernelEffects:
+    """Derive the effect oracle from the net's blob wiring.
+
+    Reuses the PR-5 per-sample access derivation
+    (:func:`repro.analyze.access.derive_accesses`).  ``transform`` is the
+    executor's work rewrite (e.g. fusion), applied here so the oracle
+    describes the kernels the dispatcher will actually launch.
+    """
+    if transform is not None:
+        works = [transform(w) for w in works]
+    effects = KernelEffects()
+    for work, wa in zip(works, derive_accesses(net, works)):
+        for ci, chain in enumerate(work.parallel_chains):
+            for spec, acc in zip(chain, wa.chains[ci]):
+                effects.add(spec, Effect(acc.reads, acc.writes,
+                                         layer=work.key, chain=ci))
+        for spec, acc in zip(work.serial_kernels, wa.serial):
+            effects.add(spec, Effect(acc.reads, acc.writes,
+                                     layer=work.key, chain=-1))
+    return effects
+
+
+def synthetic_effects(works: Sequence[LayerWork]) -> KernelEffects:
+    """Chain-structural effects for works with no backing net.
+
+    Models exactly the dependence structure :mod:`repro.kernels.ir`
+    documents: kernels inside one chain are pipelined through private
+    temporaries, chains of one layer are independent, and the serial tail
+    reads every chain's result.  Layers are chained through
+    ``{layer}:in``/``{layer}:out`` regions so a standalone works list
+    still exercises inter-layer ordering.
+    """
+    effects = KernelEffects()
+    prev_out = ""
+    for work, out_region in zip(works, (f"{w.key}:out" for w in works)):
+        in_regions = {prev_out} if prev_out else set()
+        chain_outs = set()
+        for ci, chain in enumerate(work.parallel_chains):
+            chain_out = f"{work.key}[c{ci}]"
+            chain_outs.add(chain_out)
+            for j, spec in enumerate(chain):
+                reads = set(in_regions)
+                if j > 0:
+                    reads.add(f"{work.key}.c{ci}.t{j - 1}")
+                writes = ({f"{work.key}.c{ci}.t{j}"}
+                          if j < len(chain) - 1 else {chain_out})
+                effects.add(spec, Effect(frozenset(reads),
+                                         frozenset(writes),
+                                         layer=work.key, chain=ci))
+        for j, spec in enumerate(work.serial_kernels):
+            reads = set(in_regions) | chain_outs
+            if j > 0:
+                reads.add(f"{work.key}.s.t{j - 1}")
+            writes = ({f"{work.key}.s.t{j}"}
+                      if j < len(work.serial_kernels) - 1 else {out_region})
+            effects.add(spec, Effect(frozenset(reads), frozenset(writes),
+                                     layer=work.key, chain=-1))
+        prev_out = out_region
+    return effects
+
+
+def poisoned_effects(works: Sequence[LayerWork]) -> KernelEffects:
+    """An intentionally hazardous oracle: every kernel writes one region.
+
+    Test/CI hook (``repro graph --inject-hazard``): any multi-stream
+    capture validated against this oracle carries unordered WAW pairs, so
+    hazard admission must reject it and the runtime must fall back to
+    eager dispatch.
+    """
+    effects = KernelEffects()
+    shared = frozenset({"poison:shared"})
+    for work in works:
+        for ci, chain in enumerate(work.parallel_chains):
+            for spec in chain:
+                effects.add(spec, Effect(frozenset(), shared,
+                                         layer=work.key, chain=ci))
+        for spec in work.serial_kernels:
+            effects.add(spec, Effect(frozenset(), shared,
+                                     layer=work.key, chain=-1))
+    return effects
+
+
+class GraphCapture:
+    """Context manager recording one eager pass on ``gpu`` as a graph.
+
+    Dispatch inside the ``with`` block executes normally *and* appends
+    nodes; :meth:`build` then assembles the :class:`CompiledGraph` (or
+    raises :class:`~repro.errors.GraphCaptureError` for an empty capture
+    or unknown kernel effects).  Nested captures on one device are
+    refused, mirroring ``cudaErrorStreamCaptureUnsupported``.
+    """
+
+    def __init__(self, gpu: GPU, effects: KernelEffects,
+                 name: str = "graph", network: str = "",
+                 pool_size: int = 0, batch: int = 0, seed: int = 0) -> None:
+        self.gpu = gpu
+        self.effects = effects
+        self.name = name
+        self.network = network
+        self.pool_size = pool_size
+        self.batch = batch
+        self.seed = seed
+        self.nodes: list[GraphNode] = []
+        self.problems: list[str] = []
+        self._stream_ids: dict[int, int] = {}
+        self._event_ids: dict[int, int] = {}
+        self._saved: dict = {}
+
+    # -- dense renumbering ---------------------------------------------
+    def _stream_of(self, stream) -> int:
+        engine_id = (0 if stream is None or stream.is_default
+                     else stream.stream_id)
+        if engine_id == 0:
+            return 0
+        return self._stream_ids.setdefault(engine_id,
+                                           len(self._stream_ids) + 1)
+
+    def _event_of(self, event) -> int:
+        return self._event_ids.setdefault(event.event_id,
+                                          len(self._event_ids))
+
+    # -- shims ---------------------------------------------------------
+    def _on_launch(self, spec: KernelSpec, stream=None, enqueue_at=None):
+        result = self._saved["launch"](spec, stream=stream,
+                                       enqueue_at=enqueue_at)
+        eff = self.effects.lookup(spec)
+        if eff is None:
+            self.problems.append(
+                f"no memory effect known for kernel {spec.name!r} "
+                f"(tag {spec.tag!r})")
+            eff = Effect()
+        lc = spec.launch
+        self.nodes.append(GraphNode(
+            kind="launch", stream=self._stream_of(stream),
+            kernel=spec.name, grid=lc.grid, block=lc.block,
+            shared_mem_static=lc.shared_mem_static,
+            shared_mem_dynamic=lc.shared_mem_dynamic,
+            registers_per_thread=lc.registers_per_thread,
+            flops_per_thread=spec.flops_per_thread,
+            bytes_per_thread=spec.bytes_per_thread,
+            tag=spec.tag, duration_us=spec.duration_us,
+            reads=tuple(sorted(eff.reads)),
+            writes=tuple(sorted(eff.writes)),
+            layer=eff.layer, chain=eff.chain,
+        ))
+        return result
+
+    def _on_synchronize(self):
+        result = self._saved["synchronize"]()
+        self.nodes.append(GraphNode(kind="barrier"))
+        return result
+
+    def _on_record_event(self, event, stream=None):
+        result = self._saved["record_event"](event, stream=stream)
+        self.nodes.append(GraphNode(kind="record",
+                                    stream=self._stream_of(stream),
+                                    event=self._event_of(event)))
+        return result
+
+    def _on_wait_event(self, event, stream=None):
+        result = self._saved["wait_event"](event, stream=stream)
+        self.nodes.append(GraphNode(kind="wait",
+                                    stream=self._stream_of(stream),
+                                    event=self._event_of(event)))
+        return result
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "GraphCapture":
+        if getattr(self.gpu, "_graph_capture_active", False):
+            raise GraphCaptureError(
+                f"device {self.gpu.props.name} is already capturing; "
+                f"nested captures are not supported")
+        self._saved = {
+            "launch": self.gpu.launch,
+            "synchronize": self.gpu.synchronize,
+            "record_event": self.gpu.record_event,
+            "wait_event": self.gpu.wait_event,
+        }
+        self.gpu.launch = self._on_launch                # type: ignore
+        self.gpu.synchronize = self._on_synchronize      # type: ignore
+        self.gpu.record_event = self._on_record_event    # type: ignore
+        self.gpu.wait_event = self._on_wait_event        # type: ignore
+        self.gpu._graph_capture_active = True            # type: ignore
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for attr, fn in self._saved.items():
+            setattr(self.gpu, attr, fn)
+        self.gpu._graph_capture_active = False           # type: ignore
+
+    def build(self) -> CompiledGraph:
+        """Assemble the captured graph; the capture-miss choke point."""
+        if self.problems:
+            raise GraphCaptureError(
+                f"capture {self.name!r} unusable: " +
+                "; ".join(sorted(set(self.problems))))
+        if not any(n.kind == "launch" for n in self.nodes):
+            raise GraphCaptureError(
+                f"capture {self.name!r} recorded no kernel launches")
+        return CompiledGraph(
+            name=self.name, network=self.network,
+            device=self.gpu.props.name,
+            pool_size=max((len(self._stream_ids), self.pool_size)),
+            batch=self.batch, seed=self.seed, nodes=list(self.nodes),
+        )
+
+
+def capture_works(executor, works: Sequence[LayerWork],
+                  effects: KernelEffects, name: str = "graph",
+                  network: str = "", batch: int = 0, seed: int = 0,
+                  warmup: bool = True) -> CompiledGraph:
+    """Capture one eager pass of ``works`` through ``executor``.
+
+    With ``warmup`` (default), an uncaptured eager pass runs first so
+    one-time work — GLP4NN profiling, MILP solves, pool creation — lands
+    outside the capture and the recorded dispatch is the steady-state
+    schedule.  The captured pass itself still executes eagerly.
+    """
+    if warmup:
+        for w in works:
+            executor.run(w)
+    cap = GraphCapture(executor.gpu, effects, name=name, network=network,
+                       batch=batch, seed=seed)
+    with cap:
+        for w in works:
+            executor.run(w)
+    return cap.build()

@@ -1,0 +1,252 @@
+"""Compiled graphs: the serializable artifact of dispatch capture.
+
+A :class:`CompiledGraph` is a device-independent record of one executor
+pass — every kernel launch with its launch configuration, per-thread work,
+memory effect (abstract read/write region sets) and *dense* stream id,
+plus the barriers and event edges that ordered them.  It is the bridge
+between the three phases of the graph-launch lifecycle:
+
+* **capture** (:mod:`repro.graphs.capture`) produces one from a live
+  executor run;
+* **validation** (:mod:`repro.graphs.admission`) lowers it to a
+  :class:`repro.analyze.program.DispatchProgram` — the PR-5 hazard IR —
+  and refuses admission unless the race detector certifies it;
+* **replay** (:mod:`repro.graphs.replay`) instantiates it back onto a
+  :class:`repro.gpusim.engine.GPU` as a single amortized graph launch.
+
+Stream ids inside a graph are *program-relative*: 0 is the legacy default
+stream (barrier semantics), pool streams are renumbered densely in
+first-use order.  That makes graphs portable across processes — engine
+stream handles are process-global — and is exactly the numbering
+:func:`repro.analyze.program.happens_before` assumes.
+
+Graphs serialize to canonical JSON with a SHA-256 fingerprint, mirroring
+the decision cache (:mod:`repro.core.persistence`), so the on-disk cache
+can quarantine tampered or stale entries instead of replaying them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analyze.program import DispatchProgram
+from repro.errors import GraphError
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.kernels.ir import LayerWork
+
+#: Node kinds, mirroring :mod:`repro.analyze.program` op-for-op.
+NODE_KINDS = ("launch", "barrier", "record", "wait")
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One captured dispatch operation, fully self-describing.
+
+    ``launch`` nodes carry the whole :class:`KernelSpec` (flattened so the
+    graph round-trips through JSON) plus the kernel's memory effect;
+    ``record``/``wait`` nodes carry a graph-relative event id; ``barrier``
+    nodes record a captured host ``synchronize``.
+    """
+
+    kind: str
+    stream: int = 0
+    # -- launch payload ------------------------------------------------
+    kernel: str = ""
+    grid: tuple[int, int, int] = (1, 1, 1)
+    block: tuple[int, int, int] = (1, 1, 1)
+    shared_mem_static: int = 0
+    shared_mem_dynamic: int = 0
+    registers_per_thread: int = 32
+    flops_per_thread: float = 1.0
+    bytes_per_thread: float = 4.0
+    tag: str = ""
+    duration_us: Optional[float] = None
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    layer: str = ""
+    chain: int = -1
+    # -- record/wait payload -------------------------------------------
+    event: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_KINDS:
+            raise GraphError(
+                f"unknown graph node kind {self.kind!r}; expected one of "
+                f"{', '.join(NODE_KINDS)}"
+            )
+        if self.kind == "launch" and not self.kernel:
+            raise GraphError("launch node needs a kernel name")
+        if self.kind in ("record", "wait") and self.event < 0:
+            raise GraphError(f"{self.kind} node needs an event id")
+
+    def spec(self) -> KernelSpec:
+        """Materialize the kernel spec (fresh uid) for replay."""
+        if self.kind != "launch":
+            raise GraphError(f"{self.kind} node has no kernel spec")
+        return KernelSpec(
+            name=self.kernel,
+            launch=LaunchConfig(
+                grid=tuple(self.grid), block=tuple(self.block),
+                shared_mem_static=self.shared_mem_static,
+                shared_mem_dynamic=self.shared_mem_dynamic,
+                registers_per_thread=self.registers_per_thread,
+            ),
+            flops_per_thread=self.flops_per_thread,
+            bytes_per_thread=self.bytes_per_thread,
+            tag=self.tag,
+            duration_us=self.duration_us,
+        )
+
+    def to_dict(self) -> dict:
+        if self.kind == "barrier":
+            return {"kind": self.kind}
+        if self.kind in ("record", "wait"):
+            return {"kind": self.kind, "stream": self.stream,
+                    "event": self.event}
+        return {
+            "kind": self.kind, "stream": self.stream,
+            "kernel": self.kernel,
+            "grid": list(self.grid), "block": list(self.block),
+            "shared_mem_static": self.shared_mem_static,
+            "shared_mem_dynamic": self.shared_mem_dynamic,
+            "registers_per_thread": self.registers_per_thread,
+            "flops_per_thread": self.flops_per_thread,
+            "bytes_per_thread": self.bytes_per_thread,
+            "tag": self.tag,
+            "duration_us": self.duration_us,
+            "reads": sorted(self.reads), "writes": sorted(self.writes),
+            "layer": self.layer, "chain": self.chain,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GraphNode":
+        kind = d.get("kind", "")
+        if kind == "barrier":
+            return cls(kind="barrier")
+        if kind in ("record", "wait"):
+            return cls(kind=kind, stream=int(d["stream"]),
+                       event=int(d["event"]))
+        return cls(
+            kind=kind, stream=int(d["stream"]), kernel=d["kernel"],
+            grid=tuple(int(x) for x in d["grid"]),
+            block=tuple(int(x) for x in d["block"]),
+            shared_mem_static=int(d["shared_mem_static"]),
+            shared_mem_dynamic=int(d["shared_mem_dynamic"]),
+            registers_per_thread=int(d["registers_per_thread"]),
+            flops_per_thread=float(d["flops_per_thread"]),
+            bytes_per_thread=float(d["bytes_per_thread"]),
+            tag=d.get("tag", ""),
+            duration_us=(None if d.get("duration_us") is None
+                         else float(d["duration_us"])),
+            reads=tuple(d.get("reads", ())),
+            writes=tuple(d.get("writes", ())),
+            layer=d.get("layer", ""), chain=int(d.get("chain", -1)),
+        )
+
+
+@dataclass
+class CompiledGraph:
+    """A captured dispatch program, ready for validation and replay."""
+
+    name: str
+    network: str = ""
+    device: str = ""
+    pool_size: int = 0
+    batch: int = 0
+    seed: int = 0
+    nodes: list[GraphNode] = field(default_factory=list)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def launches(self) -> int:
+        return sum(1 for n in self.nodes if n.kind == "launch")
+
+    def streams_used(self) -> set[int]:
+        return {n.stream for n in self.nodes
+                if n.kind in ("launch", "record", "wait")}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- lowering to the hazard IR -------------------------------------
+    def program(self) -> DispatchProgram:
+        """Lower to the PR-5 hazard IR for race-detector validation."""
+        prog = DispatchProgram(name=self.name)
+        for n in self.nodes:
+            if n.kind == "launch":
+                prog.launch(n.kernel, n.stream, reads=n.reads,
+                            writes=n.writes, layer=n.layer, chain=n.chain)
+            elif n.kind == "barrier":
+                prog.sync()
+            elif n.kind == "record":
+                prog.record(n.event, n.stream)
+            else:
+                prog.wait(n.event, n.stream)
+        return prog
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "network": self.network,
+            "device": self.device, "pool_size": self.pool_size,
+            "batch": self.batch, "seed": self.seed,
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompiledGraph":
+        return cls(
+            name=d["name"], network=d.get("network", ""),
+            device=d.get("device", ""),
+            pool_size=int(d.get("pool_size", 0)),
+            batch=int(d.get("batch", 0)), seed=int(d.get("seed", 0)),
+            nodes=[GraphNode.from_dict(n) for n in d["nodes"]],
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical-JSON SHA-256 over the graph's full content.
+
+        The cache stores this next to each entry so load can detect
+        tampering or staleness, exactly like the decision cache's
+        per-entry fingerprint.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def works_fingerprint(works: Sequence[LayerWork], device: str = "",
+                      extra: str = "") -> str:
+    """Content digest identifying a works list on one device.
+
+    This is the graph-cache key: two works lists with the same layer keys,
+    chain structure and kernel signatures (code + geometry + footprint +
+    per-thread work) describe the same dispatch stream, whatever process
+    lowered them.  ``extra`` folds in caller context (e.g. the executor
+    kind) when the same works can be dispatched differently.
+    """
+    h = hashlib.sha256()
+    h.update(device.encode("utf-8"))
+    h.update(extra.encode("utf-8"))
+    for work in works:
+        h.update(work.key.encode("utf-8"))
+        for chain in work.parallel_chains:
+            h.update(b"c")
+            for k in chain:
+                h.update(repr(_kernel_identity(k)).encode("utf-8"))
+        h.update(b"s")
+        for k in work.serial_kernels:
+            h.update(repr(_kernel_identity(k)).encode("utf-8"))
+    return h.hexdigest()
+
+
+def _kernel_identity(spec: KernelSpec) -> tuple:
+    """The content identity of one kernel (no uid — uids are per-object)."""
+    lc = spec.launch
+    return (spec.name, lc.grid, lc.block, lc.shared_mem_static,
+            lc.shared_mem_dynamic, lc.registers_per_thread,
+            spec.flops_per_thread, spec.bytes_per_thread, spec.tag,
+            spec.duration_us)

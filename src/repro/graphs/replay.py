@@ -1,0 +1,79 @@
+"""Graph instantiation and replay: one host launch per pass.
+
+The simulator analogue of ``cudaGraphInstantiate`` + ``cudaGraphLaunch``:
+:func:`instantiate` binds a validated :class:`CompiledGraph` to a device
+— creating the pool streams and events its dense ids name — and the
+resulting :class:`GraphExec` replays the whole program through
+:meth:`repro.gpusim.engine.GPU.launch_graph` for a single amortized
+``T_launch``, however many kernels the graph holds.
+
+Binding is one-time: streams and events are created at instantiation and
+reused by every replay, so steady-state replay touches the host clock
+exactly once per pass (plus the closing ``synchronize`` the training
+loop needs anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.gpusim.engine import GPU
+from repro.gpusim.graph import GraphLaunchResult, GraphOp
+from repro.gpusim.stream import Event, Stream
+from repro.graphs.compiled import CompiledGraph
+
+
+@dataclass
+class GraphExec:
+    """A compiled graph bound to one device, ready to launch."""
+
+    graph: CompiledGraph
+    gpu: GPU
+    ops: list[GraphOp] = field(default_factory=list)
+    streams: dict[int, Stream] = field(default_factory=dict)
+    events: dict[int, Event] = field(default_factory=dict)
+    launch_count: int = 0
+
+    def launch(self) -> GraphLaunchResult:
+        """Enqueue the whole graph with one host-side launch."""
+        result = self.gpu.launch_graph(self.ops, name=self.graph.name)
+        self.launch_count += 1
+        return result
+
+    def run(self) -> float:
+        """Launch and synchronize; returns elapsed host µs."""
+        start = self.gpu.host_time
+        self.launch()
+        self.gpu.synchronize()
+        return self.gpu.host_time - start
+
+
+def instantiate(graph: CompiledGraph, gpu: GPU) -> GraphExec:
+    """Bind ``graph`` to ``gpu``: allocate streams/events, build the ops.
+
+    Dense stream id 0 maps to the device's legacy default stream
+    (preserving its barrier semantics); ids >= 1 get fresh pool streams.
+    Event ids get fresh events, private to this executable.
+    """
+    if not graph.nodes:
+        raise GraphError(f"graph {graph.name!r} has no nodes")
+    exec_ = GraphExec(graph=graph, gpu=gpu)
+    for sid in sorted(graph.streams_used()):
+        if sid == 0:
+            exec_.streams[0] = gpu.default_stream
+        else:
+            exec_.streams[sid] = gpu.create_stream(
+                name=f"{graph.name}.s{sid}")
+    for node in graph.nodes:
+        if node.kind == "launch":
+            exec_.ops.append(GraphOp("launch", spec=node.spec(),
+                                     stream=exec_.streams[node.stream]))
+        elif node.kind == "barrier":
+            exec_.ops.append(GraphOp("barrier"))
+        else:
+            event = exec_.events.setdefault(
+                node.event, Event(name=f"{graph.name}.e{node.event}"))
+            exec_.ops.append(GraphOp(node.kind, event=event,
+                                     stream=exec_.streams[node.stream]))
+    return exec_

@@ -1,0 +1,279 @@
+"""Graph session driver + report: what ``python -m repro graph`` runs.
+
+One entry point, :func:`run_graph_session`, covers the three CLI actions:
+
+* ``capture`` — warmup + capture + hazard admission; optionally persist
+  the admitted graphs to a quarantine-safe cache file;
+* ``replay``  — the full lifecycle over several passes, measuring
+  graph-replay latency and launch overhead against the eager passes;
+* ``report``  — capture + validation verdict only (no replay), the
+  "would this dispatch be graph-safe?" query.
+
+The :class:`GraphReport` it returns follows the repo-wide reporting
+protocol (``render``/``to_dict``/``to_json``/``save``) so the CLI's
+``--format json|text`` plumbing in :mod:`repro.reporting` applies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.graphs.admission import validate_graph
+from repro.graphs.cache import load_graphs_safe, save_graphs
+from repro.graphs.capture import poisoned_effects
+from repro.graphs.runtime import GraphModeRuntime, WARMUP_PASSES
+from repro.runtime.lowering import lower_net
+from repro.serve.engine import make_executor, resolve_device, resolve_net
+
+#: CLI actions, in lifecycle order.
+GRAPH_ACTIONS = ("capture", "replay", "report")
+
+#: Phases a graph session can lower.
+GRAPH_PHASES = ("forward", "backward", "both")
+
+
+@dataclass
+class PhaseOutcome:
+    """Per-phase result: one works list through the graph lifecycle."""
+
+    phase: str
+    nodes: int = 0
+    launches: int = 0
+    streams: int = 0
+    ok: bool = False
+    status: str = ""              # "admitted" | "capture miss: ..." | ...
+    hazards: int = 0
+    warmup_us: float = 0.0        # first pass (profiling + analysis)
+    eager_us: float = 0.0         # steady-state eager pass (the capture
+                                  # pass executes eagerly; recording the
+                                  # nodes costs no simulated time)
+    replay_us: float = 0.0        # mean replay pass
+    replays: int = 0
+    eager_overhead_us: float = 0.0   # host launch overhead, eager pass
+    graph_overhead_us: float = 0.0   # host launch overhead, replay pass
+
+    @property
+    def overhead_reduction(self) -> float:
+        """Fraction of per-pass host launch overhead removed by replay."""
+        if self.eager_overhead_us <= 0 or not self.replays:
+            return 0.0
+        return 1.0 - self.graph_overhead_us / self.eager_overhead_us
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase, "nodes": self.nodes,
+            "launches": self.launches, "streams": self.streams,
+            "ok": self.ok, "status": self.status, "hazards": self.hazards,
+            "warmup_us": round(self.warmup_us, 3),
+            "eager_us": round(self.eager_us, 3),
+            "replay_us": round(self.replay_us, 3),
+            "replays": self.replays,
+            "eager_overhead_us": round(self.eager_overhead_us, 3),
+            "graph_overhead_us": round(self.graph_overhead_us, 3),
+            "overhead_reduction": round(self.overhead_reduction, 4),
+        }
+
+
+@dataclass
+class GraphReport:
+    """Outcome of one ``repro graph`` session."""
+
+    action: str
+    network: str
+    device: str
+    batch: int
+    seed: int
+    executor: str
+    iterations: int
+    inject_hazard: bool = False
+    phases: list[PhaseOutcome] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    cache_path: str = ""
+    cache_saved: int = 0
+    cache_quarantined: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        # --inject-hazard *expects* rejection + eager fallback: the
+        # session is OK iff every phase was refused admission and still
+        # completed its passes eagerly.
+        if self.inject_hazard:
+            return all(not p.ok for p in self.phases)
+        return all(p.ok for p in self.phases)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "graph-report",
+            "action": self.action, "network": self.network,
+            "device": self.device, "batch": self.batch, "seed": self.seed,
+            "executor": self.executor, "iterations": self.iterations,
+            "inject_hazard": self.inject_hazard, "ok": self.ok,
+            "phases": [p.to_dict() for p in self.phases],
+            "stats": dict(self.stats),
+            "cache": {"path": self.cache_path, "saved": self.cache_saved,
+                      "quarantined": list(self.cache_quarantined)},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+    def render(self) -> str:
+        lines = [
+            f"graph {self.action}: {self.network} on {self.device} "
+            f"(batch {self.batch}, seed {self.seed}, "
+            f"executor {self.executor})"
+        ]
+        for p in self.phases:
+            lines.append(
+                f"  {p.phase:8s} {p.launches:4d} launch(es) over "
+                f"{p.nodes} node(s), {p.streams} stream(s) — {p.status}")
+            if p.replays and p.eager_us > 0:
+                speedup = (p.eager_us / p.replay_us
+                           if p.replay_us > 0 else float("inf"))
+                lines.append(
+                    f"           eager {p.eager_us:.1f}us -> replay "
+                    f"{p.replay_us:.1f}us ({speedup:.2f}x); host launch "
+                    f"overhead {p.eager_overhead_us:.1f}us -> "
+                    f"{p.graph_overhead_us:.1f}us "
+                    f"(-{100 * p.overhead_reduction:.1f}%)")
+            elif p.replays:
+                lines.append(
+                    f"           {p.replays} replay(s) at "
+                    f"{p.replay_us:.1f}us (cache hit: no eager passes "
+                    f"to compare)")
+        if self.cache_path:
+            lines.append(f"  cache: {self.cache_path} "
+                         f"({self.cache_saved} graph(s) saved, "
+                         f"{len(self.cache_quarantined)} quarantined)")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"graph: {verdict}"
+                     + (" (hazard injection: rejection exercised)"
+                        if self.inject_hazard and self.ok else ""))
+        return "\n".join(lines)
+
+
+def run_graph_session(action: str = "replay",
+                      network: str = "cifar10",
+                      device: str = "p100",
+                      phase: str = "both",
+                      batch: int = 8,
+                      seed: int = 0,
+                      executor: str = "glp4nn",
+                      streams: int = 4,
+                      iterations: int = 4,
+                      inject_hazard: bool = False,
+                      cache: Optional[str] = None,
+                      load_cache: bool = False) -> GraphReport:
+    """Run one graph capture/replay session and report it.
+
+    ``iterations`` counts total passes per phase (warmup + capture +
+    replays); ``replay`` needs at least ``WARMUP_PASSES + 2`` to reach a
+    replay, and is clamped up to that.  ``cache`` persists admitted
+    graphs after the run (``action="capture"``) or, with ``load_cache``,
+    seeds the runtime from disk first (quarantine-safe).
+    """
+    if action not in GRAPH_ACTIONS:
+        raise ReproError(
+            f"unknown graph action {action!r}; expected one of "
+            f"{', '.join(GRAPH_ACTIONS)}")
+    if phase not in GRAPH_PHASES:
+        raise ReproError(
+            f"unknown phase {phase!r}; expected one of "
+            f"{', '.join(GRAPH_PHASES)}")
+    props = resolve_device(device)
+    builder = resolve_net(network)
+    reset_handle_ids()
+    net = builder(batch=batch, seed=seed)
+    gpu = GPU(props)
+    ex = make_executor(executor, gpu, fixed_streams=streams)
+
+    report = GraphReport(action=action, network=network,
+                         device=props.name, batch=batch, seed=seed,
+                         executor=executor, iterations=iterations,
+                         inject_hazard=inject_hazard)
+    seeded = None
+    if cache and load_cache:
+        cache_report = load_graphs_safe(cache, props.name)
+        seeded = cache_report.graphs
+        report.cache_path = str(cache)
+        report.cache_quarantined = [list(q)
+                                    for q in cache_report.quarantined]
+    runtime = ex.enable_graph_mode(
+        net=net, network=network,
+        effects_fn=poisoned_effects if inject_hazard else None,
+        graphs=seeded)
+
+    phases = (["forward", "backward"] if phase == "both" else [phase])
+    min_passes = WARMUP_PASSES + (2 if action == "replay" else 1)
+    passes = max(iterations, min_passes)
+    for ph in phases:
+        works = lower_net(net, ph)
+        outcome = PhaseOutcome(phase=ph)
+        per_pass: list[tuple[float, float]] = []   # (elapsed, overhead)
+        for _ in range(passes if action == "replay" else min_passes):
+            o0 = gpu.launch_overhead_total
+            elapsed = ex.run_pass(works)
+            per_pass.append((elapsed, gpu.launch_overhead_total - o0))
+        key = _works_key(works, gpu)
+        graph = runtime.admitted.get(key)
+        if graph is not None:
+            verdict = validate_graph(graph)
+            outcome.nodes = len(graph)
+            outcome.launches = graph.launches
+            outcome.streams = len(graph.streams_used())
+            outcome.hazards = len(verdict.hazards)
+            outcome.ok = verdict.ok
+            outcome.status = "admitted"
+        else:
+            outcome.ok = False
+            outcome.status = runtime.stats.rejected.get(
+                key, "not captured")
+            if inject_hazard:
+                rejected = runtime.stats.rejected.get(key, "")
+                outcome.hazards = 1 if rejected else 0
+        modes = runtime.modes_for(works, gpu.props.name)
+        by_mode: dict[str, list[tuple[float, float]]] = {}
+        for mode, sample in zip(modes, per_pass):
+            by_mode.setdefault(mode, []).append(sample)
+        if "eager" in by_mode:
+            outcome.warmup_us = by_mode["eager"][0][0]
+        # The capture pass runs eagerly (recording is free on the
+        # simulated clock): the fair steady-state eager baseline.  Fall
+        # back to later eager passes (rejected graphs have no capture).
+        steady_eager = (by_mode.get("capture")
+                        or by_mode.get("eager", [])[1:]
+                        or by_mode.get("eager", []))
+        if steady_eager:
+            outcome.eager_us = steady_eager[-1][0]
+            outcome.eager_overhead_us = steady_eager[-1][1]
+        replay_passes = by_mode.get("replay", [])
+        if graph is not None and replay_passes:
+            outcome.replays = len(replay_passes)
+            outcome.replay_us = (sum(e for e, _ in replay_passes)
+                                 / len(replay_passes))
+            outcome.graph_overhead_us = (sum(o for _, o in replay_passes)
+                                         / len(replay_passes))
+        report.phases.append(outcome)
+
+    report.stats = runtime.stats.to_dict()
+    if cache and not load_cache:
+        report.cache_path = str(cache)
+        report.cache_saved = save_graphs(runtime.admitted, cache,
+                                         props.name)
+    return report
+
+
+def _works_key(works, gpu) -> str:
+    from repro.graphs.compiled import works_fingerprint
+    return works_fingerprint(list(works), gpu.props.name)

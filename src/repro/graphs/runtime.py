@@ -1,0 +1,256 @@
+"""Graph-mode runtime: the warmup -> capture -> replay lifecycle.
+
+:class:`GraphModeRuntime` sits between an executor and its works and
+decides, per pass, whether to dispatch eagerly or replay a compiled
+graph.  Per works list (identified by content fingerprint, so the same
+lowered works hit the same state across sessions):
+
+1. **warmup** — the first pass runs eagerly, untouched, so GLP4NN's
+   one-time profiling + MILP analysis happens outside any capture;
+2. **capture** — the second pass runs eagerly *under capture*, then the
+   recorded graph goes through hazard admission
+   (:mod:`repro.graphs.admission`) and, if admitted, is instantiated for
+   replay;
+3. **replay** — every later pass launches the graph once
+   (:meth:`repro.gpusim.engine.GPU.launch_graph`) and synchronizes: one
+   host ``T_launch`` for the whole program.
+
+Every failure degrades to eager dispatch, never to an error — the same
+graceful-degradation contract the runtime scheduler keeps:
+
+* capture miss (unknown kernel effects, empty capture) or validation
+  rejection (hazardous graph) permanently pins the works to eager
+  dispatch, with the reason recorded in :class:`GraphModeStats`;
+* an injected ``graph_launch`` fault fails only the *current* pass over
+  to eager dispatch (the site fires before any engine state changes);
+  the admitted graph replays again on the next pass.
+
+Numerics are untouched either way — the executor only meters simulated
+time — and the ``repro.verify`` graph-replay harness holds the bit-exact
+equivalence of the two modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import (
+    AnalyzeError,
+    FaultInjected,
+    GraphCaptureError,
+    GraphValidationError,
+)
+from repro.graphs.admission import admit
+from repro.graphs.capture import (
+    GraphCapture,
+    KernelEffects,
+    effects_from_net,
+    synthetic_effects,
+)
+from repro.graphs.compiled import CompiledGraph, works_fingerprint
+from repro.graphs.replay import GraphExec, instantiate
+from repro.kernels.ir import LayerWork
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+
+#: Eager passes before capture (pass 1 pays profiling/analysis).
+WARMUP_PASSES = 1
+
+
+@dataclass
+class GraphModeStats:
+    """Observable outcome counters of one graph-mode runtime."""
+
+    eager_passes: int = 0
+    captures: int = 0
+    replays: int = 0
+    capture_misses: int = 0
+    validation_rejects: int = 0
+    launch_fallbacks: int = 0
+    #: works fingerprint -> reason it is pinned to eager dispatch.
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "eager_passes": self.eager_passes,
+            "captures": self.captures,
+            "replays": self.replays,
+            "capture_misses": self.capture_misses,
+            "validation_rejects": self.validation_rejects,
+            "launch_fallbacks": self.launch_fallbacks,
+            "rejected": dict(self.rejected),
+        }
+
+
+@dataclass
+class _WorksState:
+    """Per-works lifecycle state, keyed by works fingerprint."""
+
+    passes: int = 0
+    exec: Optional[GraphExec] = None
+    graph: Optional[CompiledGraph] = None
+    dead_reason: str = ""
+    #: How each pass actually dispatched, in order:
+    #: "eager" | "capture" | "replay" | "fallback".
+    modes: list[str] = field(default_factory=list)
+
+
+class GraphModeRuntime:
+    """Transparent graph dispatch for an executor's ``run_pass``.
+
+    Parameters
+    ----------
+    net:
+        The network backing the works, used to derive capture memory
+        effects from its blob wiring (the sound per-sample model).  When
+        ``None``, chain-structural synthetic effects are used.
+    effects_fn:
+        Override: ``works -> KernelEffects``.  Takes precedence over
+        ``net``; the ``--inject-hazard`` CI hook passes
+        :func:`repro.graphs.capture.poisoned_effects` here.
+    graphs:
+        Pre-captured graphs (works fingerprint -> graph), e.g. from
+        :func:`repro.graphs.cache.load_graphs_safe`.  A cache hit skips
+        warmup and capture — but never admission: cached graphs are
+        re-validated before their first replay.
+    """
+
+    def __init__(self, net=None,
+                 effects_fn: Optional[Callable[..., KernelEffects]] = None,
+                 graphs: Optional[dict[str, CompiledGraph]] = None,
+                 network: str = "") -> None:
+        self.net = net
+        self.effects_fn = effects_fn
+        self.network = network
+        self.seeded = dict(graphs) if graphs else {}
+        self.stats = GraphModeStats()
+        #: Admitted graphs by works fingerprint (for cache persistence).
+        self.admitted: dict[str, CompiledGraph] = {}
+        self._states: dict[str, _WorksState] = {}
+
+    # ------------------------------------------------------------------
+    def run_pass(self, executor, works: Sequence[LayerWork]) -> float:
+        """Dispatch one pass of ``works``, eagerly or as a graph replay."""
+        works = list(works)
+        key = works_fingerprint(works, executor.gpu.props.name)
+        state = self._states.setdefault(key, _WorksState())
+        state.passes += 1
+
+        if state.dead_reason:
+            return self._eager(executor, works, state)
+        if state.graph is not None:
+            return self._replay(executor, works, state)
+        if key in self.seeded:
+            # Cache hit: adopt the pre-captured graph, skipping warmup
+            # and capture — but not admission, which gates every graph
+            # before its first replay.
+            state.graph = self.seeded.pop(key)
+            self._admit(key, state)
+            if state.dead_reason:
+                return self._eager(executor, works, state)
+            return self._replay(executor, works, state)
+        if state.passes <= WARMUP_PASSES:
+            return self._eager(executor, works, state)
+        return self._capture(executor, works, key, state)
+
+    # ------------------------------------------------------------------
+    def modes_for(self, works: Sequence[LayerWork], device: str
+                  ) -> list[str]:
+        """Dispatch mode of each recorded pass over ``works``."""
+        state = self._states.get(works_fingerprint(list(works), device))
+        return list(state.modes) if state else []
+
+    def _eager(self, executor, works: Sequence[LayerWork],
+               state: Optional[_WorksState] = None,
+               mode: str = "eager") -> float:
+        self.stats.eager_passes += 1
+        if state is not None:
+            state.modes.append(mode)
+        return executor._eager_run_pass(works)
+
+    def _effects(self, executor, works: Sequence[LayerWork]
+                 ) -> KernelEffects:
+        if self.effects_fn is not None:
+            return self.effects_fn(works)
+        if self.net is not None:
+            return effects_from_net(
+                self.net, works,
+                transform=executor.scheduler.work_transform)
+        return synthetic_effects(works)
+
+    def _capture(self, executor, works: Sequence[LayerWork], key: str,
+                 state: _WorksState) -> float:
+        start = executor.gpu.host_time
+        name = (works[0].phase if works else "pass")
+        ran = False
+        with span("graph.capture", cat="graph", works=len(works)) as h:
+            try:
+                effects = self._effects(executor, works)
+                cap = GraphCapture(executor.gpu, effects,
+                                   name=f"graph.{name}",
+                                   network=self.network)
+                with cap:
+                    ran = True
+                    for w in works:
+                        executor.run(w)
+                state.graph = cap.build()
+                state.modes.append("capture")
+                self.stats.captures += 1
+                counter_inc("graph.captures")
+                h.set(nodes=len(state.graph),
+                      launches=state.graph.launches)
+            except (GraphCaptureError, AnalyzeError) as e:
+                # Capture miss: pin these works to eager dispatch.  If
+                # the pass already executed (eagerly, under recording),
+                # only the recording is discarded; if the miss struck
+                # before dispatch, run the pass eagerly now.
+                state.graph = None
+                state.dead_reason = f"capture miss: {e}"
+                self.stats.capture_misses += 1
+                self.stats.rejected[key] = state.dead_reason
+                counter_inc("graph.capture_misses")
+                h.set(miss=str(e))
+                if not ran:
+                    return self._eager(executor, works, state)
+                self.stats.eager_passes += 1
+                state.modes.append("eager")
+                return executor.gpu.host_time - start
+        self._admit(key, state)
+        return executor.gpu.host_time - start
+
+    def _admit(self, key: str, state: _WorksState) -> None:
+        assert state.graph is not None
+        try:
+            admit(state.graph)
+        except GraphValidationError as e:
+            state.dead_reason = f"validation rejected: {e}"
+            self.stats.validation_rejects += 1
+            self.stats.rejected[key] = state.dead_reason
+            counter_inc("graph.validation_rejects")
+            state.graph = None
+            return
+        self.admitted[key] = state.graph
+
+    def _replay(self, executor, works: Sequence[LayerWork],
+                state: _WorksState) -> float:
+        assert state.graph is not None
+        if state.exec is None:
+            state.exec = instantiate(state.graph, executor.gpu)
+        with span("graph.replay", cat="graph",
+                  launches=state.graph.launches) as h:
+            try:
+                elapsed = state.exec.run()
+            except FaultInjected as e:
+                # The graph-launch fault site fires before any engine
+                # state changes: fall back to eager for this pass only.
+                self.stats.launch_fallbacks += 1
+                counter_inc("graph.launch_fallbacks")
+                h.set(fallback=str(e))
+                return self._eager(executor, works, state,
+                                   mode="fallback")
+            state.modes.append("replay")
+            self.stats.replays += 1
+            counter_inc("graph.replays")
+            h.set(elapsed_us=elapsed)
+        return elapsed

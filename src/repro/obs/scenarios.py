@@ -219,6 +219,24 @@ def _run_fleet() -> TraceCapture:
     )
 
 
+def _run_graph() -> TraceCapture:
+    """Graph-launch lifecycle on CIFAR10: warmup, capture, two replays."""
+    from repro.nn.zoo import build_cifar10
+    from repro.runtime.lowering import lower_net
+
+    gpu = GPU(resolve_device("p100"), record_timeline=True)
+    ex = make_executor("glp4nn", gpu)
+    net = build_cifar10(batch=8, seed=0)
+    ex.enable_graph_mode(net=net, network="cifar10")
+    works = list(lower_net(net, "forward"))
+    with _observing(gpu) as (rec, reg):
+        for _ in range(4):   # eager warmup, capture, replay, replay
+            ex.run_pass(works)
+    return _capture(
+        "graph", "CIFAR10 forward under graph-launch: eager warmup, "
+        "capture + admission, then amortized replays", gpu, rec, reg)
+
+
 #: Scenario name -> builder.  Deterministic iteration order (insertion).
 TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "fig3": _run_fig3,
@@ -227,6 +245,7 @@ TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "serve": _run_serve,
     "verify": _run_verify,
     "fleet": _run_fleet,
+    "graph": _run_graph,
 }
 
 

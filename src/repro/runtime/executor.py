@@ -30,6 +30,11 @@ class Executor:
 
     def __init__(self, gpu: GPU) -> None:
         self.gpu = gpu
+        #: When set (:meth:`enable_graph_mode`), ``run_pass`` routes
+        #: through the graph-launch lifecycle — warmup, capture, hazard
+        #: admission, amortized replay — falling back to this class's
+        #: eager dispatch on any capture miss or validation failure.
+        self.graph_runtime = None
 
     @property
     def scheduler(self) -> RuntimeScheduler:
@@ -41,6 +46,12 @@ class Executor:
 
     def run_pass(self, works: Iterable[LayerWork]) -> float:
         """Execute a sequence of layers; returns total elapsed µs."""
+        if self.graph_runtime is not None:
+            return self.graph_runtime.run_pass(self, works)
+        return self._eager_run_pass(works)
+
+    def _eager_run_pass(self, works: Iterable[LayerWork]) -> float:
+        """One kernel launch per dispatch op — the pre-graph path."""
         with span("runtime.pass", cat="runtime") as h:
             total = 0.0
             layers = 0
@@ -49,6 +60,22 @@ class Executor:
                 layers += 1
             h.set(layers=layers, elapsed_us=total)
         return total
+
+    def enable_graph_mode(self, net=None, network: str = "",
+                          effects_fn=None, graphs=None):
+        """Switch ``run_pass`` to graph-launch dispatch; returns the runtime.
+
+        ``net`` supplies the capture memory-effect model (blob-wiring
+        derived; synthetic chain-structural effects when omitted);
+        ``graphs`` seeds pre-captured graphs from a cache.  See
+        :class:`repro.graphs.runtime.GraphModeRuntime`.
+        """
+        from repro.graphs.runtime import GraphModeRuntime
+
+        self.graph_runtime = GraphModeRuntime(
+            net=net, network=network, effects_fn=effects_fn,
+            graphs=graphs)
+        return self.graph_runtime
 
     @property
     def runs(self) -> list[LayerRun]:

@@ -14,7 +14,10 @@ identically* to serial execution — is enforced here three ways:
   the degraded/retried execution paths;
 * :mod:`repro.verify.fleet_chaos` — fleet-level chaos: random replica
   crashes, slowdowns and link drops against the serving fleet's
-  exactly-once and determinism contract (see :mod:`repro.fleet`).
+  exactly-once and determinism contract (see :mod:`repro.fleet`);
+* :mod:`repro.verify.graph_replay` — graph-launch replay
+  (:mod:`repro.graphs`) against eager dispatch, bit-identical
+  fingerprints across seeds with a replays-actually-happened guard.
 
 Entry point: ``python -m repro verify`` (see :mod:`repro.cli`), or
 :func:`run_differential` / :func:`fuzz_schedules` / :func:`fuzz_faults`
@@ -39,6 +42,11 @@ from repro.verify.fingerprint import (
     fingerprint_net,
     first_divergence,
 )
+from repro.verify.graph_replay import (
+    GraphReplayReport,
+    GraphSeedOutcome,
+    verify_graph_replay,
+)
 from repro.verify.report import VerifyReport
 from repro.verify.schedule import (
     SchedulePlan,
@@ -55,6 +63,8 @@ __all__ = [
     "EXECUTOR_PATHS",
     "FaultFuzzReport",
     "FleetChaosReport",
+    "GraphReplayReport",
+    "GraphSeedOutcome",
     "NetFingerprint",
     "ReplayResult",
     "SchedulePlan",
@@ -72,4 +82,5 @@ __all__ = [
     "replay_witness",
     "run_differential",
     "shrink_plan",
+    "verify_graph_replay",
 ]

@@ -1,0 +1,178 @@
+"""Differential check: graph replay vs eager dispatch, bit for bit.
+
+Graph-launch replay (:mod:`repro.graphs`) must be a pure *timing*
+optimization: a training session whose executor runs in graph mode has
+to produce exactly the bytes the eager session produces — activations,
+gradients and parameters fingerprinted tensor-by-tensor
+(:mod:`repro.verify.fingerprint`), across seeds and iterations.
+
+Two extra invariants make the check honest:
+
+* the graph-mode session must actually *replay* (at least one pass per
+  phase launched as a graph) — otherwise the harness would vacuously
+  pass while graph mode silently fell back to eager dispatch, so a
+  replay count of zero is reported as a failure;
+* the simulated kernel stream must match: both sessions launch the same
+  number of kernels overall, with the graph session batching its
+  launches (``graphs_launched > 0``).
+
+The differential runs the same GLP4NN executor on both sides — the only
+variable is graph mode — so any divergence is attributable to the
+capture/replay machinery itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.session import TrainingSession
+from repro.serve.engine import make_executor, resolve_device, resolve_net
+from repro.verify.differential import make_batches
+from repro.verify.fingerprint import (
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+
+#: Iterations per seed: warmup + capture + at least two replays.
+DEFAULT_ITERATIONS = 4
+
+
+@dataclass
+class GraphSeedOutcome:
+    """Graph-vs-eager verdict for one seed."""
+
+    seed: int
+    iterations: int = 0
+    replays: int = 0
+    captures: int = 0
+    eager_sim_us: float = 0.0
+    graph_sim_us: float = 0.0
+    divergence: Optional[str] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.divergence is None and not self.error
+                and self.replays >= 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed, "iterations": self.iterations,
+            "replays": self.replays, "captures": self.captures,
+            "eager_sim_us": round(self.eager_sim_us, 3),
+            "graph_sim_us": round(self.graph_sim_us, 3),
+            "ok": self.ok, "divergence": self.divergence,
+            "error": self.error,
+        }
+
+
+@dataclass
+class GraphReplayReport:
+    """Graph-replay equivalence verdict across seeds."""
+
+    network: str
+    device: str
+    batch: int
+    iterations: int
+    outcomes: list[GraphSeedOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "device": self.device,
+            "batch": self.batch, "iterations": self.iterations,
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"graph-replay: {self.network} on {self.device} "
+            f"(batch {self.batch}, {self.iterations} iteration(s))"
+        ]
+        for o in self.outcomes:
+            status = "OK" if o.ok else "FAIL"
+            detail = ""
+            if o.divergence:
+                detail = f"  {o.divergence}"
+            elif o.error:
+                detail = f"  error: {o.error}"
+            elif o.replays < 1:
+                detail = "  graph never replayed (stuck eager)"
+            lines.append(
+                f"  seed {o.seed}: {status}  {o.replays} replay(s), "
+                f"eager {o.eager_sim_us:.1f}us vs graph "
+                f"{o.graph_sim_us:.1f}us{detail}")
+        return "\n".join(lines)
+
+
+def verify_graph_replay(network: str = "cifar10",
+                        device: str = "p100",
+                        seeds: Sequence[int] = (0, 1),
+                        iterations: int = DEFAULT_ITERATIONS,
+                        batch: int = 8) -> GraphReplayReport:
+    """Run the graph-vs-eager differential across ``seeds``."""
+    if iterations < DEFAULT_ITERATIONS:
+        raise ReproError(
+            f"graph replay verification needs >= {DEFAULT_ITERATIONS} "
+            f"iterations (warmup + capture + replays), got {iterations}")
+    builder = resolve_net(network)
+    props = resolve_device(device)
+    report = GraphReplayReport(network=network, device=props.name,
+                               batch=batch, iterations=iterations)
+    for seed in seeds:
+        outcome = GraphSeedOutcome(seed=seed)
+        with span("verify.graph.seed", cat="verify", seed=seed,
+                  network=network):
+            batches = make_batches(builder(batch=batch, seed=seed),
+                                   iterations, seed)
+            try:
+                eager_fps, outcome.eager_sim_us = _run_side(
+                    builder, props, batch, seed, batches, graph_mode=False)
+                graph_fps, outcome.graph_sim_us, runtime = _run_side(
+                    builder, props, batch, seed, batches, graph_mode=True)
+                outcome.iterations = len(batches)
+                outcome.replays = runtime.stats.replays
+                outcome.captures = runtime.stats.captures
+                for i, (exp, act) in enumerate(zip(eager_fps, graph_fps)):
+                    d = first_divergence(exp, act)
+                    if d is not None:
+                        outcome.divergence = f"iteration {i}: {d}"
+                        counter_inc("verify.divergences")
+                        break
+            except ReproError as e:
+                outcome.error = f"{type(e).__name__}: {e}"
+        report.outcomes.append(outcome)
+    return report
+
+
+def _run_side(builder, props, batch: int, seed: int, batches,
+              graph_mode: bool):
+    """One session (eager or graph-mode); returns fingerprints + time."""
+    reset_handle_ids()
+    net = builder(batch=batch, seed=seed)
+    ex = make_executor("glp4nn", GPU(props))
+    runtime = None
+    if graph_mode:
+        runtime = ex.enable_graph_mode(net=net, network=net.name
+                                       if hasattr(net, "name") else "")
+    session = TrainingSession(net, ex)
+    fps: list[NetFingerprint] = []
+    sim_us = 0.0
+    for b in batches:
+        t = session.run_iteration(b)
+        sim_us += t.sim_time_us
+        fps.append(fingerprint_net(net))
+    if graph_mode:
+        return fps, sim_us, runtime
+    return fps, sim_us

@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 from repro.verify.differential import DifferentialReport
 from repro.verify.fault_fuzz import FaultFuzzReport
+from repro.verify.graph_replay import GraphReplayReport
 from repro.verify.schedule import ScheduleFuzzReport
 
 
@@ -29,11 +30,13 @@ class VerifyReport:
     differential: Optional[DifferentialReport] = None
     schedule: Optional[ScheduleFuzzReport] = None
     faults: Optional[FaultFuzzReport] = None
+    graph: Optional[GraphReplayReport] = None
 
     @property
     def ok(self) -> bool:
         return all(part.ok for part in
-                   (self.differential, self.schedule, self.faults)
+                   (self.differential, self.schedule, self.faults,
+                    self.graph)
                    if part is not None)
 
     def to_dict(self) -> dict:
@@ -48,6 +51,8 @@ class VerifyReport:
                          else self.schedule.to_dict()),
             "faults": (None if self.faults is None
                        else self.faults.to_dict()),
+            "graph": (None if self.graph is None
+                      else self.graph.to_dict()),
         }
 
     def to_json(self) -> str:
@@ -60,7 +65,8 @@ class VerifyReport:
 
     def render(self) -> str:
         parts = []
-        for part in (self.differential, self.schedule, self.faults):
+        for part in (self.differential, self.schedule, self.faults,
+                     self.graph):
             if part is not None:
                 parts.append(part.render())
         verdict = "PASS" if self.ok else "FAIL"

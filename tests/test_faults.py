@@ -120,7 +120,8 @@ class TestFaultPlan:
     def test_sites_are_documented_set(self):
         assert set(SITES) == {"launch", "stream_create", "profiler_record",
                               "milp_solve", "cache_load", "sync",
-                              "replica_crash", "replica_slow", "link_drop"}
+                              "graph_launch", "replica_crash",
+                              "replica_slow", "link_drop"}
 
 
 class TestTriggers:

@@ -1,0 +1,79 @@
+"""The ``python -m repro graph`` entry point: actions, caching, exits."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+FAST = ["--net", "lenet", "--batch", "4", "--device", "p100"]
+
+
+def test_replay_session_passes_and_reports(tmp_path, capsys):
+    report_file = tmp_path / "graph.json"
+    rc = main(["graph", "replay", *FAST, "--report", str(report_file)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "graph: PASS" in out and "-> replay" in out
+    doc = json.loads(report_file.read_text())
+    assert doc["ok"] is True
+    for phase in doc["phases"]:
+        assert phase["status"] == "admitted"
+        assert phase["replays"] >= 1
+        # The acceptance criterion: measured launch-overhead reduction.
+        assert phase["overhead_reduction"] > 0.9
+        assert phase["replay_us"] < phase["eager_us"]
+
+
+def test_json_format_round_trips(capsys):
+    rc = main(["graph", "replay", *FAST, "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "graph-report" and doc["ok"] is True
+
+
+def test_unknown_net_suggests_close_match(capsys):
+    rc = main(["graph", "replay", "--net", "cifr10"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err and "cifar10" in err
+
+
+def test_inject_hazard_expects_rejection_and_eager_fallback(capsys):
+    rc = main(["graph", "replay", *FAST, "--inject-hazard"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "rejection exercised" in out
+    assert "validation rejected" in out
+
+
+def test_capture_then_replay_from_cache(tmp_path, capsys):
+    cache = tmp_path / "graphs.json"
+    rc = main(["graph", "capture", *FAST, "--cache", str(cache)])
+    assert rc == 0
+    assert "graph(s) saved" in capsys.readouterr().out
+    assert cache.exists()
+
+    report_file = tmp_path / "replay.json"
+    rc = main(["graph", "replay", *FAST, "--cache", str(cache),
+               "--load-cache", "--report", str(report_file)])
+    assert rc == 0
+    doc = json.loads(report_file.read_text())
+    assert doc["ok"] is True
+    # Cache hit: every pass replays, no captures in this process.
+    assert doc["stats"]["captures"] == 0
+    assert doc["stats"]["replays"] > 0
+    assert doc["cache"]["quarantined"] == []
+
+
+def test_report_action_validates_without_replaying(capsys):
+    rc = main(["graph", "report", *FAST])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "admitted" in out and "-> replay" not in out
+
+
+def test_bad_executor_exits_cleanly(capsys):
+    rc = main(["graph", "replay", *FAST, "--executor", "warpdrive"])
+    assert rc == 2
+    assert "graph failed" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""Graph cache: round-trip persistence and quarantine-safe loading."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults import FaultPlan, FaultSpec, chaos_session
+from repro.graphs.cache import (
+    FORMAT_VERSION,
+    load_graphs_safe,
+    save_graphs,
+)
+from repro.graphs.compiled import CompiledGraph, GraphNode
+
+DEVICE = "P100"
+
+
+def _graphs() -> dict[str, CompiledGraph]:
+    return {
+        "key-fwd": CompiledGraph(
+            name="g.fwd", network="lenet", device=DEVICE,
+            nodes=[GraphNode(kind="launch", kernel="a", stream=1),
+                   GraphNode(kind="barrier")]),
+        "key-bwd": CompiledGraph(
+            name="g.bwd", network="lenet", device=DEVICE,
+            nodes=[GraphNode(kind="launch", kernel="b", stream=2)]),
+    }
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "graphs.json"
+    assert save_graphs(_graphs(), path, DEVICE) == 2
+    report = load_graphs_safe(path, DEVICE)
+    assert report.ok and report.loaded == 2
+    assert report.graphs["key-fwd"].name == "g.fwd"
+    assert report.graphs["key-fwd"].launches == 1
+    assert "2 graph(s) loaded" in report.describe()
+
+
+def test_missing_file_quarantines_whole_document(tmp_path):
+    report = load_graphs_safe(tmp_path / "nope.json", DEVICE)
+    assert report.loaded == 0
+    assert report.quarantined[0][0] == "*"
+    assert "unreadable" in report.quarantined[0][1]
+
+
+def test_corrupt_json_quarantined(tmp_path):
+    path = tmp_path / "graphs.json"
+    path.write_text("{not json", encoding="utf-8")
+    report = load_graphs_safe(path, DEVICE)
+    assert report.loaded == 0 and "corrupt JSON" in report.quarantined[0][1]
+
+
+def test_wrong_format_version_quarantined(tmp_path):
+    path = tmp_path / "graphs.json"
+    save_graphs(_graphs(), path, DEVICE)
+    doc = json.loads(path.read_text())
+    doc["format"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    report = load_graphs_safe(path, DEVICE)
+    assert report.loaded == 0
+    assert "unsupported format" in report.quarantined[0][1]
+
+
+def test_foreign_device_quarantined(tmp_path):
+    path = tmp_path / "graphs.json"
+    save_graphs(_graphs(), path, DEVICE)
+    report = load_graphs_safe(path, "K40C")
+    assert report.loaded == 0
+    assert "recorded on" in report.quarantined[0][1]
+
+
+def test_tampered_entry_quarantined_others_survive(tmp_path):
+    path = tmp_path / "graphs.json"
+    save_graphs(_graphs(), path, DEVICE)
+    doc = json.loads(path.read_text())
+    doc["graphs"][0]["graph"]["nodes"][0]["stream"] = 7   # silent edit
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    report = load_graphs_safe(path, DEVICE)
+    assert report.loaded == 1                  # the untouched entry
+    (key, reason), = report.quarantined
+    assert key == "key-bwd" or key == "key-fwd"
+    assert "fingerprint mismatch" in reason
+
+
+def test_injected_cache_fault_quarantines_without_raising(tmp_path):
+    path = tmp_path / "graphs.json"
+    save_graphs(_graphs(), path, DEVICE)
+    plan = FaultPlan((FaultSpec(site="cache_load", nth=1),), seed=0)
+    with chaos_session(plan):
+        report = load_graphs_safe(path, DEVICE)
+        assert report.loaded == 0
+        assert "injected fault" in report.quarantined[0][1]
+        # The poll consumed the fault: a retry loads normally.
+        assert load_graphs_safe(path, DEVICE).loaded == 2

@@ -1,0 +1,130 @@
+"""Dispatch capture: effect oracles, engine shims, dense renumbering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphCaptureError
+from repro.graphs.capture import (
+    Effect,
+    GraphCapture,
+    KernelEffects,
+    capture_works,
+    effects_from_net,
+    poisoned_effects,
+    synthetic_effects,
+)
+from repro.nn.zoo import build_lenet
+from repro.runtime.executor import FixedStreamExecutor
+from repro.runtime.lowering import lower_net
+from tests.conftest import small_kernel
+
+
+def _works(net=None):
+    return lower_net(net or build_lenet(batch=4, seed=0), "forward")
+
+
+class TestKernelEffects:
+    def test_uid_lookup_wins(self):
+        spec = small_kernel("a")
+        eff = KernelEffects()
+        eff.add(spec, Effect(writes=frozenset({"x"})))
+        assert eff.lookup(spec).writes == frozenset({"x"})
+
+    def test_name_tag_fallback_for_rebuilt_specs(self):
+        eff = KernelEffects()
+        eff.add(small_kernel("a", tag="t"),
+                Effect(writes=frozenset({"x"})))
+        rebuilt = small_kernel("a", tag="t")    # fresh uid, same identity
+        assert eff.lookup(rebuilt).writes == frozenset({"x"})
+
+    def test_conflicting_name_tag_never_resolves(self):
+        eff = KernelEffects()
+        eff.add(small_kernel("a", tag="t"),
+                Effect(writes=frozenset({"x"})))
+        eff.add(small_kernel("a", tag="t"),
+                Effect(writes=frozenset({"y"})))
+        assert eff.lookup(small_kernel("a", tag="t")) is None
+
+    def test_unknown_spec_is_none(self):
+        assert KernelEffects().lookup(small_kernel()) is None
+
+
+class TestOracles:
+    def test_net_derived_covers_every_kernel(self):
+        net = build_lenet(batch=4, seed=0)
+        works = _works(net)
+        eff = effects_from_net(net, works)
+        for w in works:
+            for spec in w.all_kernels():
+                assert eff.lookup(spec) is not None, spec.name
+
+    def test_synthetic_chains_are_independent_but_layers_ordered(self):
+        works = _works()
+        eff = synthetic_effects(works)
+        w = works[0]
+        c0 = eff.lookup(w.parallel_chains[0].kernels[-1])
+        c1 = eff.lookup(w.parallel_chains[1].kernels[-1])
+        assert not (c0.writes & c1.writes)      # chain outputs disjoint
+        # The next layer reads the previous layer's output region.
+        nxt_spec = (works[1].parallel_chains[0].kernels[0]
+                    if works[1].parallel_chains
+                    else works[1].serial_kernels[0])
+        assert f"{w.key}:out" in eff.lookup(nxt_spec).reads
+
+    def test_poisoned_all_write_one_region(self):
+        works = _works()
+        eff = poisoned_effects(works)
+        for w in works:
+            for spec in w.all_kernels():
+                assert eff.lookup(spec).writes == frozenset(
+                    {"poison:shared"})
+
+
+class TestGraphCapture:
+    def _capture(self, p100, works, effects):
+        ex = FixedStreamExecutor(p100, 2)
+        return capture_works(ex, works, effects, name="t",
+                             network="lenet")
+
+    def test_capture_records_and_restores(self, p100):
+        net = build_lenet(batch=4, seed=0)
+        works = _works(net)
+        saved = (p100.launch, p100.synchronize)
+        graph = self._capture(p100, works, effects_from_net(net, works))
+        assert (p100.launch, p100.synchronize) == saved   # shims removed
+        assert graph.launches == sum(w.num_kernels for w in works)
+        assert graph.device == p100.props.name
+        # Dense ids: default stream is 0, pool streams renumbered from 1.
+        sids = graph.streams_used()
+        assert sids <= set(range(len(sids) + 1))
+
+    def test_capture_pass_still_executes(self, p100):
+        net = build_lenet(batch=4, seed=0)
+        works = _works(net)
+        self._capture(p100, works, effects_from_net(net, works))
+        # warmup pass + captured pass both really dispatched
+        assert p100.kernels_launched >= 2 * sum(w.num_kernels
+                                                for w in works)
+
+    def test_unknown_effect_is_a_capture_miss_not_a_crash(self, p100):
+        works = _works()
+        ex = FixedStreamExecutor(p100, 2)
+        with pytest.raises(GraphCaptureError, match="no memory effect"):
+            capture_works(ex, works, KernelEffects())   # empty oracle
+        # The pass itself completed before build() raised.
+        assert p100.kernels_launched > 0
+
+    def test_empty_capture_rejected(self, p100):
+        cap = GraphCapture(p100, KernelEffects())
+        with cap:
+            pass
+        with pytest.raises(GraphCaptureError, match="no kernel launches"):
+            cap.build()
+
+    def test_nested_capture_refused(self, p100):
+        with GraphCapture(p100, KernelEffects()):
+            with pytest.raises(GraphCaptureError, match="nested"):
+                GraphCapture(p100, KernelEffects()).__enter__()
+        # ... and the refusal did not clobber the outer capture's shims.
+        assert getattr(p100, "_graph_capture_active") is False

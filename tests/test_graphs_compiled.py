@@ -1,0 +1,114 @@
+"""CompiledGraph artifact: nodes, serialization, IR lowering, keying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.compiled import (
+    CompiledGraph,
+    GraphNode,
+    works_fingerprint,
+)
+from repro.nn.zoo import build_lenet
+from repro.runtime.lowering import lower_net
+
+
+def _launch(kernel="k", stream=1, **kw):
+    return GraphNode(kind="launch", kernel=kernel, stream=stream, **kw)
+
+
+def _graph() -> CompiledGraph:
+    return CompiledGraph(
+        name="g", network="lenet", device="P100", pool_size=2,
+        nodes=[
+            _launch("a", 1, writes=("x",), layer="l1/forward", chain=0),
+            GraphNode(kind="record", stream=1, event=0),
+            GraphNode(kind="wait", stream=2, event=0),
+            _launch("b", 2, reads=("x",), writes=("y",),
+                    layer="l1/forward", chain=1),
+            GraphNode(kind="barrier"),
+            _launch("c", 0, reads=("y",), writes=("z",),
+                    layer="l2/forward"),
+        ])
+
+
+class TestGraphNode:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError, match="unknown graph node kind"):
+            GraphNode(kind="jump")
+
+    def test_launch_needs_kernel_name(self):
+        with pytest.raises(GraphError, match="kernel name"):
+            GraphNode(kind="launch")
+
+    def test_record_wait_need_event_id(self):
+        for kind in ("record", "wait"):
+            with pytest.raises(GraphError, match="event id"):
+                GraphNode(kind=kind, stream=1)
+
+    def test_spec_materializes_fresh_uids(self):
+        node = _launch(grid=(4, 1, 1), block=(128, 1, 1),
+                       duration_us=7.5, tag="t")
+        a, b = node.spec(), node.spec()
+        assert a.name == "k" and a.launch.grid == (4, 1, 1)
+        assert a.duration_us == 7.5 and a.tag == "t"
+        assert a.uid != b.uid           # replays never alias capture uids
+        assert a.signature == b.signature
+
+    def test_non_launch_has_no_spec(self):
+        with pytest.raises(GraphError):
+            GraphNode(kind="barrier").spec()
+
+    def test_round_trip_every_kind(self):
+        for node in _graph().nodes:
+            assert GraphNode.from_dict(node.to_dict()) == node
+
+
+class TestCompiledGraph:
+    def test_queries(self):
+        g = _graph()
+        assert len(g) == 6 and g.launches == 3
+        assert g.streams_used() == {0, 1, 2}
+
+    def test_round_trip_and_fingerprint_stability(self):
+        g = _graph()
+        h = CompiledGraph.from_dict(g.to_dict())
+        assert h == g
+        assert h.fingerprint() == g.fingerprint()
+
+    def test_fingerprint_detects_tampering(self):
+        g = _graph()
+        d = g.to_dict()
+        d["nodes"][0]["stream"] = 2     # reassign a stream
+        assert CompiledGraph.from_dict(d).fingerprint() != g.fingerprint()
+
+    def test_program_lowering_preserves_op_order(self):
+        prog = _graph().program()
+        kinds = [type(op).__name__ for op in prog.ops]
+        assert kinds == ["Launch", "RecordEvent", "WaitEvent", "Launch",
+                         "SyncAll", "Launch"]
+        first = prog.ops[0]
+        assert first.kernel == "a" and first.stream == 1
+        assert "x" in first.writes and first.layer == "l1/forward"
+
+
+class TestWorksFingerprint:
+    def test_same_lowering_same_key_despite_fresh_uids(self):
+        net = build_lenet(batch=4, seed=0)
+        a = lower_net(net, "forward")
+        b = lower_net(net, "forward")       # all-new spec objects
+        assert {id(x) for x in a} != {id(x) for x in b}
+        assert (works_fingerprint(a, "P100")
+                == works_fingerprint(b, "P100"))
+
+    def test_device_and_extra_distinguish(self):
+        works = lower_net(build_lenet(batch=4, seed=0), "forward")
+        base = works_fingerprint(works, "P100")
+        assert works_fingerprint(works, "K40C") != base
+        assert works_fingerprint(works, "P100", extra="fused") != base
+
+    def test_phase_distinguishes(self):
+        net = build_lenet(batch=4, seed=0)
+        assert (works_fingerprint(lower_net(net, "forward"), "P100")
+                != works_fingerprint(lower_net(net, "backward"), "P100"))

@@ -1,0 +1,125 @@
+"""Graph replay: the engine primitive and instantiation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjected, GraphError, SimulationError
+from repro.faults import FaultPlan, FaultSpec, chaos_session
+from repro.gpusim import GPU, Event, get_device
+from repro.gpusim.graph import GraphOp, count_launches
+from repro.graphs.replay import instantiate
+from repro.graphs.runtime import GraphModeRuntime
+from repro.nn.zoo import build_lenet
+from repro.runtime.executor import FixedStreamExecutor
+from repro.runtime.lowering import lower_net
+from tests.conftest import small_kernel
+
+
+class TestLaunchGraphPrimitive:
+    def test_single_host_overhead_for_whole_graph(self, p100):
+        s1, s2 = p100.create_stream(), p100.create_stream()
+        ops = [GraphOp("launch", spec=small_kernel("a"), stream=s1),
+               GraphOp("launch", spec=small_kernel("b"), stream=s2),
+               GraphOp("launch", spec=small_kernel("c"), stream=s1)]
+        o0 = p100.launch_overhead_total
+        t0 = p100.host_time
+        result = p100.launch_graph(ops, name="g")
+        assert result.launches == 3 and result.ops == 3
+        assert result.overhead_us == p100.props.launch_latency_us
+        assert p100.host_time == pytest.approx(
+            t0 + p100.props.launch_latency_us)
+        assert (p100.launch_overhead_total - o0
+                == pytest.approx(p100.props.launch_latency_us))
+        assert p100.graphs_launched == 1
+        assert count_launches(ops) == 3
+
+    def test_empty_graph_rejected(self, p100):
+        with pytest.raises(SimulationError, match="no ops"):
+            p100.launch_graph([], name="empty")
+
+    def test_event_and_barrier_ordering_preserved(self, p100):
+        gpu = GPU(get_device("P100"), record_timeline=True)
+        s1, s2 = gpu.create_stream(), gpu.create_stream()
+        e = Event(name="e0")
+        ops = [GraphOp("launch", spec=small_kernel("a"), stream=s1),
+               GraphOp("record", event=e, stream=s1),
+               GraphOp("wait", event=e, stream=s2),
+               GraphOp("launch", spec=small_kernel("b"), stream=s2),
+               GraphOp("barrier"),
+               GraphOp("launch", spec=small_kernel("c"), stream=s1)]
+        gpu.launch_graph(ops, name="g")
+        gpu.synchronize()
+        rec = {r.name: r for r in gpu.timeline}
+        # b waits on a's event; c waits on the barrier draining both.
+        assert rec["b"].start_us >= rec["a"].end_us
+        assert rec["c"].start_us >= rec["b"].end_us
+
+    def test_graph_launch_fault_site_fires_before_state_change(self, p100):
+        s1 = p100.create_stream()
+        ops = [GraphOp("launch", spec=small_kernel("a"), stream=s1)]
+        plan = FaultPlan((FaultSpec(site="graph_launch", nth=1),), seed=0)
+        with chaos_session(plan):
+            t0 = p100.host_time
+            k0 = p100.kernels_launched
+            with pytest.raises(FaultInjected):
+                p100.launch_graph(ops, name="g")
+            assert p100.host_time == t0          # no partial charge
+            assert p100.kernels_launched == k0   # nothing enqueued
+            p100.launch_graph(ops, name="g")     # nth=1: retry succeeds
+        p100.synchronize()
+        assert p100.kernels_launched == k0 + 1
+
+
+class TestInstantiatedReplay:
+    def _admitted_graph(self, gpu):
+        net = build_lenet(batch=4, seed=0)
+        ex = FixedStreamExecutor(gpu, 2)
+        runtime = GraphModeRuntime(net=net, network="lenet")
+        ex.graph_runtime = runtime
+        works = lower_net(net, "forward")
+        for _ in range(2):                  # warmup + capture
+            ex.run_pass(works)
+        (graph,) = runtime.admitted.values()
+        return ex, works, graph
+
+    def test_replay_matches_eager_kernel_multiset(self):
+        gpu = GPU(get_device("P100"), record_timeline=True)
+        ex, works, graph = self._admitted_graph(gpu)
+        gpu.timeline.clear()
+        ex._eager_run_pass(works)
+        eager = sorted((r.name, r.stream_id) for r in gpu.timeline)
+        gpu.timeline.clear()
+        exec_ = instantiate(graph, gpu)
+        exec_.run()
+        replay = sorted(r.name for r in gpu.timeline)
+        assert replay == sorted(n for n, _ in eager)
+        assert exec_.launch_count == 1
+
+    def test_replay_faster_than_eager(self, p100):
+        ex, works, graph = self._admitted_graph(p100)
+        eager_t0 = p100.host_time
+        ex._eager_run_pass(works)
+        eager = p100.host_time - eager_t0
+        exec_ = instantiate(graph, p100)
+        replay = exec_.run()
+        assert replay < eager
+        # Replay's host overhead is exactly one launch latency.
+        o0 = p100.launch_overhead_total
+        exec_.run()
+        assert (p100.launch_overhead_total - o0
+                == pytest.approx(p100.props.launch_latency_us))
+
+    def test_default_stream_binds_to_device_default(self, p100):
+        _, _, graph = self._admitted_graph(p100)
+        exec_ = instantiate(graph, p100)
+        if 0 in exec_.streams:
+            assert exec_.streams[0] is p100.default_stream
+        for sid, stream in exec_.streams.items():
+            if sid != 0:
+                assert not stream.is_default
+
+    def test_empty_graph_not_instantiable(self, p100):
+        from repro.graphs.compiled import CompiledGraph
+        with pytest.raises(GraphError, match="no nodes"):
+            instantiate(CompiledGraph(name="empty"), p100)

@@ -1,0 +1,155 @@
+"""Graph-mode lifecycle: warmup, capture, admission, replay, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.faults import FaultPlan, FaultSpec, chaos_session
+from repro.graphs.admission import admit, validate_graph
+from repro.graphs.capture import (
+    KernelEffects,
+    capture_works,
+    effects_from_net,
+    poisoned_effects,
+)
+from repro.graphs.compiled import works_fingerprint
+from repro.nn.zoo import build_lenet
+from repro.runtime.executor import FixedStreamExecutor, GLP4NNExecutor
+from repro.runtime.lowering import lower_net
+from repro.runtime.session import TrainingSession
+
+
+def _setup(p100, **graph_kw):
+    net = build_lenet(batch=4, seed=0)
+    ex = GLP4NNExecutor(p100)
+    runtime = ex.enable_graph_mode(net=net, network="lenet", **graph_kw)
+    works = lower_net(net, "forward")
+    return net, ex, runtime, works
+
+
+class TestLifecycle:
+    def test_modes_progress_eager_capture_replay(self, p100):
+        _, ex, runtime, works = _setup(p100)
+        for _ in range(5):
+            ex.run_pass(works)
+        assert (runtime.modes_for(works, p100.props.name)
+                == ["eager", "capture", "replay", "replay", "replay"])
+        s = runtime.stats
+        assert (s.eager_passes, s.captures, s.replays) == (1, 1, 3)
+        assert s.capture_misses == s.validation_rejects == 0
+        assert p100.graphs_launched == 3
+
+    def test_admitted_graph_is_hazard_free_and_cacheable(self, p100):
+        _, ex, runtime, works = _setup(p100)
+        for _ in range(2):
+            ex.run_pass(works)
+        key = works_fingerprint(list(works), p100.props.name)
+        graph = runtime.admitted[key]
+        assert validate_graph(graph).ok
+        assert graph.launches == sum(w.num_kernels for w in works)
+
+    def test_seeded_cache_hit_skips_capture_but_not_admission(self, p100):
+        net, ex, runtime, works = _setup(p100)
+        for _ in range(2):
+            ex.run_pass(works)
+        key = works_fingerprint(list(works), p100.props.name)
+        # Second session, seeded with the first session's graph.
+        from repro.gpusim import GPU, get_device
+        gpu2 = GPU(get_device("P100"))
+        ex2 = GLP4NNExecutor(gpu2)
+        rt2 = ex2.enable_graph_mode(net=net, network="lenet",
+                                    graphs={key: runtime.admitted[key]})
+        for _ in range(3):
+            ex2.run_pass(works)
+        assert rt2.modes_for(works, gpu2.props.name) == ["replay"] * 3
+        assert rt2.stats.captures == 0 and rt2.stats.replays == 3
+        assert key in rt2.admitted       # re-validated, then admitted
+
+    def test_different_works_tracked_independently(self, p100):
+        net, ex, runtime, _ = _setup(p100)
+        fwd = lower_net(net, "forward")
+        bwd = lower_net(net, "backward")
+        for _ in range(3):
+            ex.run_pass(fwd)
+            ex.run_pass(bwd)
+        assert runtime.modes_for(fwd, p100.props.name)[-1] == "replay"
+        assert runtime.modes_for(bwd, p100.props.name)[-1] == "replay"
+        assert len(runtime.admitted) == 2
+
+
+class TestFallbacks:
+    def test_validation_rejection_pins_works_to_eager(self, p100):
+        _, ex, runtime, works = _setup(p100, effects_fn=poisoned_effects)
+        for _ in range(4):
+            ex.run_pass(works)
+        modes = runtime.modes_for(works, p100.props.name)
+        assert modes == ["eager", "capture", "eager", "eager"]
+        assert runtime.stats.validation_rejects == 1
+        assert runtime.stats.replays == 0
+        (reason,) = runtime.stats.rejected.values()
+        assert "validation rejected" in reason and "WAW" in reason
+        assert p100.graphs_launched == 0
+
+    def test_capture_miss_pins_works_to_eager(self, p100):
+        _, ex, runtime, works = _setup(
+            p100, effects_fn=lambda works: KernelEffects())
+        kernels = sum(w.num_kernels for w in works)
+        k0 = p100.kernels_launched
+        for _ in range(4):
+            ex.run_pass(works)
+        modes = runtime.modes_for(works, p100.props.name)
+        assert modes == ["eager", "eager", "eager", "eager"]
+        assert runtime.stats.capture_misses == 1
+        # Every pass dispatched eagerly — none were lost to the miss.
+        assert p100.kernels_launched - k0 == 4 * kernels
+        (reason,) = runtime.stats.rejected.values()
+        assert "capture miss" in reason
+
+    def test_graph_launch_fault_falls_back_for_one_pass_only(self, p100):
+        _, ex, runtime, works = _setup(p100)
+        plan = FaultPlan(
+            (FaultSpec(site="graph_launch", key="graph.*", nth=2),),
+            seed=0)
+        with chaos_session(plan):
+            for _ in range(5):
+                ex.run_pass(works)
+        modes = runtime.modes_for(works, p100.props.name)
+        assert modes == ["eager", "capture", "replay", "fallback",
+                         "replay"]
+        assert runtime.stats.launch_fallbacks == 1
+        assert runtime.stats.replays == 2
+
+    def test_admit_raises_with_verdict_for_direct_callers(self, p100):
+        works = lower_net(build_lenet(batch=4, seed=0), "forward")
+        ex = FixedStreamExecutor(p100, 2)
+        graph = capture_works(ex, works, poisoned_effects(works),
+                              name="bad")
+        with pytest.raises(GraphValidationError, match="hazard") as ei:
+            admit(graph)
+        assert ei.value.verdict is not None
+        assert not ei.value.verdict.ok
+
+
+class TestNumericEquivalence:
+    def test_graph_mode_session_trains_bit_identically(self, p100):
+        from repro.gpusim import GPU, get_device
+        from repro.gpusim.stream import reset_handle_ids
+        from repro.verify.differential import make_batches
+        from repro.verify.fingerprint import fingerprint_net, first_divergence
+
+        def run(graph_mode: bool):
+            reset_handle_ids()
+            net = build_lenet(batch=4, seed=3)
+            ex = GLP4NNExecutor(GPU(get_device("P100")))
+            if graph_mode:
+                ex.enable_graph_mode(net=net, network="lenet")
+            session = TrainingSession(net, ex)
+            fps = []
+            for b in make_batches(net, 4, 3):
+                session.run_iteration(b)
+                fps.append(fingerprint_net(net))
+            return fps
+
+        for exp, act in zip(run(False), run(True)):
+            assert first_divergence(exp, act) is None

@@ -1,0 +1,67 @@
+"""Graph-replay differential: bit-exact equivalence with a replay guard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.graphs.runtime import GraphModeRuntime
+from repro.verify import VerifyReport, verify_graph_replay
+from repro.verify.graph_replay import DEFAULT_ITERATIONS
+
+
+def test_graph_replay_matches_eager_across_seeds():
+    report = verify_graph_replay("lenet", seeds=(0, 1), batch=4)
+    assert report.ok
+    for o in report.outcomes:
+        assert o.divergence is None and not o.error
+        assert o.replays >= 1 and o.captures >= 1
+        assert o.iterations == DEFAULT_ITERATIONS
+        # Graph mode must be a pure timing win, and an actual win.
+        assert o.graph_sim_us < o.eager_sim_us
+    assert "graph-replay" in report.render()
+    assert json.dumps(report.to_dict())
+
+
+def test_too_few_iterations_rejected():
+    with pytest.raises(ReproError, match="iterations"):
+        verify_graph_replay("lenet", iterations=2)
+
+
+def test_silent_fallback_cannot_vacuously_pass(monkeypatch):
+    # Force graph mode to never leave eager dispatch: the differential
+    # would trivially match, so the replay guard must fail the seed.
+    monkeypatch.setattr(
+        GraphModeRuntime, "run_pass",
+        lambda self, executor, works: self._eager(executor, list(works)))
+    report = verify_graph_replay("lenet", seeds=(0,), batch=4)
+    assert not report.ok
+    (outcome,) = report.outcomes
+    assert outcome.divergence is None        # numerics matched...
+    assert outcome.replays == 0              # ...but nothing replayed
+    assert "never replayed" in report.render()
+
+
+def test_verify_report_folds_in_graph_part():
+    graph = verify_graph_replay("lenet", seeds=(0,), batch=4)
+    report = VerifyReport(network="lenet", device="p100", seed=0,
+                          graph=graph)
+    assert report.ok
+    assert report.to_dict()["graph"]["ok"] is True
+    assert "graph-replay" in report.render()
+    bad = VerifyReport(network="lenet", device="p100", seed=0)
+    assert bad.to_dict()["graph"] is None
+
+
+def test_cli_verify_only_graph(tmp_path, capsys):
+    report_file = tmp_path / "report.json"
+    rc = main(["verify", "--network", "lenet", "--only", "graph",
+               "--batch", "4", "--report", str(report_file)])
+    assert rc == 0
+    assert "verify: PASS" in capsys.readouterr().out
+    doc = json.loads(report_file.read_text())
+    assert doc["ok"] is True and doc["graph"]["ok"] is True
+    assert doc["differential"] is None

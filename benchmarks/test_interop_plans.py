@@ -1,0 +1,53 @@
+"""Inter-operator stream plans: the BENCH_8 acceptance bar.
+
+The opara plan must beat *both* the layer-serial floor and the naive
+round-robin spread wall-clock on every inception unit, eagerly and as a
+graph launch, with every executed plan certified.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_once
+from repro.bench.interop_plans import UNITS, run_interop_plans_bench
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _by_unit(result):
+    plans = {}
+    for row in result.extra["plans"]:
+        plans.setdefault(row["unit"], {})[row["policy"]] = row
+    return plans
+
+
+def test_opara_beats_both_baselines(benchmark):
+    result = run_once(benchmark, run_interop_plans_bench)
+    print("\n" + result.render())
+    for unit, rows in _by_unit(result).items():
+        opara = rows["opara"]
+        assert opara["eager_us"] < rows["layer-serial"]["eager_us"], unit
+        assert opara["eager_us"] < rows["round-robin"]["eager_us"], unit
+        assert opara["graph_us"] < rows["layer-serial"]["graph_us"], unit
+        assert opara["graph_us"] < rows["round-robin"]["graph_us"], unit
+
+
+def test_every_plan_certified(benchmark):
+    result = run_once(benchmark, run_interop_plans_bench)
+    assert all(row["certified"] for row in result.extra["plans"])
+
+
+def test_opara_syncs_less_than_round_robin(benchmark):
+    result = run_once(benchmark, run_interop_plans_bench)
+    for unit, rows in _by_unit(result).items():
+        assert (rows["opara"]["sync_ops"]
+                < rows["round-robin"]["sync_ops"]), unit
+
+
+def test_committed_bench_8_matches_fresh_run(benchmark):
+    """BENCH_8.json is fully simulated, hence exactly regenerable."""
+    result = run_once(benchmark, run_interop_plans_bench)
+    committed = json.loads(
+        (ROOT / "BENCH_8.json").read_text(encoding="utf-8"))
+    assert committed["units"] == list(UNITS)
+    assert committed["plans"] == result.extra["plans"]

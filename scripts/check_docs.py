@@ -11,7 +11,11 @@ Scans every tracked markdown file (top level + ``docs/``) and verifies:
 * **dotted module references** — `` `repro.x.y` `` mentions must resolve
   to a package/module under ``src/repro`` (attribute suffixes are
   tolerated: the longest resolving prefix wins, but at least one
-  component beyond the bare ``repro`` must resolve).
+  component beyond the bare ``repro`` must resolve);
+* **CLI subcommand references** — every ``python -m repro <cmd>``
+  invocation (fenced usage examples included) must name a real
+  subcommand, read by regex from ``src/repro/cli.py`` so this script
+  keeps working in the docs CI job where nothing is installed.
 
 Exits non-zero listing every failure, so CI catches docs drifting away
 from the code (renamed modules, moved pages, deleted examples).
@@ -86,6 +90,40 @@ def _resolves_as_module(dotted: str, src: pathlib.Path) -> bool:
     return deepest >= 2
 
 
+#: ``python -m repro <token>`` mentions anywhere in a doc, including
+#: fenced code blocks (that is where usage examples live).  The token
+#: may be a subcommand, an option (``--help``), or a dotted module
+#: runner (``repro.bench.x`` via ``-m`` directly) — only bare
+#: subcommand-shaped tokens are validated.
+CLI_INVOCATION = re.compile(r"python\s+-m\s+repro\s+([\w.-]+)")
+ADD_PARSER = re.compile(r"add_parser\(\s*\"([\w-]+)\"")
+
+
+def known_subcommands(root: pathlib.Path) -> frozenset[str]:
+    """Subcommand names scraped from ``src/repro/cli.py`` (no import)."""
+    cli = root / "src" / "repro" / "cli.py"
+    if not cli.is_file():
+        return frozenset()
+    return frozenset(ADD_PARSER.findall(cli.read_text(encoding="utf-8")))
+
+
+def check_cli_refs(path: pathlib.Path, text: str, root: pathlib.Path,
+                   subcommands: frozenset[str]) -> list[str]:
+    if not subcommands:        # no CLI in this repo checkout; nothing to do
+        return []
+    problems = []
+    for match in CLI_INVOCATION.finditer(text):
+        token = match.group(1)
+        if token.startswith("-") or "." in token:
+            continue           # an option, or a module run like repro.bench.x
+        if token not in subcommands:
+            problems.append(
+                f"{path.relative_to(root)}: unknown CLI subcommand in "
+                f"`python -m repro {token}`"
+            )
+    return problems
+
+
 def check_code_refs(path: pathlib.Path, text: str,
                     root: pathlib.Path) -> list[str]:
     problems = []
@@ -125,11 +163,13 @@ def main(argv: list[str]) -> int:
     if not files:
         print(f"no markdown files found under {root}", file=sys.stderr)
         return 2
+    subcommands = known_subcommands(root)
     problems: list[str] = []
     for path in files:
         text = path.read_text(encoding="utf-8")
         problems.extend(check_md_links(path, text, root))
         problems.extend(check_code_refs(path, strip_code_blocks(text), root))
+        problems.extend(check_cli_refs(path, text, root, subcommands))
     if problems:
         print(f"{len(problems)} documentation problem(s):")
         for p in problems:

@@ -39,6 +39,13 @@ Commands
     replay it with one amortized host launch per pass, e.g.
     ``graph replay --net cifar10 --device p100``.  ``--cache`` persists
     admitted graphs; ``--inject-hazard`` proves the eager fallback.
+``interop [plan|run|report]``
+    Opara-mode inter-operator stream planning (see ``docs/inter_op.md``):
+    plan a GoogLeNet inception unit under layer-serial, round-robin,
+    chain-affine and opara policies, certify every plan hazard-free, and
+    execute it eagerly and as one graph launch, e.g.
+    ``interop run --unit 5b --policy opara``.  ``--inject-hazard`` proves
+    the chain-affine fallback.
 ``analyze [hazards|lint|all]``
     Static analysis (see ``docs/static_analysis.md``): certify dispatch
     plans free of stream hazards (RAW/WAR/WAW pairs not ordered by
@@ -75,6 +82,7 @@ def _experiment_registry() -> dict[str, Callable]:
     from repro.bench.ablations import run_ablations
     from repro.bench.fusion_ablation import run_fusion_ablation
     from repro.bench.graph_ablation import run_graph_ablation
+    from repro.bench.interop_plans import run_interop_plans_bench
     from repro.bench.analyzer_comparison import run_analyzer_comparison
     from repro.bench.mps_comparison import run_mps_comparison
 
@@ -92,6 +100,7 @@ def _experiment_registry() -> dict[str, Callable]:
         "ablations": run_ablations,
         "fusion": run_fusion_ablation,
         "graph": run_graph_ablation,
+        "interop": run_interop_plans_bench,
         "analyzers": run_analyzer_comparison,
         "mps": run_mps_comparison,
     }
@@ -444,6 +453,43 @@ def cmd_graph(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_interop(args) -> int:
+    import difflib
+
+    from repro.errors import ReproError
+    from repro.interop import PLAN_POLICIES, run_interop_session
+    from repro.interop.workloads import INCEPTION_UNITS
+    from repro.reporting import emit
+
+    if args.policy != "all" and args.policy not in PLAN_POLICIES:
+        print(f"unknown policy: {args.policy}", file=sys.stderr)
+        matches = difflib.get_close_matches(args.policy, PLAN_POLICIES,
+                                            n=3, cutoff=0.5)
+        if matches:
+            print(f"did you mean: {', '.join(matches)}?", file=sys.stderr)
+        print(f"available: {', '.join(PLAN_POLICIES)}, all",
+              file=sys.stderr)
+        return 2
+    if args.unit not in INCEPTION_UNITS:
+        print(f"unknown inception unit: {args.unit}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(INCEPTION_UNITS))}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = run_interop_session(
+            action=args.action, unit=args.unit, batch=args.batch,
+            device=args.device, streams=args.streams, policy=args.policy,
+            inject_hazard=args.inject_hazard,
+        )
+    except ReproError as e:
+        print(f"interop failed: {e}", file=sys.stderr)
+        return 2
+    if args.report:
+        report.save(args.report)
+    print(emit(report, args.format))
+    return 0 if report.ok else 1
+
+
 #: ``analyze`` sub-analyses, in run order.
 ANALYZE_KINDS = ("hazards", "lint", "all")
 
@@ -777,6 +823,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "--format json)")
     add_format_argument(graph)
     graph.set_defaults(fn=cmd_graph)
+    interop = sub.add_parser(
+        "interop",
+        help="Opara-mode inter-operator stream planning on inception "
+             "units (plan, certify, execute)",
+    )
+    interop.add_argument("action", nargs="?", default="report",
+                         choices=["plan", "run", "report"],
+                         help="plan (certify only), run (eager + graph "
+                              "launch), or report (run + resource "
+                              "summary; default: report)")
+    interop.add_argument("--unit", default="5b",
+                         help="GoogLeNet inception unit: 5a or 5b "
+                              "(default: 5b)")
+    interop.add_argument("--batch", type=int, default=4,
+                         help="batch size (default: 4)")
+    interop.add_argument("--device", default="p100",
+                         help="simulated GPU (default: p100)")
+    interop.add_argument("--streams", type=int, default=0,
+                         help="stream-pool size; 0 lets the kernel "
+                              "analyzer size it (default: 0)")
+    interop.add_argument("--policy", default="all",
+                         help="planning policy: layer-serial, round-robin, "
+                              "chain-affine, opara, or 'all' "
+                              "(default: all)")
+    interop.add_argument("--inject-hazard", action="store_true",
+                         help="poison the requested plans' lowerings so "
+                              "certification must reject them and fall "
+                              "back to chain-affine (the CI fallback "
+                              "probe; report is OK iff fallback happened)")
+    interop.add_argument("--report", metavar="OUT.json", default=None,
+                         help="also write the report as JSON")
+    add_format_argument(interop)
+    interop.set_defaults(fn=cmd_interop)
     analyze = sub.add_parser(
         "analyze",
         help="static analysis: stream-hazard detection + determinism lint",

@@ -1,0 +1,99 @@
+"""Inter-operator stream planning: Opara mode for branchy graphs.
+
+GLP4NN's own parallelism is *intra*-operator — per-sample kernel chains
+of one layer spread over a model-sized stream pool.  This package adds
+the complementary *inter*-operator axis for branchy inference graphs
+(ROADMAP item 4, after Opara in PAPERS.md): independent operators of a
+:class:`~repro.runtime.graph.KernelGraph` are assigned to streams so
+that resource-complementary work overlaps, with as little cross-stream
+event synchronization as the dependencies allow — and no plan executes
+until the PR-5 race detector has certified its lowering hazard-free.
+
+The pipeline, module by module:
+
+* :mod:`repro.interop.resources` — closed-form per-kernel estimates
+  (duration, device fill, compute/memory/latency boundedness) from the
+  cost model and occupancy calculator;
+* :mod:`repro.interop.planner` — the four policies (layer-serial,
+  round-robin, chain-affine, opara) producing
+  :class:`~repro.interop.planner.StreamPlan` values;
+* :mod:`repro.interop.certify` — lowering to the
+  :class:`~repro.analyze.program.DispatchProgram` hazard IR and the
+  certification fallback ladder (requested → chain-affine →
+  layer-serial);
+* :mod:`repro.interop.execute` — eager dispatch of certified plans, and
+  composition with PR-7 graph launch (compile → admit → replay);
+* :mod:`repro.interop.workloads` — the GoogLeNet inception units the
+  benchmark and CLI exercise;
+* :mod:`repro.interop.report` — the ``python -m repro interop`` driver.
+"""
+
+from repro.interop.certify import (
+    Certification,
+    certify,
+    plan_program,
+    structural_effects,
+)
+from repro.interop.execute import (
+    PlanRun,
+    compile_plan,
+    replay_plan,
+    run_plan,
+)
+from repro.interop.planner import (
+    PLAN_POLICIES,
+    StreamPlan,
+    build_plan,
+    plan_chain_affine,
+    plan_layer_serial,
+    plan_opara,
+    plan_round_robin,
+)
+from repro.interop.report import (
+    INTEROP_ACTIONS,
+    InteropReport,
+    run_interop_session,
+)
+from repro.interop.resources import (
+    KernelEstimate,
+    complementarity,
+    estimate,
+    estimate_graph,
+    suggest_pool_size,
+)
+from repro.interop.workloads import (
+    INCEPTION_UNITS,
+    Workload,
+    inception_unit,
+    single_branch,
+)
+
+__all__ = [
+    "Certification",
+    "certify",
+    "plan_program",
+    "structural_effects",
+    "PlanRun",
+    "compile_plan",
+    "replay_plan",
+    "run_plan",
+    "PLAN_POLICIES",
+    "StreamPlan",
+    "build_plan",
+    "plan_chain_affine",
+    "plan_layer_serial",
+    "plan_opara",
+    "plan_round_robin",
+    "INTEROP_ACTIONS",
+    "InteropReport",
+    "run_interop_session",
+    "KernelEstimate",
+    "complementarity",
+    "estimate",
+    "estimate_graph",
+    "suggest_pool_size",
+    "INCEPTION_UNITS",
+    "Workload",
+    "inception_unit",
+    "single_branch",
+]

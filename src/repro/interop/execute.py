@@ -1,0 +1,198 @@
+"""Execute certified stream plans: eager dispatch or one graph launch.
+
+Two execution paths, both consuming the same certified
+:class:`~repro.interop.planner.StreamPlan`:
+
+* :func:`run_plan` dispatches eagerly, mirroring
+  :func:`repro.runtime.graph.dispatch_graph` but under the plan's own
+  assignment and launch order — cross-stream dependency edges become
+  event record/wait pairs, same-stream edges ride stream FIFO order, and
+  the pass ends in the ``synchronize`` every training loop issues.
+* :func:`compile_plan` + :func:`replay_plan` compose with the PR-7
+  graph-launch subsystem: the plan is lowered directly into a
+  :class:`~repro.graphs.compiled.CompiledGraph` (launch nodes carry the
+  full kernel spec plus the certification effects), re-validated by
+  graph admission, and replayed through
+  :meth:`repro.gpusim.engine.GPU.launch_graph` for a single amortized
+  host launch.
+
+Callers are expected to execute only plans that came out of
+:func:`repro.interop.certify.certify` — both paths refuse uncertified
+plans, so the "no plan executes unsigned" invariant is enforced here,
+not just documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import Event, Stream
+from repro.graphs.admission import admit
+from repro.graphs.compiled import CompiledGraph, GraphNode
+from repro.graphs.replay import GraphExec, instantiate
+from repro.interop.certify import Effects, structural_effects
+from repro.interop.planner import StreamPlan
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.graph import KernelGraph
+
+
+@dataclass
+class PlanRun:
+    """Measured outcome of executing one plan once."""
+
+    policy: str
+    mode: str                 # "eager" | "graph"
+    elapsed_us: float
+    launches: int
+    records: int
+    waits: int
+    launch_overhead_us: float
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "mode": self.mode,
+            "elapsed_us": round(self.elapsed_us, 3),
+            "launches": self.launches,
+            "records": self.records,
+            "waits": self.waits,
+            "launch_overhead_us": round(self.launch_overhead_us, 3),
+        }
+
+
+def _require_certified(plan: StreamPlan) -> None:
+    if not plan.certified:
+        raise SchedulingError(
+            f"refusing to execute uncertified {plan.policy!r} plan for "
+            f"graph {plan.graph_name!r}; run repro.interop.certify first")
+
+
+def run_plan(gpu: GPU, graph: KernelGraph, plan: StreamPlan,
+             streams: Sequence[Stream],
+             synchronize: bool = True) -> PlanRun:
+    """Eagerly dispatch ``graph`` under ``plan``; returns the measurement.
+
+    ``streams[s]`` backs plan slot ``s``; the pool must cover every slot
+    the plan uses.
+    """
+    _require_certified(plan)
+    if len(streams) < plan.streams_used():
+        raise SchedulingError(
+            f"plan uses {plan.streams_used()} stream slots but only "
+            f"{len(streams)} streams were provided")
+    dependents = graph.dependents()
+    events: dict[int, Event] = {}
+    records = waits = 0
+    start = gpu.host_time
+    overhead_start = gpu.launch_overhead_total
+    with span("interop.dispatch", cat="interop", policy=plan.policy,
+              nodes=len(plan.order)) as h:
+        for nid in plan.order:
+            node = graph._nodes[nid]
+            slot = plan.assignment[nid]
+            stream = streams[slot]
+            for d in node.deps:
+                if plan.assignment[d] != slot:
+                    gpu.wait_event(events[d], stream=stream)
+                    waits += 1
+            gpu.launch(node.spec, stream=stream)
+            if any(plan.assignment[c] != slot for c in dependents[nid]):
+                ev = Event(f"{graph.name}/{plan.policy}/n{nid}")
+                gpu.record_event(ev, stream=stream)
+                events[nid] = ev
+                records += 1
+        if synchronize:
+            gpu.synchronize()
+        elapsed = gpu.host_time - start
+        h.set(elapsed_us=elapsed)
+    counter_inc("interop.eager_runs")
+    return PlanRun(
+        policy=plan.policy, mode="eager", elapsed_us=elapsed,
+        launches=len(plan.order), records=records, waits=waits,
+        launch_overhead_us=gpu.launch_overhead_total - overhead_start,
+    )
+
+
+def compile_plan(graph: KernelGraph, plan: StreamPlan,
+                 effects: Optional[Effects] = None,
+                 device: str = "", network: str = "") -> CompiledGraph:
+    """Lower a certified plan straight into a PR-7 compiled graph.
+
+    The node stream numbering matches the plan's program lowering (slot
+    ``s`` → dense stream ``s + 1``; 0 is never used, so the replay never
+    pays default-stream barrier semantics), and each launch node carries
+    the same structural effects certification checked — graph admission
+    re-validates exactly what was certified.
+    """
+    _require_certified(plan)
+    effects = effects or structural_effects(graph)
+    dependents = graph.dependents()
+    nodes: list[GraphNode] = []
+    recorded: set[int] = set()
+    for nid in plan.order:
+        node = graph._nodes[nid]
+        slot = plan.assignment[nid]
+        for d in node.deps:
+            if plan.assignment[d] != slot and d in recorded:
+                nodes.append(GraphNode(kind="wait", stream=slot + 1,
+                                       event=d))
+        spec = node.spec
+        reads, writes = effects[nid]
+        nodes.append(GraphNode(
+            kind="launch", stream=slot + 1,
+            kernel=spec.name or f"n{nid}",
+            grid=tuple(spec.launch.grid), block=tuple(spec.launch.block),
+            shared_mem_static=spec.launch.shared_mem_static,
+            shared_mem_dynamic=spec.launch.shared_mem_dynamic,
+            registers_per_thread=spec.launch.registers_per_thread,
+            flops_per_thread=spec.flops_per_thread,
+            bytes_per_thread=spec.bytes_per_thread,
+            tag=spec.tag, duration_us=spec.duration_us,
+            reads=tuple(sorted(reads)), writes=tuple(sorted(writes)),
+            layer=graph.name, chain=nid,
+        ))
+        if any(plan.assignment[c] != slot for c in dependents[nid]):
+            nodes.append(GraphNode(kind="record", stream=slot + 1,
+                                   event=nid))
+            recorded.add(nid)
+    nodes.append(GraphNode(kind="barrier"))
+    return CompiledGraph(
+        name=f"interop.{graph.name}.{plan.policy}",
+        network=network or graph.name, device=device,
+        pool_size=plan.num_streams, nodes=nodes,
+    )
+
+
+def replay_plan(gpu: GPU, graph: KernelGraph, plan: StreamPlan,
+                effects: Optional[Effects] = None,
+                exec_: Optional[GraphExec] = None) -> PlanRun:
+    """Replay a certified plan as a single graph launch.
+
+    Compiles the plan (unless a pre-instantiated ``exec_`` is supplied),
+    passes it through PR-7 graph admission — a second, independent
+    signature on the same effects — and runs it for one amortized host
+    launch.
+    """
+    _require_certified(plan)
+    if exec_ is None:
+        compiled = compile_plan(graph, plan, effects=effects,
+                                device=gpu.props.name)
+        admit(compiled)
+        exec_ = instantiate(compiled, gpu)
+    overhead_start = gpu.launch_overhead_total
+    with span("interop.replay", cat="interop", policy=plan.policy,
+              launches=exec_.graph.launches) as h:
+        elapsed = exec_.run()
+        h.set(elapsed_us=elapsed)
+    counter_inc("interop.graph_replays")
+    records = sum(1 for n in exec_.graph.nodes if n.kind == "record")
+    waits = sum(1 for n in exec_.graph.nodes if n.kind == "wait")
+    return PlanRun(
+        policy=plan.policy, mode="graph", elapsed_us=elapsed,
+        launches=exec_.graph.launches, records=records, waits=waits,
+        launch_overhead_us=gpu.launch_overhead_total - overhead_start,
+    )

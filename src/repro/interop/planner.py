@@ -1,0 +1,323 @@
+"""Inter-operator stream planning (Opara mode, ROADMAP item 4).
+
+GLP4NN parallelizes *within* a layer across batch samples; branchy
+inference graphs — GoogLeNet's inception modules above all — leave a
+complementary win on the table: independent *operators* can run
+concurrently on separate streams.  Opara (PAPERS.md) shows how: assign
+operators to streams so that resource-complementary work overlaps, and
+order launches so synchronization stays off the critical path.  This
+module produces such assignments as explicit, inspectable
+:class:`StreamPlan` values over the existing
+:class:`~repro.runtime.graph.KernelGraph`.
+
+Four policies, from baseline to full Opara mode:
+
+* ``layer-serial`` — every node on one stream in insertion order: the
+  no-overlap floor (what a barrier-per-layer dispatcher degenerates to).
+* ``round-robin`` — node *i* on stream ``i % S``: maximum naive spread,
+  paying a cross-stream event edge for almost every dependency and a
+  stream switch for almost every launch.
+* ``chain-affine`` — the PR-heritage heuristic of
+  :meth:`KernelGraph.assign_streams`: pipelines inherit their
+  predecessor's stream, only branch/join edges cross streams.  Kept as
+  the certified fallback target (see :mod:`repro.interop.certify`).
+* ``opara`` — resource-aware list scheduling: the graph is collapsed
+  into maximal linear *segments* (zero intra-segment synchronization by
+  construction), segments are scheduled longest-critical-path-first onto
+  the stream that minimizes projected finish time plus synchronization
+  cost minus a resource-complementarity bonus
+  (:func:`repro.interop.resources.complementarity`), and the launch
+  order is segment-contiguous so consecutive launches stay on one
+  stream (no per-launch work-queue switch).
+
+Every plan is just data — policy, stream count, a node→slot assignment
+and a topological launch order — so certification
+(:mod:`repro.interop.certify`) and execution
+(:mod:`repro.interop.execute`) treat all policies identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.gpusim.device import DeviceProperties
+from repro.interop.resources import (
+    KernelEstimate,
+    complementarity,
+    dominant_bound,
+    estimate_graph,
+)
+from repro.runtime.graph import KernelGraph
+
+#: Planning policies, in baseline → Opara order (CLI/bench sweep order).
+PLAN_POLICIES = ("layer-serial", "round-robin", "chain-affine", "opara")
+
+#: Host cost modelled per cross-stream dependency edge (an event record
+#: plus a wait, matching the engine's 0.2 µs each).
+SYNC_COST_US = 0.4
+
+
+@dataclass
+class StreamPlan:
+    """A stream assignment plus launch order for one kernel graph.
+
+    ``assignment`` maps node id → 0-based stream *slot* (execution binds
+    slots to concrete pool streams); ``order`` is the host launch order,
+    always a topological order of the graph.  ``makespan_us`` is the
+    planner's projected finish time under its estimates — a ranking
+    signal, not a simulation result.
+    """
+
+    policy: str
+    graph_name: str
+    num_streams: int
+    assignment: dict[int, int]
+    order: tuple[int, ...]
+    makespan_us: float = 0.0
+    certified: bool = False
+    fallback_from: str = ""       # policy that was rejected, if any
+    hazards: int = 0              # hazards found on the rejected lowering
+
+    def streams_used(self) -> int:
+        return len(set(self.assignment.values()))
+
+    def cross_edges(self, graph: KernelGraph) -> int:
+        """Dependency edges that cross streams (each costs a sync pair)."""
+        return sum(
+            1
+            for node in graph.nodes
+            for d in node.deps
+            if self.assignment[d] != self.assignment[node.node_id]
+        )
+
+    def switches(self) -> int:
+        """Launch-order stream switches (each costs ``stream_switch_us``)."""
+        slots = [self.assignment[i] for i in self.order]
+        return sum(1 for a, b in zip(slots, slots[1:]) if a != b)
+
+    def to_dict(self, graph: Optional[KernelGraph] = None) -> dict:
+        d = {
+            "policy": self.policy,
+            "graph": self.graph_name,
+            "num_streams": self.num_streams,
+            "streams_used": self.streams_used(),
+            "nodes": len(self.assignment),
+            "switches": self.switches(),
+            "makespan_us": round(self.makespan_us, 3),
+            "certified": self.certified,
+            "fallback_from": self.fallback_from,
+            "hazards": self.hazards,
+        }
+        if graph is not None:
+            d["cross_edges"] = self.cross_edges(graph)
+        return d
+
+
+def _validate(graph: KernelGraph, num_streams: int) -> None:
+    if num_streams < 1:
+        raise SchedulingError("interop planner needs at least one stream")
+    if not len(graph):
+        raise SchedulingError(f"graph {graph.name!r} has no nodes")
+
+
+def plan_layer_serial(graph: KernelGraph, num_streams: int = 1
+                      ) -> StreamPlan:
+    """Everything on one stream, insertion order: the serial floor."""
+    _validate(graph, num_streams)
+    order = tuple(n.node_id for n in graph.nodes)
+    return StreamPlan(
+        policy="layer-serial", graph_name=graph.name, num_streams=1,
+        assignment={i: 0 for i in order}, order=order,
+    )
+
+
+def plan_round_robin(graph: KernelGraph, num_streams: int) -> StreamPlan:
+    """Node ``i`` on stream ``i % S``: naive maximal spread."""
+    _validate(graph, num_streams)
+    order = tuple(n.node_id for n in graph.nodes)
+    assignment = {i: idx % num_streams for idx, i in enumerate(order)}
+    return StreamPlan(
+        policy="round-robin", graph_name=graph.name,
+        num_streams=num_streams, assignment=assignment, order=order,
+    )
+
+
+def plan_chain_affine(graph: KernelGraph, num_streams: int) -> StreamPlan:
+    """The DAG dispatcher's own heuristic, reified as a plan."""
+    _validate(graph, num_streams)
+    return StreamPlan(
+        policy="chain-affine", graph_name=graph.name,
+        num_streams=num_streams,
+        assignment=graph.assign_streams(num_streams),
+        order=tuple(n.node_id for n in graph.nodes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Opara-mode planning
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Segment:
+    """A maximal linear run of nodes: one stream's worth, zero syncs."""
+
+    index: int
+    nodes: list[int] = field(default_factory=list)
+    deps: set[int] = field(default_factory=set)        # segment indices
+    dependents: set[int] = field(default_factory=set)  # segment indices
+    duration_us: float = 0.0
+    fill: float = 0.0
+    bound: str = "compute"
+
+
+def segments_of(graph: KernelGraph,
+                estimates: dict[int, KernelEstimate]) -> list[_Segment]:
+    """Collapse the graph into maximal linear segments.
+
+    A node with exactly one dependency, whose dependency has exactly one
+    dependent, extends its predecessor's segment; everything else starts
+    a new one.  Segments inherit the summed duration, the peak device
+    fill and the time-dominant boundedness of their kernels.
+    """
+    dependents = graph.dependents()
+    seg_of: dict[int, int] = {}
+    segments: list[_Segment] = []
+    for node in graph.nodes:
+        nid = node.node_id
+        if (len(node.deps) == 1
+                and len(dependents[node.deps[0]]) == 1):
+            seg = segments[seg_of[node.deps[0]]]
+            seg.nodes.append(nid)
+        else:
+            seg = _Segment(index=len(segments), nodes=[nid])
+            segments.append(seg)
+        seg_of[nid] = seg.index
+    for seg in segments:
+        ests = [estimates[i] for i in seg.nodes]
+        seg.duration_us = sum(e.duration_us for e in ests)
+        seg.fill = max(e.fill for e in ests)
+        seg.bound = dominant_bound(ests)
+        for nid in seg.nodes:
+            for d in graph._nodes[nid].deps:
+                if seg_of[d] != seg.index:
+                    seg.deps.add(seg_of[d])
+                    segments[seg_of[d]].dependents.add(seg.index)
+    return segments
+
+
+def _upward_rank(segments: list[_Segment]) -> dict[int, float]:
+    """Critical-path-to-sink length per segment (HEFT's upward rank)."""
+    rank: dict[int, float] = {}
+    for seg in reversed(segments):      # reverse topological order
+        below = max((rank[d] for d in seg.dependents), default=0.0)
+        rank[seg.index] = seg.duration_us + below
+    return rank
+
+
+def plan_opara(graph: KernelGraph, num_streams: int,
+               device: DeviceProperties,
+               estimates: Optional[dict[int, KernelEstimate]] = None
+               ) -> StreamPlan:
+    """Resource-aware list scheduling of segments onto stream slots.
+
+    Ready segments are taken longest-critical-path-first; each is placed
+    on the slot minimizing projected finish time, plus ``SYNC_COST_US``
+    per dependency edge that would cross streams, minus a bonus when the
+    work concurrently resident on *other* slots is resource-complementary
+    (compute-bound overlapping memory- or latency-bound work).  Ties
+    break toward the lowest slot, keeping the plan deterministic.
+    """
+    _validate(graph, num_streams)
+    estimates = estimates or estimate_graph(graph, device)
+    segments = segments_of(graph, estimates)
+    rank = _upward_rank(segments)
+
+    free = [0.0] * num_streams                 # slot → time it frees up
+    busy: list[Optional[_Segment]] = [None] * num_streams
+    busy_until = [0.0] * num_streams
+    seg_slot: dict[int, int] = {}
+    seg_finish: dict[int, float] = {}
+    scheduled: list[_Segment] = []
+    remaining_deps = {s.index: len(s.deps) for s in segments}
+    ready = [s for s in segments if not s.deps]
+
+    while ready:
+        # Longest critical path first; segment index breaks ties.
+        ready.sort(key=lambda s: (-rank[s.index], s.index))
+        seg = ready.pop(0)
+        ready_at = max((seg_finish[d] for d in seg.deps), default=0.0)
+        best_slot, best_cost = 0, float("inf")
+        for slot in range(num_streams):
+            start = max(ready_at, free[slot])
+            cost = start + seg.duration_us
+            cost += SYNC_COST_US * sum(
+                1 for d in seg.deps if seg_slot[d] != slot)
+            for other in range(num_streams):
+                peer = busy[other]
+                if other == slot or peer is None:
+                    continue
+                if busy_until[other] > start:   # genuinely concurrent
+                    a = KernelEstimate(  # segment-level pseudo estimate
+                        name="", duration_us=seg.duration_us,
+                        fill=seg.fill, occupancy=1.0, intensity=0.0,
+                        bound=seg.bound)
+                    b = KernelEstimate(
+                        name="", duration_us=peer.duration_us,
+                        fill=peer.fill, occupancy=1.0, intensity=0.0,
+                        bound=peer.bound)
+                    cost -= SYNC_COST_US * complementarity(a, b)
+            if cost < best_cost - 1e-12:
+                best_slot, best_cost = slot, cost
+        start = max(ready_at, free[best_slot])
+        finish = start + seg.duration_us
+        free[best_slot] = finish
+        busy[best_slot] = seg
+        busy_until[best_slot] = finish
+        seg_slot[seg.index] = best_slot
+        seg_finish[seg.index] = finish
+        scheduled.append(seg)
+        for d in sorted(seg.dependents):
+            remaining_deps[d] -= 1
+            if remaining_deps[d] == 0:
+                ready.append(segments[d])
+
+    if len(scheduled) != len(segments):  # pragma: no cover - defensive
+        raise SchedulingError(
+            f"graph {graph.name!r}: segment scheduling stalled "
+            f"({len(scheduled)}/{len(segments)} placed)")
+
+    assignment: dict[int, int] = {}
+    order: list[int] = []
+    for seg in scheduled:
+        for nid in seg.nodes:
+            assignment[nid] = seg_slot[seg.index]
+            order.append(nid)
+    return StreamPlan(
+        policy="opara", graph_name=graph.name, num_streams=num_streams,
+        assignment=assignment, order=tuple(order),
+        makespan_us=max(seg_finish.values()),
+    )
+
+
+def build_plan(graph: KernelGraph, policy: str, num_streams: int,
+               device: Optional[DeviceProperties] = None,
+               estimates: Optional[dict[int, KernelEstimate]] = None
+               ) -> StreamPlan:
+    """Build one (uncertified) plan under ``policy``."""
+    if policy == "layer-serial":
+        return plan_layer_serial(graph)
+    if policy == "round-robin":
+        return plan_round_robin(graph, num_streams)
+    if policy == "chain-affine":
+        return plan_chain_affine(graph, num_streams)
+    if policy == "opara":
+        if device is None:
+            raise SchedulingError(
+                "opara planning needs device properties for its "
+                "resource estimates")
+        return plan_opara(graph, num_streams, device, estimates=estimates)
+    raise SchedulingError(
+        f"unknown planning policy {policy!r}; expected one of "
+        f"{', '.join(PLAN_POLICIES)}")

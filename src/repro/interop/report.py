@@ -1,0 +1,235 @@
+"""The ``python -m repro interop`` session: plan, certify, execute, report.
+
+One driver (:func:`run_interop_session`) covers all three CLI actions:
+
+* ``plan`` — build plans for the requested policies, certify each
+  through the fallback ladder, and report the static picture (stream
+  usage, cross-stream edges, launch-order switches, certification
+  verdicts);
+* ``run`` — additionally execute every certified plan, eagerly *and* as
+  a single PR-7 graph launch, on a fresh simulated device per policy;
+* ``report`` — everything ``run`` does plus the per-graph resource
+  summary (how much of the work is compute/memory/latency-bound) that
+  explains *why* the planner chose what it chose.
+
+The report follows the repo-wide protocol (``render`` / ``to_dict`` /
+``to_json`` / ``save``) so the CLI's ``--format json|text`` and
+``--report`` plumbing come from :mod:`repro.reporting` unchanged.
+
+With ``inject_hazard=True`` the requested policies' lowerings are
+poisoned (cross-stream waits dropped; see
+:func:`repro.interop.certify.plan_program`), so the race detector must
+reject them and certification must fall back — the report is then OK
+*iff* every poisoned multi-stream plan actually fell back, mirroring the
+``graph --inject-hazard`` probe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.interop.certify import certify, structural_effects
+from repro.interop.execute import PlanRun, replay_plan, run_plan
+from repro.interop.planner import PLAN_POLICIES, StreamPlan, build_plan
+from repro.interop.resources import estimate_graph, suggest_pool_size
+from repro.interop.workloads import INCEPTION_UNITS, Workload, inception_unit
+from repro.serve.engine import resolve_device
+
+#: CLI actions, in increasing depth.
+INTEROP_ACTIONS = ("plan", "run", "report")
+
+
+@dataclass
+class PolicyOutcome:
+    """One requested policy: its certified plan and measurements."""
+
+    requested: str
+    plan: StreamPlan
+    cross_edges: int = 0
+    attempts: list[dict] = field(default_factory=list)
+    eager: Optional[PlanRun] = None
+    graph: Optional[PlanRun] = None
+
+    @property
+    def fell_back(self) -> bool:
+        return bool(self.plan.fallback_from)
+
+    def to_dict(self) -> dict:
+        d = self.plan.to_dict()
+        d["requested"] = self.requested
+        d["cross_edges"] = self.cross_edges
+        d["attempts"] = self.attempts
+        d["eager"] = self.eager.to_dict() if self.eager else None
+        d["graph_launch"] = self.graph.to_dict() if self.graph else None
+        return d
+
+
+@dataclass
+class InteropReport:
+    """Outcome of one ``repro interop`` session."""
+
+    action: str
+    unit: str
+    batch: int
+    device: str
+    num_streams: int
+    suggested_streams: int
+    inject_hazard: bool = False
+    nodes: int = 0
+    bound_mix: dict = field(default_factory=dict)
+    entries: list[PolicyOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every executed plan certified; poisoned plans must fall back."""
+        if not all(e.plan.certified for e in self.entries):
+            return False
+        if self.inject_hazard:
+            poisoned = [e for e in self.entries if e.cross_edges > 0]
+            return bool(poisoned) and all(e.fell_back for e in poisoned)
+        return not any(e.fell_back for e in self.entries)
+
+    def _baseline_us(self) -> Optional[float]:
+        for e in self.entries:
+            if e.requested == "layer-serial" and e.eager:
+                return e.eager.elapsed_us
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"interop {self.action}: inception-{self.unit} x{self.batch} "
+            f"on {self.device} ({self.nodes} kernels, "
+            f"{self.num_streams} streams"
+            + (f", analyzer suggests {self.suggested_streams}"
+               if self.suggested_streams != self.num_streams else "")
+            + (", HAZARD INJECTED" if self.inject_hazard else "") + ")",
+        ]
+        if self.bound_mix:
+            mix = ", ".join(f"{k} {v:.0%}"
+                            for k, v in self.bound_mix.items() if v)
+            lines.append(f"  resource mix (by time): {mix}")
+        base = self._baseline_us()
+        header = (f"  {'policy':14s} {'streams':>7s} {'x-edges':>7s} "
+                  f"{'switches':>8s} {'certified':>9s}")
+        if any(e.eager for e in self.entries):
+            header += f" {'eager µs':>10s} {'graph µs':>10s} {'speedup':>7s}"
+        lines.append(header)
+        for e in self.entries:
+            cert = ("fallback->" + e.plan.policy if e.fell_back
+                    else ("yes" if e.plan.certified else "NO"))
+            row = (f"  {e.requested:14s} {e.plan.streams_used():>7d} "
+                   f"{e.cross_edges:>7d} {e.plan.switches():>8d} "
+                   f"{cert:>9s}")
+            if e.eager:
+                graph_us = (f"{e.graph.elapsed_us:>10.1f}" if e.graph
+                            else f"{'-':>10s}")
+                row += f" {e.eager.elapsed_us:>10.1f} {graph_us}"
+                if base and e.eager.elapsed_us:
+                    row += f" {base / e.eager.elapsed_us:>6.2f}x"
+                else:
+                    row += f" {'-':>7s}"
+            lines.append(row)
+        lines.append(f"  verdict: {'OK' if self.ok else 'NOT OK'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "unit": self.unit,
+            "batch": self.batch,
+            "device": self.device,
+            "num_streams": self.num_streams,
+            "suggested_streams": self.suggested_streams,
+            "inject_hazard": self.inject_hazard,
+            "nodes": self.nodes,
+            "bound_mix": self.bound_mix,
+            "ok": self.ok,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+
+def _bound_mix(estimates) -> dict:
+    total = sum(e.duration_us for e in estimates.values()) or 1.0
+    mix = {}
+    for kind in ("compute", "memory", "latency"):
+        t = sum(e.duration_us for e in estimates.values()
+                if e.bound == kind)
+        mix[kind] = round(t / total, 4)
+    return mix
+
+
+def run_interop_session(action: str = "report",
+                        unit: str = "5b",
+                        batch: int = 4,
+                        device: str = "p100",
+                        streams: int = 0,
+                        policy: str = "all",
+                        inject_hazard: bool = False,
+                        workload: Optional[Workload] = None
+                        ) -> InteropReport:
+    """Plan (and under ``run``/``report``, execute) one inception unit.
+
+    ``streams=0`` sizes the pool with the kernel analyzer
+    (:func:`repro.interop.resources.suggest_pool_size`); ``workload``
+    overrides the built-in inception units (the tests' hook).
+    """
+    if action not in INTEROP_ACTIONS:
+        raise ReproError(
+            f"unknown interop action {action!r}; expected one of "
+            f"{', '.join(INTEROP_ACTIONS)}")
+    if workload is None:
+        if unit not in INCEPTION_UNITS:
+            raise ReproError(
+                f"unknown inception unit {unit!r}; expected one of "
+                f"{', '.join(sorted(INCEPTION_UNITS))}")
+        workload = inception_unit(unit, batch)
+    graph = workload.graph
+    props = resolve_device(device)
+    policies = (list(PLAN_POLICIES) if policy == "all" else [policy])
+    for p in policies:
+        if p not in PLAN_POLICIES:
+            raise ReproError(
+                f"unknown policy {p!r}; expected one of "
+                f"{', '.join(PLAN_POLICIES)} or 'all'")
+
+    estimates = estimate_graph(graph, props)
+    suggested = suggest_pool_size(graph, props)
+    num_streams = streams if streams > 0 else suggested
+    effects = structural_effects(graph, in_place=workload.in_place)
+
+    report = InteropReport(
+        action=action, unit=workload.unit or unit, batch=workload.batch,
+        device=props.name, num_streams=num_streams,
+        suggested_streams=suggested, inject_hazard=inject_hazard,
+        nodes=len(graph), bound_mix=_bound_mix(estimates),
+    )
+    for p in policies:
+        requested = build_plan(graph, p, num_streams, device=props,
+                               estimates=estimates)
+        cert = certify(graph, requested, effects=effects,
+                       drop_waits=inject_hazard, device=props)
+        outcome = PolicyOutcome(
+            requested=p, plan=cert.plan,
+            cross_edges=requested.cross_edges(graph),
+            attempts=[v.to_dict() for v in cert.verdicts],
+        )
+        if action in ("run", "report"):
+            gpu = GPU(props)
+            pool = [gpu.create_stream(name=f"interop.{p}.s{i}")
+                    for i in range(num_streams)]
+            outcome.eager = run_plan(gpu, graph, cert.plan, pool)
+            outcome.graph = replay_plan(GPU(props), graph, cert.plan,
+                                        effects=effects)
+        report.entries.append(outcome)
+    return report

@@ -1,0 +1,173 @@
+"""Per-kernel resource estimates feeding the inter-operator planner.
+
+The Opara-style planner (:mod:`repro.interop.planner`) needs to know, for
+every node of a :class:`~repro.runtime.graph.KernelGraph`, roughly how
+long the kernel runs, how much of the device it fills, and *what it is
+bounded by* — because the whole point of resource-aware stream assignment
+(Opara's second stage, and the concurrency characterization of Gilman &
+Walls in PAPERS.md) is that overlap only pays when the co-scheduled
+kernels stress *different* resources: a compute-bound SGEMM overlaps
+profitably with a memory-bound ``im2col`` or an occupancy-limited 1x1
+reduce, while two device-saturating convolutions merely time-share the
+SMs.
+
+All estimates come from the machinery the kernel analyzer already uses —
+the roofline cost model (:mod:`repro.kernels.costmodel`), the occupancy
+calculator (:mod:`repro.gpusim.occupancy`) and the device's throughput
+figures — so the planner, the analytical model and the simulator share
+one source of truth.  Nothing here runs a profiling pass: estimates are
+closed-form, exactly like the analyzer's "static input" ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.core.resource_tracker import KernelProfile
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.occupancy import max_active_blocks_per_sm, occupancy
+from repro.kernels.costmodel import kernel_solo_time_us
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.graph import KernelGraph
+
+#: Resource classes a kernel can be limited by.
+BOUND_KINDS = ("compute", "memory", "latency")
+
+#: Occupancy ratio below which a kernel is considered latency-bound
+#: (too few resident warps to hide pipeline latency, whatever its
+#: arithmetic intensity says).
+LATENCY_OCCUPANCY = 0.25
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Static resource estimate of one kernel, the planner's node weight.
+
+    Attributes
+    ----------
+    name:
+        Kernel symbol name (provenance only).
+    duration_us:
+        Closed-form solo duration from the roofline cost model.
+    fill:
+        Fraction of the device the kernel occupies running alone — its
+        grid's blocks over the whole-device residency capacity, capped at
+        1.  Two kernels whose fills sum well above 1 cannot truly overlap.
+    occupancy:
+        Achieved per-SM occupancy ratio (active warps over the maximum).
+    intensity:
+        Arithmetic intensity, flops per DRAM byte.
+    bound:
+        ``"compute"``, ``"memory"`` or ``"latency"`` — which resource
+        limits the kernel, per the device's roofline ridge point.
+    """
+
+    name: str
+    duration_us: float
+    fill: float
+    occupancy: float
+    intensity: float
+    bound: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_us": round(self.duration_us, 3),
+            "fill": round(self.fill, 4),
+            "occupancy": round(self.occupancy, 4),
+            "intensity": round(self.intensity, 3),
+            "bound": self.bound,
+        }
+
+
+def estimate(spec: KernelSpec, device: DeviceProperties) -> KernelEstimate:
+    """Estimate one kernel's resource profile on ``device``."""
+    launch = spec.launch
+    fit = max(1, max_active_blocks_per_sm(device, launch).blocks_per_sm)
+    capacity = fit * device.sm_count
+    fill = min(1.0, launch.num_blocks / capacity)
+    occ = occupancy(device, launch)
+    if spec.bytes_per_thread > 0:
+        intensity = spec.flops_per_thread / spec.bytes_per_thread
+    else:
+        intensity = math.inf
+    # The device's ridge point in flops/byte: more intense kernels are
+    # compute-bound, less intense ones memory-bound (the same comparison
+    # the engine's roofline block-work function makes).
+    ridge = device.sm_flops_per_us / device.sm_bytes_per_us
+    if occ < LATENCY_OCCUPANCY:
+        bound = "latency"
+    elif intensity >= ridge:
+        bound = "compute"
+    else:
+        bound = "memory"
+    return KernelEstimate(
+        name=spec.name,
+        duration_us=kernel_solo_time_us(spec, device),
+        fill=fill,
+        occupancy=occ,
+        intensity=intensity,
+        bound=bound,
+    )
+
+
+def estimate_graph(graph: "KernelGraph", device: DeviceProperties
+                   ) -> dict[int, KernelEstimate]:
+    """Per-node estimates for a whole kernel graph."""
+    return {n.node_id: estimate(n.spec, device) for n in graph.nodes}
+
+
+def complementarity(a: KernelEstimate, b: KernelEstimate) -> float:
+    """How profitably two kernels overlap, in ``[0, 1]``.
+
+    The Gilman & Walls heuristic: overlap is worth the synchronization it
+    costs when the kernels stress different resources *and* together fit
+    on the device.  Same-resource pairs that individually saturate the
+    device score zero — co-scheduling them is pure time-sharing.
+    """
+    fits = a.fill + b.fill <= 1.2     # small tolerance: waves interleave
+    if a.bound != b.bound:
+        return 1.0 if fits else 0.5
+    return 0.3 if fits else 0.0
+
+
+def suggest_pool_size(graph: "KernelGraph", device: DeviceProperties,
+                      cap: int = 8) -> int:
+    """Stream-pool size for ``graph`` from the existing kernel analyzer.
+
+    Synthesizes :class:`KernelProfile` records from the graph's unique
+    kernel signatures — durations from the cost model instead of a
+    profiling pass — and solves the paper's Eq. 1-9 analytical model,
+    exactly as the runtime's kernel analyzer would after profiling.  The
+    resulting ``C_out`` is clamped to ``[1, cap]`` (the planner does not
+    benefit from more streams than independent branches anyway).
+    """
+    merged: dict[tuple, list[KernelSpec]] = {}
+    for node in graph.nodes:
+        merged.setdefault(node.spec.signature, []).append(node.spec)
+    profiles = []
+    for specs in merged.values():
+        spec = specs[0]
+        profiles.append(KernelProfile(
+            name=spec.name, grid=spec.launch.grid, block=spec.launch.block,
+            registers_per_thread=spec.launch.registers_per_thread,
+            shared_mem_per_block=spec.launch.shared_mem_per_block,
+            duration_us=kernel_solo_time_us(spec, device),
+            instances=len(specs),
+        ))
+    decision = AnalyticalModel(device).solve(f"interop/{graph.name}",
+                                             profiles)
+    return max(1, min(cap, decision.c_out))
+
+
+def dominant_bound(estimates: Sequence[KernelEstimate]) -> str:
+    """The boundedness that dominates a set of kernels, by time."""
+    weight = {kind: 0.0 for kind in BOUND_KINDS}
+    for est in estimates:
+        weight[est.bound] += est.duration_us
+    return max(BOUND_KINDS, key=lambda k: weight[k])

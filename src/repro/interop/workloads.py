@@ -1,0 +1,142 @@
+"""Branchy benchmark workloads for the inter-operator planner.
+
+GoogLeNet's inception modules are the motivating shape for inter-op
+parallelism — four independent branches (1x1; 1x1 reduce → 3x3; 1x1
+reduce → 5x5; pool projection) over one input map, joined by a channel
+concat — and the paper's own Table 5 gives the exact geometries.  This
+module builds them as :class:`~repro.runtime.graph.KernelGraph` values:
+per-sample branch pipelines via the real conv lowering
+(:func:`repro.runtime.lowering.lower_conv_forward`), joined per sample
+by a small memory-bound concat kernel that assembles the branch outputs
+*in place* — the in-place effect is what makes an unsynchronized join a
+certifiable hazard rather than a silent reordering
+(:func:`repro.interop.certify.structural_effects`).
+
+Units ``5a`` and ``5b`` are the two inception modules on the final
+832-channel 7x7 map; both mix a device-saturating compute-bound 3x3
+body with skinny latency/memory-bound 1x1 reductions, which is exactly
+the resource-complementary mix Opara-style planning exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.gpusim.kernel import KernelSpec, LaunchConfig
+from repro.nn.config import ConvConfig
+from repro.runtime.graph import KernelGraph
+from repro.runtime.lowering import lower_conv_forward
+
+#: Inception units on the 7x7x832 map (paper Table 5 geometry), keyed by
+#: branch: each value is the branch's conv pipeline in order.
+INCEPTION_UNITS = {
+    "5a": {
+        "1x1": ((832, 256, 1, 0),),
+        "3x3": ((832, 160, 1, 0), (160, 320, 3, 1)),
+        "5x5": ((832, 32, 1, 0), (32, 128, 5, 2)),
+        "pool_proj": ((832, 128, 1, 0),),
+    },
+    "5b": {
+        "1x1": ((832, 384, 1, 0),),
+        "3x3": ((832, 192, 1, 0), (192, 384, 3, 1)),
+        "5x5": ((832, 48, 1, 0), (48, 128, 5, 2)),
+        "pool_proj": ((832, 128, 1, 0),),
+    },
+}
+
+#: Input spatial size of both units (7x7 map).
+_HW = 7
+
+
+@dataclass
+class Workload:
+    """A planner workload: the graph plus its in-place join nodes."""
+
+    graph: KernelGraph
+    in_place: set[int] = field(default_factory=set)
+    unit: str = ""
+    batch: int = 0
+
+
+def concat_spec(unit: str, sample: int, channels: int,
+                hw: int = _HW) -> KernelSpec:
+    """The per-sample channel-concat join: a thin memory-bound kernel.
+
+    One thread per output element, one flop (index arithmetic is free in
+    the roofline model), a read plus a write per element — squarely
+    memory-bound and far below device fill, the cheap join the planner
+    should never give its own stream's worth of synchronization.
+    """
+    threads = channels * hw * hw
+    block = 256
+    grid = (threads + block - 1) // block
+    return KernelSpec(
+        name=f"concat_{unit}",
+        launch=LaunchConfig(grid=(grid, 1, 1), block=(block, 1, 1)),
+        flops_per_thread=1.0, bytes_per_thread=8.0,
+        tag=f"inception{unit}/s{sample}",
+    )
+
+
+def _branch_configs(unit: str, batch: int) -> dict[str, list[ConvConfig]]:
+    if unit not in INCEPTION_UNITS:
+        raise SchedulingError(
+            f"unknown inception unit {unit!r}; expected one of "
+            f"{', '.join(sorted(INCEPTION_UNITS))}")
+    out: dict[str, list[ConvConfig]] = {}
+    for branch, convs in INCEPTION_UNITS[unit].items():
+        out[branch] = [
+            ConvConfig(f"inception{unit}/{branch}/c{i}", batch, ci, _HW,
+                       co, f, 1, p, "GoogLeNet")
+            for i, (ci, co, f, p) in enumerate(convs)
+        ]
+    return out
+
+
+def inception_unit(unit: str = "5b", batch: int = 4) -> Workload:
+    """Build one inception unit as a per-sample branch DAG with a join.
+
+    Every sample contributes one pipeline per branch (independent across
+    branches *and* samples) plus a concat node depending on the four
+    branch tails; the concat is marked in-place.
+    """
+    configs = _branch_configs(unit, batch)
+    lowered = {branch: [lower_conv_forward(cfg) for cfg in cfgs]
+               for branch, cfgs in configs.items()}
+    g = KernelGraph(f"inception{unit}")
+    in_place: set[int] = set()
+    out_channels = sum(cfgs[-1].co for cfgs in configs.values())
+    for n in range(batch):
+        tails: list[int] = []
+        for branch in configs:
+            prev: list[int] = []
+            for work in lowered[branch]:
+                chain = work.parallel_chains[n]
+                ids = g.add_chain(list(chain), deps=prev)
+                prev = [ids[-1]]
+            tails.extend(prev)
+        join = g.add(concat_spec(unit, n, out_channels), deps=tails)
+        in_place.add(join)
+    return Workload(graph=g, in_place=in_place, unit=unit, batch=batch)
+
+
+def single_branch(batch: int = 4) -> Workload:
+    """A single inception branch (3x3 pipeline): one chain per sample.
+
+    The degenerate planner input — per-sample linear pipelines with no
+    join — used by the edge-case tests: every policy's plan must be
+    hazard-free and opara must not scatter a pipeline across streams.
+    """
+    g = KernelGraph("inception5b-3x3")
+    prev_tails: list[list[int]] = []
+    for cfg in _branch_configs("5b", batch)["3x3"]:
+        work = lower_conv_forward(cfg)
+        # chain sample n of this conv after sample n of the previous conv
+        new_tails: list[list[int]] = []
+        for n in range(batch):
+            deps = prev_tails[n] if prev_tails else []
+            ids = g.add_chain(list(work.parallel_chains[n]), deps=deps)
+            new_tails.append([ids[-1]])
+        prev_tails = new_tails
+    return Workload(graph=g, unit="5b", batch=batch)

@@ -237,6 +237,34 @@ def _run_graph() -> TraceCapture:
         "capture + admission, then amortized replays", gpu, rec, reg)
 
 
+def _run_interop() -> TraceCapture:
+    """An inception-5b unit under the certified opara stream plan."""
+    from repro.interop import (
+        build_plan,
+        certify,
+        inception_unit,
+        run_plan,
+        structural_effects,
+    )
+    from repro.interop.resources import estimate_graph
+
+    props = resolve_device("p100")
+    gpu = GPU(props, record_timeline=True)
+    workload = inception_unit("5b", batch=2)
+    graph = workload.graph
+    plan = build_plan(graph, "opara", 4, device=props,
+                      estimates=estimate_graph(graph, props))
+    cert = certify(graph, plan,
+                   effects=structural_effects(graph, workload.in_place),
+                   device=props)
+    streams = [gpu.create_stream(name=f"interop.s{i}") for i in range(4)]
+    with _observing(gpu) as (rec, reg):
+        run_plan(gpu, graph, cert.plan, streams)
+    return _capture(
+        "interop", "Inception-5b branches under the certified opara "
+        "inter-operator stream plan", gpu, rec, reg)
+
+
 #: Scenario name -> builder.  Deterministic iteration order (insertion).
 TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "fig3": _run_fig3,
@@ -246,6 +274,7 @@ TRACE_SCENARIOS: dict[str, Callable[[], TraceCapture]] = {
     "verify": _run_verify,
     "fleet": _run_fleet,
     "graph": _run_graph,
+    "interop": _run_interop,
 }
 
 

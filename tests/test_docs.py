@@ -29,3 +29,32 @@ def test_checker_flags_broken_link(tmp_path):
     assert proc.returncode == 1
     assert "broken link" in proc.stdout
     assert "unresolved module" in proc.stdout
+
+
+def test_checker_flags_unknown_cli_subcommand(tmp_path):
+    # The subcommand list is scraped from src/repro/cli.py, so give the
+    # temp repo a minimal one; the fake invocation sits inside a fenced
+    # block because that is where real usage examples live.
+    cli = tmp_path / "src" / "repro"
+    cli.mkdir(parents=True)
+    (cli / "cli.py").write_text(
+        'sub.add_parser("run")\nsub.add_parser("serve")\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "README.md").write_text(
+        "```bash\npython -m repro nosuchcmd --flag\n"
+        "python -m repro run fig9\n"
+        "python -m repro --help\n"
+        "python -m repro.bench.some_module\n```\n",
+        encoding="utf-8",
+    )
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py"),
+         str(tmp_path)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "unknown CLI subcommand" in proc.stdout
+    assert "nosuchcmd" in proc.stdout
+    # the valid subcommand, the option and the module runner all pass
+    assert proc.stdout.count("unknown CLI subcommand") == 1

@@ -1,0 +1,77 @@
+"""The ``python -m repro interop`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+FAST = ["--unit", "5a", "--batch", "2", "--streams", "4"]
+
+
+class TestPlanAction:
+    def test_plan_text_report(self, capsys):
+        assert main(["interop", "plan"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "interop plan: inception-5a" in out
+        for policy in ("layer-serial", "round-robin",
+                       "chain-affine", "opara"):
+            assert policy in out
+        assert "verdict: OK" in out
+
+    def test_plan_json_report(self, capsys):
+        assert main(["interop", "plan", "--format", "json"] + FAST) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["unit"] == "5a"
+        assert len(payload["entries"]) == 4
+        assert all(e["certified"] for e in payload["entries"])
+
+    def test_single_policy(self, capsys):
+        assert main(["interop", "plan", "--policy", "opara"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "opara" in out and "round-robin" not in out
+
+
+class TestRunAction:
+    def test_run_measures_both_paths(self, capsys):
+        assert main(["interop", "run", "--policy", "opara"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "eager µs" in out and "graph µs" in out
+
+    def test_report_action_includes_resource_mix(self, capsys):
+        assert main(["interop", "report"] + FAST) == 0
+        assert "resource mix" in capsys.readouterr().out
+
+    def test_report_file_written(self, tmp_path, capsys):
+        out_file = tmp_path / "interop.json"
+        assert main(["interop", "plan", "--report", str(out_file)]
+                    + FAST) == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+
+
+class TestHazardInjection:
+    def test_injected_hazard_falls_back_and_reports_ok(self, capsys):
+        assert main(["interop", "plan", "--inject-hazard"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "HAZARD INJECTED" in out
+        assert "fallback->" in out
+
+
+class TestBadInput:
+    def test_unknown_policy_suggests(self, capsys):
+        assert main(["interop", "plan", "--policy", "opera"] + FAST) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy" in err
+        assert "did you mean" in err and "opara" in err
+
+    def test_unknown_unit(self, capsys):
+        assert main(["interop", "plan", "--unit", "9z"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown inception unit" in err
+        assert "5a" in err and "5b" in err
+
+
+def test_interop_listed_in_experiments(capsys):
+    assert main(["experiments"]) == 0
+    assert "interop" in capsys.readouterr().out

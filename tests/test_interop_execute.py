@@ -1,0 +1,116 @@
+"""Executing certified plans: eager dispatch and graph-launch replay."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.engine import GPU
+from repro.interop.certify import certify, structural_effects
+from repro.interop.execute import compile_plan, replay_plan, run_plan
+from repro.interop.planner import build_plan
+from repro.interop.workloads import inception_unit
+from repro.serve.engine import resolve_device
+
+P100 = resolve_device("p100")
+STREAMS = 4
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return inception_unit("5a", batch=2)
+
+
+@pytest.fixture(scope="module")
+def effects(unit):
+    return structural_effects(unit.graph, in_place=unit.in_place)
+
+
+def certified(unit, effects, policy):
+    plan = build_plan(unit.graph, policy, STREAMS, device=P100)
+    return certify(unit.graph, plan, effects=effects, device=P100).plan
+
+
+def pool(gpu, n=STREAMS):
+    return [gpu.create_stream(name=f"t.s{i}") for i in range(n)]
+
+
+class TestCertificationGate:
+    def test_run_plan_refuses_uncertified(self, unit):
+        plan = build_plan(unit.graph, "round-robin", STREAMS)
+        gpu = GPU(P100)
+        with pytest.raises(SchedulingError, match="uncertified"):
+            run_plan(gpu, unit.graph, plan, pool(gpu))
+
+    def test_compile_plan_refuses_uncertified(self, unit):
+        plan = build_plan(unit.graph, "opara", STREAMS, device=P100)
+        with pytest.raises(SchedulingError, match="uncertified"):
+            compile_plan(unit.graph, plan)
+
+    def test_replay_plan_refuses_uncertified(self, unit):
+        plan = build_plan(unit.graph, "layer-serial", 1)
+        with pytest.raises(SchedulingError, match="uncertified"):
+            replay_plan(GPU(P100), unit.graph, plan)
+
+
+class TestEager:
+    def test_pool_must_cover_used_slots(self, unit, effects):
+        plan = certified(unit, effects, "round-robin")
+        gpu = GPU(P100)
+        with pytest.raises(SchedulingError, match="stream slots"):
+            run_plan(gpu, unit.graph, plan, pool(gpu, 2))
+
+    def test_counts_match_plan_structure(self, unit, effects):
+        plan = certified(unit, effects, "opara")
+        gpu = GPU(P100)
+        run = run_plan(gpu, unit.graph, plan, pool(gpu))
+        assert run.mode == "eager"
+        assert run.launches == len(unit.graph)
+        assert run.waits == plan.cross_edges(unit.graph)
+        assert run.records <= run.waits
+        assert run.elapsed_us > 0
+        assert run.launch_overhead_us > 0
+
+    def test_opara_beats_layer_serial(self, unit, effects):
+        times = {}
+        for policy in ("layer-serial", "opara"):
+            plan = certified(unit, effects, policy)
+            gpu = GPU(P100)
+            times[policy] = run_plan(gpu, unit.graph, plan,
+                                     pool(gpu)).elapsed_us
+        assert times["opara"] < times["layer-serial"]
+
+
+class TestGraphLaunch:
+    def test_compiled_graph_shape(self, unit, effects):
+        plan = certified(unit, effects, "opara")
+        compiled = compile_plan(unit.graph, plan, effects=effects)
+        assert compiled.launches == len(unit.graph)
+        assert compiled.nodes[-1].kind == "barrier"
+        streams = {n.stream for n in compiled.nodes if n.kind == "launch"}
+        assert 0 not in streams        # never the default stream
+
+    def test_replay_runs_admitted_graph(self, unit, effects):
+        plan = certified(unit, effects, "opara")
+        run = replay_plan(GPU(P100), unit.graph, plan, effects=effects)
+        assert run.mode == "graph"
+        assert run.launches == len(unit.graph)
+        assert run.elapsed_us > 0
+
+    def test_replay_amortizes_launch_overhead(self, unit, effects):
+        plan = certified(unit, effects, "opara")
+        gpu_eager, gpu_graph = GPU(P100), GPU(P100)
+        eager = run_plan(gpu_eager, unit.graph, plan, pool(gpu_eager))
+        graph = replay_plan(gpu_graph, unit.graph, plan, effects=effects)
+        assert graph.launch_overhead_us < eager.launch_overhead_us
+
+    def test_fallback_plan_is_executable(self, unit, effects):
+        # a poisoned opara request yields a certified chain-affine plan
+        # that both execution paths accept
+        requested = build_plan(unit.graph, "opara", STREAMS, device=P100)
+        cert = certify(unit.graph, requested, effects=effects,
+                       drop_waits=True, device=P100)
+        assert cert.fell_back
+        gpu = GPU(P100)
+        assert run_plan(gpu, unit.graph, cert.plan,
+                        pool(gpu)).elapsed_us > 0
+        assert replay_plan(GPU(P100), unit.graph, cert.plan,
+                           effects=effects).elapsed_us > 0

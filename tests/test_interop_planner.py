@@ -1,0 +1,131 @@
+"""Stream-plan builders: policies, edge cases, determinism."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.interop.planner import (
+    PLAN_POLICIES,
+    build_plan,
+    plan_layer_serial,
+    plan_opara,
+    plan_round_robin,
+    segments_of,
+)
+from repro.interop.resources import estimate_graph
+from repro.interop.workloads import inception_unit, single_branch
+from repro.serve.engine import resolve_device
+
+P100 = resolve_device("p100")
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return inception_unit("5b", batch=2)
+
+
+def _topological(graph, order):
+    seen = set()
+    for nid in order:
+        if any(d not in seen for d in graph._nodes[nid].deps):
+            return False
+        seen.add(nid)
+    return True
+
+
+class TestAllPolicies:
+    @pytest.mark.parametrize("policy", PLAN_POLICIES)
+    def test_covers_every_node_in_topo_order(self, unit, policy):
+        plan = build_plan(unit.graph, policy, 4, device=P100)
+        assert set(plan.assignment) == {n.node_id for n in unit.graph.nodes}
+        assert sorted(plan.order) == sorted(plan.assignment)
+        assert _topological(unit.graph, plan.order)
+
+    @pytest.mark.parametrize("policy", PLAN_POLICIES)
+    def test_deterministic(self, unit, policy):
+        a = build_plan(unit.graph, policy, 4, device=P100)
+        b = build_plan(unit.graph, policy, 4, device=P100)
+        assert a.assignment == b.assignment and a.order == b.order
+
+    @pytest.mark.parametrize("policy", PLAN_POLICIES)
+    def test_pool_of_one_forces_serial(self, unit, policy):
+        plan = build_plan(unit.graph, policy, 1, device=P100)
+        assert plan.streams_used() == 1
+        assert plan.cross_edges(unit.graph) == 0
+        assert plan.switches() == 0
+
+    def test_unknown_policy_raises(self, unit):
+        with pytest.raises(SchedulingError, match="unknown planning policy"):
+            build_plan(unit.graph, "zigzag", 4)
+
+    def test_opara_needs_device(self, unit):
+        with pytest.raises(SchedulingError, match="device properties"):
+            build_plan(unit.graph, "opara", 4)
+
+
+class TestBaselines:
+    def test_layer_serial_is_one_stream(self, unit):
+        plan = plan_layer_serial(unit.graph)
+        assert plan.streams_used() == 1
+        assert plan.cross_edges(unit.graph) == 0
+
+    def test_round_robin_spreads_maximally(self, unit):
+        plan = plan_round_robin(unit.graph, 4)
+        assert plan.streams_used() == 4
+        # nearly every launch changes stream
+        assert plan.switches() == len(plan.order) - 1
+
+
+class TestOpara:
+    def test_single_linear_chain_uses_one_stream(self):
+        # batch=1 single branch: one linear pipeline, nothing to overlap
+        wl = single_branch(batch=1)
+        plan = plan_opara(wl.graph, 4, P100)
+        assert plan.streams_used() == 1
+        assert plan.cross_edges(wl.graph) == 0
+
+    def test_pipelines_never_split_across_streams(self):
+        # 3 independent per-sample pipelines on 3 streams: each pipeline
+        # stays whole (zero cross-stream dependency edges).
+        wl = single_branch(batch=3)
+        plan = plan_opara(wl.graph, 3, P100)
+        assert plan.streams_used() == 3
+        assert plan.cross_edges(wl.graph) == 0
+
+    def test_overlaps_inception_branches(self, unit):
+        plan = plan_opara(unit.graph, 4, P100)
+        assert plan.streams_used() > 1
+        assert plan.makespan_us > 0
+
+    def test_fewer_sync_edges_than_round_robin(self, unit):
+        opara = plan_opara(unit.graph, 4, P100)
+        rr = plan_round_robin(unit.graph, 4)
+        assert opara.cross_edges(unit.graph) < rr.cross_edges(unit.graph)
+        assert opara.switches() < rr.switches()
+
+    def test_segments_are_maximal_linear_runs(self, unit):
+        ests = estimate_graph(unit.graph, P100)
+        segs = segments_of(unit.graph, ests)
+        covered = [nid for s in segs for nid in s.nodes]
+        assert sorted(covered) == sorted(n.node_id
+                                         for n in unit.graph.nodes)
+        deps_of = {n.node_id: n.deps for n in unit.graph.nodes}
+        for seg in segs:
+            for prev, nxt in zip(seg.nodes, seg.nodes[1:]):
+                assert deps_of[nxt] == (prev,)
+
+    def test_to_dict_includes_cross_edges_with_graph(self, unit):
+        plan = plan_opara(unit.graph, 4, P100)
+        d = plan.to_dict(unit.graph)
+        assert d["cross_edges"] == plan.cross_edges(unit.graph)
+        assert d["policy"] == "opara"
+
+
+class TestValidation:
+    def test_zero_streams_rejected(self, unit):
+        with pytest.raises(SchedulingError, match="at least one stream"):
+            plan_round_robin(unit.graph, 0)
+
+    def test_empty_graph_rejected(self):
+        from repro.runtime.graph import KernelGraph
+        with pytest.raises(SchedulingError, match="no nodes"):
+            plan_layer_serial(KernelGraph("empty"))

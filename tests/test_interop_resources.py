@@ -1,0 +1,90 @@
+"""Per-kernel resource estimates and the complementarity heuristic."""
+
+import pytest
+
+from repro.interop.resources import (
+    BOUND_KINDS,
+    KernelEstimate,
+    complementarity,
+    dominant_bound,
+    estimate,
+    estimate_graph,
+    suggest_pool_size,
+)
+from repro.interop.workloads import inception_unit
+from repro.serve.engine import resolve_device
+
+P100 = resolve_device("p100")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return inception_unit("5b", batch=2)
+
+
+class TestEstimate:
+    def test_every_node_estimated(self, workload):
+        ests = estimate_graph(workload.graph, P100)
+        assert set(ests) == {n.node_id for n in workload.graph.nodes}
+
+    def test_fields_sane(self, workload):
+        for est in estimate_graph(workload.graph, P100).values():
+            assert est.duration_us > 0
+            assert 0 < est.fill <= 1.0
+            assert 0 < est.occupancy <= 1.0
+            assert est.intensity >= 0
+            assert est.bound in BOUND_KINDS
+
+    def test_single_spec_matches_graph_estimate(self, workload):
+        node = workload.graph.nodes[0]
+        assert (estimate(node.spec, P100)
+                == estimate_graph(workload.graph, P100)[node.node_id])
+
+    def test_to_dict_round_trips_fields(self, workload):
+        est = estimate(workload.graph.nodes[0].spec, P100)
+        d = est.to_dict()
+        assert d["bound"] == est.bound
+        assert d["duration_us"] == pytest.approx(est.duration_us, abs=1e-3)
+
+
+def _est(bound, fill, duration_us=10.0):
+    return KernelEstimate(name="k", duration_us=duration_us, fill=fill,
+                          occupancy=0.5, intensity=1.0, bound=bound)
+
+
+class TestComplementarity:
+    def test_different_bounds_that_fit_score_highest(self):
+        assert complementarity(_est("compute", 0.4),
+                               _est("memory", 0.4)) == 1.0
+
+    def test_same_bound_saturating_scores_zero(self):
+        assert complementarity(_est("compute", 1.0),
+                               _est("compute", 1.0)) == 0.0
+
+    def test_symmetric(self):
+        a, b = _est("compute", 0.9), _est("latency", 0.1)
+        assert complementarity(a, b) == complementarity(b, a)
+
+    def test_bounded_zero_one(self):
+        for ba in BOUND_KINDS:
+            for bb in BOUND_KINDS:
+                for fa in (0.1, 0.7, 1.0):
+                    s = complementarity(_est(ba, fa), _est(bb, 0.5))
+                    assert 0.0 <= s <= 1.0
+
+
+class TestDominantBound:
+    def test_picks_bound_with_most_time(self):
+        ests = [_est("compute", 0.5, duration_us=100.0),
+                _est("memory", 0.5, duration_us=1.0)]
+        assert dominant_bound(ests) == "compute"
+
+
+class TestSuggestPoolSize:
+    def test_within_cap(self, workload):
+        size = suggest_pool_size(workload.graph, P100)
+        assert 1 <= size <= 8
+
+    def test_deterministic(self, workload):
+        assert (suggest_pool_size(workload.graph, P100)
+                == suggest_pool_size(workload.graph, P100))

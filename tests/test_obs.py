@@ -310,7 +310,8 @@ class TestScenarios:
 
     def test_all_scenarios_registered_and_documented(self):
         assert set(TRACE_SCENARIOS) == {"fig3", "conv5", "train", "serve",
-                                        "verify", "fleet", "graph"}
+                                        "verify", "fleet", "graph",
+                                        "interop"}
         for fn in TRACE_SCENARIOS.values():
             assert fn.__doc__
 

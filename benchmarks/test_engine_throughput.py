@@ -1,0 +1,90 @@
+"""Engine wall-clock throughput: the BENCH_9 perf-regression gate.
+
+Two layers of protection:
+
+* structural checks on the committed ``BENCH_9.json`` — every metric
+  present, the pre-optimization baseline recorded, and the headline
+  ≥2x events/sec win actually in the file (the PR-9 acceptance bar);
+* a live smoke measurement of the synthetic-DAG metric, compared
+  against the committed number after rescaling by the calibration
+  ratio (``local_calibration / recorded_calibration``) so a slower
+  machine does not read as an engine regression.  A real regression
+  of more than 20% fails the gate.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.engine_throughput import METRICS, calibrate, run_engine_throughput
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Fail if the machine cannot reach this fraction of the committed
+#: (calibration-rescaled) events/sec.
+REGRESSION_FLOOR = 0.8
+
+
+@pytest.fixture(scope="module")
+def committed():
+    return json.loads((ROOT / "BENCH_9.json").read_text(encoding="utf-8"))
+
+
+def test_committed_bench_has_every_metric(committed):
+    assert committed["bench"] == "engine_throughput"
+    for name, (unit, _) in METRICS.items():
+        entry = committed["metrics"][name]
+        assert entry["unit"] == unit
+        assert entry["median"] > 0
+        assert len(entry["samples"]) == committed["repeats"]
+    assert committed["calibration_seconds"] > 0
+
+
+def test_committed_baseline_shows_multi_x_win(committed):
+    """The PR-9 acceptance bar: ≥2x median events/sec on the synthetic DAG,
+    with both numbers (before and after) recorded in the committed file."""
+    baseline = committed["baseline"]
+    assert baseline["metrics"]["dag_events_per_sec"]["median"] > 0
+    assert committed["metrics"]["dag_events_per_sec"]["median"] > 0
+    speedups = committed["speedup_vs_baseline"]
+    assert speedups["dag_events_per_sec"] >= 2.0
+    assert speedups["conv_events_per_sec"] >= 1.5
+
+
+def test_live_dag_throughput_within_20pct_of_committed(benchmark, committed):
+    """The live regression gate the CI perf-smoke job runs."""
+    # Full-size DAG (not --quick): the committed median is full-mode, and
+    # quick mode's smaller DAG amortizes per-run setup worse, which would
+    # read as a phantom regression.
+    result = run_once(
+        benchmark,
+        lambda: run_engine_throughput(
+            repeats=3, quick=False, metrics=["dag_events_per_sec"]),
+    )
+    entry = result["metrics"]["dag_events_per_sec"]
+    # Best of three: the gate asks "can this machine still reach the
+    # committed speed", so one noisy sample must not fail the build.
+    local_best = max(entry["samples"])
+
+    recorded_cal = committed["calibration_seconds"]
+    local_cal = calibrate()
+    # events/sec scales inversely with interpreter slowness: a machine
+    # whose calibration loop takes 2x longer should achieve ~half the
+    # committed events/sec without that being a regression.  The rescale
+    # is one-sided — a *faster* calibration loop does not raise the bar,
+    # because the pure-Python loop correlates imperfectly with engine
+    # throughput and must never manufacture a phantom regression.
+    expected_here = (committed["metrics"]["dag_events_per_sec"]["median"]
+                     * min(1.0, recorded_cal / local_cal))
+    floor = REGRESSION_FLOOR * expected_here
+    print(f"\nengine perf smoke: {local_best:.0f} events/sec local "
+          f"(floor {floor:.0f}, committed "
+          f"{committed['metrics']['dag_events_per_sec']['median']:.0f} "
+          f"at cal {recorded_cal:.4f}s vs local cal {local_cal:.4f}s)")
+    assert local_best >= floor, (
+        f"engine throughput regressed >20%: {local_best:.0f} events/sec "
+        f"< floor {floor:.0f} (calibration-rescaled from committed "
+        f"BENCH_9.json)"
+    )

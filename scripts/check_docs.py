@@ -15,7 +15,10 @@ Scans every tracked markdown file (top level + ``docs/``) and verifies:
 * **CLI subcommand references** — every ``python -m repro <cmd>``
   invocation (fenced usage examples included) must name a real
   subcommand, read by regex from ``src/repro/cli.py`` so this script
-  keeps working in the docs CI job where nothing is installed.
+  keeps working in the docs CI job where nothing is installed;
+* **bench target references** — every ``python -m repro bench <target>``
+  invocation must name a target in ``cli.py``'s ``BENCH_TARGETS`` tuple
+  (scraped the same import-free way).
 
 Exits non-zero listing every failure, so CI catches docs drifting away
 from the code (renamed modules, moved pages, deleted examples).
@@ -98,6 +101,11 @@ def _resolves_as_module(dotted: str, src: pathlib.Path) -> bool:
 CLI_INVOCATION = re.compile(r"python\s+-m\s+repro\s+([\w.-]+)")
 ADD_PARSER = re.compile(r"add_parser\(\s*\"([\w-]+)\"")
 
+#: ``python -m repro bench <target>`` mentions; the target token is
+#: validated against the ``BENCH_TARGETS`` tuple in ``cli.py``.
+BENCH_INVOCATION = re.compile(r"python\s+-m\s+repro\s+bench\s+([\w.-]+)")
+BENCH_TARGETS_TUPLE = re.compile(r"BENCH_TARGETS\s*=\s*\(([^)]*)\)")
+
 
 def known_subcommands(root: pathlib.Path) -> frozenset[str]:
     """Subcommand names scraped from ``src/repro/cli.py`` (no import)."""
@@ -105,6 +113,34 @@ def known_subcommands(root: pathlib.Path) -> frozenset[str]:
     if not cli.is_file():
         return frozenset()
     return frozenset(ADD_PARSER.findall(cli.read_text(encoding="utf-8")))
+
+
+def known_bench_targets(root: pathlib.Path) -> frozenset[str]:
+    """Bench target names scraped from ``BENCH_TARGETS`` in ``cli.py``."""
+    cli = root / "src" / "repro" / "cli.py"
+    if not cli.is_file():
+        return frozenset()
+    match = BENCH_TARGETS_TUPLE.search(cli.read_text(encoding="utf-8"))
+    if match is None:
+        return frozenset()
+    return frozenset(re.findall(r"\"([\w-]+)\"", match.group(1)))
+
+
+def check_bench_refs(path: pathlib.Path, text: str, root: pathlib.Path,
+                     targets: frozenset[str]) -> list[str]:
+    if not targets:            # no bench subcommand in this checkout
+        return []
+    problems = []
+    for match in BENCH_INVOCATION.finditer(text):
+        token = match.group(1)
+        if token.startswith("-"):
+            continue           # ``python -m repro bench --help``
+        if token not in targets:
+            problems.append(
+                f"{path.relative_to(root)}: unknown bench target in "
+                f"`python -m repro bench {token}`"
+            )
+    return problems
 
 
 def check_cli_refs(path: pathlib.Path, text: str, root: pathlib.Path,
@@ -164,12 +200,14 @@ def main(argv: list[str]) -> int:
         print(f"no markdown files found under {root}", file=sys.stderr)
         return 2
     subcommands = known_subcommands(root)
+    bench_targets = known_bench_targets(root)
     problems: list[str] = []
     for path in files:
         text = path.read_text(encoding="utf-8")
         problems.extend(check_md_links(path, text, root))
         problems.extend(check_code_refs(path, strip_code_blocks(text), root))
         problems.extend(check_cli_refs(path, text, root, subcommands))
+        problems.extend(check_bench_refs(path, text, root, bench_targets))
     if problems:
         print(f"{len(problems)} documentation problem(s):")
         for p in problems:

@@ -33,6 +33,14 @@ Commands
     differential equivalence across every executor, schedule fuzzing with
     witness shrinking, and fault-plan fuzzing.  ``--replay witness.json``
     re-executes a saved witness and exits 1 if it still reproduces.
+    ``verify --only engine`` replays the engine-equivalence goldens
+    (see ``docs/engine_perf.md``) and exits 1 on any bit divergence.
+``bench <target>``
+    Wall-clock simulator benchmarks (see ``docs/engine_perf.md``):
+    ``bench engine`` measures events/sec on synthetic DAG and conv
+    workloads plus serving, fuzzing and certification throughput with
+    warmup and median-of-N repetition, e.g.
+    ``bench engine --out BENCH_9.json --repeats 5``.
 ``graph [capture|replay|report]``
     Graph-launch compilation (see ``docs/graph_launch.md``): capture a
     network's dispatch into a compiled graph, certify it hazard-free, and
@@ -355,6 +363,42 @@ def cmd_trace(args) -> int:
     return 0
 
 
+#: ``bench`` wall-clock benchmark targets.
+BENCH_TARGETS = ("engine",)
+
+
+def cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.engine_throughput import write_bench
+
+    if args.target not in BENCH_TARGETS:
+        print(f"unknown bench target: {args.target}", file=sys.stderr)
+        print(f"available: {', '.join(BENCH_TARGETS)}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = json.loads(
+                Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench failed: bad --baseline {args.baseline!r}: {e}",
+                  file=sys.stderr)
+            return 2
+    path = write_bench(args.out, repeats=args.repeats, quick=args.quick,
+                       baseline=baseline)
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    for name, entry in doc["metrics"].items():
+        line = f"  {name:26s} {entry['median']:>12,.2f} {entry['unit']}"
+        speedup = doc.get("speedup_vs_baseline", {}).get(name)
+        if speedup is not None:
+            line += f"   ({speedup}x vs baseline)"
+        print(line)
+    print(f"  [written to {path}]")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.errors import ReproError
     from repro.verify import (
@@ -375,6 +419,18 @@ def cmd_verify(args) -> int:
             return 2
         print(replay.render())
         return 1 if replay.reproduced else 0
+
+    if args.only == "engine":
+        # Engine-equivalence mode: bit-identity of the optimized engine
+        # against the recorded goldens, independent of the network args.
+        from repro.verify.engine_equiv import run_engine_equivalence
+        try:
+            equiv = run_engine_equivalence()
+        except ReproError as e:
+            print(f"verify failed: {e}", file=sys.stderr)
+            return 2
+        print(equiv.render())
+        return 0 if equiv.ok else 1
 
     parts = (["differential", "schedule", "faults", "graph"]
              if args.only == "all" else [args.only])
@@ -760,8 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verification batch size (default: 8)")
     verify.add_argument("--only", default="all",
                         choices=["all", "differential", "schedule",
-                                 "faults", "graph"],
-                        help="run a single component (default: all)")
+                                 "faults", "graph", "engine"],
+                        help="run a single component (default: all); "
+                             "'engine' checks the engine-equivalence "
+                             "goldens (docs/engine_perf.md)")
     verify.add_argument("--replay", metavar="WITNESS.json", default=None,
                         help="replay a saved schedule witness; exit 1 if "
                              "it reproduces")
@@ -894,6 +952,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the combined report as JSON")
     add_format_argument(analyze)
     analyze.set_defaults(fn=cmd_analyze)
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock simulator benchmarks (events/sec and friends)",
+    )
+    bench.add_argument("target", nargs="?", default="engine",
+                       help="benchmark target: engine (default: engine)")
+    bench.add_argument("--out", default="BENCH_9.json",
+                       help="output JSON path (default: BENCH_9.json)")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed samples per metric, median reported "
+                            "(default: 5)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for CI smoke runs")
+    bench.add_argument("--baseline", metavar="BASELINE.json", default=None,
+                       help="pre-optimization bench file to embed and "
+                            "compute speedups against (default: keep the "
+                            "baseline already recorded in --out)")
+    bench.set_defaults(fn=cmd_bench)
     selftest = sub.add_parser(
         "selftest", help="micro-benchmark a simulated device"
     )

@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import operator
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -40,10 +42,31 @@ from repro.gpusim.memory import DeviceAllocator
 from repro.gpusim.occupancy import validate_launch
 from repro.gpusim.sm import SM, block_demand
 from repro.gpusim.stream import DEFAULT_STREAM_ID, Event, Stream
-from repro.gpusim.timeline import SyncRecord, Timeline, TraceRecord
+from repro.gpusim.timeline import Timeline
 
 #: Safety valve for the event loop.
 MAX_EVENTS = 50_000_000
+
+#: Interning table for per-block resource tuples (see :func:`intern_block_req`).
+_block_req_intern: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+
+
+def intern_block_req(tpb: int, smem_pb: int,
+                     regs_pb: int) -> tuple[int, int, int]:
+    """Return a canonical shared tuple for one per-block resource footprint.
+
+    Thousands of kernel executions share a handful of block shapes; interning
+    the ``(threads, shared_mem, registers)`` tuple means each distinct shape
+    is allocated once per process instead of once per launch.  Distinct
+    shapes always map to distinct tuples — interning only aliases *equal*
+    values (see ``tests/test_gpusim_properties.py``).
+    """
+    key = (tpb, smem_pb, regs_pb)
+    got = _block_req_intern.get(key)
+    if got is None:
+        _block_req_intern[key] = key
+        return key
+    return got
 
 # Operation lifecycle states.
 _PENDING = "pending"      # created, waiting for host issue time and/or deps
@@ -112,26 +135,38 @@ class KernelExecution(_Op):
         "spec", "enqueue_time", "start_time", "end_time",
         "blocks_unscheduled", "blocks_inflight", "work_per_block",
         "block_req", "served_per_sm",
+        "demand_per_block", "warps_per_block", "ideal_per_sm",
     )
 
     def __init__(self, spec: KernelSpec, stream_id: int, enqueue_time: float,
-                 work_per_block: float) -> None:
+                 work_per_block: float,
+                 block_req: Optional[tuple[int, int, int]] = None,
+                 num_blocks: Optional[int] = None) -> None:
         super().__init__(stream_id, enqueue_time)
         self.spec = spec
         self.enqueue_time = enqueue_time
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
-        self.blocks_unscheduled = spec.launch.num_blocks
+        self.blocks_unscheduled = (
+            spec.launch.num_blocks if num_blocks is None else num_blocks
+        )
         self.blocks_inflight = 0
         self.work_per_block = work_per_block
         # Precomputed per-block resource footprint for the hot dispatch path.
-        self.block_req = (
-            spec.launch.threads_per_block,
-            spec.launch.shared_mem_per_block,
-            spec.launch.registers_per_block,
-        )
+        if block_req is None:
+            block_req = (
+                spec.launch.threads_per_block,
+                spec.launch.shared_mem_per_block,
+                spec.launch.registers_per_block,
+            )
+        self.block_req = block_req
         # Cumulative blocks dispatched per SM (fair-share dispatch).
         self.served_per_sm: dict[int, int] = {}
+        # Device-dependent scheduling constants; the owning GPU fills
+        # these from its per-spec cache right after construction.
+        self.demand_per_block = 0.0
+        self.warps_per_block = spec.launch.warps_per_block
+        self.ideal_per_sm = 0
 
     @property
     def duration_us(self) -> float:
@@ -234,8 +269,12 @@ class GPU:
 
         self._slot_waiters: list[KernelExecution] = []
         self._active_kernels = 0
-        self._dispatch_fifo: list[KernelExecution] = []
+        self._dispatch_fifo: deque[KernelExecution] = deque()
         self._event_records: dict[int, _EventRecord] = {}
+        # Per-spec launch constants, keyed by the spec's unique uid (uids
+        # are allocated monotonically and never reused, so a cache entry
+        # can never be observed through a different spec).
+        self._spec_cache: dict[int, tuple] = {}
         # Per-direction DMA engines: time each becomes free.
         self._copy_engine_free = {"h2d": 0.0, "d2h": 0.0, "d2d": 0.0}
         self.bytes_copied = {"h2d": 0, "d2h": 0, "d2d": 0}
@@ -301,6 +340,42 @@ class GPU:
     # ------------------------------------------------------------------
     # Launch & record
     # ------------------------------------------------------------------
+    def _spec_info(self, spec: KernelSpec) -> tuple:
+        """Validated, precomputed launch constants for one kernel spec.
+
+        Keyed by ``spec.uid`` (monotonic, never reused — ``retagged()``
+        copies get a fresh uid), so repeated launches of the same spec —
+        the steady state of a training loop — skip re-validation and the
+        per-launch geometry/demand arithmetic.  The per-block *work* is
+        cached only under the default cost model; a custom
+        ``block_work_fn`` may close over mutable state, so it is
+        re-evaluated on every launch exactly as before.  Validation
+        failures are never cached: an invalid spec raises afresh each
+        launch, matching the uncached error surface.
+        """
+        info = self._spec_cache.get(spec.uid)
+        if info is None:
+            launch = spec.launch
+            validate_launch(self.props, launch)
+            work = (
+                default_block_work(spec, self.props)
+                if self._block_work_fn is default_block_work else None
+            )
+            info = (
+                work,
+                intern_block_req(
+                    launch.threads_per_block,
+                    launch.shared_mem_per_block,
+                    launch.registers_per_block,
+                ),
+                block_demand(self.props, launch),
+                launch.warps_per_block,
+                -(-launch.num_blocks // self.props.sm_count),  # ceil
+                launch.num_blocks,
+            )
+            self._spec_cache[spec.uid] = info
+        return info
+
     def launch(self, spec: KernelSpec, stream: Optional[Stream] = None,
                enqueue_at: Optional[float] = None) -> KernelExecution:
         """Launch a kernel asynchronously onto ``stream``.
@@ -318,7 +393,9 @@ class GPU:
         # a rejected launch can be retried without corrupting the timeline.
         fault_check("launch", spec.name)
         stream = self._check_stream(stream)
-        validate_launch(self.props, spec.launch)
+        work, block_req, demand, warps, ideal, num_blocks = (
+            self._spec_info(spec)
+        )
 
         if enqueue_at is None:
             overhead = self.props.launch_latency_us
@@ -339,8 +416,13 @@ class GPU:
             self.host_time = max(self.host_time, enqueue_at)
             self._last_launch_stream = stream.stream_id
 
-        work = self._block_work_fn(spec, self.props)
-        ke = KernelExecution(spec, stream.stream_id, self.host_time, work)
+        if work is None:     # custom cost model: evaluate per launch
+            work = self._block_work_fn(spec, self.props)
+        ke = KernelExecution(spec, stream.stream_id, self.host_time, work,
+                             block_req, num_blocks)
+        ke.demand_per_block = demand
+        ke.warps_per_block = warps
+        ke.ideal_per_sm = ideal
         for hook in self.launch_hooks:
             hook(self, ke)
         ke.ready_time = ke.enqueue_time = (
@@ -457,8 +539,16 @@ class GPU:
         :meth:`launch_graph` itself.
         """
         stream = self._check_stream(stream)
-        work = self._block_work_fn(spec, self.props)
-        ke = KernelExecution(spec, stream.stream_id, t, work)
+        work, block_req, demand, warps, ideal, num_blocks = (
+            self._spec_info(spec)
+        )
+        if work is None:     # custom cost model: evaluate per launch
+            work = self._block_work_fn(spec, self.props)
+        ke = KernelExecution(spec, stream.stream_id, t, work,
+                             block_req, num_blocks)
+        ke.demand_per_block = demand
+        ke.warps_per_block = warps
+        ke.ideal_per_sm = ideal
         for hook in self.launch_hooks:
             hook(self, ke)
         ke.ready_time = ke.enqueue_time = t
@@ -526,13 +616,29 @@ class GPU:
         if t is not None:
             self._push_event(t, "sm", (sm, sm.version))
 
-    def _process_next_event(self) -> None:
-        """Pop and handle the single earliest event on the heap."""
+    def _pop_event(self) -> tuple:
+        """Pop the earliest heap event and advance the device clock to it.
+
+        Guards the heap's time-ordering invariant: an event scheduled
+        behind the device clock means the engine pushed into the past,
+        and the error names the offending event so the bug is locatable
+        from the message alone.
+        """
         time, _, kind, payload = heapq.heappop(self._events)
         self.events_processed += 1
         if time < self.now - 1e-9:
-            raise SimulationError("event heap produced out-of-order time")
-        self.now = max(self.now, time)
+            raise SimulationError(
+                f"event heap produced out-of-order time: {kind!r} event at "
+                f"t={time} behind device clock {self.now} "
+                f"(payload: {payload!r})"
+            )
+        if time > self.now:
+            self.now = time
+        return kind, payload
+
+    def _process_next_event(self) -> None:
+        """Pop and handle the single earliest event on the heap."""
+        kind, payload = self._pop_event()
         if kind == "arrive":
             op: _Op = payload
             op.arrived = True
@@ -552,19 +658,14 @@ class GPU:
         elif kind == "copy":
             op: MemcpyOp = payload
             op.end_time = self.now
-            self.timeline.add(TraceRecord(
-                name=f"memcpy{op.kind.upper()}",
-                tag="",
-                stream_id=op.stream_id,
-                enqueue_us=op.ready_time,
-                start_us=op.start_time if op.start_time is not None
-                else self.now,
-                end_us=self.now,
-                grid=(1, 1, 1),
-                block=(1, 1, 1),
-                registers=0,
-                shared_mem=0,
-            ))
+            tl = self.timeline
+            if tl.enabled:
+                tl.add_raw(
+                    f"memcpy{op.kind.upper()}", "", op.stream_id,
+                    op.ready_time,
+                    op.start_time if op.start_time is not None else self.now,
+                    self.now, (1, 1, 1), (1, 1, 1), 0, 0,
+                )
             self._complete_op(op, self.now)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown event kind {kind!r}")
@@ -593,17 +694,17 @@ class GPU:
         elif isinstance(op, _EventRecord):
             t = max(self.now, op.ready_time)
             op.event.timestamp_us = t
-            self.timeline.add_sync(SyncRecord(
-                kind="record", event_id=op.event.event_id,
-                event_name=op.event.name, stream_id=op.stream_id,
-                enqueue_us=op.ready_time, complete_us=t))
+            tl = self.timeline
+            if tl.enabled:
+                tl.add_sync_raw("record", op.event.event_id, op.event.name,
+                                op.stream_id, op.ready_time, t)
             self._complete_op(op, t)
         elif isinstance(op, _EventWait):
             t = max(self.now, op.ready_time)
-            self.timeline.add_sync(SyncRecord(
-                kind="wait", event_id=op.event.event_id,
-                event_name=op.event.name, stream_id=op.stream_id,
-                enqueue_us=op.ready_time, complete_us=t))
+            tl = self.timeline
+            if tl.enabled:
+                tl.add_sync_raw("wait", op.event.event_id, op.event.name,
+                                op.stream_id, op.ready_time, t)
             self._complete_op(op, t)
         elif isinstance(op, MemcpyOp):
             start = max(self.now, op.ready_time,
@@ -631,14 +732,21 @@ class GPU:
             else:
                 # CUDA priority semantics: the highest-priority (lowest
                 # value) waiting kernel takes the freed slot; FIFO within
-                # a priority.
-                best = min(
-                    range(len(self._slot_waiters)),
-                    key=lambda i: (
-                        self._stream_priority(self._slot_waiters[i].stream_id),
-                        i,
-                    ),
-                )
+                # a priority.  Manual scan (strict ``<`` keeps the lowest
+                # index on ties, i.e. FIFO) — equivalent to ``min`` over
+                # ``(priority, index)`` without the tuple/closure churn.
+                waiters = self._slot_waiters
+                best = 0
+                if len(waiters) > 1:
+                    streams = self._streams
+                    s = streams.get(waiters[0].stream_id)
+                    best_pr = s.priority if s is not None else 0
+                    for i in range(1, len(waiters)):
+                        s = streams.get(waiters[i].stream_id)
+                        pr = s.priority if s is not None else 0
+                        if pr < best_pr:
+                            best = i
+                            best_pr = pr
             ke = self._slot_waiters.pop(best)
             ke.state = _ACTIVE
             self._active_kernels += 1
@@ -650,7 +758,7 @@ class GPU:
         while self._dispatch_fifo:
             head = self._dispatch_fifo[0]
             if head.blocks_unscheduled == 0:
-                self._dispatch_fifo.pop(0)
+                self._dispatch_fifo.popleft()
                 continue
             placed = self._place_blocks(head)
             if not placed:
@@ -665,38 +773,61 @@ class GPU:
         of a grid would pile onto whichever SM happens to free first, which
         never happens on silicon where blocks retire one at a time.
         """
-        launch = ke.spec.launch
         tpb, smem_pb, regs_pb = ke.block_req
-        ideal = -(-launch.num_blocks // self.props.sm_count)  # ceil
+        ideal = ke.ideal_per_sm
         served = ke.served_per_sm
-        candidates: list[tuple[SM, int]] = []
+        served_get = served.get
+        candidates: list[tuple[int, SM, int]] = []
         for sm in self.sms:
-            allowance = ideal - served.get(sm.index, 0)
+            allowance = ideal - served_get(sm.index, 0)
             if allowance <= 0:
                 continue
-            fit = sm.fit_count_fast(tpb, smem_pb, regs_pb)
+            # Inlined SM.fit_count_fast: this scan visits every SM per
+            # placement round, and the call overhead alone was visible in
+            # the hot-loop profile.  Same integer arithmetic, same result.
+            free_threads = sm.free_threads
+            fit = free_threads // tpb
+            if fit > sm.free_block_slots:
+                fit = sm.free_block_slots
+            if smem_pb:
+                m = sm.free_smem // smem_pb
+                if m < fit:
+                    fit = m
+            m = sm.free_regs // regs_pb
+            if m < fit:
+                fit = m
             if fit > 0:
-                candidates.append((sm, min(fit, allowance)))
+                candidates.append((
+                    free_threads, sm,
+                    fit if fit < allowance else allowance,
+                ))
         if not candidates:
             return False
         remaining = ke.blocks_unscheduled
         # Even spread (the model's Eq. 8 assumption): split the batch across
-        # all SMs with space, biggest-free first.
-        candidates.sort(key=lambda c: c[0].free_threads, reverse=True)
+        # all SMs with space, biggest-free first.  The sort key is the
+        # pre-captured free_threads; stable sort keeps SM-index order on
+        # ties, exactly as the previous key-function sort did.
+        candidates.sort(key=operator.itemgetter(0), reverse=True)
         share = max(1, math.ceil(remaining / len(candidates)))
+        now = self.now
+        work = ke.work_per_block
+        demand = ke.demand_per_block
+        warps = ke.warps_per_block
         placed_any = False
-        for sm, fit in candidates:
+        for _, sm, fit in candidates:
             if ke.blocks_unscheduled == 0:
                 break
             n = min(fit, share, ke.blocks_unscheduled)
             if n <= 0:
                 continue
-            sm.place(self.now, ke, launch, n, ke.work_per_block)
+            sm.place_fast(now, ke, n, work, tpb, smem_pb, regs_pb,
+                          demand, warps)
             served[sm.index] = served.get(sm.index, 0) + n
             ke.blocks_unscheduled -= n
             ke.blocks_inflight += n
             if ke.start_time is None:
-                ke.start_time = self.now
+                ke.start_time = now
             self._push_sm_completion(sm)
             placed_any = True
         return placed_any
@@ -705,18 +836,16 @@ class GPU:
         ke.end_time = self.now
         self._active_kernels -= 1
         self.kernels_completed += 1
-        self.timeline.add(TraceRecord(
-            name=ke.spec.name,
-            tag=ke.spec.tag,
-            stream_id=ke.stream_id,
-            enqueue_us=ke.enqueue_time,
-            start_us=ke.start_time if ke.start_time is not None else ke.end_time,
-            end_us=ke.end_time,
-            grid=ke.spec.launch.grid,
-            block=ke.spec.launch.block,
-            registers=ke.spec.launch.registers_per_thread,
-            shared_mem=ke.spec.launch.shared_mem_per_block,
-        ))
+        tl = self.timeline
+        if tl.enabled:
+            spec = ke.spec
+            launch = spec.launch
+            tl.add_raw(
+                spec.name, spec.tag, ke.stream_id, ke.enqueue_time,
+                ke.start_time if ke.start_time is not None else ke.end_time,
+                ke.end_time, launch.grid, launch.block,
+                launch.registers_per_thread, launch.shared_mem_per_block,
+            )
         for hook in self.completion_hooks:
             hook(self, ke)
         self._complete_op(ke, self.now)

@@ -85,31 +85,43 @@ class LaunchConfig:
             raise LaunchError("shared memory sizes must be non-negative")
         if self.registers_per_thread < 1:
             raise LaunchError("registers_per_thread must be >= 1")
+        # Precompute the derived geometry once: these are read on every
+        # occupancy query, launch validation and block placement, and the
+        # engine hot loop touches them millions of times per run.
+        tpb = dim3_size(self.block)
+        object.__setattr__(self, "_num_blocks", dim3_size(self.grid))
+        object.__setattr__(self, "_threads_per_block", tpb)
+        object.__setattr__(self, "_warps_per_block",
+                           math.ceil(tpb / WARP_SIZE))
+        object.__setattr__(self, "_shared_mem_per_block",
+                           self.shared_mem_static + self.shared_mem_dynamic)
+        object.__setattr__(self, "_registers_per_block",
+                           self.registers_per_thread * tpb)
 
     @property
     def num_blocks(self) -> int:
         """``#beta_Ki``: total thread blocks in the grid."""
-        return dim3_size(self.grid)
+        return self._num_blocks
 
     @property
     def threads_per_block(self) -> int:
         """``tau_Ki``: threads per block."""
-        return dim3_size(self.block)
+        return self._threads_per_block
 
     @property
     def warps_per_block(self) -> int:
         """Warps per block (threads rounded up to the warp size)."""
-        return math.ceil(self.threads_per_block / WARP_SIZE)
+        return self._warps_per_block
 
     @property
     def shared_mem_per_block(self) -> int:
         """``sm_Ki``: static + dynamic shared memory per block, in bytes."""
-        return self.shared_mem_static + self.shared_mem_dynamic
+        return self._shared_mem_per_block
 
     @property
     def registers_per_block(self) -> int:
         """Register file footprint of one block."""
-        return self.registers_per_thread * self.threads_per_block
+        return self._registers_per_block
 
     @property
     def total_threads(self) -> int:

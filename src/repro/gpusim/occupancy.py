@@ -17,10 +17,14 @@ therefore honours.  :func:`max_active_blocks_per_sm` mirrors
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import LaunchError
 from repro.gpusim.device import DeviceProperties
 from repro.gpusim.kernel import LaunchConfig
+
+#: Shapes cached per process; a model has a few dozen distinct kernels.
+_CACHE_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -51,8 +55,16 @@ def validate_launch(device: DeviceProperties, launch: LaunchConfig) -> None:
 
     The simulated analogue of ``cudaErrorInvalidConfiguration``: a block
     needing more threads, shared memory or registers than one SM owns can
-    never be scheduled.
+    never be scheduled.  Successful validations are memoized per
+    ``(device, launch)`` shape; failures re-raise every time (``lru_cache``
+    does not cache exceptions), so the error surface is unchanged.
     """
+    _validate_launch_cached(device, launch)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _validate_launch_cached(device: DeviceProperties,
+                            launch: LaunchConfig) -> None:
     if launch.threads_per_block > device.max_threads_per_block:
         raise LaunchError(
             f"block of {launch.threads_per_block} threads exceeds device "
@@ -83,6 +95,19 @@ def max_active_blocks_per_sm(
     >>> res.limiter
     'threads'
     """
+    return _max_active_blocks_cached(device, launch)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _max_active_blocks_cached(
+    device: DeviceProperties, launch: LaunchConfig
+) -> OccupancyResult:
+    """Memoized body of :func:`max_active_blocks_per_sm`.
+
+    Safe to cache because both inputs are frozen value types and the
+    result is itself frozen; identical shapes always produce identical
+    results, so memoization is observationally invisible.
+    """
     validate_launch(device, launch)
     by_threads = device.max_threads_per_sm // launch.threads_per_block
     by_blocks = device.max_blocks_per_sm
@@ -109,13 +134,15 @@ def max_active_blocks_per_sm(
     )
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
 def occupancy(device: DeviceProperties, launch: LaunchConfig) -> float:
     """Theoretical occupancy ratio ``OR_SM`` of one kernel run alone.
 
     Accounts for the grid possibly being too small to fill every SM: a
     18-block grid on a 56-SM device leaves most warp slots empty no matter
     what the per-block footprint is — the under-utilization GLP4NN exists to
-    recover.
+    recover.  Memoized per ``(device, launch)`` shape (see
+    :func:`max_active_blocks_per_sm`).
     """
     res = max_active_blocks_per_sm(device, launch)
     per_sm = res.blocks_per_sm

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
@@ -46,32 +45,62 @@ MIN_BLOCK_WORK_US = 1e-3
 _cohort_ids = itertools.count()
 
 
-@dataclass
 class Cohort:
     """A group of identical thread blocks co-resident on one SM.
 
     ``remaining_us`` tracks the per-block work left, in microseconds at full
     SM throughput; all blocks in the cohort progress in lockstep and finish
     together.
+
+    A plain ``__slots__`` class rather than a dataclass: the engine creates
+    one cohort per (kernel, SM, wave) and the dataclass machinery (field
+    defaults, ``__post_init__`` dispatch) showed up in the hot-loop profile.
     """
 
-    kernel_handle: object
-    n_blocks: int
-    work_per_block_us: float
-    demand_per_block: float
-    threads_per_block: int
-    smem_per_block: int
-    regs_per_block: int
-    remaining_us: float = field(init=False)
-    cohort_id: int = field(default_factory=lambda: next(_cohort_ids))
+    __slots__ = (
+        "kernel_handle", "n_blocks", "work_per_block_us",
+        "demand_per_block", "threads_per_block", "smem_per_block",
+        "regs_per_block", "warps_per_block", "remaining_us", "cohort_id",
+    )
 
-    def __post_init__(self) -> None:
-        self.remaining_us = max(self.work_per_block_us, MIN_BLOCK_WORK_US)
+    def __init__(
+        self,
+        kernel_handle: object,
+        n_blocks: int,
+        work_per_block_us: float,
+        demand_per_block: float,
+        threads_per_block: int,
+        smem_per_block: int,
+        regs_per_block: int,
+        warps_per_block: Optional[int] = None,
+    ) -> None:
+        self.kernel_handle = kernel_handle
+        self.n_blocks = n_blocks
+        self.work_per_block_us = work_per_block_us
+        self.demand_per_block = demand_per_block
+        self.threads_per_block = threads_per_block
+        self.smem_per_block = smem_per_block
+        self.regs_per_block = regs_per_block
+        self.warps_per_block = (
+            math.ceil(threads_per_block / 32) if warps_per_block is None
+            else warps_per_block
+        )
+        self.remaining_us = (
+            work_per_block_us if work_per_block_us > MIN_BLOCK_WORK_US
+            else MIN_BLOCK_WORK_US
+        )
+        self.cohort_id = next(_cohort_ids)
 
     @property
     def demand(self) -> float:
         """Total issue-throughput demand of the cohort."""
         return self.n_blocks * self.demand_per_block
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cohort(kernel={self.kernel_handle!r}, n={self.n_blocks}, "
+            f"remaining={self.remaining_us:.3f}us)"
+        )
 
 
 def block_demand(device: DeviceProperties, launch: LaunchConfig) -> float:
@@ -97,6 +126,7 @@ class SM:
         "device", "index", "free_threads", "free_smem", "free_regs",
         "free_block_slots", "resident", "last_update", "version",
         "busy_integral_us", "warp_integral",
+        "_scale_version", "_scale_value",
     )
 
     def __init__(self, device: DeviceProperties, index: int) -> None:
@@ -112,6 +142,9 @@ class SM:
         # utilization accounting (microsecond-weighted integrals)
         self.busy_integral_us = 0.0
         self.warp_integral = 0.0
+        # processor-sharing scale memo, keyed by the residency version
+        self._scale_version = -1
+        self._scale_value = 1.0
 
     # ------------------------------------------------------------------
     # Residency
@@ -153,19 +186,40 @@ class SM:
             raise SimulationError(
                 f"SM{self.index}: cohort of {n_blocks} blocks does not fit"
             )
+        return self.place_fast(
+            now, kernel_handle, n_blocks, work_per_block_us,
+            launch.threads_per_block, launch.shared_mem_per_block,
+            launch.registers_per_block,
+            block_demand(self.device, launch), launch.warps_per_block,
+        )
+
+    def place_fast(
+        self,
+        now: float,
+        kernel_handle: object,
+        n_blocks: int,
+        work_per_block_us: float,
+        tpb: int,
+        smem_pb: int,
+        regs_pb: int,
+        demand_per_block: float,
+        warps_per_block: int,
+    ) -> Cohort:
+        """Hot-path :meth:`place` taking precomputed per-block scalars.
+
+        The engine has already fit-checked the cohort via
+        :meth:`fit_count_fast` and carries the kernel's demand/warp
+        numbers on its execution record, so the per-placement fit
+        re-check and demand recomputation of :meth:`place` are skipped.
+        """
         self.advance(now)
         cohort = Cohort(
-            kernel_handle=kernel_handle,
-            n_blocks=n_blocks,
-            work_per_block_us=work_per_block_us,
-            demand_per_block=block_demand(self.device, launch),
-            threads_per_block=launch.threads_per_block,
-            smem_per_block=launch.shared_mem_per_block,
-            regs_per_block=launch.registers_per_block,
+            kernel_handle, n_blocks, work_per_block_us, demand_per_block,
+            tpb, smem_pb, regs_pb, warps_per_block,
         )
-        self.free_threads -= n_blocks * cohort.threads_per_block
-        self.free_smem -= n_blocks * cohort.smem_per_block
-        self.free_regs -= n_blocks * cohort.regs_per_block
+        self.free_threads -= n_blocks * tpb
+        self.free_smem -= n_blocks * smem_pb
+        self.free_regs -= n_blocks * regs_pb
         self.free_block_slots -= n_blocks
         self.resident.append(cohort)
         self.version += 1
@@ -181,35 +235,72 @@ class SM:
     # Processor-sharing progress
     # ------------------------------------------------------------------
     def _scale(self) -> float:
-        total_demand = sum(c.demand for c in self.resident)
-        if total_demand <= 1.0:
-            return 1.0
-        return 1.0 / total_demand
+        """Processor-sharing rate scale, memoized per residency version.
+
+        The demand sum only changes when the resident set changes (cohort
+        demands are immutable after placement), and every such change bumps
+        ``version`` — so between bumps the cached value is exactly the
+        ``sum()`` the uncached code would recompute, in the same order.
+        """
+        if self._scale_version == self.version:
+            return self._scale_value
+        resident = self.resident
+        if len(resident) == 1:
+            # Dominant case: one cohort resident.  ``sum`` over a single
+            # term starts from 0 and adds it once — exact, so the fast
+            # path is bit-identical.
+            c = resident[0]
+            total_demand = c.n_blocks * c.demand_per_block
+        else:
+            total_demand = sum(
+                c.n_blocks * c.demand_per_block for c in resident
+            )
+        s = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+        self._scale_version = self.version
+        self._scale_value = s
+        return s
 
     def advance(self, now: float) -> None:
         """Progress all resident cohorts from ``last_update`` to ``now``."""
         dt = now - self.last_update
-        if dt < -1e-9:
-            raise SimulationError(
-                f"SM{self.index}: time went backwards ({self.last_update} -> {now})"
-            )
-        if dt > 0 and self.resident:
+        if dt <= 0.0:
+            if dt < -1e-9:
+                raise SimulationError(
+                    f"SM{self.index}: time went backwards "
+                    f"({self.last_update} -> {now})"
+                )
+            return
+        if self.resident:
             s = self._scale()
             active_warps = 0
             for c in self.resident:
                 rate = c.demand_per_block * s
-                c.remaining_us = max(0.0, c.remaining_us - rate * dt)
-                active_warps += c.n_blocks * math.ceil(c.threads_per_block / 32)
+                rem = c.remaining_us - rate * dt
+                c.remaining_us = rem if rem > 0.0 else 0.0
+                active_warps += c.n_blocks * c.warps_per_block
+            max_warps = self.device.max_warps_per_sm
             self.busy_integral_us += dt
-            self.warp_integral += dt * min(active_warps, self.device.max_warps_per_sm)
-        self.last_update = max(self.last_update, now)
+            self.warp_integral += dt * (
+                active_warps if active_warps < max_warps else max_warps
+            )
+        self.last_update = now
 
     def pop_finished(self, now: float, eps: float = 1e-9) -> list[Cohort]:
         """Advance to ``now`` and remove cohorts whose work is exhausted."""
         self.advance(now)
-        done = [c for c in self.resident if c.remaining_us <= eps]
+        resident = self.resident
+        if len(resident) == 1:
+            # Dominant case: one cohort resident — skip the comprehensions.
+            c = resident[0]
+            if c.remaining_us <= eps:
+                self.resident = []
+                self._release(c)
+                self.version += 1
+                return [c]
+            return []
+        done = [c for c in resident if c.remaining_us <= eps]
         if done:
-            self.resident = [c for c in self.resident if c.remaining_us > eps]
+            self.resident = [c for c in resident if c.remaining_us > eps]
             for c in done:
                 self._release(c)
             self.version += 1
@@ -222,22 +313,26 @@ class SM:
         re-queries after every placement/completion using ``version`` to
         invalidate stale predictions.
         """
-        if not self.resident:
+        resident = self.resident
+        if not resident:
             return None
         self.advance(now)
         s = self._scale()
-        t = min(
-            c.remaining_us / (c.demand_per_block * s) for c in self.resident
-        )
-        return now + max(t, 0.0)
+        if len(resident) == 1:
+            c = resident[0]
+            t = c.remaining_us / (c.demand_per_block * s)
+        else:
+            t = min(
+                c.remaining_us / (c.demand_per_block * s) for c in resident
+            )
+        return now + (t if t > 0.0 else 0.0)
 
     # ------------------------------------------------------------------
     @property
     def occupancy_now(self) -> float:
         """Instantaneous fraction of warp slots occupied."""
         warps = sum(
-            c.n_blocks * math.ceil(c.threads_per_block / 32)
-            for c in self.resident
+            c.n_blocks * c.warps_per_block for c in self.resident
         )
         return min(1.0, warps / self.device.max_warps_per_sm)
 

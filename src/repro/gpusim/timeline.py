@@ -67,28 +67,79 @@ class Timeline:
 
     Synchronization ops (event records/waits) are collected alongside on
     :attr:`syncs`; ``len()`` and iteration cover kernel records only.
+
+    Internally the engine appends *raw field tuples* (:meth:`add_raw` /
+    :meth:`add_sync_raw`) into batch buffers; the frozen dataclass records
+    are only materialized when :attr:`records` / :attr:`syncs` is first
+    read.  Frozen-dataclass construction costs ~10 ``object.__setattr__``
+    calls per record, which dominated the event loop on large traces —
+    batching moves that cost out of the hot path entirely (and off runs
+    that never read their trace).  Observable contents are unchanged.
     """
 
     def __init__(self, device: str = "", enabled: bool = True) -> None:
         self.device = device
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
-        self.syncs: list[SyncRecord] = []
+        self._records: list[TraceRecord] = []
+        self._syncs: list[SyncRecord] = []
+        self._raw_records: list[tuple] = []
+        self._raw_syncs: list[tuple] = []
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Kernel records, materializing any batched raw entries first."""
+        if self._raw_records:
+            self._records.extend(
+                TraceRecord(*t) for t in self._raw_records)
+            self._raw_records.clear()
+        return self._records
+
+    @records.setter
+    def records(self, value) -> None:
+        self._records = list(value)
+        self._raw_records.clear()
+
+    @property
+    def syncs(self) -> list[SyncRecord]:
+        """Sync records, materializing any batched raw entries first."""
+        if self._raw_syncs:
+            self._syncs.extend(SyncRecord(*t) for t in self._raw_syncs)
+            self._raw_syncs.clear()
+        return self._syncs
+
+    @syncs.setter
+    def syncs(self, value) -> None:
+        self._syncs = list(value)
+        self._raw_syncs.clear()
 
     def add(self, record: TraceRecord) -> None:
         if self.enabled:
-            self.records.append(record)
+            self.records.append(record)    # flushes raws to keep order
+
+    def add_raw(self, *fields) -> None:
+        """Buffer one kernel record as a raw field tuple (engine hot path).
+
+        ``fields`` are the :class:`TraceRecord` constructor arguments in
+        declaration order.  Callers must pre-check :attr:`enabled`.
+        """
+        self._raw_records.append(fields)
 
     def add_sync(self, record: SyncRecord) -> None:
         if self.enabled:
-            self.syncs.append(record)
+            self.syncs.append(record)      # flushes raws to keep order
+
+    def add_sync_raw(self, *fields) -> None:
+        """Buffer one sync record as a raw field tuple (engine hot path)."""
+        self._raw_syncs.append(fields)
 
     def clear(self) -> None:
-        self.records.clear()
-        self.syncs.clear()
+        self._records.clear()
+        self._syncs.clear()
+        self._raw_records.clear()
+        self._raw_syncs.clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) + len(self._raw_records)
 
     def __iter__(self):
         return iter(self.records)

@@ -58,3 +58,31 @@ def test_checker_flags_unknown_cli_subcommand(tmp_path):
     assert "nosuchcmd" in proc.stdout
     # the valid subcommand, the option and the module runner all pass
     assert proc.stdout.count("unknown CLI subcommand") == 1
+
+
+def test_checker_flags_unknown_bench_target(tmp_path):
+    # Bench targets are scraped from cli.py's BENCH_TARGETS tuple the same
+    # import-free way as subcommands.
+    cli = tmp_path / "src" / "repro"
+    cli.mkdir(parents=True)
+    (cli / "cli.py").write_text(
+        'BENCH_TARGETS = ("engine",)\n'
+        'sub.add_parser("bench")\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "README.md").write_text(
+        "```bash\npython -m repro bench engine --quick\n"
+        "python -m repro bench warpdrive\n"
+        "python -m repro bench --help\n```\n",
+        encoding="utf-8",
+    )
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py"),
+         str(tmp_path)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "unknown bench target" in proc.stdout
+    assert "warpdrive" in proc.stdout
+    # the valid target and the bare --help invocation both pass
+    assert proc.stdout.count("unknown bench target") == 1

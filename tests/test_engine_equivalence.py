@@ -1,0 +1,82 @@
+"""The optimized engine must replay the recorded goldens bit-for-bit.
+
+The fixtures under ``tests/fixtures/engine_goldens/`` were captured from the
+pre-optimization engine (before the gpusim fast path landed); every
+optimization since is required to be observationally invisible, so each
+workload's canonical timeline must match its golden line-for-line and
+fingerprint-for-fingerprint.  Regenerate deliberately with
+``python -m repro.verify.engine_equiv --record`` only when the engine's
+*semantics* change on purpose.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify.engine_equiv import (
+    DEFAULT_GOLDEN_DIR,
+    ENGINE_WORKLOADS,
+    fingerprint_lines,
+    load_golden,
+    record_engine_goldens,
+    run_engine_equivalence,
+    run_workload,
+)
+
+WORKLOADS = list(ENGINE_WORKLOADS)
+
+
+def test_every_workload_has_a_committed_golden():
+    for name in WORKLOADS:
+        assert (DEFAULT_GOLDEN_DIR / f"{name}.json").is_file(), (
+            f"missing golden for {name!r}; run "
+            "python -m repro.verify.engine_equiv --record"
+        )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_replays_bit_for_bit(name):
+    golden = load_golden(DEFAULT_GOLDEN_DIR, name)
+    lines = run_workload(name)
+    # Line-by-line first so a divergence points at the exact record.
+    for i, (expected, actual) in enumerate(zip(golden["lines"], lines)):
+        assert actual == expected, f"{name}: line {i} diverged"
+    assert len(lines) == golden["line_count"]
+    assert fingerprint_lines(lines) == golden["fingerprint"]
+
+
+def test_report_flags_tampered_golden(tmp_path):
+    # Record fresh goldens, corrupt one line, and make sure the harness
+    # actually notices — guards against a vacuously-green equivalence check.
+    record_engine_goldens(tmp_path, workloads=["dag_events"])
+    path = tmp_path / "dag_events.json"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc["lines"][0] = doc["lines"][0] + "-tampered"
+    doc["fingerprint"] = fingerprint_lines(doc["lines"])
+    path.write_text(json.dumps(doc), encoding="utf-8")
+
+    report = run_engine_equivalence(tmp_path, workloads=["dag_events"])
+    assert not report.ok
+    (verdict,) = report.failures()
+    assert verdict.workload == "dag_events"
+    assert "line 0" in verdict.first_diff
+    assert "DIVERGED" in report.render()
+
+
+def test_fresh_recording_matches_itself(tmp_path):
+    # Hermeticity: two recordings into different dirs are identical, so a
+    # verdict can never depend on leftover global state from earlier tests.
+    record_engine_goldens(tmp_path, workloads=["memcpy_streams"])
+    report = run_engine_equivalence(tmp_path, workloads=["memcpy_streams"])
+    assert report.ok, report.render()
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ReproError, match="unknown engine workload"):
+        run_workload("nonesuch")
+
+
+def test_missing_golden_rejected(tmp_path):
+    with pytest.raises(ReproError, match="missing engine golden"):
+        load_golden(tmp_path, "dag_events")

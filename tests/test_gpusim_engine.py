@@ -229,3 +229,32 @@ class TestLifecycleErrors:
         assert p100.launch_overhead_total == pytest.approx(
             2 * p100.props.launch_latency_us
         )
+
+
+class TestEventHeapGuard:
+    def test_out_of_order_event_names_kind_and_payload(self, p100):
+        from repro.errors import SimulationError
+        p100.now = 50.0
+        p100._push_event(1.0, "arrive", "stale-op")
+        with pytest.raises(SimulationError) as excinfo:
+            p100._process_next_event()
+        msg = str(excinfo.value)
+        assert "out-of-order" in msg
+        assert "'arrive'" in msg           # event kind
+        assert "t=1.0" in msg              # offending timestamp
+        assert "50.0" in msg               # device clock it fell behind
+        assert "'stale-op'" in msg         # payload repr
+
+    def test_out_of_order_event_still_counted(self, p100):
+        from repro.errors import SimulationError
+        p100.now = 50.0
+        p100._push_event(1.0, "arrive", None)
+        before = p100.events_processed
+        with pytest.raises(SimulationError):
+            p100._process_next_event()
+        assert p100.events_processed == before + 1
+
+    def test_in_order_events_unaffected(self, p100):
+        p100.launch(small_kernel())
+        p100.synchronize()   # would raise if the guard misfired on ties
+        assert p100.events_processed > 0

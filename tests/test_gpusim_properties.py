@@ -127,3 +127,96 @@ def test_default_stream_barrier_semantics(workload):
         assert ke.end_time <= bar.start_time + 1e-6
     for ke in second:
         assert ke.start_time >= bar.end_time - 1e-6
+
+
+# ----------------------------------------------------------------------
+# Memoized occupancy == uncached recomputation (the lru_cache layers on
+# repro.gpusim.occupancy must be observationally invisible), and record
+# interning must never alias distinct shapes.
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.engine import intern_block_req
+from repro.gpusim.occupancy import (
+    _max_active_blocks_cached,
+    _validate_launch_cached,
+    max_active_blocks_per_sm,
+    occupancy,
+    validate_launch,
+)
+
+_shape = st.tuples(
+    st.integers(1, 4096),                                # blocks
+    st.sampled_from([32, 64, 96, 128, 256, 512, 1024, 2048]),  # threads
+    st.sampled_from([0, 1024, 4096, 16384, 1 << 20]),    # smem (incl. invalid)
+    st.integers(16, 80),                                 # regs per thread
+)
+
+
+def _launch(blocks, threads, smem, regs):
+    return LaunchConfig(grid=(blocks, 1, 1), block=(threads, 1, 1),
+                        shared_mem_dynamic=smem, registers_per_thread=regs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_shape, min_size=1, max_size=10),
+       st.sampled_from(["P100", "GTX980", "K40C"]))
+def test_memoized_occupancy_matches_uncached(shapes, device_name):
+    device = get_device(device_name)
+    for blocks, threads, smem, regs in shapes:
+        launch = _launch(blocks, threads, smem, regs)
+        try:
+            _validate_launch_cached.__wrapped__(device, launch)
+        except LaunchError:
+            # Invalid shapes must keep raising through the cached wrapper
+            # every single time (lru_cache does not cache exceptions).
+            with pytest.raises(LaunchError):
+                validate_launch(device, launch)
+            with pytest.raises(LaunchError):
+                validate_launch(device, launch)
+            continue
+        cached = max_active_blocks_per_sm(device, launch)
+        uncached = _max_active_blocks_cached.__wrapped__(device, launch)
+        assert cached == uncached
+        assert occupancy(device, launch) == occupancy.__wrapped__(
+            device, launch)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_shape, st.sampled_from(["P100", "GTX980"]))
+def test_memo_hit_is_same_result_for_equal_shapes(shape, device_name):
+    """Two distinct-but-equal LaunchConfigs hit one cache entry."""
+    device = get_device(device_name)
+    a, b = _launch(*shape), _launch(*shape)
+    assert a is not b and a == b
+    try:
+        first = max_active_blocks_per_sm(device, a)
+    except LaunchError:
+        with pytest.raises(LaunchError):
+            max_active_blocks_per_sm(device, b)
+        return
+    second = max_active_blocks_per_sm(device, b)
+    assert first is second          # cache hit, not a recomputation
+    assert occupancy(device, a) == occupancy(device, b)
+
+
+_req = st.tuples(
+    st.integers(1, 2048),           # threads per block
+    st.integers(0, 1 << 16),        # shared mem per block
+    st.integers(32, 1 << 16),       # registers per block
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_req, min_size=1, max_size=30))
+def test_interning_never_aliases_distinct_records(reqs):
+    interned = [intern_block_req(*r) for r in reqs]
+    for req, tup in zip(reqs, interned):
+        assert tup == req           # interning preserves the value exactly
+    for r1, t1 in zip(reqs, interned):
+        for r2, t2 in zip(reqs, interned):
+            if r1 == r2:
+                assert t1 is t2     # equal shapes share one canonical tuple
+            else:
+                assert t1 != t2     # distinct shapes never alias

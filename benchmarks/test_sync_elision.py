@@ -1,0 +1,52 @@
+"""Certified sync-elision: the BENCH_10 acceptance bar.
+
+The elider must actually fire (at least one plan per inception unit
+loses waits), a minimized run must never be slower than its original,
+and the committed BENCH_10.json must regenerate exactly.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_once
+from repro.bench.sync_elision import UNITS, run_sync_elision_bench
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _by_unit(result):
+    plans = {}
+    for row in result.extra["plans"]:
+        plans.setdefault(row["unit"], []).append(row)
+    return plans
+
+
+def test_elider_fires_on_every_unit(benchmark):
+    result = run_once(benchmark, run_sync_elision_bench)
+    print("\n" + result.render())
+    for unit, rows in _by_unit(result).items():
+        assert any(r["waits_removed"] > 0 for r in rows), unit
+
+
+def test_minimized_never_slower(benchmark):
+    result = run_once(benchmark, run_sync_elision_bench)
+    for row in result.extra["plans"]:
+        if row["eager_min_us"] is not None:
+            assert row["eager_min_us"] <= row["eager_us"], row
+        if row["graph_min_us"] is not None:
+            assert row["graph_min_us"] <= row["graph_us"], row
+
+
+def test_removed_waits_bounded_by_waits(benchmark):
+    result = run_once(benchmark, run_sync_elision_bench)
+    for row in result.extra["plans"]:
+        assert 0 <= row["waits_removed"] <= row["waits"], row
+
+
+def test_committed_bench_10_matches_fresh_run(benchmark):
+    """BENCH_10.json is fully simulated, hence exactly regenerable."""
+    result = run_once(benchmark, run_sync_elision_bench)
+    committed = json.loads(
+        (ROOT / "BENCH_10.json").read_text(encoding="utf-8"))
+    assert committed["units"] == list(UNITS)
+    assert committed["plans"] == result.extra["plans"]

@@ -135,6 +135,7 @@ class ProgramVerdict:
     ops: int
     launches: int
     hazards: list[Hazard] = field(default_factory=list)
+    suppressed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -144,7 +145,7 @@ class ProgramVerdict:
         return {
             "program": self.program, "network": self.network,
             "plan": self.plan, "ops": self.ops, "launches": self.launches,
-            "ok": self.ok,
+            "ok": self.ok, "suppressed": self.suppressed,
             "hazards": [h.to_dict() for h in self.hazards],
         }
 
@@ -167,12 +168,16 @@ class HazardReport:
     def hazard_count(self) -> int:
         return sum(len(e.hazards) for e in self.entries)
 
+    @property
+    def suppressed(self) -> int:
+        return sum(e.suppressed for e in self.entries)
+
     def to_dict(self) -> dict:
         return {
             "kind": "hazard-report",
             "device": self.device, "pool_size": self.pool_size,
             "batch": self.batch, "seed": self.seed, "ok": self.ok,
-            "hazards": self.hazard_count,
+            "hazards": self.hazard_count, "suppressed": self.suppressed,
             "entries": [e.to_dict() for e in self.entries],
         }
 
@@ -197,18 +202,31 @@ class HazardReport:
         verdict = "PASS" if self.ok else "FAIL"
         lines.append(
             f"analyze hazards: {verdict} ({len(self.entries)} program(s), "
-            f"{self.hazard_count} hazard(s); device {self.device}, "
-            f"pool {self.pool_size}, batch {self.batch}, seed {self.seed})")
+            f"{self.hazard_count} hazard(s), {self.suppressed} suppressed; "
+            f"device {self.device}, pool {self.pool_size}, "
+            f"batch {self.batch}, seed {self.seed})")
         return "\n".join(lines)
 
 
 def verdict_for(program: DispatchProgram, network: str = "",
                 plan: str = "") -> ProgramVerdict:
-    """Run the detector over one program and wrap the result."""
+    """Run the detector over one program and wrap the result.
+
+    Hazards whose rule id (``hazard/<kind>``) is in the program's
+    suppression set (:meth:`DispatchProgram.allow`) are dropped from the
+    verdict but counted in ``suppressed``.
+    """
+    kept: list[Hazard] = []
+    suppressed = 0
+    for h in detect(program):
+        if program.is_allowed(f"hazard/{h.kind}"):
+            suppressed += 1
+        else:
+            kept.append(h)
     return ProgramVerdict(
         program=program.name, network=network, plan=plan,
         ops=len(program), launches=len(program.launches()),
-        hazards=detect(program),
+        hazards=kept, suppressed=suppressed,
     )
 
 

@@ -1,0 +1,297 @@
+"""Seeded fault injection for the deadlock detector and sync elider.
+
+A static analyzer that is never shown a bug it must catch is an
+unfalsifiable one.  PR 5 cross-checked the race detector with
+sync-deletion mutants (:mod:`repro.analyze.mutate`); this module does
+the same for the new passes, in both directions:
+
+* :func:`inject_wait_cycle` plants a cross-stream record/wait cycle
+  (degenerating to a self-wait on single-stream programs) — the
+  deadlock detector must report a cycle through the planted wait;
+* :func:`inject_redundant_wait` plants a spurious synchronization: an
+  event record/wait pair whose edge happens-before already implies
+  (via an existing barrier, or by duplicating a live wait) — the elider
+  must remove exactly one more wait than it removes from the clean
+  program.
+
+:func:`cross_check` sweeps seeded rounds of both mutations over a set
+of programs and reports the hit rates; the acceptance bar (held by
+tests and ``python -m repro analyze`` in CI) is **100% of planted
+cycles found and 100% of planted redundant waits elided**.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analyze.deadlock import detect_deadlocks, direct_dependencies
+from repro.analyze.elide import minimize
+from repro.analyze.program import (DEFAULT_STREAM, DispatchProgram, Launch,
+                                   SyncAll, WaitEvent)
+from repro.errors import AnalyzeError
+
+
+def _fresh_event(program: DispatchProgram) -> int:
+    used = [op.event for op in program.ops if hasattr(op, "event")]
+    return (max(used) + 1) if used else 1000
+
+
+def _clone(program: DispatchProgram, suffix: str) -> DispatchProgram:
+    return DispatchProgram(name=f"{program.name}{suffix}",
+                           ops=list(program.ops),
+                           allowed=set(program.allowed))
+
+
+def _insert_at(program: DispatchProgram) -> int:
+    """Insertion point for planted ops: before a trailing synchronize."""
+    ops = program.ops
+    if ops and isinstance(ops[-1], SyncAll):
+        return len(ops) - 1
+    return len(ops)
+
+
+def inject_wait_cycle(program: DispatchProgram, seed: int = 0
+                      ) -> tuple[DispatchProgram, dict]:
+    """Plant a record/wait cycle; returns ``(mutant, planted)``.
+
+    With two or more non-default streams available the mutation inserts
+    the classic crossed pair — stream A waits on an event only stream B
+    records, *after* B first waits on an event only A records — which is
+    a 4-op cycle under strict semantics.  A single-stream program gets
+    the pool-of-1 degeneration instead: a wait followed by the record of
+    the same event on the same stream (a self-wait).
+
+    ``planted["wait_index"]`` is the op index of the wait the detector
+    must report a cycle through; ``planted["rule"]`` the expected rule.
+    """
+    rng = random.Random(seed)
+    streams = sorted(s for s in program.streams_used()
+                     if s != DEFAULT_STREAM) or [1]
+    mutant = _clone(program, "+cycle")
+    at = _insert_at(mutant)
+    e1 = _fresh_event(program)
+    if len(streams) >= 2:
+        sa, sb = rng.sample(streams, 2)
+        e2 = e1 + 1
+        planted_ops = [WaitEvent(event=e1, stream=sa),
+                       # record e2 after the wait on A's FIFO...
+                       _record(e2, sa),
+                       # ...which B consumes before recording e1:
+                       WaitEvent(event=e2, stream=sb),
+                       _record(e1, sb)]
+        rule = "deadlock/cycle"
+    else:
+        sa = streams[0]
+        planted_ops = [WaitEvent(event=e1, stream=sa), _record(e1, sa)]
+        rule = "deadlock/self-wait"
+    mutant.ops[at:at] = planted_ops
+    return mutant, {"wait_index": at, "event": e1, "rule": rule,
+                    "streams": streams[:2], "seed": seed}
+
+
+def _record(event: int, stream: int):
+    from repro.analyze.program import RecordEvent
+    return RecordEvent(event=event, stream=stream)
+
+
+def inject_redundant_wait(program: DispatchProgram, seed: int = 0
+                          ) -> tuple[DispatchProgram, dict]:
+    """Plant one provably redundant wait; returns ``(mutant, planted)``.
+
+    Preferred mutation: duplicate a live (backward-bound) wait directly
+    after itself — the duplicate's edge is identical, hence implied.
+    Programs with no waits (the barrier-synchronized zoo lowerings) get
+    a record/wait pair spanning an existing ``synchronize`` instead: the
+    barrier already orders the recording launch before the waiting one,
+    so the planted edge is pure overhead.
+
+    Raises :class:`AnalyzeError` when the program has neither a live
+    wait nor a barrier with launches on both sides — there is nowhere to
+    hide a redundant sync in a single unsynchronized block.
+    """
+    rng = random.Random(seed)
+    ops = program.ops
+    _, bindings = direct_dependencies(ops)
+    live_waits = [i for i, b in bindings.items()
+                  if b is not None and b < i]
+    if live_waits:
+        i = rng.choice(live_waits)
+        wait: WaitEvent = ops[i]                    # type: ignore
+        mutant = _clone(program, "+redundant")
+        mutant.ops.insert(i + 1, WaitEvent(event=wait.event,
+                                           stream=wait.stream))
+        return mutant, {"wait_index": i + 1, "event": wait.event,
+                        "kind": "duplicate-wait", "seed": seed}
+
+    sync_idx = [i for i, op in enumerate(ops) if isinstance(op, SyncAll)]
+    for k in rng.sample(sync_idx, len(sync_idx)) if sync_idx else []:
+        before = [i for i, op in enumerate(ops[:k])
+                  if isinstance(op, Launch) and op.stream != DEFAULT_STREAM]
+        after = [i for i, op in enumerate(ops)
+                 if i > k and isinstance(op, Launch)
+                 and op.stream != DEFAULT_STREAM]
+        if not before or not after:
+            continue
+        a = rng.choice(before)
+        b = rng.choice(after)
+        e = _fresh_event(program)
+        mutant = _clone(program, "+redundant")
+        # insert wait first so the record's index is still valid
+        mutant.ops.insert(b, WaitEvent(event=e, stream=ops[b].stream))
+        mutant.ops.insert(a + 1, _record(e, ops[a].stream))
+        return mutant, {"wait_index": b + 1, "event": e,
+                        "kind": "spurious-sync", "seed": seed}
+    raise AnalyzeError(
+        f"cannot plant a redundant wait in {program.name!r}: no live "
+        f"wait to duplicate and no barrier spanning two launches")
+
+
+@dataclass
+class CrossCheckOutcome:
+    """One planted mutation and whether the analyzer caught it."""
+
+    program: str
+    network: str
+    plan: str
+    kind: str          # "wait-cycle" | "redundant-wait"
+    seed: int
+    planted: dict
+    caught: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"program": self.program, "network": self.network,
+                "plan": self.plan, "kind": self.kind, "seed": self.seed,
+                "planted": self.planted, "caught": self.caught,
+                "detail": self.detail}
+
+
+@dataclass
+class CrossCheckReport:
+    """Hit rates of the seeded mutant sweep."""
+
+    seed: int
+    rounds: int
+    entries: list[CrossCheckOutcome] = field(default_factory=list)
+    skipped: int = 0   # programs with nowhere to plant a redundant wait
+
+    def _count(self, kind: str) -> tuple[int, int]:
+        of_kind = [e for e in self.entries if e.kind == kind]
+        return sum(1 for e in of_kind if e.caught), len(of_kind)
+
+    @property
+    def cycles_found(self) -> tuple[int, int]:
+        return self._count("wait-cycle")
+
+    @property
+    def waits_elided(self) -> tuple[int, int]:
+        return self._count("redundant-wait")
+
+    @property
+    def ok(self) -> bool:
+        return all(e.caught for e in self.entries) and bool(self.entries)
+
+    def to_dict(self) -> dict:
+        cf, cp = self.cycles_found
+        wf, wp = self.waits_elided
+        return {
+            "kind": "cross-check-report",
+            "seed": self.seed, "rounds": self.rounds, "ok": self.ok,
+            "cycles": {"planted": cp, "found": cf},
+            "redundant_waits": {"planted": wp, "elided": wf},
+            "skipped": self.skipped,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def save(self, path: Union[str, Path]) -> str:
+        p = Path(path)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+    def render(self) -> str:
+        cf, cp = self.cycles_found
+        wf, wp = self.waits_elided
+        lines = [e.detail for e in self.entries if not e.caught]
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"analyze cross-check: {verdict} ({cf}/{cp} planted cycles "
+            f"found, {wf}/{wp} planted redundant waits elided, "
+            f"{self.skipped} plant site(s) skipped; seed {self.seed}, "
+            f"{self.rounds} round(s))")
+        return "\n".join(lines)
+
+
+def cross_check(programs: Sequence[tuple[str, str, DispatchProgram]],
+                seed: int = 0, rounds: int = 2) -> CrossCheckReport:
+    """Sweep both mutations over ``(network, plan, program)`` triples.
+
+    Every program must be deadlock-free to begin with (the sweep targets
+    the certified producers); a planted cycle must surface as a finding
+    whose minimal cycle passes through the planted wait, and a planted
+    redundant wait must raise the elider's removal count by exactly the
+    plant.
+    """
+    report = CrossCheckReport(seed=seed, rounds=rounds)
+    for network, plan, program in programs:
+        if detect_deadlocks(program):
+            raise AnalyzeError(
+                f"cross-check input {program.name!r} is not clean")
+        base_removed = minimize(program).waits_removed
+        for r in range(rounds):
+            s = seed * 1000003 + r
+            mutant, planted = inject_wait_cycle(program, seed=s)
+            findings = detect_deadlocks(mutant)
+            hit = [f for f in findings if f.rule == planted["rule"]
+                   and any(c.op_index == planted["wait_index"]
+                           for c in f.cycle)]
+            report.entries.append(CrossCheckOutcome(
+                program=program.name, network=network, plan=plan,
+                kind="wait-cycle", seed=s, planted=planted,
+                caught=bool(hit),
+                detail=("" if hit else
+                        f"MISSED cycle in {mutant.name}: planted "
+                        f"{planted}, findings "
+                        f"{[f.rule for f in findings]}")))
+
+            try:
+                mutant2, planted2 = inject_redundant_wait(program, seed=s)
+            except AnalyzeError:
+                report.skipped += 1
+                continue
+            removed = minimize(mutant2).waits_removed
+            caught = removed == base_removed + 1
+            report.entries.append(CrossCheckOutcome(
+                program=program.name, network=network, plan=plan,
+                kind="redundant-wait", seed=s, planted=planted2,
+                caught=caught,
+                detail=("" if caught else
+                        f"MISSED redundant wait in {mutant2.name}: "
+                        f"planted {planted2}, removed {removed} vs "
+                        f"baseline {base_removed}")))
+    return report
+
+
+def default_cross_check(seed: int = 0, rounds: int = 2,
+                        device: str = "p100",
+                        networks: Sequence[str] = ("cifar10",),
+                        pool_size: int = 4, batch: int = 2
+                        ) -> CrossCheckReport:
+    """Cross-check over the standard producers (zoo + interop plans)."""
+    from repro.analyze.deadlock import interop_programs
+    from repro.analyze.plans import build_programs
+    triples: list[tuple[str, str, DispatchProgram]] = []
+    for network in networks:
+        for program in build_programs(network, plan="round-robin",
+                                      pool_size=pool_size, batch=batch,
+                                      seed=seed, device=device):
+            triples.append((network, "round-robin", program))
+    triples.extend(interop_programs(batch=batch, device=device,
+                                    streams=pool_size))
+    return cross_check(triples, seed=seed, rounds=rounds)

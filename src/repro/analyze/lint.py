@@ -129,6 +129,19 @@ def allowed_rules(source: str) -> dict[int, set[str]]:
     return allowed
 
 
+def allow_markers(text: str) -> set[str]:
+    """Union of every rule id named in ``# repro: allow(...)`` markers.
+
+    Line positions are discarded: this is the coarse variant used for
+    whole-program findings (hazards, deadlocks, capacity), where the
+    suppression attaches to the plan producer rather than a source line.
+    """
+    out: set[str] = set()
+    for names in allowed_rules(text).values():
+        out |= names
+    return out
+
+
 def _suppressed(allowed: dict[int, set[str]], rule: str, line: int) -> bool:
     for at in (line, line - 1):
         names = allowed.get(at)

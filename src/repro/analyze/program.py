@@ -74,10 +74,19 @@ DispatchOp = Union[Launch, SyncAll, RecordEvent, WaitEvent]
 
 @dataclass
 class DispatchProgram:
-    """An ordered dispatch trace to be certified hazard-free."""
+    """An ordered dispatch trace to be certified hazard-free.
+
+    ``allowed`` is the program's suppression set: finding rule ids (e.g.
+    ``"hazard/WAW"``, ``"deadlock/cycle"``, ``"capacity/over-subscription"``
+    or the ``"*"`` wildcard) a plan producer has explicitly waived, using
+    the same ``# repro: allow(...)`` marker syntax the lint understands
+    (see :meth:`allow_from`).  Suppressed findings are counted, not
+    hidden: every report surfaces its suppressed total.
+    """
 
     name: str
     ops: list[DispatchOp] = field(default_factory=list)
+    allowed: set[str] = field(default_factory=set)
 
     # -- builder helpers ----------------------------------------------
     def launch(self, kernel: str, stream: int, reads=(), writes=(),
@@ -99,6 +108,25 @@ class DispatchProgram:
     def wait(self, event: int, stream: int) -> "DispatchProgram":
         self.ops.append(WaitEvent(event=event, stream=stream))
         return self
+
+    def allow(self, *rules: str) -> "DispatchProgram":
+        """Suppress finding rule ids for this program (kept as a count)."""
+        self.allowed.update(rules)
+        return self
+
+    def allow_from(self, text: str) -> "DispatchProgram":
+        """Parse ``# repro: allow(rule, ...)`` markers out of ``text``.
+
+        The marker syntax is shared with the determinism lint
+        (:func:`repro.analyze.lint.allow_markers`), so a plan producer can
+        carry its waivers in a docstring or annotation string.
+        """
+        from repro.analyze.lint import allow_markers
+        self.allowed.update(allow_markers(text))
+        return self
+
+    def is_allowed(self, rule: str) -> bool:
+        return rule in self.allowed or "*" in self.allowed
 
     # -- queries ------------------------------------------------------
     def launches(self) -> list[tuple[int, Launch]]:

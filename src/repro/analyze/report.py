@@ -1,9 +1,16 @@
-"""Combined ``repro analyze`` report (hazards + lint).
+"""Combined ``repro analyze`` report (hazards + deadlock + elision + lint).
 
 Mirrors :class:`repro.verify.report.VerifyReport`: one object that holds
 whichever passes ran, renders as text or JSON through the shared
 :mod:`repro.reporting` helpers, and decides the process exit code via
 ``ok``.
+
+The report also carries the CI **findings baseline**: ``counts()``
+summarizes each pass as a small dict of integers, and
+:func:`check_baseline` compares a run against a committed baseline file
+(``results/analyze_baseline.json``), failing the gate on any *new*
+finding while allowing the recorded ones — so the analyzer can be
+adopted incrementally without a flag day, exactly like a lint baseline.
 """
 
 from __future__ import annotations
@@ -13,7 +20,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.analyze.deadlock import DeadlockReport
+from repro.analyze.elide import ElisionReport
 from repro.analyze.hazards import HazardReport
+from repro.analyze.inject import CrossCheckReport
 from repro.analyze.lint import LintReport
 
 
@@ -22,22 +32,54 @@ class AnalyzeReport:
     """Everything one ``repro analyze`` invocation produced."""
 
     hazards: Optional[HazardReport] = None
+    deadlock: Optional[DeadlockReport] = None
+    elision: Optional[ElisionReport] = None
+    crosscheck: Optional[CrossCheckReport] = None
     lint: Optional[LintReport] = None
 
     @property
     def ok(self) -> bool:
-        if self.hazards is not None and not self.hazards.ok:
-            return False
-        if self.lint is not None and not self.lint.ok:
-            return False
+        for part in (self.hazards, self.deadlock, self.elision,
+                     self.crosscheck, self.lint):
+            if part is not None and not part.ok:
+                return False
         return True
+
+    def counts(self) -> dict:
+        """Findings summary, the unit the CI baseline gate compares."""
+        c: dict[str, int] = {}
+        if self.hazards is not None:
+            c["hazards"] = sum(len(e.hazards)
+                               for e in self.hazards.entries)
+            c["hazards_suppressed"] = self.hazards.suppressed
+        if self.deadlock is not None:
+            c["deadlock_findings"] = self.deadlock.finding_count
+            c["deadlock_suppressed"] = self.deadlock.suppressed
+        if self.elision is not None:
+            c["not_equivalent"] = sum(
+                1 for e in self.elision.entries if not e.equivalent)
+        if self.crosscheck is not None:
+            cf, cp = self.crosscheck.cycles_found
+            wf, wp = self.crosscheck.waits_elided
+            c["cycles_missed"] = cp - cf
+            c["redundant_waits_missed"] = wp - wf
+        if self.lint is not None:
+            c["lint_violations"] = len(self.lint.violations)
+        return c
 
     def to_dict(self) -> dict:
         return {
             "kind": "analyze-report",
             "ok": self.ok,
+            "counts": self.counts(),
             "hazards": (None if self.hazards is None
                         else self.hazards.to_dict()),
+            "deadlock": (None if self.deadlock is None
+                         else self.deadlock.to_dict()),
+            "elision": (None if self.elision is None
+                        else self.elision.to_dict()),
+            "crosscheck": (None if self.crosscheck is None
+                           else self.crosscheck.to_dict()),
             "lint": None if self.lint is None else self.lint.to_dict(),
         }
 
@@ -51,14 +93,62 @@ class AnalyzeReport:
 
     def render(self) -> str:
         sections = []
-        if self.hazards is not None:
-            sections.append(self.hazards.render())
-        if self.lint is not None:
-            sections.append(self.lint.render())
+        for part in (self.hazards, self.deadlock, self.elision,
+                     self.crosscheck, self.lint):
+            if part is not None:
+                sections.append(part.render())
         verdict = "PASS" if self.ok else "FAIL"
         sections.append(f"analyze: {verdict}")
         return "\n".join(sections)
 
     def save_sarif(self, path: Union[str, Path]) -> str:
         from repro.analyze.sarif import save_sarif
-        return save_sarif(path, hazards=self.hazards, lint=self.lint)
+        return save_sarif(path, hazards=self.hazards,
+                          deadlock=self.deadlock, elision=self.elision,
+                          lint=self.lint)
+
+
+def baseline_dict(report: AnalyzeReport) -> dict:
+    """The committable baseline for one run (``--update-baseline``)."""
+    return {"kind": "analyze-baseline", "counts": report.counts()}
+
+
+def check_baseline(report: AnalyzeReport,
+                   baseline: dict) -> list[str]:
+    """Regressions of ``report`` against a committed baseline.
+
+    A pass regresses when its *finding* count exceeds the recorded one
+    (counts missing from the baseline default to 0, so brand-new passes
+    gate at zero findings).  Improvements — fewer findings than recorded
+    — never fail; refresh the baseline to ratchet them in.
+    """
+    recorded = baseline.get("counts", {})
+    problems: list[str] = []
+    for key, current in sorted(report.counts().items()):
+        allowed = int(recorded.get(key, 0))
+        if current > allowed:
+            problems.append(
+                f"{key}: {current} finding(s) vs baseline {allowed}")
+    return problems
+
+
+def load_baseline(path: Union[str, Path]) -> dict:
+    """Read a baseline file, raising ``AnalyzeError`` on malformed input."""
+    from repro.errors import AnalyzeError
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise AnalyzeError(f"cannot read analyze baseline {p}: {e}") from e
+    if not isinstance(doc, dict) or doc.get("kind") != "analyze-baseline":
+        raise AnalyzeError(
+            f"{p} is not an analyze baseline (expected kind="
+            f"'analyze-baseline')")
+    return doc
+
+
+def save_baseline(report: AnalyzeReport, path: Union[str, Path]) -> str:
+    p = Path(path)
+    p.write_text(json.dumps(baseline_dict(report), indent=1) + "\n",
+                 encoding="utf-8")
+    return str(p)

@@ -1,11 +1,26 @@
-"""SARIF 2.1.0 export for hazard and lint reports.
+"""SARIF 2.1.0 export for the static-analysis reports.
 
 SARIF (Static Analysis Results Interchange Format) is the report format
 CI systems ingest natively; ``repro analyze --sarif out.sarif`` writes
-one and the CI job uploads it as an artifact when the gate fails.  Lint
-violations carry physical locations (file + line); hazards, which live
-in a dispatch program rather than a file, carry logical locations (the
-two kernels and their layers) plus the full witness in ``properties``.
+one and the CI job uploads it as an artifact.  Lint violations carry
+physical locations (file + line); hazard, deadlock and elision results,
+which live in a dispatch program rather than a file, carry logical
+locations (the ops and their layers) plus the full witness in
+``properties``.
+
+Every rule any run can emit is registered in :data:`RULE_META` with its
+severity level, full description and help URI, so consumers get real
+rule metadata instead of ids alone:
+
+* ``hazard/*`` and ``deadlock/*`` are **errors** — the plan is wrong;
+* ``capacity/*`` is a **warning** — the plan is legal but over-commits
+  the device;
+* ``elide/redundant-sync`` is a **note** — the op is correct but
+  provably unnecessary (the elider removed it);
+* lint rules are **warnings** — determinism smells in the source.
+
+Per-run ``properties`` carry the suppressed-finding counts so a CI
+dashboard can distinguish "clean" from "waived".
 """
 
 from __future__ import annotations
@@ -17,37 +32,133 @@ from typing import Optional, Union
 _SARIF_VERSION = "2.1.0"
 _SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
            "master/Schemata/sarif-schema-2.1.0.json")
+_HELP_BASE = "https://example.invalid/repro/docs/static_analysis.md"
+
+#: Every rule id the analyzers can emit -> (level, short, full, anchor).
+RULE_META: dict[str, tuple[str, str, str, str]] = {
+    "hazard/RAW": (
+        "error",
+        "Read-after-write stream hazard",
+        "A kernel reads a region another stream's kernel writes, and no "
+        "happens-before edge (stream FIFO, barrier, or event) orders the "
+        "pair; the read may observe stale or partial data.",
+        "#stream-hazards"),
+    "hazard/WAR": (
+        "error",
+        "Write-after-read stream hazard",
+        "A kernel overwrites a region another stream's kernel reads, "
+        "unordered by happens-before; the reader may observe the new "
+        "value early.",
+        "#stream-hazards"),
+    "hazard/WAW": (
+        "error",
+        "Write-after-write stream hazard",
+        "Two unordered kernels write the same region; the final contents "
+        "depend on the schedule.",
+        "#stream-hazards"),
+    "deadlock/cycle": (
+        "error",
+        "Cross-stream event wait cycle",
+        "Satisfying an event wait requires a record that transitively "
+        "waits on the wait itself; under strict stream-wait semantics "
+        "the program hangs.  The witness is the shortest op cycle "
+        "through the offending wait.",
+        "#deadlock-detection"),
+    "deadlock/self-wait": (
+        "error",
+        "Single-stream self-wait",
+        "A stream waits on an event only a later op of the same stream "
+        "records — the pool-of-1 degeneration of a wait cycle.",
+        "#deadlock-detection"),
+    "deadlock/record-after-wait": (
+        "error",
+        "Record issued after its only wait",
+        "The only record of the awaited event is dispatched after the "
+        "wait; the engine silently drops the edge, so the intended "
+        "ordering never takes effect.",
+        "#deadlock-detection"),
+    "deadlock/never-recorded": (
+        "error",
+        "Wait on a never-recorded event",
+        "No op records the awaited event: the wait gates nothing under "
+        "permissive CUDA semantics and hangs forever under strict "
+        "semantics.",
+        "#deadlock-detection"),
+    "capacity/over-subscription": (
+        "warning",
+        "Concurrent kernels exceed device fill",
+        "A concurrency level of the plan sums kernel fill fractions "
+        "beyond what the device's SMs can co-schedule; the excess "
+        "serializes and the plan's parallelism is partly fictional.",
+        "#over-subscription"),
+    "capacity/stream-pool": (
+        "warning",
+        "Plan uses more streams than the pool",
+        "The plan touches more distinct streams than the device's "
+        "concurrent-kernel pool supports; extra streams alias onto the "
+        "same hardware queues.",
+        "#over-subscription"),
+    "elide/redundant-sync": (
+        "note",
+        "Provably redundant synchronization",
+        "Happens-before already implies the edge this wait (or its "
+        "orphaned record) enforces; the certified elider removed it "
+        "without changing the launch closure.",
+        "#sync-elision"),
+}
 
 
-def _driver(name: str, rules: list[dict]) -> dict:
+def _lint_meta(name: str, description: str) -> tuple[str, str, str, str]:
+    return ("warning", description or name,
+            description or name, "#determinism-lint")
+
+
+def _rule(rule_id: str,
+          meta: Optional[tuple[str, str, str, str]] = None) -> dict:
+    level, short, full, anchor = (meta or RULE_META.get(rule_id)
+                                  or ("warning", rule_id, rule_id, ""))
     return {
+        "id": rule_id,
+        "shortDescription": {"text": short},
+        "fullDescription": {"text": full},
+        "helpUri": _HELP_BASE + anchor,
+        "defaultConfiguration": {"level": level},
+    }
+
+
+def _level(rule_id: str) -> str:
+    return RULE_META.get(rule_id, ("warning",))[0]
+
+
+def _driver(name: str, rules: list[dict],
+            properties: Optional[dict] = None) -> dict:
+    run = {
         "tool": {
             "driver": {
                 "name": name,
-                "informationUri":
-                    "https://example.invalid/repro/docs/static_analysis.md",
+                "informationUri": _HELP_BASE,
                 "rules": rules,
             }
         },
         "results": [],
     }
+    if properties:
+        run["properties"] = properties
+    return run
 
 
 def _hazard_run(report) -> dict:
-    kinds = sorted({h.kind for e in report.entries for h in e.hazards}) \
-        or ["RAW", "WAR", "WAW"]
-    run = _driver("repro-analyze-hazards", [
-        {"id": f"hazard/{k}",
-         "shortDescription": {"text": f"{k} stream hazard: conflicting "
-                                      "accesses not ordered by "
-                                      "happens-before"}}
-        for k in kinds
-    ])
+    kinds = sorted({h.kind for e in report.entries for h in e.hazards}
+                   | {"RAW", "WAR", "WAW"})
+    run = _driver("repro-analyze-hazards",
+                  [_rule(f"hazard/{k}") for k in kinds],
+                  properties={"suppressed": report.suppressed})
     for entry in report.entries:
         for h in entry.hazards:
+            rule_id = f"hazard/{h.kind}"
             run["results"].append({
-                "ruleId": f"hazard/{h.kind}",
-                "level": "error",
+                "ruleId": rule_id,
+                "level": _level(rule_id),
                 "message": {"text": h.describe()},
                 "locations": [{
                     "logicalLocations": [
@@ -64,18 +175,65 @@ def _hazard_run(report) -> dict:
     return run
 
 
+def _deadlock_run(report) -> dict:
+    from repro.analyze.deadlock import DEADLOCK_RULES
+    run = _driver("repro-analyze-deadlock",
+                  [_rule(r) for r in DEADLOCK_RULES],
+                  properties={"suppressed": report.suppressed})
+    for entry in report.entries:
+        for f in entry.findings:
+            locations = [{"name": f"op{c.op_index}",
+                          "fullyQualifiedName":
+                              f"{entry.program}/op{c.op_index}/{c.kind}"}
+                         for c in f.cycle] or [
+                {"name": f"op{f.wait_index}",
+                 "fullyQualifiedName":
+                     f"{entry.program}/op{f.wait_index}/wait"}]
+            run["results"].append({
+                "ruleId": f.rule,
+                "level": _level(f.rule),
+                "message": {"text": f.describe()},
+                "locations": [{"logicalLocations": locations}],
+                "properties": f.to_dict() | {"program": entry.program},
+            })
+    return run
+
+
+def _elision_run(report) -> dict:
+    from repro.analyze.elide import ELIDE_RULE
+    run = _driver("repro-analyze-elide", [_rule(ELIDE_RULE)],
+                  properties={"waits_removed": report.waits_removed,
+                              "records_removed": report.records_removed})
+    for entry in report.entries:
+        for r in entry.removed:
+            run["results"].append({
+                "ruleId": ELIDE_RULE,
+                "level": _level(ELIDE_RULE),
+                "message": {"text": f"{entry.program}: {r.describe()}"},
+                "locations": [{
+                    "logicalLocations": [
+                        {"name": f"op{r.op_index}",
+                         "fullyQualifiedName":
+                             f"{entry.program}/op{r.op_index}/{r.kind}"},
+                    ]
+                }],
+                "properties": r.to_dict() | {"program": entry.program},
+            })
+    return run
+
+
 def _lint_run(report) -> dict:
     from repro.analyze.rules import DEFAULT_RULES
     descriptions = {r.name: r.description for r in DEFAULT_RULES}
-    run = _driver("repro-analyze-lint", [
-        {"id": name,
-         "shortDescription": {"text": descriptions.get(name, name)}}
-        for name in report.rules
-    ])
+    run = _driver(
+        "repro-analyze-lint",
+        [_rule(name, _lint_meta(name, descriptions.get(name, name)))
+         for name in report.rules],
+        properties={"suppressed": getattr(report, "suppressed", 0)})
     for v in report.violations:
         run["results"].append({
             "ruleId": v.rule,
-            "level": "error",
+            "level": "warning",
             "message": {"text": v.message},
             "locations": [{
                 "physicalLocation": {
@@ -87,19 +245,25 @@ def _lint_run(report) -> dict:
     return run
 
 
-def to_sarif(hazards=None, lint=None) -> dict:
+def to_sarif(hazards=None, deadlock=None, elision=None,
+             lint=None) -> dict:
     """Fold the given report(s) into one SARIF log (one run per tool)."""
     runs = []
     if hazards is not None:
         runs.append(_hazard_run(hazards))
+    if deadlock is not None:
+        runs.append(_deadlock_run(deadlock))
+    if elision is not None:
+        runs.append(_elision_run(elision))
     if lint is not None:
         runs.append(_lint_run(lint))
     return {"$schema": _SCHEMA, "version": _SARIF_VERSION, "runs": runs}
 
 
-def save_sarif(path: Union[str, Path], hazards=None,
-               lint=None) -> str:
+def save_sarif(path: Union[str, Path], hazards=None, deadlock=None,
+               elision=None, lint=None) -> str:
     p = Path(path)
-    p.write_text(json.dumps(to_sarif(hazards=hazards, lint=lint), indent=1)
-                 + "\n", encoding="utf-8")
+    p.write_text(json.dumps(to_sarif(hazards=hazards, deadlock=deadlock,
+                                     elision=elision, lint=lint),
+                            indent=1) + "\n", encoding="utf-8")
     return str(p)

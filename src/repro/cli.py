@@ -91,6 +91,7 @@ def _experiment_registry() -> dict[str, Callable]:
     from repro.bench.fusion_ablation import run_fusion_ablation
     from repro.bench.graph_ablation import run_graph_ablation
     from repro.bench.interop_plans import run_interop_plans_bench
+    from repro.bench.sync_elision import run_sync_elision_bench
     from repro.bench.analyzer_comparison import run_analyzer_comparison
     from repro.bench.mps_comparison import run_mps_comparison
 
@@ -109,6 +110,7 @@ def _experiment_registry() -> dict[str, Callable]:
         "fusion": run_fusion_ablation,
         "graph": run_graph_ablation,
         "interop": run_interop_plans_bench,
+        "elision": run_sync_elision_bench,
         "analyzers": run_analyzer_comparison,
         "mps": run_mps_comparison,
     }
@@ -407,6 +409,7 @@ def cmd_verify(args) -> int:
         fuzz_schedules,
         replay_witness,
         run_differential,
+        verify_elision,
         verify_graph_replay,
     )
     from repro.verify.graph_replay import DEFAULT_ITERATIONS
@@ -432,7 +435,7 @@ def cmd_verify(args) -> int:
         print(equiv.render())
         return 0 if equiv.ok else 1
 
-    parts = (["differential", "schedule", "faults", "graph"]
+    parts = (["differential", "schedule", "faults", "graph", "elision"]
              if args.only == "all" else [args.only])
     report = VerifyReport(network=args.network, device=args.device,
                           seed=args.seed)
@@ -457,6 +460,14 @@ def cmd_verify(args) -> int:
         if "graph" in parts:
             # Graph replay needs warmup + capture + replays per seed.
             report.graph = verify_graph_replay(
+                network=args.network, device=args.device,
+                seeds=(args.seed, args.seed + 1),
+                iterations=max(args.iterations, DEFAULT_ITERATIONS),
+                batch=args.batch,
+            )
+        if "elision" in parts:
+            # Minimized programs must replay exactly like the originals.
+            report.elision = verify_elision(
                 network=args.network, device=args.device,
                 seeds=(args.seed, args.seed + 1),
                 iterations=max(args.iterations, DEFAULT_ITERATIONS),
@@ -547,7 +558,7 @@ def cmd_interop(args) -> int:
 
 
 #: ``analyze`` sub-analyses, in run order.
-ANALYZE_KINDS = ("hazards", "lint", "all")
+ANALYZE_KINDS = ("hazards", "deadlock", "minimize", "lint", "all")
 
 
 def _analyze_mutant(args) -> int:
@@ -631,8 +642,15 @@ def cmd_analyze(args) -> int:
         PLAN_KINDS,
         ZOO_NETWORKS,
         AnalyzeReport,
+        analyze_deadlocks,
         analyze_networks,
         lint_paths,
+        minimize_networks,
+    )
+    from repro.analyze.report import (
+        check_baseline,
+        load_baseline,
+        save_baseline,
     )
     from repro.reporting import emit
 
@@ -640,14 +658,31 @@ def cmd_analyze(args) -> int:
         if args.mutate_seed is not None:
             return _analyze_mutant(args)
         report = AnalyzeReport()
+        networks = (list(ZOO_NETWORKS) if args.network == "all"
+                    else [args.network])
+        plans = (list(PLAN_KINDS) if args.plan == "all"
+                 else [args.plan])
         if args.what in ("hazards", "all"):
-            networks = (list(ZOO_NETWORKS) if args.network == "all"
-                        else [args.network])
-            plans = (list(PLAN_KINDS) if args.plan == "all"
-                     else [args.plan])
             report.hazards = analyze_networks(
                 networks, plans=plans, device=args.device,
                 pool_size=args.pool, batch=args.batch, seed=args.seed)
+        if args.what in ("deadlock", "all"):
+            report.deadlock = analyze_deadlocks(
+                networks, plans=plans, device=args.device,
+                pool_size=args.pool, batch=args.batch, seed=args.seed,
+                include_interop=not args.no_interop)
+        if args.what in ("minimize", "all"):
+            report.elision = minimize_networks(
+                networks, plans=plans, device=args.device,
+                pool_size=args.pool, batch=args.batch, seed=args.seed,
+                include_interop=not args.no_interop)
+        if args.cross_check:
+            from repro.analyze.inject import default_cross_check
+            report.crosscheck = default_cross_check(
+                seed=args.seed, device=args.device,
+                networks=[n for n in networks if n in ZOO_NETWORKS][:1]
+                or ["cifar10"],
+                pool_size=args.pool, batch=min(args.batch, 2))
         if args.what in ("lint", "all"):
             import repro
             from pathlib import Path
@@ -661,6 +696,24 @@ def cmd_analyze(args) -> int:
     if args.report:
         report.save(args.report)
     print(emit(report, args.format))
+    if args.update_baseline:
+        target = args.baseline or "results/analyze_baseline.json"
+        print(f"  [baseline -> {save_baseline(report, target)}]",
+              file=sys.stderr)
+    elif args.baseline:
+        try:
+            problems = check_baseline(report, load_baseline(args.baseline))
+        except ReproError as e:
+            print(f"analyze failed: {e}", file=sys.stderr)
+            return 2
+        if problems:
+            print("baseline gate FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        # The gate is the verdict: recorded findings are waived.
+        print(f"  [baseline gate OK vs {args.baseline}]", file=sys.stderr)
+        return 0
     return 0 if report.ok else 1
 
 
@@ -816,10 +869,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verification batch size (default: 8)")
     verify.add_argument("--only", default="all",
                         choices=["all", "differential", "schedule",
-                                 "faults", "graph", "engine"],
+                                 "faults", "graph", "elision", "engine"],
                         help="run a single component (default: all); "
-                             "'engine' checks the engine-equivalence "
-                             "goldens (docs/engine_perf.md)")
+                             "'elision' checks minimized programs replay "
+                             "identically; 'engine' checks the engine-"
+                             "equivalence goldens (docs/engine_perf.md)")
     verify.add_argument("--replay", metavar="WITNESS.json", default=None,
                         help="replay a saved schedule witness; exit 1 if "
                              "it reproduces")
@@ -919,8 +973,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis: stream-hazard detection + determinism lint",
     )
     analyze.add_argument("what", nargs="?", default="all",
-                         help="analysis to run: hazards, lint, or all "
-                              "(default: all)")
+                         help="analysis to run: hazards, deadlock, "
+                              "minimize, lint, or all (default: all)")
     analyze.add_argument("--network", default="all",
                          help="zoo network(s) to certify, or 'all' "
                               "(default: all)")
@@ -946,6 +1000,24 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--paths", nargs="*", default=None,
                          help="files/directories to lint (default: the "
                               "installed repro package)")
+    analyze.add_argument("--no-interop", action="store_true",
+                         help="skip the interop plan producers in the "
+                              "deadlock/minimize passes")
+    analyze.add_argument("--cross-check", action="store_true",
+                         help="also run the seeded fault-injection "
+                              "cross-check: plant wait cycles and "
+                              "redundant syncs; the detector/elider must "
+                              "catch 100%% of them")
+    analyze.add_argument("--baseline", metavar="BASELINE.json",
+                         default=None,
+                         help="findings-baseline file to gate against "
+                              "(e.g. results/analyze_baseline.json); any "
+                              "finding beyond the recorded counts fails, "
+                              "recorded ones are waived")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline (default: "
+                              "results/analyze_baseline.json) from this "
+                              "run instead of gating")
     analyze.add_argument("--sarif", metavar="OUT.sarif", default=None,
                          help="write a SARIF 2.1.0 log (CI artifact)")
     analyze.add_argument("--report", metavar="OUT.json", default=None,

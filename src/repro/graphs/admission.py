@@ -18,6 +18,7 @@ permanent eager fallback for the works in question.
 
 from __future__ import annotations
 
+from repro.analyze.deadlock import DeadlockVerdict, deadlock_verdict_for
 from repro.analyze.hazards import ProgramVerdict, verdict_for
 from repro.errors import GraphValidationError
 from repro.graphs.compiled import CompiledGraph
@@ -29,8 +30,35 @@ def validate_graph(graph: CompiledGraph) -> ProgramVerdict:
                        plan="graph-capture")
 
 
+def validate_deadlocks(graph: CompiledGraph) -> DeadlockVerdict:
+    """Run the deadlock detector over ``graph``'s program.
+
+    Replay is where a mis-ordered record/wait pair does the most damage:
+    the whole program launches in one host call, so a lost edge cannot
+    even be observed as a stall — it silently weakens the ordering the
+    capture promised.  Admission therefore requires the strict-semantics
+    deadlock certificate alongside the hazard one.
+    """
+    return deadlock_verdict_for(graph.program(), network=graph.network,
+                                plan="graph-capture")
+
+
 def admit(graph: CompiledGraph) -> ProgramVerdict:
-    """Validate ``graph``; raise :class:`GraphValidationError` if unsafe."""
+    """Validate ``graph``; raise :class:`GraphValidationError` if unsafe.
+
+    Checks deadlocks first (a cyclic or mis-ordered wait structure makes
+    the hazard verdict itself unreliable — happens-before edges the
+    author intended are missing), then data hazards.
+    """
+    dl = validate_deadlocks(graph)
+    if not dl.ok:
+        first = dl.findings[0]
+        raise GraphValidationError(
+            f"graph {graph.name!r} refused admission: "
+            f"{len(dl.findings)} deadlock finding(s), first: "
+            f"{first.describe()}",
+            verdict=dl,
+        )
     verdict = validate_graph(graph)
     if not verdict.ok:
         first = verdict.hazards[0]

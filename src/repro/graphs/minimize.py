@@ -1,0 +1,40 @@
+"""Certified sync-elision over compiled graphs.
+
+A captured graph's nodes lower one-for-one to the ops of its hazard-IR
+program (:meth:`repro.graphs.compiled.CompiledGraph.program`), so the
+whole-program elision pass (:mod:`repro.analyze.elide`) transfers
+directly: minimize the program, then drop exactly the graph nodes whose
+op indices were elided.  The result is a smaller graph that replays the
+same launches in the same certified order for strictly less event
+bookkeeping per replay.
+
+The minimized graph goes back through full admission at the call site
+(:class:`repro.graphs.runtime.GraphModeRuntime` re-admits it before the
+first replay) — elision's closure certificate already implies the
+verdict carries over, but admission is cheap and the invariant "no graph
+replays unsigned" stays unconditional.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.elide import ElisionResult, certified_minimize
+from repro.graphs.compiled import CompiledGraph
+
+
+def minimize_graph(graph: CompiledGraph
+                   ) -> tuple[CompiledGraph, ElisionResult]:
+    """Elide redundant sync nodes; returns ``(minimized, certificate)``.
+
+    When nothing is removable the input graph is returned unchanged
+    (same object), so fingerprint-keyed caches are undisturbed.
+    """
+    result = certified_minimize(graph.program())
+    dropped = {r.op_index for r in result.removed}
+    if not dropped:
+        return graph, result
+    mini = CompiledGraph(
+        name=graph.name, network=graph.network, device=graph.device,
+        pool_size=graph.pool_size, batch=graph.batch, seed=graph.seed,
+        nodes=[n for i, n in enumerate(graph.nodes) if i not in dropped],
+    )
+    return mini, result

@@ -68,6 +68,8 @@ class GraphModeStats:
     capture_misses: int = 0
     validation_rejects: int = 0
     launch_fallbacks: int = 0
+    waits_elided: int = 0
+    records_elided: int = 0
     #: works fingerprint -> reason it is pinned to eager dispatch.
     rejected: dict[str, str] = field(default_factory=dict)
 
@@ -79,6 +81,8 @@ class GraphModeStats:
             "capture_misses": self.capture_misses,
             "validation_rejects": self.validation_rejects,
             "launch_fallbacks": self.launch_fallbacks,
+            "waits_elided": self.waits_elided,
+            "records_elided": self.records_elided,
             "rejected": dict(self.rejected),
         }
 
@@ -114,15 +118,23 @@ class GraphModeRuntime:
         :func:`repro.graphs.cache.load_graphs_safe`.  A cache hit skips
         warmup and capture — but never admission: cached graphs are
         re-validated before their first replay.
+    minimize:
+        Run every admitted graph through certified sync-elision
+        (:mod:`repro.graphs.minimize`) before its first replay; the
+        minimized graph is re-admitted and the elided op counts land in
+        ``stats.waits_elided``/``records_elided``.  An elision failure
+        (deadlocked capture, broken certificate) keeps the un-minimized
+        admitted graph — elision is an optimization, never a gate.
     """
 
     def __init__(self, net=None,
                  effects_fn: Optional[Callable[..., KernelEffects]] = None,
                  graphs: Optional[dict[str, CompiledGraph]] = None,
-                 network: str = "") -> None:
+                 network: str = "", minimize: bool = False) -> None:
         self.net = net
         self.effects_fn = effects_fn
         self.network = network
+        self.minimize = minimize
         self.seeded = dict(graphs) if graphs else {}
         self.stats = GraphModeStats()
         #: Admitted graphs by works fingerprint (for cache persistence).
@@ -230,7 +242,26 @@ class GraphModeRuntime:
             counter_inc("graph.validation_rejects")
             state.graph = None
             return
+        if self.minimize:
+            state.graph = self._minimize(key, state.graph)
         self.admitted[key] = state.graph
+
+    def _minimize(self, key: str, graph: CompiledGraph) -> CompiledGraph:
+        """Certified sync-elision of an admitted graph; never a gate."""
+        from repro.graphs.minimize import minimize_graph
+        try:
+            mini, result = minimize_graph(graph)
+            if mini is not graph:
+                admit(mini)     # re-sign the smaller program
+        except (AnalyzeError, GraphValidationError) as e:
+            counter_inc("graph.minimize_skips")
+            with span("graph.minimize", cat="graph") as h:
+                h.set(skipped=str(e))
+            return graph
+        self.stats.waits_elided += result.waits_removed
+        self.stats.records_elided += result.records_removed
+        counter_inc("graph.waits_elided", result.waits_removed)
+        return mini
 
     def _replay(self, executor, works: Sequence[LayerWork],
                 state: _WorksState) -> float:

@@ -40,8 +40,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.analyze.capacity import CapacityFinding, check_capacity
+from repro.analyze.deadlock import DeadlockVerdict, deadlock_verdict_for
+from repro.analyze.elide import ElisionResult, certified_minimize
 from repro.analyze.hazards import ProgramVerdict, verdict_for
 from repro.analyze.program import DispatchProgram
+from repro.errors import AnalyzeError
 from repro.interop.planner import StreamPlan, build_plan
 from repro.runtime.graph import KernelGraph
 
@@ -110,22 +114,39 @@ class Certification:
     plan: StreamPlan                   # the certified plan (always ok)
     program: DispatchProgram           # its certified lowering
     verdicts: list[ProgramVerdict] = field(default_factory=list)
+    deadlocks: list[DeadlockVerdict] = field(default_factory=list)
+    elision: Optional[ElisionResult] = None
+    capacity: list[CapacityFinding] = field(default_factory=list)
 
     @property
     def fell_back(self) -> bool:
         return bool(self.plan.fallback_from)
 
+    @property
+    def minimized(self) -> DispatchProgram:
+        """The elided lowering (the original when elision is off/failed)."""
+        return self.elision.minimized if self.elision else self.program
+
+    @property
+    def waits_removed(self) -> int:
+        return self.elision.waits_removed if self.elision else 0
+
     def to_dict(self) -> dict:
         return {
             "plan": self.plan.to_dict(),
             "attempts": [v.to_dict() for v in self.verdicts],
+            "deadlocks": [v.to_dict() for v in self.deadlocks],
+            "elision": self.elision.to_dict() if self.elision else None,
+            "capacity": [f.to_dict() for f in self.capacity],
         }
 
 
 def certify(graph: KernelGraph, plan: StreamPlan,
             effects: Optional[Effects] = None,
             drop_waits: bool = False,
-            device=None) -> Certification:
+            device=None,
+            minimize: bool = True,
+            estimates=None) -> Certification:
     """Certify ``plan``, falling back down the ladder on rejection.
 
     The ladder is requested policy → chain-affine → layer-serial; the
@@ -134,9 +155,20 @@ def certify(graph: KernelGraph, plan: StreamPlan,
     chain-affine lowering.  ``device`` is only needed if the requested
     policy is ``opara`` and the plan must be rebuilt (it never is — the
     plan is passed in — but fallback plans are built here).
+
+    Each candidate must pass **both** PR-5 race detection and the
+    strict-semantics deadlock check (:mod:`repro.analyze.deadlock`)
+    before it certifies.  The winning lowering then runs through
+    certified sync-elision (``minimize``, on by default) — the
+    transitive-reduction pass whose certificate guarantees an identical
+    launch closure — and, when per-kernel ``estimates``
+    (:func:`repro.interop.resources.estimate_graph`) are supplied,
+    through the static over-subscription check, whose warnings land in
+    ``Certification.capacity`` without blocking the plan.
     """
     effects = effects or structural_effects(graph)
     verdicts: list[ProgramVerdict] = []
+    deadlocks: list[DeadlockVerdict] = []
     candidates: list[tuple[StreamPlan, bool]] = [(plan, drop_waits)]
     for policy in ("chain-affine", "layer-serial"):
         if policy != plan.policy:
@@ -149,15 +181,28 @@ def certify(graph: KernelGraph, plan: StreamPlan,
         prog = plan_program(graph, cand, effects, drop_waits=poisoned)
         verdict = verdict_for(prog, network=graph.name, plan=cand.policy)
         verdicts.append(verdict)
-        if verdict.ok:
+        dl = deadlock_verdict_for(prog, network=graph.name,
+                                  plan=cand.policy)
+        deadlocks.append(dl)
+        if verdict.ok and dl.ok:
             cand.certified = True
             cand.fallback_from = rejected_policy
             cand.hazards = rejected_hazards
+            elision: Optional[ElisionResult] = None
+            if minimize:
+                try:
+                    elision = certified_minimize(prog)
+                except AnalyzeError:
+                    elision = None   # optimization only, never a gate
+            fills = ({nid: e.fill for nid, e in estimates.items()}
+                     if estimates else None)
+            capacity = check_capacity(prog, fills=fills, device=device)
             return Certification(plan=cand, program=prog,
-                                 verdicts=verdicts)
+                                 verdicts=verdicts, deadlocks=deadlocks,
+                                 elision=elision, capacity=capacity)
         if not rejected_policy:
             rejected_policy = cand.policy
-            rejected_hazards = len(verdict.hazards)
+            rejected_hazards = len(verdict.hazards) + len(dl.findings)
     # Unreachable in practice: layer-serial is a total order.
     raise AssertionError(
         f"graph {graph.name!r}: even the layer-serial plan failed "

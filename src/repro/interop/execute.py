@@ -117,6 +117,129 @@ def run_plan(gpu: GPU, graph: KernelGraph, plan: StreamPlan,
     )
 
 
+def run_program(gpu: GPU, graph: KernelGraph, plan: StreamPlan,
+                program, streams: Sequence[Stream]) -> PlanRun:
+    """Eagerly dispatch an explicit :class:`DispatchProgram` lowering.
+
+    This is how a *minimized* plan executes: where :func:`run_plan`
+    re-derives the event structure from the graph's dependency edges,
+    this path replays exactly the ops the program contains — elided
+    waits and orphaned records simply never reach the engine.  Launch
+    ops resolve their kernel spec through the ``chain`` id they were
+    lowered with; program stream ``s`` (>= 1) maps to ``streams[s-1]``.
+    """
+    from repro.analyze.program import (Launch, RecordEvent, SyncAll,
+                                       WaitEvent)
+    _require_certified(plan)
+    events: dict[int, Event] = {}
+    records = waits = launches = 0
+    synced = False
+    start = gpu.host_time
+    overhead_start = gpu.launch_overhead_total
+    with span("interop.dispatch_min", cat="interop", policy=plan.policy,
+              ops=len(program)) as h:
+        for op in program:
+            synced = False
+            if isinstance(op, Launch):
+                gpu.launch(graph._nodes[op.chain].spec,
+                           stream=streams[op.stream - 1])
+                launches += 1
+            elif isinstance(op, RecordEvent):
+                ev = events.setdefault(
+                    op.event,
+                    Event(f"{graph.name}/{plan.policy}/min/e{op.event}"))
+                gpu.record_event(ev, stream=streams[op.stream - 1])
+                records += 1
+            elif isinstance(op, WaitEvent):
+                gpu.wait_event(events[op.event],
+                               stream=streams[op.stream - 1])
+                waits += 1
+            elif isinstance(op, SyncAll):
+                gpu.synchronize()
+                synced = True
+        if not synced:
+            gpu.synchronize()
+        elapsed = gpu.host_time - start
+        h.set(elapsed_us=elapsed)
+    counter_inc("interop.minimized_runs")
+    return PlanRun(
+        policy=plan.policy, mode="eager-min", elapsed_us=elapsed,
+        launches=launches, records=records, waits=waits,
+        launch_overhead_us=gpu.launch_overhead_total - overhead_start,
+    )
+
+
+def compile_program(graph: KernelGraph, plan: StreamPlan, program,
+                    device: str = "", network: str = "",
+                    effects: Optional[Effects] = None) -> CompiledGraph:
+    """Lower an explicit program (e.g. a minimized one) to a PR-7 graph.
+
+    Mirrors :func:`compile_plan` but takes the op sequence as given
+    instead of re-deriving events from the dependency edges, so the
+    compiled artifact of a minimized plan is exactly the minimized
+    program — admission re-signs what will actually replay.
+    """
+    from repro.analyze.program import (Launch, RecordEvent, SyncAll,
+                                       WaitEvent)
+    _require_certified(plan)
+    effects = effects or structural_effects(graph)
+    nodes: list[GraphNode] = []
+    for op in program:
+        if isinstance(op, Launch):
+            spec = graph._nodes[op.chain].spec
+            reads, writes = effects[op.chain]
+            nodes.append(GraphNode(
+                kind="launch", stream=op.stream,
+                kernel=spec.name or f"n{op.chain}",
+                grid=tuple(spec.launch.grid),
+                block=tuple(spec.launch.block),
+                shared_mem_static=spec.launch.shared_mem_static,
+                shared_mem_dynamic=spec.launch.shared_mem_dynamic,
+                registers_per_thread=spec.launch.registers_per_thread,
+                flops_per_thread=spec.flops_per_thread,
+                bytes_per_thread=spec.bytes_per_thread,
+                tag=spec.tag, duration_us=spec.duration_us,
+                reads=tuple(sorted(reads)), writes=tuple(sorted(writes)),
+                layer=graph.name, chain=op.chain,
+            ))
+        elif isinstance(op, RecordEvent):
+            nodes.append(GraphNode(kind="record", stream=op.stream,
+                                   event=op.event))
+        elif isinstance(op, WaitEvent):
+            nodes.append(GraphNode(kind="wait", stream=op.stream,
+                                   event=op.event))
+        elif isinstance(op, SyncAll):
+            nodes.append(GraphNode(kind="barrier"))
+    return CompiledGraph(
+        name=f"interop.{graph.name}.{plan.policy}.min",
+        network=network or graph.name, device=device,
+        pool_size=plan.num_streams, nodes=nodes,
+    )
+
+
+def replay_program(gpu: GPU, graph: KernelGraph, plan: StreamPlan,
+                   program, effects: Optional[Effects] = None) -> PlanRun:
+    """Replay an explicit (minimized) program as a single graph launch."""
+    _require_certified(plan)
+    compiled = compile_program(graph, plan, program, effects=effects,
+                               device=gpu.props.name)
+    admit(compiled)
+    exec_ = instantiate(compiled, gpu)
+    overhead_start = gpu.launch_overhead_total
+    with span("interop.replay_min", cat="interop", policy=plan.policy,
+              launches=exec_.graph.launches) as h:
+        elapsed = exec_.run()
+        h.set(elapsed_us=elapsed)
+    counter_inc("interop.minimized_replays")
+    records = sum(1 for n in exec_.graph.nodes if n.kind == "record")
+    waits = sum(1 for n in exec_.graph.nodes if n.kind == "wait")
+    return PlanRun(
+        policy=plan.policy, mode="graph-min", elapsed_us=elapsed,
+        launches=exec_.graph.launches, records=records, waits=waits,
+        launch_overhead_us=gpu.launch_overhead_total - overhead_start,
+    )
+
+
 def compile_plan(graph: KernelGraph, plan: StreamPlan,
                  effects: Optional[Effects] = None,
                  device: str = "", network: str = "") -> CompiledGraph:

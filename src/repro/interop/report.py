@@ -34,7 +34,8 @@ from typing import Optional
 from repro.errors import ReproError
 from repro.gpusim.engine import GPU
 from repro.interop.certify import certify, structural_effects
-from repro.interop.execute import PlanRun, replay_plan, run_plan
+from repro.interop.execute import (PlanRun, replay_plan, replay_program,
+                                   run_plan, run_program)
 from repro.interop.planner import PLAN_POLICIES, StreamPlan, build_plan
 from repro.interop.resources import estimate_graph, suggest_pool_size
 from repro.interop.workloads import INCEPTION_UNITS, Workload, inception_unit
@@ -54,6 +55,11 @@ class PolicyOutcome:
     attempts: list[dict] = field(default_factory=list)
     eager: Optional[PlanRun] = None
     graph: Optional[PlanRun] = None
+    waits_removed: int = 0
+    records_removed: int = 0
+    capacity: list[dict] = field(default_factory=list)
+    eager_min: Optional[PlanRun] = None
+    graph_min: Optional[PlanRun] = None
 
     @property
     def fell_back(self) -> bool:
@@ -66,6 +72,13 @@ class PolicyOutcome:
         d["attempts"] = self.attempts
         d["eager"] = self.eager.to_dict() if self.eager else None
         d["graph_launch"] = self.graph.to_dict() if self.graph else None
+        d["waits_removed"] = self.waits_removed
+        d["records_removed"] = self.records_removed
+        d["capacity"] = self.capacity
+        d["eager_minimized"] = (self.eager_min.to_dict()
+                                if self.eager_min else None)
+        d["graph_minimized"] = (self.graph_min.to_dict()
+                                if self.graph_min else None)
         return d
 
 
@@ -134,6 +147,16 @@ class InteropReport:
                 else:
                     row += f" {'-':>7s}"
             lines.append(row)
+            if e.waits_removed:
+                note = (f"    elision: {e.waits_removed} wait(s) + "
+                        f"{e.records_removed} record(s) removed")
+                if e.eager_min and e.eager:
+                    note += (f"; minimized eager "
+                             f"{e.eager_min.elapsed_us:.1f}µs "
+                             f"(vs {e.eager.elapsed_us:.1f}µs)")
+                lines.append(note)
+            for c in e.capacity:
+                lines.append(f"    capacity: {c.get('message', '')}")
         lines.append(f"  verdict: {'OK' if self.ok else 'NOT OK'}")
         return "\n".join(lines)
 
@@ -218,11 +241,16 @@ def run_interop_session(action: str = "report",
         requested = build_plan(graph, p, num_streams, device=props,
                                estimates=estimates)
         cert = certify(graph, requested, effects=effects,
-                       drop_waits=inject_hazard, device=props)
+                       drop_waits=inject_hazard, device=props,
+                       estimates=estimates)
         outcome = PolicyOutcome(
             requested=p, plan=cert.plan,
             cross_edges=requested.cross_edges(graph),
             attempts=[v.to_dict() for v in cert.verdicts],
+            waits_removed=cert.waits_removed,
+            records_removed=(cert.elision.records_removed
+                             if cert.elision else 0),
+            capacity=[f.to_dict() for f in cert.capacity],
         )
         if action in ("run", "report"):
             gpu = GPU(props)
@@ -231,5 +259,15 @@ def run_interop_session(action: str = "report",
             outcome.eager = run_plan(gpu, graph, cert.plan, pool)
             outcome.graph = replay_plan(GPU(props), graph, cert.plan,
                                         effects=effects)
+            if cert.elision and cert.waits_removed:
+                gpu_min = GPU(props)
+                pool_min = [
+                    gpu_min.create_stream(name=f"interop.{p}.min.s{i}")
+                    for i in range(num_streams)]
+                outcome.eager_min = run_program(
+                    gpu_min, graph, cert.plan, cert.minimized, pool_min)
+                outcome.graph_min = replay_program(
+                    GPU(props), graph, cert.plan, cert.minimized,
+                    effects=effects)
         report.entries.append(outcome)
     return report

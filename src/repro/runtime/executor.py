@@ -62,19 +62,21 @@ class Executor:
         return total
 
     def enable_graph_mode(self, net=None, network: str = "",
-                          effects_fn=None, graphs=None):
+                          effects_fn=None, graphs=None,
+                          minimize: bool = False):
         """Switch ``run_pass`` to graph-launch dispatch; returns the runtime.
 
         ``net`` supplies the capture memory-effect model (blob-wiring
         derived; synthetic chain-structural effects when omitted);
-        ``graphs`` seeds pre-captured graphs from a cache.  See
+        ``graphs`` seeds pre-captured graphs from a cache; ``minimize``
+        runs admitted graphs through certified sync-elision.  See
         :class:`repro.graphs.runtime.GraphModeRuntime`.
         """
         from repro.graphs.runtime import GraphModeRuntime
 
         self.graph_runtime = GraphModeRuntime(
             net=net, network=network, effects_fn=effects_fn,
-            graphs=graphs)
+            graphs=graphs, minimize=minimize)
         return self.graph_runtime
 
     @property

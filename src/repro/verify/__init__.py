@@ -17,7 +17,12 @@ identically* to serial execution — is enforced here three ways:
   exactly-once and determinism contract (see :mod:`repro.fleet`);
 * :mod:`repro.verify.graph_replay` — graph-launch replay
   (:mod:`repro.graphs`) against eager dispatch, bit-identical
-  fingerprints across seeds with a replays-actually-happened guard.
+  fingerprints across seeds with a replays-actually-happened guard;
+* :mod:`repro.verify.elision_equiv` — certified sync-elision
+  (:mod:`repro.analyze.elide`) against both dynamic paths: minimized
+  graph-mode training must match eager bit-for-bit, and minimized
+  interop plans must execute every originally-ordered kernel pair in
+  order on the simulated device.
 
 Entry point: ``python -m repro verify`` (see :mod:`repro.cli`), or
 :func:`run_differential` / :func:`fuzz_schedules` / :func:`fuzz_faults`
@@ -28,6 +33,12 @@ from repro.verify.differential import (
     DifferentialReport,
     EXECUTOR_PATHS,
     run_differential,
+)
+from repro.verify.elision_equiv import (
+    ElisionEquivReport,
+    ElisionPlanOutcome,
+    ElisionSeedOutcome,
+    verify_elision,
 )
 from repro.verify.fault_fuzz import FaultFuzzReport, fuzz_faults
 from repro.verify.fleet_chaos import (
@@ -61,6 +72,9 @@ __all__ = [
     "DifferentialReport",
     "Divergence",
     "EXECUTOR_PATHS",
+    "ElisionEquivReport",
+    "ElisionPlanOutcome",
+    "ElisionSeedOutcome",
     "FaultFuzzReport",
     "FleetChaosReport",
     "GraphReplayReport",
@@ -82,5 +96,6 @@ __all__ = [
     "replay_witness",
     "run_differential",
     "shrink_plan",
+    "verify_elision",
     "verify_graph_replay",
 ]

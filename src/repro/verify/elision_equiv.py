@@ -1,0 +1,325 @@
+"""Differential check: certified sync-elision replays bit-identically.
+
+The static certificate (:mod:`repro.analyze.elide`) promises that a
+minimized program preserves the launch closure — every kernel-ordering
+guarantee of the original.  This harness holds that promise to the
+dynamic machinery on both producer paths:
+
+* **Graph-mode training** — a session whose runtime minimizes captured
+  graphs before admission (``enable_graph_mode(minimize=True)``) must
+  produce exactly the bytes the eager session produces, tensor by
+  tensor across seeds and iterations (the PR-7 differential with the
+  elider switched on);
+* **Interop plans** — for every inception-unit plan the certifier
+  minimizes, both the original and the minimized lowerings replay as
+  single graph launches on fresh devices, and every launch pair the
+  original closure orders must *actually* execute in order in the
+  minimized run (``end_time(i) <= start_time(j)`` on the simulated
+  device), not merely be provably ordered on paper.
+
+The interop half is anti-vacuous: the report fails if no plan removed
+any wait, because then the elider was never exercised and "nothing
+diverged" is meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.gpusim.engine import GPU
+from repro.gpusim.stream import reset_handle_ids
+from repro.obs.metrics import counter_inc
+from repro.obs.spans import span
+from repro.runtime.session import TrainingSession
+from repro.serve.engine import make_executor, resolve_device, resolve_net
+from repro.verify.differential import make_batches
+from repro.verify.fingerprint import (
+    NetFingerprint,
+    fingerprint_net,
+    first_divergence,
+)
+
+#: Iterations per seed: warmup + capture + at least two minimized replays.
+DEFAULT_ITERATIONS = 4
+
+#: Interop plan policies whose lowerings carry elidable event waits.
+DEFAULT_POLICIES = ("opara", "round-robin")
+
+
+@dataclass
+class ElisionSeedOutcome:
+    """Eager vs minimized-graph-mode verdict for one training seed."""
+
+    seed: int
+    iterations: int = 0
+    replays: int = 0
+    waits_elided: int = 0
+    records_elided: int = 0
+    divergence: Optional[str] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.divergence is None and not self.error
+                and self.replays >= 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed, "iterations": self.iterations,
+            "replays": self.replays,
+            "waits_elided": self.waits_elided,
+            "records_elided": self.records_elided,
+            "ok": self.ok, "divergence": self.divergence,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ElisionPlanOutcome:
+    """Original vs minimized replay of one certified interop plan."""
+
+    unit: str
+    policy: str
+    waits_removed: int = 0
+    records_removed: int = 0
+    certificate: bool = True     # static launch-closure equality
+    pairs_checked: int = 0       # hb-ordered launch pairs re-verified
+    violations: int = 0          # pairs that executed out of order
+    launches: int = 0
+    graph_us: float = 0.0
+    graph_min_us: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.certificate and self.violations == 0
+                and not self.error)
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit, "policy": self.policy,
+            "waits_removed": self.waits_removed,
+            "records_removed": self.records_removed,
+            "certificate": self.certificate,
+            "pairs_checked": self.pairs_checked,
+            "violations": self.violations,
+            "launches": self.launches,
+            "graph_us": round(self.graph_us, 3),
+            "graph_min_us": round(self.graph_min_us, 3),
+            "ok": self.ok, "error": self.error,
+        }
+
+
+@dataclass
+class ElisionEquivReport:
+    """Elision-equivalence verdict across seeds and interop plans."""
+
+    network: str
+    device: str
+    batch: int
+    iterations: int
+    units: tuple = ()
+    seeds: list[ElisionSeedOutcome] = field(default_factory=list)
+    plans: list[ElisionPlanOutcome] = field(default_factory=list)
+
+    @property
+    def exercised(self) -> bool:
+        """At least one interop plan actually lost a wait."""
+        return any(p.waits_removed for p in self.plans)
+
+    @property
+    def ok(self) -> bool:
+        return (bool(self.seeds) and all(o.ok for o in self.seeds)
+                and bool(self.plans) and all(p.ok for p in self.plans)
+                and self.exercised)
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network, "device": self.device,
+            "batch": self.batch, "iterations": self.iterations,
+            "units": list(self.units),
+            "ok": self.ok, "exercised": self.exercised,
+            "seeds": [o.to_dict() for o in self.seeds],
+            "plans": [p.to_dict() for p in self.plans],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"elision-equiv: {self.network} on {self.device} "
+            f"(batch {self.batch}, {self.iterations} iteration(s), "
+            f"units {', '.join(self.units)})"
+        ]
+        for o in self.seeds:
+            status = "OK" if o.ok else "FAIL"
+            detail = ""
+            if o.divergence:
+                detail = f"  {o.divergence}"
+            elif o.error:
+                detail = f"  error: {o.error}"
+            elif o.replays < 1:
+                detail = "  minimized graph never replayed (stuck eager)"
+            lines.append(
+                f"  seed {o.seed}: {status}  {o.replays} replay(s), "
+                f"{o.waits_elided} wait(s) + {o.records_elided} "
+                f"record(s) elided{detail}")
+        for p in self.plans:
+            status = "OK" if p.ok else "FAIL"
+            detail = f"  error: {p.error}" if p.error else ""
+            if not p.certificate:
+                detail = "  closure certificate BROKEN"
+            elif p.violations:
+                detail = (f"  {p.violations} ordered pair(s) executed "
+                          f"out of order")
+            timing = ""
+            if p.graph_us:
+                timing = (f", graph {p.graph_us:.1f}us vs minimized "
+                          f"{p.graph_min_us:.1f}us")
+            lines.append(
+                f"  {p.unit}/{p.policy}: {status}  "
+                f"{p.waits_removed} wait(s) removed, "
+                f"{p.pairs_checked} pair(s) re-verified{timing}{detail}")
+        if self.plans and not self.exercised:
+            lines.append("  FAIL: no plan removed any wait — the elider "
+                         "was never exercised (vacuous pass)")
+        return "\n".join(lines)
+
+
+def verify_elision(network: str = "cifar10",
+                   device: str = "p100",
+                   seeds: Sequence[int] = (0, 1),
+                   iterations: int = DEFAULT_ITERATIONS,
+                   batch: int = 8,
+                   units: Sequence[str] = ("5b",),
+                   policies: Sequence[str] = DEFAULT_POLICIES,
+                   interop_batch: int = 2) -> ElisionEquivReport:
+    """Run both halves of the elision differential."""
+    if iterations < DEFAULT_ITERATIONS:
+        raise ReproError(
+            f"elision verification needs >= {DEFAULT_ITERATIONS} "
+            f"iterations (warmup + capture + replays), got {iterations}")
+    builder = resolve_net(network)
+    props = resolve_device(device)
+    report = ElisionEquivReport(network=network, device=props.name,
+                                batch=batch, iterations=iterations,
+                                units=tuple(units))
+    for seed in seeds:
+        outcome = ElisionSeedOutcome(seed=seed)
+        with span("verify.elision.seed", cat="verify", seed=seed,
+                  network=network):
+            batches = make_batches(builder(batch=batch, seed=seed),
+                                   iterations, seed)
+            try:
+                eager_fps = _run_side(builder, props, batch, seed,
+                                      batches, minimize=False)[0]
+                min_fps, runtime = _run_side(builder, props, batch, seed,
+                                             batches, minimize=True)
+                outcome.iterations = len(batches)
+                outcome.replays = runtime.stats.replays
+                outcome.waits_elided = runtime.stats.waits_elided
+                outcome.records_elided = runtime.stats.records_elided
+                for i, (exp, act) in enumerate(zip(eager_fps, min_fps)):
+                    d = first_divergence(exp, act)
+                    if d is not None:
+                        outcome.divergence = f"iteration {i}: {d}"
+                        counter_inc("verify.divergences")
+                        break
+            except ReproError as e:
+                outcome.error = f"{type(e).__name__}: {e}"
+        report.seeds.append(outcome)
+
+    for unit in units:
+        for policy in policies:
+            with span("verify.elision.plan", cat="verify", unit=unit,
+                      policy=policy):
+                report.plans.append(
+                    _check_plan(unit, policy, interop_batch, props))
+    return report
+
+
+def _run_side(builder, props, batch: int, seed: int, batches,
+              minimize: bool):
+    """One graph-mode session; returns fingerprints (+ runtime)."""
+    reset_handle_ids()
+    net = builder(batch=batch, seed=seed)
+    ex = make_executor("glp4nn", GPU(props))
+    runtime = None
+    if minimize:
+        runtime = ex.enable_graph_mode(
+            net=net, network=getattr(net, "name", ""), minimize=True)
+    session = TrainingSession(net, ex)
+    fps: list[NetFingerprint] = []
+    for b in batches:
+        session.run_iteration(b)
+        fps.append(fingerprint_net(net))
+    return fps, runtime
+
+
+def _check_plan(unit: str, policy: str, batch: int,
+                props) -> ElisionPlanOutcome:
+    """Replay one plan original-vs-minimized and re-check every edge."""
+    from repro.analyze.elide import launch_closure
+    from repro.interop.certify import certify, structural_effects
+    from repro.interop.planner import build_plan
+    from repro.interop.resources import estimate_graph, suggest_pool_size
+    from repro.interop.workloads import inception_unit
+
+    outcome = ElisionPlanOutcome(unit=unit, policy=policy)
+    try:
+        workload = inception_unit(unit, batch)
+        graph = workload.graph
+        estimates = estimate_graph(graph, props)
+        effects = structural_effects(graph, in_place=workload.in_place)
+        streams = suggest_pool_size(graph, props)
+        plan = build_plan(graph, policy, streams, device=props,
+                          estimates=estimates)
+        cert = certify(graph, plan, effects=effects, device=props,
+                       estimates=estimates)
+        outcome.policy = cert.plan.policy
+        outcome.waits_removed = cert.waits_removed
+        outcome.records_removed = (cert.elision.records_removed
+                                   if cert.elision else 0)
+        outcome.certificate = (cert.elision.equivalent
+                               if cert.elision else True)
+        if not cert.waits_removed:
+            return outcome    # nothing elided; nothing to replay-check
+
+        _, closure = launch_closure(cert.program.ops)
+        korig, outcome.graph_us = _replay(
+            graph, cert.plan, cert.program, effects, props)
+        kmin, outcome.graph_min_us = _replay(
+            graph, cert.plan, cert.minimized, effects, props)
+        outcome.launches = len(kmin)
+        if len(korig) != len(kmin):
+            outcome.error = (f"launch count changed: {len(korig)} -> "
+                             f"{len(kmin)}")
+            return outcome
+        # Every hb-ordered pair of the ORIGINAL closure must execute in
+        # order on the minimized replay's simulated timeline.
+        for j, preds in enumerate(closure):
+            for i in preds:
+                outcome.pairs_checked += 1
+                if kmin[i].end_time > kmin[j].start_time + 1e-9:
+                    outcome.violations += 1
+                    counter_inc("verify.elision.order_violations")
+    except ReproError as e:
+        outcome.error = f"{type(e).__name__}: {e}"
+    return outcome
+
+
+def _replay(graph, plan, program, effects, props):
+    """Replay ``program`` as one graph launch; returns (kernels, µs)."""
+    from repro.graphs.admission import admit
+    from repro.graphs.replay import instantiate
+    from repro.interop.execute import compile_program
+
+    gpu = GPU(props)
+    compiled = compile_program(graph, plan, program, effects=effects,
+                               device=props.name)
+    admit(compiled)
+    exec_ = instantiate(compiled, gpu)
+    start = gpu.host_time
+    result = exec_.launch()
+    gpu.synchronize()
+    return result.kernels, gpu.host_time - start

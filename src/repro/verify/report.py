@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.verify.differential import DifferentialReport
+from repro.verify.elision_equiv import ElisionEquivReport
 from repro.verify.fault_fuzz import FaultFuzzReport
 from repro.verify.graph_replay import GraphReplayReport
 from repro.verify.schedule import ScheduleFuzzReport
@@ -31,12 +32,13 @@ class VerifyReport:
     schedule: Optional[ScheduleFuzzReport] = None
     faults: Optional[FaultFuzzReport] = None
     graph: Optional[GraphReplayReport] = None
+    elision: Optional[ElisionEquivReport] = None
 
     @property
     def ok(self) -> bool:
         return all(part.ok for part in
                    (self.differential, self.schedule, self.faults,
-                    self.graph)
+                    self.graph, self.elision)
                    if part is not None)
 
     def to_dict(self) -> dict:
@@ -53,6 +55,8 @@ class VerifyReport:
                        else self.faults.to_dict()),
             "graph": (None if self.graph is None
                       else self.graph.to_dict()),
+            "elision": (None if self.elision is None
+                        else self.elision.to_dict()),
         }
 
     def to_json(self) -> str:
@@ -66,7 +70,7 @@ class VerifyReport:
     def render(self) -> str:
         parts = []
         for part in (self.differential, self.schedule, self.faults,
-                     self.graph):
+                     self.graph, self.elision):
             if part is not None:
                 parts.append(part.render())
         verdict = "PASS" if self.ok else "FAIL"

@@ -1,0 +1,95 @@
+"""Over-subscription check: stream-pool and fill-sum rules.
+
+Both rules are warnings, computed from the same happens-before relation
+the other passes use; concurrency is approximated by hb depth levels so
+every finding is a sound witness (members of one level are pairwise
+unordered by construction).
+"""
+
+from repro.analyze.capacity import (CAPACITY_RULES,
+                                    OVERSUBSCRIPTION_FACTOR,
+                                    check_capacity, concurrency_levels)
+from repro.analyze.program import DispatchProgram
+
+
+def _fan_out(width: int, chains=None) -> DispatchProgram:
+    prog = DispatchProgram(f"fan-{width}")
+    for s in range(1, width + 1):
+        prog.launch(f"k{s}", stream=s, writes={f"x{s}"},
+                    chain=s - 1 if chains is None else chains[s - 1])
+    prog.sync()
+    return prog
+
+
+def test_clean_program_has_no_findings():
+    prog = _fan_out(2)
+    assert check_capacity(prog, pool_limit=4) == []
+    fills = {0: 0.5, 1: 0.5}
+    assert check_capacity(prog, fills=fills, pool_limit=4) == []
+
+
+def test_stream_pool_rule_fires_on_oversized_pool():
+    prog = _fan_out(6)
+    findings = check_capacity(prog, pool_limit=4)
+    assert [f.rule for f in findings] == ["capacity/stream-pool"]
+    f = findings[0]
+    assert f.streams == 6 and f.limit == 4.0
+    assert f.kernel_count == 6 and len(f.kernels) == 6
+    assert "shrink the pool" in f.message
+
+
+def test_pool_limit_defaults_to_device_queues():
+    from repro.serve.engine import resolve_device
+    props = resolve_device("p100")
+    prog = _fan_out(props.max_concurrent_kernels + 1)
+    findings = check_capacity(prog, device=props)
+    assert any(f.rule == "capacity/stream-pool" for f in findings)
+    small = _fan_out(min(2, props.max_concurrent_kernels))
+    assert check_capacity(small, device=props) == []
+
+
+def test_over_subscription_fires_above_the_factor():
+    prog = _fan_out(3)
+    fills = {0: 0.8, 1: 0.8, 2: 0.8}       # 2.4 > 1.5
+    findings = check_capacity(prog, fills=fills, pool_limit=8)
+    assert [f.rule for f in findings] == ["capacity/over-subscription"]
+    f = findings[0]
+    assert f.level == 0 and f.streams == 3
+    assert abs(f.total_fill - 2.4) < 1e-9
+    assert f.limit == OVERSUBSCRIPTION_FACTOR
+    # witnesses sorted by descending fill, capped
+    assert set(f.kernels) == {"k1", "k2", "k3"}
+
+
+def test_serialized_launches_do_not_oversubscribe():
+    """The same fills on one stream sit at different hb depths."""
+    prog = DispatchProgram("serial")
+    for i in range(3):
+        prog.launch(f"k{i}", stream=1, writes={f"x{i}"}, chain=i)
+    prog.sync()
+    fills = {0: 0.8, 1: 0.8, 2: 0.8}
+    assert check_capacity(prog, fills=fills, pool_limit=8) == []
+    levels = concurrency_levels(prog)
+    assert [len(lv) for lv in levels] == [1, 1, 1]
+
+
+def test_concurrency_levels_group_unordered_launches():
+    prog = _fan_out(4)
+    levels = concurrency_levels(prog)
+    assert len(levels) == 1 and len(levels[0]) == 4
+
+
+def test_suppression_by_rule_id():
+    prog = _fan_out(6)
+    prog.allow("capacity/stream-pool")
+    assert check_capacity(prog, pool_limit=4) == []
+    prog2 = _fan_out(3)
+    prog2.allow("capacity/over-subscription")
+    fills = {0: 0.8, 1: 0.8, 2: 0.8}
+    assert check_capacity(prog2, fills=fills, pool_limit=8) == []
+
+
+def test_rule_tuple_is_stable():
+    assert CAPACITY_RULES == ("capacity/over-subscription",
+                              "capacity/stream-pool")
+    assert OVERSUBSCRIPTION_FACTOR == 1.5

@@ -45,7 +45,12 @@ class TestAnalyzeSubcommand:
         assert main(["analyze", "zzzzz"]) == 2
         err = capsys.readouterr().err
         assert "did you mean" not in err
-        assert "available: hazards, lint, all" in err
+        assert "available: hazards, deadlock, minimize, lint, all" in err
+
+    def test_did_you_mean_new_kinds(self, capsys):
+        assert main(["analyze", "deadlok"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "deadlock" in err
 
     def test_format_json(self, capsys, tmp_path):
         (tmp_path / "ok.py").write_text("x = 1\n")
@@ -80,6 +85,104 @@ class TestAnalyzeSubcommand:
         run = log["runs"][0]
         assert run["tool"]["driver"]["name"] == "repro-analyze-hazards"
         assert run["results"] == []     # clean certification
+
+
+class TestDeadlockAndMinimizeSubcommands:
+    def test_deadlock_certifies_zoo_producers(self, capsys):
+        assert main(["analyze", "deadlock", "--network", "lenet",
+                     "--no-interop"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze deadlock: PASS" in out
+        assert "0 finding(s)" in out
+
+    def test_minimize_certifies_zoo_producers(self, capsys):
+        assert main(["analyze", "minimize", "--network", "lenet",
+                     "--no-interop"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze minimize: PASS" in out
+
+    def test_deadlock_json_carries_counts(self, capsys):
+        assert main(["analyze", "deadlock", "--network", "lenet",
+                     "--no-interop", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "analyze-report" and doc["ok"]
+        assert doc["counts"]["deadlock_findings"] == 0
+        assert doc["deadlock"]["kind"] == "deadlock-report"
+
+    def test_minimize_interop_removes_waits(self, capsys):
+        """The interop lowerings are where redundant waits fall out."""
+        assert main(["analyze", "minimize", "--network", "lenet"]) == 0
+        doc_out = capsys.readouterr().out
+        assert "analyze minimize: PASS" in doc_out
+        assert "certified" in doc_out
+
+
+class TestBaselineGate:
+    def test_update_writes_baseline_file(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "b.json"
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        err = capsys.readouterr().err
+        assert "baseline ->" in err
+        doc = json.loads(baseline.read_text())
+        assert doc["kind"] == "analyze-baseline"
+        assert doc["counts"]["lint_violations"] == 0
+
+    def test_gate_passes_against_matching_baseline(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "b.json"
+        main(["analyze", "lint", "--paths", str(tmp_path),
+              "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        assert "baseline gate OK" in capsys.readouterr().err
+
+    def test_gate_fails_on_new_findings(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "b.json"
+        main(["analyze", "lint", "--paths", str(tmp_path),
+              "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        (tmp_path / "bad.py").write_text("import random\nrandom.random()\n")
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline)]) == 1
+        err = capsys.readouterr().err
+        assert "baseline gate FAILED" in err
+        assert "lint_violations" in err
+
+    def test_gate_waives_recorded_findings(self, capsys, tmp_path):
+        """A committed baseline acknowledges known findings: exit 0."""
+        (tmp_path / "bad.py").write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "b.json"
+        # recording the dirty state exits 1 (the report is not ok)...
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 1
+        capsys.readouterr()
+        # ...but gating against it afterwards waives the recorded finding
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        assert "baseline gate OK" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_a_usage_error(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "b.json"
+        baseline.write_text("{\"kind\": \"something-else\"}")
+        assert main(["analyze", "lint", "--paths", str(tmp_path),
+                     "--baseline", str(baseline)]) == 2
+        assert "analyze failed" in capsys.readouterr().err
+
+    def test_committed_baseline_matches_current_tree(self):
+        """The repo's own baseline file must stay truthful: all zeros."""
+        import pathlib
+        committed = (pathlib.Path(__file__).parent.parent
+                     / "results" / "analyze_baseline.json")
+        doc = json.loads(committed.read_text())
+        assert doc["kind"] == "analyze-baseline"
+        assert all(v == 0 for v in doc["counts"].values())
 
 
 class TestMutateFlow:

@@ -1,0 +1,159 @@
+"""Deadlock detector edge cases: the five shapes the ISSUE pins down.
+
+Self-wait, the two-stream crossed record/wait cycle (minimal 4-op
+witness), wait-on-never-recorded, a cycle reaching admission through a
+graph-replayed segment, and the pool-of-1 degeneration — plus the
+suppression plumbing shared with the hazard detector.
+"""
+
+import pytest
+
+from repro.analyze.deadlock import (DEADLOCK_RULES, deadlock_verdict_for,
+                                    detect_deadlocks)
+from repro.analyze.program import DispatchProgram
+from repro.errors import GraphValidationError
+from repro.graphs.admission import admit, validate_deadlocks
+from repro.graphs.compiled import CompiledGraph, GraphNode
+
+
+def _clean() -> DispatchProgram:
+    prog = DispatchProgram("clean")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.wait(event=1, stream=2)
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    return prog
+
+
+def test_clean_program_is_certified():
+    assert detect_deadlocks(_clean()) == []
+    verdict = deadlock_verdict_for(_clean(), network="t", plan="rr")
+    assert verdict.ok and verdict.suppressed == 0 and verdict.waits == 1
+
+
+def test_self_wait_single_stream():
+    prog = DispatchProgram("self-wait")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.wait(event=5, stream=1)
+    prog.record(event=5, stream=1)
+    findings = detect_deadlocks(prog)
+    assert [f.rule for f in findings] == ["deadlock/self-wait"]
+    f = findings[0]
+    assert f.wait_index == 1 and f.event == 5 and f.stream == 1
+    # minimal witness: the wait and the record it can never reach past
+    kinds = [c.kind for c in f.cycle]
+    assert "wait" in kinds and "record" in kinds
+    assert {c.stream for c in f.cycle} == {1}
+    assert "cycle" in f.describe()
+
+
+def test_two_stream_crossed_pair_is_a_four_op_cycle():
+    prog = DispatchProgram("crossed")
+    prog.wait(event=1, stream=1)       # op 0: A waits on e1 (B records)
+    prog.record(event=2, stream=1)     # op 1: A records e2 after its wait
+    prog.wait(event=2, stream=2)       # op 2: B waits on e2
+    prog.record(event=1, stream=2)     # op 3: B records e1 after *its* wait
+    findings = detect_deadlocks(prog)
+    assert any(f.rule == "deadlock/cycle" for f in findings)
+    f = next(f for f in findings if f.rule == "deadlock/cycle")
+    assert len(f.cycle) == 4           # minimal witness: all four ops
+    assert {c.op_index for c in f.cycle} == {0, 1, 2, 3}
+    assert {c.stream for c in f.cycle} == {1, 2}
+
+
+def test_wait_on_never_recorded_event():
+    prog = DispatchProgram("orphan-wait")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.wait(event=99, stream=2)
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    findings = detect_deadlocks(prog)
+    assert [f.rule for f in findings] == ["deadlock/never-recorded"]
+    assert findings[0].cycle == ()     # nothing to cycle through
+    assert "never recorded" in findings[0].missing
+
+
+def test_record_after_wait_without_a_cycle():
+    prog = DispatchProgram("mis-ordered")
+    prog.wait(event=3, stream=1)       # forward binding, but acyclic:
+    prog.record(event=3, stream=2)     # the record's stream never waits
+    findings = detect_deadlocks(prog)
+    assert [f.rule for f in findings] == ["deadlock/record-after-wait"]
+    f = findings[0]
+    assert [c.kind for c in f.cycle] == ["wait", "record"]
+    assert "after the wait" in f.missing
+
+
+def test_cycle_reached_through_a_graph_replayed_segment():
+    """A captured graph whose program deadlocks must be refused replay."""
+    graph = CompiledGraph(name="bad-capture", network="t", device="p100",
+                          pool_size=2, batch=1, seed=0)
+    graph.nodes = [
+        GraphNode(kind="launch", stream=1, kernel="k1", writes=("x",),
+                  layer="conv1", chain=0),
+        GraphNode(kind="wait", stream=1, event=1),
+        GraphNode(kind="record", stream=1, event=2),
+        GraphNode(kind="wait", stream=2, event=2),
+        GraphNode(kind="record", stream=2, event=1),
+        GraphNode(kind="barrier"),
+    ]
+    verdict = validate_deadlocks(graph)
+    assert not verdict.ok
+    assert any(f.rule == "deadlock/cycle" for f in verdict.findings)
+    with pytest.raises(GraphValidationError, match="deadlock finding"):
+        admit(graph)
+
+
+def test_pool_of_one_degenerates_to_self_wait():
+    """Two events, one stream: the cycle never leaves the pool of 1."""
+    prog = DispatchProgram("pool-1")
+    prog.wait(event=1, stream=1)
+    prog.record(event=2, stream=1)
+    prog.wait(event=2, stream=1)
+    prog.record(event=1, stream=1)
+    findings = detect_deadlocks(prog)
+    cyclic = [f for f in findings if f.cycle]
+    assert cyclic and all(f.rule == "deadlock/self-wait" for f in cyclic)
+    assert all({c.stream for c in f.cycle} == {1} for f in cyclic)
+
+
+def test_suppression_by_rule_id():
+    prog = DispatchProgram("suppressed")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.wait(event=5, stream=1)
+    prog.record(event=5, stream=1)
+    prog.allow("deadlock/self-wait")
+    verdict = deadlock_verdict_for(prog, network="t", plan="rr")
+    assert verdict.ok and verdict.suppressed == 1
+    # raw detection is unaffected: suppression only counts, never hides
+    assert len(detect_deadlocks(prog)) == 1
+
+
+def test_suppression_from_allow_marker_text():
+    prog = DispatchProgram("marked")
+    prog.wait(event=9, stream=1)
+    prog.allow_from("lowered by hand  # repro: allow(deadlock/never-recorded)")
+    verdict = deadlock_verdict_for(prog)
+    assert verdict.ok and verdict.suppressed == 1
+
+
+def test_wildcard_suppression():
+    prog = DispatchProgram("wildcard")
+    prog.wait(event=9, stream=1)
+    prog.allow("*")
+    verdict = deadlock_verdict_for(prog)
+    assert verdict.ok and verdict.suppressed == 1
+
+
+def test_all_emitted_rules_are_registered():
+    emitted = set()
+    progs = []
+    p = DispatchProgram("a"); p.wait(event=1, stream=1); p.record(event=1, stream=1); progs.append(p)
+    p = DispatchProgram("b"); p.wait(event=1, stream=1); progs.append(p)
+    p = DispatchProgram("c"); p.wait(event=1, stream=1); p.record(event=1, stream=2); progs.append(p)
+    p = DispatchProgram("d")
+    p.wait(event=1, stream=1); p.record(event=2, stream=1)
+    p.wait(event=2, stream=2); p.record(event=1, stream=2); progs.append(p)
+    for prog in progs:
+        emitted |= {f.rule for f in detect_deadlocks(prog)}
+    assert emitted == set(DEADLOCK_RULES)

@@ -1,0 +1,114 @@
+"""Certified sync-elision: what the pass removes, keeps, and refuses.
+
+The certificate is the launch closure — per-stream launch sequences plus
+the happens-before relation projected onto launch ordinals.  A wait is
+removable iff deleting it leaves that closure bit-identical; these tests
+pin the removable shapes (duplicates, barrier-implied edges, orphaned
+records), the non-removable one (the only edge ordering two kernels),
+and the refusal on deadlocked input.
+"""
+
+import pytest
+
+from repro.analyze.elide import (certified_minimize, launch_closure,
+                                 minimize)
+from repro.analyze.program import (DispatchProgram, RecordEvent,
+                                   WaitEvent)
+from repro.errors import AnalyzeError
+
+
+def _producer_consumer() -> DispatchProgram:
+    """One live cross-stream edge: the wait is load-bearing."""
+    prog = DispatchProgram("pc")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.wait(event=1, stream=2)
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    return prog
+
+
+def test_necessary_wait_is_kept():
+    result = certified_minimize(_producer_consumer())
+    assert result.equivalent
+    assert result.waits_removed == 0 and result.records_removed == 0
+    assert result.waits_checked == 1
+    assert result.minimized.name == "pc+min"
+    assert len(result.minimized) == len(result.original)
+
+
+def test_duplicate_wait_is_removed():
+    prog = _producer_consumer()
+    # re-issue the same wait right before the consumer launch (op 3)
+    prog.ops.insert(3, WaitEvent(event=1, stream=2))
+    result = certified_minimize(prog)
+    assert result.waits_removed == 1 and result.records_removed == 0
+    assert result.removed[0].reason == "implied-by-happens-before"
+    assert sum(1 for op in result.minimized.ops
+               if isinstance(op, WaitEvent)) == 1
+
+
+def test_barrier_implied_wait_and_orphaned_record_are_removed():
+    prog = DispatchProgram("barrier-implied")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.sync()                        # the barrier already orders a < b
+    prog.wait(event=1, stream=2)
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    result = certified_minimize(prog)
+    assert result.waits_removed == 1
+    assert result.records_removed == 1  # record orphaned by the elision
+    reasons = {r.reason for r in result.removed}
+    assert reasons == {"implied-by-happens-before", "orphaned-record"}
+    assert not any(isinstance(op, (WaitEvent, RecordEvent))
+                   for op in result.minimized.ops)
+
+
+def test_closure_certificate_is_invariant_under_elision():
+    prog = _producer_consumer()
+    prog.ops.insert(3, WaitEvent(event=1, stream=2))
+    result = certified_minimize(prog)
+    assert launch_closure(result.minimized.ops) == \
+        launch_closure(result.original.ops)
+    # and the per-stream launch sequences were never touched
+    seqs_o, _ = launch_closure(result.original.ops)
+    seqs_m, _ = launch_closure(result.minimized.ops)
+    assert seqs_o == seqs_m
+
+
+def test_launch_closure_shape():
+    seqs, closure = launch_closure(_producer_consumer().ops)
+    assert seqs == ((1, (("a", 0),)), (2, (("b", 1),)))
+    assert closure == (frozenset(), frozenset({0}))  # a happens before b
+
+
+def test_refuses_deadlocked_input():
+    prog = DispatchProgram("dirty")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.wait(event=7, stream=1)
+    prog.record(event=7, stream=1)
+    with pytest.raises(AnalyzeError, match="refusing to minimize"):
+        minimize(prog)
+
+
+def test_suppression_set_carries_over_to_minimized_program():
+    prog = _producer_consumer()
+    prog.allow("hazard/WAW")
+    result = certified_minimize(prog)
+    assert result.minimized.is_allowed("hazard/WAW")
+
+
+def test_elision_result_counts_round_trip():
+    prog = DispatchProgram("counts")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.wait(event=1, stream=2)
+    prog.wait(event=1, stream=2)       # duplicate
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    d = certified_minimize(prog).to_dict()
+    assert d["waits_removed"] == 1 and d["records_removed"] == 0
+    assert d["ops_before"] == d["ops_after"] + 1
+    assert d["equivalent"] is True
+    assert d["removed"][0]["kind"] == "wait"

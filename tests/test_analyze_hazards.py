@@ -281,3 +281,43 @@ class TestGraphPrograms:
              .launch("b", 2, reads={"n0"}, writes={"n1"}))
         hazards = detect(p)
         assert len(hazards) == 1 and hazards[0].kind == "RAW"
+
+
+class TestSuppression:
+    """Hazard findings keyed by rule id respect the program allow set."""
+
+    def _racy(self):
+        return (_prog("racy")
+                .launch("w1", 1, writes={"x"})
+                .launch("w2", 2, writes={"x"}))
+
+    def test_allow_counts_instead_of_reporting(self):
+        prog = self._racy().allow("hazard/WAW")
+        verdict = verdict_for(prog, network="t", plan="rr")
+        assert verdict.ok and verdict.suppressed == 1
+        # detect() itself is unaffected: suppression is verdict-level
+        assert len(detect(prog)) == 1
+
+    def test_unrelated_rule_does_not_suppress(self):
+        prog = self._racy().allow("hazard/RAW")
+        verdict = verdict_for(prog, network="t", plan="rr")
+        assert not verdict.ok and verdict.suppressed == 0
+
+    def test_wildcard_suppresses_everything(self):
+        prog = self._racy().allow("*")
+        verdict = verdict_for(prog)
+        assert verdict.ok and verdict.suppressed == 1
+
+    def test_allow_from_marker_text(self):
+        prog = self._racy().allow_from(
+            "scratch buffer reuse  # repro: allow(hazard/WAW)")
+        verdict = verdict_for(prog)
+        assert verdict.ok and verdict.suppressed == 1
+
+    def test_suppressed_count_rolls_up_into_report_dict(self):
+        from repro.analyze.hazards import HazardReport
+        report = HazardReport(device="p100", pool_size=2, batch=1, seed=0,
+                              entries=[verdict_for(
+                                  self._racy().allow("hazard/WAW"))])
+        doc = report.to_dict()
+        assert doc["ok"] and doc["suppressed"] == 1

@@ -1,0 +1,137 @@
+"""Seeded fault injection: the analyzer must catch every planted bug.
+
+``repro.analyze.inject`` plants wait cycles (for the deadlock detector)
+and redundant waits (for the sync elider) into clean programs; the
+acceptance bar for the sweep is 100% detection.  These tests pin the
+mutation shapes and the sweep bookkeeping on small hand-built programs
+so failures localize; the full-producer sweep runs via
+``python -m repro analyze all --cross-check`` in CI.
+"""
+
+import pytest
+
+from repro.analyze.deadlock import detect_deadlocks
+from repro.analyze.elide import minimize
+from repro.analyze.inject import (cross_check, inject_redundant_wait,
+                                  inject_wait_cycle)
+from repro.analyze.program import DispatchProgram, RecordEvent, WaitEvent
+from repro.errors import AnalyzeError
+
+
+def _two_stream_program() -> DispatchProgram:
+    """Clean: a live record/wait edge ordering stream 2 after stream 1."""
+    prog = DispatchProgram("inject-two-stream")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.wait(event=1, stream=2)
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    return prog
+
+
+def _barrier_only_program() -> DispatchProgram:
+    """Clean: no events at all, ordering comes from the barrier."""
+    prog = DispatchProgram("inject-barrier")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.sync()
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    return prog
+
+
+def _single_stream_program() -> DispatchProgram:
+    prog = DispatchProgram("inject-single")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.sync()
+    return prog
+
+
+def test_wait_cycle_crossed_pair_on_two_streams():
+    prog = _two_stream_program()
+    mutant, planted = inject_wait_cycle(prog, seed=0)
+    assert planted["rule"] == "deadlock/cycle"
+    assert len(mutant.ops) == len(prog.ops) + 4
+    findings = detect_deadlocks(mutant)
+    assert any(f.rule == "deadlock/cycle" and
+               any(c.op_index == planted["wait_index"] for c in f.cycle)
+               for f in findings)
+    # the original stays untouched
+    assert not detect_deadlocks(prog)
+
+
+def test_wait_cycle_degenerates_to_self_wait_on_one_stream():
+    mutant, planted = inject_wait_cycle(_single_stream_program(), seed=3)
+    assert planted["rule"] == "deadlock/self-wait"
+    assert len(mutant.ops) == len(_single_stream_program().ops) + 2
+    findings = detect_deadlocks(mutant)
+    assert any(f.rule == "deadlock/self-wait" for f in findings)
+
+
+def test_redundant_wait_duplicates_a_live_wait():
+    prog = _two_stream_program()
+    mutant, planted = inject_redundant_wait(prog, seed=0)
+    assert planted["kind"] == "duplicate-wait"
+    dup = mutant.ops[planted["wait_index"]]
+    assert isinstance(dup, WaitEvent) and dup.event == planted["event"]
+    assert minimize(mutant).waits_removed == \
+        minimize(prog).waits_removed + 1
+
+
+def test_redundant_wait_spans_a_barrier_when_no_wait_exists():
+    prog = _barrier_only_program()
+    mutant, planted = inject_redundant_wait(prog, seed=0)
+    assert planted["kind"] == "spurious-sync"
+    assert any(isinstance(op, RecordEvent) and op.event == planted["event"]
+               for op in mutant.ops)
+    assert minimize(mutant).waits_removed == \
+        minimize(prog).waits_removed + 1
+
+
+def test_redundant_wait_refuses_when_nowhere_to_hide():
+    prog = DispatchProgram("inject-bare")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    with pytest.raises(AnalyzeError, match="cannot plant"):
+        inject_redundant_wait(prog, seed=0)
+
+
+def test_cross_check_catches_every_plant():
+    triples = [("t", "rr", _two_stream_program()),
+               ("t", "rr", _barrier_only_program()),
+               ("t", "rr", _single_stream_program())]
+    report = cross_check(triples, seed=0, rounds=2)
+    assert report.ok
+    cf, cp = report.cycles_found
+    assert (cf, cp) == (6, 6)          # 3 programs x 2 rounds
+    wf, wp = report.waits_elided
+    assert cf == cp and wf == wp and wp >= 4
+    assert "PASS" in report.render()
+    d = report.to_dict()
+    assert d["cycles"]["found"] == d["cycles"]["planted"]
+    assert d["redundant_waits"]["elided"] == d["redundant_waits"]["planted"]
+
+
+def test_cross_check_counts_skipped_plant_sites():
+    prog = DispatchProgram("inject-bare")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    report = cross_check([("t", "rr", prog)], seed=0, rounds=2)
+    assert report.skipped == 2          # no redundant-wait site, both rounds
+    assert report.ok                    # the cycle plants were still caught
+
+
+def test_cross_check_rejects_unclean_input():
+    prog = DispatchProgram("inject-dirty")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.wait(event=9, stream=1)
+    prog.record(event=9, stream=1)     # self-wait: not a clean producer
+    with pytest.raises(AnalyzeError, match="not clean"):
+        cross_check([("t", "rr", prog)], seed=0)
+
+
+def test_mutants_are_deterministic_per_seed():
+    prog = _two_stream_program()
+    m1, p1 = inject_wait_cycle(prog, seed=7)
+    m2, p2 = inject_wait_cycle(prog, seed=7)
+    assert p1 == p2 and m1.ops == m2.ops
+    r1, q1 = inject_redundant_wait(prog, seed=7)
+    r2, q2 = inject_redundant_wait(prog, seed=7)
+    assert q1 == q2 and r1.ops == r2.ops

@@ -1,0 +1,164 @@
+"""SARIF 2.1.0 export: rule metadata, severity levels, schema validity.
+
+The schema check validates against a vendored subset of the OASIS
+SARIF 2.1.0 schema (``tests/fixtures/sarif-2.1.0-subset.schema.json``)
+so it runs offline; it skips cleanly when ``jsonschema`` is not
+installed (the CI image has no network and a minimal wheel set).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analyze.deadlock import DeadlockReport, deadlock_verdict_for
+from repro.analyze.elide import (ElisionReport, _entry, certified_minimize)
+from repro.analyze.hazards import HazardReport, verdict_for
+from repro.analyze.lint import LintReport, LintViolation
+from repro.analyze.program import DispatchProgram
+from repro.analyze.sarif import RULE_META, to_sarif
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _racy_program() -> DispatchProgram:
+    prog = DispatchProgram("sarif-racy")
+    prog.launch("k1", stream=1, writes={"x"}, layer="conv1", chain=0)
+    prog.launch("k2", stream=2, writes={"x"}, layer="conv2", chain=1)
+    prog.sync()
+    return prog
+
+
+def _deadlocked_program() -> DispatchProgram:
+    prog = DispatchProgram("sarif-deadlock")
+    prog.launch("k1", stream=1, writes={"x"}, chain=0)
+    prog.wait(event=7, stream=1)
+    prog.record(event=7, stream=1)
+    prog.sync()
+    return prog
+
+
+def _redundant_program() -> DispatchProgram:
+    prog = DispatchProgram("sarif-redundant")
+    prog.launch("a", stream=1, writes={"a"}, chain=0)
+    prog.record(event=1, stream=1)
+    prog.wait(event=1, stream=2)
+    prog.wait(event=1, stream=2)   # duplicate: provably redundant
+    prog.launch("b", stream=2, reads={"a"}, writes={"b"}, chain=1)
+    prog.sync()
+    return prog
+
+
+def _full_log() -> dict:
+    hazards = HazardReport(
+        device="p100", pool_size=4, batch=4, seed=0,
+        entries=[verdict_for(_racy_program(), network="t", plan="rr")])
+    deadlock = DeadlockReport(
+        device="p100", pool_size=4, batch=4, seed=0,
+        entries=[deadlock_verdict_for(_deadlocked_program(),
+                                      network="t", plan="rr")])
+    elision = ElisionReport(
+        device="p100", pool_size=4, batch=4, seed=0,
+        entries=[_entry(certified_minimize(_redundant_program()),
+                        network="t", plan="rr")])
+    lint = LintReport(rules=["unseeded-rng"], files_checked=1,
+                      suppressed=2)
+    lint.violations.append(LintViolation(
+        rule="unseeded-rng", path="src/x.py", line=3,
+        message="random.Random() without a seed"))
+    return to_sarif(hazards=hazards, deadlock=deadlock,
+                    elision=elision, lint=lint)
+
+
+def test_rule_meta_covers_all_analyzer_rules():
+    from repro.analyze.capacity import CAPACITY_RULES
+    from repro.analyze.deadlock import DEADLOCK_RULES
+    from repro.analyze.elide import ELIDE_RULE
+    expected = {f"hazard/{k}" for k in ("RAW", "WAR", "WAW")}
+    expected |= set(DEADLOCK_RULES) | set(CAPACITY_RULES) | {ELIDE_RULE}
+    assert expected <= set(RULE_META)
+    for rule_id, (level, short, full, anchor) in RULE_META.items():
+        assert level in ("none", "note", "warning", "error"), rule_id
+        assert short and full, rule_id
+
+
+def test_severity_levels_by_family():
+    assert RULE_META["hazard/RAW"][0] == "error"
+    assert RULE_META["deadlock/cycle"][0] == "error"
+    assert RULE_META["deadlock/never-recorded"][0] == "error"
+    assert RULE_META["capacity/over-subscription"][0] == "warning"
+    assert RULE_META["capacity/stream-pool"][0] == "warning"
+    assert RULE_META["elide/redundant-sync"][0] == "note"
+
+
+def test_log_structure_and_rule_metadata():
+    log = _full_log()
+    assert log["version"] == "2.1.0"
+    names = [r["tool"]["driver"]["name"] for r in log["runs"]]
+    assert names == ["repro-analyze-hazards", "repro-analyze-deadlock",
+                     "repro-analyze-elide", "repro-analyze-lint"]
+    for run in log["runs"]:
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["fullDescription"]["text"], rule["id"]
+            assert rule["helpUri"].startswith("https://"), rule["id"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "none", "note", "warning", "error")
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for result in run["results"]:
+            assert result["ruleId"] in ids
+            assert result["message"]["text"]
+
+
+def test_results_carry_expected_levels():
+    log = _full_log()
+    by_name = {r["tool"]["driver"]["name"]: r for r in log["runs"]}
+    hazard_levels = {r["level"]
+                     for r in by_name["repro-analyze-hazards"]["results"]}
+    assert hazard_levels == {"error"}
+    deadlock = by_name["repro-analyze-deadlock"]["results"]
+    assert deadlock and all(r["level"] == "error" for r in deadlock)
+    assert {r["ruleId"] for r in deadlock} == {"deadlock/self-wait"}
+    elide = by_name["repro-analyze-elide"]["results"]
+    assert elide and all(r["level"] == "note" for r in elide)
+    lint = by_name["repro-analyze-lint"]["results"]
+    assert lint and all(r["level"] == "warning" for r in lint)
+
+
+def test_run_properties_carry_suppressed_counts():
+    log = _full_log()
+    by_name = {r["tool"]["driver"]["name"]: r for r in log["runs"]}
+    assert by_name["repro-analyze-hazards"]["properties"][
+        "suppressed"] == 0
+    assert by_name["repro-analyze-lint"]["properties"]["suppressed"] == 2
+    props = by_name["repro-analyze-elide"]["properties"]
+    assert props["waits_removed"] == 1
+    assert props["records_removed"] == 0
+
+
+def test_deadlock_results_locate_the_cycle():
+    log = _full_log()
+    by_name = {r["tool"]["driver"]["name"]: r for r in log["runs"]}
+    result = by_name["repro-analyze-deadlock"]["results"][0]
+    logical = result["locations"][0]["logicalLocations"]
+    assert len(logical) >= 2   # wait + record of the self-wait cycle
+    assert all("fullyQualifiedName" in loc for loc in logical)
+
+
+def test_log_validates_against_vendored_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (FIXTURES / "sarif-2.1.0-subset.schema.json")
+        .read_text(encoding="utf-8"))
+    jsonschema.validate(_full_log(), schema)
+
+
+def test_empty_reports_still_validate():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (FIXTURES / "sarif-2.1.0-subset.schema.json")
+        .read_text(encoding="utf-8"))
+    hazards = HazardReport(device="p100", pool_size=4, batch=4, seed=0)
+    deadlock = DeadlockReport(device="p100", pool_size=4, batch=4, seed=0)
+    log = to_sarif(hazards=hazards, deadlock=deadlock)
+    jsonschema.validate(log, schema)
+    assert all(run["results"] == [] for run in log["runs"])

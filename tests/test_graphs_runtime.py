@@ -153,3 +153,114 @@ class TestNumericEquivalence:
 
         for exp, act in zip(run(False), run(True)):
             assert first_divergence(exp, act) is None
+
+
+class TestMinimize:
+    """Certified sync-elision of admitted graphs (minimize=True)."""
+
+    def _redundant_graph(self):
+        from repro.graphs.compiled import CompiledGraph, GraphNode
+        graph = CompiledGraph(name="redundant", network="t",
+                              device="p100", pool_size=2, batch=1, seed=0)
+        graph.nodes = [
+            GraphNode(kind="launch", stream=1, kernel="k1",
+                      writes=("x",), layer="l1", chain=0),
+            GraphNode(kind="record", stream=1, event=1),
+            GraphNode(kind="barrier"),    # already orders k1 before k2
+            GraphNode(kind="wait", stream=2, event=1),
+            GraphNode(kind="launch", stream=2, kernel="k2",
+                      reads=("x",), writes=("y",), layer="l2", chain=1),
+            GraphNode(kind="barrier"),
+        ]
+        return graph
+
+    def test_minimize_graph_drops_redundant_nodes(self):
+        from repro.graphs.minimize import minimize_graph
+        graph = self._redundant_graph()
+        mini, result = minimize_graph(graph)
+        assert result.waits_removed == 1 and result.records_removed == 1
+        assert mini is not graph
+        assert len(mini) == len(graph) - 2
+        assert mini.launches == graph.launches
+        admit(mini)                       # the smaller program re-signs
+
+    def test_minimize_graph_is_identity_when_nothing_removable(self):
+        from repro.graphs.compiled import CompiledGraph, GraphNode
+        from repro.graphs.minimize import minimize_graph
+        graph = CompiledGraph(name="tight", network="t")
+        graph.nodes = [
+            GraphNode(kind="launch", stream=1, kernel="k1",
+                      writes=("x",), chain=0),
+            GraphNode(kind="record", stream=1, event=1),
+            GraphNode(kind="wait", stream=2, event=1),   # load-bearing
+            GraphNode(kind="launch", stream=2, kernel="k2",
+                      reads=("x",), writes=("y",), chain=1),
+            GraphNode(kind="barrier"),
+        ]
+        mini, result = minimize_graph(graph)
+        assert mini is graph              # same object: caches undisturbed
+        assert result.waits_removed == 0
+
+    def test_runtime_elides_seeded_graph_with_spurious_sync(self, p100):
+        from repro.gpusim import GPU, get_device
+        from repro.graphs.compiled import GraphNode
+        net, ex, runtime, works = _setup(p100)
+        for _ in range(2):
+            ex.run_pass(works)
+        key = works_fingerprint(list(works), p100.props.name)
+        graph = runtime.admitted[key]
+        # plant a spurious record/wait pair across an existing barrier
+        nodes = list(graph.nodes)
+        barriers = [i for i, n in enumerate(nodes) if n.kind == "barrier"]
+        at = next(i for i in barriers
+                  if any(n.kind == "launch" and n.stream != 0
+                         for n in nodes[:i])
+                  and any(n.kind == "launch" and n.stream != 0
+                          for n in nodes[i + 1:]))
+        before = next(n for n in reversed(nodes[:at])
+                      if n.kind == "launch" and n.stream != 0)
+        after = next(n for n in nodes[at + 1:]
+                     if n.kind == "launch" and n.stream != 0)
+        event = 1 + max((n.event for n in nodes if n.event >= 0),
+                        default=0)
+        nodes.insert(at + 1, GraphNode(kind="wait", stream=after.stream,
+                                       event=event))
+        nodes.insert(at, GraphNode(kind="record", stream=before.stream,
+                                   event=event))
+        graph.nodes = nodes
+
+        gpu2 = GPU(get_device("P100"))
+        ex2 = GLP4NNExecutor(gpu2)
+        rt2 = ex2.enable_graph_mode(net=net, network="lenet",
+                                    graphs={key: graph}, minimize=True)
+        for _ in range(3):
+            ex2.run_pass(works)
+        assert rt2.modes_for(works, gpu2.props.name) == ["replay"] * 3
+        assert rt2.stats.waits_elided >= 1
+        assert rt2.stats.records_elided >= 1
+        # the admitted (replayed) graph is the minimized one
+        assert len(rt2.admitted[key]) < len(graph)
+
+    def test_minimized_graph_mode_trains_bit_identically(self, p100):
+        from repro.gpusim import GPU, get_device
+        from repro.gpusim.stream import reset_handle_ids
+        from repro.verify.differential import make_batches
+        from repro.verify.fingerprint import (fingerprint_net,
+                                              first_divergence)
+
+        def run(graph_mode: bool):
+            reset_handle_ids()
+            net = build_lenet(batch=4, seed=3)
+            ex = GLP4NNExecutor(GPU(get_device("P100")))
+            if graph_mode:
+                ex.enable_graph_mode(net=net, network="lenet",
+                                     minimize=True)
+            session = TrainingSession(net, ex)
+            fps = []
+            for b in make_batches(net, 4, 3):
+                session.run_iteration(b)
+                fps.append(fingerprint_net(net))
+            return fps
+
+        for exp, act in zip(run(False), run(True)):
+            assert first_divergence(exp, act) is None

@@ -1,0 +1,80 @@
+"""The dynamic elision differential: minimized plans replay identically.
+
+``repro.verify.elision_equiv`` is the dynamic side of the sync-elision
+certificate: train with and without graph-mode minimization and demand
+bit-identical fingerprints, then replay each minimized interop plan and
+re-check every happens-before-ordered launch pair of the *original*
+closure on the minimized timeline.  Kept small here — one seed, one
+inception unit — the full sweep runs via ``verify --only elision``.
+"""
+
+import pytest
+
+from repro.verify.elision_equiv import (ElisionEquivReport,
+                                        ElisionPlanOutcome,
+                                        ElisionSeedOutcome, verify_elision)
+
+
+@pytest.fixture(scope="module")
+def report() -> ElisionEquivReport:
+    return verify_elision(network="lenet", device="p100", seeds=(0,),
+                          iterations=4, batch=4, units=("5b",),
+                          policies=("round-robin",), interop_batch=2)
+
+
+def test_report_passes_and_is_exercised(report):
+    assert report.ok
+    assert report.exercised       # at least one plan actually shrank
+    assert report.seeds and report.plans
+
+
+def test_training_seeds_stay_bit_identical(report):
+    for seed in report.seeds:
+        assert seed.ok and seed.error == ""
+        assert seed.divergence is None
+        assert seed.replays >= 1
+
+
+def test_minimized_plan_preserves_original_ordering(report):
+    plan = next(p for p in report.plans if p.waits_removed > 0)
+    assert plan.ok and plan.certificate
+    assert plan.violations == 0
+    assert plan.pairs_checked > 0     # hb pairs re-verified dynamically
+    assert plan.launches > 0
+
+
+def test_report_dict_shape(report):
+    doc = report.to_dict()
+    assert doc["ok"] is True and doc["exercised"] is True
+    assert doc["network"] == "lenet"
+    assert len(doc["seeds"]) == 1
+    assert all("waits_removed" in p for p in doc["plans"])
+
+
+def test_render_mentions_verdict(report):
+    text = report.render()
+    assert "elision-equiv" in text
+    assert "OK" in text and "re-verified" in text
+
+
+def test_unexercised_report_is_not_ok():
+    """A sweep where the elider never fires must not vacuously pass."""
+    empty = ElisionEquivReport(network="lenet", device="p100", batch=4,
+                               iterations=2)
+    empty.seeds.append(ElisionSeedOutcome(seed=0, iterations=2, replays=1,
+                                          waits_elided=0,
+                                          records_elided=0))
+    empty.plans.append(ElisionPlanOutcome(unit="5b", policy="layer-serial",
+                                          waits_removed=0,
+                                          records_removed=0,
+                                          certificate=True))
+    assert not empty.exercised and not empty.ok
+
+
+def test_verify_report_includes_elision_part():
+    from repro.verify.report import VerifyReport
+    vr = VerifyReport(network="lenet", device="p100", seed=0)
+    vr.elision = ElisionEquivReport(network="lenet", device="p100",
+                                    batch=4, iterations=4)
+    assert not vr.ok                  # vacuous elision report fails
+    assert "elision" in vr.to_dict()
